@@ -1,0 +1,186 @@
+//! Ablation benches on the design choices DESIGN.md calls out:
+//!
+//! * `hash_build` — sequential vs rayon fold/reduce BFH construction;
+//! * `query_threads` — BFHRF query-phase thread scaling;
+//! * `day_vs_sets` — Day's O(n) pairwise RF vs the set-difference RF;
+//! * `idwidth` — HashRF compressed-ID width (collision cost is paid in
+//!   accuracy, not time, so this measures that time is flat across widths).
+
+use bfhrf::{day_rf, Bfh, HashRf, HashRfConfig};
+use bfhrf_bench::datasets::prepare;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phylo::{BipartitionSet, TreeCollection};
+use phylo_sim::DatasetSpec;
+use rayon::prelude::*;
+use std::hint::black_box;
+
+fn load(n: usize, r: usize, seed: u64) -> TreeCollection {
+    TreeCollection::parse(&prepare(&DatasetSpec::new("abl", n, r, seed)).newick).unwrap()
+}
+
+fn hash_build(c: &mut Criterion) {
+    let coll = load(100, 1000, 1);
+    let mut group = c.benchmark_group("ablation_hash_build");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(Bfh::build(&coll.trees, &coll.taxa).sum()))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(Bfh::build_parallel(&coll.trees, &coll.taxa).sum()))
+    });
+    group.finish();
+}
+
+fn query_threads(c: &mut Criterion) {
+    let coll = load(100, 1000, 2);
+    let bfh = Bfh::build(&coll.trees, &coll.taxa);
+    let mut group = c.benchmark_group("ablation_query_threads");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for threads in [1usize, 2, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| {
+                pool.install(|| {
+                    black_box(
+                        coll.trees
+                            .par_iter()
+                            .map(|q| bfhrf::bfhrf_average(q, &coll.taxa, &bfh).average())
+                            .sum::<f64>(),
+                    )
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn day_vs_sets(c: &mut Criterion) {
+    let coll = load(500, 2, 3);
+    let (a, b_tree) = (&coll.trees[0], &coll.trees[1]);
+    let mut group = c.benchmark_group("ablation_pairwise_rf");
+    group.bench_function("day_linear", |bch| {
+        bch.iter(|| black_box(day_rf(a, b_tree, &coll.taxa)))
+    });
+    group.bench_function("set_difference", |bch| {
+        bch.iter(|| {
+            let sa = BipartitionSet::from_tree(a, &coll.taxa);
+            let sb = BipartitionSet::from_tree(b_tree, &coll.taxa);
+            black_box(sa.rf_distance(&sb))
+        })
+    });
+    group.finish();
+}
+
+fn idwidth(c: &mut Criterion) {
+    let coll = load(64, 300, 4);
+    let mut group = c.benchmark_group("ablation_hashrf_idwidth");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for id_bits in [16u32, 32, 64] {
+        let cfg = HashRfConfig {
+            id_bits,
+            ..HashRfConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(id_bits), &cfg, |b, cfg| {
+            b.iter(|| {
+                black_box(
+                    HashRf::compute(&coll.trees, &coll.taxa, cfg)
+                        .unwrap()
+                        .averages()
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn compact_keys(c: &mut Criterion) {
+    // §IX compressed-key hash: query throughput of plain vs compact keys
+    // (compact trades a compress() per probe for smaller resident keys)
+    let coll = load(500, 200, 5);
+    let plain = Bfh::build(&coll.trees, &coll.taxa);
+    let compact = bfhrf::CompactBfh::from_bfh(&plain);
+    let mut group = c.benchmark_group("ablation_compact_keys");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("plain_queries", |b| {
+        b.iter(|| {
+            black_box(
+                coll.trees
+                    .iter()
+                    .map(|q| bfhrf::bfhrf_average(q, &coll.taxa, &plain).total())
+                    .sum::<u64>(),
+            )
+        })
+    });
+    group.bench_function("compact_queries", |b| {
+        b.iter(|| {
+            black_box(
+                coll.trees
+                    .iter()
+                    .map(|q| compact.average_rf(q, &coll.taxa).total())
+                    .sum::<u64>(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn pgm_vs_bfhrf(c: &mut Criterion) {
+    // PGM-Hashed stays 1-vs-1: q·r signature merges per batch, vs BFHRF's
+    // q hash probes. Both get preprocessed inputs here, isolating the
+    // comparison structure itself.
+    let coll = load(100, 500, 6);
+    let hasher = bfhrf::pgm::PgmHasher::new(100, 64, 9);
+    let sigs: Vec<_> = coll
+        .trees
+        .iter()
+        .map(|t| hasher.signature(t, &coll.taxa))
+        .collect();
+    let bfh = Bfh::build(&coll.trees, &coll.taxa);
+    let mut group = c.benchmark_group("ablation_pgm_vs_bfhrf");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("pgm_one_vs_one", |b| {
+        b.iter(|| {
+            black_box(
+                sigs.iter()
+                    .map(|q| hasher.average_rf(q, &sigs))
+                    .sum::<f64>(),
+            )
+        })
+    });
+    group.bench_function("bfhrf_tree_vs_hash", |b| {
+        b.iter(|| {
+            black_box(
+                coll.trees
+                    .iter()
+                    .map(|q| bfhrf::bfhrf_average(q, &coll.taxa, &bfh).average())
+                    .sum::<f64>(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    hash_build,
+    query_threads,
+    day_vs_sets,
+    idwidth,
+    compact_keys,
+    pgm_vs_bfhrf
+);
+criterion_main!(benches);

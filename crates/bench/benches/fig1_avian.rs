@@ -1,0 +1,44 @@
+//! Criterion bench for Figure 1: Avian-shaped dataset (n=48), runtime of
+//! each algorithm over growing prefixes. Absolute values differ from the
+//! paper's server, but the ordering (BFHRF ≲ HashRF ≪ DSMP ≪ DS) and the
+//! growth in `r` are the reproduced shape.
+
+use bfhrf_bench::datasets::{prefix, prepare};
+use bfhrf_bench::runner::algorithms;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phylo_sim::DatasetSpec;
+use std::hint::black_box;
+
+fn fig1(c: &mut Criterion) {
+    // bench-sized prefixes: criterion repeats each point many times
+    let full = prepare(&DatasetSpec::avian().with_trees(1000));
+    let mut group = c.benchmark_group("fig1_avian_n48");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for r in [250usize, 500, 1000] {
+        let ds = prefix(&full, r);
+        group.bench_with_input(BenchmarkId::new("BFHRF", r), &ds, |b, ds| {
+            b.iter(|| black_box(algorithms::bfhrf_mean(ds, None)))
+        });
+        group.bench_with_input(BenchmarkId::new("BFHRF-par", r), &ds, |b, ds| {
+            b.iter(|| black_box(algorithms::bfhrf_mean(ds, Some(8))))
+        });
+        group.bench_with_input(BenchmarkId::new("HashRF", r), &ds, |b, ds| {
+            b.iter(|| black_box(algorithms::hashrf_mean(ds, usize::MAX)))
+        });
+        // DS only at the smallest points — it is the O(n²qr) baseline
+        if r <= 500 {
+            group.bench_with_input(BenchmarkId::new("DS", r), &ds, |b, ds| {
+                b.iter(|| black_box(algorithms::ds_mean(ds, None)))
+            });
+            group.bench_with_input(BenchmarkId::new("DSMP", r), &ds, |b, ds| {
+                b.iter(|| black_box(algorithms::ds_mean(ds, Some(8))))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for Table III: Insect-shaped dataset (n=144). The
+//! paper's headline comparison — BFHRF handles the wide-taxa collection
+//! where the baselines blow up; here the shape is measured at bench-sized
+//! prefixes (the `repro tbl3` harness runs the larger points with the
+//! paper's extrapolation protocol).
+
+use bfhrf_bench::datasets::{prefix, prepare};
+use bfhrf_bench::runner::algorithms;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phylo_sim::DatasetSpec;
+use std::hint::black_box;
+
+fn tbl3(c: &mut Criterion) {
+    let full = prepare(&DatasetSpec::insect().with_trees(1000));
+    let mut group = c.benchmark_group("tbl3_insect_n144");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for r in [250usize, 500, 1000] {
+        let ds = prefix(&full, r);
+        group.bench_with_input(BenchmarkId::new("BFHRF", r), &ds, |b, ds| {
+            b.iter(|| black_box(algorithms::bfhrf_mean(ds, None)))
+        });
+        group.bench_with_input(BenchmarkId::new("BFHRF-par", r), &ds, |b, ds| {
+            b.iter(|| black_box(algorithms::bfhrf_mean(ds, Some(8))))
+        });
+        group.bench_with_input(BenchmarkId::new("HashRF", r), &ds, |b, ds| {
+            b.iter(|| black_box(algorithms::hashrf_mean(ds, usize::MAX)))
+        });
+        if r <= 250 {
+            group.bench_with_input(BenchmarkId::new("DS", r), &ds, |b, ds| {
+                b.iter(|| black_box(algorithms::ds_mean(ds, None)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tbl3);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for Table IV: runtime vs number of taxa at fixed r.
+//! The reproduced claim (§VI.C): BFHRF runtime grows linearly in n in
+//! practice, and hash-based methods grow much slower than the sequential
+//! baselines.
+
+use bfhrf_bench::datasets::prepare;
+use bfhrf_bench::runner::algorithms;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phylo_sim::DatasetSpec;
+use std::hint::black_box;
+
+fn tbl4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tbl4_variable_taxa_r100");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for n in [100usize, 250, 500] {
+        let ds = prepare(&DatasetSpec::variable_taxa(n).with_trees(100));
+        group.bench_with_input(BenchmarkId::new("BFHRF", n), &ds, |b, ds| {
+            b.iter(|| black_box(algorithms::bfhrf_mean(ds, None)))
+        });
+        group.bench_with_input(BenchmarkId::new("HashRF", n), &ds, |b, ds| {
+            b.iter(|| black_box(algorithms::hashrf_mean(ds, usize::MAX)))
+        });
+        if n <= 250 {
+            group.bench_with_input(BenchmarkId::new("DS", n), &ds, |b, ds| {
+                b.iter(|| black_box(algorithms::ds_mean(ds, None)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tbl4);
+criterion_main!(benches);

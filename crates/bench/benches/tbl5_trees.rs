@@ -1,0 +1,38 @@
+//! Criterion bench for Table V / Figure 2: runtime vs number of trees at
+//! n=100. Reproduced shape: BFHRF linear in r; HashRF superlinear (its
+//! pair-counting and r×r matrix grow quadratically); DS quadratic.
+
+use bfhrf_bench::datasets::{prefix, prepare};
+use bfhrf_bench::runner::algorithms;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phylo_sim::DatasetSpec;
+use std::hint::black_box;
+
+fn tbl5(c: &mut Criterion) {
+    let full = prepare(&DatasetSpec::variable_trees(2000));
+    let mut group = c.benchmark_group("tbl5_variable_trees_n100");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for r in [500usize, 1000, 2000] {
+        let ds = prefix(&full, r);
+        group.bench_with_input(BenchmarkId::new("BFHRF", r), &ds, |b, ds| {
+            b.iter(|| black_box(algorithms::bfhrf_mean(ds, None)))
+        });
+        group.bench_with_input(BenchmarkId::new("BFHRF-par", r), &ds, |b, ds| {
+            b.iter(|| black_box(algorithms::bfhrf_mean(ds, Some(8))))
+        });
+        group.bench_with_input(BenchmarkId::new("HashRF", r), &ds, |b, ds| {
+            b.iter(|| black_box(algorithms::hashrf_mean(ds, usize::MAX)))
+        });
+        if r <= 500 {
+            group.bench_with_input(BenchmarkId::new("DS", r), &ds, |b, ds| {
+                b.iter(|| black_box(algorithms::ds_mean(ds, None)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tbl5);
+criterion_main!(benches);

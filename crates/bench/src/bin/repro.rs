@@ -1,0 +1,89 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <datasets|fig1|tbl3|tbl4|tbl5|ablations|all> [--full] [--out FILE]
+//! ```
+//!
+//! Default sizes finish in minutes on a laptop; `--full` uses the paper's
+//! exact `n`/`r` (the sequential baselines are then rate-extrapolated
+//! exactly as the paper extrapolated DS). Output goes to stdout and, with
+//! `--out`, to a file.
+
+use bfhrf_bench::{Experiment, Scale};
+use std::io::Write;
+
+// Install the byte-exact peak tracker so Memory(MB) columns are real.
+#[global_allocator]
+static ALLOC: bfhrf_bench::peak_alloc::InstallPeakAlloc =
+    bfhrf_bench::peak_alloc::InstallPeakAlloc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Option<String> = None;
+    let mut scale = Scale::Default;
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => scale = Scale::Full,
+            "--out" => {
+                out_path = it.next().cloned();
+                if out_path.is_none() {
+                    eprintln!("repro: --out needs a file path");
+                    std::process::exit(2);
+                }
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("repro: unknown flag {flag}");
+                std::process::exit(2);
+            }
+            cmd => {
+                if which.replace(cmd.to_string()).is_some() {
+                    eprintln!("repro: give exactly one experiment");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    let which = which.unwrap_or_else(|| "all".to_string());
+    let exp = Experiment::new(scale);
+    let mut report = String::new();
+    let run = |name: &str, exp: &Experiment, report: &mut String| {
+        eprintln!("[repro] running {name} ...");
+        let start = std::time::Instant::now();
+        let section = match name {
+            "datasets" => exp.datasets(),
+            "fig1" => exp.fig1(),
+            "tbl3" => exp.tbl3(),
+            "tbl4" => exp.tbl4(),
+            "tbl5" => exp.tbl5(),
+            "ablations" => exp.ablations(),
+            _ => unreachable!(),
+        };
+        eprintln!("[repro] {name} done in {:.1}s", start.elapsed().as_secs_f64());
+        report.push_str(&section);
+    };
+    match which.as_str() {
+        "all" => {
+            for name in ["datasets", "fig1", "tbl3", "tbl4", "tbl5", "ablations"] {
+                run(name, &exp, &mut report);
+            }
+        }
+        name @ ("datasets" | "fig1" | "tbl3" | "tbl4" | "tbl5" | "ablations") => {
+            run(name, &exp, &mut report);
+        }
+        other => {
+            eprintln!(
+                "repro: unknown experiment {other:?} (expected datasets, fig1, tbl3, tbl4, tbl5, ablations, all)"
+            );
+            std::process::exit(2);
+        }
+    }
+    print!("{report}");
+    if let Some(path) = out_path {
+        let mut f = std::fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+        f.write_all(report.as_bytes()).expect("write report");
+        eprintln!("[repro] report written to {path}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Dataset preparation for the harness.
+//!
+//! Experiments measure algorithms from Newick text to result, the way the
+//! paper's tools read files — parsing cost and (for streaming algorithms)
+//! parsing *memory behaviour* are part of what Figure 1 and Table III
+//! show. Generation itself happens once per shape and is excluded from
+//! every measurement.
+
+use phylo::TreeCollection;
+use phylo_sim::DatasetSpec;
+
+/// A dataset rendered to Newick, plus its ground-truth shape.
+pub struct PreparedDataset {
+    /// Dataset name (paper Table II row).
+    pub name: String,
+    /// Number of taxa `n`.
+    pub n_taxa: usize,
+    /// Number of trees `r`.
+    pub n_trees: usize,
+    /// The whole collection as `;`-separated Newick text.
+    pub newick: String,
+}
+
+/// Generate `spec` and serialize it.
+pub fn prepare(spec: &DatasetSpec) -> PreparedDataset {
+    let coll = phylo_sim::generate(spec);
+    PreparedDataset {
+        name: spec.name.clone(),
+        n_taxa: spec.n_taxa,
+        n_trees: spec.n_trees,
+        newick: to_newick(&coll),
+    }
+}
+
+/// Serialize a collection, one tree per line.
+pub fn to_newick(coll: &TreeCollection) -> String {
+    let mut out = String::new();
+    for t in &coll.trees {
+        out.push_str(&phylo::write_newick(t, &coll.taxa));
+        out.push('\n');
+    }
+    out
+}
+
+/// Truncate prepared Newick text to its first `r` trees (Figure 1 measures
+/// prefixes of the Avian collection). Cheap: scans for line breaks.
+pub fn prefix(ds: &PreparedDataset, r: usize) -> PreparedDataset {
+    assert!(r <= ds.n_trees, "prefix larger than dataset");
+    let mut end = 0;
+    let mut seen = 0;
+    for (i, b) in ds.newick.bytes().enumerate() {
+        if b == b'\n' {
+            seen += 1;
+            if seen == r {
+                end = i + 1;
+                break;
+            }
+        }
+    }
+    PreparedDataset {
+        name: format!("{}[..{r}]", ds.name),
+        n_taxa: ds.n_taxa,
+        n_trees: r,
+        newick: ds.newick[..end].to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_and_prefix() {
+        let ds = prepare(&DatasetSpec::new("unit", 8, 10, 3));
+        assert_eq!(ds.n_trees, 10);
+        assert_eq!(ds.newick.lines().count(), 10);
+        let p = prefix(&ds, 4);
+        assert_eq!(p.n_trees, 4);
+        assert_eq!(p.newick.lines().count(), 4);
+        assert!(ds.newick.starts_with(&p.newick));
+    }
+
+    #[test]
+    fn prefix_text_parses_back() {
+        let ds = prepare(&DatasetSpec::new("unit", 6, 5, 9));
+        let p = prefix(&ds, 2);
+        let coll = TreeCollection::parse(&p.newick).unwrap();
+        assert_eq!(coll.len(), 2);
+        assert_eq!(coll.taxa.len(), 6);
+    }
+}

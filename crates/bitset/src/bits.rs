@@ -1,0 +1,318 @@
+//! The [`Bits`] fixed-length bitset.
+
+use crate::{words_for, WORD_BITS};
+use std::fmt;
+
+/// A fixed-length bit vector backed by `u64` words.
+///
+/// `Bits` is the storage type for bipartition encodings. The length is fixed
+/// at construction (the number of taxa, `n`); all binary operations require
+/// both operands to have the same length and panic otherwise — mixing
+/// bipartitions from different taxon namespaces is a logic error upstream.
+///
+/// Bits beyond `len` inside the last word are kept zero at all times (the
+/// *canonical padding invariant*), so `Eq`/`Hash`/`Ord` can operate on raw
+/// words without masking.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bits {
+    words: Box<[u64]>,
+    len: usize,
+}
+
+impl Bits {
+    /// Create an all-zero bit vector of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        Bits {
+            words: vec![0u64; words_for(len)].into_boxed_slice(),
+            len,
+        }
+    }
+
+    /// Create an all-one bit vector of length `len`.
+    pub fn ones(len: usize) -> Self {
+        let mut b = Bits {
+            words: vec![u64::MAX; words_for(len)].into_boxed_slice(),
+            len,
+        };
+        b.mask_tail();
+        b
+    }
+
+    /// Create a bit vector of length `len` with exactly the given indices set.
+    ///
+    /// # Panics
+    /// Panics if any index is `>= len`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(len: usize, indices: I) -> Self {
+        let mut b = Bits::zeros(len);
+        for i in indices {
+            b.set(i);
+        }
+        b
+    }
+
+    /// Parse from a bitstring such as `"0011"`.
+    ///
+    /// Following the paper's display convention, the *rightmost* character is
+    /// bit 0 (taxon A). Returns `None` on characters other than '0'/'1'.
+    pub fn from_bitstring(s: &str) -> Option<Self> {
+        let mut b = Bits::zeros(s.len());
+        for (pos, ch) in s.chars().rev().enumerate() {
+            match ch {
+                '0' => {}
+                '1' => b.set(pos),
+                _ => return None,
+            }
+        }
+        Some(b)
+    }
+
+    /// The number of bits (taxa) in the vector.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing words, little-endian (bit `i` lives in word `i / 64`).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Set bit `i` to 1.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Set bit `i` to 0.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Get bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 != 0
+    }
+
+    /// The number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// The number of clear bits (within `len`).
+    #[inline]
+    pub fn count_zeros(&self) -> u32 {
+        self.len as u32 - self.count_ones()
+    }
+
+    /// Whether no bit is set.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Index of the lowest set bit, or `None` if all-zero.
+    pub fn first_one(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Index of the highest set bit, or `None` if all-zero.
+    pub fn last_one(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate().rev() {
+            if w != 0 {
+                return Some(wi * WORD_BITS + (WORD_BITS - 1 - w.leading_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// Zero the padding bits above `len` in the last word.
+    ///
+    /// Internal helper maintaining the canonical padding invariant after
+    /// whole-word operations such as complement.
+    #[inline]
+    pub(crate) fn mask_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+}
+
+impl Ord for Bits {
+    /// Lexicographic order on `(len, words)`: a deterministic total order used
+    /// for canonical sorting of bipartition lists in tests and consensus
+    /// output.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.len
+            .cmp(&other.len)
+            .then_with(|| self.words.cmp(&other.words))
+    }
+}
+
+impl PartialOrd for Bits {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Bits {
+    /// Renders the paper's convention: bit 0 (taxon A) is the **rightmost**
+    /// character, matching examples like `B(T) = {0001, 1101, ...}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.len).rev() {
+            f.write_str(if self.get(i) { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bits({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = Bits::zeros(130);
+        assert_eq!(z.len(), 130);
+        assert_eq!(z.count_ones(), 0);
+        assert!(z.is_zero());
+        let o = Bits::ones(130);
+        assert_eq!(o.count_ones(), 130);
+        assert_eq!(o.count_zeros(), 0);
+        // padding invariant: third word only has 2 bits set
+        assert_eq!(o.words()[2], 0b11);
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = Bits::zeros(100);
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(99);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(99));
+        assert!(!b.get(1) && !b.get(65));
+        assert_eq!(b.count_ones(), 4);
+        b.clear(63);
+        assert!(!b.get(63));
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        Bits::zeros(10).set(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Bits::zeros(10).get(10);
+    }
+
+    #[test]
+    fn from_indices_matches_sets() {
+        let b = Bits::from_indices(70, [3, 64, 69]);
+        assert!(b.get(3) && b.get(64) && b.get(69));
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    fn first_and_last_one() {
+        let b = Bits::from_indices(200, [7, 64, 130]);
+        assert_eq!(b.first_one(), Some(7));
+        assert_eq!(b.last_one(), Some(130));
+        assert_eq!(Bits::zeros(5).first_one(), None);
+        assert_eq!(Bits::zeros(5).last_one(), None);
+    }
+
+    #[test]
+    fn display_matches_paper_convention() {
+        // paper: species A (bit 0) printed on the right
+        let a = Bits::from_indices(4, [0]);
+        assert_eq!(a.to_string(), "0001");
+        let abd = Bits::from_indices(4, [0, 1, 3]);
+        assert_eq!(abd.to_string(), "1011");
+    }
+
+    #[test]
+    fn bitstring_roundtrip() {
+        for s in ["0001", "1101", "1011", "0111", "0011", "0101"] {
+            let b = Bits::from_bitstring(s).unwrap();
+            assert_eq!(b.to_string(), s);
+        }
+        assert!(Bits::from_bitstring("01x1").is_none());
+    }
+
+    #[test]
+    fn eq_and_hash_consistency() {
+        use std::collections::HashSet;
+        let a = Bits::from_indices(100, [1, 50, 99]);
+        let b = Bits::from_indices(100, [1, 50, 99]);
+        let c = Bits::from_indices(100, [1, 50]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+        assert!(!set.contains(&c));
+    }
+
+    #[test]
+    fn ordering_is_total_and_len_first() {
+        let short = Bits::ones(4);
+        let long = Bits::zeros(5);
+        assert!(short < long, "shorter vectors sort first");
+        let a = Bits::from_indices(8, [0]);
+        let b = Bits::from_indices(8, [1]);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn empty_vector() {
+        let b = Bits::zeros(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.to_string(), "");
+    }
+}

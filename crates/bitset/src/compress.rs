@@ -1,0 +1,243 @@
+//! Lossless, reversible compression of bit vectors.
+//!
+//! The BFHRF paper's future-work list (§IX) proposes "a loss less and
+//! reversible compression of the bipartitions as keys in the hash to
+//! further reduce memory" — reversibility being the property that keeps
+//! the hash non-transformative (unlike HashRF's lossy IDs). This module
+//! provides that codec.
+//!
+//! Three encodings are tried and the smallest wins, tagged by the first
+//! byte:
+//!
+//! * **Dense** (`0x00`): the little-endian bytes of the vector with
+//!   trailing zero bytes trimmed. Good for balanced splits.
+//! * **Sparse** (`0x01`): LEB128 varints of the set-bit gaps. Good for
+//!   small clades.
+//! * **Sparse complement** (`0x02`): the same, over the *clear* bits.
+//!   Crucial for bipartition keys: canonical orientation stores the side
+//!   containing taxon 0, which for a small clade *not* containing taxon 0
+//!   is the big complement side — encoding the few clear bits instead
+//!   makes the key size track `min(|side|, |co-side|)`, the quantity that
+//!   is small for most splits of real trees.
+//!
+//! The bit length is *not* stored: bipartition hashes are homogeneous in
+//! `n`, so the container supplies it at decode time.
+
+use crate::Bits;
+
+const DENSE: u8 = 0x00;
+const SPARSE: u8 = 0x01;
+const SPARSE_COMPLEMENT: u8 = 0x02;
+
+/// Compress to the smallest of the dense / sparse / sparse-complement
+/// encodings.
+pub fn compress(bits: &Bits) -> Box<[u8]> {
+    let dense_len = 1 + dense_size(bits);
+    let sparse = sparse_encode(bits.iter_ones(), SPARSE);
+    let complement = bits.complemented();
+    let co = sparse_encode(complement.iter_ones(), SPARSE_COMPLEMENT);
+    let best_sparse = if co.len() < sparse.len() { co } else { sparse };
+    if best_sparse.len() < dense_len {
+        best_sparse.into_boxed_slice()
+    } else {
+        let mut out = Vec::with_capacity(dense_len);
+        out.push(DENSE);
+        'outer: for w in bits.words() {
+            for b in w.to_le_bytes() {
+                if out.len() == dense_len {
+                    break 'outer;
+                }
+                out.push(b);
+            }
+        }
+        out.into_boxed_slice()
+    }
+}
+
+/// Decompress an encoding produced by [`compress`] back to a vector of
+/// `nbits` bits. Returns `None` on malformed input (wrong tag, index out
+/// of range, truncated varint) — the codec never panics on foreign bytes.
+pub fn decompress(data: &[u8], nbits: usize) -> Option<Bits> {
+    let (&tag, body) = data.split_first()?;
+    match tag {
+        DENSE => {
+            if body.len() > nbits.div_ceil(8) {
+                return None;
+            }
+            let mut out = Bits::zeros(nbits);
+            for (i, &byte) in body.iter().enumerate() {
+                for bit in 0..8 {
+                    if byte >> bit & 1 != 0 {
+                        let idx = i * 8 + bit;
+                        if idx >= nbits {
+                            return None;
+                        }
+                        out.set(idx);
+                    }
+                }
+            }
+            Some(out)
+        }
+        SPARSE | SPARSE_COMPLEMENT => {
+            let mut out = Bits::zeros(nbits);
+            let mut pos = 0usize;
+            let mut cursor = body;
+            let mut first = true;
+            while !cursor.is_empty() {
+                let (gap, rest) = read_varint(cursor)?;
+                cursor = rest;
+                // gaps are +1 between successive bits (0 would repeat)
+                pos = if first {
+                    gap as usize
+                } else {
+                    pos.checked_add(gap as usize)?.checked_add(1)?
+                };
+                first = false;
+                if pos >= nbits {
+                    return None;
+                }
+                out.set(pos);
+            }
+            if tag == SPARSE_COMPLEMENT {
+                out.complement();
+            }
+            Some(out)
+        }
+        _ => None,
+    }
+}
+
+/// Dense payload size: bytes up to the highest set bit.
+fn dense_size(bits: &Bits) -> usize {
+    match bits.last_one() {
+        None => 0,
+        Some(i) => i / 8 + 1,
+    }
+}
+
+fn sparse_encode<I: Iterator<Item = usize>>(ones: I, tag: u8) -> Vec<u8> {
+    let mut out = vec![tag];
+    let mut prev: Option<usize> = None;
+    for i in ones {
+        let gap = match prev {
+            None => i as u64,
+            Some(p) => (i - p - 1) as u64,
+        };
+        write_varint(&mut out, gap);
+        prev = Some(i);
+    }
+    out
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(data: &[u8]) -> Option<(u64, &[u8])> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    for (i, &byte) in data.iter().enumerate() {
+        if shift >= 64 {
+            return None;
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some((v, &data[i + 1..]));
+        }
+        shift += 7;
+    }
+    None // truncated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(bits: &Bits) {
+        let enc = compress(bits);
+        let dec = decompress(&enc, bits.len()).expect("roundtrip decodes");
+        assert_eq!(&dec, bits, "encoding {enc:?}");
+    }
+
+    #[test]
+    fn roundtrips_basic_shapes() {
+        roundtrip(&Bits::zeros(100));
+        roundtrip(&Bits::ones(100));
+        roundtrip(&Bits::from_indices(100, [0]));
+        roundtrip(&Bits::from_indices(100, [99]));
+        roundtrip(&Bits::from_indices(100, [0, 99]));
+        roundtrip(&Bits::from_indices(1000, [0, 1, 2, 500, 998, 999]));
+        roundtrip(&Bits::zeros(0));
+    }
+
+    #[test]
+    fn sparse_wins_for_small_clades() {
+        // one cherry in a 1000-taxon namespace: 2 bits set
+        let b = Bits::from_indices(1000, [3, 700]);
+        let enc = compress(&b);
+        assert_eq!(enc[0], SPARSE);
+        assert!(enc.len() <= 4, "two varints expected, got {}", enc.len());
+        // raw storage would be 16 words = 128 bytes
+        assert!(enc.len() * 16 < 1000 / 8);
+    }
+
+    #[test]
+    fn dense_wins_for_balanced_splits() {
+        let b = Bits::from_indices(128, 0..64);
+        let enc = compress(&b);
+        assert_eq!(enc[0], DENSE);
+        assert_eq!(enc.len(), 1 + 8, "64 low bits = 8 payload bytes");
+    }
+
+    #[test]
+    fn trailing_zeros_are_trimmed() {
+        let b = Bits::from_indices(1024, [2]);
+        let enc = compress(&b);
+        assert!(enc.len() <= 3, "got {} bytes", enc.len());
+    }
+
+    #[test]
+    fn malformed_inputs_decode_to_none() {
+        assert!(decompress(&[], 10).is_none(), "empty");
+        assert!(decompress(&[0x07], 10).is_none(), "unknown tag");
+        assert!(decompress(&[SPARSE, 0x80], 10).is_none(), "truncated varint");
+        assert!(decompress(&[SPARSE, 0x0f], 10).is_none(), "index out of range");
+        assert!(
+            decompress(&[DENSE, 0xff, 0xff], 10).is_none(),
+            "dense payload exceeds nbits"
+        );
+    }
+
+    #[test]
+    fn varint_edge_values() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let (back, rest) = read_varint(&buf).unwrap();
+            assert_eq!(back, v);
+            assert!(rest.is_empty());
+        }
+    }
+
+    #[test]
+    fn distinct_vectors_have_distinct_encodings() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for i in 0..64 {
+            for j in 0..64 {
+                let b = Bits::from_indices(64, if i == j { vec![i] } else { vec![i, j] });
+                seen.insert(compress(&b).to_vec());
+            }
+        }
+        // 64 singletons + C(64,2) pairs
+        assert_eq!(seen.len(), 64 + 64 * 63 / 2, "compression must be injective");
+    }
+}

@@ -1,0 +1,91 @@
+//! Iteration over set bits.
+
+use crate::{Bits, WORD_BITS};
+
+/// Iterator over the indices of set bits of a [`Bits`], in ascending order.
+///
+/// Created by [`Bits::iter_ones`]. Uses the classic `w & (w - 1)` lowest-bit
+/// clearing loop, so iteration cost is proportional to the popcount, not the
+/// vector length.
+pub struct Ones<'a> {
+    words: &'a [u64],
+    current: u64,
+    word_index: usize,
+}
+
+impl<'a> Iterator for Ones<'a> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_index += 1;
+            if self.word_index >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_index];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_index * WORD_BITS + bit)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.current.count_ones() as usize
+            + self.words[self.word_index.min(self.words.len())..]
+                .iter()
+                .skip(1)
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>();
+        (remaining, Some(remaining))
+    }
+}
+
+impl Bits {
+    /// Iterate over indices of set bits, ascending.
+    pub fn iter_ones(&self) -> Ones<'_> {
+        let words = self.words();
+        Ones {
+            words,
+            current: words.first().copied().unwrap_or(0),
+            word_index: 0,
+        }
+    }
+
+    /// Collect set-bit indices into a `Vec`.
+    pub fn to_indices(&self) -> Vec<usize> {
+        self.iter_ones().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterates_in_order_across_words() {
+        let idx = vec![0usize, 1, 63, 64, 65, 127, 128, 190];
+        let b = Bits::from_indices(191, idx.clone());
+        assert_eq!(b.to_indices(), idx);
+    }
+
+    #[test]
+    fn empty_and_zero_iterate_nothing() {
+        assert_eq!(Bits::zeros(0).to_indices(), Vec::<usize>::new());
+        assert_eq!(Bits::zeros(100).to_indices(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn full_vector_iterates_all() {
+        let b = Bits::ones(70);
+        assert_eq!(b.to_indices(), (0..70).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let b = Bits::from_indices(200, [3, 77, 150]);
+        let it = b.iter_ones();
+        assert_eq!(it.size_hint(), (3, Some(3)));
+        assert_eq!(it.count(), 3);
+    }
+}

@@ -1,0 +1,207 @@
+//! Set algebra on [`Bits`].
+//!
+//! All binary operations require equal lengths: bipartitions only compare
+//! within one taxon namespace. In-place variants avoid allocation in hot
+//! loops (bipartition extraction unions child sets once per internal node).
+
+use crate::Bits;
+
+impl Bits {
+    #[inline]
+    fn check_len(&self, other: &Bits, op: &str) {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "length mismatch in {op}: {} vs {}",
+            self.len(),
+            other.len()
+        );
+    }
+
+    /// `self |= other`.
+    #[inline]
+    pub fn union_with(&mut self, other: &Bits) {
+        self.check_len(other, "union");
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
+            *a |= *b;
+        }
+    }
+
+    /// `self &= other`.
+    #[inline]
+    pub fn intersect_with(&mut self, other: &Bits) {
+        self.check_len(other, "intersection");
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
+            *a &= *b;
+        }
+    }
+
+    /// `self &= !other` (set difference).
+    #[inline]
+    pub fn difference_with(&mut self, other: &Bits) {
+        self.check_len(other, "difference");
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
+            *a &= !*b;
+        }
+    }
+
+    /// `self ^= other`.
+    #[inline]
+    pub fn symmetric_difference_with(&mut self, other: &Bits) {
+        self.check_len(other, "symmetric difference");
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
+            *a ^= *b;
+        }
+    }
+
+    /// Flip every bit (within `len`), preserving the padding invariant.
+    #[inline]
+    pub fn complement(&mut self) {
+        for w in self.words_mut() {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// A new vector equal to `self | other`.
+    pub fn union(&self, other: &Bits) -> Bits {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// A new vector equal to `self & other`.
+    pub fn intersection(&self, other: &Bits) -> Bits {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// A new vector equal to `self & !other`.
+    pub fn difference(&self, other: &Bits) -> Bits {
+        let mut out = self.clone();
+        out.difference_with(other);
+        out
+    }
+
+    /// A new vector equal to `self ^ other`.
+    pub fn symmetric_difference(&self, other: &Bits) -> Bits {
+        let mut out = self.clone();
+        out.symmetric_difference_with(other);
+        out
+    }
+
+    /// A new vector with every bit flipped.
+    pub fn complemented(&self) -> Bits {
+        let mut out = self.clone();
+        out.complement();
+        out
+    }
+
+    /// Number of bits set in `self & other`, without allocating.
+    #[inline]
+    pub fn intersection_count(&self, other: &Bits) -> u32 {
+        self.check_len(other, "intersection_count");
+        self.words()
+            .iter()
+            .zip(other.words())
+            .map(|(a, b)| (a & b).count_ones())
+            .sum()
+    }
+
+    /// Whether `self` and `other` share no set bit.
+    #[inline]
+    pub fn is_disjoint(&self, other: &Bits) -> bool {
+        self.check_len(other, "is_disjoint");
+        self.words().iter().zip(other.words()).all(|(a, b)| a & b == 0)
+    }
+
+    /// Whether every set bit of `self` is also set in `other`.
+    #[inline]
+    pub fn is_subset(&self, other: &Bits) -> bool {
+        self.check_len(other, "is_subset");
+        self.words().iter().zip(other.words()).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Whether every set bit of `other` is also set in `self`.
+    #[inline]
+    pub fn is_superset(&self, other: &Bits) -> bool {
+        other.is_subset(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(s: &str) -> Bits {
+        Bits::from_bitstring(s).unwrap()
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = bits("0011");
+        let b = bits("0110");
+        assert_eq!(a.union(&b).to_string(), "0111");
+        assert_eq!(a.intersection(&b).to_string(), "0010");
+        assert_eq!(a.difference(&b).to_string(), "0001");
+        assert_eq!(b.difference(&a).to_string(), "0100");
+        assert_eq!(a.symmetric_difference(&b).to_string(), "0101");
+    }
+
+    #[test]
+    fn complement_respects_padding() {
+        let a = Bits::from_indices(67, [0, 66]);
+        let c = a.complemented();
+        assert_eq!(c.count_ones(), 65);
+        assert!(!c.get(0) && !c.get(66) && c.get(1) && c.get(65));
+        // double complement is identity
+        assert_eq!(c.complemented(), a);
+        // padding bits stay zero so Eq on raw words is valid
+        assert_eq!(c.words()[1] >> 3, 0);
+    }
+
+    #[test]
+    fn subset_superset_disjoint() {
+        let a = bits("0011");
+        let all = bits("1111");
+        let none = bits("0000");
+        assert!(a.is_subset(&all));
+        assert!(all.is_superset(&a));
+        assert!(none.is_subset(&a));
+        assert!(a.is_disjoint(&a.complemented()));
+        assert!(!a.is_disjoint(&all));
+        assert!(!all.is_subset(&a));
+    }
+
+    #[test]
+    fn intersection_count_multiword() {
+        let a = Bits::from_indices(200, [0, 63, 64, 127, 128, 199]);
+        let b = Bits::from_indices(200, [63, 127, 199, 5]);
+        assert_eq!(a.intersection_count(&b), 3);
+    }
+
+    #[test]
+    fn in_place_variants_match_owned() {
+        let a = Bits::from_indices(130, [1, 64, 129]);
+        let b = Bits::from_indices(130, [1, 65, 129]);
+        let mut x = a.clone();
+        x.union_with(&b);
+        assert_eq!(x, a.union(&b));
+        let mut x = a.clone();
+        x.intersect_with(&b);
+        assert_eq!(x, a.intersection(&b));
+        let mut x = a.clone();
+        x.difference_with(&b);
+        assert_eq!(x, a.difference(&b));
+        let mut x = a.clone();
+        x.symmetric_difference_with(&b);
+        assert_eq!(x, a.symmetric_difference(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = bits("0011").union(&bits("011"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests: `Bits` set algebra must agree with a naive
+//! `HashSet<usize>` model on arbitrary inputs.
+
+use phylo_bitset::Bits;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Strategy: a length in 1..=300 and a set of indices below it.
+fn len_and_indices() -> impl Strategy<Value = (usize, Vec<usize>, Vec<usize>)> {
+    (1usize..=300).prop_flat_map(|len| {
+        (
+            Just(len),
+            proptest::collection::vec(0..len, 0..=len),
+            proptest::collection::vec(0..len, 0..=len),
+        )
+    })
+}
+
+fn model(idx: &[usize]) -> HashSet<usize> {
+    idx.iter().copied().collect()
+}
+
+proptest! {
+    #[test]
+    fn union_matches_model((len, ia, ib) in len_and_indices()) {
+        let a = Bits::from_indices(len, ia.iter().copied());
+        let b = Bits::from_indices(len, ib.iter().copied());
+        let want: HashSet<_> = model(&ia).union(&model(&ib)).copied().collect();
+        let got: HashSet<_> = a.union(&b).iter_ones().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn intersection_matches_model((len, ia, ib) in len_and_indices()) {
+        let a = Bits::from_indices(len, ia.iter().copied());
+        let b = Bits::from_indices(len, ib.iter().copied());
+        let want: HashSet<_> = model(&ia).intersection(&model(&ib)).copied().collect();
+        let got: HashSet<_> = a.intersection(&b).iter_ones().collect();
+        prop_assert_eq!(got.len() as u32, a.intersection_count(&b));
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn difference_matches_model((len, ia, ib) in len_and_indices()) {
+        let a = Bits::from_indices(len, ia.iter().copied());
+        let b = Bits::from_indices(len, ib.iter().copied());
+        let want: HashSet<_> = model(&ia).difference(&model(&ib)).copied().collect();
+        let got: HashSet<_> = a.difference(&b).iter_ones().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn symmetric_difference_matches_model((len, ia, ib) in len_and_indices()) {
+        let a = Bits::from_indices(len, ia.iter().copied());
+        let b = Bits::from_indices(len, ib.iter().copied());
+        let want: HashSet<_> =
+            model(&ia).symmetric_difference(&model(&ib)).copied().collect();
+        let got: HashSet<_> = a.symmetric_difference(&b).iter_ones().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn complement_partitions_universe((len, ia, _) in len_and_indices()) {
+        let a = Bits::from_indices(len, ia.iter().copied());
+        let c = a.complemented();
+        prop_assert!(a.is_disjoint(&c));
+        prop_assert_eq!(a.union(&c), Bits::ones(len));
+        prop_assert_eq!(a.count_ones() + c.count_ones(), len as u32);
+        prop_assert_eq!(c.complemented(), a);
+    }
+
+    #[test]
+    fn subset_relations((len, ia, ib) in len_and_indices()) {
+        let a = Bits::from_indices(len, ia.iter().copied());
+        let b = Bits::from_indices(len, ib.iter().copied());
+        let i = a.intersection(&b);
+        let u = a.union(&b);
+        prop_assert!(i.is_subset(&a) && i.is_subset(&b));
+        prop_assert!(u.is_superset(&a) && u.is_superset(&b));
+        prop_assert_eq!(a.is_subset(&b), model(&ia).is_subset(&model(&ib)));
+        prop_assert_eq!(a.is_disjoint(&b), model(&ia).is_disjoint(&model(&ib)));
+    }
+
+    #[test]
+    fn iter_ones_sorted_and_bounded((len, ia, _) in len_and_indices()) {
+        let a = Bits::from_indices(len, ia.iter().copied());
+        let ones = a.to_indices();
+        prop_assert!(ones.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(ones.iter().all(|&i| i < len));
+        prop_assert_eq!(ones.len() as u32, a.count_ones());
+        prop_assert_eq!(ones.first().copied(), a.first_one());
+        prop_assert_eq!(ones.last().copied(), a.last_one());
+    }
+
+    #[test]
+    fn display_roundtrip((len, ia, _) in len_and_indices()) {
+        let a = Bits::from_indices(len, ia.iter().copied());
+        let s = a.to_string();
+        prop_assert_eq!(Bits::from_bitstring(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn hash_eq_agreement((len, ia, ib) in len_and_indices()) {
+        use std::hash::BuildHasher;
+        let a = Bits::from_indices(len, ia.iter().copied());
+        let b = Bits::from_indices(len, ib.iter().copied());
+        let bh = phylo_bitset::BuildWordHasher;
+        if a == b {
+            prop_assert_eq!(bh.hash_one(&a), bh.hash_one(&b));
+        }
+    }
+
+    #[test]
+    fn compression_roundtrips((len, ia, _) in len_and_indices()) {
+        use phylo_bitset::compress::{compress, decompress};
+        let a = Bits::from_indices(len, ia.iter().copied());
+        let enc = compress(&a);
+        let dec = decompress(&enc, len).expect("roundtrip");
+        prop_assert_eq!(dec, a);
+    }
+
+    #[test]
+    fn compression_is_injective_on_pairs((len, ia, ib) in len_and_indices()) {
+        use phylo_bitset::compress::compress;
+        let a = Bits::from_indices(len, ia.iter().copied());
+        let b = Bits::from_indices(len, ib.iter().copied());
+        prop_assert_eq!(a == b, compress(&a) == compress(&b));
+    }
+
+    #[test]
+    fn ordering_is_consistent((len, ia, ib) in len_and_indices()) {
+        let a = Bits::from_indices(len, ia.iter().copied());
+        let b = Bits::from_indices(len, ib.iter().copied());
+        match a.cmp(&b) {
+            std::cmp::Ordering::Equal => prop_assert_eq!(&a, &b),
+            std::cmp::Ordering::Less => prop_assert!(b > a.clone()),
+            std::cmp::Ordering::Greater => prop_assert!(b < a.clone()),
+        }
+    }
+}

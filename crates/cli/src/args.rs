@@ -1,0 +1,134 @@
+//! A small hand-rolled argument parser.
+//!
+//! The tool takes `--key value` pairs and boolean `--flag`s after a
+//! subcommand; nothing here warrants an external dependency. Unknown keys
+//! are errors — silently ignored typos in experiment scripts produce wrong
+//! tables.
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` options and `--flag`s for one subcommand.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse raw arguments (everything after the subcommand).
+    ///
+    /// `flag_names` lists the boolean options; every other `--key` consumes
+    /// the following token as its value.
+    pub fn parse(raw: &[String], flag_names: &[&str]) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = raw.iter().peekable();
+        while let Some(tok) = it.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {tok:?}"));
+            };
+            if flag_names.contains(&key) {
+                out.flags.push(key.to_string());
+            } else {
+                let Some(value) = it.next() else {
+                    return Err(format!("option --{key} needs a value"));
+                };
+                if out
+                    .values
+                    .insert(key.to_string(), value.clone())
+                    .is_some()
+                {
+                    return Err(format!("option --{key} given twice"));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// A required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// An optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// An optional parsed option.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.values.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("cannot parse --{key} value {v:?}")),
+        }
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Error if any option was not consumed by the caller.
+    pub fn reject_unknown(&self, known_values: &[&str], known_flags: &[&str]) -> Result<(), String> {
+        for k in self.values.keys() {
+            if !known_values.contains(&k.as_str()) {
+                return Err(format!("unknown option --{k}"));
+            }
+        }
+        for f in &self.flags {
+            if !known_flags.contains(&f.as_str()) {
+                return Err(format!("unknown flag --{f}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_and_flags() {
+        let a = Args::parse(&raw(&["--refs", "r.nwk", "--strict", "--threads", "4"]), &["strict"])
+            .unwrap();
+        assert_eq!(a.require("refs").unwrap(), "r.nwk");
+        assert!(a.flag("strict"));
+        assert_eq!(a.get_parsed::<usize>("threads").unwrap(), Some(4));
+        assert_eq!(a.get("missing"), None);
+        assert!(!a.flag("halved"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Args::parse(&raw(&["positional"]), &[]).is_err());
+        assert!(Args::parse(&raw(&["--key"]), &[]).is_err(), "value missing");
+        assert!(
+            Args::parse(&raw(&["--k", "1", "--k", "2"]), &[]).is_err(),
+            "duplicate"
+        );
+    }
+
+    #[test]
+    fn missing_required_and_bad_parse() {
+        let a = Args::parse(&raw(&["--threads", "four"]), &[]).unwrap();
+        assert!(a.require("refs").is_err());
+        assert!(a.get_parsed::<usize>("threads").is_err());
+    }
+
+    #[test]
+    fn unknown_detection() {
+        let a = Args::parse(&raw(&["--refs", "x", "--oops", "1"]), &[]).unwrap();
+        assert!(a.reject_unknown(&["refs"], &[]).is_err());
+        assert!(a.reject_unknown(&["refs", "oops"], &[]).is_ok());
+    }
+}

@@ -1,0 +1,539 @@
+//! Command implementations for the `bfhrf` command-line tool.
+//!
+//! The paper emphasizes an "easy to use installation and interface for
+//! calculating the average RF of query trees against a collection of
+//! reference trees"; this crate is that interface. Each subcommand is a
+//! function from parsed [`args::Args`] to a printable report, so the whole
+//! surface is unit-testable without spawning processes.
+//!
+//! ```text
+//! bfhrf avgrf     --refs refs.nwk [--queries q.nwk] [--algorithm bfhrf|ds|dsmp]
+//!                 [--threads N] [--halved] [--normalized] [--common-taxa]
+//! bfhrf best      --refs refs.nwk --queries q.nwk
+//! bfhrf consensus --refs refs.nwk [--threshold 0.5 | --strict]
+//! bfhrf matrix    --refs refs.nwk [--budget-mb M]
+//! bfhrf simulate  --taxa N --trees R --out file.nwk [--seed S] [--pop-scale P]
+//! ```
+
+pub mod args;
+
+use args::Args;
+use bfhrf::{
+    bfhrf_all, bfhrf_parallel, best_query, sequential_rf, sequential_rf_parallel, Bfh,
+};
+use phylo::{TaxaPolicy, TreeCollection};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Top-level dispatch: `argv[0]` is the subcommand.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let Some(cmd) = argv.first() else {
+        return Err(usage());
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "avgrf" => cmd_avgrf(rest),
+        "best" => cmd_best(rest),
+        "consensus" => cmd_consensus(rest),
+        "matrix" => cmd_matrix(rest),
+        "simulate" => cmd_simulate(rest),
+        "support" => cmd_support(rest),
+        "cluster" => cmd_cluster(rest),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown subcommand {other:?}\n\n{}", usage())),
+    }
+}
+
+/// The help text.
+pub fn usage() -> String {
+    "bfhrf — scalable average Robinson-Foulds for tree collections\n\
+     \n\
+     USAGE: bfhrf <subcommand> [options]\n\
+     \n\
+     avgrf      average RF of each query tree against the references\n\
+     \x20          --refs FILE          reference trees (Newick, ';' separated)\n\
+     \x20          --queries FILE       query trees (default: the references)\n\
+     \x20          --algorithm NAME     bfhrf (default) | bfhrf-seq | ds | dsmp\n\
+     \x20          --threads N          rayon thread count (default: all cores)\n\
+     \x20          --halved             report the divide-by-2 RF convention\n\
+     \x20          --normalized         divide by the maximum 2(n-3)\n\
+     \x20          --common-taxa        restrict to taxa common to all trees\n\
+     best       index + score of the lowest-average query tree\n\
+     \x20          --refs FILE --queries FILE [--threads N]\n\
+     consensus  majority-rule, strict, or greedy consensus of the references\n\
+     \x20          --refs FILE [--threshold T] [--strict | --greedy]\n\
+     matrix     all-vs-all RF matrix (tab-separated)\n\
+     \x20          --refs FILE [--budget-mb M]\n\
+     simulate   coalescent gene-tree collection\n\
+     \x20          --taxa N --trees R --out FILE [--seed S] [--pop-scale P]\n\
+     support    annotate a focal tree with split support from the references\n\
+     \x20          --refs FILE --tree FILE\n\
+     cluster    k-medoids clustering of the collection by RF distance\n\
+     \x20          --refs FILE --k K [--budget-mb M]\n"
+        .to_string()
+}
+
+fn load(path: &str) -> Result<TreeCollection, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    TreeCollection::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_queries_against(
+    path: &str,
+    refs: &mut TreeCollection,
+) -> Result<Vec<phylo::Tree>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    phylo::read_trees_from_str(&text, &mut refs.taxa, TaxaPolicy::Require)
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+/// Run `f` on a rayon pool with `threads` workers (or the global pool).
+fn with_threads<T: Send>(
+    threads: Option<usize>,
+    f: impl FnOnce() -> T + Send,
+) -> Result<T, String> {
+    match threads {
+        None => Ok(f()),
+        Some(k) => {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(k)
+                .build()
+                .map_err(|e| format!("cannot build thread pool: {e}"))?;
+            Ok(pool.install(f))
+        }
+    }
+}
+
+fn cmd_avgrf(raw: &[String]) -> Result<String, String> {
+    let a = Args::parse(raw, &["halved", "normalized", "common-taxa"])?;
+    a.reject_unknown(
+        &["refs", "queries", "algorithm", "threads"],
+        &["halved", "normalized", "common-taxa"],
+    )?;
+    let mut refs = load(a.require("refs")?)?;
+    let threads: Option<usize> = a.get_parsed("threads")?;
+    let algorithm = a.get("algorithm").unwrap_or("bfhrf");
+
+    if a.flag("common-taxa") {
+        let queries = match a.get("queries") {
+            Some(p) => load(p)?,
+            None => refs.clone(),
+        };
+        let out = bfhrf::variable_taxa::common_taxa_rf(&refs, &queries)
+            .map_err(|e| e.to_string())?;
+        let mut report = format!(
+            "# common taxa: {} of {} reference labels\n",
+            out.taxa.len(),
+            refs.taxa.len()
+        );
+        render_scores(&mut report, &out.scores, out.taxa.len(), &a);
+        return Ok(report);
+    }
+
+    let queries = match a.get("queries") {
+        Some(p) => load_queries_against(p, &mut refs)?,
+        None => refs.trees.clone(),
+    };
+    let n = refs.taxa.len();
+    let scores = with_threads(threads, || match algorithm {
+        "bfhrf" => {
+            let bfh = Bfh::build_parallel(&refs.trees, &refs.taxa);
+            bfhrf_parallel(&queries, &refs.taxa, &bfh)
+        }
+        "bfhrf-seq" => {
+            let bfh = Bfh::build(&refs.trees, &refs.taxa);
+            bfhrf_all(&queries, &refs.taxa, &bfh)
+        }
+        "ds" => sequential_rf(&queries, &refs.trees, &refs.taxa),
+        "dsmp" => sequential_rf_parallel(&queries, &refs.trees, &refs.taxa),
+        other => Err(bfhrf::CoreError::TaxaMismatch(format!(
+            "unknown algorithm {other:?} (expected bfhrf, bfhrf-seq, ds, dsmp)"
+        ))),
+    })?
+    .map_err(|e| e.to_string())?;
+    let mut report = String::new();
+    render_scores(&mut report, &scores, n, &a);
+    Ok(report)
+}
+
+fn render_scores(out: &mut String, scores: &[bfhrf::QueryScore], n_taxa: usize, a: &Args) {
+    let _ = writeln!(out, "query\tavg_rf");
+    for s in scores {
+        let mut v = if a.flag("normalized") {
+            bfhrf::variants::normalized_average(&s.rf, n_taxa)
+        } else {
+            s.rf.average()
+        };
+        if a.flag("halved") {
+            v /= 2.0;
+        }
+        let _ = writeln!(out, "{}\t{v:.6}", s.index);
+    }
+}
+
+fn cmd_best(raw: &[String]) -> Result<String, String> {
+    let a = Args::parse(raw, &[])?;
+    a.reject_unknown(&["refs", "queries", "threads"], &[])?;
+    let mut refs = load(a.require("refs")?)?;
+    let queries = load_queries_against(a.require("queries")?, &mut refs)?;
+    let threads: Option<usize> = a.get_parsed("threads")?;
+    let scores = with_threads(threads, || {
+        let bfh = Bfh::build_parallel(&refs.trees, &refs.taxa);
+        bfhrf_parallel(&queries, &refs.taxa, &bfh)
+    })?
+    .map_err(|e| e.to_string())?;
+    let best = best_query(&scores).expect("nonempty scores");
+    Ok(format!(
+        "best_query\t{}\navg_rf\t{:.6}\ntotal_rf\t{}\n",
+        best.index,
+        best.rf.average(),
+        best.rf.total()
+    ))
+}
+
+fn cmd_consensus(raw: &[String]) -> Result<String, String> {
+    let a = Args::parse(raw, &["strict", "greedy"])?;
+    a.reject_unknown(&["refs", "threshold"], &["strict", "greedy"])?;
+    if a.flag("strict") && a.flag("greedy") {
+        return Err("--strict and --greedy are mutually exclusive".into());
+    }
+    let refs = load(a.require("refs")?)?;
+    let bfh = Bfh::build(&refs.trees, &refs.taxa);
+    let tree = if a.flag("strict") {
+        bfhrf::consensus::strict_consensus(&bfh, &refs.taxa)
+    } else if a.flag("greedy") {
+        bfhrf::consensus::greedy_consensus(&bfh, &refs.taxa)
+    } else {
+        let threshold: f64 = a.get_parsed("threshold")?.unwrap_or(0.5);
+        bfhrf::consensus::majority_consensus(&bfh, &refs.taxa, threshold)
+    }
+    .map_err(|e| e.to_string())?;
+    Ok(format!("{}\n", phylo::write_newick(&tree, &refs.taxa)))
+}
+
+fn cmd_matrix(raw: &[String]) -> Result<String, String> {
+    let a = Args::parse(raw, &[])?;
+    a.reject_unknown(&["refs", "budget-mb"], &[])?;
+    let refs = load(a.require("refs")?)?;
+    let budget_mb: usize = a.get_parsed("budget-mb")?.unwrap_or(4096);
+    let m = bfhrf::matrix::rf_matrix_exact(&refs.trees, &refs.taxa, budget_mb << 20)
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for i in 0..m.size() {
+        for j in 0..m.size() {
+            if j > 0 {
+                out.push('\t');
+            }
+            let _ = write!(out, "{}", m.get(i, j));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn cmd_support(raw: &[String]) -> Result<String, String> {
+    let a = Args::parse(raw, &[])?;
+    a.reject_unknown(&["refs", "tree"], &[])?;
+    let mut refs = load(a.require("refs")?)?;
+    let focal_trees = load_queries_against(a.require("tree")?, &mut refs)?;
+    let Some(focal) = focal_trees.first() else {
+        return Err("the --tree file contains no tree".into());
+    };
+    let bfh = bfhrf::Bfh::build(&refs.trees, &refs.taxa);
+    let annotated = bfhrf::support::write_newick_with_support(focal, &refs.taxa, &bfh);
+    let supports = bfhrf::support::edge_support(focal, &refs.taxa, &bfh);
+    let mut out = format!("{annotated}\n");
+    let _ = writeln!(out, "edge\tcount\tfraction");
+    for (i, s) in supports.iter().enumerate() {
+        let _ = writeln!(out, "{i}\t{}\t{:.4}", s.count, s.fraction);
+    }
+    Ok(out)
+}
+
+fn cmd_cluster(raw: &[String]) -> Result<String, String> {
+    let a = Args::parse(raw, &[])?;
+    a.reject_unknown(&["refs", "k", "budget-mb"], &[])?;
+    let refs = load(a.require("refs")?)?;
+    let k: usize = a.get_parsed("k")?.ok_or("missing required option --k")?;
+    if k == 0 || k > refs.len() {
+        return Err(format!("--k must be in 1..={}", refs.len()));
+    }
+    let budget_mb: usize = a.get_parsed("budget-mb")?.unwrap_or(4096);
+    let m = bfhrf::matrix::rf_matrix_exact(&refs.trees, &refs.taxa, budget_mb << 20)
+        .map_err(|e| e.to_string())?;
+    let c = bfhrf::cluster::k_medoids(&m, k);
+    let sil = bfhrf::cluster::silhouette(&m, &c.assignment, k);
+    let mut out = format!(
+        "k\t{k}\ncost\t{}\nsilhouette\t{sil:.4}\nmedoids\t{:?}\n",
+        c.cost, c.medoids
+    );
+    let _ = writeln!(out, "tree\tcluster");
+    for (i, &cl) in c.assignment.iter().enumerate() {
+        let _ = writeln!(out, "{i}\t{cl}");
+    }
+    Ok(out)
+}
+
+fn cmd_simulate(raw: &[String]) -> Result<String, String> {
+    let a = Args::parse(raw, &[])?;
+    a.reject_unknown(&["taxa", "trees", "out", "seed", "pop-scale"], &[])?;
+    let n: usize = a
+        .get_parsed("taxa")?
+        .ok_or("missing required option --taxa")?;
+    let r: usize = a
+        .get_parsed("trees")?
+        .ok_or("missing required option --trees")?;
+    let out_path = a.require("out")?;
+    let seed: u64 = a.get_parsed("seed")?.unwrap_or(42);
+    let pop_scale: f64 = a.get_parsed("pop-scale")?.unwrap_or(0.5);
+    if n < 4 {
+        return Err("--taxa must be at least 4".into());
+    }
+    let mut spec = phylo_sim::DatasetSpec::new("cli", n, r, seed);
+    spec.pop_scale = pop_scale;
+    let coll = phylo_sim::generate(&spec);
+    phylo_sim::datasets::write_collection(Path::new(out_path), &coll)
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    Ok(format!(
+        "wrote {r} trees on {n} taxa to {out_path} (seed {seed}, pop-scale {pop_scale})\n"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str, content: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("bfhrf-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        std::fs::write(&p, content).unwrap();
+        p
+    }
+
+    fn runv(parts: &[&str]) -> Result<String, String> {
+        run(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn avgrf_end_to_end() {
+        let refs = tmp(
+            "refs.nwk",
+            "((A,B),(C,D));\n((A,B),(C,D));\n((A,C),(B,D));\n",
+        );
+        let queries = tmp("queries.nwk", "((A,B),(C,D));\n");
+        let out = runv(&[
+            "avgrf",
+            "--refs",
+            refs.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("0\t0.666667"), "got: {out}");
+    }
+
+    #[test]
+    fn algorithms_agree_via_cli() {
+        let refs = tmp(
+            "refs2.nwk",
+            "((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n((A,F),((C,D),(E,B)));\n",
+        );
+        let base = ["--refs", refs.to_str().unwrap(), "--threads", "2"];
+        let mut outs = Vec::new();
+        for alg in ["bfhrf", "bfhrf-seq", "ds", "dsmp"] {
+            let mut argv = vec!["avgrf"];
+            argv.extend_from_slice(&base);
+            argv.extend_from_slice(&["--algorithm", alg]);
+            outs.push(runv(&argv).unwrap());
+        }
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[0], outs[2]);
+        assert_eq!(outs[0], outs[3]);
+    }
+
+    #[test]
+    fn best_and_consensus() {
+        let refs = tmp(
+            "refs3.nwk",
+            "((A,B),((C,D),(E,F)));\n((A,B),((C,D),(E,F)));\n((A,B),((C,E),(D,F)));\n",
+        );
+        let queries = tmp(
+            "queries3.nwk",
+            "((A,E),((C,D),(B,F)));\n((A,B),((C,D),(E,F)));\n",
+        );
+        let best = runv(&[
+            "best",
+            "--refs",
+            refs.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(best.contains("best_query\t1"), "got: {best}");
+
+        let cons = runv(&["consensus", "--refs", refs.to_str().unwrap()]).unwrap();
+        assert!(cons.ends_with(";\n"));
+        assert!(cons.contains('A') && cons.contains('F'));
+        let strict = runv(&[
+            "consensus",
+            "--refs",
+            refs.to_str().unwrap(),
+            "--strict",
+        ])
+        .unwrap();
+        assert!(strict.ends_with(";\n"));
+    }
+
+    #[test]
+    fn matrix_output_shape() {
+        let refs = tmp("refs4.nwk", "((A,B),(C,D));\n((A,C),(B,D));\n");
+        let out = runv(&["matrix", "--refs", refs.to_str().unwrap()]).unwrap();
+        let rows: Vec<&str> = out.lines().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], "0\t2");
+        assert_eq!(rows[1], "2\t0");
+    }
+
+    #[test]
+    fn simulate_writes_parseable_file() {
+        let dir = std::env::temp_dir().join("bfhrf-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_path = dir.join("sim.nwk");
+        let msg = runv(&[
+            "simulate",
+            "--taxa",
+            "10",
+            "--trees",
+            "6",
+            "--out",
+            out_path.to_str().unwrap(),
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        assert!(msg.contains("wrote 6 trees"));
+        let coll = phylo_sim::datasets::read_collection(&out_path).unwrap();
+        assert_eq!(coll.len(), 6);
+        assert_eq!(coll.taxa.len(), 10);
+    }
+
+    #[test]
+    fn error_paths_are_reported() {
+        assert!(runv(&[]).is_err());
+        assert!(runv(&["frobnicate"]).unwrap_err().contains("unknown subcommand"));
+        assert!(runv(&["avgrf"]).unwrap_err().contains("--refs"));
+        assert!(runv(&["avgrf", "--refs", "/no/such/file.nwk"])
+            .unwrap_err()
+            .contains("cannot read"));
+        let refs = tmp("refs5.nwk", "((A,B),(C,D));\n");
+        assert!(runv(&[
+            "avgrf",
+            "--refs",
+            refs.to_str().unwrap(),
+            "--algorithm",
+            "quantum"
+        ])
+        .unwrap_err()
+        .contains("unknown algorithm"));
+        assert!(runv(&[
+            "consensus",
+            "--refs",
+            refs.to_str().unwrap(),
+            "--threshold",
+            "0.2"
+        ])
+        .is_err());
+        assert!(runv(&["simulate", "--taxa", "3", "--trees", "5", "--out", "/tmp/x"])
+            .unwrap_err()
+            .contains("at least 4"));
+    }
+
+    #[test]
+    fn normalized_and_halved_flags() {
+        let refs = tmp("refs6.nwk", "((A,B),(C,D));\n((A,C),(B,D));\n");
+        let plain = runv(&["avgrf", "--refs", refs.to_str().unwrap()]).unwrap();
+        assert!(plain.contains("0\t1.000000"), "each tree: avg (0+2)/2: {plain}");
+        let halved = runv(&["avgrf", "--refs", refs.to_str().unwrap(), "--halved"]).unwrap();
+        assert!(halved.contains("0\t0.500000"), "{halved}");
+        let norm = runv(&["avgrf", "--refs", refs.to_str().unwrap(), "--normalized"]).unwrap();
+        assert!(norm.contains("0\t0.500000"), "1 / (2·(4−3)) = 0.5: {norm}");
+    }
+
+    #[test]
+    fn common_taxa_flag() {
+        let refs = tmp(
+            "refs7.nwk",
+            "(((A,B),G),((C,D),(E,F)));\n(((A,C),B),((D,G),(E,F)));\n",
+        );
+        let queries = tmp("queries7.nwk", "(((A,B),H),((C,D),(E,F)));\n");
+        let out = runv(&[
+            "avgrf",
+            "--refs",
+            refs.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "--common-taxa",
+        ])
+        .unwrap();
+        assert!(out.contains("# common taxa: 6 of 7"), "got: {out}");
+    }
+
+    #[test]
+    fn help_lists_subcommands() {
+        let h = runv(&["help"]).unwrap();
+        for cmd in ["avgrf", "best", "consensus", "matrix", "simulate", "support", "cluster"] {
+            assert!(h.contains(cmd));
+        }
+    }
+
+    #[test]
+    fn support_subcommand() {
+        let refs = tmp(
+            "refs8.nwk",
+            "((A,B),((C,D),(E,F)));\n((A,B),((C,D),(E,F)));\n((A,B),(C,(D,(E,F))));\n((A,C),((B,D),(E,F)));\n",
+        );
+        let focal = tmp("focal8.nwk", "((A,B),((C,D),(E,F)));\n");
+        let out = runv(&[
+            "support",
+            "--refs",
+            refs.to_str().unwrap(),
+            "--tree",
+            focal.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("0.75"), "{out}");
+        assert!(out.lines().next().unwrap().ends_with(';'), "{out}");
+        assert!(out.contains("fraction"));
+    }
+
+    #[test]
+    fn cluster_subcommand() {
+        let refs = tmp(
+            "refs9.nwk",
+            "((A,B),((C,D),(E,F)));\n((A,B),((C,D),(E,F)));\n((A,E),((B,F),(C,D)));\n((A,E),((B,F),(C,D)));\n",
+        );
+        let out = runv(&["cluster", "--refs", refs.to_str().unwrap(), "--k", "2"]).unwrap();
+        assert!(out.contains("k\t2"), "{out}");
+        assert!(out.contains("silhouette"), "{out}");
+        // trees 0,1 together and 2,3 together
+        let rows: Vec<(usize, usize)> = out
+            .lines()
+            .skip_while(|l| !l.starts_with("tree"))
+            .skip(1)
+            .map(|l| {
+                let mut parts = l.split('\t');
+                (
+                    parts.next().unwrap().parse().unwrap(),
+                    parts.next().unwrap().parse().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].1, rows[1].1);
+        assert_eq!(rows[2].1, rows[3].1);
+        assert_ne!(rows[0].1, rows[2].1);
+        // bad k is rejected
+        assert!(runv(&["cluster", "--refs", refs.to_str().unwrap(), "--k", "9"]).is_err());
+    }
+}

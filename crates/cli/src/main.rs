@@ -1,0 +1,22 @@
+//! The `bfhrf` binary: thin wrapper around [`bfhrf_cli::run`].
+
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match bfhrf_cli::run(&argv) {
+        Ok(report) => {
+            // lock + buffer: reports can be full r×r matrices
+            let stdout = std::io::stdout();
+            let mut lock = std::io::BufWriter::new(stdout.lock());
+            let _ = lock.write_all(report.as_bytes());
+            let _ = lock.flush();
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("bfhrf: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

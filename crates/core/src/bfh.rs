@@ -1,0 +1,357 @@
+//! The bipartition frequency hash (BFH) — the paper's central data
+//! structure.
+//!
+//! Keys are **full canonical bitmasks**, so lookups are collision-free:
+//! unlike HashRF's compressed IDs, two distinct bipartitions can never
+//! merge, which is what makes the structure "non-transformative" and every
+//! RF variant implementable on top of it (paper §VII.F). Values are the
+//! number of reference trees containing the split; the running total
+//! `sum()` is the paper's `sumBFHR`.
+
+use phylo::{Bipartition, TaxaPolicy, TaxonSet, Tree};
+use phylo_bitset::{bits_map_with_capacity, Bits, BitsMap};
+use rayon::prelude::*;
+use std::io::BufRead;
+
+/// Bipartition frequency hash over a reference collection.
+///
+/// ```
+/// use bfhrf::Bfh;
+/// use phylo::TreeCollection;
+/// use phylo_bitset::Bits;
+///
+/// let coll = TreeCollection::parse(
+///     "((A,B),(C,D));\n((A,B),(C,D));\n((A,C),(B,D));").unwrap();
+/// let bfh = Bfh::build(&coll.trees, &coll.taxa);
+/// assert_eq!(bfh.n_trees(), 3);
+/// assert_eq!(bfh.sum(), 3);                  // one non-trivial split per tree
+/// assert_eq!(bfh.distinct(), 2);             // {A,B} and {A,C}
+/// let ab = Bits::from_bitstring("0011").unwrap();
+/// assert_eq!(bfh.frequency(&ab), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bfh {
+    counts: BitsMap<u32>,
+    sum: u64,
+    n_trees: usize,
+    n_taxa: usize,
+}
+
+impl Bfh {
+    /// An empty hash over an `n_taxa`-wide namespace.
+    pub fn empty(n_taxa: usize) -> Self {
+        Bfh {
+            counts: bits_map_with_capacity(0),
+            sum: 0,
+            n_trees: 0,
+            n_taxa,
+        }
+    }
+
+    /// Build sequentially from a reference collection (first loop of the
+    /// paper's Algorithm 2).
+    pub fn build(trees: &[Tree], taxa: &TaxonSet) -> Self {
+        let mut bfh = Bfh::empty(taxa.len());
+        for tree in trees {
+            bfh.add_tree(tree, taxa);
+        }
+        bfh
+    }
+
+    /// Build in parallel with rayon: per-thread local hashes fold the trees
+    /// they are handed, then merge pairwise. Produces exactly the same
+    /// counts as [`Bfh::build`] — addition is commutative, so the work
+    /// split cannot change the result.
+    pub fn build_parallel(trees: &[Tree], taxa: &TaxonSet) -> Self {
+        trees
+            .par_iter()
+            .fold(
+                || Bfh::empty(taxa.len()),
+                |mut acc, tree| {
+                    acc.add_tree(tree, taxa);
+                    acc
+                },
+            )
+            .reduce(|| Bfh::empty(taxa.len()), |a, b| a.merged(b))
+    }
+
+    /// Build from a Newick stream without materializing the collection —
+    /// memory stays `O(hash)` regardless of `r`. Labels must already be in
+    /// `taxa` (the fixed-taxa requirement); pass a namespace pre-grown from
+    /// the same data, or intern labels first with [`TaxaPolicy::Grow`]
+    /// parsing.
+    pub fn build_streaming<R: BufRead>(
+        reader: R,
+        taxa: &mut TaxonSet,
+        policy: TaxaPolicy,
+    ) -> Result<Self, phylo::PhyloError> {
+        let mut stream = phylo::newick::NewickStream::new(reader, policy);
+        // Two-phase is impossible when growing: bitmask width would change
+        // as labels appear. Collect trees first if growing, else stream.
+        match policy {
+            TaxaPolicy::Grow => {
+                let mut trees = Vec::new();
+                while let Some(t) = stream.next_tree(taxa)? {
+                    trees.push(t);
+                }
+                Ok(Bfh::build(&trees, taxa))
+            }
+            TaxaPolicy::Require => {
+                let mut bfh = Bfh::empty(taxa.len());
+                while let Some(t) = stream.next_tree(taxa)? {
+                    bfh.add_tree(&t, taxa);
+                }
+                Ok(bfh)
+            }
+        }
+    }
+
+    /// Add one reference tree's bipartitions (incremental update).
+    pub fn add_tree(&mut self, tree: &Tree, taxa: &TaxonSet) {
+        debug_assert_eq!(taxa.len(), self.n_taxa, "namespace changed under the hash");
+        self.add_splits(tree.bipartitions(taxa));
+    }
+
+    /// Add one tree's pre-extracted splits. Useful when extraction runs on
+    /// another thread (pipelined builds): extraction parallelizes, the
+    /// fold stays sequential and deterministic.
+    pub fn add_splits<I: IntoIterator<Item = Bipartition>>(&mut self, splits: I) {
+        for bp in splits {
+            *self.counts.entry(bp.into_bits()).or_insert(0) += 1;
+            self.sum += 1;
+        }
+        self.n_trees += 1;
+    }
+
+    /// Remove a previously added reference tree (incremental downdate).
+    ///
+    /// Counts reaching zero are evicted so memory tracks the live
+    /// collection. Removing a tree that was never added corrupts the hash;
+    /// in debug builds that is caught by an underflow panic.
+    pub fn remove_tree(&mut self, tree: &Tree, taxa: &TaxonSet) {
+        for bp in tree.bipartitions(taxa) {
+            let bits = bp.into_bits();
+            match self.counts.get_mut(&bits) {
+                Some(c) if *c > 1 => *c -= 1,
+                Some(_) => {
+                    self.counts.remove(&bits);
+                }
+                None => panic!("remove_tree: bipartition was never added"),
+            }
+            self.sum -= 1;
+        }
+        self.n_trees -= 1;
+    }
+
+    /// Merge another hash built over the same namespace into this one.
+    pub fn merged(self, other: Bfh) -> Bfh {
+        assert_eq!(self.n_taxa, other.n_taxa, "merging hashes over different taxa");
+        // Fold the smaller map into the larger one.
+        let (mut big, small) = if self.counts.len() >= other.counts.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let Bfh {
+            counts, sum, n_trees, ..
+        } = small;
+        for (bits, c) in counts {
+            *big.counts.entry(bits).or_insert(0) += c;
+        }
+        big.sum += sum;
+        big.n_trees += n_trees;
+        big
+    }
+
+    /// Frequency of a canonical bipartition (0 if absent) — the paper's
+    /// `BFHR[b]`.
+    #[inline]
+    pub fn frequency(&self, bits: &Bits) -> u32 {
+        self.counts.get(bits).copied().unwrap_or(0)
+    }
+
+    /// Frequency of a [`Bipartition`].
+    #[inline]
+    pub fn frequency_of(&self, bp: &Bipartition) -> u32 {
+        self.frequency(bp.bits())
+    }
+
+    /// Total bipartition occurrences — the paper's `sumBFHR`.
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Number of reference trees folded in — the paper's `r`.
+    #[inline]
+    pub fn n_trees(&self) -> usize {
+        self.n_trees
+    }
+
+    /// Width of the taxon namespace — the paper's `n`.
+    #[inline]
+    pub fn n_taxa(&self) -> usize {
+        self.n_taxa
+    }
+
+    /// Number of **distinct** bipartitions stored. The paper's memory
+    /// argument (§VII.C): this saturates as `r` grows because repeat
+    /// splits only bump counters.
+    #[inline]
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterate `(bitmask, frequency)` entries in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Bits, u32)> {
+        self.counts.iter().map(|(b, &c)| (b, c))
+    }
+
+    /// Preprocessing hook (paper §III.A: the hash "can still be
+    /// pre-processed according to generalized or variant RF algorithms"):
+    /// drop entries failing the predicate, updating `sum` accordingly.
+    pub fn retain<F: FnMut(&Bits, u32) -> bool>(&mut self, mut keep: F) {
+        let mut removed = 0u64;
+        self.counts.retain(|bits, count| {
+            let k = keep(bits, *count);
+            if !k {
+                removed += u64::from(*count);
+            }
+            k
+        });
+        self.sum -= removed;
+    }
+
+    /// Rough heap footprint in bytes: map buckets plus key payloads. Used
+    /// by the bench harness memory reports.
+    pub fn approx_bytes(&self) -> usize {
+        let key_words = phylo_bitset::words_for(self.n_taxa);
+        // Bits: boxed words + (ptr, len-of-box, bitlen) inline; entry adds
+        // the u32 count and hashbrown's control byte + padding.
+        let per_entry = key_words * 8 + std::mem::size_of::<Bits>() + 8;
+        self.counts.capacity() * per_entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo::TreeCollection;
+
+    fn coll(text: &str) -> TreeCollection {
+        TreeCollection::parse(text).unwrap()
+    }
+
+    #[test]
+    fn build_counts_frequencies() {
+        let c = coll("((A,B),(C,D));\n((A,B),(C,D));\n((A,C),(B,D));");
+        let bfh = Bfh::build(&c.trees, &c.taxa);
+        assert_eq!(bfh.n_trees(), 3);
+        assert_eq!(bfh.sum(), 3, "each 4-leaf tree has one non-trivial split");
+        assert_eq!(bfh.distinct(), 2);
+        let ab = Bits::from_bitstring("0011").unwrap();
+        let ac = Bits::from_bitstring("0101").unwrap();
+        assert_eq!(bfh.frequency(&ab), 2);
+        assert_eq!(bfh.frequency(&ac), 1);
+        assert_eq!(bfh.frequency(&Bits::from_bitstring("1001").unwrap()), 0);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let c = coll(&"((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n"
+            .repeat(40));
+        let seq = Bfh::build(&c.trees, &c.taxa);
+        let par = Bfh::build_parallel(&c.trees, &c.taxa);
+        assert_eq!(seq.n_trees(), par.n_trees());
+        assert_eq!(seq.sum(), par.sum());
+        assert_eq!(seq.distinct(), par.distinct());
+        for (bits, count) in seq.iter() {
+            assert_eq!(par.frequency(bits), count);
+        }
+    }
+
+    #[test]
+    fn streaming_build_matches_batch() {
+        let text = "((A,B),(C,D));\n((A,C),(B,D));\n((A,D),(B,C));\n";
+        let batch_coll = coll(text);
+        let batch = Bfh::build(&batch_coll.trees, &batch_coll.taxa);
+        let mut taxa = TaxonSet::new();
+        let streamed =
+            Bfh::build_streaming(text.as_bytes(), &mut taxa, TaxaPolicy::Grow).unwrap();
+        assert_eq!(streamed.sum(), batch.sum());
+        assert_eq!(streamed.distinct(), batch.distinct());
+        assert_eq!(streamed.n_trees(), 3);
+    }
+
+    #[test]
+    fn incremental_add_remove_is_inverse() {
+        let c = coll("((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n((A,F),((C,D),(E,B)));");
+        let mut bfh = Bfh::build(&c.trees[..2], &c.taxa);
+        let snapshot: Vec<(Bits, u32)> =
+            bfh.iter().map(|(b, c)| (b.clone(), c)).collect();
+        bfh.add_tree(&c.trees[2], &c.taxa);
+        assert_eq!(bfh.n_trees(), 3);
+        bfh.remove_tree(&c.trees[2], &c.taxa);
+        assert_eq!(bfh.n_trees(), 2);
+        assert_eq!(bfh.distinct(), snapshot.len());
+        for (bits, count) in snapshot {
+            assert_eq!(bfh.frequency(&bits), count);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "never added")]
+    fn removing_unknown_tree_panics() {
+        let c = coll("((A,B),(C,D));\n((A,C),(B,D));");
+        let mut bfh = Bfh::build(&c.trees[..1], &c.taxa);
+        bfh.remove_tree(&c.trees[1], &c.taxa);
+    }
+
+    #[test]
+    fn retain_filters_and_fixes_sum() {
+        let c = coll("((A,B),((C,D),(E,F)));\n((A,B),((C,E),(D,F)));");
+        let mut bfh = Bfh::build(&c.trees, &c.taxa);
+        let before = bfh.sum();
+        // keep only splits present in every tree
+        bfh.retain(|_, count| count as usize == 2);
+        assert!(bfh.sum() < before);
+        assert!(bfh.iter().all(|(_, c)| c == 2));
+        let expected_sum: u64 = bfh.iter().map(|(_, c)| u64::from(c)).sum();
+        assert_eq!(bfh.sum(), expected_sum);
+    }
+
+    #[test]
+    fn merged_is_commutative() {
+        let c = coll("((A,B),(C,D));\n((A,C),(B,D));\n((A,D),(B,C));\n((A,B),(C,D));");
+        let x = Bfh::build(&c.trees[..2], &c.taxa);
+        let y = Bfh::build(&c.trees[2..], &c.taxa);
+        let xy = x.clone().merged(y.clone());
+        let yx = y.merged(x);
+        assert_eq!(xy.sum(), yx.sum());
+        assert_eq!(xy.n_trees(), 4);
+        for (bits, count) in xy.iter() {
+            assert_eq!(yx.frequency(bits), count);
+        }
+    }
+
+    #[test]
+    fn empty_hash_behaviour() {
+        let bfh = Bfh::empty(10);
+        assert_eq!(bfh.sum(), 0);
+        assert_eq!(bfh.n_trees(), 0);
+        assert_eq!(bfh.distinct(), 0);
+        assert_eq!(bfh.frequency(&Bits::zeros(10)), 0);
+    }
+
+    #[test]
+    fn distinct_saturates_with_duplicate_trees() {
+        // paper §VII.C: repeats don't grow the hash
+        let one = "((A,B),((C,D),(E,F)));\n";
+        let c5 = coll(&one.repeat(5));
+        let c50 = coll(&one.repeat(50));
+        let b5 = Bfh::build(&c5.trees, &c5.taxa);
+        let b50 = Bfh::build(&c50.trees, &c50.taxa);
+        assert_eq!(b5.distinct(), b50.distinct());
+        assert_eq!(b50.sum(), 10 * b5.sum());
+    }
+}

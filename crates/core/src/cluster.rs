@@ -1,0 +1,251 @@
+//! Clustering tree collections by RF distance.
+//!
+//! The all-vs-all RF matrix exists for clustering workloads (paper §I:
+//! "useful for clustering techniques"); this module provides a
+//! deterministic k-medoids (PAM-style) implementation over
+//! [`crate::matrix::TriMatrix`], plus a silhouette score for picking `k`.
+//! Everything is integer-distance based, so results are exactly
+//! reproducible.
+
+use crate::matrix::TriMatrix;
+
+/// Result of a k-medoids run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Medoid index of each cluster, ascending.
+    pub medoids: Vec<usize>,
+    /// Cluster id (index into `medoids`) of every tree.
+    pub assignment: Vec<usize>,
+    /// Sum of distances from each tree to its medoid.
+    pub cost: u64,
+}
+
+/// Deterministic k-medoids: seeds are chosen by a farthest-first sweep
+/// from the tree with minimal total distance (the collection's "median"),
+/// then alternating assignment / medoid-update until a fixed point.
+///
+/// # Panics
+/// Panics if `k` is zero or exceeds the matrix size.
+pub fn k_medoids(matrix: &TriMatrix, k: usize) -> Clustering {
+    let n = matrix.size();
+    assert!(k >= 1 && k <= n, "k must be in 1..=n");
+
+    // seed 1: global median tree
+    let total = |i: usize| -> u64 { (0..n).map(|j| u64::from(matrix.get(i, j))).sum() };
+    let first = (0..n).min_by_key(|&i| (total(i), i)).expect("nonempty");
+    let mut medoids = vec![first];
+    // farthest-first for the rest (ties to the lowest index)
+    while medoids.len() < k {
+        let next = (0..n)
+            .filter(|i| !medoids.contains(i))
+            .max_by_key(|&i| {
+                let d = medoids
+                    .iter()
+                    .map(|&m| u64::from(matrix.get(i, m)))
+                    .min()
+                    .unwrap();
+                (d, usize::MAX - i) // tie → lower index
+            })
+            .expect("k <= n");
+        medoids.push(next);
+    }
+
+    let mut assignment = vec![0usize; n];
+    let mut cost = u64::MAX;
+    loop {
+        // assignment step; medoids stay in their own cluster so no
+        // cluster empties out even when trees are exact duplicates
+        // (RF distance 0 between distinct medoids is possible)
+        let mut new_cost = 0u64;
+        for (i, slot) in assignment.iter_mut().enumerate() {
+            let (c, d) = medoids
+                .iter()
+                .enumerate()
+                .map(|(c, &m)| (c, u64::from(matrix.get(i, m))))
+                .min_by_key(|&(c, d)| (d, c))
+                .unwrap();
+            *slot = c;
+            new_cost += d;
+        }
+        for (c, &m) in medoids.iter().enumerate() {
+            assignment[m] = c;
+        }
+        // medoid update step
+        let mut changed = false;
+        for (c, medoid) in medoids.iter_mut().enumerate() {
+            let members: Vec<usize> =
+                (0..n).filter(|&i| assignment[i] == c).collect();
+            let best = members
+                .iter()
+                .copied()
+                .min_by_key(|&cand| {
+                    (
+                        members
+                            .iter()
+                            .map(|&j| u64::from(matrix.get(cand, j)))
+                            .sum::<u64>(),
+                        cand,
+                    )
+                })
+                .expect("clusters are nonempty under nearest-medoid assignment");
+            if best != *medoid {
+                *medoid = best;
+                changed = true;
+            }
+        }
+        if !changed && new_cost >= cost {
+            cost = new_cost;
+            break;
+        }
+        cost = new_cost;
+    }
+    // canonical order
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by_key(|&c| medoids[c]);
+    let mut sorted_medoids = Vec::with_capacity(k);
+    let mut remap = vec![0usize; k];
+    for (new_c, &old_c) in order.iter().enumerate() {
+        remap[old_c] = new_c;
+        sorted_medoids.push(medoids[old_c]);
+    }
+    let assignment = assignment.into_iter().map(|c| remap[c]).collect();
+    Clustering {
+        medoids: sorted_medoids,
+        assignment,
+        cost,
+    }
+}
+
+/// Mean silhouette coefficient of a clustering, in `[-1, 1]`; higher is
+/// better-separated. Singleton clusters contribute 0 (the standard
+/// convention).
+pub fn silhouette(matrix: &TriMatrix, assignment: &[usize], k: usize) -> f64 {
+    let n = matrix.size();
+    assert_eq!(n, assignment.len());
+    if n <= 1 || k <= 1 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let own = assignment[i];
+        let mut intra = 0.0f64;
+        let mut intra_n = 0usize;
+        let mut inter = vec![(0.0f64, 0usize); k];
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            let d = f64::from(matrix.get(i, j));
+            if assignment[j] == own {
+                intra += d;
+                intra_n += 1;
+            } else {
+                inter[assignment[j]].0 += d;
+                inter[assignment[j]].1 += 1;
+            }
+        }
+        if intra_n == 0 {
+            continue; // singleton → 0 contribution
+        }
+        let a = intra / intra_n as f64;
+        let b = inter
+            .iter()
+            .filter(|&&(_, c)| c > 0)
+            .map(|&(s, c)| s / c as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b);
+        }
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::rf_matrix_exact;
+    use phylo::TreeCollection;
+
+    /// Two well-separated topology families, 4 copies each with tiny
+    /// within-family variation.
+    fn bimodal() -> TreeCollection {
+        TreeCollection::parse(
+            "((A,B),((C,D),(E,F)));
+             ((A,B),((C,D),(E,F)));
+             ((A,B),((C,D),(E,F)));
+             (((A,B),C),(D,(E,F)));
+             ((A,E),((B,F),(C,D)));
+             ((A,E),((B,F),(C,D)));
+             ((A,E),((B,F),(C,D)));
+             (((A,E),B),(F,(C,D)));",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn recovers_two_topology_families() {
+        let coll = bimodal();
+        let m = rf_matrix_exact(&coll.trees, &coll.taxa, usize::MAX).unwrap();
+        let c = k_medoids(&m, 2);
+        assert_eq!(c.medoids.len(), 2);
+        // first four trees together, last four together
+        let first = c.assignment[0];
+        assert!(c.assignment[..4].iter().all(|&a| a == first));
+        let second = c.assignment[4];
+        assert_ne!(first, second);
+        assert!(c.assignment[4..].iter().all(|&a| a == second));
+        // good separation
+        let s = silhouette(&m, &c.assignment, 2);
+        assert!(s > 0.5, "silhouette {s}");
+    }
+
+    #[test]
+    fn k_equals_one_collapses_to_median() {
+        let coll = bimodal();
+        let m = rf_matrix_exact(&coll.trees, &coll.taxa, usize::MAX).unwrap();
+        let c = k_medoids(&m, 1);
+        assert_eq!(c.medoids.len(), 1);
+        assert!(c.assignment.iter().all(|&a| a == 0));
+        // the medoid minimizes total distance
+        let best: u64 = (0..m.size())
+            .map(|i| (0..m.size()).map(|j| u64::from(m.get(i, j))).sum())
+            .min()
+            .unwrap();
+        assert_eq!(c.cost, best);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_cost() {
+        let coll = bimodal();
+        let m = rf_matrix_exact(&coll.trees, &coll.taxa, usize::MAX).unwrap();
+        let c = k_medoids(&m, m.size());
+        assert_eq!(c.cost, 0);
+        // all assignments distinct
+        let mut a = c.assignment.clone();
+        a.sort_unstable();
+        a.dedup();
+        assert_eq!(a.len(), m.size());
+    }
+
+    #[test]
+    fn deterministic() {
+        let coll = bimodal();
+        let m = rf_matrix_exact(&coll.trees, &coll.taxa, usize::MAX).unwrap();
+        assert_eq!(k_medoids(&m, 3), k_medoids(&m, 3));
+    }
+
+    #[test]
+    fn silhouette_degenerate_cases() {
+        let coll = bimodal();
+        let m = rf_matrix_exact(&coll.trees, &coll.taxa, usize::MAX).unwrap();
+        assert_eq!(silhouette(&m, &vec![0; m.size()], 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn zero_k_panics() {
+        let coll = bimodal();
+        let m = rf_matrix_exact(&coll.trees, &coll.taxa, usize::MAX).unwrap();
+        k_medoids(&m, 0);
+    }
+}

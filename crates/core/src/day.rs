@@ -1,0 +1,252 @@
+//! Day's algorithm — linear-time pairwise Robinson-Foulds.
+//!
+//! Day (1985, "Optimal algorithms for comparing trees with labeled
+//! leaves") computes RF between two trees on the same taxa in `O(n)` by
+//! observing that the clusters of the first tree, written in its own leaf
+//! ordering, are exactly the contiguous intervals `[min, max]` with
+//! `max − min + 1` members. The second tree's clusters then match iff they
+//! form such a registered interval.
+//!
+//! The paper cites this as the theoretical optimum for one pairwise RF
+//! (§II.C). Here it serves two roles: an independent oracle for the
+//! property tests (three unrelated implementations — set difference, BFHRF
+//! arithmetic, and Day — must agree), and a baseline in the ablation
+//! benches.
+//!
+//! RF is defined on unrooted trees, so both inputs are first re-rooted at
+//! the neighbour of the anchor taxon's leaf (lowest shared taxon id); the
+//! anchor leaf itself is dropped. Clusters of the re-rooted trees then
+//! correspond 1:1 to non-trivial splits.
+
+use phylo::{NodeId, TaxonId, TaxonSet, Tree};
+use std::collections::HashSet;
+
+/// Robinson-Foulds distance between two trees over the same namespace.
+///
+/// ```
+/// use phylo::{TaxonSet, parse_newick, TaxaPolicy};
+///
+/// let mut taxa = TaxonSet::new();
+/// let t1 = parse_newick("((A,B),(C,D));", &mut taxa, TaxaPolicy::Grow).unwrap();
+/// let t2 = parse_newick("((D,B),(C,A));", &mut taxa, TaxaPolicy::Require).unwrap();
+/// assert_eq!(bfhrf::day_rf(&t1, &t2, &taxa), 2); // the paper's Equation (1)
+/// ```
+///
+/// # Panics
+/// Panics if the trees do not share an identical leaf taxon set of at
+/// least one taxon.
+pub fn day_rf(t1: &Tree, t2: &Tree, taxa: &TaxonSet) -> usize {
+    let anchor = anchor_taxon(t1, t2, taxa);
+    let r1 = reroot_at_taxon_neighbor(t1, anchor);
+    let r2 = reroot_at_taxon_neighbor(t2, anchor);
+
+    // Leaf ordering from r1's postorder.
+    let mut order = vec![usize::MAX; taxa.len()];
+    let mut next = 0usize;
+    for node in r1.postorder() {
+        if let Some(t) = r1.taxon(node) {
+            order[t.index()] = next;
+            next += 1;
+        }
+    }
+    let n_rest = next; // leaves excluding the anchor
+
+    // Register r1's proper clusters as (min, max) intervals.
+    let (c1, intervals) = clusters(&r1, &order, n_rest, true);
+    // Walk r2's clusters, counting interval hits.
+    let (c2, hits) = clusters_matching(&r2, &order, n_rest, &intervals);
+    (c1 - hits) + (c2 - hits)
+}
+
+/// The lowest taxon id present in both trees (they must be equal sets for
+/// RF to be defined, which `assert`s below enforce cheaply).
+fn anchor_taxon(t1: &Tree, t2: &Tree, taxa: &TaxonSet) -> TaxonId {
+    let l1 = t1.leafset(taxa.len());
+    let l2 = t2.leafset(taxa.len());
+    assert_eq!(l1, l2, "day_rf requires identical leaf sets");
+    TaxonId(l1.first_one().expect("empty tree") as u32)
+}
+
+/// Re-root `tree` at the internal node adjacent to `anchor`'s leaf,
+/// dropping that leaf; suppress any degree-2 node the old root leaves
+/// behind.
+fn reroot_at_taxon_neighbor(tree: &Tree, anchor: TaxonId) -> Tree {
+    // Undirected adjacency over the reachable arena.
+    let order = tree.postorder();
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); tree.num_nodes()];
+    for &node in &order {
+        for &c in tree.children(node) {
+            adj[node.index()].push(c);
+            adj[c.index()].push(node);
+        }
+    }
+    let leaf = order
+        .iter()
+        .copied()
+        .find(|&n| tree.taxon(n) == Some(anchor))
+        .expect("anchor taxon present");
+    let start = adj[leaf.index()][0];
+
+    let mut out = Tree::new();
+    let root = out.add_root();
+    out.set_taxon(root, tree.taxon(start));
+    let mut stack = vec![(start, leaf, root)];
+    while let Some((node, from, new_node)) = stack.pop() {
+        for &nb in &adj[node.index()] {
+            if nb == from || nb == leaf {
+                continue;
+            }
+            let child = out.add_child(new_node);
+            out.set_taxon(child, tree.taxon(nb));
+            stack.push((nb, node, child));
+        }
+    }
+    out.suppress_unifurcations();
+    out
+}
+
+/// Postorder cluster scan: returns the number of proper clusters and
+/// (if `register`) the interval set. A cluster is proper when
+/// `2 ≤ size ≤ n_rest − 1` — size `n_rest` is the root (the anchor's
+/// trivial split), singletons are leaf edges.
+fn clusters(
+    tree: &Tree,
+    order: &[usize],
+    n_rest: usize,
+    register: bool,
+) -> (usize, HashSet<(u32, u32)>) {
+    let mut intervals = HashSet::new();
+    let mut count = 0usize;
+    scan(tree, order, n_rest, |min, max, size| {
+        if size as usize == (max - min + 1) as usize && register {
+            intervals.insert((min, max));
+        }
+        count += 1;
+    });
+    (count, intervals)
+}
+
+/// Count r2's proper clusters and how many are registered intervals.
+fn clusters_matching(
+    tree: &Tree,
+    order: &[usize],
+    n_rest: usize,
+    intervals: &HashSet<(u32, u32)>,
+) -> (usize, usize) {
+    let mut count = 0usize;
+    let mut hits = 0usize;
+    scan(tree, order, n_rest, |min, max, size| {
+        count += 1;
+        if size as usize == (max - min + 1) as usize && intervals.contains(&(min, max)) {
+            hits += 1;
+        }
+    });
+    (count, hits)
+}
+
+/// Drive `visit(min, max, size)` over every proper cluster of `tree`.
+fn scan<F: FnMut(u32, u32, u32)>(tree: &Tree, order: &[usize], n_rest: usize, mut visit: F) {
+    let Some(root) = tree.root() else { return };
+    let mut lo = vec![u32::MAX; tree.num_nodes()];
+    let mut hi = vec![0u32; tree.num_nodes()];
+    let mut size = vec![0u32; tree.num_nodes()];
+    for node in tree.postorder() {
+        if let Some(t) = tree.taxon(node) {
+            let o = order[t.index()] as u32;
+            lo[node.index()] = o;
+            hi[node.index()] = o;
+            size[node.index()] = 1;
+        }
+        for &c in tree.children(node) {
+            lo[node.index()] = lo[node.index()].min(lo[c.index()]);
+            hi[node.index()] = hi[node.index()].max(hi[c.index()]);
+            size[node.index()] += size[c.index()];
+        }
+        let s = size[node.index()];
+        if node != root && !tree.is_leaf(node) && s >= 2 && (s as usize) < n_rest {
+            visit(lo[node.index()], hi[node.index()], s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo::{read_trees_from_str, BipartitionSet, TaxaPolicy, TreeCollection};
+
+    fn pair(a: &str, b: &str) -> (Tree, Tree, TaxonSet) {
+        let mut taxa = TaxonSet::new();
+        let trees = read_trees_from_str(
+            &format!("{a}\n{b}"),
+            &mut taxa,
+            TaxaPolicy::Grow,
+        )
+        .unwrap();
+        let mut it = trees.into_iter();
+        (it.next().unwrap(), it.next().unwrap(), taxa)
+    }
+
+    #[test]
+    fn paper_example_is_two() {
+        let (a, b, taxa) = pair("((A,B),(C,D));", "((D,B),(C,A));");
+        assert_eq!(day_rf(&a, &b, &taxa), 2);
+    }
+
+    #[test]
+    fn identical_trees_distance_zero_across_rootings() {
+        let (a, b, taxa) = pair(
+            "(((A,B),C),(D,(E,F)));",
+            "((A,B),(C,(D,(E,F))));", // same unrooted topology
+        );
+        assert_eq!(day_rf(&a, &b, &taxa), 0);
+    }
+
+    #[test]
+    fn matches_set_difference_on_examples() {
+        let cases = [
+            ("((A,B),((C,D),(E,F)));", "(((A,C),B),(D,(E,F)));"),
+            ("((A,B),((C,D),(E,F)));", "((A,F),((C,D),(E,B)));"),
+            ("(((A,B),C),((D,E),F));", "(((F,E),D),((C,B),A));"),
+            ("((A,B),(C,D));", "((A,C),(B,D));"),
+        ];
+        for (x, y) in cases {
+            let (a, b, taxa) = pair(x, y);
+            let expected = BipartitionSet::from_tree(&a, &taxa)
+                .rf_distance(&BipartitionSet::from_tree(&b, &taxa));
+            assert_eq!(day_rf(&a, &b, &taxa), expected, "case {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn multifurcations_supported() {
+        let (a, b, taxa) = pair("((A,B),(C,D),E);", "((A,B),C,D,E);");
+        let expected = BipartitionSet::from_tree(&a, &taxa)
+            .rf_distance(&BipartitionSet::from_tree(&b, &taxa));
+        assert_eq!(day_rf(&a, &b, &taxa), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical leaf sets")]
+    fn different_leaf_sets_panic() {
+        let mut taxa = TaxonSet::new();
+        let trees = read_trees_from_str(
+            "((A,B),(C,D));\n((A,B),(C,E));",
+            &mut taxa,
+            TaxaPolicy::Grow,
+        )
+        .unwrap();
+        day_rf(&trees[0], &trees[1], &taxa);
+    }
+
+    #[test]
+    fn symmetric() {
+        let refs = TreeCollection::parse(
+            "((A,B),((C,D),(E,F)));\n((A,E),((C,D),(B,F)));",
+        )
+        .unwrap();
+        let d1 = day_rf(&refs.trees[0], &refs.trees[1], &refs.taxa);
+        let d2 = day_rf(&refs.trees[1], &refs.trees[0], &refs.taxa);
+        assert_eq!(d1, d2);
+        assert!(d1 > 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the BFHRF core.
+
+use std::fmt;
+
+/// Errors from the RF computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The reference collection is empty — average RF is undefined.
+    EmptyReference,
+    /// The query collection is empty.
+    EmptyQuery,
+    /// Collections do not share a usable taxon set.
+    TaxaMismatch(String),
+    /// An underlying tree operation failed.
+    Phylo(phylo::PhyloError),
+    /// A resource guard refused the computation (e.g. the HashRF matrix
+    /// would exceed the configured memory budget — the paper's runs were
+    /// killed by the kernel at this point; we fail deliberately instead).
+    ResourceLimit(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyReference => {
+                write!(f, "reference collection is empty; average RF undefined")
+            }
+            CoreError::EmptyQuery => write!(f, "query collection is empty"),
+            CoreError::TaxaMismatch(msg) => write!(f, "taxa mismatch: {msg}"),
+            CoreError::Phylo(e) => write!(f, "tree error: {e}"),
+            CoreError::ResourceLimit(msg) => write!(f, "resource limit: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Phylo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<phylo::PhyloError> for CoreError {
+    fn from(e: phylo::PhyloError) -> Self {
+        CoreError::Phylo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::from(phylo::PhyloError::Empty("tree"));
+        assert!(e.to_string().contains("tree error"));
+        assert!(e.source().is_some());
+        assert!(CoreError::EmptyReference.source().is_none());
+        assert!(CoreError::ResourceLimit("8 GiB".into())
+            .to_string()
+            .contains("8 GiB"));
+    }
+}

@@ -1,0 +1,86 @@
+//! # BFHRF — Bipartition Frequency Hash Robinson-Foulds
+//!
+//! Rust implementation of the algorithm from *"Scalable and Extensible
+//! Robinson-Foulds for Comparative Phylogenetics"* (Chon et al., IPDPSW
+//! 2022), together with every baseline the paper compares against.
+//!
+//! ## The idea
+//!
+//! Computing the average Robinson-Foulds distance of each query tree in `Q`
+//! against a reference collection `R` classically needs `q × r` tree-vs-tree
+//! comparisons. BFHRF instead builds a **bipartition frequency hash**
+//! [`Bfh`] over `R` — a collision-free map from canonical bipartition
+//! bitmasks to how many reference trees contain them — and then answers
+//! each query with a single tree-vs-hash comparison:
+//!
+//! ```text
+//! RF_left  = sumBFHR − Σ_{b' ∈ B(T')} BFH[b']        (refs' splits missing from T')
+//! RF_right = Σ_{b' ∈ B(T')} (r − BFH[b'])            (T's splits missing from refs)
+//! avgRF(T') = (RF_left + RF_right) / r
+//! ```
+//!
+//! Query comparisons are independent, so they parallelize embarrassingly
+//! ([`bfhrf_parallel`] uses rayon).
+//!
+//! ## What's in the crate
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`bfh`] | The frequency hash: sequential/parallel/streaming builds, incremental add/remove, preprocessing hooks |
+//! | [`rf`] | BFHRF itself (Algorithm 2): sequential, parallel, streaming |
+//! | [`seqrf`] | The DS/DSMP baselines (Algorithm 1): sequential and rayon-parallel all-pairs loops |
+//! | [`hashrf`] | A faithful HashRF reimplementation: two-level universal hashing, all-vs-all `r × r` matrix, configurable ID width (collisions) |
+//! | [`day`] | Day's O(n) pairwise RF — the independent correctness oracle |
+//! | [`matrix`] | Collision-free all-vs-all RF matrices via a bipartition inverted index |
+//! | [`consensus`] | Majority-rule and strict consensus straight from the hash |
+//! | [`variants`] | Generalized RF: split weighting (unit, information content), size filtering, normalization |
+//! | [`variable_taxa`] | RF across collections with differing taxa via restriction to the common set |
+//! | [`select`] | Best-query-tree selection (the paper's motivating use) |
+//! | [`pgm`] | A PGM-Hashed-style comparator (the other hashed 1-vs-1 method the paper cites) |
+//! | [`compact`] | Compressed-key hash (the paper's §IX lossless-compression extension) |
+//! | [`support`] | Split-support annotation from the hash (§IX "other applications of a BFH") |
+//! | [`cluster`] | k-medoids + silhouette over RF matrices (the clustering workload of §I) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bfhrf::{Bfh, bfhrf_average};
+//! use phylo::TreeCollection;
+//!
+//! let refs = TreeCollection::parse("((A,B),(C,D));\n((A,B),(C,D));\n((A,C),(B,D));").unwrap();
+//! let queries = TreeCollection::parse("((A,B),(C,D));").unwrap();
+//!
+//! let bfh = Bfh::build(&refs.trees, &refs.taxa);
+//! let avg = bfhrf_average(&queries.trees[0], &refs.taxa, &bfh);
+//! // distance 0 to two refs, 2 to one: average 2/3
+//! assert!((avg.average() - 2.0 / 3.0).abs() < 1e-12);
+//! ```
+//!
+//! (The query collection above happens to share its label→bit assignment
+//! with the references; in real use parse both against one
+//! [`phylo::TaxonSet`] — see `examples/`.)
+
+pub mod bfh;
+pub mod cluster;
+pub mod compact;
+pub mod consensus;
+pub mod day;
+pub mod error;
+pub mod hashrf;
+pub mod matrix;
+pub mod pgm;
+pub mod rf;
+pub mod select;
+pub mod seqrf;
+pub mod support;
+pub mod variable_taxa;
+pub mod variants;
+
+pub use bfh::Bfh;
+pub use compact::CompactBfh;
+pub use day::day_rf;
+pub use error::CoreError;
+pub use hashrf::{HashRf, HashRfConfig};
+pub use rf::{bfhrf_all, bfhrf_average, bfhrf_parallel, QueryScore, RfAverage};
+pub use select::best_query;
+pub use seqrf::{sequential_rf, sequential_rf_parallel};

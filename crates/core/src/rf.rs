@@ -1,0 +1,332 @@
+//! The BFHRF query computation — the paper's Algorithm 2, second loop.
+//!
+//! Each query tree is compared against the [`Bfh`] once, in `O(n²)`,
+//! independently of `r` and of every other query. Totals are accumulated
+//! in integers; division by `r` happens only in [`RfAverage::average`], so
+//! results are exact and deterministic regardless of parallel scheduling.
+
+use crate::bfh::Bfh;
+use crate::CoreError;
+use phylo::{TaxaPolicy, TaxonSet, Tree};
+use rayon::prelude::*;
+use std::io::BufRead;
+
+/// Exact average-RF result for one query tree against a collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RfAverage {
+    /// Σ_T |B(T) \ B(T′)| — reference splits absent from the query
+    /// (the paper's `RF_left`).
+    pub left: u64,
+    /// Σ_T |B(T′) \ B(T)| — query splits absent from each reference
+    /// (the paper's `RF_right`).
+    pub right: u64,
+    /// Number of reference trees `r`.
+    pub n_refs: usize,
+}
+
+impl RfAverage {
+    /// Total RF distance summed over all reference trees.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.left + self.right
+    }
+
+    /// The average RF distance, `total / r`.
+    #[inline]
+    pub fn average(&self) -> f64 {
+        self.total() as f64 / self.n_refs as f64
+    }
+
+    /// The average of the "divide by 2" RF convention some tools report
+    /// (paper §II.C: "often defined with a divide by 2").
+    #[inline]
+    pub fn average_halved(&self) -> f64 {
+        self.average() / 2.0
+    }
+}
+
+/// Anything that can answer "how many reference trees contain this
+/// split?" — the interface Algorithm 2 actually needs. Implemented by
+/// [`Bfh`] and by [`crate::CompactBfh`]; alternative stores (mmap-backed,
+/// GPU-resident, ...) plug in here.
+pub trait SplitFrequency {
+    /// Frequency of a canonical split bitmask (0 if absent).
+    fn split_frequency(&self, bits: &phylo_bitset::Bits) -> u32;
+    /// Total split occurrences (`sumBFHR`).
+    fn occurrence_sum(&self) -> u64;
+    /// Number of reference trees (`r`).
+    fn reference_count(&self) -> usize;
+}
+
+impl SplitFrequency for Bfh {
+    fn split_frequency(&self, bits: &phylo_bitset::Bits) -> u32 {
+        self.frequency(bits)
+    }
+
+    fn occurrence_sum(&self) -> u64 {
+        self.sum()
+    }
+
+    fn reference_count(&self) -> usize {
+        self.n_trees()
+    }
+}
+
+impl SplitFrequency for crate::CompactBfh {
+    fn split_frequency(&self, bits: &phylo_bitset::Bits) -> u32 {
+        self.frequency(bits)
+    }
+
+    fn occurrence_sum(&self) -> u64 {
+        self.sum()
+    }
+
+    fn reference_count(&self) -> usize {
+        self.n_trees()
+    }
+}
+
+/// Average RF of one query tree against any split-frequency store —
+/// Algorithm 2's arithmetic, generic over the hash representation.
+///
+/// # Panics
+/// Panics if the store holds no trees (average undefined).
+pub fn bfhrf_average_with<H: SplitFrequency>(
+    query: &Tree,
+    taxa: &TaxonSet,
+    hash: &H,
+) -> RfAverage {
+    assert!(
+        hash.reference_count() > 0,
+        "average RF over an empty reference collection"
+    );
+    let r = hash.reference_count() as u64;
+    let mut freq_sum = 0u64; // Σ_{b′ ∈ B(T′)} BFH[b′]
+    let mut q_splits = 0u64; // |B(T′)|
+    for bp in query.bipartitions(taxa) {
+        freq_sum += u64::from(hash.split_frequency(bp.bits()));
+        q_splits += 1;
+    }
+    RfAverage {
+        left: hash.occurrence_sum() - freq_sum,
+        right: q_splits * r - freq_sum,
+        n_refs: hash.reference_count(),
+    }
+}
+
+/// Average RF of one query tree against the hash (tree-vs-hash comparison).
+///
+/// # Panics
+/// Panics if the hash holds no trees (average undefined).
+pub fn bfhrf_average(query: &Tree, taxa: &TaxonSet, bfh: &Bfh) -> RfAverage {
+    bfhrf_average_with(query, taxa, bfh)
+}
+
+/// One query's index and score, as produced by the batch entry points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryScore {
+    /// Position of the query tree in its collection.
+    pub index: usize,
+    /// Exact average-RF result.
+    pub rf: RfAverage,
+}
+
+fn check_nonempty(queries: &[Tree], bfh: &Bfh) -> Result<(), CoreError> {
+    if bfh.n_trees() == 0 {
+        return Err(CoreError::EmptyReference);
+    }
+    if queries.is_empty() {
+        return Err(CoreError::EmptyQuery);
+    }
+    Ok(())
+}
+
+/// Average RF of every query tree, sequentially.
+pub fn bfhrf_all(
+    queries: &[Tree],
+    taxa: &TaxonSet,
+    bfh: &Bfh,
+) -> Result<Vec<QueryScore>, CoreError> {
+    check_nonempty(queries, bfh)?;
+    Ok(queries
+        .iter()
+        .enumerate()
+        .map(|(index, q)| QueryScore {
+            index,
+            rf: bfhrf_average(q, taxa, bfh),
+        })
+        .collect())
+}
+
+/// Average RF of every query tree, parallelized at the tree level with
+/// rayon — the paper's "embarrassingly parallel" comparison loop. Output
+/// order and values are identical to [`bfhrf_all`].
+pub fn bfhrf_parallel(
+    queries: &[Tree],
+    taxa: &TaxonSet,
+    bfh: &Bfh,
+) -> Result<Vec<QueryScore>, CoreError> {
+    check_nonempty(queries, bfh)?;
+    Ok(queries
+        .par_iter()
+        .enumerate()
+        .map(|(index, q)| QueryScore {
+            index,
+            rf: bfhrf_average(q, taxa, bfh),
+        })
+        .collect())
+}
+
+/// Average RF of every query tree read from a Newick stream, without ever
+/// holding more than one query in memory. Labels must resolve against
+/// `taxa` (the namespace the hash was built over).
+pub fn bfhrf_streaming<R: BufRead>(
+    reader: R,
+    taxa: &mut TaxonSet,
+    bfh: &Bfh,
+) -> Result<Vec<QueryScore>, CoreError> {
+    if bfh.n_trees() == 0 {
+        return Err(CoreError::EmptyReference);
+    }
+    let mut stream = phylo::newick::NewickStream::new(reader, TaxaPolicy::Require);
+    let mut out = Vec::new();
+    while let Some(tree) = stream.next_tree(taxa)? {
+        out.push(QueryScore {
+            index: out.len(),
+            rf: bfhrf_average(&tree, taxa, bfh),
+        });
+    }
+    if out.is_empty() {
+        return Err(CoreError::EmptyQuery);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo::TreeCollection;
+
+    fn setup(refs: &str, queries: &str) -> (TreeCollection, Vec<Tree>, Bfh) {
+        // Parse refs growing the namespace, then queries against it so the
+        // bit layout is shared.
+        let mut refs_coll = TreeCollection::parse(refs).unwrap();
+        let queries = phylo::read_trees_from_str(
+            queries,
+            &mut refs_coll.taxa,
+            TaxaPolicy::Require,
+        )
+        .unwrap();
+        let bfh = Bfh::build(&refs_coll.trees, &refs_coll.taxa);
+        (refs_coll, queries, bfh)
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // R = {((A,B),(C,D)) ×2, ((A,C),(B,D))}; query ((A,B),(C,D)):
+        // distances 0, 0, 2 → left 1, right 1, avg 2/3.
+        let (refs, queries, bfh) = setup(
+            "((A,B),(C,D));\n((A,B),(C,D));\n((A,C),(B,D));",
+            "((A,B),(C,D));",
+        );
+        let avg = bfhrf_average(&queries[0], &refs.taxa, &bfh);
+        assert_eq!(avg.left, 1);
+        assert_eq!(avg.right, 1);
+        assert_eq!(avg.total(), 2);
+        assert!((avg.average() - 2.0 / 3.0).abs() < 1e-15);
+        assert!((avg.average_halved() - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn identical_collection_gives_zero() {
+        let (refs, queries, bfh) = setup("((A,B),(C,D));", "((A,B),(C,D));");
+        let avg = bfhrf_average(&queries[0], &refs.taxa, &bfh);
+        assert_eq!(avg.total(), 0);
+        assert_eq!(avg.average(), 0.0);
+    }
+
+    #[test]
+    fn disjoint_splits_give_maximum() {
+        // 4-taxa trees with different internal splits: RF = 2 each.
+        let (refs, queries, bfh) =
+            setup("((A,B),(C,D));\n((A,B),(C,D));", "((A,C),(B,D));");
+        let avg = bfhrf_average(&queries[0], &refs.taxa, &bfh);
+        assert_eq!(avg.total(), 4);
+        assert_eq!(avg.average(), 2.0);
+    }
+
+    #[test]
+    fn all_and_parallel_agree() {
+        let refs = "((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n((A,F),((C,D),(E,B)));";
+        let queries = "((A,B),((C,D),(E,F)));\n((A,E),((C,D),(B,F)));";
+        let (refs_coll, qs, bfh) = setup(refs, queries);
+        let seq = bfhrf_all(&qs, &refs_coll.taxa, &bfh).unwrap();
+        let par = bfhrf_parallel(&qs, &refs_coll.taxa, &bfh).unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq[0].index, 0);
+        assert_eq!(seq[1].index, 1);
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let refs = "((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));";
+        let queries = "((A,B),((C,D),(E,F)));\n((A,E),((C,D),(B,F)));";
+        let (mut refs_coll, qs, bfh) = setup(refs, queries);
+        let batch = bfhrf_all(&qs, &refs_coll.taxa, &bfh).unwrap();
+        let streamed =
+            bfhrf_streaming(queries.as_bytes(), &mut refs_coll.taxa, &bfh).unwrap();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn empty_inputs_are_typed_errors() {
+        let (refs, qs, bfh) = setup("((A,B),(C,D));", "((A,C),(B,D));");
+        assert_eq!(
+            bfhrf_all(&[], &refs.taxa, &bfh).unwrap_err(),
+            CoreError::EmptyQuery
+        );
+        let empty = Bfh::empty(refs.taxa.len());
+        assert_eq!(
+            bfhrf_all(&qs, &refs.taxa, &empty).unwrap_err(),
+            CoreError::EmptyReference
+        );
+    }
+
+    #[test]
+    fn q_equals_r_self_average() {
+        // When Q is R (the paper's experimental setting), each tree's
+        // average includes its own zero distance.
+        let text = "((A,B),(C,D));\n((A,C),(B,D));";
+        let refs = TreeCollection::parse(text).unwrap();
+        let bfh = Bfh::build(&refs.trees, &refs.taxa);
+        let scores = bfhrf_all(&refs.trees, &refs.taxa, &bfh).unwrap();
+        // each tree: distance 0 to itself, 2 to the other → avg 1
+        for s in &scores {
+            assert_eq!(s.rf.total(), 2);
+            assert_eq!(s.rf.average(), 1.0);
+        }
+    }
+
+    #[test]
+    fn generic_entry_point_accepts_both_hash_types() {
+        let (refs, qs, bfh) = setup(
+            "((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));",
+            "((A,B),((C,D),(E,F)));",
+        );
+        let compact = crate::CompactBfh::from_bfh(&bfh);
+        let a = bfhrf_average_with(&qs[0], &refs.taxa, &bfh);
+        let b = bfhrf_average_with(&qs[0], &refs.taxa, &compact);
+        assert_eq!(a, b);
+        assert_eq!(a, bfhrf_average(&qs[0], &refs.taxa, &bfh));
+    }
+
+    #[test]
+    fn multifurcating_queries_are_supported() {
+        // A star query has no internal splits: left = sumBFHR, right = 0.
+        let (refs, qs, bfh) = setup("((A,B),(C,D));\n((A,C),(B,D));", "(A,B,C,D);");
+        let avg = bfhrf_average(&qs[0], &refs.taxa, &bfh);
+        assert_eq!(avg.left, bfh.sum());
+        assert_eq!(avg.right, 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Split-support annotation — "other applications of directly using a
+//! BFH" (paper §IX).
+//!
+//! Given a focal tree (e.g. a species-tree estimate) and a frequency hash
+//! over gene trees or bootstrap replicates, each internal edge of the
+//! focal tree gets the fraction of reference trees containing its split —
+//! the familiar bootstrap/gene-concordance support value. One hash serves
+//! any number of focal trees; no pairwise comparisons happen at all.
+
+use crate::bfh::Bfh;
+use phylo::{Bipartition, NodeId, TaxonSet, Tree};
+
+/// Support of one internal edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeSupport {
+    /// The child node whose parent edge carries the split.
+    pub node: NodeId,
+    /// The canonical split below that edge.
+    pub split: Bipartition,
+    /// Number of reference trees containing the split.
+    pub count: u32,
+    /// `count / r`, in `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// Annotate every internal edge of `tree` with its reference-collection
+/// support. Trivial edges (leaves, root) carry no split and are skipped.
+///
+/// # Panics
+/// Panics if the hash is empty.
+pub fn edge_support(tree: &Tree, taxa: &TaxonSet, bfh: &Bfh) -> Vec<EdgeSupport> {
+    assert!(bfh.n_trees() > 0, "support against an empty reference collection");
+    let r = bfh.n_trees() as f64;
+    let n = taxa.len();
+    let Some(root) = tree.root() else { return Vec::new() };
+    let masks = tree.subtree_masks(n);
+    let leafset = &masks[root.index()];
+    let n_leaves = leafset.count_ones() as usize;
+    let mut seen = phylo_bitset::bits_set_with_capacity(tree.num_nodes());
+    let mut out = Vec::new();
+    for node in tree.postorder() {
+        if node == root || tree.is_leaf(node) {
+            continue;
+        }
+        let mask = &masks[node.index()];
+        let ones = mask.count_ones() as usize;
+        if ones < 2 || ones > n_leaves - 2 {
+            continue;
+        }
+        let split = Bipartition::new(mask.clone(), leafset);
+        if !seen.insert(split.bits().clone()) {
+            continue; // the duplicated root edge of a bifurcating root
+        }
+        let count = bfh.frequency_of(&split);
+        out.push(EdgeSupport {
+            node,
+            split,
+            count,
+            fraction: f64::from(count) / r,
+        });
+    }
+    out
+}
+
+/// Serialize `tree` with support fractions as internal node labels, e.g.
+/// `((a,b)0.97,(c,d)0.66);` — the conventional way phylogenetics tools
+/// exchange support values.
+pub fn write_newick_with_support(tree: &Tree, taxa: &TaxonSet, bfh: &Bfh) -> String {
+    let supports = edge_support(tree, taxa, bfh);
+    let label_of = |node: NodeId| -> Option<String> {
+        supports
+            .iter()
+            .find(|s| s.node == node)
+            .map(|s| format!("{:.2}", s.fraction))
+    };
+    let mut out = String::new();
+    if let Some(root) = tree.root() {
+        write_node(tree, taxa, root, &label_of, &mut out);
+    }
+    out.push(';');
+    out
+}
+
+fn write_node(
+    tree: &Tree,
+    taxa: &TaxonSet,
+    node: NodeId,
+    label_of: &dyn Fn(NodeId) -> Option<String>,
+    out: &mut String,
+) {
+    enum Frame {
+        Enter(NodeId),
+        Sep,
+        Exit(NodeId),
+    }
+    let mut stack = vec![Frame::Enter(node)];
+    while let Some(frame) = stack.pop() {
+        match frame {
+            Frame::Enter(n) => {
+                let kids = tree.children(n);
+                if kids.is_empty() {
+                    if let Some(t) = tree.taxon(n) {
+                        out.push_str(taxa.label(t));
+                    }
+                } else {
+                    out.push('(');
+                    stack.push(Frame::Exit(n));
+                    for (i, &c) in kids.iter().enumerate().rev() {
+                        stack.push(Frame::Enter(c));
+                        if i > 0 {
+                            stack.push(Frame::Sep);
+                        }
+                    }
+                }
+            }
+            Frame::Sep => out.push(','),
+            Frame::Exit(n) => {
+                out.push(')');
+                if let Some(label) = label_of(n) {
+                    out.push_str(&label);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo::TreeCollection;
+
+    fn setup() -> (TreeCollection, Bfh) {
+        // {A,B} in 3/4 trees, {E,F} in 4/4, {C,D} in 2/4
+        let coll = TreeCollection::parse(
+            "((A,B),((C,D),(E,F)));\n((A,B),((C,D),(E,F)));\n((A,B),(C,(D,(E,F))));\n((A,C),((B,D),(E,F)));",
+        )
+        .unwrap();
+        let bfh = Bfh::build(&coll.trees, &coll.taxa);
+        (coll, bfh)
+    }
+
+    #[test]
+    fn fractions_match_known_frequencies() {
+        let (coll, bfh) = setup();
+        let focal = &coll.trees[0];
+        let supports = edge_support(focal, &coll.taxa, &bfh);
+        assert_eq!(supports.len(), 3, "6-leaf binary tree: n-3 internal edges");
+        let by_split: std::collections::HashMap<String, f64> = supports
+            .iter()
+            .map(|s| (s.split.to_string(), s.fraction))
+            .collect();
+        // {A,B} canonical: contains taxon A (bit 0) → 000011
+        assert_eq!(by_split["000011"], 0.75);
+        // {E,F} canonical contains A? complement {A,B,C,D} → 001111
+        assert_eq!(by_split["001111"], 1.0);
+        // {C,D} → complement {A,B,E,F} = 110011
+        assert_eq!(by_split["110011"], 0.5);
+    }
+
+    #[test]
+    fn newick_output_carries_labels() {
+        let (coll, bfh) = setup();
+        let s = write_newick_with_support(&coll.trees[0], &coll.taxa, &bfh);
+        assert!(s.contains("0.75"), "{s}");
+        assert!(s.contains("1.00"), "{s}");
+        assert!(s.ends_with(';'));
+        // it must still parse as newick (internal labels are legal)
+        let mut taxa = coll.taxa.clone();
+        assert!(phylo::parse_newick(&s, &mut taxa, phylo::TaxaPolicy::Require).is_ok());
+    }
+
+    #[test]
+    fn self_support_of_unanimous_collection_is_one() {
+        let coll =
+            TreeCollection::parse(&"((A,B),((C,D),(E,F)));\n".repeat(6)).unwrap();
+        let bfh = Bfh::build(&coll.trees, &coll.taxa);
+        for s in edge_support(&coll.trees[0], &coll.taxa, &bfh) {
+            assert_eq!(s.fraction, 1.0);
+            assert_eq!(s.count, 6);
+        }
+    }
+
+    #[test]
+    fn foreign_focal_tree_gets_zero_support() {
+        let (coll, bfh) = setup();
+        // a topology sharing no internal split with the references
+        let mut taxa = coll.taxa.clone();
+        let foreign = phylo::parse_newick(
+            "((A,E),((B,F),(C,D)));",
+            &mut taxa,
+            phylo::TaxaPolicy::Require,
+        )
+        .unwrap();
+        let supports = edge_support(&foreign, &taxa, &bfh);
+        // {C,D} appears in 2 refs; the others are absent
+        let zeros = supports.iter().filter(|s| s.count == 0).count();
+        assert!(zeros >= 2, "{supports:?}");
+    }
+}

@@ -1,0 +1,326 @@
+//! Cross-implementation property tests.
+//!
+//! Four unrelated RF implementations live in this crate: the naive
+//! set-difference double loop (Algorithm 1), the frequency-hash arithmetic
+//! (Algorithm 2), the HashRF two-level hashing, and Day's interval
+//! algorithm. On arbitrary coalescent and uniform-random inputs they must
+//! agree **exactly** — integer for integer — which is a far stronger check
+//! than any fixed example.
+
+use bfhrf::matrix::rf_matrix_exact;
+use bfhrf::{
+    bfhrf_all, bfhrf_parallel, day_rf, sequential_rf, sequential_rf_parallel, Bfh, HashRf,
+    HashRfConfig,
+};
+use phylo::TreeCollection;
+use phylo_sim::datasets::DatasetSpec;
+use phylo_sim::perturb::random_collection;
+use proptest::prelude::*;
+
+/// Random collections: either coalescent (correlated splits) or uniform
+/// (near-disjoint splits) — the two regimes stress the hash differently.
+fn collection(n: usize, r: usize, seed: u64, coalescent: bool) -> TreeCollection {
+    if coalescent {
+        let mut spec = DatasetSpec::new("prop", n, r, seed);
+        spec.pop_scale = 0.5;
+        phylo_sim::generate(&spec)
+    } else {
+        random_collection(n, r, seed)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn four_implementations_agree(
+        n in 5usize..24,
+        r in 2usize..12,
+        q in 1usize..6,
+        seed in any::<u64>(),
+        coalescent in any::<bool>(),
+    ) {
+        let refs = collection(n, r, seed, coalescent);
+        let queries = collection(n, q, seed.wrapping_add(1), coalescent);
+        // same namespace by construction (t0..t{n-1} interned in order)
+        prop_assert_eq!(refs.taxa.len(), queries.taxa.len());
+
+        // 1. Algorithm 1 (DS)
+        let ds = sequential_rf(&queries.trees, &refs.trees, &refs.taxa).unwrap();
+        // 2. Algorithm 2 (BFHRF)
+        let bfh = Bfh::build(&refs.trees, &refs.taxa);
+        let fast = bfhrf_all(&queries.trees, &refs.taxa, &bfh).unwrap();
+        prop_assert_eq!(&ds, &fast, "DS vs BFHRF");
+
+        // 3. Day's algorithm, pairwise, summed
+        for (qi, qtree) in queries.trees.iter().enumerate() {
+            let total: u64 = refs
+                .trees
+                .iter()
+                .map(|rt| day_rf(qtree, rt, &refs.taxa) as u64)
+                .sum();
+            prop_assert_eq!(total, fast[qi].rf.total(), "Day vs BFHRF, query {}", qi);
+        }
+
+        // 4. HashRF (wide IDs) on Q == R gives the same self-averages
+        let h = HashRf::compute(&refs.trees, &refs.taxa, &HashRfConfig::default()).unwrap();
+        let self_scores = bfhrf_all(&refs.trees, &refs.taxa, &bfh).unwrap();
+        for s in &self_scores {
+            prop_assert!(
+                (h.averages()[s.index] - s.rf.average()).abs() < 1e-9,
+                "HashRF vs BFHRF self-average, tree {}",
+                s.index
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_variants_match_sequential(
+        n in 5usize..20,
+        r in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        let refs = collection(n, r, seed, true);
+        let queries = collection(n, 3, seed ^ 7, true);
+        let bfh_seq = Bfh::build(&refs.trees, &refs.taxa);
+        let bfh_par = Bfh::build_parallel(&refs.trees, &refs.taxa);
+        prop_assert_eq!(bfh_seq.sum(), bfh_par.sum());
+        prop_assert_eq!(bfh_seq.distinct(), bfh_par.distinct());
+
+        let a = bfhrf_all(&queries.trees, &refs.taxa, &bfh_seq).unwrap();
+        let b = bfhrf_parallel(&queries.trees, &refs.taxa, &bfh_par).unwrap();
+        prop_assert_eq!(a, b);
+
+        let ds = sequential_rf(&queries.trees, &refs.trees, &refs.taxa).unwrap();
+        let dsmp = sequential_rf_parallel(&queries.trees, &refs.trees, &refs.taxa).unwrap();
+        prop_assert_eq!(ds, dsmp);
+    }
+
+    #[test]
+    fn hashrf_wide_ids_equal_exact_matrix(
+        n in 5usize..18,
+        r in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        let coll = collection(n, r, seed, false);
+        let exact = rf_matrix_exact(&coll.trees, &coll.taxa, usize::MAX).unwrap();
+        let h = HashRf::compute(&coll.trees, &coll.taxa, &HashRfConfig::default()).unwrap();
+        prop_assert_eq!(h.error_rate_against(&exact), 0.0);
+    }
+
+    #[test]
+    fn incremental_hash_equals_batch(
+        n in 5usize..16,
+        r in 3usize..10,
+        seed in any::<u64>(),
+    ) {
+        let coll = collection(n, r, seed, true);
+        let batch = Bfh::build(&coll.trees, &coll.taxa);
+        // add everything, remove the first two, re-add them
+        let mut inc = Bfh::empty(coll.taxa.len());
+        for t in &coll.trees {
+            inc.add_tree(t, &coll.taxa);
+        }
+        inc.remove_tree(&coll.trees[0], &coll.taxa);
+        inc.remove_tree(&coll.trees[1], &coll.taxa);
+        inc.add_tree(&coll.trees[1], &coll.taxa);
+        inc.add_tree(&coll.trees[0], &coll.taxa);
+        prop_assert_eq!(batch.sum(), inc.sum());
+        prop_assert_eq!(batch.n_trees(), inc.n_trees());
+        prop_assert_eq!(batch.distinct(), inc.distinct());
+        for (bits, count) in batch.iter() {
+            prop_assert_eq!(inc.frequency(bits), count);
+        }
+    }
+
+    #[test]
+    fn day_is_a_metric(
+        n in 5usize..20,
+        s1 in any::<u64>(),
+        s2 in any::<u64>(),
+        s3 in any::<u64>(),
+    ) {
+        let a = collection(n, 1, s1, false).trees.remove(0);
+        let b = collection(n, 1, s2, false).trees.remove(0);
+        let c = collection(n, 1, s3, false).trees.remove(0);
+        let taxa = phylo::TaxonSet::with_numbered("t", n);
+        let dab = day_rf(&a, &b, &taxa);
+        let dba = day_rf(&b, &a, &taxa);
+        prop_assert_eq!(dab, dba);
+        prop_assert_eq!(day_rf(&a, &a, &taxa), 0);
+        let dac = day_rf(&a, &c, &taxa);
+        let dbc = day_rf(&b, &c, &taxa);
+        prop_assert!(dac <= dab + dbc);
+        prop_assert!(dab <= 2 * (n - 3));
+    }
+
+    #[test]
+    fn consensus_is_valid_and_monotone(
+        n in 6usize..16,
+        r in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        use bfhrf::consensus::{majority_consensus, strict_consensus};
+        let coll = collection(n, r, seed, true);
+        let bfh = Bfh::build(&coll.trees, &coll.taxa);
+        let maj = majority_consensus(&bfh, &coll.taxa, 0.5).unwrap();
+        let strict = strict_consensus(&bfh, &coll.taxa).unwrap();
+        prop_assert!(maj.validate(&coll.taxa).is_ok());
+        prop_assert!(strict.validate(&coll.taxa).is_ok());
+        // strict splits ⊆ majority splits
+        let maj_set: std::collections::HashSet<String> =
+            maj.bipartitions(&coll.taxa).iter().map(|b| b.to_string()).collect();
+        for bp in strict.bipartitions(&coll.taxa) {
+            prop_assert!(maj_set.contains(&bp.to_string()));
+        }
+        // every majority split really is majority-frequent
+        let half = bfh.n_trees() as f64 / 2.0;
+        for bp in maj.bipartitions(&coll.taxa) {
+            prop_assert!(f64::from(bfh.frequency(bp.bits())) > half);
+        }
+    }
+
+    #[test]
+    fn greedy_consensus_is_valid_and_refines_majority(
+        n in 6usize..16,
+        r in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        use bfhrf::consensus::{greedy_consensus, majority_consensus, splits_compatible};
+        let coll = collection(n, r, seed, true);
+        let bfh = Bfh::build(&coll.trees, &coll.taxa);
+        let greedy = greedy_consensus(&bfh, &coll.taxa).unwrap();
+        prop_assert!(greedy.validate(&coll.taxa).is_ok());
+        // greedy splits are pairwise compatible by construction, and the
+        // assembled tree must carry each of them back out
+        let splits = greedy.bipartitions(&coll.taxa);
+        for (i, a) in splits.iter().enumerate() {
+            for b in &splits[i + 1..] {
+                prop_assert!(splits_compatible(a.bits(), b.bits(), n));
+            }
+        }
+        let maj = majority_consensus(&bfh, &coll.taxa, 0.5).unwrap();
+        let greedy_set: std::collections::HashSet<_> =
+            splits.iter().map(|b| b.bits().clone()).collect();
+        for bp in maj.bipartitions(&coll.taxa) {
+            prop_assert!(greedy_set.contains(bp.bits()), "majority split lost");
+        }
+    }
+
+    #[test]
+    fn generalized_unit_weight_is_standard(
+        n in 5usize..16,
+        r in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        use bfhrf::variants::{GeneralizedRf, UnitWeight};
+        let refs = collection(n, r, seed, true);
+        let queries = collection(n, 2, seed ^ 3, true);
+        let bfh = Bfh::build(&refs.trees, &refs.taxa);
+        let gen = GeneralizedRf::new(&bfh, UnitWeight);
+        let exact = bfhrf_all(&queries.trees, &refs.taxa, &bfh).unwrap();
+        for s in &exact {
+            let g = gen.average(&queries.trees[s.index], &refs.taxa);
+            prop_assert!((g - s.rf.average()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pgm_wide_signatures_match_all_other_implementations(
+        n in 5usize..20,
+        r in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        use bfhrf::pgm::PgmHasher;
+        let refs = collection(n, r, seed, false);
+        let h = PgmHasher::new(n, 64, seed ^ 0xfeed);
+        let sigs: Vec<_> = refs
+            .trees
+            .iter()
+            .map(|t| h.signature(t, &refs.taxa))
+            .collect();
+        let bfh = Bfh::build(&refs.trees, &refs.taxa);
+        let scores = bfhrf_all(&refs.trees, &refs.taxa, &bfh).unwrap();
+        for s in &scores {
+            let pgm = h.average_rf(&sigs[s.index], &sigs);
+            prop_assert!((pgm - s.rf.average()).abs() < 1e-9, "tree {}", s.index);
+        }
+        // pairwise cross-check against Day
+        for i in 0..refs.len().min(3) {
+            for j in 0..refs.len().min(3) {
+                prop_assert_eq!(
+                    h.rf(&sigs[i], &sigs[j]),
+                    day_rf(&refs.trees[i], &refs.trees[j], &refs.taxa)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compact_hash_equals_plain(
+        n in 5usize..24,
+        r in 2usize..10,
+        q in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        use bfhrf::CompactBfh;
+        let refs = collection(n, r, seed, true);
+        let queries = collection(n, q, seed ^ 5, false);
+        let plain = Bfh::build(&refs.trees, &refs.taxa);
+        let compact = CompactBfh::from_bfh(&plain);
+        prop_assert_eq!(plain.sum(), compact.sum());
+        prop_assert_eq!(plain.distinct(), compact.distinct());
+        for (bits, count) in plain.iter() {
+            prop_assert_eq!(compact.frequency(bits), count);
+        }
+        for qt in &queries.trees {
+            prop_assert_eq!(
+                bfhrf::bfhrf_average(qt, &refs.taxa, &plain),
+                compact.average_rf(qt, &refs.taxa)
+            );
+        }
+        // reversibility: decompressed keys equal the originals
+        let mut a: Vec<_> = compact.iter_bits().collect();
+        let mut b: Vec<_> = plain.iter().map(|(k, v)| (k.clone(), v)).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn support_fractions_are_consistent_with_frequencies(
+        n in 6usize..20,
+        r in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        let refs = collection(n, r, seed, true);
+        let bfh = Bfh::build(&refs.trees, &refs.taxa);
+        let focal = &refs.trees[0];
+        for s in bfhrf::support::edge_support(focal, &refs.taxa, &bfh) {
+            prop_assert_eq!(s.count, bfh.frequency(s.split.bits()));
+            prop_assert!(s.count >= 1, "focal tree is in the collection");
+            prop_assert!((s.fraction - f64::from(s.count) / r as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn streaming_query_path_matches_batch(
+        n in 5usize..14,
+        r in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let refs = collection(n, r, seed, true);
+        let queries = collection(n, 3, seed ^ 11, true);
+        let bfh = Bfh::build(&refs.trees, &refs.taxa);
+        let batch = bfhrf_all(&queries.trees, &refs.taxa, &bfh).unwrap();
+        // serialize queries, stream them back through the same namespace
+        let mut text = String::new();
+        for t in &queries.trees {
+            text.push_str(&phylo::write_newick(t, &queries.taxa));
+            text.push('\n');
+        }
+        let mut taxa = refs.taxa.clone();
+        let streamed = bfhrf::rf::bfhrf_streaming(text.as_bytes(), &mut taxa, &bfh).unwrap();
+        prop_assert_eq!(batch, streamed);
+    }
+}

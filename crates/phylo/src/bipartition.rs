@@ -1,0 +1,414 @@
+//! Bipartition extraction and encoding.
+//!
+//! A bipartition is the split of the taxa induced by removing one edge of
+//! an unrooted tree. We encode it as a bitmask over the taxon namespace
+//! ([`phylo_bitset::Bits`]) in **canonical orientation**: the side
+//! containing the lowest-indexed taxon present in the tree is the set side.
+//! This matches the paper's (Dendropy's) convention where "species A" fixes
+//! the orientation, and makes the encoding rooting-invariant: any rooted
+//! representation of the same unrooted tree yields the identical set of
+//! canonical bitmasks.
+
+use crate::taxa::TaxonSet;
+use crate::tree::{NodeId, Tree};
+use phylo_bitset::{bits_map_with_capacity, bits_set_with_capacity, Bits, BitsMap, BitsSet};
+use std::fmt;
+
+/// A canonicalized bipartition bitmask.
+///
+/// Invariants (enforced by the constructors):
+/// * the bit of the anchor taxon (lowest id in the tree's leaf set) is set;
+/// * padding bits are zero (inherited from [`Bits`]).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bipartition {
+    bits: Bits,
+}
+
+impl Bipartition {
+    /// Canonicalize `side` (one side of a split of `leafset`): if the
+    /// anchor taxon of `leafset` is not in `side`, the complement within
+    /// `leafset` is stored instead.
+    ///
+    /// # Panics
+    /// Panics if `leafset` is empty or `side` is not a subset of `leafset`.
+    pub fn new(side: Bits, leafset: &Bits) -> Self {
+        assert!(side.is_subset(leafset), "split side must lie within the leaf set");
+        let anchor = leafset.first_one().expect("empty leaf set has no splits");
+        if side.get(anchor) {
+            Bipartition { bits: side }
+        } else {
+            let mut flipped = leafset.clone();
+            flipped.difference_with(&side);
+            Bipartition { bits: flipped }
+        }
+    }
+
+    /// The canonical bitmask.
+    #[inline]
+    pub fn bits(&self) -> &Bits {
+        &self.bits
+    }
+
+    /// Consume into the canonical bitmask.
+    #[inline]
+    pub fn into_bits(self) -> Bits {
+        self.bits
+    }
+
+    /// Size of the smaller side of the split within a leaf set of
+    /// `n_leaves` taxa. This is the quantity bipartition-size filtering
+    /// (paper §VII.F) thresholds on.
+    pub fn smaller_side(&self, n_leaves: usize) -> usize {
+        let ones = self.bits.count_ones() as usize;
+        ones.min(n_leaves - ones)
+    }
+
+    /// Whether the split is trivial (separates at most one taxon) within a
+    /// leaf set of `n_leaves` taxa.
+    pub fn is_trivial(&self, n_leaves: usize) -> bool {
+        self.smaller_side(n_leaves) <= 1
+    }
+}
+
+impl fmt::Display for Bipartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.bits.fmt(f)
+    }
+}
+
+impl fmt::Debug for Bipartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bipartition({})", self.bits)
+    }
+}
+
+/// The deduplicated set `B(T)` of one tree's canonical bipartitions, with
+/// set-difference RF as a method.
+#[derive(Debug, Clone)]
+pub struct BipartitionSet {
+    set: BitsSet,
+    n_leaves: usize,
+}
+
+impl BipartitionSet {
+    /// Extract the non-trivial bipartition set of `tree` over `taxa`.
+    pub fn from_tree(tree: &Tree, taxa: &TaxonSet) -> Self {
+        let biparts = tree.bipartitions(taxa);
+        let mut set = bits_set_with_capacity(biparts.len());
+        let n_leaves = tree.leaf_count();
+        for b in biparts {
+            set.insert(b.into_bits());
+        }
+        BipartitionSet { set, n_leaves }
+    }
+
+    /// Number of distinct non-trivial bipartitions.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the set is empty (true for trees with fewer than 4 leaves).
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Number of leaves of the source tree.
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// Membership test.
+    pub fn contains(&self, b: &Bipartition) -> bool {
+        self.set.contains(b.bits())
+    }
+
+    /// Membership test on a raw canonical bitmask.
+    pub fn contains_bits(&self, bits: &Bits) -> bool {
+        self.set.contains(bits)
+    }
+
+    /// Iterate the canonical bitmasks.
+    pub fn iter(&self) -> impl Iterator<Item = &Bits> {
+        self.set.iter()
+    }
+
+    /// The Robinson–Foulds distance
+    /// `|B(T) \ B(T')| + |B(T') \ B(T)|` between the two sets.
+    ///
+    /// Computed as `|A| + |B| − 2·|A ∩ B|` with membership probes from the
+    /// smaller set.
+    pub fn rf_distance(&self, other: &BipartitionSet) -> usize {
+        let (small, large) = if self.set.len() <= other.set.len() {
+            (&self.set, &other.set)
+        } else {
+            (&other.set, &self.set)
+        };
+        let shared = small.iter().filter(|b| large.contains(*b)).count();
+        self.set.len() + other.set.len() - 2 * shared
+    }
+}
+
+impl Tree {
+    /// The leaf-set mask of every node, indexed by `NodeId`.
+    ///
+    /// Entry `i` has a bit set for each taxon at or below node `i`.
+    /// Detached nodes get empty masks.
+    pub fn subtree_masks(&self, n: usize) -> Vec<Bits> {
+        let mut masks = vec![Bits::zeros(n); self.num_nodes()];
+        for node in self.postorder() {
+            if let Some(t) = self.taxon(node) {
+                masks[node.index()].set(t.index());
+            }
+            // Union children into this node. Split borrows via index juggling.
+            let children: &[NodeId] = self.children(node);
+            if !children.is_empty() {
+                let mut acc = std::mem::replace(&mut masks[node.index()], Bits::zeros(0));
+                for &c in children {
+                    acc.union_with(&masks[c.index()]);
+                }
+                masks[node.index()] = acc;
+            }
+        }
+        masks
+    }
+
+    /// The mask of all taxa on this tree's leaves.
+    pub fn leafset(&self, n: usize) -> Bits {
+        match self.root() {
+            None => Bits::zeros(n),
+            Some(root) => {
+                let masks = self.subtree_masks(n);
+                masks[root.index()].clone()
+            }
+        }
+    }
+
+    /// The non-trivial canonical bipartitions of this tree (deduplicated;
+    /// the two root edges of a bifurcating root encode one unrooted edge).
+    pub fn bipartitions(&self, taxa: &TaxonSet) -> Vec<Bipartition> {
+        self.bipartitions_filtered(taxa, |_| true)
+    }
+
+    /// Like [`Tree::bipartitions`] but keeping only splits accepted by
+    /// `keep` — the extensibility hook the paper demonstrates with
+    /// bipartition-size filtering.
+    pub fn bipartitions_filtered<F: FnMut(&Bipartition) -> bool>(
+        &self,
+        taxa: &TaxonSet,
+        mut keep: F,
+    ) -> Vec<Bipartition> {
+        let n = taxa.len();
+        let Some(root) = self.root() else { return Vec::new() };
+        let masks = self.subtree_masks(n);
+        let leafset = &masks[root.index()];
+        let n_leaves = leafset.count_ones() as usize;
+        if n_leaves < 4 {
+            return Vec::new(); // no non-trivial splits exist
+        }
+        let mut seen = bits_set_with_capacity(self.num_nodes());
+        let mut out = Vec::with_capacity(n_leaves.saturating_sub(3));
+        for node in self.postorder() {
+            if node == root || self.is_leaf(node) {
+                continue;
+            }
+            let mask = &masks[node.index()];
+            let ones = mask.count_ones() as usize;
+            if ones < 2 || ones > n_leaves - 2 {
+                continue; // trivial
+            }
+            let bp = Bipartition::new(mask.clone(), leafset);
+            if seen.insert(bp.bits().clone()) && keep(&bp) {
+                out.push(bp);
+            }
+        }
+        out
+    }
+
+    /// Non-trivial canonical bipartitions paired with the length of their
+    /// unrooted edge. When a bifurcating root splits one unrooted edge into
+    /// two rooted edges, their lengths are summed; missing lengths count as
+    /// zero. Used by the weighted-RF variant.
+    pub fn weighted_bipartitions(&self, taxa: &TaxonSet) -> BitsMap<f64> {
+        let n = taxa.len();
+        let Some(root) = self.root() else {
+            return bits_map_with_capacity(0);
+        };
+        let masks = self.subtree_masks(n);
+        let leafset = &masks[root.index()];
+        let n_leaves = leafset.count_ones() as usize;
+        let mut out: BitsMap<f64> = bits_map_with_capacity(n_leaves);
+        if n_leaves < 4 {
+            return out;
+        }
+        for node in self.postorder() {
+            if node == root || self.is_leaf(node) {
+                continue;
+            }
+            let mask = &masks[node.index()];
+            let ones = mask.count_ones() as usize;
+            if ones < 2 || ones > n_leaves - 2 {
+                continue;
+            }
+            let bp = Bipartition::new(mask.clone(), leafset);
+            let w = self.length(node).unwrap_or(0.0);
+            *out.entry(bp.into_bits()).or_insert(0.0) += w;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::newick::{parse_newick, TaxaPolicy};
+
+    fn tree(s: &str, taxa: &mut TaxonSet) -> Tree {
+        parse_newick(s, taxa, TaxaPolicy::Grow).unwrap()
+    }
+
+    fn sorted_strings(bps: &[Bipartition]) -> Vec<String> {
+        let mut v: Vec<String> = bps.iter().map(|b| b.to_string()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn paper_example_bipartitions() {
+        // Paper §II.B: ((A,B),(C,D)) has internal split 0011; ((D,B),(C,A))
+        // has 0101.
+        let mut taxa = TaxonSet::new();
+        for l in ["A", "B", "C", "D"] {
+            taxa.intern(l);
+        }
+        let t = tree("((A,B),(C,D));", &mut taxa);
+        let t2 = tree("((D,B),(C,A));", &mut taxa);
+        assert_eq!(sorted_strings(&t.bipartitions(&taxa)), ["0011"]);
+        assert_eq!(sorted_strings(&t2.bipartitions(&taxa)), ["0101"]);
+    }
+
+    #[test]
+    fn rooting_invariance() {
+        let mut taxa = TaxonSet::new();
+        for l in ["A", "B", "C", "D", "E", "F"] {
+            taxa.intern(l);
+        }
+        // Same unrooted tree, three rootings.
+        let forms = [
+            "(((A,B),C),(D,(E,F)));",
+            "((A,B),(C,(D,(E,F))));",
+            "(A,(B,(C,(D,(E,F)))));",
+        ];
+        let sets: Vec<Vec<String>> = forms
+            .iter()
+            .map(|f| sorted_strings(&tree(f, &mut taxa.clone()).bipartitions(&taxa)))
+            .collect();
+        assert_eq!(sets[0], sets[1]);
+        assert_eq!(sets[1], sets[2]);
+        assert_eq!(sets[0].len(), 3, "6-leaf binary tree has n-3 = 3 splits");
+    }
+
+    #[test]
+    fn binary_tree_has_n_minus_3_splits() {
+        let mut taxa = TaxonSet::new();
+        let t = tree("((((A,B),C),D),((E,F),(G,H)));", &mut taxa);
+        assert_eq!(t.bipartitions(&taxa).len(), 8 - 3);
+    }
+
+    #[test]
+    fn small_trees_have_no_nontrivial_splits() {
+        let mut taxa = TaxonSet::new();
+        assert!(tree("(A,B);", &mut taxa).bipartitions(&taxa).is_empty());
+        let mut taxa = TaxonSet::new();
+        assert!(tree("((A,B),C);", &mut taxa).bipartitions(&taxa).is_empty());
+    }
+
+    #[test]
+    fn multifurcation_yields_fewer_splits() {
+        let mut taxa = TaxonSet::new();
+        let t = tree("((A,B),(C,D),E);", &mut taxa); // one polytomy at root
+        assert_eq!(t.bipartitions(&taxa).len(), 2);
+    }
+
+    #[test]
+    fn canonical_bit_contains_anchor() {
+        let mut taxa = TaxonSet::new();
+        let t = tree("((E,F),((A,B),(C,D)));", &mut taxa);
+        // anchor is the lowest-id taxon: E (interned first)
+        for bp in t.bipartitions(&taxa) {
+            assert!(
+                bp.bits().get(taxa.get("E").unwrap().index()),
+                "split {bp} does not contain the anchor"
+            );
+        }
+    }
+
+    #[test]
+    fn rf_distance_matches_paper_example() {
+        let mut taxa = TaxonSet::new();
+        let t = tree("((A,B),(C,D));", &mut taxa);
+        let t2 = tree("((D,B),(C,A));", &mut taxa);
+        let b1 = BipartitionSet::from_tree(&t, &taxa);
+        let b2 = BipartitionSet::from_tree(&t2, &taxa);
+        assert_eq!(b1.rf_distance(&b2), 2, "paper Equation (1)");
+        assert_eq!(b1.rf_distance(&b1), 0);
+        assert_eq!(b2.rf_distance(&b1), 2, "symmetry");
+    }
+
+    #[test]
+    fn filtered_extraction_respects_predicate() {
+        let mut taxa = TaxonSet::new();
+        let t = tree("((((A,B),C),D),((E,F),(G,H)));", &mut taxa);
+        let all = t.bipartitions(&taxa);
+        let only_cherries = t.bipartitions_filtered(&taxa, |b| b.smaller_side(8) == 2);
+        assert!(only_cherries.len() < all.len());
+        assert!(only_cherries.iter().all(|b| b.smaller_side(8) == 2));
+    }
+
+    #[test]
+    fn smaller_side_and_trivial() {
+        let leafset = Bits::ones(6);
+        let bp = Bipartition::new(Bits::from_indices(6, [1, 2]), &leafset);
+        // canonicalized to contain taxon 0 → side {0,3,4,5}, smaller side 2
+        assert!(bp.bits().get(0));
+        assert_eq!(bp.smaller_side(6), 2);
+        assert!(!bp.is_trivial(6));
+        let leaf_split = Bipartition::new(Bits::from_indices(6, [3]), &leafset);
+        assert!(leaf_split.is_trivial(6));
+    }
+
+    #[test]
+    fn weighted_bipartitions_sum_root_edges() {
+        let mut taxa = TaxonSet::new();
+        // the central edge is split by the root: 0.5 + 0.25 must merge
+        let t = tree("((A,B):0.5,(C,D):0.25);", &mut taxa);
+        let w = t.weighted_bipartitions(&taxa);
+        assert_eq!(w.len(), 1);
+        let (_bits, weight) = w.iter().next().unwrap();
+        assert!((weight - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subtree_masks_partition_leaves() {
+        let mut taxa = TaxonSet::new();
+        let t = tree("((A,B),(C,D));", &mut taxa);
+        let masks = t.subtree_masks(taxa.len());
+        let root = t.root().unwrap();
+        let kids = t.children(root);
+        assert_eq!(
+            masks[kids[0].index()].union(&masks[kids[1].index()]),
+            Bits::ones(4)
+        );
+        assert!(masks[kids[0].index()].is_disjoint(&masks[kids[1].index()]));
+    }
+
+    #[test]
+    fn leafset_tracks_partial_namespaces() {
+        let mut taxa = TaxonSet::new();
+        for l in ["A", "B", "C", "D", "E"] {
+            taxa.intern(l);
+        }
+        let t = tree("((A,C),E);", &mut taxa);
+        let ls = t.leafset(taxa.len());
+        assert_eq!(ls.to_indices(), vec![0, 2, 4]);
+    }
+}

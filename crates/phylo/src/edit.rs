@@ -1,0 +1,229 @@
+//! Deterministic topology edits: NNI and SPR.
+//!
+//! The simulation crate drives these with random choices to generate tree
+//! collections of controlled spread around a model tree (the structure the
+//! paper's coalescent datasets have). The operations themselves are
+//! deterministic given their arguments, which keeps this crate RNG-free and
+//! the edits unit-testable.
+
+use crate::tree::{NodeId, Tree};
+use crate::PhyloError;
+
+impl Tree {
+    /// Internal edges eligible for NNI: `(parent, child)` pairs where
+    /// `child` is an internal, non-root node.
+    ///
+    /// Edges whose parent is a **bifurcating root** are excluded: the two
+    /// root edges represent one unrooted edge, and "swapping" a subtree
+    /// with the other root child is a rotation that leaves the unrooted
+    /// topology unchanged.
+    pub fn nni_edges(&self) -> Vec<(NodeId, NodeId)> {
+        let bifurcating_root = self
+            .root()
+            .filter(|&r| self.children(r).len() == 2);
+        self.edges()
+            .filter(|&(p, c)| !self.is_leaf(c) && Some(p) != bifurcating_root)
+            .collect()
+    }
+
+    /// Nearest-neighbour interchange across the edge `(parent, child)`:
+    /// swaps `child`'s `child_idx`-th child with `parent`'s `sib_idx`-th
+    /// other child (index into the sibling list excluding `child` itself).
+    ///
+    /// On a binary tree each internal edge admits the two classic NNI
+    /// rearrangements: `(child_idx, sib_idx)` ∈ {(0,0), (1,0)}.
+    pub fn nni(
+        &mut self,
+        parent: NodeId,
+        child: NodeId,
+        child_idx: usize,
+        sib_idx: usize,
+    ) -> Result<(), PhyloError> {
+        if self.parent(child) != Some(parent) {
+            return Err(PhyloError::Structure(
+                "nni: (parent, child) is not an edge".into(),
+            ));
+        }
+        if self.is_leaf(child) {
+            return Err(PhyloError::Structure("nni: child must be internal".into()));
+        }
+        let grandchildren = self.children(child);
+        let &moved_down = grandchildren.get(child_idx).ok_or_else(|| {
+            PhyloError::Structure(format!("nni: child index {child_idx} out of range"))
+        })?;
+        let siblings: Vec<NodeId> = self
+            .children(parent)
+            .iter()
+            .copied()
+            .filter(|&c| c != child)
+            .collect();
+        let &moved_up = siblings.get(sib_idx).ok_or_else(|| {
+            PhyloError::Structure(format!("nni: sibling index {sib_idx} out of range"))
+        })?;
+        self.detach_child(child, moved_down);
+        self.detach_child(parent, moved_up);
+        self.attach_child(parent, moved_down);
+        self.attach_child(child, moved_up);
+        Ok(())
+    }
+
+    /// Subtree prune and regraft: detach the subtree rooted at `prune`,
+    /// then insert it in the middle of the edge above `graft_child` via a
+    /// fresh attachment node.
+    ///
+    /// Both nodes must be non-root; `graft_child` must not lie inside the
+    /// pruned subtree (it would disconnect the tree). The tree is left
+    /// without unifurcations; node ids remain valid (the arena only grows).
+    pub fn spr(&mut self, prune: NodeId, graft_child: NodeId) -> Result<(), PhyloError> {
+        let root = self.root().ok_or(PhyloError::Empty("tree"))?;
+        if prune == root || graft_child == root {
+            return Err(PhyloError::Structure("spr: root cannot take part".into()));
+        }
+        if self.ancestors(graft_child).any(|a| a == prune) {
+            return Err(PhyloError::Structure(
+                "spr: graft target lies inside the pruned subtree".into(),
+            ));
+        }
+        let old_parent = self.parent(prune).expect("non-root");
+        self.detach_child(old_parent, prune);
+        // The old parent may now be unary (or the graft target's parent may
+        // change during suppression), so re-resolve the graft edge after
+        // suppressing: record the graft child's identity, which survives.
+        self.suppress_unifurcations();
+        if self.ancestors(graft_child).all(|a| a != self.root().unwrap()) {
+            // graft target was detached by suppression of a unary root —
+            // re-resolve to the new root's position by grafting at root edge
+            return Err(PhyloError::Structure(
+                "spr: graft target no longer reachable; choose another edge".into(),
+            ));
+        }
+        let graft_parent = self.parent(graft_child).ok_or_else(|| {
+            PhyloError::Structure("spr: graft target became the root; choose another edge".into())
+        })?;
+        self.detach_child(graft_parent, graft_child);
+        let mid = self.add_child(graft_parent);
+        self.attach_child(mid, graft_child);
+        self.attach_child(mid, prune);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::newick::{parse_newick, TaxaPolicy};
+    use crate::taxa::TaxonSet;
+
+    fn setup(s: &str) -> (Tree, TaxonSet) {
+        let mut taxa = TaxonSet::new();
+        let t = parse_newick(s, &mut taxa, TaxaPolicy::Grow).unwrap();
+        (t, taxa)
+    }
+
+    fn split_strings(t: &Tree, taxa: &TaxonSet) -> Vec<String> {
+        let mut v: Vec<String> = t
+            .bipartitions(taxa)
+            .iter()
+            .map(|b| b.to_string())
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn nni_produces_valid_different_binary_tree() {
+        let (mut t, taxa) = setup("((((A,B),C),D),((E,F),(G,H)));");
+        let before = split_strings(&t, &taxa);
+        let (p, c) = t.nni_edges()[0];
+        t.nni(p, c, 0, 0).unwrap();
+        assert!(t.validate(&taxa).is_ok());
+        assert!(t.is_binary());
+        assert_eq!(t.leaf_count(), 8);
+        let after = split_strings(&t, &taxa);
+        assert_ne!(before, after, "NNI must change the topology");
+    }
+
+    #[test]
+    fn nni_changes_exactly_one_split_on_binary_trees() {
+        let (mut t, taxa) = setup("((((A,B),C),D),((E,F),(G,H)));");
+        let before = split_strings(&t, &taxa);
+        // pick an edge whose child is internal and non-root
+        let (p, c) = t.nni_edges()[1];
+        t.nni(p, c, 1, 0).unwrap();
+        let after = split_strings(&t, &taxa);
+        let removed = before.iter().filter(|s| !after.contains(s)).count();
+        let added = after.iter().filter(|s| !before.contains(s)).count();
+        assert_eq!((removed, added), (1, 1), "NNI is an RF-2 move");
+    }
+
+    #[test]
+    fn nni_rejects_bad_arguments() {
+        let (mut t, _) = setup("((A,B),(C,D));");
+        let root = t.root().unwrap();
+        let left = t.children(root)[0];
+        let leaf = t.children(left)[0];
+        assert!(t.nni(root, leaf, 0, 0).is_err(), "leaf child");
+        assert!(t.nni(left, root, 0, 0).is_err(), "not an edge");
+        assert!(t.nni(root, left, 5, 0).is_err(), "child index range");
+        assert!(t.nni(root, left, 0, 5).is_err(), "sibling index range");
+    }
+
+    #[test]
+    fn spr_moves_subtree_and_stays_valid() {
+        let (mut t, taxa) = setup("((((A,B),C),D),((E,F),(G,H)));");
+        // prune the (A,B) cherry, regraft above leaf G
+        let leaves = t.leaves();
+        let a = leaves
+            .iter()
+            .copied()
+            .find(|&l| t.taxon(l) == Some(taxa.get("A").unwrap()))
+            .unwrap();
+        let cherry = t.parent(a).unwrap();
+        let g = leaves
+            .iter()
+            .copied()
+            .find(|&l| t.taxon(l) == Some(taxa.get("G").unwrap()))
+            .unwrap();
+        t.spr(cherry, g).unwrap();
+        let t = t.compacted();
+        assert!(t.validate(&taxa).is_ok());
+        assert!(t.is_binary());
+        assert_eq!(t.leaf_count(), 8);
+        // A and B are now adjacent to G: the split {A,B,G} must exist
+        let want = phylo_bitset::Bits::from_indices(
+            taxa.len(),
+            ["A", "B", "G"].iter().map(|l| taxa.get(l).unwrap().index()),
+        );
+        let has = t
+            .bipartitions(&taxa)
+            .iter()
+            .any(|b| b.bits() == &want || b.bits() == &{
+                let mut c = want.clone();
+                c.complement();
+                c
+            });
+        assert!(has, "regrafted cherry must sit next to G");
+    }
+
+    #[test]
+    fn spr_rejects_graft_inside_pruned_subtree() {
+        let (mut t, taxa) = setup("((((A,B),C),D),((E,F),(G,H)));");
+        let a = t
+            .leaves()
+            .into_iter()
+            .find(|&l| t.taxon(l) == Some(taxa.get("A").unwrap()))
+            .unwrap();
+        let cherry = t.parent(a).unwrap();
+        assert!(t.spr(cherry, a).is_err());
+        assert!(t.spr(cherry, cherry).is_err());
+    }
+
+    #[test]
+    fn spr_rejects_root() {
+        let (mut t, _) = setup("((A,B),(C,D));");
+        let root = t.root().unwrap();
+        let left = t.children(root)[0];
+        assert!(t.spr(root, left).is_err());
+        assert!(t.spr(left, root).is_err());
+    }
+}

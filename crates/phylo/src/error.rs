@@ -1,0 +1,99 @@
+//! Error types for the phylo substrate.
+
+use std::fmt;
+
+/// Errors produced by tree construction, Newick parsing, and taxon lookups.
+///
+/// Parsing real collections (the paper's Insect data "could not be read" by
+/// HashRF) is exactly where tooling falls over, so every failure mode is a
+/// typed variant with enough context to locate the offending input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhyloError {
+    /// Newick syntax error with byte offset into the input string.
+    Parse {
+        /// Byte offset where the error was detected.
+        offset: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// A label was encountered that is not in the taxon namespace while the
+    /// parse policy forbids growing it.
+    UnknownTaxon(String),
+    /// The same taxon label appears on two leaves of one tree.
+    DuplicateTaxon(String),
+    /// A structural invariant of the tree was violated.
+    Structure(String),
+    /// Operation attempted on an empty tree or collection.
+    Empty(&'static str),
+    /// Two objects that must share a taxon namespace do not.
+    TaxaMismatch {
+        /// Expected namespace size.
+        expected: usize,
+        /// Found namespace size.
+        found: usize,
+    },
+}
+
+impl PhyloError {
+    /// Construct a parse error at `offset`.
+    pub fn parse(offset: usize, message: impl Into<String>) -> Self {
+        PhyloError::Parse {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for PhyloError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhyloError::Parse { offset, message } => {
+                write!(f, "newick parse error at byte {offset}: {message}")
+            }
+            PhyloError::UnknownTaxon(label) => {
+                write!(f, "unknown taxon label {label:?} (namespace is closed)")
+            }
+            PhyloError::DuplicateTaxon(label) => {
+                write!(f, "duplicate taxon label {label:?} within one tree")
+            }
+            PhyloError::Structure(msg) => write!(f, "tree structure error: {msg}"),
+            PhyloError::Empty(what) => write!(f, "operation on empty {what}"),
+            PhyloError::TaxaMismatch { expected, found } => write!(
+                f,
+                "taxon namespace mismatch: expected {expected} taxa, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PhyloError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = PhyloError::parse(17, "unexpected ')'");
+        assert!(e.to_string().contains("byte 17"));
+        assert!(e.to_string().contains("unexpected ')'"));
+        assert!(PhyloError::UnknownTaxon("Homo".into())
+            .to_string()
+            .contains("Homo"));
+        assert!(PhyloError::TaxaMismatch {
+            expected: 4,
+            found: 5
+        }
+        .to_string()
+        .contains("expected 4"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(PhyloError::Empty("tree"), PhyloError::Empty("tree"));
+        assert_ne!(
+            PhyloError::UnknownTaxon("A".into()),
+            PhyloError::UnknownTaxon("B".into())
+        );
+    }
+}

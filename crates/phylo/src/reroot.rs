@@ -1,0 +1,167 @@
+//! Rerooting.
+//!
+//! RF treats trees as unrooted; rooted representations of the same tree
+//! differ only in where the "virtual root" sits. Rerooting lets callers
+//! normalize representations (Day's algorithm does this internally),
+//! display trees from a chosen outgroup, and lets tests state the
+//! rooting-invariance property directly.
+
+use crate::taxa::TaxonId;
+use crate::tree::{NodeId, Tree};
+use crate::PhyloError;
+
+impl Tree {
+    /// A copy of this tree rerooted so that `node` becomes a child of the
+    /// new root; the other child is the rest of the tree. The edge above
+    /// `node` is split by the new root: its branch length is halved onto
+    /// the two root edges.
+    ///
+    /// Degree-2 nodes created where the old root used to be are
+    /// suppressed, and the arena is compacted.
+    pub fn rerooted_above(&self, node: NodeId) -> Result<Tree, PhyloError> {
+        let old_root = self.root().ok_or(PhyloError::Empty("tree"))?;
+        if node == old_root {
+            return Ok(self.compacted());
+        }
+        let parent = self
+            .parent(node)
+            .ok_or_else(|| PhyloError::Structure("rerooted_above: detached node".into()))?;
+
+        // Undirected adjacency over reachable nodes.
+        let order = self.postorder();
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); self.num_nodes()];
+        for &x in &order {
+            for &c in self.children(x) {
+                adj[x.index()].push(c);
+                adj[c.index()].push(x);
+            }
+        }
+        // Edge lengths keyed by the child end in the original orientation;
+        // in the undirected walk the length of {a, b} is length(child end).
+        let edge_len = |a: NodeId, b: NodeId| -> Option<f64> {
+            if self.parent(a) == Some(b) {
+                self.length(a)
+            } else {
+                self.length(b)
+            }
+        };
+
+        let mut out = Tree::new();
+        let new_root = out.add_root();
+        // two subtrees hang off the split edge {parent, node}
+        let half = self.length(node).map(|l| l / 2.0);
+        let mut stack: Vec<(NodeId, NodeId, NodeId, Option<f64>)> = vec![
+            (node, parent, new_root, half),
+            (parent, node, new_root, half),
+        ];
+        while let Some((cur, from, under, len)) = stack.pop() {
+            let created = out.add_child(under);
+            out.set_taxon(created, self.taxon(cur));
+            out.set_length(created, len);
+            for &nb in &adj[cur.index()] {
+                if nb != from {
+                    stack.push((nb, cur, created, edge_len(cur, nb)));
+                }
+            }
+        }
+        out.suppress_unifurcations();
+        Ok(out.compacted())
+    }
+
+    /// Reroot using the leaf carrying `taxon` as the outgroup: the result
+    /// has that leaf as one child of the root.
+    pub fn rerooted_at_taxon(&self, taxon: TaxonId) -> Result<Tree, PhyloError> {
+        let leaf = self
+            .postorder()
+            .into_iter()
+            .find(|&n| self.taxon(n) == Some(taxon))
+            .ok_or_else(|| {
+                PhyloError::Structure(format!("taxon {taxon} not on this tree"))
+            })?;
+        self.rerooted_above(leaf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::newick::{parse_newick, TaxaPolicy};
+    use crate::taxa::TaxonSet;
+
+    fn setup(s: &str) -> (Tree, TaxonSet) {
+        let mut taxa = TaxonSet::new();
+        let t = parse_newick(s, &mut taxa, TaxaPolicy::Grow).unwrap();
+        (t, taxa)
+    }
+
+    fn splits(t: &Tree, taxa: &TaxonSet) -> Vec<String> {
+        let mut v: Vec<String> =
+            t.bipartitions(taxa).iter().map(|b| b.to_string()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn rerooting_preserves_bipartitions() {
+        let (t, taxa) = setup("((((A,B),C),D),((E,F),(G,H)));");
+        let original = splits(&t, &taxa);
+        for node in t.postorder() {
+            let r = t.rerooted_above(node).unwrap();
+            assert!(r.validate(&taxa).is_ok(), "invalid after reroot at {node:?}");
+            assert_eq!(
+                splits(&r, &taxa),
+                original,
+                "splits changed rerooting above {node:?}"
+            );
+            assert_eq!(r.leaf_count(), 8);
+        }
+    }
+
+    #[test]
+    fn reroot_at_taxon_places_outgroup_at_root() {
+        let (t, taxa) = setup("((((A,B),C),D),((E,F),(G,H)));");
+        let g = taxa.get("G").unwrap();
+        let r = t.rerooted_at_taxon(g).unwrap();
+        let root = r.root().unwrap();
+        let kids = r.children(root);
+        assert_eq!(kids.len(), 2);
+        assert!(
+            kids.iter().any(|&c| r.taxon(c) == Some(g)),
+            "outgroup leaf must hang off the root"
+        );
+    }
+
+    #[test]
+    fn reroot_splits_branch_length() {
+        let (t, taxa) = setup("((A:1,B:1):2,(C:1,D:1):3);");
+        let a = taxa.get("A").unwrap();
+        let r = t.rerooted_at_taxon(a).unwrap();
+        // the A edge (length 1) is split into 0.5 + 0.5 across the root
+        let root = r.root().unwrap();
+        let lens: Vec<Option<f64>> =
+            r.children(root).iter().map(|&c| r.length(c)).collect();
+        assert!(lens.contains(&Some(0.5)), "{lens:?}");
+        // total tree length is preserved: 1+1+2+3+1+1 = 9
+        let total: f64 = r
+            .postorder()
+            .into_iter()
+            .filter_map(|n| r.length(n))
+            .sum();
+        assert!((total - 9.0).abs() < 1e-12, "total {total}");
+    }
+
+    #[test]
+    fn reroot_missing_taxon_errors() {
+        let (t, taxa) = setup("((A,B),(C,D));");
+        let _ = taxa;
+        assert!(t.rerooted_at_taxon(TaxonId(99)).is_err());
+    }
+
+    #[test]
+    fn reroot_at_root_is_identity() {
+        let (t, taxa) = setup("((A,B),(C,D));");
+        let r = t.rerooted_above(t.root().unwrap()).unwrap();
+        assert_eq!(splits(&r, &taxa), splits(&t, &taxa));
+        assert_eq!(r.leaf_count(), 4);
+    }
+}

@@ -1,0 +1,156 @@
+//! Restriction of trees to taxa subsets.
+//!
+//! Supertree-style variable-taxa RF (paper §VII.E) reduces every tree to
+//! the intersection of the taxon sets before comparing. [`Tree::restricted`]
+//! computes the induced subtree on a keep-set: unkept leaves are pruned and
+//! the resulting degree-2 nodes are suppressed (their branch lengths sum).
+
+use crate::tree::{NodeId, Tree};
+use crate::PhyloError;
+use phylo_bitset::Bits;
+
+impl Tree {
+    /// The induced subtree on the taxa whose bits are set in `keep`.
+    ///
+    /// Returns [`PhyloError::Empty`] if no leaf survives. The result is
+    /// compacted: its arena holds only reachable nodes.
+    pub fn restricted(&self, keep: &Bits) -> Result<Tree, PhyloError> {
+        let mut t = self.clone();
+        let root = t.root().ok_or(PhyloError::Empty("tree"))?;
+        // Postorder guarantees children are handled before their parent, so
+        // an internal node sees its final child count.
+        for node in self.postorder() {
+            if node == root {
+                continue;
+            }
+            let prune = if t.is_leaf(node) {
+                match t.taxon(node) {
+                    Some(taxon) => !keep.get(taxon.index()),
+                    None => true, // childless internal left by earlier pruning
+                }
+            } else {
+                false
+            };
+            if prune {
+                if let Some(parent) = t.parent(node) {
+                    t.detach_child(parent, node);
+                }
+            }
+        }
+        if t.is_leaf(root) && t.taxon(root).is_none() {
+            return Err(PhyloError::Empty("restricted tree (no taxa kept)"));
+        }
+        t.suppress_unifurcations();
+        Ok(t.compacted())
+    }
+
+    /// Rebuild the arena keeping only nodes reachable from the root,
+    /// renumbering ids. Restriction and SPR leave garbage nodes behind;
+    /// compacting matters when many restricted trees are held at once.
+    pub fn compacted(&self) -> Tree {
+        let mut out = Tree::new();
+        let Some(root) = self.root() else { return out };
+        let mut map = vec![None::<NodeId>; self.num_nodes()];
+        let new_root = out.add_root();
+        out.set_taxon(new_root, self.taxon(root));
+        out.set_length(new_root, self.length(root));
+        map[root.index()] = Some(new_root);
+        for node in self.preorder() {
+            let new_node = map[node.index()].expect("preorder parent-first");
+            for &c in self.children(node) {
+                let nc = out.add_child(new_node);
+                out.set_taxon(nc, self.taxon(c));
+                out.set_length(nc, self.length(c));
+                map[c.index()] = Some(nc);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::newick::{parse_newick, write_newick, TaxaPolicy};
+    use crate::taxa::TaxonSet;
+
+    fn setup(s: &str) -> (Tree, TaxonSet) {
+        let mut taxa = TaxonSet::new();
+        let t = parse_newick(s, &mut taxa, TaxaPolicy::Grow).unwrap();
+        (t, taxa)
+    }
+
+    fn keep(taxa: &TaxonSet, labels: &[&str]) -> Bits {
+        Bits::from_indices(
+            taxa.len(),
+            labels.iter().map(|l| taxa.get(l).unwrap().index()),
+        )
+    }
+
+    #[test]
+    fn restriction_drops_taxa_and_suppresses() {
+        let (t, taxa) = setup("((((A,B),C),D),((E,F),(G,H)));");
+        let r = t.restricted(&keep(&taxa, &["A", "C", "E", "G"])).unwrap();
+        assert_eq!(r.leaf_count(), 4);
+        assert!(r.validate(&taxa).is_ok());
+        // induced topology: ((A,C),(E,G)) — one non-trivial split {A,C}
+        let bps = r.bipartitions(&taxa);
+        assert_eq!(bps.len(), 1);
+        let expected = keep(&taxa, &["A", "C"]);
+        assert_eq!(bps[0].bits(), &expected);
+    }
+
+    #[test]
+    fn restriction_to_all_taxa_is_identity_topology() {
+        let (t, taxa) = setup("((((A,B),C),D),(E,(F,(G,H))));");
+        let r = t.restricted(&Bits::ones(taxa.len())).unwrap();
+        let mut a: Vec<String> =
+            t.bipartitions(&taxa).iter().map(|b| b.to_string()).collect();
+        let mut b: Vec<String> =
+            r.bipartitions(&taxa).iter().map(|b| b.to_string()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn restriction_to_nothing_errors() {
+        let (t, taxa) = setup("((A,B),(C,D));");
+        assert!(t.restricted(&Bits::zeros(taxa.len())).is_err());
+    }
+
+    #[test]
+    fn restriction_to_single_leaf() {
+        let (t, taxa) = setup("((A,B),(C,D));");
+        let r = t.restricted(&keep(&taxa, &["C"])).unwrap();
+        assert_eq!(r.leaf_count(), 1);
+        assert!(r.bipartitions(&taxa).is_empty());
+    }
+
+    #[test]
+    fn compacted_drops_garbage_nodes() {
+        let (mut t, taxa) = setup("((A,B),(C,D));");
+        let root = t.root().unwrap();
+        let left = t.children(root)[0];
+        t.detach_child(root, left);
+        assert_eq!(t.num_nodes(), 7, "arena keeps detached nodes");
+        let c = t.compacted();
+        assert_eq!(c.num_nodes(), 4, "root + detached-right subtree");
+        assert_eq!(c.leaf_count(), 2);
+        let s = write_newick(&c, &taxa);
+        assert!(s.contains('C') && s.contains('D') && !s.contains('A'));
+    }
+
+    #[test]
+    fn restriction_merges_branch_lengths() {
+        let (t, taxa) = setup("(((A:1,B:2):3,C:4):5,D:6);");
+        let r = t.restricted(&keep(&taxa, &["A", "C", "D"])).unwrap();
+        // A's path absorbed the suppressed (A,B) node: 1 + 3 = 4
+        let a_node = r
+            .leaves()
+            .into_iter()
+            .find(|&l| r.taxon(l) == Some(taxa.get("A").unwrap()))
+            .unwrap();
+        assert_eq!(r.length(a_node), Some(4.0));
+    }
+}

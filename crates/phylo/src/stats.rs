@@ -1,0 +1,172 @@
+//! Tree-shape statistics.
+//!
+//! Used to characterize simulated datasets (are the stand-ins shaped like
+//! real gene-tree collections?) and handy in their own right: cherry
+//! count, Sackin and Colless imbalance, total branch length, and the
+//! resolution fraction for multifurcating trees.
+
+use crate::tree::Tree;
+
+/// Summary statistics of one tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeStats {
+    /// Number of leaves.
+    pub leaves: usize,
+    /// Number of internal nodes (including the root).
+    pub internal: usize,
+    /// Number of cherries (internal nodes whose children are two leaves).
+    pub cherries: usize,
+    /// Sackin index: sum over leaves of their depth.
+    pub sackin: usize,
+    /// Colless index: sum over binary internal nodes of
+    /// `|leaves(left) − leaves(right)|`.
+    pub colless: usize,
+    /// Maximum leaf depth.
+    pub max_depth: usize,
+    /// Sum of all branch lengths (missing lengths count 0).
+    pub total_length: f64,
+    /// Fraction of resolved internal edges: `internal − 1` over the
+    /// binary-tree maximum `leaves − 2` (1.0 for fully resolved trees,
+    /// approaching 0 for stars).
+    pub resolution: f64,
+}
+
+/// Compute [`TreeStats`] in one postorder pass plus a preorder depth scan.
+pub fn tree_stats(tree: &Tree) -> TreeStats {
+    let Some(root) = tree.root() else {
+        return TreeStats {
+            leaves: 0,
+            internal: 0,
+            cherries: 0,
+            sackin: 0,
+            colless: 0,
+            max_depth: 0,
+            total_length: 0.0,
+            resolution: 0.0,
+        };
+    };
+    let mut subtree_leaves = vec![0usize; tree.num_nodes()];
+    let mut leaves = 0usize;
+    let mut internal = 0usize;
+    let mut cherries = 0usize;
+    let mut colless = 0usize;
+    let mut total_length = 0.0f64;
+    for node in tree.postorder() {
+        total_length += tree.length(node).unwrap_or(0.0);
+        let children = tree.children(node);
+        if children.is_empty() {
+            leaves += 1;
+            subtree_leaves[node.index()] = 1;
+        } else {
+            internal += 1;
+            let mut sum = 0usize;
+            for &c in children {
+                sum += subtree_leaves[c.index()];
+            }
+            subtree_leaves[node.index()] = sum;
+            if children.len() == 2 {
+                if children.iter().all(|&c| tree.is_leaf(c)) {
+                    cherries += 1;
+                }
+                let a = subtree_leaves[children[0].index()];
+                let b = subtree_leaves[children[1].index()];
+                colless += a.abs_diff(b);
+            }
+        }
+    }
+    let mut depth = vec![0usize; tree.num_nodes()];
+    let mut sackin = 0usize;
+    let mut max_depth = 0usize;
+    for node in tree.preorder() {
+        if node != root {
+            depth[node.index()] = depth[tree.parent(node).unwrap().index()] + 1;
+        }
+        if tree.is_leaf(node) {
+            sackin += depth[node.index()];
+            max_depth = max_depth.max(depth[node.index()]);
+        }
+    }
+    let resolution = if leaves >= 3 {
+        (internal.saturating_sub(1)) as f64 / (leaves - 2) as f64
+    } else {
+        1.0
+    };
+    TreeStats {
+        leaves,
+        internal,
+        cherries,
+        sackin,
+        colless,
+        max_depth,
+        total_length,
+        resolution,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::newick::{parse_newick, TaxaPolicy};
+    use crate::taxa::TaxonSet;
+
+    fn stats(s: &str) -> TreeStats {
+        let mut taxa = TaxonSet::new();
+        tree_stats(&parse_newick(s, &mut taxa, TaxaPolicy::Grow).unwrap())
+    }
+
+    #[test]
+    fn balanced_tree() {
+        let s = stats("(((A,B),(C,D)),((E,F),(G,H)));");
+        assert_eq!(s.leaves, 8);
+        assert_eq!(s.internal, 7);
+        assert_eq!(s.cherries, 4);
+        assert_eq!(s.colless, 0, "perfectly balanced");
+        assert_eq!(s.sackin, 8 * 3);
+        assert_eq!(s.max_depth, 3);
+        assert_eq!(s.resolution, 1.0);
+    }
+
+    #[test]
+    fn caterpillar_tree() {
+        let s = stats("((((((A,B),C),D),E),F),G);");
+        assert_eq!(s.leaves, 7);
+        assert_eq!(s.cherries, 1);
+        // Colless of an n-caterpillar: sum_{k=1}^{n-2} k... node over {A,B}
+        // contributes 0, then |2-1| + |3-1| + ... + |6-1| = 0+1+2+3+4+5
+        assert_eq!(s.colless, 15);
+        assert_eq!(s.max_depth, 6);
+        // Sackin: depths 6,6,5,4,3,2,1
+        assert_eq!(s.sackin, 27);
+        assert_eq!(s.resolution, 1.0);
+    }
+
+    #[test]
+    fn star_tree_resolution() {
+        let s = stats("(A,B,C,D,E);");
+        assert_eq!(s.internal, 1);
+        assert_eq!(s.resolution, 0.0);
+        assert_eq!(s.cherries, 0);
+    }
+
+    #[test]
+    fn branch_lengths_summed() {
+        let s = stats("((A:1,B:2):0.5,(C:3,D:4):0.5);");
+        assert!((s.total_length - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let s = tree_stats(&Tree::new());
+        assert_eq!(s.leaves, 0);
+        assert_eq!(s.resolution, 0.0);
+    }
+
+    #[test]
+    fn yule_trees_are_less_imbalanced_than_caterpillars() {
+        // sanity link to the simulators' output shape
+        let cat = stats("(((((((((A,B),C),D),E),F),G),H),I),J);");
+        let bal = stats("((((A,B),(C,D)),(E,F)),((G,H),(I,J)));");
+        assert!(bal.colless < cat.colless);
+        assert!(bal.sackin < cat.sackin);
+    }
+}

@@ -1,0 +1,202 @@
+//! Taxon namespaces: interned, ordered label sets.
+
+use crate::PhyloError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a taxon within a [`TaxonSet`].
+///
+/// The numeric value is the taxon's **bit position** in bipartition
+/// encodings: `TaxonId(0)` is the paper's "species A", the rightmost bit in
+/// printed bitmasks. Stored as `u32` — a million-taxon namespace is far
+/// beyond any published phylogeny.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaxonId(pub u32);
+
+impl TaxonId {
+    /// The id as a bit index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaxonId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// An ordered namespace of taxon labels.
+///
+/// Labels are interned on first use and keep their insertion index forever,
+/// so bipartition bit layouts are stable across every tree parsed against
+/// the same namespace — the property the frequency hash relies on.
+#[derive(Debug, Clone, Default)]
+pub struct TaxonSet {
+    labels: Vec<String>,
+    index: HashMap<String, TaxonId>,
+}
+
+impl TaxonSet {
+    /// Create an empty namespace.
+    pub fn new() -> Self {
+        TaxonSet::default()
+    }
+
+    /// Create a namespace with labels `prefix0..prefixN-1` — handy for
+    /// simulated datasets (`t0, t1, ...`).
+    pub fn with_numbered(prefix: &str, n: usize) -> Self {
+        let mut set = TaxonSet::new();
+        for i in 0..n {
+            set.intern(&format!("{prefix}{i}"));
+        }
+        set
+    }
+
+    /// Number of taxa (`n` in the paper).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the namespace is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Intern `label`, returning its stable id (existing or fresh).
+    pub fn intern(&mut self, label: &str) -> TaxonId {
+        if let Some(&id) = self.index.get(label) {
+            return id;
+        }
+        let id = TaxonId(self.labels.len() as u32);
+        self.labels.push(label.to_string());
+        self.index.insert(label.to_string(), id);
+        id
+    }
+
+    /// Look up an existing label.
+    pub fn get(&self, label: &str) -> Option<TaxonId> {
+        self.index.get(label).copied()
+    }
+
+    /// Look up an existing label, erroring with [`PhyloError::UnknownTaxon`].
+    pub fn require(&self, label: &str) -> Result<TaxonId, PhyloError> {
+        self.get(label)
+            .ok_or_else(|| PhyloError::UnknownTaxon(label.to_string()))
+    }
+
+    /// The label of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is not from this namespace.
+    pub fn label(&self, id: TaxonId) -> &str {
+        &self.labels[id.index()]
+    }
+
+    /// Iterate `(id, label)` pairs in bit order.
+    pub fn iter(&self) -> impl Iterator<Item = (TaxonId, &str)> {
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (TaxonId(i as u32), l.as_str()))
+    }
+
+    /// All ids, in bit order.
+    pub fn ids(&self) -> impl Iterator<Item = TaxonId> {
+        (0..self.labels.len() as u32).map(TaxonId)
+    }
+
+    /// Ids of labels present in both namespaces, as pairs `(self_id, other_id)`.
+    ///
+    /// This is the "reduce to the taxa intersection" step of supertree-style
+    /// variable-taxa RF (paper §VII.E).
+    pub fn intersection_ids<'a>(
+        &'a self,
+        other: &'a TaxonSet,
+    ) -> impl Iterator<Item = (TaxonId, TaxonId)> + 'a {
+        self.iter()
+            .filter_map(move |(id, label)| other.get(label).map(|oid| (id, oid)))
+    }
+}
+
+impl fmt::Display for TaxonSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TaxonSet[{}]{{", self.len())?;
+        for (i, l) in self.labels.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(l)?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut t = TaxonSet::new();
+        let a = t.intern("A");
+        let b = t.intern("B");
+        assert_eq!(a, TaxonId(0));
+        assert_eq!(b, TaxonId(1));
+        assert_eq!(t.intern("A"), a, "re-interning returns the same id");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.label(a), "A");
+        assert_eq!(t.label(b), "B");
+    }
+
+    #[test]
+    fn lookup_and_require() {
+        let mut t = TaxonSet::new();
+        t.intern("Homo_sapiens");
+        assert_eq!(t.get("Homo_sapiens"), Some(TaxonId(0)));
+        assert_eq!(t.get("Pan"), None);
+        assert!(t.require("Homo_sapiens").is_ok());
+        assert_eq!(
+            t.require("Pan"),
+            Err(PhyloError::UnknownTaxon("Pan".into()))
+        );
+    }
+
+    #[test]
+    fn numbered_constructor() {
+        let t = TaxonSet::with_numbered("t", 5);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.get("t0"), Some(TaxonId(0)));
+        assert_eq!(t.get("t4"), Some(TaxonId(4)));
+        assert_eq!(t.get("t5"), None);
+    }
+
+    #[test]
+    fn iteration_in_bit_order() {
+        let mut t = TaxonSet::new();
+        for l in ["C", "A", "B"] {
+            t.intern(l);
+        }
+        let order: Vec<&str> = t.iter().map(|(_, l)| l).collect();
+        assert_eq!(order, ["C", "A", "B"], "insertion order, not sorted");
+        let ids: Vec<u32> = t.ids().map(|i| i.0).collect();
+        assert_eq!(ids, [0, 1, 2]);
+    }
+
+    #[test]
+    fn intersection_ids_maps_labels() {
+        let mut a = TaxonSet::new();
+        for l in ["x", "y", "z"] {
+            a.intern(l);
+        }
+        let mut b = TaxonSet::new();
+        for l in ["z", "w", "x"] {
+            b.intern(l);
+        }
+        let pairs: Vec<_> = a.intersection_ids(&b).collect();
+        assert_eq!(pairs, vec![(TaxonId(0), TaxonId(2)), (TaxonId(2), TaxonId(0))]);
+    }
+}

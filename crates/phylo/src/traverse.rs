@@ -1,0 +1,181 @@
+//! Allocation-light traversal iterators.
+//!
+//! [`Tree::postorder`]/[`Tree::preorder`] return materialized `Vec`s, which
+//! the hot paths want anyway (they iterate the full order at least once).
+//! The iterators here serve callers that may stop early or only need a
+//! slice of the tree: ancestors walks, level-order, and the edge stream.
+
+use crate::tree::{NodeId, Tree};
+
+/// Iterator over `(parent, child)` edges in preorder of the child.
+pub struct Edges<'a> {
+    tree: &'a Tree,
+    stack: Vec<NodeId>,
+}
+
+impl<'a> Iterator for Edges<'a> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<(NodeId, NodeId)> {
+        let child = self.stack.pop()?;
+        for &c in self.tree.children(child).iter().rev() {
+            self.stack.push(c);
+        }
+        let parent = self.tree.parent(child)?;
+        Some((parent, child))
+    }
+}
+
+/// Iterator walking from a node up to the root.
+pub struct Ancestors<'a> {
+    tree: &'a Tree,
+    current: Option<NodeId>,
+}
+
+impl<'a> Iterator for Ancestors<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let n = self.current?;
+        self.current = self.tree.parent(n);
+        Some(n)
+    }
+}
+
+/// Breadth-first (level order) iterator.
+pub struct LevelOrder<'a> {
+    tree: &'a Tree,
+    queue: std::collections::VecDeque<NodeId>,
+}
+
+impl<'a> Iterator for LevelOrder<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let n = self.queue.pop_front()?;
+        self.queue.extend(self.tree.children(n));
+        Some(n)
+    }
+}
+
+impl Tree {
+    /// Stream of `(parent, child)` edges. The virtual "root edge" is not an
+    /// edge, so a tree with `k` reachable nodes yields `k - 1` pairs.
+    pub fn edges(&self) -> Edges<'_> {
+        let mut stack = Vec::new();
+        if let Some(root) = self.root() {
+            // Seed with root's children; the root itself has no parent edge.
+            for &c in self.children(root).iter().rev() {
+                stack.push(c);
+            }
+        }
+        Edges { tree: self, stack }
+    }
+
+    /// Walk from `node` (inclusive) up to the root (inclusive).
+    pub fn ancestors(&self, node: NodeId) -> Ancestors<'_> {
+        Ancestors {
+            tree: self,
+            current: Some(node),
+        }
+    }
+
+    /// Breadth-first traversal from the root.
+    pub fn level_order(&self) -> LevelOrder<'_> {
+        let mut queue = std::collections::VecDeque::new();
+        if let Some(root) = self.root() {
+            queue.push_back(root);
+        }
+        LevelOrder { tree: self, queue }
+    }
+
+    /// Depth (number of edges from the root) of `node`.
+    pub fn depth(&self, node: NodeId) -> usize {
+        self.ancestors(node).count() - 1
+    }
+
+    /// Sum of branch lengths from `node` to the root (missing lengths count
+    /// as zero).
+    pub fn root_distance(&self, node: NodeId) -> f64 {
+        self.ancestors(node)
+            .map(|n| self.length(n).unwrap_or(0.0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxa::TaxonSet;
+
+    fn caterpillar(n: usize) -> (Tree, TaxonSet, Vec<NodeId>) {
+        // (((t0,t1),t2),t3)... a ladder; returns leaves in taxon order.
+        let taxa = TaxonSet::with_numbered("t", n);
+        let (mut t, root) = Tree::with_root();
+        let mut leaves = Vec::new();
+        let mut spine = root;
+        // build top-down: root has child (spine) and leaf t_{n-1}, etc.
+        for i in (2..n).rev() {
+            let leaf = t.add_leaf(spine, crate::TaxonId(i as u32));
+            leaves.push(leaf);
+            spine = t.add_child(spine);
+        }
+        leaves.push(t.add_leaf(spine, crate::TaxonId(1)));
+        leaves.push(t.add_leaf(spine, crate::TaxonId(0)));
+        leaves.reverse();
+        let _ = taxa.len();
+        (t, taxa, leaves)
+    }
+
+    #[test]
+    fn edges_count_is_nodes_minus_one() {
+        let (t, _, _) = caterpillar(6);
+        let edges: Vec<_> = t.edges().collect();
+        assert_eq!(edges.len(), t.num_nodes() - 1);
+        for (p, c) in edges {
+            assert_eq!(t.parent(c), Some(p));
+        }
+    }
+
+    #[test]
+    fn ancestors_ends_at_root() {
+        let (t, _, leaves) = caterpillar(5);
+        let chain: Vec<_> = t.ancestors(leaves[0]).collect();
+        assert_eq!(chain.first(), Some(&leaves[0]));
+        assert_eq!(chain.last().copied(), t.root());
+        // deepest leaf in a 5-caterpillar: depth n-2 = 3 + 1 = 4 nodes above
+        assert_eq!(t.depth(leaves[0]), chain.len() - 1);
+    }
+
+    #[test]
+    fn level_order_covers_all_nodes_once() {
+        let (t, _, _) = caterpillar(7);
+        let seen: Vec<_> = t.level_order().collect();
+        assert_eq!(seen.len(), t.num_nodes());
+        let mut sorted = seen.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seen.len());
+        assert_eq!(seen[0], t.root().unwrap());
+    }
+
+    #[test]
+    fn root_distance_sums_lengths() {
+        let mut taxa = TaxonSet::new();
+        let a = taxa.intern("A");
+        let (mut t, root) = Tree::with_root();
+        let mid = t.add_child(root);
+        t.set_length(mid, Some(1.5));
+        let leaf = t.add_leaf(mid, a);
+        t.set_length(leaf, Some(2.0));
+        assert_eq!(t.root_distance(leaf), 3.5);
+        assert_eq!(t.root_distance(root), 0.0);
+    }
+
+    #[test]
+    fn empty_tree_traversals() {
+        let t = Tree::new();
+        assert_eq!(t.edges().count(), 0);
+        assert_eq!(t.level_order().count(), 0);
+    }
+}

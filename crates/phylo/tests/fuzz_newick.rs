@@ -1,0 +1,84 @@
+//! Parser robustness: arbitrary byte soup must produce `Err`, never a
+//! panic, and valid inputs perturbed by mutation must either parse or
+//! error cleanly. The streaming reader gets the same treatment.
+
+use phylo::newick::NewickStream;
+use phylo::{parse_newick, TaxaPolicy, TaxonSet};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_strings_never_panic(s in "\\PC{0,120}") {
+        let mut taxa = TaxonSet::new();
+        let _ = parse_newick(&s, &mut taxa, TaxaPolicy::Grow);
+    }
+
+    #[test]
+    fn newick_flavored_soup_never_panics(
+        s in "[(),;:A-Ea-e0-9.'\\[\\] _-]{0,160}",
+    ) {
+        let mut taxa = TaxonSet::new();
+        let _ = parse_newick(&s, &mut taxa, TaxaPolicy::Grow);
+        // the streaming splitter must also survive and terminate
+        let mut taxa2 = TaxonSet::new();
+        let mut stream = NewickStream::new(s.as_bytes(), TaxaPolicy::Grow);
+        for _ in 0..200 {
+            match stream.next_tree(&mut taxa2) {
+                Ok(None) | Err(_) => break,
+                Ok(Some(_)) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn mutated_valid_tree_parses_or_errors(
+        idx in 0usize..28,
+        replacement in "[(),;:A-D0-9.]",
+    ) {
+        let base = "((A:1.5,B):2,(C,D):1e-2);";
+        let mut bytes = base.as_bytes().to_vec();
+        let i = idx % bytes.len();
+        bytes[i] = replacement.as_bytes()[0];
+        if let Ok(s) = std::str::from_utf8(&bytes) {
+            let mut taxa = TaxonSet::new();
+            if let Ok(tree) = parse_newick(s, &mut taxa, TaxaPolicy::Grow) {
+                // a successful parse must produce a structurally sound tree
+                prop_assert!(tree.root().is_some());
+                prop_assert!(tree.leaf_count() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_write_parse_fixpoint(seed in any::<u64>(), n in 4usize..24) {
+        // generated trees → text → tree → text must be a fixpoint
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let tree = phylo_sim_free_random_tree(n, &mut rng);
+        let taxa = TaxonSet::with_numbered("t", n);
+        let s1 = phylo::write_newick(&tree, &taxa);
+        let mut taxa2 = taxa.clone();
+        let t2 = parse_newick(&s1, &mut taxa2, TaxaPolicy::Require).unwrap();
+        let s2 = phylo::write_newick(&t2, &taxa2);
+        prop_assert_eq!(s1, s2);
+    }
+}
+
+/// Local random-tree builder (this crate cannot depend on phylo-sim).
+fn phylo_sim_free_random_tree(n: usize, rng: &mut rand::rngs::StdRng) -> phylo::Tree {
+    use rand::RngExt;
+    let (mut t, root) = phylo::Tree::with_root();
+    t.add_leaf(root, phylo::TaxonId(0));
+    t.add_leaf(root, phylo::TaxonId(1));
+    for i in 2..n {
+        let edges: Vec<_> = t.edges().collect();
+        let (p, c) = edges[rng.random_range(0..edges.len())];
+        t.detach_child(p, c);
+        let mid = t.add_child(p);
+        t.attach_child(mid, c);
+        t.add_leaf(mid, phylo::TaxonId(i as u32));
+    }
+    t
+}

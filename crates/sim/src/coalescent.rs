@@ -1,0 +1,204 @@
+//! Multispecies-coalescent (MSC) gene-tree simulation.
+//!
+//! Given an ultrametric species tree with branch lengths in coalescent
+//! units, each gene tree is drawn by running a Kingman coalescent within
+//! every species branch, bottom-up: lineages entering a branch may merge
+//! while the branch lasts; unmerged lineages are handed to the parent
+//! branch; everything remaining above the species root coalesces freely.
+//! This is the generative model SimPhy implements and ASTRAL-II's S100
+//! datasets are produced by, which the paper uses for its simulated
+//! experiments.
+//!
+//! Short species branches produce high discordance (few shared splits
+//! across gene trees), long branches high concordance — the knob that
+//! shapes the bipartition frequency distribution BFHRF's memory behaviour
+//! depends on.
+
+use crate::sample_exponential;
+use crate::species::{materialize, node_heights};
+use phylo::{TaxonId, TaxonSet, Tree, TreeCollection};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Simulator holding a species tree and producing gene trees under the MSC.
+pub struct MscSimulator {
+    species: Tree,
+    taxa: TaxonSet,
+    heights: Vec<f64>,
+    /// Effective population scale: coalescent rate within branches is
+    /// `C(k,2) / pop_scale`. Values ≫ branch lengths → star-like gene
+    /// trees; values ≪ branch lengths → gene trees matching the species
+    /// tree.
+    pop_scale: f64,
+    rng: StdRng,
+}
+
+impl MscSimulator {
+    /// Create a simulator for `species` (ultrametric, leaves labelled from
+    /// `taxa`), with the given population scale and RNG seed.
+    pub fn new(species: Tree, taxa: TaxonSet, pop_scale: f64, seed: u64) -> Self {
+        assert!(pop_scale > 0.0, "population scale must be positive");
+        let heights = node_heights(&species);
+        MscSimulator {
+            species,
+            taxa,
+            heights,
+            pop_scale,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The taxon namespace shared by the species tree and all gene trees.
+    pub fn taxa(&self) -> &TaxonSet {
+        &self.taxa
+    }
+
+    /// The species tree.
+    pub fn species_tree(&self) -> &Tree {
+        &self.species
+    }
+
+    /// Simulate one gene tree with one allele per species. Branch lengths
+    /// are in coalescent time units.
+    pub fn gene_tree(&mut self) -> Tree {
+        // proto-nodes as in species.rs: (children, taxon, height)
+        let mut protos: Vec<(Vec<usize>, Option<TaxonId>, f64)> = Vec::new();
+        // lineage sets flowing up the species tree, per species node
+        let mut pending: Vec<Vec<usize>> = vec![Vec::new(); self.species.num_nodes()];
+        let root = self.species.root().expect("species tree is nonempty");
+        for node in self.species.postorder() {
+            let mut lineages = if self.species.is_leaf(node) {
+                let taxon = self.species.taxon(node).expect("species leaves are labelled");
+                protos.push((Vec::new(), Some(taxon), self.heights[node.index()]));
+                vec![protos.len() - 1]
+            } else {
+                let mut merged = Vec::new();
+                for &c in self.species.children(node) {
+                    merged.append(&mut pending[c.index()]);
+                }
+                merged
+            };
+            // coalesce within the branch above `node`
+            let start = self.heights[node.index()];
+            let end = if node == root {
+                f64::INFINITY
+            } else {
+                let parent = self.species.parent(node).unwrap();
+                self.heights[parent.index()]
+            };
+            let mut t = start;
+            while lineages.len() > 1 {
+                let k = lineages.len();
+                let rate = (k * (k - 1)) as f64 / 2.0 / self.pop_scale;
+                t += sample_exponential(&mut self.rng, rate);
+                if t >= end {
+                    break;
+                }
+                let i = self.rng.random_range(0..lineages.len());
+                let a = lineages.swap_remove(i);
+                let j = self.rng.random_range(0..lineages.len());
+                let b = lineages.swap_remove(j);
+                protos.push((vec![a, b], None, t));
+                lineages.push(protos.len() - 1);
+            }
+            pending[node.index()] = lineages;
+        }
+        let top = pending[root.index()].clone();
+        debug_assert_eq!(top.len(), 1, "root branch coalesces to one lineage");
+        materialize(&protos, top[0])
+    }
+
+    /// Simulate `count` gene trees as a [`TreeCollection`] sharing the
+    /// species taxa.
+    pub fn gene_trees(&mut self, count: usize) -> TreeCollection {
+        let trees = (0..count).map(|_| self.gene_tree()).collect();
+        TreeCollection {
+            taxa: self.taxa.clone(),
+            trees,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::species::kingman_species_tree;
+    use phylo::BipartitionSet;
+
+    fn sim(n: usize, pop_scale: f64, seed: u64) -> MscSimulator {
+        let (sp, taxa) = kingman_species_tree(n, 1.0, seed);
+        MscSimulator::new(sp, taxa, pop_scale, seed ^ 0xdead)
+    }
+
+    #[test]
+    fn gene_trees_are_valid_binary_full_taxa() {
+        let mut s = sim(15, 0.5, 3);
+        for _ in 0..20 {
+            let g = s.gene_tree();
+            assert_eq!(g.validate(s.taxa()).unwrap(), 15);
+            assert!(g.is_binary());
+        }
+    }
+
+    #[test]
+    fn low_population_scale_recovers_species_tree() {
+        // With pop_scale tiny, lineages coalesce immediately within each
+        // branch: gene trees match the species topology.
+        let mut s = sim(12, 1e-6, 9);
+        let sp_set = BipartitionSet::from_tree(s.species_tree(), &s.taxa().clone());
+        for _ in 0..10 {
+            let g = s.gene_tree();
+            let g_set = BipartitionSet::from_tree(&g, s.taxa());
+            assert_eq!(sp_set.rf_distance(&g_set), 0);
+        }
+    }
+
+    #[test]
+    fn high_population_scale_creates_discordance() {
+        let mut s = sim(12, 100.0, 9);
+        let sp_set = BipartitionSet::from_tree(s.species_tree(), &s.taxa().clone());
+        let mut total = 0usize;
+        for _ in 0..10 {
+            let g = s.gene_tree();
+            total += sp_set.rf_distance(&BipartitionSet::from_tree(&g, s.taxa()));
+        }
+        assert!(total > 0, "deep coalescence must shuffle topologies");
+    }
+
+    #[test]
+    fn gene_tree_heights_respect_species_constraints() {
+        // A gene-tree coalescence of lineages from two species cannot be
+        // more recent than the species divergence: all internal gene
+        // heights ≥ 0 and branch lengths ≥ 0.
+        let mut s = sim(10, 1.0, 21);
+        let g = s.gene_tree();
+        for node in g.postorder() {
+            if let Some(l) = g.length(node) {
+                assert!(l >= 0.0, "negative gene branch {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn collection_has_requested_size_and_shared_taxa() {
+        let mut s = sim(8, 1.0, 5);
+        let coll = s.gene_trees(25);
+        assert_eq!(coll.len(), 25);
+        assert_eq!(coll.taxa.len(), 8);
+        for t in &coll.trees {
+            assert_eq!(t.leaf_count(), 8);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let trees1 = sim(10, 1.0, 77).gene_trees(5);
+        let trees2 = sim(10, 1.0, 77).gene_trees(5);
+        for (a, b) in trees1.trees.iter().zip(&trees2.trees) {
+            assert_eq!(
+                phylo::write_newick(a, &trees1.taxa),
+                phylo::write_newick(b, &trees2.taxa)
+            );
+        }
+    }
+}

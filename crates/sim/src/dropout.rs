@@ -1,0 +1,150 @@
+//! Taxon dropout: variable-taxa collections.
+//!
+//! Real gene-tree collections rarely cover every species ("it is not
+//! typical of real-world data sets" for taxa to be identical — paper §I);
+//! fragmentary sequences drop taxa from individual gene trees. This
+//! module post-processes a fixed-taxa collection by deleting each leaf
+//! independently with probability `dropout`, keeping at least
+//! `min_leaves`, producing the inputs the variable-taxa RF pathway
+//! ([`bfhrf`'s `variable_taxa`] in the core crate) is built for.
+
+use phylo::{Tree, TreeCollection};
+use phylo_bitset::Bits;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Apply independent leaf dropout to every tree of `coll`.
+///
+/// Each taxon of each tree is removed with probability `dropout`; if a
+/// draw would leave fewer than `min_leaves` leaves, taxa are retained (in
+/// random order) until the floor is met. The namespace is shared and
+/// unchanged — only tree leaf sets shrink.
+///
+/// # Panics
+/// Panics unless `0.0 <= dropout < 1.0` and `min_leaves >= 1`.
+pub fn with_dropout(
+    coll: &TreeCollection,
+    dropout: f64,
+    min_leaves: usize,
+    seed: u64,
+) -> TreeCollection {
+    assert!((0.0..1.0).contains(&dropout), "dropout must be in [0, 1)");
+    assert!(min_leaves >= 1, "min_leaves must be positive");
+    let n = coll.taxa.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trees: Vec<Tree> = coll
+        .trees
+        .iter()
+        .map(|tree| {
+            let leafset = tree.leafset(n);
+            let leaves: Vec<usize> = leafset.iter_ones().collect();
+            let floor = min_leaves.min(leaves.len());
+            let mut keep = Bits::zeros(n);
+            let mut kept = 0usize;
+            let mut dropped: Vec<usize> = Vec::new();
+            for &taxon in &leaves {
+                if rng.random_range(0.0..1.0) >= dropout {
+                    keep.set(taxon);
+                    kept += 1;
+                } else {
+                    dropped.push(taxon);
+                }
+            }
+            // backfill to the floor with random dropped taxa
+            while kept < floor {
+                let i = rng.random_range(0..dropped.len());
+                keep.set(dropped.swap_remove(i));
+                kept += 1;
+            }
+            tree.restricted(&keep)
+                .expect("floor guarantees at least one leaf")
+        })
+        .collect();
+    TreeCollection {
+        taxa: coll.taxa.clone(),
+        trees,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::DatasetSpec;
+
+    fn base() -> TreeCollection {
+        crate::generate(&DatasetSpec::new("dropout", 20, 30, 4))
+    }
+
+    #[test]
+    fn dropout_shrinks_leaf_sets() {
+        let coll = base();
+        let out = with_dropout(&coll, 0.3, 4, 9);
+        assert_eq!(out.len(), 30);
+        let mut any_smaller = false;
+        for t in &out.trees {
+            let k = t.leaf_count();
+            assert!(k >= 4);
+            assert!(k <= 20);
+            if k < 20 {
+                any_smaller = true;
+            }
+            assert!(t.validate(&out.taxa).is_ok());
+        }
+        assert!(any_smaller, "30% dropout must hit something");
+    }
+
+    #[test]
+    fn zero_dropout_is_identity_topology() {
+        let coll = base();
+        let out = with_dropout(&coll, 0.0, 1, 9);
+        for (a, b) in coll.trees.iter().zip(&out.trees) {
+            assert_eq!(
+                phylo::write_newick(a, &coll.taxa),
+                phylo::write_newick(b, &out.taxa)
+            );
+        }
+    }
+
+    #[test]
+    fn floor_is_respected_under_heavy_dropout() {
+        let coll = base();
+        let out = with_dropout(&coll, 0.95, 6, 2);
+        for t in &out.trees {
+            assert!(t.leaf_count() >= 6, "floor violated: {}", t.leaf_count());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let coll = base();
+        let a = with_dropout(&coll, 0.4, 4, 77);
+        let b = with_dropout(&coll, 0.4, 4, 77);
+        for (x, y) in a.trees.iter().zip(&b.trees) {
+            assert_eq!(
+                phylo::write_newick(x, &a.taxa),
+                phylo::write_newick(y, &b.taxa)
+            );
+        }
+    }
+
+    #[test]
+    fn feeds_variable_taxa_pipeline() {
+        // the whole point: dropout output must flow through restriction-RF
+        let coll = base();
+        let refs = with_dropout(&coll, 0.15, 10, 5);
+        let queries = TreeCollection {
+            taxa: coll.taxa.clone(),
+            trees: coll.trees[..3].to_vec(),
+        };
+        // common taxa across all refs and queries can be small but the
+        // pipeline must either succeed or give the typed too-few error
+        match bfhrf::variable_taxa::common_taxa_rf(&refs, &queries) {
+            Ok(out) => {
+                assert!(out.taxa.len() >= 4);
+                assert_eq!(out.scores.len(), 3);
+            }
+            Err(bfhrf::CoreError::TaxaMismatch(_)) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Simulated phylogenetic datasets for the BFHRF experiments.
+//!
+//! The paper evaluates on two real collections (Avian: Jarvis et al. 2014,
+//! n=48, r=14446; Insect: Sayyari et al. 2017, n=144, r=149278) and on
+//! simulated collections generated with SimPhy following the ASTRAL-II
+//! S100 protocol. Neither the real files nor SimPhy are available here, so
+//! this crate provides the closest synthetic equivalent:
+//!
+//! * [`species`] — ultrametric species-tree generators (Yule birth process
+//!   and Kingman coalescent);
+//! * [`coalescent`] — multispecies-coalescent gene-tree simulation within a
+//!   species tree, the same generative model SimPhy implements. Gene trees
+//!   share bipartitions with rates governed by branch lengths in coalescent
+//!   units, reproducing the "centralized distribution" of splits that the
+//!   paper's memory discussion (§VII.C) depends on;
+//! * [`perturb`] — random NNI walks from a base tree, for collections with
+//!   directly controlled RF spread;
+//! * [`datasets`] — named presets matching the paper's Table II shapes.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod coalescent;
+pub mod datasets;
+pub mod dropout;
+pub mod perturb;
+pub mod species;
+
+pub use coalescent::MscSimulator;
+pub use datasets::{generate, DatasetSpec};
+pub use species::{kingman_species_tree, yule_species_tree};
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Draw from `Exp(rate)` by inverse CDF (rand_distr is not a dependency;
+/// one line suffices).
+pub(crate) fn sample_exponential(rng: &mut StdRng, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_sampling_has_right_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let rate = 2.5;
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| sample_exponential(&mut rng, rate)).sum::<f64>() / n as f64;
+        assert!(
+            (mean - 1.0 / rate).abs() < 0.02,
+            "empirical mean {mean} far from {}",
+            1.0 / rate
+        );
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(sample_exponential(&mut rng, 0.1) > 0.0);
+        }
+    }
+}

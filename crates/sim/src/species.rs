@@ -1,0 +1,206 @@
+//! Ultrametric species-tree generators.
+//!
+//! Both generators label leaves `t0..t{n-1}` in a fresh [`TaxonSet`] and
+//! set branch lengths so that every leaf is at height 0 and the root is the
+//! highest node — the geometry the multispecies coalescent needs.
+
+use crate::sample_exponential;
+use phylo::{NodeId, TaxonId, TaxonSet, Tree};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generate a Kingman-coalescent species tree on `n` taxa.
+///
+/// Lineages merge backwards in time with rate `C(k,2)/scale`; larger
+/// `scale` stretches internal branches (deeper trees → less gene-tree
+/// discordance downstream).
+pub fn kingman_species_tree(n: usize, scale: f64, seed: u64) -> (Tree, TaxonSet) {
+    assert!(n >= 2, "need at least two taxa");
+    assert!(scale > 0.0, "scale must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let taxa = TaxonSet::with_numbered("t", n);
+    // proto-nodes: (children, taxon, height)
+    let mut protos: Vec<(Vec<usize>, Option<TaxonId>, f64)> = (0..n)
+        .map(|i| (Vec::new(), Some(TaxonId(i as u32)), 0.0))
+        .collect();
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut t = 0.0f64;
+    while active.len() > 1 {
+        let k = active.len();
+        let rate = (k * (k - 1)) as f64 / 2.0 / scale;
+        t += sample_exponential(&mut rng, rate);
+        let i = rng.random_range(0..active.len());
+        let a = active.swap_remove(i);
+        let j = rng.random_range(0..active.len());
+        let b = active.swap_remove(j);
+        protos.push((vec![a, b], None, t));
+        active.push(protos.len() - 1);
+    }
+    (materialize(&protos, active[0]), taxa)
+}
+
+/// Generate a Yule (pure-birth) species tree on `n` taxa with birth rate
+/// `lambda`, made ultrametric by extending every tip to the time of the
+/// last split.
+pub fn yule_species_tree(n: usize, lambda: f64, seed: u64) -> (Tree, TaxonSet) {
+    assert!(n >= 2, "need at least two taxa");
+    assert!(lambda > 0.0, "lambda must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let taxa = TaxonSet::with_numbered("t", n);
+    // Forward-time construction: nodes store split times; tips split at
+    // exponential times with total rate k*lambda.
+    struct FwdNode {
+        children: Vec<usize>,
+        time: f64, // time of this node's split (tips: assigned at the end)
+    }
+    let mut nodes = vec![FwdNode {
+        children: Vec::new(),
+        time: 0.0,
+    }];
+    let mut tips = vec![0usize];
+    let mut now = 0.0f64;
+    while tips.len() < n {
+        let k = tips.len();
+        now += sample_exponential(&mut rng, k as f64 * lambda);
+        let idx = rng.random_range(0..tips.len());
+        let parent = tips.swap_remove(idx);
+        nodes[parent].time = now;
+        for _ in 0..2 {
+            nodes.push(FwdNode {
+                children: Vec::new(),
+                time: 0.0,
+            });
+            let c = nodes.len() - 1;
+            nodes[parent].children.push(c);
+            tips.push(c);
+        }
+    }
+    let total = now; // all tips extend to the last split time
+    // convert forward times to heights (time before present)
+    let mut protos: Vec<(Vec<usize>, Option<TaxonId>, f64)> = Vec::with_capacity(nodes.len());
+    let mut tip_counter = 0u32;
+    for node in &nodes {
+        if node.children.is_empty() {
+            protos.push((Vec::new(), Some(TaxonId(tip_counter)), 0.0));
+            tip_counter += 1;
+        } else {
+            protos.push((node.children.clone(), None, total - node.time));
+        }
+    }
+    (materialize(&protos, 0), taxa)
+}
+
+/// Convert a proto-forest (children lists + heights, leaves at height 0)
+/// into a [`Tree`] rooted at `root`, with branch lengths equal to height
+/// differences.
+pub(crate) fn materialize(
+    protos: &[(Vec<usize>, Option<TaxonId>, f64)],
+    root: usize,
+) -> Tree {
+    let mut tree = Tree::new();
+    let tree_root = tree.add_root();
+    let mut stack: Vec<(usize, NodeId)> = vec![(root, tree_root)];
+    while let Some((p, node)) = stack.pop() {
+        let (children, taxon, height) = &protos[p];
+        tree.set_taxon(node, *taxon);
+        for &c in children {
+            let child_node = tree.add_child(node);
+            let child_height = protos[c].2;
+            tree.set_length(child_node, Some(height - child_height));
+            stack.push((c, child_node));
+        }
+    }
+    tree
+}
+
+/// Height (time before present) of every node, from branch lengths.
+/// Leaves of an ultrametric tree are all at (approximately) zero.
+pub fn node_heights(tree: &Tree) -> Vec<f64> {
+    let mut heights = vec![0.0f64; tree.num_nodes()];
+    let Some(root) = tree.root() else {
+        return heights;
+    };
+    // root height = max root distance over leaves
+    let mut max_depth = 0.0f64;
+    for leaf in tree.leaves() {
+        max_depth = max_depth.max(tree.root_distance(leaf));
+    }
+    for node in tree.preorder() {
+        if node == root {
+            heights[node.index()] = max_depth;
+        } else {
+            let parent = tree.parent(node).unwrap();
+            heights[node.index()] =
+                heights[parent.index()] - tree.length(node).unwrap_or(0.0);
+        }
+    }
+    heights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kingman_tree_is_valid_binary_ultrametric() {
+        let (t, taxa) = kingman_species_tree(20, 1.0, 42);
+        assert_eq!(t.validate(&taxa).unwrap(), 20);
+        assert!(t.is_binary());
+        let heights = node_heights(&t);
+        for leaf in t.leaves() {
+            assert!(
+                heights[leaf.index()].abs() < 1e-9,
+                "leaf height {} not ~0",
+                heights[leaf.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn yule_tree_is_valid_binary_ultrametric() {
+        let (t, taxa) = yule_species_tree(25, 1.0, 7);
+        assert_eq!(t.validate(&taxa).unwrap(), 25);
+        assert!(t.is_binary());
+        let heights = node_heights(&t);
+        for leaf in t.leaves() {
+            assert!(heights[leaf.index()].abs() < 1e-9);
+        }
+        // every branch length is nonnegative
+        for node in t.postorder() {
+            if let Some(l) = t.length(node) {
+                assert!(l >= 0.0, "negative branch length {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_and_seed_sensitive() {
+        let s = |seed| {
+            let (t, taxa) = kingman_species_tree(12, 1.0, seed);
+            phylo::write_newick(&t, &taxa)
+        };
+        assert_eq!(s(5), s(5));
+        assert_ne!(s(5), s(6));
+    }
+
+    #[test]
+    fn scale_stretches_depth() {
+        let depth = |scale: f64| {
+            let (t, _) = kingman_species_tree(30, scale, 11);
+            node_heights(&t)[t.root().unwrap().index()]
+        };
+        // Kingman expected depth ≈ scale * 2(1 - 1/n); 20x scale should
+        // dominate sampling noise at a fixed seed.
+        assert!(depth(20.0) > depth(1.0));
+    }
+
+    #[test]
+    fn minimum_size_trees() {
+        let (t, taxa) = kingman_species_tree(2, 1.0, 0);
+        assert_eq!(t.leaf_count(), 2);
+        assert!(t.validate(&taxa).is_ok());
+        let (t, taxa) = yule_species_tree(2, 1.0, 0);
+        assert_eq!(t.leaf_count(), 2);
+        assert!(t.validate(&taxa).is_ok());
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the simulators: structural invariants must hold for
+//! arbitrary sizes, rates and seeds, not just the unit-test fixtures.
+
+use phylo::BipartitionSet;
+use phylo_sim::coalescent::MscSimulator;
+use phylo_sim::perturb::{nni_forest, random_collection};
+use phylo_sim::species::{kingman_species_tree, node_heights, yule_species_tree};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn species_trees_are_ultrametric_binary(
+        n in 2usize..80,
+        scale in 0.05f64..20.0,
+        seed in any::<u64>(),
+        yule in any::<bool>(),
+    ) {
+        let (t, taxa) = if yule {
+            yule_species_tree(n, scale, seed)
+        } else {
+            kingman_species_tree(n, scale, seed)
+        };
+        prop_assert_eq!(t.validate(&taxa).unwrap(), n);
+        prop_assert!(t.is_binary());
+        let heights = node_heights(&t);
+        for leaf in t.leaves() {
+            prop_assert!(heights[leaf.index()].abs() < 1e-9);
+        }
+        // heights decrease from parent to child
+        for node in t.postorder() {
+            if let Some(p) = t.parent(node) {
+                prop_assert!(
+                    heights[p.index()] >= heights[node.index()] - 1e-9,
+                    "child above parent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gene_trees_cover_all_taxa_with_positive_branches(
+        n in 4usize..40,
+        pop in 0.01f64..10.0,
+        seed in any::<u64>(),
+    ) {
+        let (sp, taxa) = kingman_species_tree(n, 1.0, seed);
+        let mut sim = MscSimulator::new(sp, taxa, pop, seed ^ 0xabc);
+        for _ in 0..3 {
+            let g = sim.gene_tree();
+            prop_assert_eq!(g.validate(sim.taxa()).unwrap(), n);
+            prop_assert!(g.is_binary());
+            for node in g.postorder() {
+                if let Some(l) = g.length(node) {
+                    prop_assert!(l >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nni_forest_distance_bounded_by_move_count(
+        n in 6usize..30,
+        moves in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let base_coll = random_collection(n, 1, seed);
+        let forest = nni_forest(&base_coll.trees[0], &base_coll.taxa, 4, moves, seed ^ 1);
+        let b0 = BipartitionSet::from_tree(&base_coll.trees[0], &base_coll.taxa);
+        for t in &forest.trees {
+            let d = b0.rf_distance(&BipartitionSet::from_tree(t, &forest.taxa));
+            // each NNI changes at most one split on each side
+            prop_assert!(d <= 2 * moves, "distance {d} after {moves} moves");
+            prop_assert_eq!(t.validate(&forest.taxa).unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn random_collections_are_uniform_enough(
+        n in 10usize..40,
+        seed in any::<u64>(),
+    ) {
+        // two independent draws over the same namespace almost surely
+        // differ once n is nontrivial
+        let coll = random_collection(n, 2, seed);
+        let a = BipartitionSet::from_tree(&coll.trees[0], &coll.taxa);
+        let b = BipartitionSet::from_tree(&coll.trees[1], &coll.taxa);
+        prop_assert!(a.rf_distance(&b) > 0);
+    }
+
+    #[test]
+    fn dropout_respects_floor_and_namespace(
+        n in 8usize..30,
+        r in 1usize..8,
+        dropout in 0.0f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let coll = random_collection(n, r, seed);
+        let floor = 4usize.min(n);
+        let out = phylo_sim::dropout::with_dropout(&coll, dropout, floor, seed ^ 9);
+        prop_assert_eq!(out.taxa.len(), n, "namespace unchanged");
+        for t in &out.trees {
+            prop_assert!(t.leaf_count() >= floor);
+            prop_assert!(t.validate(&out.taxa).is_ok());
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Clustering a tree collection by RF distance.
+//!
+//! The paper's intro motivates the all-vs-all RF matrix with clustering
+//! workloads. Here a mixture of gene trees from TWO different species
+//! trees is clustered with k-medoids on the exact RF matrix; the
+//! clustering must recover the two sources, and the silhouette score must
+//! pick k = 2.
+//!
+//! ```text
+//! cargo run --release --example clustering
+//! ```
+
+use bfhrf::cluster::{k_medoids, silhouette};
+use bfhrf::matrix::rf_matrix_exact;
+use phylo::TreeCollection;
+use phylo_sim::coalescent::MscSimulator;
+use phylo_sim::species::kingman_species_tree;
+
+fn main() {
+    // two unrelated species trees over the same taxa
+    let (sp_a, taxa) = kingman_species_tree(24, 1.0, 100);
+    let (sp_b, _) = kingman_species_tree(24, 1.0, 200);
+    let mut sim_a = MscSimulator::new(sp_a, taxa.clone(), 0.1, 1);
+    let mut sim_b = MscSimulator::new(sp_b, taxa.clone(), 0.1, 2);
+
+    // interleave 60 + 60 gene trees
+    let genes_a = sim_a.gene_trees(60);
+    let genes_b = sim_b.gene_trees(60);
+    let mut trees = Vec::new();
+    let mut truth = Vec::new();
+    for (a, b) in genes_a.trees.into_iter().zip(genes_b.trees) {
+        trees.push(a);
+        truth.push(0usize);
+        trees.push(b);
+        truth.push(1usize);
+    }
+    let coll = TreeCollection { taxa, trees };
+    println!("mixture of {} gene trees from two species trees", coll.len());
+
+    let matrix = rf_matrix_exact(&coll.trees, &coll.taxa, 1 << 30).expect("fits budget");
+
+    // model selection: silhouette across k
+    println!("\n k   cost      silhouette");
+    let mut best_k = 2;
+    let mut best_sil = f64::MIN;
+    for k in 2..=5 {
+        let c = k_medoids(&matrix, k);
+        let s = silhouette(&matrix, &c.assignment, k);
+        println!("{k:>2}   {:>8}  {s:.3}", c.cost);
+        if s > best_sil {
+            best_sil = s;
+            best_k = k;
+        }
+    }
+    println!("\nsilhouette picks k = {best_k}");
+    assert_eq!(best_k, 2, "two sources → two clusters");
+
+    // purity of the k=2 clustering against the known sources
+    let c = k_medoids(&matrix, 2);
+    let agree = truth
+        .iter()
+        .zip(&c.assignment)
+        .filter(|&(&t, &a)| t == a)
+        .count();
+    let purity = agree.max(coll.len() - agree) as f64 / coll.len() as f64;
+    println!("cluster purity vs true sources: {:.1}%", purity * 100.0);
+    assert!(purity > 0.95, "sources must separate cleanly");
+}

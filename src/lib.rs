@@ -1,0 +1,2 @@
+//! Workspace-level examples and integration tests live in the root package.
+//! See `examples/` and `tests/`; the library surface is in the member crates.

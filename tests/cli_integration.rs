@@ -1,0 +1,148 @@
+//! Integration tests driving the CLI layer against generated files — the
+//! user-facing surface the paper advertises ("easy to use installation and
+//! interface").
+
+use std::path::PathBuf;
+
+fn workdir() -> PathBuf {
+    let dir = std::env::temp_dir().join("bfhrf-cli-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(parts: &[&str]) -> Result<String, String> {
+    bfhrf_cli::run(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+}
+
+#[test]
+fn simulate_then_analyze_roundtrip() {
+    let dir = workdir();
+    let data = dir.join("cli-sim.nwk");
+    let msg = run(&[
+        "simulate",
+        "--taxa",
+        "20",
+        "--trees",
+        "50",
+        "--out",
+        data.to_str().unwrap(),
+        "--seed",
+        "11",
+    ])
+    .unwrap();
+    assert!(msg.contains("wrote 50 trees"));
+
+    // self average-RF over the simulated file
+    let table = run(&["avgrf", "--refs", data.to_str().unwrap()]).unwrap();
+    assert_eq!(table.lines().count(), 51, "header + one row per query");
+    // all four algorithm selections agree line-for-line
+    for alg in ["bfhrf-seq", "ds", "dsmp"] {
+        let other = run(&[
+            "avgrf",
+            "--refs",
+            data.to_str().unwrap(),
+            "--algorithm",
+            alg,
+        ])
+        .unwrap();
+        assert_eq!(table, other, "algorithm {alg} diverged");
+    }
+    std::fs::remove_file(&data).ok();
+}
+
+#[test]
+fn consensus_output_reparses_and_matrix_is_symmetric() {
+    let dir = workdir();
+    let data = dir.join("cli-cons.nwk");
+    run(&[
+        "simulate",
+        "--taxa",
+        "12",
+        "--trees",
+        "30",
+        "--out",
+        data.to_str().unwrap(),
+        "--seed",
+        "5",
+        "--pop-scale",
+        "0.1",
+    ])
+    .unwrap();
+
+    let newick = run(&["consensus", "--refs", data.to_str().unwrap()]).unwrap();
+    let reparsed = phylo::TreeCollection::parse(&newick).unwrap();
+    assert_eq!(reparsed.len(), 1);
+    assert_eq!(reparsed.taxa.len(), 12);
+
+    let matrix = run(&["matrix", "--refs", data.to_str().unwrap()]).unwrap();
+    let rows: Vec<Vec<u32>> = matrix
+        .lines()
+        .map(|l| l.split('\t').map(|c| c.parse().unwrap()).collect())
+        .collect();
+    assert_eq!(rows.len(), 30);
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row[i], 0);
+        for (j, &cell) in row.iter().enumerate() {
+            assert_eq!(cell, rows[j][i]);
+        }
+    }
+    std::fs::remove_file(&data).ok();
+}
+
+#[test]
+fn best_query_against_separate_reference_file() {
+    let dir = workdir();
+    let refs = dir.join("cli-refs.nwk");
+    run(&[
+        "simulate",
+        "--taxa",
+        "16",
+        "--trees",
+        "80",
+        "--out",
+        refs.to_str().unwrap(),
+        "--seed",
+        "21",
+        "--pop-scale",
+        "0.05",
+    ])
+    .unwrap();
+    // queries: the consensus (a strong candidate) + a random-ish tree
+    let consensus = run(&["consensus", "--refs", refs.to_str().unwrap()]).unwrap();
+    let shuffled = {
+        // a deliberately bad candidate: caterpillar over the same labels
+        let coll = phylo_sim::datasets::read_collection(&refs).unwrap();
+        let labels: Vec<&str> = coll.taxa.iter().map(|(_, l)| l).collect();
+        let mut s = labels[0].to_string();
+        for l in &labels[1..] {
+            s = format!("({s},{l})");
+        }
+        format!("{s};")
+    };
+    let queries = dir.join("cli-queries.nwk");
+    std::fs::write(&queries, format!("{shuffled}\n{consensus}")).unwrap();
+    let out = run(&[
+        "best",
+        "--refs",
+        refs.to_str().unwrap(),
+        "--queries",
+        queries.to_str().unwrap(),
+    ])
+    .unwrap();
+    assert!(
+        out.contains("best_query\t1"),
+        "consensus must beat the caterpillar: {out}"
+    );
+    std::fs::remove_file(&refs).ok();
+    std::fs::remove_file(&queries).ok();
+}
+
+#[test]
+fn cli_surfaces_parse_errors_with_location() {
+    let dir = workdir();
+    let bad = dir.join("bad.nwk");
+    std::fs::write(&bad, "((A,B),(C,D);\n").unwrap();
+    let err = run(&["avgrf", "--refs", bad.to_str().unwrap()]).unwrap_err();
+    assert!(err.contains("parse error"), "got: {err}");
+    std::fs::remove_file(&bad).ok();
+}
