@@ -1,6 +1,7 @@
 //! Ablation benches on the design choices DESIGN.md calls out:
 //!
-//! * `hash_build` — sequential vs rayon fold/reduce BFH construction;
+//! * `hash_build` — sequential vs rayon fold/merge vs sharded BFH
+//!   construction;
 //! * `query_threads` — BFHRF query-phase thread scaling;
 //! * `day_vs_sets` — Day's O(n) pairwise RF vs the set-difference RF;
 //! * `idwidth` — HashRF compressed-ID width (collision cost is paid in
@@ -18,6 +19,7 @@ fn load(n: usize, r: usize, seed: u64) -> TreeCollection {
     TreeCollection::parse(&prepare(&DatasetSpec::new("abl", n, r, seed)).newick).unwrap()
 }
 
+#[allow(deprecated)] // fold-merge is the baseline under measurement
 fn hash_build(c: &mut Criterion) {
     let coll = load(100, 1000, 1);
     let mut group = c.benchmark_group("ablation_hash_build");
@@ -27,8 +29,11 @@ fn hash_build(c: &mut Criterion) {
     group.bench_function("sequential", |b| {
         b.iter(|| black_box(Bfh::build(&coll.trees, &coll.taxa).sum()))
     });
-    group.bench_function("parallel", |b| {
+    group.bench_function("fold_merge", |b| {
         b.iter(|| black_box(Bfh::build_parallel(&coll.trees, &coll.taxa).sum()))
+    });
+    group.bench_function("sharded_8", |b| {
+        b.iter(|| black_box(Bfh::build_sharded(&coll.trees, &coll.taxa, 8).sum()))
     });
     group.finish();
 }

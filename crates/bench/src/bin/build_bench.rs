@@ -1,0 +1,127 @@
+//! Hash-build ablation on the Insect-scale preset (n = 144), emitted as
+//! machine-readable JSON.
+//!
+//! ```text
+//! build_bench [--trees R] [--repeats K] [--out FILE]
+//! ```
+//!
+//! Builds the same bipartition frequency hash three ways — sequential
+//! `Bfh::build`, the rayon fold/merge `Bfh::build_parallel`, and the
+//! sharded two-phase `Bfh::build_sharded` — across pool sizes 1/2/4/8,
+//! checks the three produce identical hashes, and writes `BENCH_build.json`
+//! with the full grid plus the headline ratio: sharded vs fold-merge at
+//! 8 threads (target: ≥ 1.5×).
+
+use bfhrf_bench::runner::{build_ablation, BuildCell};
+use phylo_sim::DatasetSpec;
+use std::fmt::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trees = 5000usize;
+    let mut repeats = 5usize;
+    let mut out_path = "BENCH_build.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("build_bench: {name} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--trees" => {
+                trees = grab("--trees").parse().unwrap_or_else(|e| {
+                    eprintln!("build_bench: bad --trees: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--repeats" => {
+                repeats = grab("--repeats").parse().unwrap_or_else(|e| {
+                    eprintln!("build_bench: bad --repeats: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--out" => out_path = grab("--out"),
+            other => {
+                eprintln!("build_bench: unknown argument {other:?}");
+                eprintln!("usage: build_bench [--trees R] [--repeats K] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("[build_bench] generating insect preset (n=144, r={trees}) ...");
+    let spec = DatasetSpec::insect().with_trees(trees);
+    let ds = bfhrf_bench::datasets::prepare(&spec);
+    let coll = phylo::TreeCollection::parse(&ds.newick).expect("simulated trees parse");
+
+    // best-of-K to shave scheduler noise; the checksums must agree on
+    // every repeat, not just the kept one
+    let mut best: Vec<BuildCell> = Vec::new();
+    for rep in 0..repeats.max(1) {
+        eprintln!("[build_bench] repeat {}/{repeats} ...", rep + 1);
+        let cells = build_ablation(&coll, &[1, 2, 4, 8]);
+        let (d0, s0) = (cells[0].distinct, cells[0].sum);
+        for c in &cells {
+            assert_eq!(
+                (c.distinct, c.sum),
+                (d0, s0),
+                "{} build diverged from sequential",
+                c.mode
+            );
+        }
+        if best.is_empty() {
+            best = cells;
+        } else {
+            for (b, c) in best.iter_mut().zip(cells) {
+                if c.seconds < b.seconds {
+                    *b = c;
+                }
+            }
+        }
+    }
+
+    let time_of = |mode: &str, threads: usize| {
+        best.iter()
+            .find(|c| c.mode == mode && c.threads == threads)
+            .map(|c| c.seconds)
+            .expect("grid cell present")
+    };
+    let speedup = time_of("fold-merge", 8) / time_of("sharded", 8);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"dataset\": {{\"name\": \"insect\", \"n_taxa\": {}, \"n_trees\": {}}},",
+        coll.taxa.len(),
+        coll.len()
+    );
+    let _ = writeln!(json, "  \"repeats\": {},", repeats.max(1));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in best.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"shards\": {}, \"seconds\": {:.6}, \"distinct\": {}, \"sum\": {}}}",
+            c.mode, c.threads, c.shards, c.seconds, c.distinct, c.sum
+        );
+        json.push_str(if i + 1 < best.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"speedup_sharded_vs_fold_merge_at_8_threads\": {speedup:.3}"
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    for c in &best {
+        eprintln!(
+            "[build_bench] {:<10} threads={:<2} shards={:<2} {:.4}s",
+            c.mode, c.threads, c.shards, c.seconds
+        );
+    }
+    println!("sharded vs fold-merge at 8 threads: {speedup:.2}x (written to {out_path})");
+}

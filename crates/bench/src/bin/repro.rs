@@ -14,8 +14,7 @@ use std::io::Write;
 
 // Install the byte-exact peak tracker so Memory(MB) columns are real.
 #[global_allocator]
-static ALLOC: bfhrf_bench::peak_alloc::InstallPeakAlloc =
-    bfhrf_bench::peak_alloc::InstallPeakAlloc;
+static ALLOC: bfhrf_bench::peak_alloc::InstallPeakAlloc = bfhrf_bench::peak_alloc::InstallPeakAlloc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,7 +59,10 @@ fn main() {
             "ablations" => exp.ablations(),
             _ => unreachable!(),
         };
-        eprintln!("[repro] {name} done in {:.1}s", start.elapsed().as_secs_f64());
+        eprintln!(
+            "[repro] {name} done in {:.1}s",
+            start.elapsed().as_secs_f64()
+        );
         report.push_str(&section);
     };
     match which.as_str() {
@@ -81,8 +83,8 @@ fn main() {
     }
     print!("{report}");
     if let Some(path) = out_path {
-        let mut f = std::fs::File::create(&path)
-            .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+        let mut f =
+            std::fs::File::create(&path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
         f.write_all(report.as_bytes()).expect("write report");
         eprintln!("[repro] report written to {path}");
     }

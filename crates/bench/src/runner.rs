@@ -91,8 +91,7 @@ fn run_ds(ds: &PreparedDataset, threads: Option<usize>) -> Outcome {
     // time and memory of this linear phase scale with r.
     let r_parsed = full_queries.min(SETUP_TREE_BUDGET);
     let setup_factor = full_queries as f64 / r_parsed as f64;
-    let budget_queries =
-        ((PAIR_BUDGET / r_parsed.max(1) as u64) as usize).clamp(1, full_queries);
+    let budget_queries = ((PAIR_BUDGET / r_parsed.max(1) as u64) as usize).clamp(1, full_queries);
     let mut taxa = numbered_taxa(ds.n_taxa);
 
     let (ref_sets, setup) = measured(|| parse_ref_sets(&ds.newick, &mut taxa, r_parsed));
@@ -109,8 +108,7 @@ fn run_ds(ds: &PreparedDataset, threads: Option<usize>) -> Outcome {
                 let sum: u64 = ref_sets
                     .iter()
                     .map(|rs| {
-                        let shared =
-                            q_set.iter().filter(|b| rs.contains_bits(b)).count();
+                        let shared = q_set.iter().filter(|b| rs.contains_bits(b)).count();
                         (rs.len() + q_set.len() - 2 * shared) as u64
                     })
                     .sum();
@@ -146,8 +144,8 @@ fn run_ds(ds: &PreparedDataset, threads: Option<usize>) -> Outcome {
     let (total, q) = run(budget_queries);
     let mean = total / budget_queries as f64;
     // full work = q_full · r_full comparisons; measured = q' · r_parsed
-    let query_factor = (full_queries as f64 * full_queries as f64)
-        / (budget_queries as f64 * r_parsed as f64);
+    let query_factor =
+        (full_queries as f64 * full_queries as f64) / (budget_queries as f64 * r_parsed as f64);
     Outcome::Ran(combine(setup, setup_factor, q, query_factor), mean)
 }
 
@@ -410,12 +408,18 @@ impl Experiment {
         let _ = writeln!(
             out,
             "{:<16} {:>8} {:>10} {:<6} MSC stand-in for Jarvis et al. 2014",
-            "avian", 48, avian.last().unwrap(), "Sim"
+            "avian",
+            48,
+            avian.last().unwrap(),
+            "Sim"
         );
         let _ = writeln!(
             out,
             "{:<16} {:>8} {:>10} {:<6} MSC stand-in for Sayyari et al. 2017",
-            "insect", 144, insect.last().unwrap(), "Sim"
+            "insect",
+            144,
+            insect.last().unwrap(),
+            "Sim"
         );
         let _ = writeln!(
             out,
@@ -516,15 +520,16 @@ impl Experiment {
         let ds = prepare(&DatasetSpec::new("ablation", n, r, 99));
         let coll = phylo::TreeCollection::parse(&ds.newick).unwrap();
 
-        // 1. hash build: sequential vs rayon fold/reduce
-        let (_, seq) = measured(|| Bfh::build(&coll.trees, &coll.taxa));
-        let (_, par) = measured(|| Bfh::build_parallel(&coll.trees, &coll.taxa));
-        let _ = writeln!(
-            out,
-            "hash build (n={n}, r={r}): sequential {:.3}s, parallel {:.3}s",
-            seq.elapsed.as_secs_f64(),
-            par.elapsed.as_secs_f64()
-        );
+        // 1. hash build: sequential vs fold-merge vs sharded, across pool
+        // sizes (the build_bench binary runs the same grid on the Insect
+        // preset and emits BENCH_build.json)
+        for cell in build_ablation(&coll, &[1, 2, 4, 8]) {
+            let _ = writeln!(
+                out,
+                "hash build (n={n}, r={r}): {:<10} threads={:<2} shards={:<2} {:.3}s (distinct {})",
+                cell.mode, cell.threads, cell.shards, cell.seconds, cell.distinct
+            );
+        }
 
         // 2. thread scaling of the query phase
         let bfh = Bfh::build(&coll.trees, &coll.taxa);
@@ -549,8 +554,7 @@ impl Experiment {
             &crate::datasets::prepare(&DatasetSpec::new("idw", 32, 200, 5)).newick,
         )
         .unwrap();
-        let exact =
-            bfhrf::matrix::rf_matrix_exact(&small.trees, &small.taxa, usize::MAX).unwrap();
+        let exact = bfhrf::matrix::rf_matrix_exact(&small.trees, &small.taxa, usize::MAX).unwrap();
         for id_bits in [8u32, 12, 16, 24, 32, 64] {
             let cfg = HashRfConfig {
                 id_bits,
@@ -568,8 +572,7 @@ impl Experiment {
         let wide = prepare(&DatasetSpec::new("compact", 500, 200, 12));
         let wide_coll = phylo::TreeCollection::parse(&wide.newick).unwrap();
         let (plain, plain_m) = measured(|| Bfh::build(&wide_coll.trees, &wide_coll.taxa));
-        let (compact, compact_m) =
-            measured(|| bfhrf::CompactBfh::from_bfh(&plain));
+        let (compact, compact_m) = measured(|| bfhrf::CompactBfh::from_bfh(&plain));
         let _ = writeln!(
             out,
             "compact hash (n=500, r=200): plain build {:.1} MB peak, compact conversion {:.1} MB peak, key bytes {:.2} MB compressed",
@@ -609,6 +612,57 @@ impl Experiment {
         out.push('\n');
         out
     }
+}
+
+/// One cell of the hash-build ablation grid (see [`build_ablation`]).
+#[derive(Debug, Clone)]
+pub struct BuildCell {
+    /// `"sequential"`, `"fold-merge"`, or `"sharded"`.
+    pub mode: &'static str,
+    /// Pool size the build ran on.
+    pub threads: usize,
+    /// Shard count (1 unless sharded).
+    pub shards: usize,
+    /// Wall-clock build time.
+    pub seconds: f64,
+    /// Distinct bipartitions in the resulting hash — identical across
+    /// modes by construction, recorded as the correctness checksum.
+    pub distinct: usize,
+    /// `Bfh::sum` — second checksum (total split occurrences).
+    pub sum: u64,
+}
+
+/// The tentpole ablation: build the same hash three ways — sequential,
+/// rayon fold/merge ([`Bfh::build_parallel`]), and the sharded two-phase
+/// pipeline ([`Bfh::build_sharded`]) — across pool sizes. The fold-merge
+/// baseline allocates one map per worker and pays an `O(distinct)` merge;
+/// the sharded build spills raw mask words into per-shard buckets and
+/// folds each shard exactly once, so it wins even on a single core.
+#[allow(deprecated)] // build_parallel IS the baseline under measurement
+pub fn build_ablation(coll: &phylo::TreeCollection, thread_counts: &[usize]) -> Vec<BuildCell> {
+    let mut cells = Vec::new();
+    let mut push = |mode, threads, shards, m: &Measurement, bfh: &Bfh| {
+        cells.push(BuildCell {
+            mode,
+            threads,
+            shards,
+            seconds: m.elapsed.as_secs_f64(),
+            distinct: bfh.distinct(),
+            sum: bfh.sum(),
+        });
+    };
+    let (bfh, m) = measured(|| Bfh::build(&coll.trees, &coll.taxa));
+    push("sequential", 1, 1, &m, &bfh);
+    for &t in thread_counts {
+        let p = pool(t);
+        let (bfh, m) = p.install(|| measured(|| Bfh::build_parallel(&coll.trees, &coll.taxa)));
+        push("fold-merge", t, 1, &m, &bfh);
+        let shards = t.max(2);
+        let (bfh, m) =
+            p.install(|| measured(|| Bfh::build_sharded(&coll.trees, &coll.taxa, shards)));
+        push("sharded", t, shards, &m, &bfh);
+    }
+    cells
 }
 
 /// Expose the per-algorithm runners for the criterion benches: each bench

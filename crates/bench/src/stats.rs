@@ -46,7 +46,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
         ss_res += (y - pred) * (y - pred);
         ss_tot += (y - my) * (y - my);
     }
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     (a, b, r2)
 }
 

@@ -13,10 +13,22 @@ use std::fmt;
 /// Bits beyond `len` inside the last word are kept zero at all times (the
 /// *canonical padding invariant*), so `Eq`/`Hash`/`Ord` can operate on raw
 /// words without masking.
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Bits {
     words: Box<[u64]>,
     len: usize,
+}
+
+impl std::hash::Hash for Bits {
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Words only — `len` is omitted so a borrowed word slice
+        // ([`crate::WordsKey`]) hashes identically and can probe maps
+        // without materializing a `Bits`. The padding invariant keeps this
+        // collision-free within a namespace; across namespaces `Eq` still
+        // separates equal-words/different-len values.
+        self.words.hash(state);
+    }
 }
 
 impl Bits {
@@ -46,6 +58,34 @@ impl Bits {
         let mut b = Bits::zeros(len);
         for i in indices {
             b.set(i);
+        }
+        b
+    }
+
+    /// Reconstruct a bit vector of length `len` from raw words, e.g. a mask
+    /// produced into a [`crate::WordsKey`]-style scratch arena.
+    ///
+    /// # Panics
+    /// Panics if `words.len()` is not exactly `words_for(len)` or if the
+    /// tail padding carries set bits (canonical padding invariant).
+    pub fn from_words(len: usize, words: &[u64]) -> Self {
+        assert_eq!(
+            words.len(),
+            words_for(len),
+            "from_words: word count does not match len"
+        );
+        let b = Bits {
+            words: words.to_vec().into_boxed_slice(),
+            len,
+        };
+        if !len.is_multiple_of(WORD_BITS) {
+            if let Some(&last) = b.words.last() {
+                assert_eq!(
+                    last & !((1u64 << (len % WORD_BITS)) - 1),
+                    0,
+                    "from_words: padding bits must be zero"
+                );
+            }
         }
         b
     }
@@ -90,7 +130,11 @@ impl Bits {
     /// Panics if `i >= len`.
     #[inline]
     pub fn set(&mut self, i: usize) {
-        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for len {}",
+            self.len
+        );
         self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
     }
 
@@ -100,7 +144,11 @@ impl Bits {
     /// Panics if `i >= len`.
     #[inline]
     pub fn clear(&mut self, i: usize) {
-        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for len {}",
+            self.len
+        );
         self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
     }
 
@@ -110,7 +158,11 @@ impl Bits {
     /// Panics if `i >= len`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for len {}",
+            self.len
+        );
         (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 != 0
     }
 

@@ -208,8 +208,14 @@ mod tests {
     fn malformed_inputs_decode_to_none() {
         assert!(decompress(&[], 10).is_none(), "empty");
         assert!(decompress(&[0x07], 10).is_none(), "unknown tag");
-        assert!(decompress(&[SPARSE, 0x80], 10).is_none(), "truncated varint");
-        assert!(decompress(&[SPARSE, 0x0f], 10).is_none(), "index out of range");
+        assert!(
+            decompress(&[SPARSE, 0x80], 10).is_none(),
+            "truncated varint"
+        );
+        assert!(
+            decompress(&[SPARSE, 0x0f], 10).is_none(),
+            "index out of range"
+        );
         assert!(
             decompress(&[DENSE, 0xff, 0xff], 10).is_none(),
             "dense payload exceeds nbits"
@@ -238,6 +244,10 @@ mod tests {
             }
         }
         // 64 singletons + C(64,2) pairs
-        assert_eq!(seen.len(), 64 + 64 * 63 / 2, "compression must be injective");
+        assert_eq!(
+            seen.len(),
+            64 + 64 * 63 / 2,
+            "compression must be injective"
+        );
     }
 }

@@ -34,10 +34,14 @@ pub mod compress;
 mod hasher;
 mod iter;
 mod ops;
+mod splithash;
 
 pub use bits::Bits;
 pub use hasher::{BuildWordHasher, WordHasher};
 pub use iter::Ones;
+pub use splithash::{
+    map_get_words, map_get_words_mut, set_contains_words, shard_of, split_hash128, WordsKey,
+};
 
 /// Number of bits per storage word.
 pub const WORD_BITS: usize = u64::BITS as usize;

@@ -113,14 +113,20 @@ impl Bits {
     #[inline]
     pub fn is_disjoint(&self, other: &Bits) -> bool {
         self.check_len(other, "is_disjoint");
-        self.words().iter().zip(other.words()).all(|(a, b)| a & b == 0)
+        self.words()
+            .iter()
+            .zip(other.words())
+            .all(|(a, b)| a & b == 0)
     }
 
     /// Whether every set bit of `self` is also set in `other`.
     #[inline]
     pub fn is_subset(&self, other: &Bits) -> bool {
         self.check_len(other, "is_subset");
-        self.words().iter().zip(other.words()).all(|(a, b)| a & !b == 0)
+        self.words()
+            .iter()
+            .zip(other.words())
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Whether every set bit of `other` is also set in `self`.

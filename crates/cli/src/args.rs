@@ -32,11 +32,7 @@ impl Args {
                 let Some(value) = it.next() else {
                     return Err(format!("option --{key} needs a value"));
                 };
-                if out
-                    .values
-                    .insert(key.to_string(), value.clone())
-                    .is_some()
-                {
+                if out.values.insert(key.to_string(), value.clone()).is_some() {
                     return Err(format!("option --{key} given twice"));
                 }
             }
@@ -74,7 +70,11 @@ impl Args {
     }
 
     /// Error if any option was not consumed by the caller.
-    pub fn reject_unknown(&self, known_values: &[&str], known_flags: &[&str]) -> Result<(), String> {
+    pub fn reject_unknown(
+        &self,
+        known_values: &[&str],
+        known_flags: &[&str],
+    ) -> Result<(), String> {
         for k in self.values.keys() {
             if !known_values.contains(&k.as_str()) {
                 return Err(format!("unknown option --{k}"));
@@ -99,8 +99,11 @@ mod tests {
 
     #[test]
     fn parses_values_and_flags() {
-        let a = Args::parse(&raw(&["--refs", "r.nwk", "--strict", "--threads", "4"]), &["strict"])
-            .unwrap();
+        let a = Args::parse(
+            &raw(&["--refs", "r.nwk", "--strict", "--threads", "4"]),
+            &["strict"],
+        )
+        .unwrap();
         assert_eq!(a.require("refs").unwrap(), "r.nwk");
         assert!(a.flag("strict"));
         assert_eq!(a.get_parsed::<usize>("threads").unwrap(), Some(4));

@@ -7,7 +7,9 @@
 //! surface is unit-testable without spawning processes.
 //!
 //! ```text
-//! bfhrf avgrf     --refs refs.nwk [--queries q.nwk] [--algorithm bfhrf|ds|dsmp]
+//! bfhrf avgrf     --refs refs.nwk [--queries q.nwk]
+//!                 [--algorithm bfhrf|bfhrf-seq|ds|dsmp|hashrf|day]
+//!                 [--build-mode seq|parallel|sharded] [--shards K]
 //!                 [--threads N] [--halved] [--normalized] [--common-taxa]
 //! bfhrf best      --refs refs.nwk --queries q.nwk
 //! bfhrf consensus --refs refs.nwk [--threshold 0.5 | --strict]
@@ -19,7 +21,8 @@ pub mod args;
 
 use args::Args;
 use bfhrf::{
-    bfhrf_all, bfhrf_parallel, best_query, sequential_rf, sequential_rf_parallel, Bfh,
+    best_query, Bfh, BfhBuilder, BfhrfComparator, Comparator, DayComparator, HashRfComparator,
+    HashRfConfig, SetComparator,
 };
 use phylo::{TaxaPolicy, TreeCollection};
 use std::fmt::Write as _;
@@ -53,7 +56,10 @@ pub fn usage() -> String {
      avgrf      average RF of each query tree against the references\n\
      \x20          --refs FILE          reference trees (Newick, ';' separated)\n\
      \x20          --queries FILE       query trees (default: the references)\n\
-     \x20          --algorithm NAME     bfhrf (default) | bfhrf-seq | ds | dsmp\n\
+     \x20          --algorithm NAME     bfhrf (default) | bfhrf-seq | ds | dsmp | hashrf | day\n\
+     \x20          --build-mode MODE    hash build: seq | parallel | sharded\n\
+     \x20          --shards K           shard count for the sharded build\n\
+     \x20                               (default: thread count, min 2)\n\
      \x20          --threads N          rayon thread count (default: all cores)\n\
      \x20          --halved             report the divide-by-2 RF convention\n\
      \x20          --normalized         divide by the maximum 2(n-3)\n\
@@ -78,10 +84,7 @@ fn load(path: &str) -> Result<TreeCollection, String> {
     TreeCollection::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-fn load_queries_against(
-    path: &str,
-    refs: &mut TreeCollection,
-) -> Result<Vec<phylo::Tree>, String> {
+fn load_queries_against(path: &str, refs: &mut TreeCollection) -> Result<Vec<phylo::Tree>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     phylo::read_trees_from_str(&text, &mut refs.taxa, TaxaPolicy::Require)
         .map_err(|e| format!("{path}: {e}"))
@@ -104,23 +107,57 @@ fn with_threads<T: Send>(
     }
 }
 
+/// Resolve `--build-mode` / `--shards` into a configured [`BfhBuilder`].
+///
+/// Defaults are per-algorithm: `bfhrf` builds sharded (the fast path),
+/// `bfhrf-seq` builds sequentially. An explicit `--build-mode` or
+/// `--shards` overrides either.
+fn resolve_builder(
+    mode: Option<&str>,
+    shards: Option<usize>,
+    default_mode: &str,
+) -> Result<BfhBuilder, String> {
+    let mode = mode.unwrap_or(default_mode);
+    let default_shards = match mode {
+        "seq" | "parallel" => 1,
+        "sharded" => rayon::current_num_threads().max(2),
+        other => {
+            return Err(format!(
+                "unknown build mode {other:?} (expected seq, parallel, sharded)"
+            ))
+        }
+    };
+    Ok(BfhBuilder::new()
+        .parallel(mode != "seq")
+        .shards(shards.unwrap_or(default_shards)))
+}
+
 fn cmd_avgrf(raw: &[String]) -> Result<String, String> {
     let a = Args::parse(raw, &["halved", "normalized", "common-taxa"])?;
     a.reject_unknown(
-        &["refs", "queries", "algorithm", "threads"],
+        &[
+            "refs",
+            "queries",
+            "algorithm",
+            "build-mode",
+            "shards",
+            "threads",
+        ],
         &["halved", "normalized", "common-taxa"],
     )?;
     let mut refs = load(a.require("refs")?)?;
     let threads: Option<usize> = a.get_parsed("threads")?;
     let algorithm = a.get("algorithm").unwrap_or("bfhrf");
+    let build_mode = a.get("build-mode");
+    let shards: Option<usize> = a.get_parsed("shards")?;
 
     if a.flag("common-taxa") {
         let queries = match a.get("queries") {
             Some(p) => load(p)?,
             None => refs.clone(),
         };
-        let out = bfhrf::variable_taxa::common_taxa_rf(&refs, &queries)
-            .map_err(|e| e.to_string())?;
+        let out =
+            bfhrf::variable_taxa::common_taxa_rf(&refs, &queries).map_err(|e| e.to_string())?;
         let mut report = format!(
             "# common taxa: {} of {} reference labels\n",
             out.taxa.len(),
@@ -135,22 +172,46 @@ fn cmd_avgrf(raw: &[String]) -> Result<String, String> {
         None => refs.trees.clone(),
     };
     let n = refs.taxa.len();
-    let scores = with_threads(threads, || match algorithm {
-        "bfhrf" => {
-            let bfh = Bfh::build_parallel(&refs.trees, &refs.taxa);
-            bfhrf_parallel(&queries, &refs.taxa, &bfh)
+    if !matches!(algorithm, "bfhrf" | "bfhrf-seq") && (build_mode.is_some() || shards.is_some()) {
+        return Err(format!(
+            "--build-mode/--shards only apply to the bfhrf algorithms, not {algorithm:?}"
+        ));
+    }
+    let scores = with_threads(threads, || -> Result<Vec<bfhrf::QueryScore>, String> {
+        match algorithm {
+            "bfhrf" | "bfhrf-seq" => {
+                let default_mode = if algorithm == "bfhrf" {
+                    "sharded"
+                } else {
+                    "seq"
+                };
+                let builder = resolve_builder(build_mode, shards, default_mode)?;
+                let bfh = builder
+                    .from_trees(&refs.trees, &refs.taxa)
+                    .map_err(|e| e.to_string())?;
+                BfhrfComparator::new(&bfh, &refs.taxa)
+                    .parallel(algorithm == "bfhrf")
+                    .average_all(&queries)
+                    .map_err(|e| e.to_string())
+            }
+            "ds" => SetComparator::new(&refs.trees, &refs.taxa)
+                .average_all(&queries)
+                .map_err(|e| e.to_string()),
+            "dsmp" => SetComparator::new(&refs.trees, &refs.taxa)
+                .parallel(true)
+                .average_all(&queries)
+                .map_err(|e| e.to_string()),
+            "hashrf" => HashRfComparator::new(&refs.trees, &refs.taxa, HashRfConfig::default())
+                .average_all(&queries)
+                .map_err(|e| e.to_string()),
+            "day" => DayComparator::new(&refs.trees, &refs.taxa)
+                .average_all(&queries)
+                .map_err(|e| e.to_string()),
+            other => Err(format!(
+                "unknown algorithm {other:?} (expected bfhrf, bfhrf-seq, ds, dsmp, hashrf, day)"
+            )),
         }
-        "bfhrf-seq" => {
-            let bfh = Bfh::build(&refs.trees, &refs.taxa);
-            bfhrf_all(&queries, &refs.taxa, &bfh)
-        }
-        "ds" => sequential_rf(&queries, &refs.trees, &refs.taxa),
-        "dsmp" => sequential_rf_parallel(&queries, &refs.trees, &refs.taxa),
-        other => Err(bfhrf::CoreError::TaxaMismatch(format!(
-            "unknown algorithm {other:?} (expected bfhrf, bfhrf-seq, ds, dsmp)"
-        ))),
-    })?
-    .map_err(|e| e.to_string())?;
+    })??;
     let mut report = String::new();
     render_scores(&mut report, &scores, n, &a);
     Ok(report)
@@ -177,11 +238,15 @@ fn cmd_best(raw: &[String]) -> Result<String, String> {
     let mut refs = load(a.require("refs")?)?;
     let queries = load_queries_against(a.require("queries")?, &mut refs)?;
     let threads: Option<usize> = a.get_parsed("threads")?;
-    let scores = with_threads(threads, || {
-        let bfh = Bfh::build_parallel(&refs.trees, &refs.taxa);
-        bfhrf_parallel(&queries, &refs.taxa, &bfh)
-    })?
-    .map_err(|e| e.to_string())?;
+    let scores = with_threads(threads, || -> Result<Vec<bfhrf::QueryScore>, String> {
+        let bfh = resolve_builder(None, None, "sharded")?
+            .from_trees(&refs.trees, &refs.taxa)
+            .map_err(|e| e.to_string())?;
+        BfhrfComparator::new(&bfh, &refs.taxa)
+            .parallel(true)
+            .average_all(&queries)
+            .map_err(|e| e.to_string())
+    })??;
     let best = best_query(&scores).expect("nonempty scores");
     Ok(format!(
         "best_query\t{}\navg_rf\t{:.6}\ntotal_rf\t{}\n",
@@ -341,15 +406,61 @@ mod tests {
         );
         let base = ["--refs", refs.to_str().unwrap(), "--threads", "2"];
         let mut outs = Vec::new();
-        for alg in ["bfhrf", "bfhrf-seq", "ds", "dsmp"] {
+        for alg in ["bfhrf", "bfhrf-seq", "ds", "dsmp", "hashrf", "day"] {
             let mut argv = vec!["avgrf"];
             argv.extend_from_slice(&base);
             argv.extend_from_slice(&["--algorithm", alg]);
             outs.push(runv(&argv).unwrap());
         }
-        assert_eq!(outs[0], outs[1]);
-        assert_eq!(outs[0], outs[2]);
-        assert_eq!(outs[0], outs[3]);
+        for out in &outs[1..] {
+            assert_eq!(&outs[0], out);
+        }
+    }
+
+    #[test]
+    fn build_modes_and_shards_agree() {
+        let refs = tmp(
+            "refs10.nwk",
+            "((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n((A,F),((C,D),(E,B)));\n",
+        );
+        let base = runv(&["avgrf", "--refs", refs.to_str().unwrap()]).unwrap();
+        for extra in [
+            &["--build-mode", "seq"][..],
+            &["--build-mode", "parallel"][..],
+            &["--build-mode", "sharded", "--shards", "4"][..],
+            &["--shards", "7"][..],
+        ] {
+            let mut argv = vec!["avgrf", "--refs", refs.to_str().unwrap()];
+            argv.extend_from_slice(extra);
+            assert_eq!(base, runv(&argv).unwrap(), "with {extra:?}");
+        }
+        // build options are rejected outside the bfhrf algorithms, and
+        // nonsense modes/shard counts are typed errors, not panics
+        assert!(runv(&[
+            "avgrf",
+            "--refs",
+            refs.to_str().unwrap(),
+            "--algorithm",
+            "ds",
+            "--shards",
+            "2"
+        ])
+        .unwrap_err()
+        .contains("only apply"));
+        assert!(runv(&[
+            "avgrf",
+            "--refs",
+            refs.to_str().unwrap(),
+            "--build-mode",
+            "quantum"
+        ])
+        .unwrap_err()
+        .contains("unknown build mode"));
+        assert!(
+            runv(&["avgrf", "--refs", refs.to_str().unwrap(), "--shards", "0"])
+                .unwrap_err()
+                .contains("at least 1")
+        );
     }
 
     #[test]
@@ -375,13 +486,7 @@ mod tests {
         let cons = runv(&["consensus", "--refs", refs.to_str().unwrap()]).unwrap();
         assert!(cons.ends_with(";\n"));
         assert!(cons.contains('A') && cons.contains('F'));
-        let strict = runv(&[
-            "consensus",
-            "--refs",
-            refs.to_str().unwrap(),
-            "--strict",
-        ])
-        .unwrap();
+        let strict = runv(&["consensus", "--refs", refs.to_str().unwrap(), "--strict"]).unwrap();
         assert!(strict.ends_with(";\n"));
     }
 
@@ -421,7 +526,9 @@ mod tests {
     #[test]
     fn error_paths_are_reported() {
         assert!(runv(&[]).is_err());
-        assert!(runv(&["frobnicate"]).unwrap_err().contains("unknown subcommand"));
+        assert!(runv(&["frobnicate"])
+            .unwrap_err()
+            .contains("unknown subcommand"));
         assert!(runv(&["avgrf"]).unwrap_err().contains("--refs"));
         assert!(runv(&["avgrf", "--refs", "/no/such/file.nwk"])
             .unwrap_err()
@@ -444,16 +551,21 @@ mod tests {
             "0.2"
         ])
         .is_err());
-        assert!(runv(&["simulate", "--taxa", "3", "--trees", "5", "--out", "/tmp/x"])
-            .unwrap_err()
-            .contains("at least 4"));
+        assert!(
+            runv(&["simulate", "--taxa", "3", "--trees", "5", "--out", "/tmp/x"])
+                .unwrap_err()
+                .contains("at least 4")
+        );
     }
 
     #[test]
     fn normalized_and_halved_flags() {
         let refs = tmp("refs6.nwk", "((A,B),(C,D));\n((A,C),(B,D));\n");
         let plain = runv(&["avgrf", "--refs", refs.to_str().unwrap()]).unwrap();
-        assert!(plain.contains("0\t1.000000"), "each tree: avg (0+2)/2: {plain}");
+        assert!(
+            plain.contains("0\t1.000000"),
+            "each tree: avg (0+2)/2: {plain}"
+        );
         let halved = runv(&["avgrf", "--refs", refs.to_str().unwrap(), "--halved"]).unwrap();
         assert!(halved.contains("0\t0.500000"), "{halved}");
         let norm = runv(&["avgrf", "--refs", refs.to_str().unwrap(), "--normalized"]).unwrap();
@@ -482,7 +594,15 @@ mod tests {
     #[test]
     fn help_lists_subcommands() {
         let h = runv(&["help"]).unwrap();
-        for cmd in ["avgrf", "best", "consensus", "matrix", "simulate", "support", "cluster"] {
+        for cmd in [
+            "avgrf",
+            "best",
+            "consensus",
+            "matrix",
+            "simulate",
+            "support",
+            "cluster",
+        ] {
             assert!(h.contains(cmd));
         }
     }

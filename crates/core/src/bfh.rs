@@ -7,9 +7,25 @@
 //! RF variant implementable on top of it (paper §VII.F). Values are the
 //! number of reference trees containing the split; the running total
 //! `sum()` is the paper's `sumBFHR`.
+//!
+//! # Sharding
+//!
+//! Internally the hash is `k ≥ 1` independent maps ("shards"); a split
+//! lives in shard [`shard_of`]`(`[`split_hash128`]`(mask), k)`. With `k =
+//! 1` (the default for [`Bfh::build`]) there is a single map and routing
+//! is skipped entirely. [`Bfh::build_sharded`] exploits the partition for
+//! construction: splits are extracted into per-worker spill buffers,
+//! routed by hash prefix, and each shard's map is then folded
+//! independently — no cross-thread merge step, unlike the fold/reduce of
+//! the deprecated `build_parallel`. Because the router is a pure function
+//! of the mask words, the shard decomposition is deterministic and the
+//! resulting frequencies are bitwise-identical to a sequential build.
 
-use phylo::{Bipartition, TaxaPolicy, TaxonSet, Tree};
-use phylo_bitset::{bits_map_with_capacity, Bits, BitsMap};
+use phylo::{Bipartition, BipartitionScratch, TaxaPolicy, TaxonSet, Tree};
+use phylo_bitset::{
+    bits_map_with_capacity, map_get_words, map_get_words_mut, shard_of, split_hash128, words_for,
+    Bits, BitsMap,
+};
 use rayon::prelude::*;
 use std::io::BufRead;
 
@@ -31,29 +47,75 @@ use std::io::BufRead;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Bfh {
-    counts: BitsMap<u32>,
+    /// Shard maps; a split's home is `shard_of(split_hash128(words), k)`.
+    /// Always at least one entry.
+    shards: Vec<BitsMap<u32>>,
     sum: u64,
     n_trees: usize,
     n_taxa: usize,
 }
 
 impl Bfh {
-    /// An empty hash over an `n_taxa`-wide namespace.
+    /// An empty single-shard hash over an `n_taxa`-wide namespace.
     pub fn empty(n_taxa: usize) -> Self {
+        Bfh::empty_sharded(n_taxa, 1)
+    }
+
+    /// An empty hash partitioned into `shards` maps.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn empty_sharded(n_taxa: usize, shards: usize) -> Self {
+        assert!(shards > 0, "a Bfh needs at least one shard");
         Bfh {
-            counts: bits_map_with_capacity(0),
+            shards: (0..shards).map(|_| bits_map_with_capacity(0)).collect(),
             sum: 0,
             n_trees: 0,
             n_taxa,
         }
     }
 
+    /// Shard housing the split with these mask words.
+    #[inline]
+    fn shard_index(&self, words: &[u64]) -> usize {
+        if self.shards.len() == 1 {
+            0
+        } else {
+            shard_of(split_hash128(words), self.shards.len())
+        }
+    }
+
+    /// Count one occurrence of an owned canonical mask.
+    #[inline]
+    fn bump(&mut self, bits: Bits) {
+        let si = self.shard_index(bits.words());
+        *self.shards[si].entry(bits).or_insert(0) += 1;
+        self.sum += 1;
+    }
+
+    /// Count one occurrence of a borrowed canonical mask, materializing a
+    /// key only on first sighting.
+    #[inline]
+    fn bump_words(&mut self, words: &[u64]) {
+        let si = self.shard_index(words);
+        match map_get_words_mut(&mut self.shards[si], words) {
+            Some(c) => *c += 1,
+            None => {
+                self.shards[si].insert(Bits::from_words(self.n_taxa, words), 1);
+            }
+        }
+        self.sum += 1;
+    }
+
     /// Build sequentially from a reference collection (first loop of the
-    /// paper's Algorithm 2).
+    /// paper's Algorithm 2). Extraction runs through a reused
+    /// [`BipartitionScratch`], so per-tree work allocates only on novel
+    /// splits.
     pub fn build(trees: &[Tree], taxa: &TaxonSet) -> Self {
         let mut bfh = Bfh::empty(taxa.len());
+        let mut scratch = BipartitionScratch::new();
         for tree in trees {
-            bfh.add_tree(tree, taxa);
+            bfh.add_tree_with(tree, taxa, &mut scratch);
         }
         bfh
     }
@@ -62,6 +124,11 @@ impl Bfh {
     /// they are handed, then merge pairwise. Produces exactly the same
     /// counts as [`Bfh::build`] — addition is commutative, so the work
     /// split cannot change the result.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `BfhBuilder::new().parallel(true)` (fold-merge) or \
+                `Bfh::build_sharded` (no merge step, usually faster)"
+    )]
     pub fn build_parallel(trees: &[Tree], taxa: &TaxonSet) -> Self {
         trees
             .par_iter()
@@ -75,11 +142,104 @@ impl Bfh {
             .reduce(|| Bfh::empty(taxa.len()), |a, b| a.merged(b))
     }
 
+    /// Build a `shards`-way partitioned hash in two phases with **no merge
+    /// step**:
+    ///
+    /// 1. workers extract splits from disjoint tree chunks into per-worker
+    ///    spill buffers, one buffer per shard, routing each mask by
+    ///    [`split_hash128`];
+    /// 2. workers fold the spill buffers of each shard — every shard is
+    ///    owned by exactly one fold, so no map is ever merged into another.
+    ///
+    /// Frequencies are bitwise-identical to [`Bfh::build`] for any shard or
+    /// thread count: routing is a pure function of the mask and counting is
+    /// additive.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn build_sharded(trees: &[Tree], taxa: &TaxonSet, shards: usize) -> Self {
+        assert!(shards > 0, "a Bfh needs at least one shard");
+        let n_taxa = taxa.len();
+        let words = words_for(n_taxa);
+        if trees.is_empty() || words == 0 {
+            let mut bfh = Bfh::empty_sharded(n_taxa, shards);
+            bfh.n_trees = trees.len();
+            return bfh;
+        }
+
+        // Phase 1: extract + route into per-worker spill buffers. Masks are
+        // spilled as raw words (stride `words`), so a worker allocates only
+        // when a buffer grows — never per split.
+        let chunk = trees.len().div_ceil(rayon::current_num_threads()).max(1);
+        // Uniform-routing estimate of one bucket's word footprint: at most
+        // n − 3 internal splits per tree, spread across the shards.
+        let bucket_hint = (chunk * n_taxa.saturating_sub(3) * words).div_ceil(shards) + words;
+        let spills: Vec<(Vec<Vec<u64>>, u64)> = trees
+            .par_chunks(chunk)
+            .map(|chunk_trees| {
+                let mut scratch = BipartitionScratch::new();
+                let mut buckets: Vec<Vec<u64>> = (0..shards)
+                    .map(|_| Vec::with_capacity(bucket_hint))
+                    .collect();
+                let mut occurrences = 0u64;
+                for tree in chunk_trees {
+                    scratch.for_each_split(tree, taxa, |w| {
+                        let si = if shards == 1 {
+                            0
+                        } else {
+                            shard_of(split_hash128(w), shards)
+                        };
+                        buckets[si].extend_from_slice(w);
+                        occurrences += 1;
+                    });
+                }
+                (buckets, occurrences)
+            })
+            .collect();
+
+        // Phase 2: fold each shard independently across all workers' spills.
+        let shard_ids: Vec<usize> = (0..shards).collect();
+        let maps: Vec<BitsMap<u32>> = shard_ids
+            .par_iter()
+            .map(|&si| {
+                // Size for the pessimistic every-split-distinct case halved —
+                // one rehash at most, none once repeats dominate.
+                let entries: usize = spills
+                    .iter()
+                    .map(|(buckets, _)| buckets[si].len() / words)
+                    .sum();
+                let mut map: BitsMap<u32> = bits_map_with_capacity(entries / 2 + 8);
+                for (buckets, _) in &spills {
+                    for w in buckets[si].chunks_exact(words) {
+                        match map_get_words_mut(&mut map, w) {
+                            Some(c) => *c += 1,
+                            None => {
+                                map.insert(Bits::from_words(n_taxa, w), 1);
+                            }
+                        }
+                    }
+                }
+                map
+            })
+            .collect();
+
+        Bfh {
+            shards: maps,
+            sum: spills.iter().map(|(_, occ)| occ).sum(),
+            n_trees: trees.len(),
+            n_taxa,
+        }
+    }
+
     /// Build from a Newick stream without materializing the collection —
     /// memory stays `O(hash)` regardless of `r`. Labels must already be in
     /// `taxa` (the fixed-taxa requirement); pass a namespace pre-grown from
     /// the same data, or intern labels first with [`TaxaPolicy::Grow`]
     /// parsing.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `BfhBuilder::new().from_newick_reader(..)`"
+    )]
     pub fn build_streaming<R: BufRead>(
         reader: R,
         taxa: &mut TaxonSet,
@@ -98,8 +258,9 @@ impl Bfh {
             }
             TaxaPolicy::Require => {
                 let mut bfh = Bfh::empty(taxa.len());
+                let mut scratch = BipartitionScratch::new();
                 while let Some(t) = stream.next_tree(taxa)? {
-                    bfh.add_tree(&t, taxa);
+                    bfh.add_tree_with(&t, taxa, &mut scratch);
                 }
                 Ok(bfh)
             }
@@ -108,8 +269,21 @@ impl Bfh {
 
     /// Add one reference tree's bipartitions (incremental update).
     pub fn add_tree(&mut self, tree: &Tree, taxa: &TaxonSet) {
+        let mut scratch = BipartitionScratch::new();
+        self.add_tree_with(tree, taxa, &mut scratch);
+    }
+
+    /// Add one reference tree's bipartitions through a caller-owned
+    /// extraction arena — the allocation-free path the batch builders use.
+    pub fn add_tree_with(
+        &mut self,
+        tree: &Tree,
+        taxa: &TaxonSet,
+        scratch: &mut BipartitionScratch,
+    ) {
         debug_assert_eq!(taxa.len(), self.n_taxa, "namespace changed under the hash");
-        self.add_splits(tree.bipartitions(taxa));
+        scratch.for_each_split(tree, taxa, |w| self.bump_words(w));
+        self.n_trees += 1;
     }
 
     /// Add one tree's pre-extracted splits. Useful when extraction runs on
@@ -117,8 +291,7 @@ impl Bfh {
     /// fold stays sequential and deterministic.
     pub fn add_splits<I: IntoIterator<Item = Bipartition>>(&mut self, splits: I) {
         for bp in splits {
-            *self.counts.entry(bp.into_bits()).or_insert(0) += 1;
-            self.sum += 1;
+            self.bump(bp.into_bits());
         }
         self.n_trees += 1;
     }
@@ -131,10 +304,11 @@ impl Bfh {
     pub fn remove_tree(&mut self, tree: &Tree, taxa: &TaxonSet) {
         for bp in tree.bipartitions(taxa) {
             let bits = bp.into_bits();
-            match self.counts.get_mut(&bits) {
+            let si = self.shard_index(bits.words());
+            match self.shards[si].get_mut(&bits) {
                 Some(c) if *c > 1 => *c -= 1,
                 Some(_) => {
-                    self.counts.remove(&bits);
+                    self.shards[si].remove(&bits);
                 }
                 None => panic!("remove_tree: bipartition was never added"),
             }
@@ -144,19 +318,30 @@ impl Bfh {
     }
 
     /// Merge another hash built over the same namespace into this one.
+    /// Entries are re-routed into this hash's shard layout, so the operands
+    /// may use different shard counts.
     pub fn merged(self, other: Bfh) -> Bfh {
-        assert_eq!(self.n_taxa, other.n_taxa, "merging hashes over different taxa");
-        // Fold the smaller map into the larger one.
-        let (mut big, small) = if self.counts.len() >= other.counts.len() {
+        assert_eq!(
+            self.n_taxa, other.n_taxa,
+            "merging hashes over different taxa"
+        );
+        // Fold the smaller hash into the larger one.
+        let (mut big, small) = if self.distinct() >= other.distinct() {
             (self, other)
         } else {
             (other, self)
         };
         let Bfh {
-            counts, sum, n_trees, ..
+            shards,
+            sum,
+            n_trees,
+            ..
         } = small;
-        for (bits, c) in counts {
-            *big.counts.entry(bits).or_insert(0) += c;
+        for shard in shards {
+            for (bits, c) in shard {
+                let si = big.shard_index(bits.words());
+                *big.shards[si].entry(bits).or_insert(0) += c;
+            }
         }
         big.sum += sum;
         big.n_trees += n_trees;
@@ -167,7 +352,19 @@ impl Bfh {
     /// `BFHR[b]`.
     #[inline]
     pub fn frequency(&self, bits: &Bits) -> u32 {
-        self.counts.get(bits).copied().unwrap_or(0)
+        self.shards[self.shard_index(bits.words())]
+            .get(bits)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Frequency of a canonical mask given as raw words — the borrowed-key
+    /// probe used by scratch-driven queries; no `Bits` is materialized.
+    #[inline]
+    pub fn frequency_words(&self, words: &[u64]) -> u32 {
+        map_get_words(&self.shards[self.shard_index(words)], words)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Frequency of a [`Bipartition`].
@@ -194,17 +391,25 @@ impl Bfh {
         self.n_taxa
     }
 
+    /// Number of shard maps (`k`). 1 for hashes from [`Bfh::build`].
+    #[inline]
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Number of **distinct** bipartitions stored. The paper's memory
     /// argument (§VII.C): this saturates as `r` grows because repeat
     /// splits only bump counters.
     #[inline]
     pub fn distinct(&self) -> usize {
-        self.counts.len()
+        self.shards.iter().map(|m| m.len()).sum()
     }
 
     /// Iterate `(bitmask, frequency)` entries in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (&Bits, u32)> {
-        self.counts.iter().map(|(b, &c)| (b, c))
+        self.shards
+            .iter()
+            .flat_map(|m| m.iter().map(|(b, &c)| (b, c)))
     }
 
     /// Preprocessing hook (paper §III.A: the hash "can still be
@@ -212,13 +417,15 @@ impl Bfh {
     /// drop entries failing the predicate, updating `sum` accordingly.
     pub fn retain<F: FnMut(&Bits, u32) -> bool>(&mut self, mut keep: F) {
         let mut removed = 0u64;
-        self.counts.retain(|bits, count| {
-            let k = keep(bits, *count);
-            if !k {
-                removed += u64::from(*count);
-            }
-            k
-        });
+        for shard in &mut self.shards {
+            shard.retain(|bits, count| {
+                let k = keep(bits, *count);
+                if !k {
+                    removed += u64::from(*count);
+                }
+                k
+            });
+        }
         self.sum -= removed;
     }
 
@@ -229,7 +436,7 @@ impl Bfh {
         // Bits: boxed words + (ptr, len-of-box, bitlen) inline; entry adds
         // the u32 count and hashbrown's control byte + padding.
         let per_entry = key_words * 8 + std::mem::size_of::<Bits>() + 8;
-        self.counts.capacity() * per_entry
+        self.shards.iter().map(|m| m.capacity()).sum::<usize>() * per_entry
     }
 }
 
@@ -242,6 +449,16 @@ mod tests {
         TreeCollection::parse(text).unwrap()
     }
 
+    /// Frequency-level equality, independent of shard layout.
+    fn assert_same_counts(a: &Bfh, b: &Bfh) {
+        assert_eq!(a.n_trees(), b.n_trees());
+        assert_eq!(a.sum(), b.sum());
+        assert_eq!(a.distinct(), b.distinct());
+        for (bits, count) in a.iter() {
+            assert_eq!(b.frequency(bits), count, "mismatch at {bits}");
+        }
+    }
+
     #[test]
     fn build_counts_frequencies() {
         let c = coll("((A,B),(C,D));\n((A,B),(C,D));\n((A,C),(B,D));");
@@ -249,35 +466,76 @@ mod tests {
         assert_eq!(bfh.n_trees(), 3);
         assert_eq!(bfh.sum(), 3, "each 4-leaf tree has one non-trivial split");
         assert_eq!(bfh.distinct(), 2);
+        assert_eq!(bfh.n_shards(), 1);
         let ab = Bits::from_bitstring("0011").unwrap();
         let ac = Bits::from_bitstring("0101").unwrap();
         assert_eq!(bfh.frequency(&ab), 2);
         assert_eq!(bfh.frequency(&ac), 1);
         assert_eq!(bfh.frequency(&Bits::from_bitstring("1001").unwrap()), 0);
+        assert_eq!(bfh.frequency_words(ab.words()), 2);
+        assert_eq!(bfh.frequency_words(ac.words()), 1);
     }
 
     #[test]
+    #[allow(deprecated)] // the fold-merge path stays tested until removal
     fn parallel_build_matches_sequential() {
-        let c = coll(&"((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n"
-            .repeat(40));
+        let c = coll(&"((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n".repeat(40));
         let seq = Bfh::build(&c.trees, &c.taxa);
         let par = Bfh::build_parallel(&c.trees, &c.taxa);
-        assert_eq!(seq.n_trees(), par.n_trees());
-        assert_eq!(seq.sum(), par.sum());
-        assert_eq!(seq.distinct(), par.distinct());
-        for (bits, count) in seq.iter() {
-            assert_eq!(par.frequency(bits), count);
+        assert_same_counts(&seq, &par);
+    }
+
+    #[test]
+    fn sharded_build_matches_sequential_for_any_shard_count() {
+        let c = coll(
+            &"((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n((A,F),((C,D),(E,B)));\n".repeat(25),
+        );
+        let seq = Bfh::build(&c.trees, &c.taxa);
+        // k = 1, small, larger-than-distinct: all identical frequencies.
+        for k in [1usize, 2, 3, 8, 64] {
+            let sharded = Bfh::build_sharded(&c.trees, &c.taxa, k);
+            assert_eq!(sharded.n_shards(), k);
+            assert_same_counts(&seq, &sharded);
+            // and the reverse direction: nothing extra in the shards
+            for (bits, count) in sharded.iter() {
+                assert_eq!(seq.frequency(bits), count);
+            }
         }
     }
 
     #[test]
+    fn sharded_probes_route_consistently() {
+        let c = coll(&"((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n".repeat(10));
+        let sharded = Bfh::build_sharded(&c.trees, &c.taxa, 4);
+        for (bits, count) in Bfh::build(&c.trees, &c.taxa).iter() {
+            assert_eq!(sharded.frequency(bits), count);
+            assert_eq!(sharded.frequency_words(bits.words()), count);
+        }
+    }
+
+    #[test]
+    fn sharded_empty_and_zero_taxa() {
+        let empty = Bfh::build_sharded(&[], &phylo::TaxonSet::new(), 4);
+        assert_eq!(empty.n_trees(), 0);
+        assert_eq!(empty.sum(), 0);
+        assert_eq!(empty.n_shards(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let c = coll("((A,B),(C,D));");
+        Bfh::build_sharded(&c.trees, &c.taxa, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)] // exercises the deprecated streaming entry point
     fn streaming_build_matches_batch() {
         let text = "((A,B),(C,D));\n((A,C),(B,D));\n((A,D),(B,C));\n";
         let batch_coll = coll(text);
         let batch = Bfh::build(&batch_coll.trees, &batch_coll.taxa);
         let mut taxa = TaxonSet::new();
-        let streamed =
-            Bfh::build_streaming(text.as_bytes(), &mut taxa, TaxaPolicy::Grow).unwrap();
+        let streamed = Bfh::build_streaming(text.as_bytes(), &mut taxa, TaxaPolicy::Grow).unwrap();
         assert_eq!(streamed.sum(), batch.sum());
         assert_eq!(streamed.distinct(), batch.distinct());
         assert_eq!(streamed.n_trees(), 3);
@@ -287,8 +545,7 @@ mod tests {
     fn incremental_add_remove_is_inverse() {
         let c = coll("((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n((A,F),((C,D),(E,B)));");
         let mut bfh = Bfh::build(&c.trees[..2], &c.taxa);
-        let snapshot: Vec<(Bits, u32)> =
-            bfh.iter().map(|(b, c)| (b.clone(), c)).collect();
+        let snapshot: Vec<(Bits, u32)> = bfh.iter().map(|(b, c)| (b.clone(), c)).collect();
         bfh.add_tree(&c.trees[2], &c.taxa);
         assert_eq!(bfh.n_trees(), 3);
         bfh.remove_tree(&c.trees[2], &c.taxa);
@@ -297,6 +554,20 @@ mod tests {
         for (bits, count) in snapshot {
             assert_eq!(bfh.frequency(&bits), count);
         }
+    }
+
+    #[test]
+    fn incremental_updates_respect_sharding() {
+        let c = coll("((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n((A,F),((C,D),(E,B)));");
+        let mut sharded = Bfh::empty_sharded(c.taxa.len(), 4);
+        for t in &c.trees {
+            sharded.add_tree(t, &c.taxa);
+        }
+        assert_same_counts(&Bfh::build(&c.trees, &c.taxa), &sharded);
+        sharded.remove_tree(&c.trees[1], &c.taxa);
+        let mut rest = c.trees.clone();
+        rest.remove(1);
+        assert_same_counts(&Bfh::build(&rest, &c.taxa), &sharded);
     }
 
     #[test]
@@ -321,9 +592,9 @@ mod tests {
     }
 
     #[test]
-    fn merged_is_commutative() {
+    fn merged_is_commutative_across_shard_layouts() {
         let c = coll("((A,B),(C,D));\n((A,C),(B,D));\n((A,D),(B,C));\n((A,B),(C,D));");
-        let x = Bfh::build(&c.trees[..2], &c.taxa);
+        let x = Bfh::build_sharded(&c.trees[..2], &c.taxa, 3);
         let y = Bfh::build(&c.trees[2..], &c.taxa);
         let xy = x.clone().merged(y.clone());
         let yx = y.merged(x);
@@ -332,6 +603,7 @@ mod tests {
         for (bits, count) in xy.iter() {
             assert_eq!(yx.frequency(bits), count);
         }
+        assert_same_counts(&xy, &Bfh::build(&c.trees, &c.taxa));
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! [`BfhBuilder`] — one front door for every way of constructing a
+//! [`Bfh`].
+//!
+//! The hash grew a constructor per strategy (`build`, `build_parallel`,
+//! `build_streaming`, `build_sharded`), each with its own error behavior.
+//! The builder replaces that zoo: pick the knobs, then call one of the two
+//! `from_*` terminals, and get a `Result` instead of a panic on bad input.
+//!
+//! ```
+//! use bfhrf::BfhBuilder;
+//! use phylo::TreeCollection;
+//!
+//! let refs = TreeCollection::parse(
+//!     "((A,B),(C,D));\n((A,B),(C,D));\n((A,C),(B,D));").unwrap();
+//! let bfh = BfhBuilder::new()
+//!     .shards(4)
+//!     .from_trees(&refs.trees, &refs.taxa)
+//!     .unwrap();
+//! assert_eq!(bfh.n_trees(), 3);
+//! assert_eq!(bfh.n_shards(), 4);
+//! ```
+
+use crate::bfh::Bfh;
+use crate::error::CoreError;
+use phylo::{TaxaPolicy, TaxonSet, Tree};
+use std::io::BufRead;
+
+/// Configurable [`Bfh`] construction. See the module docs for an example.
+#[derive(Debug, Clone)]
+pub struct BfhBuilder {
+    parallel: bool,
+    shards: usize,
+}
+
+impl Default for BfhBuilder {
+    fn default() -> Self {
+        BfhBuilder {
+            parallel: false,
+            shards: 1,
+        }
+    }
+}
+
+impl BfhBuilder {
+    /// A builder with the defaults: sequential, single shard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parallelize the build across rayon workers. With one shard this is
+    /// the fold-merge strategy; with several it is the two-phase sharded
+    /// pipeline (workers per tree chunk, then per shard).
+    pub fn parallel(mut self, yes: bool) -> Self {
+        self.parallel = yes;
+        self
+    }
+
+    /// Partition the hash into `k` independent shard maps. `k = 1` (the
+    /// default) keeps a single map and skips routing on every probe.
+    ///
+    /// Values land in [`BfhBuilder::from_trees`]'s error path rather than
+    /// panicking: `k = 0` is rejected there.
+    pub fn shards(mut self, k: usize) -> Self {
+        self.shards = k;
+        self
+    }
+
+    fn validate(&self, trees: &[Tree], taxa: &TaxonSet) -> Result<(), CoreError> {
+        if self.shards == 0 {
+            return Err(CoreError::ResourceLimit(
+                "shard count must be at least 1".into(),
+            ));
+        }
+        // Surface out-of-namespace leaves as a typed error instead of the
+        // extraction assert.
+        for (ti, tree) in trees.iter().enumerate() {
+            for leaf in tree.leaves() {
+                if let Some(t) = tree.taxon(leaf) {
+                    if t.index() >= taxa.len() {
+                        return Err(CoreError::TaxaMismatch(format!(
+                            "tree {ti} references taxon id {} but the namespace has {} taxa",
+                            t.index(),
+                            taxa.len()
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Build from an in-memory collection encoded over `taxa`.
+    pub fn from_trees(&self, trees: &[Tree], taxa: &TaxonSet) -> Result<Bfh, CoreError> {
+        self.validate(trees, taxa)?;
+        Ok(match (self.shards, self.parallel) {
+            (1, false) => Bfh::build(trees, taxa),
+            #[allow(deprecated)] // the builder is the supported spelling of fold-merge
+            (1, true) => Bfh::build_parallel(trees, taxa),
+            (k, _) => Bfh::build_sharded(trees, taxa, k),
+        })
+    }
+
+    /// Parse a Newick stream and build from it. With [`TaxaPolicy::Grow`]
+    /// the namespace widens as labels appear; with [`TaxaPolicy::Require`]
+    /// unknown labels are a parse error. Trees are materialized before the
+    /// build so the configured strategy (parallel/sharded) applies; for
+    /// constant-memory sequential folding of huge files, stream trees
+    /// manually into [`Bfh::add_tree_with`].
+    pub fn from_newick_reader<R: BufRead>(
+        &self,
+        reader: R,
+        taxa: &mut TaxonSet,
+        policy: TaxaPolicy,
+    ) -> Result<Bfh, CoreError> {
+        let mut stream = phylo::newick::NewickStream::new(reader, policy);
+        let mut trees = Vec::new();
+        while let Some(t) = stream.next_tree(taxa)? {
+            trees.push(t);
+        }
+        self.from_trees(&trees, taxa)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo::TreeCollection;
+
+    fn coll(text: &str) -> TreeCollection {
+        TreeCollection::parse(text).unwrap()
+    }
+
+    #[test]
+    fn builder_strategies_agree() {
+        let c = coll(&"((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n".repeat(20));
+        let base = BfhBuilder::new().from_trees(&c.trees, &c.taxa).unwrap();
+        for builder in [
+            BfhBuilder::new().parallel(true),
+            BfhBuilder::new().shards(4),
+            BfhBuilder::new().parallel(true).shards(4),
+        ] {
+            let b = builder.from_trees(&c.trees, &c.taxa).unwrap();
+            assert_eq!(b.sum(), base.sum());
+            assert_eq!(b.distinct(), base.distinct());
+            for (bits, count) in base.iter() {
+                assert_eq!(b.frequency(bits), count);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_an_error_not_a_panic() {
+        let c = coll("((A,B),(C,D));");
+        let err = BfhBuilder::new()
+            .shards(0)
+            .from_trees(&c.trees, &c.taxa)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ResourceLimit(_)));
+    }
+
+    #[test]
+    fn out_of_namespace_taxa_is_a_typed_error() {
+        let c = coll("((A,B),(C,D));");
+        let narrow = TaxonSet::new(); // empty namespace: every leaf is out of range
+        let err = BfhBuilder::new().from_trees(&c.trees, &narrow).unwrap_err();
+        assert!(matches!(err, CoreError::TaxaMismatch(_)));
+    }
+
+    #[test]
+    fn from_newick_reader_grows_and_requires() {
+        let text = "((A,B),(C,D));\n((A,C),(B,D));\n";
+        let mut taxa = TaxonSet::new();
+        let grown = BfhBuilder::new()
+            .shards(2)
+            .from_newick_reader(text.as_bytes(), &mut taxa, TaxaPolicy::Grow)
+            .unwrap();
+        assert_eq!(grown.n_trees(), 2);
+        assert_eq!(taxa.len(), 4);
+
+        // Unknown label under Require surfaces as a CoreError (from parse).
+        let mut known = TaxonSet::new();
+        let err = BfhBuilder::new()
+            .from_newick_reader(text.as_bytes(), &mut known, TaxaPolicy::Require)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Phylo(_)));
+    }
+}

@@ -73,8 +73,7 @@ pub fn k_medoids(matrix: &TriMatrix, k: usize) -> Clustering {
         // medoid update step
         let mut changed = false;
         for (c, medoid) in medoids.iter_mut().enumerate() {
-            let members: Vec<usize> =
-                (0..n).filter(|&i| assignment[i] == c).collect();
+            let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == c).collect();
             let best = members
                 .iter()
                 .copied()

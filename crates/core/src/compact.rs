@@ -97,8 +97,8 @@ impl CompactBfh {
     /// Reconstruct every stored bipartition — the reversibility witness.
     pub fn iter_bits(&self) -> impl Iterator<Item = (Bits, u32)> + '_ {
         self.counts.iter().map(|(key, &count)| {
-            let bits = decompress(key, self.n_taxa)
-                .expect("stored keys were produced by compress()");
+            let bits =
+                decompress(key, self.n_taxa).expect("stored keys were produced by compress()");
             (bits, count)
         })
     }
@@ -106,7 +106,10 @@ impl CompactBfh {
     /// Average RF of one query against the compact hash — Algorithm 2
     /// verbatim, probing compressed keys.
     pub fn average_rf(&self, query: &Tree, taxa: &TaxonSet) -> RfAverage {
-        assert!(self.n_trees > 0, "average RF over an empty reference collection");
+        assert!(
+            self.n_trees > 0,
+            "average RF over an empty reference collection"
+        );
         let r = self.n_trees as u64;
         let mut freq_sum = 0u64;
         let mut q_splits = 0u64;
@@ -144,9 +147,7 @@ mod tests {
 
     #[test]
     fn matches_uncompressed_hash_exactly() {
-        let c = coll(
-            "((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n((A,F),((C,D),(E,B)));",
-        );
+        let c = coll("((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n((A,F),((C,D),(E,B)));");
         let plain = Bfh::build(&c.trees, &c.taxa);
         let compact = CompactBfh::build(&c.trees, &c.taxa);
         assert_eq!(plain.sum(), compact.sum());
@@ -183,8 +184,7 @@ mod tests {
         let compact = CompactBfh::from_bfh(&plain);
         let mut reconstructed: Vec<(Bits, u32)> = compact.iter_bits().collect();
         reconstructed.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut original: Vec<(Bits, u32)> =
-            plain.iter().map(|(b, c)| (b.clone(), c)).collect();
+        let mut original: Vec<(Bits, u32)> = plain.iter().map(|(b, c)| (b.clone(), c)).collect();
         original.sort_by(|a, b| a.0.cmp(&b.0));
         assert_eq!(reconstructed, original);
     }
@@ -197,8 +197,8 @@ mod tests {
         let c = phylo_sim::generate(&spec);
         let plain = Bfh::build(&c.trees, &c.taxa);
         let compact = CompactBfh::from_bfh(&plain);
-        let raw_key_bytes = plain.distinct()
-            * (phylo_bitset::words_for(300) * 8 + std::mem::size_of::<Bits>());
+        let raw_key_bytes =
+            plain.distinct() * (phylo_bitset::words_for(300) * 8 + std::mem::size_of::<Bits>());
         assert!(
             compact.key_bytes() < raw_key_bytes / 2,
             "compressed {} vs raw {} bytes",

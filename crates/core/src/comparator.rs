@@ -1,0 +1,478 @@
+//! The [`Comparator`] trait — one interface over every average-RF engine.
+//!
+//! The paper compares BFHRF against DS/DSMP (Algorithm 1), HashRF, and
+//! exact pairwise baselines; the workspace grew one free-function entry
+//! point per engine, each with its own argument shape. `Comparator`
+//! unifies them: construct an engine over a reference collection once,
+//! then ask it `average(query)` — the CLI and bench harness dispatch on
+//! the trait and never mention a concrete algorithm again.
+//!
+//! ```
+//! use bfhrf::{Bfh, BfhrfComparator, Comparator};
+//! use phylo::TreeCollection;
+//!
+//! let refs = TreeCollection::parse(
+//!     "((A,B),(C,D));\n((A,B),(C,D));\n((A,C),(B,D));").unwrap();
+//! let bfh = Bfh::build(&refs.trees, &refs.taxa);
+//! let cmp = BfhrfComparator::new(&bfh, &refs.taxa);
+//! let avg = cmp.average(&refs.trees[0]).unwrap();
+//! assert!((avg.average() - 2.0 / 3.0).abs() < 1e-12);
+//! ```
+
+use crate::bfh::Bfh;
+use crate::error::CoreError;
+use crate::hashrf::{HashRf, HashRfConfig};
+use crate::rf::{bfhrf_average_scratch, QueryScore, RfAverage};
+use phylo::{BipartitionScratch, BipartitionSet, TaxonSet, Tree};
+use phylo_bitset::Bits;
+use rayon::prelude::*;
+
+/// An engine answering "what is this query tree's average RF against the
+/// reference collection?".
+///
+/// Implementations hold whatever preprocessed state they need (frequency
+/// hash, reference split sets, ...), so repeated queries amortize setup.
+pub trait Comparator {
+    /// Short identifier for reports ("bfhrf", "ds", ...).
+    fn name(&self) -> &'static str;
+
+    /// Exact average RF of one query against the references.
+    fn average(&self, query: &Tree) -> Result<RfAverage, CoreError>;
+
+    /// Average RF of every query, in input order. The default loops
+    /// [`Comparator::average`]; engines with cheaper batched paths
+    /// (scratch reuse, parallel chunks) override it with identical
+    /// results.
+    fn average_all(&self, queries: &[Tree]) -> Result<Vec<QueryScore>, CoreError> {
+        if queries.is_empty() {
+            return Err(CoreError::EmptyQuery);
+        }
+        queries
+            .iter()
+            .enumerate()
+            .map(|(index, q)| {
+                Ok(QueryScore {
+                    index,
+                    rf: self.average(q)?,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Typed-error guard replacing the extraction assert: every leaf taxon of
+/// `tree` must fit the namespace.
+fn check_tree_taxa(tree: &Tree, taxa: &TaxonSet) -> Result<(), CoreError> {
+    for leaf in tree.leaves() {
+        if let Some(t) = tree.taxon(leaf) {
+            if t.index() >= taxa.len() {
+                return Err(CoreError::TaxaMismatch(format!(
+                    "query references taxon id {} but the namespace has {} taxa",
+                    t.index(),
+                    taxa.len()
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// BFHRF (Algorithm 2): one tree-vs-hash comparison per query.
+#[derive(Debug, Clone)]
+pub struct BfhrfComparator<'a> {
+    bfh: &'a Bfh,
+    taxa: &'a TaxonSet,
+    parallel: bool,
+}
+
+impl<'a> BfhrfComparator<'a> {
+    /// Compare against an already-built frequency hash.
+    pub fn new(bfh: &'a Bfh, taxa: &'a TaxonSet) -> Self {
+        BfhrfComparator {
+            bfh,
+            taxa,
+            parallel: false,
+        }
+    }
+
+    /// Parallelize [`Comparator::average_all`] over query chunks.
+    pub fn parallel(mut self, yes: bool) -> Self {
+        self.parallel = yes;
+        self
+    }
+}
+
+impl Comparator for BfhrfComparator<'_> {
+    fn name(&self) -> &'static str {
+        "bfhrf"
+    }
+
+    fn average(&self, query: &Tree) -> Result<RfAverage, CoreError> {
+        if self.bfh.n_trees() == 0 {
+            return Err(CoreError::EmptyReference);
+        }
+        check_tree_taxa(query, self.taxa)?;
+        let mut scratch = BipartitionScratch::new();
+        Ok(bfhrf_average_scratch(
+            query,
+            self.taxa,
+            self.bfh,
+            &mut scratch,
+        ))
+    }
+
+    fn average_all(&self, queries: &[Tree]) -> Result<Vec<QueryScore>, CoreError> {
+        if self.bfh.n_trees() == 0 {
+            return Err(CoreError::EmptyReference);
+        }
+        if queries.is_empty() {
+            return Err(CoreError::EmptyQuery);
+        }
+        for q in queries {
+            check_tree_taxa(q, self.taxa)?;
+        }
+        if !self.parallel {
+            let mut scratch = BipartitionScratch::new();
+            return Ok(queries
+                .iter()
+                .enumerate()
+                .map(|(index, q)| QueryScore {
+                    index,
+                    rf: bfhrf_average_scratch(q, self.taxa, self.bfh, &mut scratch),
+                })
+                .collect());
+        }
+        // Chunked so each worker reuses one extraction arena.
+        let chunk = queries.len().div_ceil(rayon::current_num_threads()).max(1);
+        Ok(queries
+            .par_chunks(chunk)
+            .enumerate()
+            .map(|(ci, qs)| {
+                let mut scratch = BipartitionScratch::new();
+                qs.iter()
+                    .enumerate()
+                    .map(|(i, q)| QueryScore {
+                        index: ci * chunk + i,
+                        rf: bfhrf_average_scratch(q, self.taxa, self.bfh, &mut scratch),
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
+            .collect())
+    }
+}
+
+/// Algorithm 1 (DS / DSMP): precomputed reference split sets, symmetric
+/// set differences per query. `parallel(true)` is the paper's DSMP.
+#[derive(Debug, Clone)]
+pub struct SetComparator<'a> {
+    ref_sets: Vec<BipartitionSet>,
+    taxa: &'a TaxonSet,
+    parallel: bool,
+}
+
+impl<'a> SetComparator<'a> {
+    /// Precompute the split set of every reference tree.
+    pub fn new(refs: &[Tree], taxa: &'a TaxonSet) -> Self {
+        SetComparator {
+            ref_sets: refs
+                .iter()
+                .map(|t| BipartitionSet::from_tree(t, taxa))
+                .collect(),
+            taxa,
+            parallel: false,
+        }
+    }
+
+    /// Parallelize [`Comparator::average_all`] over queries (DSMP).
+    pub fn parallel(mut self, yes: bool) -> Self {
+        self.parallel = yes;
+        self
+    }
+
+    fn score(&self, query: &Tree) -> RfAverage {
+        let q_set = BipartitionSet::from_tree(query, self.taxa);
+        let mut left = 0u64;
+        let mut right = 0u64;
+        for r_set in &self.ref_sets {
+            let shared = if q_set.len() <= r_set.len() {
+                q_set.iter().filter(|b| r_set.contains_bits(b)).count()
+            } else {
+                r_set.iter().filter(|b| q_set.contains_bits(b)).count()
+            };
+            left += (r_set.len() - shared) as u64;
+            right += (q_set.len() - shared) as u64;
+        }
+        RfAverage {
+            left,
+            right,
+            n_refs: self.ref_sets.len(),
+        }
+    }
+}
+
+impl Comparator for SetComparator<'_> {
+    fn name(&self) -> &'static str {
+        if self.parallel {
+            "dsmp"
+        } else {
+            "ds"
+        }
+    }
+
+    fn average(&self, query: &Tree) -> Result<RfAverage, CoreError> {
+        if self.ref_sets.is_empty() {
+            return Err(CoreError::EmptyReference);
+        }
+        check_tree_taxa(query, self.taxa)?;
+        Ok(self.score(query))
+    }
+
+    fn average_all(&self, queries: &[Tree]) -> Result<Vec<QueryScore>, CoreError> {
+        if self.ref_sets.is_empty() {
+            return Err(CoreError::EmptyReference);
+        }
+        if queries.is_empty() {
+            return Err(CoreError::EmptyQuery);
+        }
+        for q in queries {
+            check_tree_taxa(q, self.taxa)?;
+        }
+        if !self.parallel {
+            return Ok(queries
+                .iter()
+                .enumerate()
+                .map(|(index, q)| QueryScore {
+                    index,
+                    rf: self.score(q),
+                })
+                .collect());
+        }
+        Ok(queries
+            .par_iter()
+            .enumerate()
+            .map(|(index, q)| QueryScore {
+                index,
+                rf: self.score(q),
+            })
+            .collect())
+    }
+}
+
+/// HashRF: compressed-ID hashing with configurable ID width. Inherits
+/// HashRF's collision behavior — averages may deviate from exact values
+/// when `id_bits` is small (that inaccuracy is the point of the baseline).
+/// Each query recomputes the hash over `refs + query`, so per-query cost
+/// is `O(r)`; use this for parity experiments, not throughput.
+#[derive(Debug, Clone)]
+pub struct HashRfComparator<'a> {
+    refs: &'a [Tree],
+    taxa: &'a TaxonSet,
+    config: HashRfConfig,
+}
+
+impl<'a> HashRfComparator<'a> {
+    /// Compare against `refs` with the given HashRF configuration.
+    pub fn new(refs: &'a [Tree], taxa: &'a TaxonSet, config: HashRfConfig) -> Self {
+        HashRfComparator { refs, taxa, config }
+    }
+}
+
+impl Comparator for HashRfComparator<'_> {
+    fn name(&self) -> &'static str {
+        "hashrf"
+    }
+
+    fn average(&self, query: &Tree) -> Result<RfAverage, CoreError> {
+        if self.refs.is_empty() {
+            return Err(CoreError::EmptyReference);
+        }
+        check_tree_taxa(query, self.taxa)?;
+        let mut all: Vec<Tree> = self.refs.to_vec();
+        all.push(query.clone());
+        let hashrf = HashRf::compute(&all, self.taxa, &self.config)?;
+        let qi = self.refs.len();
+        let splits = hashrf.splits_per_tree();
+        let (mut left, mut right) = (0u64, 0u64);
+        for i in 0..qi {
+            // Decompose the symmetric distance into the paper's two terms:
+            // shared = (|B(q)| + |B(r_i)| − d_i) / 2.
+            let d = u64::from(hashrf.rf(qi, i));
+            let q_splits = u64::from(splits[qi]);
+            let r_splits = u64::from(splits[i]);
+            let shared = (q_splits + r_splits - d) / 2;
+            left += r_splits - shared;
+            right += q_splits - shared;
+        }
+        Ok(RfAverage {
+            left,
+            right,
+            n_refs: self.refs.len(),
+        })
+    }
+}
+
+/// Day's O(n) pairwise algorithm as a comparator — the independent
+/// correctness oracle, `O(n r)` per query.
+#[derive(Debug, Clone)]
+pub struct DayComparator<'a> {
+    refs: &'a [Tree],
+    taxa: &'a TaxonSet,
+    /// Leafset and |B(r_i)| of each reference, precomputed.
+    ref_info: Vec<(Bits, u64)>,
+}
+
+impl<'a> DayComparator<'a> {
+    /// Precompute each reference's leafset and split count.
+    pub fn new(refs: &'a [Tree], taxa: &'a TaxonSet) -> Self {
+        let mut scratch = BipartitionScratch::new();
+        let ref_info = refs
+            .iter()
+            .map(|t| (t.leafset(taxa.len()), scratch.split_count(t, taxa) as u64))
+            .collect();
+        DayComparator {
+            refs,
+            taxa,
+            ref_info,
+        }
+    }
+}
+
+impl Comparator for DayComparator<'_> {
+    fn name(&self) -> &'static str {
+        "day"
+    }
+
+    fn average(&self, query: &Tree) -> Result<RfAverage, CoreError> {
+        if self.refs.is_empty() {
+            return Err(CoreError::EmptyReference);
+        }
+        check_tree_taxa(query, self.taxa)?;
+        let q_leafset = query.leafset(self.taxa.len());
+        let mut scratch = BipartitionScratch::new();
+        let q_splits = scratch.split_count(query, self.taxa) as u64;
+        let (mut left, mut right) = (0u64, 0u64);
+        for (tree, (leafset, r_splits)) in self.refs.iter().zip(&self.ref_info) {
+            if *leafset != q_leafset {
+                return Err(CoreError::TaxaMismatch(
+                    "Day's algorithm requires identical leaf sets".into(),
+                ));
+            }
+            let d = crate::day::day_rf(query, tree, self.taxa) as u64;
+            let shared = (q_splits + r_splits - d) / 2;
+            left += r_splits - shared;
+            right += q_splits - shared;
+        }
+        Ok(RfAverage {
+            left,
+            right,
+            n_refs: self.refs.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo::{read_trees_from_str, TaxaPolicy, TreeCollection};
+
+    fn setup() -> (TreeCollection, Vec<Tree>) {
+        let mut refs = TreeCollection::parse(
+            "((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n((A,F),((C,D),(E,B)));\n((A,B),((C,E),(D,F)));",
+        )
+        .unwrap();
+        let queries = read_trees_from_str(
+            "((A,B),((C,D),(E,F)));\n((A,E),((C,D),(B,F)));\n(((A,B),C),((D,E),F));",
+            &mut refs.taxa,
+            TaxaPolicy::Require,
+        )
+        .unwrap();
+        (refs, queries)
+    }
+
+    #[test]
+    fn all_exact_comparators_agree_field_by_field() {
+        let (refs, queries) = setup();
+        let bfh = Bfh::build(&refs.trees, &refs.taxa);
+        let engines: Vec<Box<dyn Comparator>> = vec![
+            Box::new(BfhrfComparator::new(&bfh, &refs.taxa)),
+            Box::new(BfhrfComparator::new(&bfh, &refs.taxa).parallel(true)),
+            Box::new(SetComparator::new(&refs.trees, &refs.taxa)),
+            Box::new(SetComparator::new(&refs.trees, &refs.taxa).parallel(true)),
+            Box::new(DayComparator::new(&refs.trees, &refs.taxa)),
+        ];
+        let baseline = engines[0].average_all(&queries).unwrap();
+        for engine in &engines[1..] {
+            assert_eq!(
+                engine.average_all(&queries).unwrap(),
+                baseline,
+                "{} disagrees with bfhrf",
+                engine.name()
+            );
+        }
+        // per-query entry point agrees with the batch
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(engines[0].average(q).unwrap(), baseline[i].rf);
+        }
+    }
+
+    #[test]
+    fn hashrf_with_wide_ids_matches_exact() {
+        // 64-bit IDs make collisions (practically) impossible, so HashRF
+        // must reproduce the exact averages.
+        let (refs, queries) = setup();
+        let bfh = Bfh::build(&refs.trees, &refs.taxa);
+        let exact = BfhrfComparator::new(&bfh, &refs.taxa);
+        let config = HashRfConfig {
+            id_bits: 64,
+            ..HashRfConfig::default()
+        };
+        let hashrf = HashRfComparator::new(&refs.trees, &refs.taxa, config);
+        for q in &queries {
+            assert_eq!(hashrf.average(q).unwrap(), exact.average(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn empty_collections_are_typed_errors() {
+        let (refs, queries) = setup();
+        let empty = Bfh::empty(refs.taxa.len());
+        let cmp = BfhrfComparator::new(&empty, &refs.taxa);
+        assert_eq!(
+            cmp.average(&queries[0]).unwrap_err(),
+            CoreError::EmptyReference
+        );
+        let bfh = Bfh::build(&refs.trees, &refs.taxa);
+        let cmp = BfhrfComparator::new(&bfh, &refs.taxa);
+        assert_eq!(cmp.average_all(&[]).unwrap_err(), CoreError::EmptyQuery);
+    }
+
+    #[test]
+    fn day_comparator_rejects_leafset_mismatch() {
+        let (refs, _) = setup();
+        let mut taxa = refs.taxa.clone();
+        let partial =
+            read_trees_from_str("((A,B),(C,D));", &mut taxa, TaxaPolicy::Require).unwrap();
+        let day = DayComparator::new(&refs.trees, &refs.taxa);
+        assert!(matches!(
+            day.average(&partial[0]).unwrap_err(),
+            CoreError::TaxaMismatch(_)
+        ));
+    }
+
+    #[test]
+    fn out_of_namespace_query_is_a_typed_error() {
+        let (refs, _) = setup();
+        let mut wider = refs.taxa.clone();
+        let alien =
+            read_trees_from_str("((A,B),((C,Z1),(Z2,Z3)));", &mut wider, TaxaPolicy::Grow).unwrap();
+        let bfh = Bfh::build(&refs.trees, &refs.taxa);
+        let cmp = BfhrfComparator::new(&bfh, &refs.taxa);
+        assert!(matches!(
+            cmp.average(&alien[0]).unwrap_err(),
+            CoreError::TaxaMismatch(_)
+        ));
+    }
+}

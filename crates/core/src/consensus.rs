@@ -28,11 +28,7 @@ use phylo_bitset::Bits;
 /// // the 2/3-majority split {A,B} survives
 /// assert_eq!(tree.bipartitions(&coll.taxa).len(), 1);
 /// ```
-pub fn majority_consensus(
-    bfh: &Bfh,
-    taxa: &TaxonSet,
-    threshold: f64,
-) -> Result<Tree, CoreError> {
+pub fn majority_consensus(bfh: &Bfh, taxa: &TaxonSet, threshold: f64) -> Result<Tree, CoreError> {
     if !(0.5..1.0).contains(&threshold) {
         return Err(CoreError::TaxaMismatch(format!(
             "consensus threshold {threshold} outside [0.5, 1.0)"
@@ -73,8 +69,10 @@ pub fn greedy_consensus(bfh: &Bfh, taxa: &TaxonSet) -> Result<Tree, CoreError> {
     if bfh.n_trees() == 0 {
         return Err(CoreError::EmptyReference);
     }
-    let mut splits: Vec<(Bits, u32)> =
-        bfh.iter().map(|(bits, count)| (bits.clone(), count)).collect();
+    let mut splits: Vec<(Bits, u32)> = bfh
+        .iter()
+        .map(|(bits, count)| (bits.clone(), count))
+        .collect();
     splits.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     let n = taxa.len();
     let mut kept: Vec<Bits> = Vec::new();
@@ -118,17 +116,13 @@ fn assemble(splits: Vec<Bits>, taxa: &TaxonSet) -> Tree {
             c
         })
         .collect();
-    clades.sort_by(|a, b| {
-        b.count_ones()
-            .cmp(&a.count_ones())
-            .then_with(|| a.cmp(b))
-    });
+    clades.sort_by(|a, b| b.count_ones().cmp(&a.count_ones()).then_with(|| a.cmp(b)));
 
     let mut tree = Tree::new();
     let root = tree.add_root();
     tree.add_leaf(root, TaxonId(0));
     let backbone = tree.add_child(root); // the node covering `universe`
-    // nodes created so far with their covered sets, for parent search
+                                         // nodes created so far with their covered sets, for parent search
     let mut covered: Vec<(Bits, phylo::NodeId)> = vec![(universe, backbone)];
 
     for clade in clades {
@@ -189,9 +183,8 @@ mod tests {
     #[test]
     fn majority_keeps_two_thirds_splits() {
         // two trees agree, one disagrees everywhere possible
-        let (coll, bfh) = bfh_of(
-            "((A,B),((C,D),(E,F)));\n((A,B),((C,D),(E,F)));\n(((A,C),E),(B,(D,F)));",
-        );
+        let (coll, bfh) =
+            bfh_of("((A,B),((C,D),(E,F)));\n((A,B),((C,D),(E,F)));\n(((A,C),E),(B,(D,F)));");
         let maj = majority_consensus(&bfh, &coll.taxa, 0.5).unwrap();
         let expect = BipartitionSet::from_tree(&coll.trees[0], &coll.taxa);
         let got = BipartitionSet::from_tree(&maj, &coll.taxa);
@@ -200,9 +193,7 @@ mod tests {
 
     #[test]
     fn strict_consensus_collapses_conflicts() {
-        let (coll, bfh) = bfh_of(
-            "((A,B),((C,D),(E,F)));\n((A,B),((C,E),(D,F)));",
-        );
+        let (coll, bfh) = bfh_of("((A,B),((C,D),(E,F)));\n((A,B),((C,E),(D,F)));");
         let strict = strict_consensus(&bfh, &coll.taxa).unwrap();
         let got = BipartitionSet::from_tree(&strict, &coll.taxa);
         // only {A,B} (equivalently {C,D,E,F}) survives
@@ -234,21 +225,22 @@ mod tests {
 
     #[test]
     fn higher_thresholds_are_coarser() {
-        let (coll, bfh) = bfh_of(
-            "((A,B),((C,D),(E,F)));\n((A,B),((C,D),(E,F)));\n((A,B),((C,E),(D,F)));",
-        );
+        let (coll, bfh) =
+            bfh_of("((A,B),((C,D),(E,F)));\n((A,B),((C,D),(E,F)));\n((A,B),((C,E),(D,F)));");
         let fine = majority_consensus(&bfh, &coll.taxa, 0.5).unwrap();
         let coarse = majority_consensus(&bfh, &coll.taxa, 0.9).unwrap();
-        assert!(
-            coarse.bipartitions(&coll.taxa).len() <= fine.bipartitions(&coll.taxa).len()
-        );
+        assert!(coarse.bipartitions(&coll.taxa).len() <= fine.bipartitions(&coll.taxa).len());
     }
 
     #[test]
     fn star_when_nothing_agrees() {
         let (coll, bfh) = bfh_of("((A,B),(C,D));\n((A,C),(B,D));\n((A,D),(B,C));");
         let maj = majority_consensus(&bfh, &coll.taxa, 0.5).unwrap();
-        assert_eq!(maj.bipartitions(&coll.taxa).len(), 0, "total conflict → star");
+        assert_eq!(
+            maj.bipartitions(&coll.taxa).len(),
+            0,
+            "total conflict → star"
+        );
         assert_eq!(maj.leaf_count(), 4);
         assert!(maj.validate(&coll.taxa).is_ok());
     }
@@ -282,7 +274,10 @@ mod tests {
         assert!(greedy.validate(&coll.taxa).is_ok());
         let maj_splits = maj.bipartitions(&coll.taxa).len();
         let greedy_splits = greedy.bipartitions(&coll.taxa).len();
-        assert!(greedy_splits >= maj_splits, "{greedy_splits} < {maj_splits}");
+        assert!(
+            greedy_splits >= maj_splits,
+            "{greedy_splits} < {maj_splits}"
+        );
         // every majority split survives in the greedy tree
         let greedy_set: std::collections::HashSet<String> = greedy
             .bipartitions(&coll.taxa)

@@ -176,12 +176,7 @@ mod tests {
 
     fn pair(a: &str, b: &str) -> (Tree, Tree, TaxonSet) {
         let mut taxa = TaxonSet::new();
-        let trees = read_trees_from_str(
-            &format!("{a}\n{b}"),
-            &mut taxa,
-            TaxaPolicy::Grow,
-        )
-        .unwrap();
+        let trees = read_trees_from_str(&format!("{a}\n{b}"), &mut taxa, TaxaPolicy::Grow).unwrap();
         let mut it = trees.into_iter();
         (it.next().unwrap(), it.next().unwrap(), taxa)
     }
@@ -220,8 +215,8 @@ mod tests {
     #[test]
     fn multifurcations_supported() {
         let (a, b, taxa) = pair("((A,B),(C,D),E);", "((A,B),C,D,E);");
-        let expected = BipartitionSet::from_tree(&a, &taxa)
-            .rf_distance(&BipartitionSet::from_tree(&b, &taxa));
+        let expected =
+            BipartitionSet::from_tree(&a, &taxa).rf_distance(&BipartitionSet::from_tree(&b, &taxa));
         assert_eq!(day_rf(&a, &b, &taxa), expected);
     }
 
@@ -240,10 +235,7 @@ mod tests {
 
     #[test]
     fn symmetric() {
-        let refs = TreeCollection::parse(
-            "((A,B),((C,D),(E,F)));\n((A,E),((C,D),(B,F)));",
-        )
-        .unwrap();
+        let refs = TreeCollection::parse("((A,B),((C,D),(E,F)));\n((A,E),((C,D),(B,F)));").unwrap();
         let d1 = day_rf(&refs.trees[0], &refs.trees[1], &refs.taxa);
         let d2 = day_rf(&refs.trees[1], &refs.trees[0], &refs.taxa);
         assert_eq!(d1, d2);

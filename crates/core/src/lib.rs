@@ -20,13 +20,15 @@
 //! ```
 //!
 //! Query comparisons are independent, so they parallelize embarrassingly
-//! ([`bfhrf_parallel`] uses rayon).
+//! ([`BfhrfComparator`]`::parallel(true)` runs them on rayon).
 //!
 //! ## What's in the crate
 //!
 //! | Module | Contents |
 //! |---|---|
-//! | [`bfh`] | The frequency hash: sequential/parallel/streaming builds, incremental add/remove, preprocessing hooks |
+//! | [`bfh`] | The frequency hash: sequential/sharded builds, incremental add/remove, preprocessing hooks |
+//! | [`builder`] | [`BfhBuilder`] — the one configurable front door for hash construction |
+//! | [`comparator`] | The [`Comparator`] trait unifying every average-RF engine (BFHRF, DS/DSMP, HashRF, Day) |
 //! | [`rf`] | BFHRF itself (Algorithm 2): sequential, parallel, streaming |
 //! | [`seqrf`] | The DS/DSMP baselines (Algorithm 1): sequential and rayon-parallel all-pairs loops |
 //! | [`hashrf`] | A faithful HashRF reimplementation: two-level universal hashing, all-vs-all `r × r` matrix, configurable ID width (collisions) |
@@ -61,8 +63,10 @@
 //! [`phylo::TaxonSet`] — see `examples/`.)
 
 pub mod bfh;
+pub mod builder;
 pub mod cluster;
 pub mod compact;
+pub mod comparator;
 pub mod consensus;
 pub mod day;
 pub mod error;
@@ -77,10 +81,16 @@ pub mod variable_taxa;
 pub mod variants;
 
 pub use bfh::Bfh;
+pub use builder::BfhBuilder;
 pub use compact::CompactBfh;
+pub use comparator::{BfhrfComparator, Comparator, DayComparator, HashRfComparator, SetComparator};
 pub use day::day_rf;
 pub use error::CoreError;
 pub use hashrf::{HashRf, HashRfConfig};
-pub use rf::{bfhrf_all, bfhrf_average, bfhrf_parallel, QueryScore, RfAverage};
+#[allow(deprecated)]
+pub use rf::bfhrf_parallel;
+pub use rf::{bfhrf_all, bfhrf_average, QueryScore, RfAverage};
 pub use select::best_query;
-pub use seqrf::{sequential_rf, sequential_rf_parallel};
+pub use seqrf::sequential_rf;
+#[allow(deprecated)]
+pub use seqrf::sequential_rf_parallel;

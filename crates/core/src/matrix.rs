@@ -9,8 +9,8 @@
 //! the same pair-counting core but goes through compressed IDs.
 
 use crate::CoreError;
-use phylo::{TaxonSet, Tree};
-use phylo_bitset::{bits_map_with_capacity, BitsMap};
+use phylo::{BipartitionScratch, TaxonSet, Tree};
+use phylo_bitset::{bits_map_with_capacity, map_get_words_mut, Bits, BitsMap};
 
 /// Strict-upper-triangle symmetric matrix of `u16` counts with a zero
 /// diagonal. Entry type is `u16` because every stored quantity (shared
@@ -62,14 +62,22 @@ impl TriMatrix {
     /// Set entry `(i, j)`, `i != j`.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, value: u16) {
-        let idx = if i < j { self.index(i, j) } else { self.index(j, i) };
+        let idx = if i < j {
+            self.index(i, j)
+        } else {
+            self.index(j, i)
+        };
         self.data[idx] = value;
     }
 
     /// Saturating in-place increment of entry `(i, j)`, `i != j`.
     #[inline]
     pub fn add(&mut self, i: usize, j: usize, delta: u16) {
-        let idx = if i < j { self.index(i, j) } else { self.index(j, i) };
+        let idx = if i < j {
+            self.index(i, j)
+        } else {
+            self.index(j, i)
+        };
         self.data[idx] = self.data[idx].saturating_add(delta);
     }
 
@@ -102,14 +110,21 @@ pub fn rf_matrix_exact(
             "RF matrix for r={r} needs {need} bytes > budget {memory_budget_bytes}"
         )));
     }
-    // inverted index and per-tree split counts
+    // inverted index and per-tree split counts; extraction runs through one
+    // reused arena, so only novel splits allocate keys
     let mut index: BitsMap<Vec<u32>> = bits_map_with_capacity(r);
     let mut splits = vec![0u16; r];
+    let mut scratch = BipartitionScratch::new();
     for (t_idx, tree) in trees.iter().enumerate() {
-        for bp in tree.bipartitions(taxa) {
-            index.entry(bp.into_bits()).or_default().push(t_idx as u32);
+        scratch.for_each_split(tree, taxa, |w| {
+            match map_get_words_mut(&mut index, w) {
+                Some(list) => list.push(t_idx as u32),
+                None => {
+                    index.insert(Bits::from_words(taxa.len(), w), vec![t_idx as u32]);
+                }
+            }
             splits[t_idx] += 1;
-        }
+        });
     }
     let mut shared = TriMatrix::zeroed(r);
     for (_, list) in index.iter() {

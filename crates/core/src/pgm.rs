@@ -38,7 +38,11 @@ impl PgmHasher {
     pub fn new(n_taxa: usize, bits: u32, seed: u64) -> Self {
         assert!((1..=64).contains(&bits), "signature width must be 1..=64");
         let mut rng = StdRng::seed_from_u64(seed);
-        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         PgmHasher {
             taxon_vectors: (0..n_taxa).map(|_| rng.random_range(0..u64::MAX)).collect(),
             mask,
@@ -93,11 +97,7 @@ impl PgmHasher {
 
     /// Average RF of one query against preprocessed references — the
     /// 1-versus-1 loop the paper contrasts with BFHRF's single hash probe.
-    pub fn average_rf(
-        &self,
-        query: &TreeSignature,
-        refs: &[TreeSignature],
-    ) -> f64 {
+    pub fn average_rf(&self, query: &TreeSignature, refs: &[TreeSignature]) -> f64 {
         assert!(!refs.is_empty(), "empty reference collection");
         let total: usize = refs.iter().map(|r| self.rf(query, r)).sum();
         total as f64 / refs.len() as f64
@@ -164,10 +164,7 @@ mod tests {
         )
         .unwrap();
         let h = PgmHasher::new(taxa.len(), 64, 7);
-        assert_eq!(
-            h.signature(&trees[0], &taxa),
-            h.signature(&trees[1], &taxa)
-        );
+        assert_eq!(h.signature(&trees[0], &taxa), h.signature(&trees[1], &taxa));
     }
 
     #[test]
@@ -226,8 +223,7 @@ mod tests {
     #[test]
     fn empty_and_small_trees() {
         let mut taxa = phylo::TaxonSet::new();
-        let t = phylo::parse_newick("((A,B),C);", &mut taxa, phylo::TaxaPolicy::Grow)
-            .unwrap();
+        let t = phylo::parse_newick("((A,B),C);", &mut taxa, phylo::TaxaPolicy::Grow).unwrap();
         let h = PgmHasher::new(taxa.len(), 64, 1);
         let sig = h.signature(&t, &taxa);
         assert!(sig.is_empty(), "3-leaf trees have no non-trivial splits");

@@ -7,7 +7,7 @@
 
 use crate::bfh::Bfh;
 use crate::CoreError;
-use phylo::{TaxaPolicy, TaxonSet, Tree};
+use phylo::{BipartitionScratch, TaxaPolicy, TaxonSet, Tree};
 use rayon::prelude::*;
 use std::io::BufRead;
 
@@ -56,6 +56,13 @@ pub trait SplitFrequency {
     fn occurrence_sum(&self) -> u64;
     /// Number of reference trees (`r`).
     fn reference_count(&self) -> usize;
+    /// Frequency of a canonical mask given as raw words over an
+    /// `n_bits`-wide namespace. The default materializes a key; stores with
+    /// a borrowed-key probe (like [`Bfh`]) override it so scratch-driven
+    /// queries never allocate.
+    fn split_frequency_words(&self, n_bits: usize, words: &[u64]) -> u32 {
+        self.split_frequency(&phylo_bitset::Bits::from_words(n_bits, words))
+    }
 }
 
 impl SplitFrequency for Bfh {
@@ -69,6 +76,10 @@ impl SplitFrequency for Bfh {
 
     fn reference_count(&self) -> usize {
         self.n_trees()
+    }
+
+    fn split_frequency_words(&self, _n_bits: usize, words: &[u64]) -> u32 {
+        self.frequency_words(words)
     }
 }
 
@@ -91,10 +102,22 @@ impl SplitFrequency for crate::CompactBfh {
 ///
 /// # Panics
 /// Panics if the store holds no trees (average undefined).
-pub fn bfhrf_average_with<H: SplitFrequency>(
+pub fn bfhrf_average_with<H: SplitFrequency>(query: &Tree, taxa: &TaxonSet, hash: &H) -> RfAverage {
+    bfhrf_average_scratch(query, taxa, hash, &mut BipartitionScratch::new())
+}
+
+/// [`bfhrf_average_with`] through a caller-owned extraction arena: the
+/// query's splits are visited as borrowed word slices and probed via
+/// [`SplitFrequency::split_frequency_words`], so batched callers reuse one
+/// scratch across all queries and the per-query loop allocates nothing.
+///
+/// # Panics
+/// Panics if the store holds no trees (average undefined).
+pub fn bfhrf_average_scratch<H: SplitFrequency>(
     query: &Tree,
     taxa: &TaxonSet,
     hash: &H,
+    scratch: &mut BipartitionScratch,
 ) -> RfAverage {
     assert!(
         hash.reference_count() > 0,
@@ -103,10 +126,10 @@ pub fn bfhrf_average_with<H: SplitFrequency>(
     let r = hash.reference_count() as u64;
     let mut freq_sum = 0u64; // Σ_{b′ ∈ B(T′)} BFH[b′]
     let mut q_splits = 0u64; // |B(T′)|
-    for bp in query.bipartitions(taxa) {
-        freq_sum += u64::from(hash.split_frequency(bp.bits()));
+    scratch.for_each_split(query, taxa, |w| {
+        freq_sum += u64::from(hash.split_frequency_words(taxa.len(), w));
         q_splits += 1;
-    }
+    });
     RfAverage {
         left: hash.occurrence_sum() - freq_sum,
         right: q_splits * r - freq_sum,
@@ -141,19 +164,21 @@ fn check_nonempty(queries: &[Tree], bfh: &Bfh) -> Result<(), CoreError> {
     Ok(())
 }
 
-/// Average RF of every query tree, sequentially.
+/// Average RF of every query tree, sequentially, through one reused
+/// extraction arena.
 pub fn bfhrf_all(
     queries: &[Tree],
     taxa: &TaxonSet,
     bfh: &Bfh,
 ) -> Result<Vec<QueryScore>, CoreError> {
     check_nonempty(queries, bfh)?;
+    let mut scratch = BipartitionScratch::new();
     Ok(queries
         .iter()
         .enumerate()
         .map(|(index, q)| QueryScore {
             index,
-            rf: bfhrf_average(q, taxa, bfh),
+            rf: bfhrf_average_scratch(q, taxa, bfh, &mut scratch),
         })
         .collect())
 }
@@ -161,19 +186,34 @@ pub fn bfhrf_all(
 /// Average RF of every query tree, parallelized at the tree level with
 /// rayon — the paper's "embarrassingly parallel" comparison loop. Output
 /// order and values are identical to [`bfhrf_all`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `BfhrfComparator::new(..).parallel(true).average_all(..)`"
+)]
 pub fn bfhrf_parallel(
     queries: &[Tree],
     taxa: &TaxonSet,
     bfh: &Bfh,
 ) -> Result<Vec<QueryScore>, CoreError> {
     check_nonempty(queries, bfh)?;
+    // Chunked so each worker reuses one scratch across its queries.
+    let chunk = queries.len().div_ceil(rayon::current_num_threads()).max(1);
     Ok(queries
-        .par_iter()
+        .par_chunks(chunk)
         .enumerate()
-        .map(|(index, q)| QueryScore {
-            index,
-            rf: bfhrf_average(q, taxa, bfh),
+        .map(|(ci, qs)| {
+            let mut scratch = BipartitionScratch::new();
+            qs.iter()
+                .enumerate()
+                .map(|(i, q)| QueryScore {
+                    index: ci * chunk + i,
+                    rf: bfhrf_average_scratch(q, taxa, bfh, &mut scratch),
+                })
+                .collect::<Vec<_>>()
         })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flatten()
         .collect())
 }
 
@@ -189,11 +229,12 @@ pub fn bfhrf_streaming<R: BufRead>(
         return Err(CoreError::EmptyReference);
     }
     let mut stream = phylo::newick::NewickStream::new(reader, TaxaPolicy::Require);
+    let mut scratch = BipartitionScratch::new();
     let mut out = Vec::new();
     while let Some(tree) = stream.next_tree(taxa)? {
         out.push(QueryScore {
             index: out.len(),
-            rf: bfhrf_average(&tree, taxa, bfh),
+            rf: bfhrf_average_scratch(&tree, taxa, bfh, &mut scratch),
         });
     }
     if out.is_empty() {
@@ -211,12 +252,8 @@ mod tests {
         // Parse refs growing the namespace, then queries against it so the
         // bit layout is shared.
         let mut refs_coll = TreeCollection::parse(refs).unwrap();
-        let queries = phylo::read_trees_from_str(
-            queries,
-            &mut refs_coll.taxa,
-            TaxaPolicy::Require,
-        )
-        .unwrap();
+        let queries =
+            phylo::read_trees_from_str(queries, &mut refs_coll.taxa, TaxaPolicy::Require).unwrap();
         let bfh = Bfh::build(&refs_coll.trees, &refs_coll.taxa);
         (refs_coll, queries, bfh)
     }
@@ -248,14 +285,14 @@ mod tests {
     #[test]
     fn disjoint_splits_give_maximum() {
         // 4-taxa trees with different internal splits: RF = 2 each.
-        let (refs, queries, bfh) =
-            setup("((A,B),(C,D));\n((A,B),(C,D));", "((A,C),(B,D));");
+        let (refs, queries, bfh) = setup("((A,B),(C,D));\n((A,B),(C,D));", "((A,C),(B,D));");
         let avg = bfhrf_average(&queries[0], &refs.taxa, &bfh);
         assert_eq!(avg.total(), 4);
         assert_eq!(avg.average(), 2.0);
     }
 
     #[test]
+    #[allow(deprecated)] // the wrapper must keep matching bfhrf_all until removal
     fn all_and_parallel_agree() {
         let refs = "((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n((A,F),((C,D),(E,B)));";
         let queries = "((A,B),((C,D),(E,F)));\n((A,E),((C,D),(B,F)));";
@@ -274,8 +311,7 @@ mod tests {
         let queries = "((A,B),((C,D),(E,F)));\n((A,E),((C,D),(B,F)));";
         let (mut refs_coll, qs, bfh) = setup(refs, queries);
         let batch = bfhrf_all(&qs, &refs_coll.taxa, &bfh).unwrap();
-        let streamed =
-            bfhrf_streaming(queries.as_bytes(), &mut refs_coll.taxa, &bfh).unwrap();
+        let streamed = bfhrf_streaming(queries.as_bytes(), &mut refs_coll.taxa, &bfh).unwrap();
         assert_eq!(batch, streamed);
     }
 

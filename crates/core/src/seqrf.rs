@@ -35,10 +35,13 @@ fn score_against(
         // split the symmetric difference into the paper's two terms so the
         // result is field-by-field comparable with BFHRF output
         let shared = if q_set.len() <= r_set.len() {
-            q_set.iter().filter(|b| {
-                // probe the larger set through the public membership API
-                r_set.contains_bits(b)
-            }).count()
+            q_set
+                .iter()
+                .filter(|b| {
+                    // probe the larger set through the public membership API
+                    r_set.contains_bits(b)
+                })
+                .count()
         } else {
             r_set.iter().filter(|b| q_set.contains_bits(b)).count()
         };
@@ -76,6 +79,10 @@ pub fn sequential_rf(
 
 /// Algorithm 1, parallel (DSMP): the query loop runs on the rayon pool.
 /// Results are identical to [`sequential_rf`] in value and order.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SetComparator::new(..).parallel(true).average_all(..)`"
+)]
 pub fn sequential_rf_parallel(
     queries: &[Tree],
     refs: &[Tree],
@@ -120,10 +127,14 @@ mod tests {
         let ds = sequential_rf(&queries, &refs.trees, &refs.taxa).unwrap();
         let bfh = Bfh::build(&refs.trees, &refs.taxa);
         let fast = bfhrf_all(&queries, &refs.taxa, &bfh).unwrap();
-        assert_eq!(ds, fast, "Algorithm 1 and Algorithm 2 must agree field-by-field");
+        assert_eq!(
+            ds, fast,
+            "Algorithm 1 and Algorithm 2 must agree field-by-field"
+        );
     }
 
     #[test]
+    #[allow(deprecated)] // the wrapper must keep matching sequential_rf until removal
     fn dsmp_matches_ds() {
         let (refs, queries) = six_taxa_collections();
         let ds = sequential_rf(&queries, &refs.trees, &refs.taxa).unwrap();

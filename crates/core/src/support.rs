@@ -29,10 +29,15 @@ pub struct EdgeSupport {
 /// # Panics
 /// Panics if the hash is empty.
 pub fn edge_support(tree: &Tree, taxa: &TaxonSet, bfh: &Bfh) -> Vec<EdgeSupport> {
-    assert!(bfh.n_trees() > 0, "support against an empty reference collection");
+    assert!(
+        bfh.n_trees() > 0,
+        "support against an empty reference collection"
+    );
     let r = bfh.n_trees() as f64;
     let n = taxa.len();
-    let Some(root) = tree.root() else { return Vec::new() };
+    let Some(root) = tree.root() else {
+        return Vec::new();
+    };
     let masks = tree.subtree_masks(n);
     let leafset = &masks[root.index()];
     let n_leaves = leafset.count_ones() as usize;
@@ -171,8 +176,7 @@ mod tests {
 
     #[test]
     fn self_support_of_unanimous_collection_is_one() {
-        let coll =
-            TreeCollection::parse(&"((A,B),((C,D),(E,F)));\n".repeat(6)).unwrap();
+        let coll = TreeCollection::parse(&"((A,B),((C,D),(E,F)));\n".repeat(6)).unwrap();
         let bfh = Bfh::build(&coll.trees, &coll.taxa);
         for s in edge_support(&coll.trees[0], &coll.taxa, &bfh) {
             assert_eq!(s.fraction, 1.0);

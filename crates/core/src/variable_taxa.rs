@@ -122,10 +122,7 @@ mod tests {
 
     #[test]
     fn identical_taxa_reduces_to_plain_bfhrf() {
-        let refs = TreeCollection::parse(
-            "((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));",
-        )
-        .unwrap();
+        let refs = TreeCollection::parse("((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));").unwrap();
         let queries = TreeCollection::parse("((A,B),((C,D),(E,F)));").unwrap();
         let out = common_taxa_rf(&refs, &queries).unwrap();
         assert_eq!(out.taxa.len(), 6);
@@ -145,12 +142,9 @@ mod tests {
     #[test]
     fn extra_taxa_are_dropped() {
         // references know G, queries know H; neither survives
-        let refs = TreeCollection::parse(
-            "(((A,B),G),((C,D),(E,F)));\n(((A,C),B),((D,G),(E,F)));",
-        )
-        .unwrap();
-        let queries =
-            TreeCollection::parse("(((A,B),H),((C,D),(E,F)));").unwrap();
+        let refs = TreeCollection::parse("(((A,B),G),((C,D),(E,F)));\n(((A,C),B),((D,G),(E,F)));")
+            .unwrap();
+        let queries = TreeCollection::parse("(((A,B),H),((C,D),(E,F)));").unwrap();
         let out = common_taxa_rf(&refs, &queries).unwrap();
         assert_eq!(out.taxa.len(), 6);
         assert!(out.taxa.get("G").is_none());
@@ -167,10 +161,9 @@ mod tests {
     #[test]
     fn variable_taxa_within_one_collection() {
         // trees missing different taxa: common set is the intersection
-        let refs = TreeCollection::parse(
-            "((A,B),((C,D),(E,F)));\n((A,B),((C,D),E));\n((A,B),(C,(D,F)));",
-        )
-        .unwrap();
+        let refs =
+            TreeCollection::parse("((A,B),((C,D),(E,F)));\n((A,B),((C,D),E));\n((A,B),(C,(D,F)));")
+                .unwrap();
         let queries = TreeCollection::parse("((A,B),(C,D));").unwrap();
         let out = common_taxa_rf(&refs, &queries).unwrap();
         // common to all refs: A,B,C,D,(E missing in tree3),(F missing in tree2)

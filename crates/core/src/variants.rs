@@ -148,12 +148,7 @@ pub struct SizeFilteredRf {
 
 impl SizeFilteredRf {
     /// Build a filtered hash over the references.
-    pub fn new(
-        refs: &[Tree],
-        taxa: &TaxonSet,
-        min_side: usize,
-        max_side: usize,
-    ) -> Self {
+    pub fn new(refs: &[Tree], taxa: &TaxonSet, min_side: usize, max_side: usize) -> Self {
         let n = taxa.len();
         let mut bfh = Bfh::build(refs, taxa);
         bfh.retain(|bits, _| {
@@ -267,7 +262,10 @@ mod tests {
         // balanced split a=b=3: P = 3!!·3!!/7!! = 9/105 = 3/35
         let balanced = Bits::from_indices(6, [0, 1, 2]);
         let info_b = w.weight(&balanced, 6);
-        assert!((info_b - (35.0f64 / 3.0).log2()).abs() < 1e-12, "got {info_b}");
+        assert!(
+            (info_b - (35.0f64 / 3.0).log2()).abs() < 1e-12,
+            "got {info_b}"
+        );
         assert!(
             info_b > info,
             "balanced splits carry more information than cherries"
@@ -307,7 +305,10 @@ mod tests {
         let filt = SizeFilteredRf::new(&refs.trees, &refs.taxa, 2, 4);
         let bfh = Bfh::build(&refs.trees, &refs.taxa);
         for q in &queries {
-            assert_eq!(filt.average(q, &refs.taxa), bfhrf_average(q, &refs.taxa, &bfh));
+            assert_eq!(
+                filt.average(q, &refs.taxa),
+                bfhrf_average(q, &refs.taxa, &bfh)
+            );
         }
     }
 
@@ -318,7 +319,10 @@ mod tests {
         for q in &queries {
             let rf = bfhrf_average(q, &refs.taxa, &bfh);
             let norm = normalized_average(&rf, refs.taxa.len());
-            assert!((0.0..=1.0).contains(&norm), "normalized {norm} out of range");
+            assert!(
+                (0.0..=1.0).contains(&norm),
+                "normalized {norm} out of range"
+            );
         }
     }
 

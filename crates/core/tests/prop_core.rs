@@ -7,12 +7,15 @@
 //! agree **exactly** — integer for integer — which is a far stronger check
 //! than any fixed example.
 
+#[allow(deprecated)] // the deprecated wrappers stay equivalence-tested until removal
+use bfhrf::{bfhrf_parallel, sequential_rf_parallel};
+
 use bfhrf::matrix::rf_matrix_exact;
 use bfhrf::{
-    bfhrf_all, bfhrf_parallel, day_rf, sequential_rf, sequential_rf_parallel, Bfh, HashRf,
-    HashRfConfig,
+    bfhrf_all, day_rf, sequential_rf, Bfh, BfhBuilder, BfhrfComparator, Comparator, DayComparator,
+    HashRf, HashRfConfig, SetComparator,
 };
-use phylo::TreeCollection;
+use phylo::{BipartitionScratch, TreeCollection};
 use phylo_sim::datasets::DatasetSpec;
 use phylo_sim::perturb::random_collection;
 use proptest::prelude::*;
@@ -75,6 +78,7 @@ proptest! {
     }
 
     #[test]
+    #[allow(deprecated)] // deprecated wrappers must stay value-identical until removal
     fn parallel_variants_match_sequential(
         n in 5usize..20,
         r in 2usize..10,
@@ -94,6 +98,84 @@ proptest! {
         let ds = sequential_rf(&queries.trees, &refs.trees, &refs.taxa).unwrap();
         let dsmp = sequential_rf_parallel(&queries.trees, &refs.trees, &refs.taxa).unwrap();
         prop_assert_eq!(ds, dsmp);
+    }
+
+    #[test]
+    fn sharded_and_builder_builds_are_count_identical(
+        n in 5usize..24,
+        r in 2usize..14,
+        shards in 1usize..9,
+        seed in any::<u64>(),
+        coalescent in any::<bool>(),
+    ) {
+        // Yule/coalescent or uniform collections: every build strategy must
+        // produce the same multiset of (mask, frequency) pairs.
+        let refs = collection(n, r, seed, coalescent);
+        let seq = Bfh::build(&refs.trees, &refs.taxa);
+        let sharded = Bfh::build_sharded(&refs.trees, &refs.taxa, shards);
+        let built = BfhBuilder::new()
+            .parallel(seed.is_multiple_of(2))
+            .shards(shards)
+            .from_trees(&refs.trees, &refs.taxa)
+            .unwrap();
+        for other in [&sharded, &built] {
+            prop_assert_eq!(seq.sum(), other.sum());
+            prop_assert_eq!(seq.n_trees(), other.n_trees());
+            prop_assert_eq!(seq.distinct(), other.distinct());
+            for (bits, count) in seq.iter() {
+                prop_assert_eq!(other.frequency(bits), count);
+            }
+            for (bits, count) in other.iter() {
+                prop_assert_eq!(seq.frequency(bits), count);
+            }
+        }
+    }
+
+    #[test]
+    fn comparators_agree_with_day_oracle(
+        n in 5usize..20,
+        r in 2usize..10,
+        q in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        // Through the unified Comparator API: BFHRF and DS against the
+        // independent Day oracle, field for field (left/right, not just
+        // the total).
+        let refs = collection(n, r, seed, true);
+        let queries = collection(n, q, seed ^ 13, false);
+        let bfh = BfhBuilder::new().shards(3).from_trees(&refs.trees, &refs.taxa).unwrap();
+        let bfhrf = BfhrfComparator::new(&bfh, &refs.taxa);
+        let ds = SetComparator::new(&refs.trees, &refs.taxa);
+        let day = DayComparator::new(&refs.trees, &refs.taxa);
+        for qt in &queries.trees {
+            let oracle = day.average(qt).unwrap();
+            prop_assert_eq!(bfhrf.average(qt).unwrap(), oracle);
+            prop_assert_eq!(ds.average(qt).unwrap(), oracle);
+        }
+        let batch = bfhrf.average_all(&queries.trees).unwrap();
+        let oracle_batch = day.average_all(&queries.trees).unwrap();
+        prop_assert_eq!(batch, oracle_batch);
+    }
+
+    #[test]
+    fn scratch_extraction_matches_reference_extractor(
+        n in 4usize..40,
+        seed in any::<u64>(),
+        coalescent in any::<bool>(),
+    ) {
+        // The zero-allocation arena must visit exactly the canonical masks
+        // Tree::bipartitions returns, in the same order.
+        let coll = collection(n, 2, seed, coalescent);
+        let mut scratch = BipartitionScratch::new();
+        for tree in &coll.trees {
+            let reference: Vec<_> = tree
+                .bipartitions(&coll.taxa)
+                .into_iter()
+                .map(|b| b.into_bits())
+                .collect();
+            let got = scratch.splits(tree, &coll.taxa);
+            prop_assert_eq!(&got, &reference);
+        }
     }
 
     #[test]
@@ -322,5 +404,30 @@ proptest! {
         let mut taxa = refs.taxa.clone();
         let streamed = bfhrf::rf::bfhrf_streaming(text.as_bytes(), &mut taxa, &bfh).unwrap();
         prop_assert_eq!(batch, streamed);
+    }
+}
+
+/// Acceptance fixture: on a ≥1000-tree collection the sharded build is
+/// **bitwise-identical** to the sequential build — same distinct splits,
+/// same frequency for every mask, in both directions, for several shard
+/// counts.
+#[test]
+fn sharded_build_identical_on_thousand_tree_collection() {
+    let mut spec = DatasetSpec::new("acceptance", 20, 1000, 0xbf4f);
+    spec.pop_scale = 0.5;
+    let coll = phylo_sim::generate(&spec);
+    assert!(coll.len() >= 1000);
+    let seq = Bfh::build(&coll.trees, &coll.taxa);
+    for shards in [2usize, 8, 64] {
+        let sharded = Bfh::build_sharded(&coll.trees, &coll.taxa, shards);
+        assert_eq!(seq.n_trees(), sharded.n_trees());
+        assert_eq!(seq.sum(), sharded.sum());
+        assert_eq!(seq.distinct(), sharded.distinct());
+        for (bits, count) in seq.iter() {
+            assert_eq!(sharded.frequency(bits), count, "shards={shards} at {bits}");
+        }
+        for (bits, count) in sharded.iter() {
+            assert_eq!(seq.frequency(bits), count, "shards={shards} at {bits}");
+        }
     }
 }

@@ -32,7 +32,10 @@ impl Bipartition {
     /// # Panics
     /// Panics if `leafset` is empty or `side` is not a subset of `leafset`.
     pub fn new(side: Bits, leafset: &Bits) -> Self {
-        assert!(side.is_subset(leafset), "split side must lie within the leaf set");
+        assert!(
+            side.is_subset(leafset),
+            "split side must lie within the leaf set"
+        );
         let anchor = leafset.first_one().expect("empty leaf set has no splits");
         if side.get(anchor) {
             Bipartition { bits: side }
@@ -198,7 +201,9 @@ impl Tree {
         mut keep: F,
     ) -> Vec<Bipartition> {
         let n = taxa.len();
-        let Some(root) = self.root() else { return Vec::new() };
+        let Some(root) = self.root() else {
+            return Vec::new();
+        };
         let masks = self.subtree_masks(n);
         let leafset = &masks[root.index()];
         let n_leaves = leafset.count_ones() as usize;

@@ -18,9 +18,7 @@ impl Tree {
     /// with the other root child is a rotation that leaves the unrooted
     /// topology unchanged.
     pub fn nni_edges(&self) -> Vec<(NodeId, NodeId)> {
-        let bifurcating_root = self
-            .root()
-            .filter(|&r| self.children(r).len() == 2);
+        let bifurcating_root = self.root().filter(|&r| self.children(r).len() == 2);
         self.edges()
             .filter(|&(p, c)| !self.is_leaf(c) && Some(p) != bifurcating_root)
             .collect()
@@ -90,7 +88,10 @@ impl Tree {
         // change during suppression), so re-resolve the graft edge after
         // suppressing: record the graft child's identity, which survives.
         self.suppress_unifurcations();
-        if self.ancestors(graft_child).all(|a| a != self.root().unwrap()) {
+        if self
+            .ancestors(graft_child)
+            .all(|a| a != self.root().unwrap())
+        {
             // graft target was detached by suppression of a unary root —
             // re-resolve to the new root's position by grafting at root edge
             return Err(PhyloError::Structure(
@@ -121,11 +122,7 @@ mod tests {
     }
 
     fn split_strings(t: &Tree, taxa: &TaxonSet) -> Vec<String> {
-        let mut v: Vec<String> = t
-            .bipartitions(taxa)
-            .iter()
-            .map(|b| b.to_string())
-            .collect();
+        let mut v: Vec<String> = t.bipartitions(taxa).iter().map(|b| b.to_string()).collect();
         v.sort();
         v
     }
@@ -194,14 +191,15 @@ mod tests {
             taxa.len(),
             ["A", "B", "G"].iter().map(|l| taxa.get(l).unwrap().index()),
         );
-        let has = t
-            .bipartitions(&taxa)
-            .iter()
-            .any(|b| b.bits() == &want || b.bits() == &{
-                let mut c = want.clone();
-                c.complement();
-                c
-            });
+        let has = t.bipartitions(&taxa).iter().any(|b| {
+            b.bits() == &want
+                || b.bits()
+                    == &{
+                        let mut c = want.clone();
+                        c.complement();
+                        c
+                    }
+        });
         assert!(has, "regrafted cherry must sit next to G");
     }
 

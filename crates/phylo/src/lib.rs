@@ -43,6 +43,7 @@ pub mod error;
 pub mod newick;
 pub mod reroot;
 pub mod restrict;
+pub mod scratch;
 pub mod stats;
 pub mod taxa;
 pub mod traverse;
@@ -51,6 +52,7 @@ pub mod tree;
 pub use bipartition::{Bipartition, BipartitionSet};
 pub use error::PhyloError;
 pub use newick::{parse_newick, read_trees_from_str, write_newick, TaxaPolicy};
+pub use scratch::BipartitionScratch;
 pub use taxa::{TaxonId, TaxonSet};
 pub use tree::{NodeId, Tree};
 

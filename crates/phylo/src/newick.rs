@@ -128,9 +128,7 @@ impl<'a> Lexer<'a> {
                 let mut label = String::new();
                 loop {
                     match self.input.get(self.pos) {
-                        None => {
-                            return Err(PhyloError::parse(start, "unterminated quoted label"))
-                        }
+                        None => return Err(PhyloError::parse(start, "unterminated quoted label")),
                         Some(b'\'') => {
                             if self.input.get(self.pos + 1) == Some(&b'\'') {
                                 label.push('\'');
@@ -229,8 +227,7 @@ fn parse_one(
         }
         v[id.index()] = true;
     };
-    let is_marked =
-        |v: &Vec<bool>, id: NodeId| v.get(id.index()).copied().unwrap_or(false);
+    let is_marked = |v: &Vec<bool>, id: NodeId| v.get(id.index()).copied().unwrap_or(false);
 
     loop {
         let offset = {
@@ -243,7 +240,10 @@ fn parse_one(
                     return Err(PhyloError::parse(offset, "unexpected '(' after label"));
                 }
                 if !tree.children(cur).is_empty() {
-                    return Err(PhyloError::parse(offset, "unexpected '(': node already closed"));
+                    return Err(PhyloError::parse(
+                        offset,
+                        "unexpected '(': node already closed",
+                    ));
                 }
                 depth += 1;
                 cur = tree.add_child(cur);
@@ -283,7 +283,10 @@ fn parse_one(
             }
             Token::Semicolon => {
                 if depth != 0 {
-                    return Err(PhyloError::parse(offset, "unbalanced '(': tree ended early"));
+                    return Err(PhyloError::parse(
+                        offset,
+                        "unbalanced '(': tree ended early",
+                    ));
                 }
                 finish_node(&tree, taxa, cur, offset)?;
                 debug_assert_eq!(cur, root);
@@ -397,9 +400,12 @@ fn format_length(l: f64) -> String {
 
 fn push_label(label: &str, out: &mut String) {
     let needs_quotes = label.is_empty()
-        || label
-            .chars()
-            .any(|c| matches!(c, '(' | ')' | ',' | ':' | ';' | '[' | ']' | '\'' | ' ' | '\t'));
+        || label.chars().any(|c| {
+            matches!(
+                c,
+                '(' | ')' | ',' | ':' | ';' | '[' | ']' | '\'' | ' ' | '\t'
+            )
+        });
     if needs_quotes {
         out.push('\'');
         for c in label.chars() {
@@ -542,8 +548,7 @@ mod tests {
 
     #[test]
     fn comments_are_skipped_even_nested() {
-        let (t, taxa) =
-            grow("[header [nested]]((A[x],B):1[c],(C,D));");
+        let (t, taxa) = grow("[header [nested]]((A[x],B):1[c],(C,D));");
         assert_eq!(taxa.len(), 4);
         assert_eq!(t.leaf_count(), 4);
     }
@@ -572,28 +577,25 @@ mod tests {
         let ok = parse_newick("(A,B);", &mut taxa, TaxaPolicy::Require);
         assert!(ok.is_ok());
         let err = parse_newick("(A,X);", &mut taxa, TaxaPolicy::Require);
-        assert_eq!(
-            err.err(),
-            Some(PhyloError::UnknownTaxon("X".into()))
-        );
+        assert_eq!(err.err(), Some(PhyloError::UnknownTaxon("X".into())));
         assert_eq!(taxa.len(), 2, "failed parse must not grow the namespace");
     }
 
     #[test]
     fn malformed_inputs_error_with_position() {
         let cases = [
-            "((A,B);",        // unbalanced (
-            "(A,B));",        // unbalanced )
-            "(A,,B);",        // empty sibling
-            "(A,B)",          // missing ;
-            "(A,B); junk",    // trailing garbage
-            "(A:x,B);",       // bad number
-            "('A,B);",        // unterminated quote
-            "[(A,B);",        // unterminated comment
-            "(A B,C);",       // two labels on one node
-            ",A;",            // comma at top level
-            "(A,B)(C,D);",    // second structure after close
-            "();",            // unlabeled leaf
+            "((A,B);",     // unbalanced (
+            "(A,B));",     // unbalanced )
+            "(A,,B);",     // empty sibling
+            "(A,B)",       // missing ;
+            "(A,B); junk", // trailing garbage
+            "(A:x,B);",    // bad number
+            "('A,B);",     // unterminated quote
+            "[(A,B);",     // unterminated comment
+            "(A B,C);",    // two labels on one node
+            ",A;",         // comma at top level
+            "(A,B)(C,D);", // second structure after close
+            "();",         // unlabeled leaf
         ];
         let mut taxa = TaxonSet::new();
         for c in cases {
@@ -605,7 +607,10 @@ mod tests {
     #[test]
     fn duplicate_leaf_labels_detected_by_validate() {
         let (t, taxa) = grow("((A,B),(A,C));");
-        assert_eq!(t.validate(&taxa), Err(PhyloError::DuplicateTaxon("A".into())));
+        assert_eq!(
+            t.validate(&taxa),
+            Err(PhyloError::DuplicateTaxon("A".into()))
+        );
     }
 
     #[test]

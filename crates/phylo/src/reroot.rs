@@ -75,9 +75,7 @@ impl Tree {
             .postorder()
             .into_iter()
             .find(|&n| self.taxon(n) == Some(taxon))
-            .ok_or_else(|| {
-                PhyloError::Structure(format!("taxon {taxon} not on this tree"))
-            })?;
+            .ok_or_else(|| PhyloError::Structure(format!("taxon {taxon} not on this tree")))?;
         self.rerooted_above(leaf)
     }
 }
@@ -95,8 +93,7 @@ mod tests {
     }
 
     fn splits(t: &Tree, taxa: &TaxonSet) -> Vec<String> {
-        let mut v: Vec<String> =
-            t.bipartitions(taxa).iter().map(|b| b.to_string()).collect();
+        let mut v: Vec<String> = t.bipartitions(taxa).iter().map(|b| b.to_string()).collect();
         v.sort();
         v
     }
@@ -107,7 +104,10 @@ mod tests {
         let original = splits(&t, &taxa);
         for node in t.postorder() {
             let r = t.rerooted_above(node).unwrap();
-            assert!(r.validate(&taxa).is_ok(), "invalid after reroot at {node:?}");
+            assert!(
+                r.validate(&taxa).is_ok(),
+                "invalid after reroot at {node:?}"
+            );
             assert_eq!(
                 splits(&r, &taxa),
                 original,
@@ -138,15 +138,10 @@ mod tests {
         let r = t.rerooted_at_taxon(a).unwrap();
         // the A edge (length 1) is split into 0.5 + 0.5 across the root
         let root = r.root().unwrap();
-        let lens: Vec<Option<f64>> =
-            r.children(root).iter().map(|&c| r.length(c)).collect();
+        let lens: Vec<Option<f64>> = r.children(root).iter().map(|&c| r.length(c)).collect();
         assert!(lens.contains(&Some(0.5)), "{lens:?}");
         // total tree length is preserved: 1+1+2+3+1+1 = 9
-        let total: f64 = r
-            .postorder()
-            .into_iter()
-            .filter_map(|n| r.length(n))
-            .sum();
+        let total: f64 = r.postorder().into_iter().filter_map(|n| r.length(n)).sum();
         assert!((total - 9.0).abs() < 1e-12, "total {total}");
     }
 

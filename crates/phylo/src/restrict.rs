@@ -104,10 +104,16 @@ mod tests {
     fn restriction_to_all_taxa_is_identity_topology() {
         let (t, taxa) = setup("((((A,B),C),D),(E,(F,(G,H))));");
         let r = t.restricted(&Bits::ones(taxa.len())).unwrap();
-        let mut a: Vec<String> =
-            t.bipartitions(&taxa).iter().map(|b| b.to_string()).collect();
-        let mut b: Vec<String> =
-            r.bipartitions(&taxa).iter().map(|b| b.to_string()).collect();
+        let mut a: Vec<String> = t
+            .bipartitions(&taxa)
+            .iter()
+            .map(|b| b.to_string())
+            .collect();
+        let mut b: Vec<String> = r
+            .bipartitions(&taxa)
+            .iter()
+            .map(|b| b.to_string())
+            .collect();
         a.sort();
         b.sort();
         assert_eq!(a, b);

@@ -197,6 +197,9 @@ mod tests {
             b.intern(l);
         }
         let pairs: Vec<_> = a.intersection_ids(&b).collect();
-        assert_eq!(pairs, vec![(TaxonId(0), TaxonId(2)), (TaxonId(2), TaxonId(0))]);
+        assert_eq!(
+            pairs,
+            vec![(TaxonId(0), TaxonId(2)), (TaxonId(2), TaxonId(0))]
+        );
     }
 }

@@ -155,7 +155,11 @@ impl Tree {
     pub fn leaf_count(&self) -> usize {
         match self.root {
             None => 0,
-            Some(_) => self.postorder().iter().filter(|&&n| self.is_leaf(n)).count(),
+            Some(_) => self
+                .postorder()
+                .iter()
+                .filter(|&&n| self.is_leaf(n))
+                .count(),
         }
     }
 
@@ -244,9 +248,7 @@ impl Tree {
                 leaves += 1;
                 match self.taxon(node) {
                     None => {
-                        return Err(PhyloError::Structure(format!(
-                            "leaf {node:?} has no taxon"
-                        )))
+                        return Err(PhyloError::Structure(format!("leaf {node:?} has no taxon")))
                     }
                     Some(t) => {
                         if t.index() >= seen.len() {
@@ -256,9 +258,7 @@ impl Tree {
                             )));
                         }
                         if seen[t.index()] {
-                            return Err(PhyloError::DuplicateTaxon(
-                                taxa.label(t).to_string(),
-                            ));
+                            return Err(PhyloError::DuplicateTaxon(taxa.label(t).to_string()));
                         }
                         seen[t.index()] = true;
                     }
@@ -286,7 +286,9 @@ impl Tree {
     /// Nodes in postorder (children before parents), root last.
     /// Returns an empty vector for an empty tree.
     pub fn postorder(&self) -> Vec<NodeId> {
-        let Some(root) = self.root else { return Vec::new() };
+        let Some(root) = self.root else {
+            return Vec::new();
+        };
         let mut out = Vec::with_capacity(self.nodes.len());
         // Two-stack postorder: emit in reverse-preorder with children
         // visited right-to-left, then reverse.
@@ -301,7 +303,9 @@ impl Tree {
 
     /// Nodes in preorder (parents before children), root first.
     pub fn preorder(&self) -> Vec<NodeId> {
-        let Some(root) = self.root else { return Vec::new() };
+        let Some(root) = self.root else {
+            return Vec::new();
+        };
         let mut out = Vec::with_capacity(self.nodes.len());
         let mut stack = vec![root];
         while let Some(n) = stack.pop() {
@@ -366,8 +370,7 @@ mod tests {
         let (t, _) = example();
         let order = t.postorder();
         assert_eq!(order.len(), 7);
-        let pos =
-            |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
         for n in &order {
             for &c in t.children(*n) {
                 assert!(pos(c) < pos(*n), "child {c:?} after parent {n:?}");
@@ -381,8 +384,7 @@ mod tests {
         let (t, _) = example();
         let order = t.preorder();
         assert_eq!(order[0], t.root().unwrap());
-        let pos =
-            |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
         for n in &order {
             for &c in t.children(*n) {
                 assert!(pos(c) > pos(*n));
@@ -418,10 +420,7 @@ mod tests {
         let taxa = TaxonSet::new();
         let (mut t, root) = Tree::with_root();
         t.add_child(root);
-        assert!(matches!(
-            t.validate(&taxa),
-            Err(PhyloError::Structure(_))
-        ));
+        assert!(matches!(t.validate(&taxa), Err(PhyloError::Structure(_))));
     }
 
     #[test]

@@ -68,7 +68,10 @@ impl MscSimulator {
         let root = self.species.root().expect("species tree is nonempty");
         for node in self.species.postorder() {
             let mut lineages = if self.species.is_leaf(node) {
-                let taxon = self.species.taxon(node).expect("species leaves are labelled");
+                let taxon = self
+                    .species
+                    .taxon(node)
+                    .expect("species leaves are labelled");
                 protos.push((Vec::new(), Some(taxon), self.heights[node.index()]));
                 vec![protos.len() - 1]
             } else {

@@ -79,7 +79,12 @@ impl DatasetSpec {
 /// Generate the collection a spec describes.
 pub fn generate(spec: &DatasetSpec) -> TreeCollection {
     let (species, taxa) = kingman_species_tree(spec.n_taxa, spec.species_scale, spec.seed);
-    let mut sim = MscSimulator::new(species, taxa, spec.pop_scale, spec.seed.wrapping_mul(0x9E3779B9));
+    let mut sim = MscSimulator::new(
+        species,
+        taxa,
+        spec.pop_scale,
+        spec.seed.wrapping_mul(0x9E3779B9),
+    );
     sim.gene_trees(spec.n_trees)
 }
 
@@ -107,7 +112,10 @@ mod tests {
 
     #[test]
     fn presets_match_paper_shapes() {
-        assert_eq!((DatasetSpec::avian().n_taxa, DatasetSpec::avian().n_trees), (48, 14446));
+        assert_eq!(
+            (DatasetSpec::avian().n_taxa, DatasetSpec::avian().n_trees),
+            (48, 14446)
+        );
         let i = DatasetSpec::insect();
         assert_eq!((i.n_taxa, i.n_trees), (144, 149_278));
         let v = DatasetSpec::variable_trees(25000);

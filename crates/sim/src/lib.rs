@@ -50,8 +50,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let rate = 2.5;
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| sample_exponential(&mut rng, rate)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_exponential(&mut rng, rate))
+            .sum::<f64>()
+            / n as f64;
         assert!(
             (mean - 1.0 / rate).abs() < 0.02,
             "empirical mean {mean} far from {}",

@@ -37,7 +37,9 @@ pub fn nni_forest(
     seed: u64,
 ) -> TreeCollection {
     let mut rng = StdRng::seed_from_u64(seed);
-    let trees = (0..count).map(|_| nni_walk(base, moves, &mut rng)).collect();
+    let trees = (0..count)
+        .map(|_| nni_walk(base, moves, &mut rng))
+        .collect();
     TreeCollection {
         taxa: taxa.clone(),
         trees,
@@ -50,7 +52,9 @@ pub fn nni_forest(
 pub fn random_collection(n: usize, count: usize, seed: u64) -> TreeCollection {
     let taxa = TaxonSet::with_numbered("t", n);
     let mut rng = StdRng::seed_from_u64(seed);
-    let trees = (0..count).map(|_| random_binary_tree(n, &mut rng)).collect();
+    let trees = (0..count)
+        .map(|_| random_binary_tree(n, &mut rng))
+        .collect();
     TreeCollection { taxa, trees }
 }
 

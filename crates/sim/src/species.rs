@@ -76,7 +76,7 @@ pub fn yule_species_tree(n: usize, lambda: f64, seed: u64) -> (Tree, TaxonSet) {
         }
     }
     let total = now; // all tips extend to the last split time
-    // convert forward times to heights (time before present)
+                     // convert forward times to heights (time before present)
     let mut protos: Vec<(Vec<usize>, Option<TaxonId>, f64)> = Vec::with_capacity(nodes.len());
     let mut tip_counter = 0u32;
     for node in &nodes {
@@ -93,10 +93,7 @@ pub fn yule_species_tree(n: usize, lambda: f64, seed: u64) -> (Tree, TaxonSet) {
 /// Convert a proto-forest (children lists + heights, leaves at height 0)
 /// into a [`Tree`] rooted at `root`, with branch lengths equal to height
 /// differences.
-pub(crate) fn materialize(
-    protos: &[(Vec<usize>, Option<TaxonId>, f64)],
-    root: usize,
-) -> Tree {
+pub(crate) fn materialize(protos: &[(Vec<usize>, Option<TaxonId>, f64)], root: usize) -> Tree {
     let mut tree = Tree::new();
     let tree_root = tree.add_root();
     let mut stack: Vec<(usize, NodeId)> = vec![(root, tree_root)];
@@ -130,8 +127,7 @@ pub fn node_heights(tree: &Tree) -> Vec<f64> {
             heights[node.index()] = max_depth;
         } else {
             let parent = tree.parent(node).unwrap();
-            heights[node.index()] =
-                heights[parent.index()] - tree.length(node).unwrap_or(0.0);
+            heights[node.index()] = heights[parent.index()] - tree.length(node).unwrap_or(0.0);
         }
     }
     heights

@@ -35,7 +35,10 @@ fn main() {
         truth.push(1usize);
     }
     let coll = TreeCollection { taxa, trees };
-    println!("mixture of {} gene trees from two species trees", coll.len());
+    println!(
+        "mixture of {} gene trees from two species trees",
+        coll.len()
+    );
 
     let matrix = rf_matrix_exact(&coll.trees, &coll.taxa, 1 << 30).expect("fits budget");
 

@@ -11,7 +11,7 @@
 //! ```
 
 use bfhrf::support::{edge_support, write_newick_with_support};
-use bfhrf::Bfh;
+use bfhrf::BfhBuilder;
 use phylo_sim::coalescent::MscSimulator;
 use phylo_sim::species::kingman_species_tree;
 
@@ -20,7 +20,11 @@ fn main() {
     let mut sim = MscSimulator::new(species.clone(), taxa.clone(), 0.25, 3);
     let genes = sim.gene_trees(1000);
 
-    let bfh = Bfh::build_parallel(&genes.trees, &genes.taxa);
+    let bfh = BfhBuilder::new()
+        .parallel(true)
+        .shards(4)
+        .from_trees(&genes.trees, &genes.taxa)
+        .expect("gene trees live in their own namespace");
     let supports = edge_support(&species, &genes.taxa, &bfh);
 
     println!("edge supports of the true species tree over 1000 gene trees:\n");
@@ -43,8 +47,7 @@ fn main() {
         "at least 80% of true edges should appear: {supported}/{}",
         supports.len()
     );
-    let mean: f64 =
-        supports.iter().map(|s| s.fraction).sum::<f64>() / supports.len() as f64;
+    let mean: f64 = supports.iter().map(|s| s.fraction).sum::<f64>() / supports.len() as f64;
     println!("\nmean concordance factor: {:.1}%", mean * 100.0);
     assert!(mean > 0.3, "true-tree edges must be well supported");
 }

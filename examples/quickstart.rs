@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use bfhrf::{bfhrf_all, best_query, Bfh};
+use bfhrf::{best_query, bfhrf_all, Bfh};
 use phylo::{read_trees_from_str, TaxaPolicy, TreeCollection};
 
 fn main() {
@@ -53,6 +53,10 @@ fn main() {
 
     // 3. Pick the query closest to the collection.
     let best = best_query(&scores).expect("nonempty");
-    println!("best query: #{} with average RF {:.4}", best.index, best.rf.average());
+    println!(
+        "best query: #{} with average RF {:.4}",
+        best.index,
+        best.rf.average()
+    );
     assert_eq!(best.index, 0, "the concordant topology wins");
 }

@@ -11,8 +11,7 @@
 //! ```
 
 use bfhrf::variants::{
-    branch_score, normalized_average, GeneralizedRf, PhyloInfoWeight, SizeFilteredRf,
-    UnitWeight,
+    branch_score, normalized_average, GeneralizedRf, PhyloInfoWeight, SizeFilteredRf, UnitWeight,
 };
 use bfhrf::{bfhrf_average, Bfh};
 use phylo::{read_trees_from_str, TaxaPolicy, TreeCollection};
@@ -44,8 +43,14 @@ fn main() {
     // Generalized RF with split weights.
     let unit = GeneralizedRf::new(&bfh, UnitWeight);
     let info = GeneralizedRf::new(&bfh, PhyloInfoWeight::new(n));
-    println!("unit-weighted (check)  : {:.4}", unit.average(&query, &refs.taxa));
-    println!("info-content weighted  : {:.4}", info.average(&query, &refs.taxa));
+    println!(
+        "unit-weighted (check)  : {:.4}",
+        unit.average(&query, &refs.taxa)
+    );
+    println!(
+        "info-content weighted  : {:.4}",
+        info.average(&query, &refs.taxa)
+    );
 
     // Bipartition-size filtering — the variant the paper implements.
     let cherries_only = SizeFilteredRf::new(&refs.trees, &refs.taxa, 2, 2);
@@ -61,10 +66,7 @@ fn main() {
          ((a,b),((c,e),(d,(f,g))));",
     )
     .unwrap();
-    let queries_full = TreeCollection::parse(
-        "((a,b),((c,d),((e,f),(g,h))));",
-    )
-    .unwrap();
+    let queries_full = TreeCollection::parse("((a,b),((c,d),((e,f),(g,h))));").unwrap();
     let common = bfhrf::variable_taxa::common_taxa_rf(&refs_small, &queries_full)
         .expect("enough shared taxa");
     println!(

@@ -12,7 +12,7 @@
 //! cargo run --release --example species_tree_search
 //! ```
 
-use bfhrf::{bfhrf_parallel, best_query, Bfh};
+use bfhrf::{best_query, BfhBuilder, BfhrfComparator, Comparator};
 use phylo_sim::coalescent::MscSimulator;
 use phylo_sim::perturb::nni_walk;
 use phylo_sim::species::kingman_species_tree;
@@ -41,15 +41,32 @@ fn main() {
     }
 
     // Hash the gene trees once; score every candidate in parallel.
-    let bfh = Bfh::build_parallel(&genes.trees, &genes.taxa);
-    let scores = bfhrf_parallel(&candidates, &genes.taxa, &bfh).expect("nonempty");
+    let bfh = BfhBuilder::new()
+        .parallel(true)
+        .shards(8)
+        .from_trees(&genes.trees, &genes.taxa)
+        .expect("gene trees live in their own namespace");
+    let scores = BfhrfComparator::new(&bfh, &genes.taxa)
+        .parallel(true)
+        .average_all(&candidates)
+        .expect("nonempty");
 
     let mut ranked = scores.clone();
     ranked.sort_by_key(|a| a.rf.total());
     println!("\nrank  candidate  avg RF to gene trees");
     for (rank, s) in ranked.iter().take(8).enumerate() {
-        let marker = if s.index == 0 { "  <- true species tree" } else { "" };
-        println!("{:>4}  {:>9}  {:.4}{}", rank + 1, s.index, s.rf.average(), marker);
+        let marker = if s.index == 0 {
+            "  <- true species tree"
+        } else {
+            ""
+        };
+        println!(
+            "{:>4}  {:>9}  {:.4}{}",
+            rank + 1,
+            s.index,
+            s.rf.average(),
+            marker
+        );
     }
 
     let best = best_query(&scores).expect("nonempty");

@@ -12,7 +12,8 @@
 
 use bfhrf::rf::bfhrf_streaming;
 use bfhrf::Bfh;
-use phylo::{TaxaPolicy, TaxonSet};
+use phylo::newick::NewickStream;
+use phylo::{BipartitionScratch, TaxaPolicy, TaxonSet};
 use phylo_sim::datasets::{write_collection, DatasetSpec};
 use std::io::BufReader;
 use std::time::Instant;
@@ -27,15 +28,24 @@ fn main() {
     let coll = phylo_sim::generate(&spec);
     write_collection(&path, &coll).expect("write dataset");
     let bytes = std::fs::metadata(&path).expect("stat").len();
-    println!("dataset: {n_trees} trees / {n_taxa} taxa, {:.1} MB on disk", bytes as f64 / 1e6);
+    println!(
+        "dataset: {n_trees} trees / {n_taxa} taxa, {:.1} MB on disk",
+        bytes as f64 / 1e6
+    );
     drop(coll); // nothing of the collection stays in memory
 
-    // Phase 1: stream the references into the hash.
+    // Phase 1: stream the references into the hash, one tree at a time,
+    // through a single reused extraction arena — only the hash (plus the
+    // current tree) is ever resident.
     let mut taxa = TaxonSet::with_numbered("t", n_taxa);
     let t0 = Instant::now();
     let file = std::fs::File::open(&path).expect("open refs");
-    let bfh = Bfh::build_streaming(BufReader::new(file), &mut taxa, TaxaPolicy::Require)
-        .expect("parse refs");
+    let mut stream = NewickStream::new(BufReader::new(file), TaxaPolicy::Require);
+    let mut bfh = Bfh::empty(n_taxa);
+    let mut scratch = BipartitionScratch::new();
+    while let Some(tree) = stream.next_tree(&mut taxa).expect("parse refs") {
+        bfh.add_tree_with(&tree, &taxa, &mut scratch);
+    }
     println!(
         "hash built in {:.2}s: {} distinct splits from {} trees (approx {:.1} MB resident)",
         t0.elapsed().as_secs_f64(),
@@ -47,8 +57,7 @@ fn main() {
     // Phase 2: stream the queries (same file — Q is R) against the hash.
     let t1 = Instant::now();
     let file = std::fs::File::open(&path).expect("open queries");
-    let scores =
-        bfhrf_streaming(BufReader::new(file), &mut taxa, &bfh).expect("score queries");
+    let scores = bfhrf_streaming(BufReader::new(file), &mut taxa, &bfh).expect("score queries");
     let mean: f64 = scores.iter().map(|s| s.rf.average()).sum::<f64>() / scores.len() as f64;
     println!(
         "scored {} queries in {:.2}s; mean average RF = {:.3}",

@@ -1,0 +1,427 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] knows how to draw one value from a [`TestRng`]. Unlike
+//! upstream proptest there is no value tree and no shrinking — failures
+//! reproduce deterministically instead.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Something that can generate values of type `Value`.
+pub trait Strategy {
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Derive a new strategy from each sampled value.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Map sampled values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { base: self, f }
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `base.prop_flat_map(f)`.
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        let mid = self.base.sample(rng);
+        (self.f)(mid).sample(rng)
+    }
+}
+
+/// `base.prop_map(f)`.
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.sample(rng))
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(usize, u64, u32, u16, u8, i64, i32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + (self.end - self.start) * rng.unit_f64();
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+/// Uniform over a type's whole domain (`any::<u64>()`).
+pub struct Any<T>(PhantomData<T>);
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u64, u32, u16, u8, usize, i64, i32);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Length bounds for [`crate::collection::vec`].
+pub trait SizeRange {
+    /// `(min, max)`, both inclusive.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with bounded length.
+pub struct VecStrategy<S: Strategy> {
+    pub(crate) element: S,
+    pub(crate) min: usize,
+    pub(crate) max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String patterns: `&str` as a strategy over a tiny regex subset.
+// ---------------------------------------------------------------------------
+
+/// The regex subset the workspace uses: one atom — either `\PC` (printable)
+/// or a `[...]` char class — followed by an optional `{m,n}` repetition.
+#[derive(Debug, Clone)]
+struct StringPattern {
+    ranges: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+/// Printable sample space for `\PC`: ASCII plus a few multibyte characters
+/// so UTF-8 boundary handling gets exercised.
+const PRINTABLE_EXTRAS: [char; 6] = ['é', 'λ', '中', '∅', '🌲', 'ß'];
+
+fn parse_pattern(pattern: &str) -> StringPattern {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos: usize;
+    let mut ranges: Vec<(char, char)> = Vec::new();
+
+    if pattern.starts_with("\\PC") {
+        ranges.push((' ', '~')); // printable ASCII
+        for c in PRINTABLE_EXTRAS {
+            ranges.push((c, c));
+        }
+        pos = 3;
+    } else if chars.first() == Some(&'[') {
+        pos = 1;
+        let mut class: Vec<char> = Vec::new();
+        let mut closed = false;
+        while pos < chars.len() {
+            match chars[pos] {
+                ']' => {
+                    closed = true;
+                    pos += 1;
+                    break;
+                }
+                '\\' if pos + 1 < chars.len() => {
+                    class.push(chars[pos + 1]);
+                    pos += 2;
+                }
+                c => {
+                    class.push(c);
+                    pos += 1;
+                }
+            }
+        }
+        assert!(closed, "unterminated char class in pattern {pattern:?}");
+        // Resolve `a-b` spans; `-` first or last is a literal.
+        let mut i = 0usize;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                assert!(class[i] <= class[i + 2], "bad range in {pattern:?}");
+                ranges.push((class[i], class[i + 2]));
+                i += 3;
+            } else {
+                ranges.push((class[i], class[i]));
+                i += 1;
+            }
+        }
+        assert!(
+            !ranges.is_empty(),
+            "empty char class in pattern {pattern:?}"
+        );
+    } else {
+        panic!("unsupported string pattern {pattern:?} (shim supports `\\PC` or `[...]` with optional `{{m,n}}`)");
+    }
+
+    let (min, max) = if chars.get(pos) == Some(&'{') {
+        let rest: String = chars[pos + 1..].iter().collect();
+        let body = rest
+            .split_once('}')
+            .unwrap_or_else(|| panic!("unterminated repetition in {pattern:?}"))
+            .0;
+        match body.split_once(',') {
+            Some((lo, hi)) => (
+                lo.parse().expect("repetition lower bound"),
+                hi.parse().expect("repetition upper bound"),
+            ),
+            None => {
+                let n = body.parse().expect("repetition count");
+                (n, n)
+            }
+        }
+    } else {
+        (1, 1)
+    };
+    assert!(min <= max, "inverted repetition in {pattern:?}");
+    StringPattern { ranges, min, max }
+}
+
+impl StringPattern {
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let len = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+        let total: u64 = self
+            .ranges
+            .iter()
+            .map(|&(a, b)| (b as u64) - (a as u64) + 1)
+            .sum();
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            let mut pick = rng.below(total);
+            for &(a, b) in &self.ranges {
+                let size = (b as u64) - (a as u64) + 1;
+                if pick < size {
+                    // All class ranges the workspace uses stay inside a
+                    // contiguous scalar-value span, so this cannot land on
+                    // a surrogate.
+                    out.push(char::from_u32(a as u32 + pick as u32).expect("valid scalar"));
+                    break;
+                }
+                pick -= size;
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        parse_pattern(self).sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy::tests", 0)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (4usize..60).sample(&mut r);
+            assert!((4..60).contains(&v));
+            let w = (1usize..=300).sample(&mut r);
+            assert!((1..=300).contains(&w));
+            let f = (0.05f64..20.0).sample(&mut r);
+            assert!((0.05..20.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn flat_map_and_collection_vec() {
+        let strat =
+            (1usize..=30).prop_flat_map(|len| (Just(len), crate::collection::vec(0..len, 0..=len)));
+        let mut r = rng();
+        for _ in 0..500 {
+            let (len, v) = strat.sample(&mut r);
+            assert!(v.len() <= len);
+            assert!(v.iter().all(|&x| x < len));
+        }
+    }
+
+    #[test]
+    fn char_class_pattern_only_emits_class_members() {
+        let pat = "[(),;:A-Ea-e0-9.'\\[\\] _-]{0,160}";
+        let mut r = rng();
+        let allowed = |c: char| {
+            "(),;:.'[] _-".contains(c)
+                || ('A'..='E').contains(&c)
+                || ('a'..='e').contains(&c)
+                || c.is_ascii_digit()
+        };
+        for _ in 0..200 {
+            let s = Strategy::sample(&pat, &mut r);
+            assert!(s.chars().count() <= 160);
+            assert!(s.chars().all(allowed), "stray char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_pattern_has_bounded_len() {
+        let pat = "\\PC{0,120}";
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = Strategy::sample(&pat, &mut r);
+            assert!(s.chars().count() <= 120);
+        }
+    }
+
+    #[test]
+    fn single_char_class_yields_one_char() {
+        let pat = "[(),;:A-D0-9.]";
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = Strategy::sample(&pat, &mut r);
+            assert_eq!(s.chars().count(), 1);
+        }
+    }
+
+    #[test]
+    fn tuple_and_any_strategies() {
+        let mut r = rng();
+        let (a, b) = (any::<u64>(), any::<bool>()).sample(&mut r);
+        let _ = (a, b);
+        let mapped = (0usize..10).prop_map(|x| x * 2).sample(&mut r);
+        assert!(mapped % 2 == 0 && mapped < 20);
+    }
+}

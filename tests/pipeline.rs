@@ -1,7 +1,10 @@
 //! Cross-crate integration: simulation → serialization → parsing →
 //! analysis, with every algorithm agreeing along the way.
 
-use bfhrf::{bfhrf_all, bfhrf_parallel, best_query, day_rf, Bfh, HashRf, HashRfConfig};
+use bfhrf::{
+    best_query, bfhrf_all, day_rf, Bfh, BfhBuilder, BfhrfComparator, Comparator, HashRf,
+    HashRfConfig,
+};
 use phylo::{BipartitionSet, TaxaPolicy, TaxonSet};
 use phylo_sim::coalescent::MscSimulator;
 use phylo_sim::datasets::{read_collection, write_collection, DatasetSpec};
@@ -27,11 +30,9 @@ fn simulate_write_read_analyze() {
     // all four implementations agree on the reloaded data (Q is R)
     let bfh = Bfh::build(&reloaded.trees, &reloaded.taxa);
     let fast = bfhrf_all(&reloaded.trees, &reloaded.taxa, &bfh).unwrap();
-    let slow =
-        bfhrf::sequential_rf(&reloaded.trees, &reloaded.trees, &reloaded.taxa).unwrap();
+    let slow = bfhrf::sequential_rf(&reloaded.trees, &reloaded.trees, &reloaded.taxa).unwrap();
     assert_eq!(fast, slow);
-    let h = HashRf::compute(&reloaded.trees, &reloaded.taxa, &HashRfConfig::default())
-        .unwrap();
+    let h = HashRf::compute(&reloaded.trees, &reloaded.taxa, &HashRfConfig::default()).unwrap();
     for s in &fast {
         assert!((h.averages()[s.index] - s.rf.average()).abs() < 1e-9);
     }
@@ -58,12 +59,14 @@ fn streaming_file_analysis_matches_in_memory() {
 
     // streaming build + streaming queries against the file
     let mut taxa = TaxonSet::with_numbered("t", 16);
-    let bfh_streamed = Bfh::build_streaming(
-        BufReader::new(std::fs::File::open(&path).unwrap()),
-        &mut taxa,
-        TaxaPolicy::Require,
-    )
-    .unwrap();
+    let bfh_streamed = BfhBuilder::new()
+        .shards(2)
+        .from_newick_reader(
+            BufReader::new(std::fs::File::open(&path).unwrap()),
+            &mut taxa,
+            TaxaPolicy::Require,
+        )
+        .unwrap();
     let streamed = bfhrf::rf::bfhrf_streaming(
         BufReader::new(std::fs::File::open(&path).unwrap()),
         &mut taxa,
@@ -90,7 +93,11 @@ fn species_tree_recovery_under_low_ils() {
     let mut sim = MscSimulator::new(species.clone(), taxa.clone(), 0.01, 17);
     let genes = sim.gene_trees(200);
 
-    let bfh = Bfh::build_parallel(&genes.trees, &genes.taxa);
+    let bfh = BfhBuilder::new()
+        .parallel(true)
+        .shards(4)
+        .from_trees(&genes.trees, &genes.taxa)
+        .unwrap();
 
     // candidate ranking: truth + perturbations
     use phylo_sim::perturb::nni_walk;
@@ -100,7 +107,10 @@ fn species_tree_recovery_under_low_ils() {
     for k in 1..10 {
         candidates.push(nni_walk(&species, k, &mut rng));
     }
-    let scores = bfhrf_parallel(&candidates, &genes.taxa, &bfh).unwrap();
+    let scores = BfhrfComparator::new(&bfh, &genes.taxa)
+        .parallel(true)
+        .average_all(&candidates)
+        .unwrap();
     assert_eq!(best_query(&scores).unwrap().index, 0);
 
     // consensus recovery

@@ -1,7 +1,7 @@
 //! Medium-scale smoke tests: the properties the paper's evaluation rests
 //! on must already be visible at test-suite-friendly sizes.
 
-use bfhrf::{bfhrf_all, Bfh};
+use bfhrf::{bfhrf_all, Bfh, Comparator, SetComparator};
 use phylo_sim::DatasetSpec;
 
 /// §VII.C: the number of distinct splits saturates as r grows (repeat
@@ -57,9 +57,12 @@ fn self_average_tracks_discordance() {
 #[test]
 fn medium_scale_exact_agreement() {
     let coll = phylo_sim::generate(&DatasetSpec::new("medium", 50, 400, 17));
-    let bfh = Bfh::build_parallel(&coll.trees, &coll.taxa);
+    let bfh = Bfh::build_sharded(&coll.trees, &coll.taxa, 8);
     let fast = bfhrf_all(&coll.trees, &coll.taxa, &bfh).unwrap();
-    let slow = bfhrf::sequential_rf_parallel(&coll.trees, &coll.trees, &coll.taxa).unwrap();
+    let slow = SetComparator::new(&coll.trees, &coll.taxa)
+        .parallel(true)
+        .average_all(&coll.trees)
+        .unwrap();
     assert_eq!(fast, slow);
     // the matrix route agrees too
     let m = bfhrf::matrix::rf_matrix_exact(&coll.trees, &coll.taxa, usize::MAX).unwrap();

@@ -86,7 +86,6 @@ fn support_annotation_on_restricted_species_tree() {
     }
     // low-ILS concordant collection: mean support is high even after
     // dropout-restriction
-    let mean: f64 =
-        supports.iter().map(|s| s.fraction).sum::<f64>() / supports.len() as f64;
+    let mean: f64 = supports.iter().map(|s| s.fraction).sum::<f64>() / supports.len() as f64;
     assert!(mean > 0.4, "mean support {mean}");
 }
