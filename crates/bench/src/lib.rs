@@ -21,12 +21,14 @@
 //! HashRF runs that would exceed the memory budget are reported as `-`,
 //! the paper's notation for jobs its kernel killed.
 
+pub mod budget;
 pub mod datasets;
 pub mod measure;
 pub mod peak_alloc;
 pub mod runner;
 pub mod stats;
 
+pub use budget::{CellBudget, CellOutcome};
 pub use measure::{measured, Measurement};
 pub use peak_alloc::PeakAlloc;
 pub use runner::{Experiment, Scale};

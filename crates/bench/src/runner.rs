@@ -257,20 +257,20 @@ fn run_bfhrf(ds: &PreparedDataset, threads: Option<usize>) -> Outcome {
 /// two-level-hash matrix algorithm. Refuses — like the paper's `-`
 /// entries — when the matrix would exceed `mem_budget` bytes.
 fn run_hashrf(ds: &PreparedDataset, mem_budget: usize) -> Outcome {
-    // The matrix size is known from r alone — refuse before wasting
+    // The footprint is known from (n, r) alone — refuse before wasting
     // minutes parsing a collection the computation cannot hold.
-    let need = bfhrf::matrix::TriMatrix::required_bytes(ds.n_trees);
-    if need > mem_budget {
-        return Outcome::Refused(format!(
-            "resource limit: HashRF matrix for r={} needs {need} bytes > budget {mem_budget}",
-            ds.n_trees
-        ));
-    }
-    let mut taxa = numbered_taxa(ds.n_taxa);
     let cfg = HashRfConfig {
         memory_budget_bytes: mem_budget,
         ..HashRfConfig::default()
     };
+    let cell = crate::budget::CellBudget::with_max_bytes(mem_budget);
+    if let Err(e) = cell.guard.check_alloc(
+        &format!("HashRF run for r={}", ds.n_trees),
+        HashRf::estimate_bytes(ds.n_trees, ds.n_taxa, &cfg),
+    ) {
+        return Outcome::Refused(e.to_string());
+    }
+    let mut taxa = numbered_taxa(ds.n_taxa);
     let (out, m) = measured(|| {
         let mut stream = NewickStream::new(ds.newick.as_bytes(), TaxaPolicy::Require);
         let mut trees = Vec::new();

@@ -1,22 +1,28 @@
-//! The `bfhrf` binary: thin wrapper around [`bfhrf_cli::run`].
+//! The `bfhrf` binary: thin wrapper around [`bfhrf_cli::run_full`].
+//!
+//! Exit codes (see `bfhrf help`): 0 clean success, 1 error, 2 partial
+//! success (records skipped under `--lenient`), 3 over budget or timed out.
 
 use std::io::Write;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match bfhrf_cli::run(&argv) {
-        Ok(report) => {
+    match bfhrf_cli::run_full(&argv) {
+        Ok(outcome) => {
             // lock + buffer: reports can be full r×r matrices
             let stdout = std::io::stdout();
             let mut lock = std::io::BufWriter::new(stdout.lock());
-            let _ = lock.write_all(report.as_bytes());
+            let _ = lock.write_all(outcome.stdout.as_bytes());
             let _ = lock.flush();
-            ExitCode::SUCCESS
+            for note in &outcome.notes {
+                eprintln!("bfhrf: {note}");
+            }
+            ExitCode::from(outcome.code)
         }
-        Err(message) => {
-            eprintln!("bfhrf: {message}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("bfhrf: {}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }

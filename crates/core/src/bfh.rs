@@ -21,6 +21,8 @@
 //! of the mask words, the shard decomposition is deterministic and the
 //! resulting frequencies are bitwise-identical to a sequential build.
 
+use crate::error::CoreError;
+use crate::guard::{isolate, RunGuard};
 use phylo::{Bipartition, BipartitionScratch, TaxaPolicy, TaxonSet, Tree};
 use phylo_bitset::{
     bits_map_with_capacity, map_get_words, map_get_words_mut, shard_of, split_hash128, words_for,
@@ -159,13 +161,49 @@ impl Bfh {
     /// Panics if `shards` is zero.
     pub fn build_sharded(trees: &[Tree], taxa: &TaxonSet, shards: usize) -> Self {
         assert!(shards > 0, "a Bfh needs at least one shard");
+        match Bfh::try_build_sharded(trees, taxa, shards, &RunGuard::default()) {
+            Ok(bfh) => bfh,
+            // A default guard never cancels, never refuses an allocation,
+            // and never injects a panic — this arm is unreachable, but the
+            // compat contract of this entry point is infallible.
+            Err(e) => panic!("build_sharded failed under a permissive guard: {e}"),
+        }
+    }
+
+    /// [`Bfh::build_sharded`] under a [`RunGuard`]: cancellation and
+    /// deadline are polled at tree granularity, the spill-buffer footprint
+    /// is checked against the byte budget *before* allocating, and every
+    /// rayon worker body is panic-isolated — a poisoned tree yields
+    /// [`CoreError::WorkerPanic`] instead of aborting the process.
+    ///
+    /// With `RunGuard::default()` this is exactly `build_sharded`.
+    pub fn try_build_sharded(
+        trees: &[Tree],
+        taxa: &TaxonSet,
+        shards: usize,
+        guard: &RunGuard,
+    ) -> Result<Self, CoreError> {
+        if shards == 0 {
+            return Err(CoreError::Structure(
+                "a Bfh needs at least one shard".into(),
+            ));
+        }
         let n_taxa = taxa.len();
         let words = words_for(n_taxa);
         if trees.is_empty() || words == 0 {
             let mut bfh = Bfh::empty_sharded(n_taxa, shards);
             bfh.n_trees = trees.len();
-            return bfh;
+            return Ok(bfh);
         }
+        guard.checkpoint("BFH build")?;
+        // Every split is spilled once as raw words before folding: the whole
+        // phase-1 footprint is bounded by r × (n − 3) splits of `words`
+        // u64s. Refuse now rather than OOM mid-build.
+        let spill_bytes = trees
+            .len()
+            .saturating_mul(n_taxa.saturating_sub(3))
+            .saturating_mul(words * 8);
+        guard.check_alloc("BFH build spill buffers", spill_bytes)?;
 
         // Phase 1: extract + route into per-worker spill buffers. Masks are
         // spilled as raw words (stride `words`), so a worker allocates only
@@ -176,59 +214,68 @@ impl Bfh {
         let bucket_hint = (chunk * n_taxa.saturating_sub(3) * words).div_ceil(shards) + words;
         let spills: Vec<(Vec<Vec<u64>>, u64)> = trees
             .par_chunks(chunk)
-            .map(|chunk_trees| {
-                let mut scratch = BipartitionScratch::new();
-                let mut buckets: Vec<Vec<u64>> = (0..shards)
-                    .map(|_| Vec::with_capacity(bucket_hint))
-                    .collect();
-                let mut occurrences = 0u64;
-                for tree in chunk_trees {
-                    scratch.for_each_split(tree, taxa, |w| {
-                        let si = if shards == 1 {
-                            0
-                        } else {
-                            shard_of(split_hash128(w), shards)
-                        };
-                        buckets[si].extend_from_slice(w);
-                        occurrences += 1;
-                    });
-                }
-                (buckets, occurrences)
+            .enumerate()
+            .map(|(ci, chunk_trees)| {
+                isolate("BFH extract worker", || {
+                    let mut scratch = BipartitionScratch::new();
+                    let mut buckets: Vec<Vec<u64>> = (0..shards)
+                        .map(|_| Vec::with_capacity(bucket_hint))
+                        .collect();
+                    let mut occurrences = 0u64;
+                    for (i, tree) in chunk_trees.iter().enumerate() {
+                        guard.checkpoint("BFH build")?;
+                        guard.panic_if_injected(ci * chunk + i);
+                        scratch.for_each_split(tree, taxa, |w| {
+                            let si = if shards == 1 {
+                                0
+                            } else {
+                                shard_of(split_hash128(w), shards)
+                            };
+                            buckets[si].extend_from_slice(w);
+                            occurrences += 1;
+                        });
+                    }
+                    Ok((buckets, occurrences))
+                })
             })
-            .collect();
+            .collect::<Result<_, CoreError>>()?;
 
         // Phase 2: fold each shard independently across all workers' spills.
         let shard_ids: Vec<usize> = (0..shards).collect();
         let maps: Vec<BitsMap<u32>> = shard_ids
             .par_iter()
             .map(|&si| {
-                // Size for the pessimistic every-split-distinct case halved —
-                // one rehash at most, none once repeats dominate.
-                let entries: usize = spills
-                    .iter()
-                    .map(|(buckets, _)| buckets[si].len() / words)
-                    .sum();
-                let mut map: BitsMap<u32> = bits_map_with_capacity(entries / 2 + 8);
-                for (buckets, _) in &spills {
-                    for w in buckets[si].chunks_exact(words) {
-                        match map_get_words_mut(&mut map, w) {
-                            Some(c) => *c += 1,
-                            None => {
-                                map.insert(Bits::from_words(n_taxa, w), 1);
+                isolate("BFH fold worker", || {
+                    guard.checkpoint("BFH fold")?;
+                    // Size for the pessimistic every-split-distinct case
+                    // halved — one rehash at most, none once repeats
+                    // dominate.
+                    let entries: usize = spills
+                        .iter()
+                        .map(|(buckets, _)| buckets[si].len() / words)
+                        .sum();
+                    let mut map: BitsMap<u32> = bits_map_with_capacity(entries / 2 + 8);
+                    for (buckets, _) in &spills {
+                        for w in buckets[si].chunks_exact(words) {
+                            match map_get_words_mut(&mut map, w) {
+                                Some(c) => *c += 1,
+                                None => {
+                                    map.insert(Bits::from_words(n_taxa, w), 1);
+                                }
                             }
                         }
                     }
-                }
-                map
+                    Ok(map)
+                })
             })
-            .collect();
+            .collect::<Result<_, CoreError>>()?;
 
-        Bfh {
+        Ok(Bfh {
             shards: maps,
             sum: spills.iter().map(|(_, occ)| occ).sum(),
             n_trees: trees.len(),
             n_taxa,
-        }
+        })
     }
 
     /// Build from a Newick stream without materializing the collection —
@@ -299,22 +346,40 @@ impl Bfh {
     /// Remove a previously added reference tree (incremental downdate).
     ///
     /// Counts reaching zero are evicted so memory tracks the live
-    /// collection. Removing a tree that was never added corrupts the hash;
-    /// in debug builds that is caught by an underflow panic.
-    pub fn remove_tree(&mut self, tree: &Tree, taxa: &TaxonSet) {
-        for bp in tree.bipartitions(taxa) {
+    /// collection. Removing a tree that was never added returns
+    /// [`CoreError::Structure`] and leaves the hash **unchanged** — the
+    /// bipartitions are verified before any counter is touched, so dynamic
+    /// maintenance can treat the error as fully recoverable.
+    pub fn remove_tree(&mut self, tree: &Tree, taxa: &TaxonSet) -> Result<(), CoreError> {
+        let splits = tree.bipartitions(taxa);
+        // Verify-then-mutate: a failure after partial decrements would
+        // corrupt frequencies silently.
+        for bp in &splits {
+            if self.frequency(bp.bits()) == 0 {
+                return Err(CoreError::Structure(format!(
+                    "remove_tree: bipartition {} was never added",
+                    bp.bits()
+                )));
+            }
+        }
+        if self.n_trees == 0 {
+            return Err(CoreError::Structure(
+                "remove_tree: hash holds no trees".into(),
+            ));
+        }
+        for bp in splits {
             let bits = bp.into_bits();
             let si = self.shard_index(bits.words());
             match self.shards[si].get_mut(&bits) {
                 Some(c) if *c > 1 => *c -= 1,
-                Some(_) => {
+                _ => {
                     self.shards[si].remove(&bits);
                 }
-                None => panic!("remove_tree: bipartition was never added"),
             }
             self.sum -= 1;
         }
         self.n_trees -= 1;
+        Ok(())
     }
 
     /// Merge another hash built over the same namespace into this one.
@@ -548,7 +613,7 @@ mod tests {
         let snapshot: Vec<(Bits, u32)> = bfh.iter().map(|(b, c)| (b.clone(), c)).collect();
         bfh.add_tree(&c.trees[2], &c.taxa);
         assert_eq!(bfh.n_trees(), 3);
-        bfh.remove_tree(&c.trees[2], &c.taxa);
+        bfh.remove_tree(&c.trees[2], &c.taxa).unwrap();
         assert_eq!(bfh.n_trees(), 2);
         assert_eq!(bfh.distinct(), snapshot.len());
         for (bits, count) in snapshot {
@@ -564,18 +629,65 @@ mod tests {
             sharded.add_tree(t, &c.taxa);
         }
         assert_same_counts(&Bfh::build(&c.trees, &c.taxa), &sharded);
-        sharded.remove_tree(&c.trees[1], &c.taxa);
+        sharded.remove_tree(&c.trees[1], &c.taxa).unwrap();
         let mut rest = c.trees.clone();
         rest.remove(1);
         assert_same_counts(&Bfh::build(&rest, &c.taxa), &sharded);
     }
 
     #[test]
-    #[should_panic(expected = "never added")]
-    fn removing_unknown_tree_panics() {
+    fn removing_unknown_tree_errors_and_preserves_hash() {
         let c = coll("((A,B),(C,D));\n((A,C),(B,D));");
         let mut bfh = Bfh::build(&c.trees[..1], &c.taxa);
-        bfh.remove_tree(&c.trees[1], &c.taxa);
+        let before: Vec<(Bits, u32)> = bfh.iter().map(|(b, c)| (b.clone(), c)).collect();
+        let err = bfh.remove_tree(&c.trees[1], &c.taxa).unwrap_err();
+        assert!(matches!(err, CoreError::Structure(_)), "{err:?}");
+        assert!(err.to_string().contains("never added"));
+        // verify-then-mutate: nothing was decremented
+        assert_eq!(bfh.n_trees(), 1);
+        for (bits, count) in before {
+            assert_eq!(bfh.frequency(&bits), count);
+        }
+    }
+
+    #[test]
+    fn guarded_build_matches_unguarded() {
+        let c = coll(&"((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n".repeat(20));
+        let plain = Bfh::build(&c.trees, &c.taxa);
+        let guarded = Bfh::try_build_sharded(&c.trees, &c.taxa, 4, &RunGuard::default()).unwrap();
+        assert_same_counts(&plain, &guarded);
+    }
+
+    #[test]
+    fn guarded_build_refuses_over_budget_spill() {
+        let c = coll(&"((A,B),((C,D),(E,F)));\n".repeat(50));
+        let guard = RunGuard::with_budget(crate::guard::RunBudget::with_max_bytes(16));
+        let err = Bfh::try_build_sharded(&c.trees, &c.taxa, 2, &guard).unwrap_err();
+        assert!(matches!(err, CoreError::ResourceLimit(_)), "{err:?}");
+    }
+
+    #[test]
+    fn guarded_build_stops_on_cancel() {
+        let c = coll(&"((A,B),((C,D),(E,F)));\n".repeat(10));
+        let guard = RunGuard::default();
+        guard.cancel.cancel();
+        let err = Bfh::try_build_sharded(&c.trees, &c.taxa, 1, &guard).unwrap_err();
+        assert!(matches!(err, CoreError::Cancelled(_)), "{err:?}");
+    }
+
+    #[test]
+    fn injected_worker_panic_becomes_error_not_abort() {
+        let c = coll(&"((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n".repeat(25));
+        let mut guard = RunGuard::default();
+        guard.inject_panic_at(17);
+        let err = Bfh::try_build_sharded(&c.trees, &c.taxa, 4, &guard).unwrap_err();
+        let CoreError::WorkerPanic(msg) = err else {
+            panic!("expected WorkerPanic, got {err:?}");
+        };
+        assert!(msg.contains("injected panic"));
+        // The process survived; an un-injected guard still works fine.
+        let ok = Bfh::try_build_sharded(&c.trees, &c.taxa, 4, &RunGuard::default()).unwrap();
+        assert_eq!(ok.n_trees(), 50);
     }
 
     #[test]

@@ -22,7 +22,10 @@
 
 use crate::bfh::Bfh;
 use crate::error::CoreError;
-use phylo::{TaxaPolicy, TaxonSet, Tree};
+use crate::guard::{CancelToken, RunBudget, RunGuard};
+use phylo::{
+    BipartitionScratch, IngestPolicy, IngestReport, NewickReader, TaxaPolicy, TaxonSet, Tree,
+};
 use std::io::BufRead;
 
 /// Configurable [`Bfh`] construction. See the module docs for an example.
@@ -30,6 +33,7 @@ use std::io::BufRead;
 pub struct BfhBuilder {
     parallel: bool,
     shards: usize,
+    guard: RunGuard,
 }
 
 impl Default for BfhBuilder {
@@ -37,6 +41,7 @@ impl Default for BfhBuilder {
         BfhBuilder {
             parallel: false,
             shards: 1,
+            guard: RunGuard::default(),
         }
     }
 }
@@ -65,9 +70,31 @@ impl BfhBuilder {
         self
     }
 
+    /// Run the build under `budget`: the spill-buffer footprint is checked
+    /// before allocating and the deadline is polled at tree granularity.
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.guard.budget = budget;
+        self
+    }
+
+    /// Make the build cancellable through `token` — any clone of it can
+    /// stop the build from another thread, yielding
+    /// [`CoreError::Cancelled`].
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.guard.cancel = token;
+        self
+    }
+
+    /// Run the build under a fully custom [`RunGuard`] (budget + token +
+    /// shared degradation log).
+    pub fn guard(mut self, guard: RunGuard) -> Self {
+        self.guard = guard;
+        self
+    }
+
     fn validate(&self, trees: &[Tree], taxa: &TaxonSet) -> Result<(), CoreError> {
         if self.shards == 0 {
-            return Err(CoreError::ResourceLimit(
+            return Err(CoreError::Structure(
                 "shard count must be at least 1".into(),
             ));
         }
@@ -89,15 +116,26 @@ impl BfhBuilder {
         Ok(())
     }
 
-    /// Build from an in-memory collection encoded over `taxa`.
+    /// Build from an in-memory collection encoded over `taxa`. Every
+    /// strategy honours the configured guard: sequential builds poll it
+    /// per tree, parallel builds per tree inside panic-isolated workers.
     pub fn from_trees(&self, trees: &[Tree], taxa: &TaxonSet) -> Result<Bfh, CoreError> {
         self.validate(trees, taxa)?;
-        Ok(match (self.shards, self.parallel) {
-            (1, false) => Bfh::build(trees, taxa),
-            #[allow(deprecated)] // the builder is the supported spelling of fold-merge
-            (1, true) => Bfh::build_parallel(trees, taxa),
-            (k, _) => Bfh::build_sharded(trees, taxa, k),
-        })
+        match (self.shards, self.parallel) {
+            (1, false) => {
+                let mut bfh = Bfh::empty(taxa.len());
+                let mut scratch = BipartitionScratch::new();
+                for tree in trees {
+                    self.guard.checkpoint("BFH build")?;
+                    bfh.add_tree_with(tree, taxa, &mut scratch);
+                }
+                Ok(bfh)
+            }
+            // Parallel one-shard runs the two-phase pipeline with k = 1:
+            // counts are bitwise-identical to the fold-merge strategy, and
+            // the pipeline is the guarded, panic-isolated path.
+            (k, _) => Bfh::try_build_sharded(trees, taxa, k, &self.guard),
+        }
     }
 
     /// Parse a Newick stream and build from it. With [`TaxaPolicy::Grow`]
@@ -118,6 +156,27 @@ impl BfhBuilder {
             trees.push(t);
         }
         self.from_trees(&trees, taxa)
+    }
+
+    /// Like [`BfhBuilder::from_newick_reader`] but with error recovery:
+    /// malformed records are skipped under [`IngestPolicy::Lenient`] and
+    /// described in the returned [`IngestReport`] instead of aborting the
+    /// build.
+    pub fn from_ingest<R: BufRead>(
+        &self,
+        reader: R,
+        taxa: &mut TaxonSet,
+        taxa_policy: TaxaPolicy,
+        ingest_policy: IngestPolicy,
+    ) -> Result<(Bfh, IngestReport), CoreError> {
+        let mut stream = NewickReader::new(reader, taxa_policy, ingest_policy);
+        let mut trees = Vec::new();
+        while let Some(t) = stream.next_tree(taxa)? {
+            self.guard.checkpoint("ingest")?;
+            trees.push(t);
+        }
+        let bfh = self.from_trees(&trees, taxa)?;
+        Ok((bfh, stream.into_report()))
     }
 }
 
@@ -155,7 +214,7 @@ mod tests {
             .shards(0)
             .from_trees(&c.trees, &c.taxa)
             .unwrap_err();
-        assert!(matches!(err, CoreError::ResourceLimit(_)));
+        assert!(matches!(err, CoreError::Structure(_)));
     }
 
     #[test]

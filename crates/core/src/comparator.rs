@@ -21,11 +21,13 @@
 
 use crate::bfh::Bfh;
 use crate::error::CoreError;
+use crate::guard::{isolate, RunGuard};
 use crate::hashrf::{HashRf, HashRfConfig};
 use crate::rf::{bfhrf_average_scratch, QueryScore, RfAverage};
 use phylo::{BipartitionScratch, BipartitionSet, TaxonSet, Tree};
 use phylo_bitset::Bits;
 use rayon::prelude::*;
+use std::borrow::Cow;
 
 /// An engine answering "what is this query tree's average RF against the
 /// reference collection?".
@@ -39,11 +41,23 @@ pub trait Comparator {
     /// Exact average RF of one query against the references.
     fn average(&self, query: &Tree) -> Result<RfAverage, CoreError>;
 
-    /// Average RF of every query, in input order. The default loops
+    /// Average RF of every query, in input order. Delegates to
+    /// [`Comparator::average_all_guarded`] with a permissive guard.
+    fn average_all(&self, queries: &[Tree]) -> Result<Vec<QueryScore>, CoreError> {
+        self.average_all_guarded(queries, &RunGuard::default())
+    }
+
+    /// [`Comparator::average_all`] under a [`RunGuard`]: cancellation and
+    /// deadline are polled per query, so a long batch stops within one
+    /// tree comparison of the request. The default loops
     /// [`Comparator::average`]; engines with cheaper batched paths
     /// (scratch reuse, parallel chunks) override it with identical
     /// results.
-    fn average_all(&self, queries: &[Tree]) -> Result<Vec<QueryScore>, CoreError> {
+    fn average_all_guarded(
+        &self,
+        queries: &[Tree],
+        guard: &RunGuard,
+    ) -> Result<Vec<QueryScore>, CoreError> {
         if queries.is_empty() {
             return Err(CoreError::EmptyQuery);
         }
@@ -51,6 +65,7 @@ pub trait Comparator {
             .iter()
             .enumerate()
             .map(|(index, q)| {
+                guard.checkpoint("average_all")?;
                 Ok(QueryScore {
                     index,
                     rf: self.average(q)?,
@@ -80,7 +95,7 @@ fn check_tree_taxa(tree: &Tree, taxa: &TaxonSet) -> Result<(), CoreError> {
 /// BFHRF (Algorithm 2): one tree-vs-hash comparison per query.
 #[derive(Debug, Clone)]
 pub struct BfhrfComparator<'a> {
-    bfh: &'a Bfh,
+    bfh: Cow<'a, Bfh>,
     taxa: &'a TaxonSet,
     parallel: bool,
 }
@@ -89,7 +104,18 @@ impl<'a> BfhrfComparator<'a> {
     /// Compare against an already-built frequency hash.
     pub fn new(bfh: &'a Bfh, taxa: &'a TaxonSet) -> Self {
         BfhrfComparator {
-            bfh,
+            bfh: Cow::Borrowed(bfh),
+            taxa,
+            parallel: false,
+        }
+    }
+
+    /// Compare against a hash the comparator owns — what degradation paths
+    /// use when they build the fallback hash themselves and have nowhere
+    /// to park a borrow.
+    pub fn from_owned(bfh: Bfh, taxa: &'a TaxonSet) -> Self {
+        BfhrfComparator {
+            bfh: Cow::Owned(bfh),
             taxa,
             parallel: false,
         }
@@ -116,12 +142,16 @@ impl Comparator for BfhrfComparator<'_> {
         Ok(bfhrf_average_scratch(
             query,
             self.taxa,
-            self.bfh,
+            &*self.bfh,
             &mut scratch,
         ))
     }
 
-    fn average_all(&self, queries: &[Tree]) -> Result<Vec<QueryScore>, CoreError> {
+    fn average_all_guarded(
+        &self,
+        queries: &[Tree],
+        guard: &RunGuard,
+    ) -> Result<Vec<QueryScore>, CoreError> {
         if self.bfh.n_trees() == 0 {
             return Err(CoreError::EmptyReference);
         }
@@ -133,34 +163,42 @@ impl Comparator for BfhrfComparator<'_> {
         }
         if !self.parallel {
             let mut scratch = BipartitionScratch::new();
-            return Ok(queries
+            return queries
                 .iter()
                 .enumerate()
-                .map(|(index, q)| QueryScore {
-                    index,
-                    rf: bfhrf_average_scratch(q, self.taxa, self.bfh, &mut scratch),
+                .map(|(index, q)| {
+                    guard.checkpoint("bfhrf average_all")?;
+                    Ok(QueryScore {
+                        index,
+                        rf: bfhrf_average_scratch(q, self.taxa, &*self.bfh, &mut scratch),
+                    })
                 })
-                .collect());
+                .collect();
         }
-        // Chunked so each worker reuses one extraction arena.
+        // Chunked so each worker reuses one extraction arena; each worker
+        // body is panic-isolated and polls the guard per query.
         let chunk = queries.len().div_ceil(rayon::current_num_threads()).max(1);
-        Ok(queries
+        let chunks: Vec<Vec<QueryScore>> = queries
             .par_chunks(chunk)
             .enumerate()
             .map(|(ci, qs)| {
-                let mut scratch = BipartitionScratch::new();
-                qs.iter()
-                    .enumerate()
-                    .map(|(i, q)| QueryScore {
-                        index: ci * chunk + i,
-                        rf: bfhrf_average_scratch(q, self.taxa, self.bfh, &mut scratch),
-                    })
-                    .collect::<Vec<_>>()
+                isolate("bfhrf query worker", || {
+                    let mut scratch = BipartitionScratch::new();
+                    qs.iter()
+                        .enumerate()
+                        .map(|(i, q)| {
+                            guard.checkpoint("bfhrf average_all")?;
+                            guard.panic_if_injected(ci * chunk + i);
+                            Ok(QueryScore {
+                                index: ci * chunk + i,
+                                rf: bfhrf_average_scratch(q, self.taxa, &*self.bfh, &mut scratch),
+                            })
+                        })
+                        .collect::<Result<Vec<_>, CoreError>>()
+                })
             })
-            .collect::<Vec<_>>()
-            .into_iter()
-            .flatten()
-            .collect())
+            .collect::<Result<_, CoreError>>()?;
+        Ok(chunks.into_iter().flatten().collect())
     }
 }
 
@@ -230,7 +268,11 @@ impl Comparator for SetComparator<'_> {
         Ok(self.score(query))
     }
 
-    fn average_all(&self, queries: &[Tree]) -> Result<Vec<QueryScore>, CoreError> {
+    fn average_all_guarded(
+        &self,
+        queries: &[Tree],
+        guard: &RunGuard,
+    ) -> Result<Vec<QueryScore>, CoreError> {
         if self.ref_sets.is_empty() {
             return Err(CoreError::EmptyReference);
         }
@@ -241,23 +283,32 @@ impl Comparator for SetComparator<'_> {
             check_tree_taxa(q, self.taxa)?;
         }
         if !self.parallel {
-            return Ok(queries
+            return queries
                 .iter()
                 .enumerate()
-                .map(|(index, q)| QueryScore {
-                    index,
-                    rf: self.score(q),
+                .map(|(index, q)| {
+                    guard.checkpoint("ds average_all")?;
+                    Ok(QueryScore {
+                        index,
+                        rf: self.score(q),
+                    })
                 })
-                .collect());
+                .collect();
         }
-        Ok(queries
+        queries
             .par_iter()
             .enumerate()
-            .map(|(index, q)| QueryScore {
-                index,
-                rf: self.score(q),
+            .map(|(index, q)| {
+                isolate("dsmp query worker", || {
+                    guard.checkpoint("dsmp average_all")?;
+                    guard.panic_if_injected(index);
+                    Ok(QueryScore {
+                        index,
+                        rf: self.score(q),
+                    })
+                })
             })
-            .collect())
+            .collect()
     }
 }
 
@@ -373,6 +424,43 @@ impl Comparator for DayComparator<'_> {
     }
 }
 
+/// Construct a HashRF comparator — or, when its estimated allocation
+/// exceeds the guard's byte budget, degrade to an owned-hash BFHRF
+/// comparator and record the [`Degradation`](crate::guard::Degradation)
+/// on the guard instead of letting the kernel OOM-kill the run (the fate
+/// of the paper's r = 100k HashRF experiments).
+///
+/// The returned engine's `name()` says which algorithm actually ran.
+pub fn hashrf_or_degrade<'a>(
+    refs: &'a [Tree],
+    taxa: &'a TaxonSet,
+    config: HashRfConfig,
+    guard: &RunGuard,
+) -> Result<Box<dyn Comparator + 'a>, CoreError> {
+    if refs.is_empty() {
+        return Err(CoreError::EmptyReference);
+    }
+    // +1: HashRfComparator recomputes the hash over refs + query.
+    let estimate = HashRf::estimate_bytes(refs.len() + 1, taxa.len(), &config);
+    if guard.budget.fits(estimate) {
+        return Ok(Box::new(HashRfComparator::new(refs, taxa, config)));
+    }
+    guard.record_degradation(
+        "hashrf",
+        "bfhrf",
+        format!(
+            "estimated {estimate} bytes for r={} exceeds the {} byte budget",
+            refs.len(),
+            guard
+                .budget
+                .max_bytes
+                .map_or_else(|| "unlimited".into(), |b| b.to_string()),
+        ),
+    );
+    let bfh = Bfh::try_build_sharded(refs, taxa, 1, guard)?;
+    Ok(Box::new(BfhrfComparator::from_owned(bfh, taxa)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -460,6 +548,81 @@ mod tests {
             day.average(&partial[0]).unwrap_err(),
             CoreError::TaxaMismatch(_)
         ));
+    }
+
+    #[test]
+    fn guarded_batch_stops_on_cancel() {
+        let (refs, queries) = setup();
+        let bfh = Bfh::build(&refs.trees, &refs.taxa);
+        for cmp in [
+            BfhrfComparator::new(&bfh, &refs.taxa),
+            BfhrfComparator::new(&bfh, &refs.taxa).parallel(true),
+        ] {
+            let guard = RunGuard::default();
+            guard.cancel.cancel();
+            let err = cmp.average_all_guarded(&queries, &guard).unwrap_err();
+            assert!(matches!(err, CoreError::Cancelled(_)), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn injected_query_worker_panic_is_isolated() {
+        let (refs, queries) = setup();
+        let bfh = Bfh::build(&refs.trees, &refs.taxa);
+        let cmp = BfhrfComparator::new(&bfh, &refs.taxa).parallel(true);
+        let mut guard = RunGuard::default();
+        guard.inject_panic_at(1);
+        let err = cmp.average_all_guarded(&queries, &guard).unwrap_err();
+        assert!(matches!(err, CoreError::WorkerPanic(_)), "{err:?}");
+        // DSMP path too
+        let ds = SetComparator::new(&refs.trees, &refs.taxa).parallel(true);
+        let err = ds.average_all_guarded(&queries, &guard).unwrap_err();
+        assert!(matches!(err, CoreError::WorkerPanic(_)), "{err:?}");
+    }
+
+    #[test]
+    fn owned_hash_comparator_matches_borrowed() {
+        let (refs, queries) = setup();
+        let bfh = Bfh::build(&refs.trees, &refs.taxa);
+        let borrowed = BfhrfComparator::new(&bfh, &refs.taxa);
+        let owned = BfhrfComparator::from_owned(bfh.clone(), &refs.taxa);
+        assert_eq!(
+            borrowed.average_all(&queries).unwrap(),
+            owned.average_all(&queries).unwrap()
+        );
+    }
+
+    #[test]
+    fn hashrf_degrades_to_bfhrf_when_over_budget() {
+        let (refs, queries) = setup();
+        // A budget below HashRF's ~24 KB bucket-table estimate but above
+        // the fallback BFH's ~100-byte spill footprint: HashRF is refused,
+        // BFHRF builds fine under the same guard.
+        let guard = RunGuard::with_budget(crate::guard::RunBudget::with_max_bytes(1000));
+        let engine =
+            hashrf_or_degrade(&refs.trees, &refs.taxa, HashRfConfig::default(), &guard).unwrap();
+        assert_eq!(engine.name(), "bfhrf");
+        let events = guard.degradations();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].from, "hashrf");
+        assert_eq!(events[0].to, "bfhrf");
+        // Degraded answers are the exact ones.
+        let bfh = Bfh::build(&refs.trees, &refs.taxa);
+        let exact = BfhrfComparator::new(&bfh, &refs.taxa);
+        assert_eq!(
+            engine.average_all(&queries).unwrap(),
+            exact.average_all(&queries).unwrap()
+        );
+    }
+
+    #[test]
+    fn hashrf_runs_as_requested_when_budget_fits() {
+        let (refs, _) = setup();
+        let guard = RunGuard::default(); // unlimited
+        let engine =
+            hashrf_or_degrade(&refs.trees, &refs.taxa, HashRfConfig::default(), &guard).unwrap();
+        assert_eq!(engine.name(), "hashrf");
+        assert!(guard.degradations().is_empty());
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub fn majority_consensus(bfh: &Bfh, taxa: &TaxonSet, threshold: f64) -> Result<
         .filter(|(_, count)| f64::from(*count) > cut)
         .map(|(bits, _)| bits.clone())
         .collect();
-    Ok(assemble(selected, taxa))
+    assemble(selected, taxa)
 }
 
 /// Strict consensus: only splits present in every reference tree.
@@ -57,7 +57,7 @@ pub fn strict_consensus(bfh: &Bfh, taxa: &TaxonSet) -> Result<Tree, CoreError> {
         .filter(|(_, count)| *count == r)
         .map(|(bits, _)| bits.clone())
         .collect();
-    Ok(assemble(selected, taxa))
+    assemble(selected, taxa)
 }
 
 /// Greedy ("extended majority rule") consensus: walk the splits by
@@ -81,7 +81,7 @@ pub fn greedy_consensus(bfh: &Bfh, taxa: &TaxonSet) -> Result<Tree, CoreError> {
             kept.push(candidate);
         }
     }
-    Ok(assemble(kept, taxa))
+    assemble(kept, taxa)
 }
 
 /// Two canonical splits are compatible iff some tree can contain both:
@@ -100,7 +100,7 @@ pub fn splits_compatible(a: &Bits, b: &Bits, n_taxa: usize) -> bool {
 /// contains taxon 0 on its set side) corresponds to the clade formed by
 /// its complement; compatibility makes the clades a laminar family, so
 /// each clade's parent is its unique minimal strict superset.
-fn assemble(splits: Vec<Bits>, taxa: &TaxonSet) -> Tree {
+fn assemble(splits: Vec<Bits>, taxa: &TaxonSet) -> Result<Tree, CoreError> {
     let n = taxa.len();
     let universe = {
         let mut u = Bits::ones(n);
@@ -133,7 +133,12 @@ fn assemble(splits: Vec<Bits>, taxa: &TaxonSet) -> Tree {
             .rev()
             .find(|(set, _)| clade.is_subset(set))
             .map(|&(_, node)| node)
-            .expect("universe is a superset of every clade");
+            .ok_or_else(|| {
+                CoreError::Structure(format!(
+                    "consensus clade {clade} has no covering superset — \
+                     split set is not over the full namespace"
+                ))
+            })?;
         let node = tree.add_child(parent);
         covered.push((clade, node));
     }
@@ -145,10 +150,15 @@ fn assemble(splits: Vec<Bits>, taxa: &TaxonSet) -> Tree {
             .rev()
             .find(|(set, _)| set.get(t))
             .map(|&(_, node)| node)
-            .expect("universe contains every taxon");
+            .ok_or_else(|| {
+                CoreError::Structure(format!(
+                    "taxon {t} is outside every consensus clade — \
+                     split set is not over the full namespace"
+                ))
+            })?;
         tree.add_leaf(parent, TaxonId(t as u32));
     }
-    tree
+    Ok(tree)
 }
 
 #[cfg(test)]

@@ -17,6 +17,16 @@ pub enum CoreError {
     /// would exceed the configured memory budget — the paper's runs were
     /// killed by the kernel at this point; we fail deliberately instead).
     ResourceLimit(String),
+    /// The run was cancelled cooperatively — by a
+    /// [`CancelToken`](crate::guard::CancelToken) or an elapsed deadline.
+    /// The message says which and where.
+    Cancelled(String),
+    /// A rayon worker panicked; the panic was caught at the worker boundary
+    /// and converted so one poisoned tree cannot abort the whole process.
+    WorkerPanic(String),
+    /// An internal structural invariant was violated (e.g. removing a tree
+    /// whose bipartitions were never added to the hash).
+    Structure(String),
 }
 
 impl fmt::Display for CoreError {
@@ -29,6 +39,9 @@ impl fmt::Display for CoreError {
             CoreError::TaxaMismatch(msg) => write!(f, "taxa mismatch: {msg}"),
             CoreError::Phylo(e) => write!(f, "tree error: {e}"),
             CoreError::ResourceLimit(msg) => write!(f, "resource limit: {msg}"),
+            CoreError::Cancelled(msg) => write!(f, "cancelled: {msg}"),
+            CoreError::WorkerPanic(msg) => write!(f, "worker panic: {msg}"),
+            CoreError::Structure(msg) => write!(f, "structure error: {msg}"),
         }
     }
 }

@@ -1,0 +1,312 @@
+//! Run-level resource guards: budgets, cancellation, degradation, panic
+//! isolation.
+//!
+//! The paper's HashRF baseline was OOM-killed by the kernel on the larger
+//! all-vs-all runs and long builds had no way to stop early. This module
+//! centralizes the defensive machinery the rest of the core threads through
+//! its hot paths:
+//!
+//! * [`RunBudget`] — an optional byte ceiling and wall-clock deadline. Code
+//!   that is about to allocate something large calls
+//!   [`RunBudget::check_alloc`] *before* allocating, turning a kernel OOM
+//!   kill into a typed [`CoreError::ResourceLimit`].
+//! * [`CancelToken`] — a cooperative cancellation flag shared across
+//!   threads. Builders and comparators poll it at tree granularity and
+//!   return [`CoreError::Cancelled`].
+//! * [`Degradation`] — a recorded decision to fall back to a cheaper
+//!   algorithm (e.g. HashRF → BFHRF when the r×r matrix will not fit)
+//!   instead of dying.
+//! * [`isolate`] — a `catch_unwind` wrapper converting a worker panic into
+//!   [`CoreError::WorkerPanic`] so one poisoned tree cannot abort a 100k-tree
+//!   run.
+//!
+//! [`RunGuard`] bundles all of the above and is what the public APIs accept;
+//! `RunGuard::default()` is the permissive no-op guard.
+
+use crate::error::CoreError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Resource ceilings for one run. `None` fields are unlimited.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunBudget {
+    /// Maximum bytes any single guarded allocation may reach.
+    pub max_bytes: Option<usize>,
+    /// Wall-clock instant after which the run is cancelled.
+    pub deadline: Option<Instant>,
+}
+
+impl RunBudget {
+    /// An unlimited budget.
+    pub fn unlimited() -> Self {
+        RunBudget::default()
+    }
+
+    /// A budget with only a byte ceiling.
+    pub fn with_max_bytes(max_bytes: usize) -> Self {
+        RunBudget {
+            max_bytes: Some(max_bytes),
+            deadline: None,
+        }
+    }
+
+    /// Whether `bytes` fits under the byte ceiling.
+    pub fn fits(&self, bytes: usize) -> bool {
+        self.max_bytes.is_none_or(|max| bytes <= max)
+    }
+
+    /// Refuse an allocation of `bytes` for `what` if it exceeds the ceiling.
+    /// Call *before* allocating — the point is to fail typed, not OOM.
+    pub fn check_alloc(&self, what: &str, bytes: usize) -> Result<(), CoreError> {
+        match self.max_bytes {
+            Some(max) if bytes > max => Err(CoreError::ResourceLimit(format!(
+                "{what} needs {bytes} bytes, budget is {max}"
+            ))),
+            _ => Ok(()),
+        }
+    }
+
+    /// Error if the deadline has passed.
+    pub fn check_deadline(&self, where_: &str) -> Result<(), CoreError> {
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Err(CoreError::Cancelled(format!(
+                "deadline exceeded during {where_}"
+            ))),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// A cooperative cancellation flag, cheap to clone and share across threads.
+///
+/// Long-running loops poll [`CancelToken::checkpoint`] at tree granularity;
+/// any holder of a clone can [`CancelToken::cancel`] from another thread
+/// (a signal handler, a timeout watchdog, a UI).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Error with [`CoreError::Cancelled`] if cancellation was requested.
+    pub fn checkpoint(&self, where_: &str) -> Result<(), CoreError> {
+        if self.is_cancelled() {
+            Err(CoreError::Cancelled(format!(
+                "cancel requested during {where_}"
+            )))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A recorded fallback decision: the run finished, but not the way it was
+/// asked to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// What was requested (e.g. `"hashrf"`).
+    pub from: String,
+    /// What actually ran (e.g. `"bfhrf"`).
+    pub to: String,
+    /// Why, in one human-readable sentence.
+    pub reason: String,
+}
+
+impl std::fmt::Display for Degradation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "degraded {} -> {}: {}", self.from, self.to, self.reason)
+    }
+}
+
+/// Bundled budget + cancel token + degradation log, threaded through the
+/// build and comparison pipelines. `RunGuard::default()` never refuses
+/// anything — existing call sites keep their semantics for free.
+#[derive(Debug, Clone, Default)]
+pub struct RunGuard {
+    /// Resource ceilings.
+    pub budget: RunBudget,
+    /// Cooperative cancellation flag.
+    pub cancel: CancelToken,
+    events: Arc<Mutex<Vec<Degradation>>>,
+    panic_at: Option<usize>,
+}
+
+impl RunGuard {
+    /// A guard with the given budget and a fresh token.
+    pub fn with_budget(budget: RunBudget) -> Self {
+        RunGuard {
+            budget,
+            ..RunGuard::default()
+        }
+    }
+
+    /// Poll both cancellation sources. Called at tree granularity — cheap
+    /// (two relaxed atomic loads / one clock read) relative to a traversal.
+    pub fn checkpoint(&self, where_: &str) -> Result<(), CoreError> {
+        self.cancel.checkpoint(where_)?;
+        self.budget.check_deadline(where_)
+    }
+
+    /// Refuse an upcoming allocation over budget. See
+    /// [`RunBudget::check_alloc`].
+    pub fn check_alloc(&self, what: &str, bytes: usize) -> Result<(), CoreError> {
+        self.budget.check_alloc(what, bytes)
+    }
+
+    /// Record that a fallback happened.
+    pub fn record_degradation(&self, from: &str, to: &str, reason: impl Into<String>) {
+        let event = Degradation {
+            from: from.to_string(),
+            to: to.to_string(),
+            reason: reason.into(),
+        };
+        if let Ok(mut events) = self.events.lock() {
+            events.push(event);
+        }
+    }
+
+    /// Snapshot of recorded degradations, in order.
+    pub fn degradations(&self) -> Vec<Degradation> {
+        self.events.lock().map(|e| e.clone()).unwrap_or_default()
+    }
+
+    /// Test-only hook: arrange for guarded loops to panic when they reach
+    /// item `index`, simulating a poisoned tree inside a rayon worker. The
+    /// hook lives on the guard (not in a global), so concurrent runs with
+    /// default guards are never affected.
+    #[doc(hidden)]
+    pub fn inject_panic_at(&mut self, index: usize) {
+        self.panic_at = Some(index);
+    }
+
+    /// Trip the injected panic if armed for `index`. Called from guarded
+    /// worker bodies; a no-op for every guard that never armed the hook.
+    #[doc(hidden)]
+    #[inline]
+    pub fn panic_if_injected(&self, index: usize) {
+        if self.panic_at == Some(index) {
+            panic!("injected panic at item {index}");
+        }
+    }
+}
+
+/// Run `f`, converting a panic into [`CoreError::WorkerPanic`].
+///
+/// This is the worker-boundary wrapper for rayon bodies: a panic inside a
+/// parallel build or comparison is caught here instead of unwinding through
+/// the thread pool and aborting the process. `AssertUnwindSafe` is sound at
+/// this boundary because every caller discards the closed-over state on
+/// error — nothing partially-mutated is observed afterwards.
+pub fn isolate<T>(what: &str, f: impl FnOnce() -> Result<T, CoreError>) -> Result<T, CoreError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(CoreError::WorkerPanic(format!("{what}: {msg}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unlimited_budget_accepts_everything() {
+        let b = RunBudget::unlimited();
+        assert!(b.check_alloc("x", usize::MAX).is_ok());
+        assert!(b.check_deadline("x").is_ok());
+        assert!(b.fits(usize::MAX));
+    }
+
+    #[test]
+    fn byte_ceiling_refuses_typed() {
+        let b = RunBudget::with_max_bytes(1024);
+        assert!(b.check_alloc("small", 1024).is_ok());
+        let err = b.check_alloc("matrix", 1025).unwrap_err();
+        let CoreError::ResourceLimit(msg) = err else {
+            panic!("wrong variant");
+        };
+        assert!(msg.contains("matrix"));
+        assert!(msg.contains("1025"));
+    }
+
+    #[test]
+    fn elapsed_deadline_cancels() {
+        let b = RunBudget {
+            max_bytes: None,
+            deadline: Some(Instant::now() - Duration::from_secs(1)),
+        };
+        assert!(matches!(
+            b.check_deadline("build"),
+            Err(CoreError::Cancelled(_))
+        ));
+        let future = RunBudget {
+            max_bytes: None,
+            deadline: Some(Instant::now() + Duration::from_secs(3600)),
+        };
+        assert!(future.check_deadline("build").is_ok());
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let t2 = t.clone();
+        assert!(t.checkpoint("x").is_ok());
+        t2.cancel();
+        assert!(t.is_cancelled());
+        assert!(matches!(t.checkpoint("x"), Err(CoreError::Cancelled(_))));
+    }
+
+    #[test]
+    fn guard_records_and_reports_degradations() {
+        let g = RunGuard::default();
+        assert!(g.degradations().is_empty());
+        g.record_degradation("hashrf", "bfhrf", "matrix over budget");
+        let events = g.degradations();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].from, "hashrf");
+        assert!(events[0].to_string().contains("over budget"));
+        // Clones share the log.
+        let g2 = g.clone();
+        g2.record_degradation("a", "b", "c");
+        assert_eq!(g.degradations().len(), 2);
+    }
+
+    #[test]
+    fn isolate_converts_panics() {
+        let ok: Result<u32, _> = isolate("w", || Ok(7));
+        assert_eq!(ok.unwrap(), 7);
+        let err = isolate::<u32>("shard 3", || panic!("poisoned tree"));
+        let Err(CoreError::WorkerPanic(msg)) = err else {
+            panic!("expected WorkerPanic");
+        };
+        assert!(msg.contains("shard 3"));
+        assert!(msg.contains("poisoned tree"));
+        // Errors pass through untouched.
+        let passthrough = isolate::<u32>("w", || Err(CoreError::EmptyQuery));
+        assert_eq!(passthrough, Err(CoreError::EmptyQuery));
+    }
+}

@@ -67,10 +67,12 @@ impl HashRf {
         taxa: &TaxonSet,
         config: &HashRfConfig,
     ) -> Result<Self, CoreError> {
-        assert!(
-            (1..=64).contains(&config.id_bits),
-            "id_bits must be in 1..=64"
-        );
+        if !(1..=64).contains(&config.id_bits) {
+            return Err(CoreError::Structure(format!(
+                "id_bits must be in 1..=64, got {}",
+                config.id_bits
+            )));
+        }
         if trees.is_empty() {
             return Err(CoreError::EmptyReference);
         }
@@ -159,6 +161,22 @@ impl HashRf {
             matrix,
             splits_per_tree,
         })
+    }
+
+    /// Rough bytes a [`HashRf::compute`] run over `r` trees of `n` taxa
+    /// will allocate: the `r × r` triangle plus the bucket table with its
+    /// `(id, tree)` records. Used by degradation logic to decide *before*
+    /// running whether HashRF fits a budget.
+    pub fn estimate_bytes(r: usize, n: usize, config: &HashRfConfig) -> usize {
+        let matrix = TriMatrix::required_bytes(r);
+        let buckets = config
+            .buckets
+            .unwrap_or_else(|| (n * r).next_power_of_two().clamp(1 << 10, 1 << 26));
+        // one Vec header per bucket + ~(n − 3) records of (u64, u32) per tree
+        let table = buckets * std::mem::size_of::<Vec<(u64, u32)>>()
+            + r.saturating_mul(n.saturating_sub(3))
+                .saturating_mul(std::mem::size_of::<(u64, u32)>());
+        matrix.saturating_add(table)
     }
 
     /// RF distance between trees `i` and `j`.

@@ -28,6 +28,7 @@
 //! |---|---|
 //! | [`bfh`] | The frequency hash: sequential/sharded builds, incremental add/remove, preprocessing hooks |
 //! | [`builder`] | [`BfhBuilder`] — the one configurable front door for hash construction |
+//! | [`guard`] | Run hardening: [`RunBudget`], [`CancelToken`], degradation log, panic isolation |
 //! | [`comparator`] | The [`Comparator`] trait unifying every average-RF engine (BFHRF, DS/DSMP, HashRF, Day) |
 //! | [`rf`] | BFHRF itself (Algorithm 2): sequential, parallel, streaming |
 //! | [`seqrf`] | The DS/DSMP baselines (Algorithm 1): sequential and rayon-parallel all-pairs loops |
@@ -70,6 +71,7 @@ pub mod comparator;
 pub mod consensus;
 pub mod day;
 pub mod error;
+pub mod guard;
 pub mod hashrf;
 pub mod matrix;
 pub mod pgm;
@@ -83,9 +85,12 @@ pub mod variants;
 pub use bfh::Bfh;
 pub use builder::BfhBuilder;
 pub use compact::CompactBfh;
-pub use comparator::{BfhrfComparator, Comparator, DayComparator, HashRfComparator, SetComparator};
+pub use comparator::{
+    hashrf_or_degrade, BfhrfComparator, Comparator, DayComparator, HashRfComparator, SetComparator,
+};
 pub use day::day_rf;
 pub use error::CoreError;
+pub use guard::{CancelToken, Degradation, RunBudget, RunGuard};
 pub use hashrf::{HashRf, HashRfConfig};
 #[allow(deprecated)]
 pub use rf::bfhrf_parallel;

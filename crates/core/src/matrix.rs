@@ -8,6 +8,7 @@
 //! via a bipartition inverted index; the [`crate::hashrf`] baseline shares
 //! the same pair-counting core but goes through compressed IDs.
 
+use crate::guard::{RunBudget, RunGuard};
 use crate::CoreError;
 use phylo::{BipartitionScratch, TaxonSet, Tree};
 use phylo_bitset::{bits_map_with_capacity, map_get_words_mut, Bits, BitsMap};
@@ -100,22 +101,33 @@ pub fn rf_matrix_exact(
     taxa: &TaxonSet,
     memory_budget_bytes: usize,
 ) -> Result<TriMatrix, CoreError> {
+    let guard = RunGuard::with_budget(RunBudget {
+        max_bytes: (memory_budget_bytes != usize::MAX).then_some(memory_budget_bytes),
+        deadline: None,
+    });
+    rf_matrix_exact_guarded(trees, taxa, &guard)
+}
+
+/// [`rf_matrix_exact`] under a full [`RunGuard`]: the triangle allocation
+/// is budget-checked up front and cancellation/deadline are polled at tree
+/// granularity during the fill.
+pub fn rf_matrix_exact_guarded(
+    trees: &[Tree],
+    taxa: &TaxonSet,
+    guard: &RunGuard,
+) -> Result<TriMatrix, CoreError> {
     if trees.is_empty() {
         return Err(CoreError::EmptyReference);
     }
     let r = trees.len();
-    let need = TriMatrix::required_bytes(r);
-    if need > memory_budget_bytes {
-        return Err(CoreError::ResourceLimit(format!(
-            "RF matrix for r={r} needs {need} bytes > budget {memory_budget_bytes}"
-        )));
-    }
+    guard.check_alloc("RF matrix", TriMatrix::required_bytes(r))?;
     // inverted index and per-tree split counts; extraction runs through one
     // reused arena, so only novel splits allocate keys
     let mut index: BitsMap<Vec<u32>> = bits_map_with_capacity(r);
     let mut splits = vec![0u16; r];
     let mut scratch = BipartitionScratch::new();
     for (t_idx, tree) in trees.iter().enumerate() {
+        guard.checkpoint("RF matrix index fill")?;
         scratch.for_each_split(tree, taxa, |w| {
             match map_get_words_mut(&mut index, w) {
                 Some(list) => list.push(t_idx as u32),
@@ -137,6 +149,7 @@ pub fn rf_matrix_exact(
     // convert shared counts to RF distances in place
     let mut out = shared;
     for j in 1..r {
+        guard.checkpoint("RF matrix conversion")?;
         for i in 0..j {
             let s = out.get(i, j);
             let rf = splits[i] + splits[j] - 2 * s;
@@ -156,21 +169,35 @@ pub fn rf_matrix_day(
     taxa: &TaxonSet,
     memory_budget_bytes: usize,
 ) -> Result<TriMatrix, CoreError> {
+    let guard = RunGuard::with_budget(RunBudget {
+        max_bytes: (memory_budget_bytes != usize::MAX).then_some(memory_budget_bytes),
+        deadline: None,
+    });
+    rf_matrix_day_guarded(trees, taxa, &guard)
+}
+
+/// [`rf_matrix_day`] under a full [`RunGuard`], polled once per tree row.
+pub fn rf_matrix_day_guarded(
+    trees: &[Tree],
+    taxa: &TaxonSet,
+    guard: &RunGuard,
+) -> Result<TriMatrix, CoreError> {
     if trees.is_empty() {
         return Err(CoreError::EmptyReference);
     }
     let r = trees.len();
-    let need = TriMatrix::required_bytes(r);
-    if need > memory_budget_bytes {
-        return Err(CoreError::ResourceLimit(format!(
-            "RF matrix for r={r} needs {need} bytes > budget {memory_budget_bytes}"
-        )));
-    }
+    guard.check_alloc("RF matrix", TriMatrix::required_bytes(r))?;
     let mut out = TriMatrix::zeroed(r);
     for j in 1..r {
+        guard.checkpoint("Day RF matrix")?;
         for i in 0..j {
             let d = crate::day::day_rf(&trees[i], &trees[j], taxa);
-            out.set(i, j, u16::try_from(d).expect("RF ≤ 2(n-3) fits u16"));
+            let d16 = u16::try_from(d).map_err(|_| {
+                CoreError::Structure(format!(
+                    "RF distance {d} between trees {i} and {j} exceeds u16 range"
+                ))
+            })?;
+            out.set(i, j, d16);
         }
     }
     Ok(out)

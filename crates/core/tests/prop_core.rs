@@ -203,8 +203,8 @@ proptest! {
         for t in &coll.trees {
             inc.add_tree(t, &coll.taxa);
         }
-        inc.remove_tree(&coll.trees[0], &coll.taxa);
-        inc.remove_tree(&coll.trees[1], &coll.taxa);
+        inc.remove_tree(&coll.trees[0], &coll.taxa).unwrap();
+        inc.remove_tree(&coll.trees[1], &coll.taxa).unwrap();
         inc.add_tree(&coll.trees[1], &coll.taxa);
         inc.add_tree(&coll.trees[0], &coll.taxa);
         prop_assert_eq!(batch.sum(), inc.sum());

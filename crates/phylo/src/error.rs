@@ -32,6 +32,14 @@ pub enum PhyloError {
         /// Found namespace size.
         found: usize,
     },
+    /// Lenient ingestion gave up: more records failed than the error
+    /// budget allows.
+    ErrorLimit {
+        /// Number of malformed records seen so far.
+        errors: usize,
+        /// The configured maximum.
+        limit: usize,
+    },
 }
 
 impl PhyloError {
@@ -61,6 +69,10 @@ impl fmt::Display for PhyloError {
             PhyloError::TaxaMismatch { expected, found } => write!(
                 f,
                 "taxon namespace mismatch: expected {expected} taxa, found {found}"
+            ),
+            PhyloError::ErrorLimit { errors, limit } => write!(
+                f,
+                "lenient ingestion aborted: {errors} malformed records exceed the limit of {limit}"
             ),
         }
     }

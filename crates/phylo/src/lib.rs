@@ -40,6 +40,7 @@
 pub mod bipartition;
 pub mod edit;
 pub mod error;
+pub mod ingest;
 pub mod newick;
 pub mod reroot;
 pub mod restrict;
@@ -51,6 +52,7 @@ pub mod tree;
 
 pub use bipartition::{Bipartition, BipartitionSet};
 pub use error::PhyloError;
+pub use ingest::{IngestPolicy, IngestReport, NewickReader, RecordError};
 pub use newick::{parse_newick, read_trees_from_str, write_newick, TaxaPolicy};
 pub use scratch::BipartitionScratch;
 pub use taxa::{TaxonId, TaxonSet};

@@ -253,7 +253,9 @@ fn parse_one(
                     return Err(PhyloError::parse(offset, "',' outside parentheses"));
                 }
                 finish_node(&tree, taxa, cur, offset)?;
-                let parent = tree.parent(cur).expect("depth>0 implies parent");
+                let parent = tree
+                    .parent(cur)
+                    .ok_or_else(|| PhyloError::parse(offset, "',' outside parentheses"))?;
                 cur = tree.add_child(parent);
             }
             Token::Close => {
@@ -262,7 +264,9 @@ fn parse_one(
                 }
                 finish_node(&tree, taxa, cur, offset)?;
                 depth -= 1;
-                cur = tree.parent(cur).expect("unbalanced ')'");
+                cur = tree
+                    .parent(cur)
+                    .ok_or_else(|| PhyloError::parse(offset, "unbalanced ')'"))?;
             }
             Token::Colon => {
                 if is_marked(&lengthed, cur) {

@@ -50,18 +50,18 @@ impl Tree {
     pub fn compacted(&self) -> Tree {
         let mut out = Tree::new();
         let Some(root) = self.root() else { return out };
-        let mut map = vec![None::<NodeId>; self.num_nodes()];
         let new_root = out.add_root();
         out.set_taxon(new_root, self.taxon(root));
         out.set_length(new_root, self.length(root));
-        map[root.index()] = Some(new_root);
-        for node in self.preorder() {
-            let new_node = map[node.index()].expect("preorder parent-first");
-            for &c in self.children(node) {
-                let nc = out.add_child(new_node);
+        // Walk (old, new) pairs together: every node is visited with its
+        // clone already in hand, so no id-translation table is needed.
+        let mut stack: Vec<(NodeId, NodeId)> = vec![(root, new_root)];
+        while let Some((old, new)) = stack.pop() {
+            for &c in self.children(old) {
+                let nc = out.add_child(new);
                 out.set_taxon(nc, self.taxon(c));
                 out.set_length(nc, self.length(c));
-                map[c.index()] = Some(nc);
+                stack.push((c, nc));
             }
         }
         out

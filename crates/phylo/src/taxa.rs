@@ -77,6 +77,19 @@ impl TaxonSet {
         id
     }
 
+    /// Roll the namespace back to its first `len` labels, forgetting the
+    /// rest. Ids below `len` are untouched, so trees encoded before the
+    /// later labels were interned remain valid.
+    ///
+    /// This is the rollback primitive of lenient ingestion: a record that
+    /// fails mid-parse may already have interned labels that occur nowhere
+    /// else, and skipping it must not widen every later bitmask.
+    pub fn truncate(&mut self, len: usize) {
+        for label in self.labels.drain(len..) {
+            self.index.remove(&label);
+        }
+    }
+
     /// Look up an existing label.
     pub fn get(&self, label: &str) -> Option<TaxonId> {
         self.index.get(label).copied()

@@ -1,9 +1,11 @@
 //! Parser robustness: arbitrary byte soup must produce `Err`, never a
 //! panic, and valid inputs perturbed by mutation must either parse or
-//! error cleanly. The streaming reader gets the same treatment.
+//! error cleanly. The streaming reader and the lenient recovery reader get
+//! the same treatment.
 
+use phylo::ingest::read_collection;
 use phylo::newick::NewickStream;
-use phylo::{parse_newick, TaxaPolicy, TaxonSet};
+use phylo::{parse_newick, IngestPolicy, PhyloError, TaxaPolicy, TaxonSet};
 use proptest::prelude::*;
 
 proptest! {
@@ -49,6 +51,74 @@ proptest! {
                 prop_assert!(tree.leaf_count() >= 1);
             }
         }
+    }
+
+    #[test]
+    fn mutated_collection_survives_lenient_and_errors_strict(
+        cut in 0usize..90,
+        flip_pos in 0usize..90,
+        flip_byte in any::<u8>(),
+    ) {
+        // Truncation + one arbitrary byte flip (including NUL and invalid
+        // UTF-8) over a multi-record collection.
+        let base = "((A:1.5,B):2,(C,D):1e-2);\n(('x y',C),(B,A));\n((A,(B,C)),D);\n((D,C),(B,A));\n";
+        let mut bytes = base.as_bytes().to_vec();
+        bytes.truncate(cut.min(bytes.len()));
+        if !bytes.is_empty() {
+            let i = flip_pos % bytes.len();
+            bytes[i] = flip_byte;
+        }
+        // Lenient: never panics, never errors with an unlimited skip
+        // budget; every accepted tree is structurally sound.
+        let (coll, report) = read_collection(&bytes[..], IngestPolicy::lenient()).unwrap();
+        prop_assert_eq!(coll.trees.len(), report.accepted);
+        for t in &coll.trees {
+            prop_assert!(t.root().is_some());
+            prop_assert!(t.leaf_count() >= 1);
+        }
+        // Strict: success means nothing was skipped; a parse failure
+        // carries an absolute byte offset inside the input.
+        match read_collection(&bytes[..], IngestPolicy::Strict) {
+            Ok((strict_coll, strict_report)) => {
+                prop_assert!(!strict_report.is_partial());
+                prop_assert_eq!(strict_coll.trees.len(), strict_report.accepted);
+            }
+            Err(PhyloError::Parse { offset, .. }) => prop_assert!(offset <= bytes.len()),
+            Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbalanced_parens_and_nul_bytes_recover(
+        extra_open in 0usize..4,
+        extra_close in 0usize..4,
+        nul_at in 0usize..60,
+    ) {
+        // Unbalance the first record, then stamp a NUL byte somewhere; the
+        // second record must still be reachable whenever it survives the
+        // NUL intact.
+        let mut s = String::new();
+        for _ in 0..extra_open {
+            s.push('(');
+        }
+        s.push_str("((A,B),(C,D))");
+        for _ in 0..extra_close {
+            s.push(')');
+        }
+        s.push_str(";\n((A,C),(B,D));\n");
+        let mut bytes = s.into_bytes();
+        let i = nul_at % bytes.len();
+        bytes[i] = 0;
+        let (coll, report) = read_collection(&bytes[..], IngestPolicy::lenient()).unwrap();
+        prop_assert_eq!(coll.trees.len(), report.accepted);
+        prop_assert_eq!(report.records(), report.accepted + report.skipped.len());
+        // Skip positions stay inside the input.
+        for rec in &report.skipped {
+            prop_assert!(rec.byte <= bytes.len());
+            prop_assert!(rec.line >= 1);
+        }
+        // Strict never panics either.
+        let _ = read_collection(&bytes[..], IngestPolicy::Strict);
     }
 
     #[test]

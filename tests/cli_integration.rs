@@ -138,6 +138,88 @@ fn best_query_against_separate_reference_file() {
 }
 
 #[test]
+fn lenient_exit_codes_and_report_on_corrupted_file() {
+    use bfhrf_cli::{run_full, EXIT_ERROR, EXIT_OK, EXIT_PARTIAL};
+    let dir = workdir();
+    let data = dir.join("cli-corrupt-src.nwk");
+    run(&[
+        "simulate",
+        "--taxa",
+        "14",
+        "--trees",
+        "60",
+        "--out",
+        data.to_str().unwrap(),
+        "--seed",
+        "9",
+    ])
+    .unwrap();
+    // Corrupt 3 of 60 records (5%) by stripping their closing parens;
+    // the records stay ';'-terminated so the lenient reader can resync.
+    let text = std::fs::read_to_string(&data).unwrap();
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert_eq!(lines.len(), 60);
+    let bad = [7usize, 23, 41];
+    let mut dirty = String::new();
+    let mut clean = String::new();
+    for (i, l) in lines.iter().enumerate() {
+        if bad.contains(&i) {
+            dirty.push_str(&l.replace(')', ""));
+            dirty.push('\n');
+        } else {
+            dirty.push_str(l);
+            dirty.push('\n');
+            clean.push_str(l);
+            clean.push('\n');
+        }
+    }
+    let dirty_p = dir.join("cli-corrupt-dirty.nwk");
+    let clean_p = dir.join("cli-corrupt-clean.nwk");
+    std::fs::write(&dirty_p, dirty).unwrap();
+    std::fs::write(&clean_p, clean).unwrap();
+
+    let argv = |parts: &[&str]| parts.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    let want = run_full(&argv(&["avgrf", "--refs", clean_p.to_str().unwrap()])).unwrap();
+    assert_eq!(want.code, EXIT_OK);
+
+    let got = run_full(&argv(&[
+        "avgrf",
+        "--refs",
+        dirty_p.to_str().unwrap(),
+        "--lenient",
+    ]))
+    .unwrap();
+    assert_eq!(got.code, EXIT_PARTIAL, "skips must exit 2");
+    assert_eq!(
+        got.stdout, want.stdout,
+        "lenient run must match the pre-cleaned file exactly"
+    );
+    assert!(
+        got.notes
+            .iter()
+            .any(|n| n.contains("60 records, 57 accepted, 3 skipped")),
+        "{:?}",
+        got.notes
+    );
+    assert_eq!(
+        got.notes
+            .iter()
+            .filter(|n| n.contains("skipped record"))
+            .count(),
+        3,
+        "every skipped record is listed: {:?}",
+        got.notes
+    );
+
+    let err = run_full(&argv(&["avgrf", "--refs", dirty_p.to_str().unwrap()])).unwrap_err();
+    assert_eq!(err.code, EXIT_ERROR, "strict run on corrupt input exits 1");
+
+    for p in [&data, &dirty_p, &clean_p] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
 fn cli_surfaces_parse_errors_with_location() {
     let dir = workdir();
     let bad = dir.join("bad.nwk");

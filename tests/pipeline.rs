@@ -159,7 +159,7 @@ fn incremental_hash_tracks_live_collection() {
         bfh.add_tree(t, &coll.taxa);
     }
     for step in 0..20 {
-        bfh.remove_tree(&coll.trees[step], &coll.taxa);
+        bfh.remove_tree(&coll.trees[step], &coll.taxa).unwrap();
         bfh.add_tree(&coll.trees[step + 10], &coll.taxa);
         // window now covers trees step+1 ..= step+10
         let window = &coll.trees[step + 1..step + 11];
