@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the persistent index + query daemon:
+#
+#   simulate -> index build -> serve (background) -> query -> diff vs offline
+#
+# The served `avgrf` answer must be byte-identical to the offline report on
+# the same files; any divergence fails the job via `diff`.
+set -euo pipefail
+
+BIN="${BFHRF_BIN:-target/release/bfhrf}"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== simulate a reference collection"
+"$BIN" simulate --taxa 24 --trees 40 --out "$WORK/refs.nwk" --seed 4077
+head -n 5 "$WORK/refs.nwk" >"$WORK/queries.nwk"
+
+echo "== build and verify the on-disk index"
+"$BIN" index build --refs "$WORK/refs.nwk" --out "$WORK/index"
+"$BIN" index inspect --index "$WORK/index" --check
+
+echo "== start the daemon on an OS-assigned port"
+"$BIN" serve --index "$WORK/index" --addr 127.0.0.1:0 --threads 2 \
+    --port-file "$WORK/port" &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$WORK/port" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "serve smoke: daemon died" >&2; exit 1; }
+    sleep 0.1
+done
+[ -s "$WORK/port" ] || { echo "serve smoke: port file never appeared" >&2; exit 1; }
+
+echo "== served answers must match offline avgrf byte-for-byte"
+"$BIN" avgrf --refs "$WORK/refs.nwk" --queries "$WORK/queries.nwk" >"$WORK/offline.tsv"
+"$BIN" query --port-file "$WORK/port" --queries "$WORK/queries.nwk" >"$WORK/served.tsv"
+diff -u "$WORK/offline.tsv" "$WORK/served.tsv"
+
+echo "== stats + clean shutdown"
+"$BIN" query --port-file "$WORK/port" --op stats
+"$BIN" query --port-file "$WORK/port" --op shutdown
+wait "$SERVER_PID"
+SERVER_PID=""
+echo "serve smoke: served answers match offline avgrf"

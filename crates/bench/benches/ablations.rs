@@ -19,7 +19,6 @@ fn load(n: usize, r: usize, seed: u64) -> TreeCollection {
     TreeCollection::parse(&prepare(&DatasetSpec::new("abl", n, r, seed)).newick).unwrap()
 }
 
-#[allow(deprecated)] // fold-merge is the baseline under measurement
 fn hash_build(c: &mut Criterion) {
     let coll = load(100, 1000, 1);
     let mut group = c.benchmark_group("ablation_hash_build");
@@ -30,7 +29,7 @@ fn hash_build(c: &mut Criterion) {
         b.iter(|| black_box(Bfh::build(&coll.trees, &coll.taxa).sum()))
     });
     group.bench_function("fold_merge", |b| {
-        b.iter(|| black_box(Bfh::build_parallel(&coll.trees, &coll.taxa).sum()))
+        b.iter(|| black_box(bfhrf_bench::runner::fold_merge_build(&coll).sum()))
     });
     group.bench_function("sharded_8", |b| {
         b.iter(|| black_box(Bfh::build_sharded(&coll.trees, &coll.taxa, 8).sum()))

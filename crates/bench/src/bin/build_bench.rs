@@ -6,8 +6,9 @@
 //! ```
 //!
 //! Builds the same bipartition frequency hash three ways — sequential
-//! `Bfh::build`, the rayon fold/merge `Bfh::build_parallel`, and the
-//! sharded two-phase `Bfh::build_sharded` — across pool sizes 1/2/4/8,
+//! `Bfh::build`, the rayon fold/merge baseline (kept locally in the bench
+//! crate), and the sharded two-phase `Bfh::build_sharded` — across pool
+//! sizes 1/2/4/8,
 //! checks the three produce identical hashes, and writes `BENCH_build.json`
 //! with the full grid plus the headline ratio: sharded vs fold-merge at
 //! 8 threads (target: ≥ 1.5×).

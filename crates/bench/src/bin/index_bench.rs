@@ -1,0 +1,202 @@
+//! Persistent-index benchmark, emitted as machine-readable JSON.
+//!
+//! ```text
+//! index_bench [--trees R] [--repeats K] [--requests Q] [--out FILE]
+//! ```
+//!
+//! Two questions, one file (`BENCH_index.json`):
+//!
+//! 1. **Startup**: how much faster is loading a snapshot than re-parsing
+//!    the Newick collection and rebuilding the hash from scratch?
+//!    (best-of-K for cold build, snapshot save, snapshot load)
+//! 2. **Serving**: how many `avgrf` requests per second does `bfhrf
+//!    serve` sustain with 1, 4, and 8 concurrent client connections?
+//!
+//! The loaded hash is checked against the freshly built one (counters
+//! must match) so a timing win can never hide a correctness loss.
+
+use bfhrf_cli::server::{ServeConfig, Server};
+use phylo_index::Index;
+use phylo_sim::DatasetSpec;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trees = 2000usize;
+    let mut repeats = 3usize;
+    let mut requests = 50usize;
+    let mut out_path = "BENCH_index.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("index_bench: {name} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        let parse = |name: &str, v: String| -> usize {
+            v.parse().unwrap_or_else(|e| {
+                eprintln!("index_bench: bad {name}: {e}");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--trees" => trees = parse("--trees", grab("--trees")),
+            "--repeats" => repeats = parse("--repeats", grab("--repeats")),
+            "--requests" => requests = parse("--requests", grab("--requests")),
+            "--out" => out_path = grab("--out"),
+            other => {
+                eprintln!("index_bench: unknown argument {other:?}");
+                eprintln!(
+                    "usage: index_bench [--trees R] [--repeats K] [--requests Q] [--out FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let repeats = repeats.max(1);
+    let requests = requests.max(1);
+
+    eprintln!("[index_bench] generating insect preset (n=144, r={trees}) ...");
+    let spec = DatasetSpec::insect().with_trees(trees);
+    let ds = bfhrf_bench::datasets::prepare(&spec);
+
+    let dir = std::env::temp_dir().join(format!("bfhrf-index-bench-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clearing scratch dir");
+    }
+    std::fs::create_dir_all(&dir).expect("creating scratch dir");
+    let index_dir = dir.join("index");
+
+    // -------- startup: cold rebuild vs snapshot save / load ------------
+    let mut cold = f64::INFINITY;
+    let mut save = f64::INFINITY;
+    let mut load = f64::INFINITY;
+    let mut built = None;
+    for rep in 0..repeats {
+        eprintln!("[index_bench] repeat {}/{repeats} ...", rep + 1);
+        let t = Instant::now();
+        let coll = phylo::TreeCollection::parse(&ds.newick).expect("simulated trees parse");
+        let bfh = bfhrf::Bfh::build_sharded(&coll.trees, &coll.taxa, 8);
+        cold = cold.min(t.elapsed().as_secs_f64());
+
+        if index_dir.exists() {
+            std::fs::remove_dir_all(&index_dir).expect("clearing index dir");
+        }
+        let t = Instant::now();
+        let index =
+            Index::create(&index_dir, bfh.clone(), coll.taxa.clone()).expect("index create");
+        save = save.min(t.elapsed().as_secs_f64());
+        drop(index);
+
+        let t = Instant::now();
+        let index = Index::open(&index_dir).expect("index open");
+        load = load.min(t.elapsed().as_secs_f64());
+        assert_eq!(
+            index.bfh().distinct(),
+            bfh.distinct(),
+            "loaded hash diverged"
+        );
+        assert_eq!(index.bfh().sum(), bfh.sum(), "loaded hash diverged");
+        built = Some((bfh, coll));
+    }
+    let (bfh, coll) = built.expect("at least one repeat ran");
+    eprintln!("[index_bench] cold build {cold:.4}s, snapshot save {save:.4}s, load {load:.4}s");
+
+    // -------- serving: avgrf throughput at 1/4/8 clients ---------------
+    let query = format!(
+        r#"{{"op":"avgrf","queries":["{}"]}}"#,
+        phylo::write_newick(&coll.trees[0], &coll.taxa)
+    );
+    let srv = Server::bind(&ServeConfig {
+        index_dir: index_dir.clone(),
+        addr: "127.0.0.1:0".into(),
+        threads: 8,
+        mem_budget: None,
+        timeout_ms: None,
+    })
+    .expect("server bind");
+    let addr = srv.local_addr();
+    let handle = std::thread::spawn(move || srv.run().expect("server run"));
+
+    let mut serve_rows = Vec::new();
+    for clients in [1usize, 4, 8] {
+        let t = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..clients {
+                let query = &query;
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("client connect");
+                    let mut writer = stream.try_clone().expect("client clone");
+                    let mut reader = BufReader::new(stream);
+                    let mut line = String::new();
+                    for _ in 0..requests {
+                        writer
+                            .write_all(format!("{query}\n").as_bytes())
+                            .expect("client write");
+                        line.clear();
+                        reader.read_line(&mut line).expect("client read");
+                        assert!(line.contains("\"ok\":true"), "server refused: {line}");
+                    }
+                });
+            }
+        });
+        let seconds = t.elapsed().as_secs_f64();
+        let total = clients * requests;
+        let qps = total as f64 / seconds;
+        eprintln!(
+            "[index_bench] {clients} client(s): {total} requests in {seconds:.4}s ({qps:.1}/s)"
+        );
+        serve_rows.push((clients, total, seconds, qps));
+    }
+
+    let mut bye = TcpStream::connect(addr).expect("shutdown connect");
+    bye.write_all(b"{\"op\":\"shutdown\"}\n")
+        .expect("shutdown write");
+    drop(bye);
+    handle.join().expect("server thread");
+
+    // -------- emit ------------------------------------------------------
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"dataset\": {{\"name\": \"insect\", \"n_taxa\": {}, \"n_trees\": {}, \"distinct\": {}}},",
+        coll.taxa.len(),
+        coll.len(),
+        bfh.distinct()
+    );
+    let _ = writeln!(json, "  \"repeats\": {repeats},");
+    let _ = writeln!(json, "  \"cold_build_seconds\": {cold:.6},");
+    let _ = writeln!(json, "  \"snapshot_save_seconds\": {save:.6},");
+    let _ = writeln!(json, "  \"snapshot_load_seconds\": {load:.6},");
+    let _ = writeln!(
+        json,
+        "  \"load_speedup_vs_cold_build\": {:.3},",
+        cold / load
+    );
+    json.push_str("  \"serve\": [\n");
+    for (i, (clients, total, seconds, qps)) in serve_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"clients\": {clients}, \"requests\": {total}, \"seconds\": {seconds:.6}, \"qps\": {qps:.1}}}"
+        );
+        json.push_str(if i + 1 < serve_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    std::fs::remove_dir_all(&dir).ok();
+    println!(
+        "snapshot load vs cold rebuild: {:.2}x (written to {out_path})",
+        cold / load
+    );
+}

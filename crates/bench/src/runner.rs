@@ -632,13 +632,30 @@ pub struct BuildCell {
     pub sum: u64,
 }
 
+/// The rayon fold/merge baseline under measurement: per-worker hashes
+/// folded over disjoint tree chunks, then merged pairwise. This WAS
+/// `Bfh::build_parallel` before the sharded pipeline replaced it; the
+/// bench keeps a local copy because the strategy itself is the thing
+/// being compared against.
+pub fn fold_merge_build(coll: &phylo::TreeCollection) -> Bfh {
+    coll.trees
+        .par_iter()
+        .fold(
+            || Bfh::empty(coll.taxa.len()),
+            |mut acc, tree| {
+                acc.add_tree(tree, &coll.taxa);
+                acc
+            },
+        )
+        .reduce(|| Bfh::empty(coll.taxa.len()), |a, b| a.merged(b))
+}
+
 /// The tentpole ablation: build the same hash three ways — sequential,
-/// rayon fold/merge ([`Bfh::build_parallel`]), and the sharded two-phase
+/// rayon fold/merge ([`fold_merge_build`]), and the sharded two-phase
 /// pipeline ([`Bfh::build_sharded`]) — across pool sizes. The fold-merge
 /// baseline allocates one map per worker and pays an `O(distinct)` merge;
 /// the sharded build spills raw mask words into per-shard buckets and
 /// folds each shard exactly once, so it wins even on a single core.
-#[allow(deprecated)] // build_parallel IS the baseline under measurement
 pub fn build_ablation(coll: &phylo::TreeCollection, thread_counts: &[usize]) -> Vec<BuildCell> {
     let mut cells = Vec::new();
     let mut push = |mode, threads, shards, m: &Measurement, bfh: &Bfh| {
@@ -655,7 +672,7 @@ pub fn build_ablation(coll: &phylo::TreeCollection, thread_counts: &[usize]) -> 
     push("sequential", 1, 1, &m, &bfh);
     for &t in thread_counts {
         let p = pool(t);
-        let (bfh, m) = p.install(|| measured(|| Bfh::build_parallel(&coll.trees, &coll.taxa)));
+        let (bfh, m) = p.install(|| measured(|| fold_merge_build(coll)));
         push("fold-merge", t, 1, &m, &bfh);
         let shards = t.max(2);
         let (bfh, m) =

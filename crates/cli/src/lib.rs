@@ -15,9 +15,14 @@
 //! bfhrf consensus --refs refs.nwk [--threshold 0.5 | --strict]
 //! bfhrf matrix    --refs refs.nwk [--budget-mb M]
 //! bfhrf simulate  --taxa N --trees R --out file.nwk [--seed S] [--pop-scale P]
+//! bfhrf index     build|inspect|compact|add|remove   (persistent BFH index)
+//! bfhrf serve     --index DIR [--addr HOST:PORT] [--threads N] [--port-file F]
+//! bfhrf query     --addr HOST:PORT --op avgrf|best-query|stats|... [--queries F]
 //! ```
 
 pub mod args;
+pub mod json;
+pub mod server;
 
 use args::Args;
 use bfhrf::{
@@ -109,6 +114,9 @@ pub fn run_full(argv: &[String]) -> Result<CmdOutcome, CliError> {
         "simulate" => cmd_simulate(rest),
         "support" => cmd_support(rest),
         "cluster" => cmd_cluster(rest),
+        "index" => cmd_index(rest),
+        "serve" => cmd_serve(rest),
+        "query" => cmd_query(rest),
         "help" | "--help" | "-h" => Ok(CmdOutcome::clean(usage())),
         other => Err(format!("unknown subcommand {other:?}\n\n{}", usage()).into()),
     }
@@ -160,7 +168,20 @@ pub fn usage() -> String {
      support    annotate a focal tree with split support from the references\n\
      \x20          --refs FILE --tree FILE\n\
      cluster    k-medoids clustering of the collection by RF distance\n\
-     \x20          --refs FILE --k K [--budget-mb M]\n"
+     \x20          --refs FILE --k K [--budget-mb M]\n\
+     index      persistent on-disk BFH index (snapshot + WAL)\n\
+     \x20          build    --refs FILE --out DIR [--shards K] [--lenient]\n\
+     \x20          inspect  --index DIR [--check]\n\
+     \x20          compact  --index DIR\n\
+     \x20          add      --index DIR --trees FILE\n\
+     \x20          remove   --index DIR --trees FILE\n\
+     serve      answer queries from an index over TCP (NDJSON protocol)\n\
+     \x20          --index DIR [--addr HOST:PORT] [--threads N]\n\
+     \x20          [--port-file FILE] [--mem-budget BYTES] [--timeout-ms MS]\n\
+     query      one request against a running server\n\
+     \x20          --addr HOST:PORT | --port-file FILE\n\
+     \x20          --op avgrf|best-query|stats|add|remove|compact|shutdown\n\
+     \x20          [--queries FILE] [--trees FILE] [--normalized] [--halved]\n"
         .to_string()
 }
 
@@ -574,6 +595,353 @@ fn cmd_simulate(raw: &[String]) -> Result<CmdOutcome, CliError> {
     Ok(CmdOutcome::clean(format!(
         "wrote {r} trees on {n} taxa to {out_path} (seed {seed}, pop-scale {pop_scale})\n"
     )))
+}
+
+/// Map an index failure to its exit code: budget refusals travelling
+/// inside [`phylo_index::IndexError::Core`] keep [`EXIT_BUDGET`],
+/// everything else (corruption, IO, bad Newick) is a generic error.
+pub(crate) fn index_fail(e: phylo_index::IndexError) -> CliError {
+    match e {
+        phylo_index::IndexError::Core(c) => core_fail(c),
+        other => CliError {
+            message: other.to_string(),
+            code: EXIT_ERROR,
+        },
+    }
+}
+
+/// Parse a Newick file into protocol payload strings, validating each
+/// record client-side before it goes on the wire.
+fn payload_from_file(path: &str) -> Result<Vec<String>, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::from(format!("cannot read {path}: {e}")))?;
+    let coll = TreeCollection::parse(&text).map_err(|e| CliError::from(format!("{path}: {e}")))?;
+    if coll.trees.is_empty() {
+        return Err(format!("{path}: contains no trees").into());
+    }
+    Ok(coll
+        .trees
+        .iter()
+        .map(|t| phylo::write_newick(t, &coll.taxa))
+        .collect())
+}
+
+fn cmd_index(raw: &[String]) -> Result<CmdOutcome, CliError> {
+    let Some(verb) = raw.first() else {
+        return Err("index needs a verb: build, inspect, compact, add, remove"
+            .to_string()
+            .into());
+    };
+    let rest = &raw[1..];
+    match verb.as_str() {
+        "build" => cmd_index_build(rest),
+        "inspect" => cmd_index_inspect(rest),
+        "compact" => cmd_index_compact(rest),
+        "add" => cmd_index_mutate(rest, true),
+        "remove" => cmd_index_mutate(rest, false),
+        other => Err(format!(
+            "unknown index verb {other:?} (expected build, inspect, compact, add, remove)"
+        )
+        .into()),
+    }
+}
+
+fn cmd_index_build(raw: &[String]) -> Result<CmdOutcome, CliError> {
+    let a = Args::parse(raw, &["lenient"])?;
+    a.reject_unknown(
+        &[
+            "refs",
+            "out",
+            "shards",
+            "build-mode",
+            "threads",
+            "max-errors",
+            "mem-budget",
+            "timeout",
+        ],
+        &["lenient"],
+    )?;
+    let policy = ingest_policy(&a)?;
+    let guard = run_guard(&a)?;
+    let mut notes = Vec::new();
+    let refs_path = a.require("refs")?;
+    let out_dir = a.require("out")?;
+    let (refs, report) = load_with(refs_path, policy)?;
+    let partial = note_ingest(&mut notes, refs_path, &report);
+    let threads: Option<usize> = a.get_parsed("threads")?;
+    let shards: Option<usize> = a.get_parsed("shards")?;
+    let build_mode = a.get("build-mode");
+    let bfh = with_threads(threads, || -> Result<bfhrf::Bfh, CliError> {
+        resolve_builder(build_mode, shards, "sharded")?
+            .guard(guard.clone())
+            .from_trees(&refs.trees, &refs.taxa)
+            .map_err(core_fail)
+    })??;
+    let index = phylo_index::Index::create(Path::new(out_dir), bfh, refs.taxa.clone())
+        .map_err(index_fail)?;
+    let stats = index.stats();
+    Ok(CmdOutcome {
+        stdout: format!(
+            "index\t{out_dir}\ngeneration\t{}\nn_trees\t{}\nn_taxa\t{}\ndistinct\t{}\nsum\t{}\n",
+            stats.generation, stats.n_trees, stats.n_taxa, stats.distinct, stats.sum
+        ),
+        notes,
+        code: if partial { EXIT_PARTIAL } else { EXIT_OK },
+    })
+}
+
+fn cmd_index_inspect(raw: &[String]) -> Result<CmdOutcome, CliError> {
+    let a = Args::parse(raw, &["check"])?;
+    a.reject_unknown(&["index"], &["check"])?;
+    let dir = Path::new(a.require("index")?);
+    let meta = phylo_index::read_meta(&dir.join(phylo_index::SNAPSHOT_FILE)).map_err(index_fail)?;
+    let wal_path = dir.join(phylo_index::WAL_FILE);
+    let wal_pending = if wal_path.exists() {
+        let (wal_gen, records) = phylo_index::read_wal(&wal_path).map_err(index_fail)?;
+        if wal_gen == meta.generation {
+            records.len()
+        } else {
+            0 // stale log, discarded on the next open
+        }
+    } else {
+        0
+    };
+    let mut out = format!(
+        "generation\t{}\nn_taxa\t{}\nn_trees\t{}\nn_shards\t{}\nsum\t{}\ndistinct\t{}\nwal_pending\t{wal_pending}\n",
+        meta.generation, meta.n_taxa, meta.n_trees, meta.n_shards, meta.sum, meta.distinct
+    );
+    if a.flag("check") {
+        // Full validation: load the snapshot, replay the WAL, cross-check.
+        let index = phylo_index::Index::open(dir).map_err(index_fail)?;
+        let stats = index.stats();
+        let _ = writeln!(
+            out,
+            "check\tok ({} trees, {} splits after WAL replay)",
+            stats.n_trees, stats.distinct
+        );
+    }
+    Ok(CmdOutcome::clean(out))
+}
+
+fn cmd_index_compact(raw: &[String]) -> Result<CmdOutcome, CliError> {
+    let a = Args::parse(raw, &[])?;
+    a.reject_unknown(&["index"], &[])?;
+    let dir = Path::new(a.require("index")?);
+    let mut index = phylo_index::Index::open(dir).map_err(index_fail)?;
+    let folded = index.stats().wal_pending;
+    let meta = index.compact().map_err(index_fail)?;
+    Ok(CmdOutcome::clean(format!(
+        "generation\t{}\nfolded\t{folded}\nn_trees\t{}\ndistinct\t{}\n",
+        meta.generation, meta.n_trees, meta.distinct
+    )))
+}
+
+fn cmd_index_mutate(raw: &[String], add: bool) -> Result<CmdOutcome, CliError> {
+    let a = Args::parse(raw, &[])?;
+    a.reject_unknown(&["index", "trees"], &[])?;
+    let dir = Path::new(a.require("index")?);
+    let trees_path = a.require("trees")?;
+    let mut index = phylo_index::Index::open(dir).map_err(index_fail)?;
+    let payload = payload_from_file(trees_path)?;
+    let mut applied = 0usize;
+    for newick in &payload {
+        let r = if add {
+            index.append_add_newick(newick)
+        } else {
+            index.append_remove_newick(newick)
+        };
+        r.map_err(|e| CliError {
+            message: format!("after {applied} applied: {}", index_fail(e).message),
+            code: EXIT_ERROR,
+        })?;
+        applied += 1;
+    }
+    let stats = index.stats();
+    Ok(CmdOutcome::clean(format!(
+        "applied\t{applied}\nn_trees\t{}\nwal_pending\t{}\n",
+        stats.n_trees, stats.wal_pending
+    )))
+}
+
+fn cmd_serve(raw: &[String]) -> Result<CmdOutcome, CliError> {
+    let a = Args::parse(raw, &[])?;
+    a.reject_unknown(
+        &[
+            "index",
+            "addr",
+            "threads",
+            "port-file",
+            "mem-budget",
+            "timeout-ms",
+        ],
+        &[],
+    )?;
+    let cfg = server::ServeConfig {
+        index_dir: Path::new(a.require("index")?).to_path_buf(),
+        addr: a.get("addr").unwrap_or("127.0.0.1:4077").to_string(),
+        threads: a.get_parsed("threads")?.unwrap_or(4),
+        mem_budget: a.get_parsed("mem-budget")?,
+        timeout_ms: a.get_parsed("timeout-ms")?,
+    };
+    let srv = server::Server::bind(&cfg)?;
+    let addr = srv.local_addr();
+    if let Some(port_file) = a.get("port-file") {
+        std::fs::write(port_file, format!("{addr}\n"))
+            .map_err(|e| CliError::from(format!("cannot write {port_file}: {e}")))?;
+    }
+    // The daemon's only immediate signal (stdout is buffered until exit):
+    // humans see the address, scripts read the --port-file.
+    eprintln!("bfhrf: serving {} on {addr}", cfg.index_dir.display());
+    let served = srv.run()?;
+    Ok(CmdOutcome::clean(format!("served\t{served}\n")))
+}
+
+/// Resolve `--addr` / `--port-file` to the server address.
+fn query_addr(a: &Args) -> Result<String, CliError> {
+    if let Some(addr) = a.get("addr") {
+        return Ok(addr.to_string());
+    }
+    if let Some(pf) = a.get("port-file") {
+        let text = std::fs::read_to_string(pf)
+            .map_err(|e| CliError::from(format!("cannot read {pf}: {e}")))?;
+        return Ok(text.trim().to_string());
+    }
+    Err("query needs --addr HOST:PORT or --port-file FILE"
+        .to_string()
+        .into())
+}
+
+fn cmd_query(raw: &[String]) -> Result<CmdOutcome, CliError> {
+    use std::io::{BufRead as _, Write as _};
+
+    let a = Args::parse(raw, &["normalized", "halved"])?;
+    a.reject_unknown(
+        &["addr", "port-file", "op", "queries", "trees"],
+        &["normalized", "halved"],
+    )?;
+    let addr = query_addr(&a)?;
+    let op = a.get("op").unwrap_or("avgrf");
+
+    let mut fields: Vec<(&str, json::Json)> = vec![("op", op.into())];
+    match op {
+        "avgrf" | "best-query" => {
+            let payload = payload_from_file(a.require("queries")?)?;
+            fields.push((
+                "queries",
+                json::Json::Arr(payload.into_iter().map(Into::into).collect()),
+            ));
+            if a.flag("normalized") {
+                fields.push(("normalized", true.into()));
+            }
+            if a.flag("halved") {
+                fields.push(("halved", true.into()));
+            }
+        }
+        "add" | "remove" => {
+            let payload = payload_from_file(a.require("trees")?)?;
+            fields.push((
+                "trees",
+                json::Json::Arr(payload.into_iter().map(Into::into).collect()),
+            ));
+        }
+        "stats" | "compact" | "shutdown" => {}
+        other => {
+            return Err(format!(
+                "unknown op {other:?} (expected avgrf, best-query, stats, add, remove, compact, shutdown)"
+            )
+            .into())
+        }
+    }
+    let request = json::Json::obj(fields);
+
+    let mut stream = std::net::TcpStream::connect(&addr)
+        .map_err(|e| CliError::from(format!("cannot connect to {addr}: {e}")))?;
+    stream.set_read_timeout(Some(Duration::from_secs(120))).ok();
+    stream
+        .write_all(format!("{request}\n").as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| CliError::from(format!("cannot send request to {addr}: {e}")))?;
+    let mut line = String::new();
+    std::io::BufReader::new(&stream)
+        .read_line(&mut line)
+        .map_err(|e| CliError::from(format!("no response from {addr}: {e}")))?;
+    if line.trim().is_empty() {
+        return Err(format!("server at {addr} closed the connection without answering").into());
+    }
+    let resp = json::parse(line.trim()).map_err(|e| format!("malformed response: {e}"))?;
+
+    if resp.get("ok").and_then(json::Json::as_bool) != Some(true) {
+        let code = resp
+            .get("code")
+            .and_then(json::Json::as_str)
+            .unwrap_or("error");
+        let message = resp
+            .get("error")
+            .and_then(json::Json::as_str)
+            .unwrap_or("server reported an unspecified failure");
+        return Err(CliError {
+            message: format!("server: {message}"),
+            code: server::protocol_code_to_exit(code),
+        });
+    }
+    render_response(op, &resp).map(CmdOutcome::clean)
+}
+
+/// Render a successful server response in the same tab-separated shapes
+/// the offline subcommands print, so outputs diff cleanly against
+/// `bfhrf avgrf` / `bfhrf best`.
+fn render_response(op: &str, resp: &json::Json) -> Result<String, CliError> {
+    let field = |key: &str| -> Result<&json::Json, CliError> {
+        resp.get(key)
+            .ok_or_else(|| CliError::from(format!("response is missing {key:?}")))
+    };
+    match op {
+        "avgrf" => {
+            let mut out = String::from("query\tavg_rf\n");
+            for row in field("scores")?.as_arr().unwrap_or(&[]) {
+                let idx = row.get("index").and_then(json::Json::as_u64).unwrap_or(0);
+                let avg = row
+                    .get("avg")
+                    .and_then(json::Json::as_f64)
+                    .unwrap_or(f64::NAN);
+                let _ = writeln!(out, "{idx}\t{avg:.6}");
+            }
+            Ok(out)
+        }
+        "best-query" => Ok(format!(
+            "best_query\t{}\navg_rf\t{:.6}\ntotal_rf\t{}\n",
+            field("best_index")?.as_u64().unwrap_or(0),
+            field("avg")?.as_f64().unwrap_or(f64::NAN),
+            field("total")?.as_u64().unwrap_or(0),
+        )),
+        "stats" => {
+            let mut out = String::new();
+            for key in [
+                "generation",
+                "n_trees",
+                "n_taxa",
+                "distinct",
+                "sum",
+                "wal_pending",
+                "served",
+            ] {
+                let _ = writeln!(out, "{key}\t{}", field(key)?.as_u64().unwrap_or(0));
+            }
+            Ok(out)
+        }
+        "add" | "remove" => Ok(format!(
+            "applied\t{}\nn_trees\t{}\n",
+            field("applied")?.as_u64().unwrap_or(0),
+            field("n_trees")?.as_u64().unwrap_or(0),
+        )),
+        "compact" => Ok(format!(
+            "generation\t{}\ndistinct\t{}\n",
+            field("generation")?.as_u64().unwrap_or(0),
+            field("distinct")?.as_u64().unwrap_or(0),
+        )),
+        "shutdown" => Ok("shutdown\tok\n".to_string()),
+        _ => unreachable!("ops are validated before the request is sent"),
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,524 @@
+//! The `bfhrf serve` daemon: newline-delimited JSON over TCP.
+//!
+//! # Protocol
+//!
+//! One request per line, one response per line, UTF-8 JSON both ways.
+//! A connection may carry any number of requests.
+//!
+//! ```text
+//! → {"op":"avgrf","queries":["((A,B),(C,D));"],"normalized":false}
+//! ← {"ok":true,"n_taxa":4,"scores":[{"index":0,"left":0,"right":0,"n_refs":2,"avg":0.0}]}
+//! → {"op":"best-query","queries":[...]}
+//! ← {"ok":true,"best_index":1,"avg":0.5,"total":3}
+//! → {"op":"stats"}
+//! ← {"ok":true,"generation":0,"n_trees":10,"n_taxa":16,"distinct":120,
+//!    "sum":1300,"wal_pending":2,"served":17}
+//! → {"op":"add","trees":["((A,B),(C,D));"]}        (admin)
+//! ← {"ok":true,"applied":1,"n_trees":11}
+//! → {"op":"remove","trees":[...]}                   (admin)
+//! → {"op":"compact"}                                (admin)
+//! ← {"ok":true,"generation":1,"wal_pending":0}
+//! → {"op":"shutdown"}
+//! ← {"ok":true,"shutdown":true}
+//! ```
+//!
+//! Failures: `{"ok":false,"code":"error"|"budget","error":"..."}` — the
+//! `budget` code marks per-request resource refusals (`--mem-budget`,
+//! `--timeout-ms`), which clients map to exit code 3.
+//!
+//! # Concurrency
+//!
+//! A fixed pool of worker threads shares one listener. Queries run on an
+//! immutable `Arc` snapshot of the hash: a reader takes the snapshot lock
+//! only long enough to clone the `Arc`, so queries never block behind an
+//! admin mutation — writers (`add`/`remove`/`compact`) mutate the
+//! [`Index`] under its own mutex, then publish a fresh snapshot by
+//! swapping the `Arc`. In-flight queries keep answering from the snapshot
+//! they started with.
+
+use crate::json::{self, Json};
+use crate::{CliError, EXIT_BUDGET, EXIT_ERROR};
+use bfhrf::{BfhrfComparator, Comparator, CoreError, RunBudget, RunGuard};
+use phylo::{parse_newick, TaxaPolicy, TaxonSet, Tree};
+use phylo_index::Index;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Longest accepted request line (bytes) — bounds what a hostile client
+/// can make a worker buffer.
+const MAX_REQUEST_BYTES: usize = 32 << 20;
+/// Socket read timeout per poll: between polls the worker re-checks the
+/// shutdown flag, so an open connection delays shutdown by at most this.
+const POLL_INTERVAL: Duration = Duration::from_millis(250);
+/// A connection that sends nothing for this long is dropped, so an idle
+/// client cannot pin a worker forever.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Everything `bfhrf serve` needs to come up.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Index directory (created by `bfhrf index build`).
+    pub index_dir: PathBuf,
+    /// Bind address, e.g. `127.0.0.1:4077` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Per-request allocation budget in bytes.
+    pub mem_budget: Option<usize>,
+    /// Per-request deadline in milliseconds.
+    pub timeout_ms: Option<u64>,
+}
+
+/// The immutable state queries read: hash + taxa, swapped atomically as a
+/// unit after every admin mutation.
+struct SnapView {
+    bfh: bfhrf::Bfh,
+    taxa: TaxonSet,
+}
+
+struct ServeState {
+    snap: RwLock<Arc<SnapView>>,
+    admin: Mutex<Index>,
+    shutdown: AtomicBool,
+    served: AtomicU64,
+    mem_budget: Option<usize>,
+    timeout_ms: Option<u64>,
+}
+
+/// A typed request failure: protocol code + message.
+struct ReqError {
+    code: &'static str,
+    message: String,
+}
+
+impl ReqError {
+    fn new(message: impl Into<String>) -> Self {
+        ReqError {
+            code: "error",
+            message: message.into(),
+        }
+    }
+
+    fn from_core(e: CoreError) -> Self {
+        let code = match e {
+            CoreError::Cancelled(_) | CoreError::ResourceLimit(_) => "budget",
+            _ => "error",
+        };
+        ReqError {
+            code,
+            message: e.to_string(),
+        }
+    }
+
+    fn from_index(e: phylo_index::IndexError) -> Self {
+        match e {
+            phylo_index::IndexError::Core(c) => ReqError::from_core(c),
+            other => ReqError::new(other.to_string()),
+        }
+    }
+
+    fn into_json(self) -> Json {
+        Json::obj(vec![
+            ("ok", false.into()),
+            ("code", self.code.into()),
+            ("error", self.message.into()),
+        ])
+    }
+}
+
+enum Action {
+    Continue,
+    Shutdown,
+}
+
+/// A bound, not-yet-running daemon: lets callers learn the OS-assigned
+/// port (and write a `--port-file`) before the accept loops start.
+pub struct Server {
+    listener: Arc<TcpListener>,
+    state: Arc<ServeState>,
+    threads: usize,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Open the index and bind the listener.
+    pub fn bind(cfg: &ServeConfig) -> Result<Server, CliError> {
+        let index = Index::open(&cfg.index_dir).map_err(crate::index_fail)?;
+        let snap = Arc::new(SnapView {
+            bfh: index.bfh().clone(),
+            taxa: index.taxa().clone(),
+        });
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| CliError::from(format!("cannot bind {}: {e}", cfg.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| CliError::from(format!("cannot resolve bound address: {e}")))?;
+        Ok(Server {
+            listener: Arc::new(listener),
+            state: Arc::new(ServeState {
+                snap: RwLock::new(snap),
+                admin: Mutex::new(index),
+                shutdown: AtomicBool::new(false),
+                served: AtomicU64::new(0),
+                mem_budget: cfg.mem_budget,
+                timeout_ms: cfg.timeout_ms,
+            }),
+            threads: cfg.threads.max(1),
+            addr,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Run the accept loops until a `shutdown` request lands. Returns the
+    /// number of requests served.
+    pub fn run(self) -> Result<u64, CliError> {
+        let Server {
+            listener,
+            state,
+            threads,
+            addr,
+        } = self;
+        std::thread::scope(|scope| {
+            for i in 0..threads {
+                let listener = Arc::clone(&listener);
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("bfhrf-serve-{i}"))
+                    .spawn_scoped(scope, move || worker_loop(&listener, &state, addr))
+                    .expect("spawning a worker thread");
+            }
+        });
+        Ok(state.served.load(Ordering::Relaxed))
+    }
+}
+
+fn worker_loop(listener: &TcpListener, state: &ServeState, addr: SocketAddr) {
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => handle_connection(stream, state, addr),
+            Err(_) if state.shutdown.load(Ordering::SeqCst) => return,
+            Err(_) => continue,
+        }
+    }
+}
+
+/// After `shutdown` flips, workers may still be parked in `accept`; a
+/// no-op connection per worker unparks them.
+fn wake_workers(addr: SocketAddr, n: usize) {
+    for _ in 0..n {
+        drop(TcpStream::connect_timeout(
+            &addr,
+            Duration::from_millis(200),
+        ));
+    }
+}
+
+enum LineRead {
+    /// `buf` holds one complete request line (newline stripped).
+    Line,
+    /// The peer closed the connection cleanly.
+    Eof,
+    /// Shutdown, idle timeout, oversize line, or a socket error.
+    Close,
+}
+
+/// Read one newline-terminated request, polling in short slices so the
+/// worker notices a shutdown while the socket is quiet. Partial bytes
+/// accumulate in `buf` across polls — a slow sender loses nothing.
+fn read_request_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    state: &ServeState,
+) -> LineRead {
+    buf.clear();
+    let start = Instant::now();
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return LineRead::Close;
+        }
+        match reader.fill_buf() {
+            Ok([]) => return LineRead::Eof,
+            Ok(avail) => {
+                if let Some(pos) = avail.iter().position(|&b| b == b'\n') {
+                    buf.extend_from_slice(&avail[..pos]);
+                    reader.consume(pos + 1);
+                    return LineRead::Line;
+                }
+                let n = avail.len();
+                buf.extend_from_slice(avail);
+                reader.consume(n);
+                if buf.len() > MAX_REQUEST_BYTES {
+                    return LineRead::Close;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if start.elapsed() > IDLE_TIMEOUT {
+                    return LineRead::Close;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return LineRead::Close,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &ServeState, addr: SocketAddr) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        match read_request_line(&mut reader, &mut buf, state) {
+            LineRead::Line => {}
+            LineRead::Eof | LineRead::Close => return,
+        }
+        let line = String::from_utf8_lossy(&buf);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (response, action) = match handle_request(line, state) {
+            Ok((json, action)) => (json, action),
+            Err(e) => (e.into_json(), Action::Continue),
+        };
+        state.served.fetch_add(1, Ordering::Relaxed);
+        if writer
+            .write_all(format!("{response}\n").as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        if matches!(action, Action::Shutdown) {
+            state.shutdown.store(true, Ordering::SeqCst);
+            wake_workers(addr, 64); // generous: covers any thread count
+            return;
+        }
+    }
+}
+
+fn request_guard(state: &ServeState) -> RunGuard {
+    RunGuard::with_budget(RunBudget {
+        max_bytes: state.mem_budget,
+        deadline: state
+            .timeout_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms)),
+    })
+}
+
+/// Parse the request's Newick payloads against the snapshot's frozen
+/// namespace (unknown labels are request errors, not namespace growth).
+fn parse_payload_trees(taxa: &TaxonSet, items: &[Json]) -> Result<Vec<Tree>, ReqError> {
+    let mut scratch = taxa.clone();
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let text = item
+                .as_str()
+                .ok_or_else(|| ReqError::new(format!("tree {i} is not a string")))?;
+            parse_newick(text, &mut scratch, TaxaPolicy::Require)
+                .map_err(|e| ReqError::new(format!("tree {i}: {e}")))
+        })
+        .collect()
+}
+
+fn payload_array<'a>(req: &'a Json, key: &str) -> Result<&'a [Json], ReqError> {
+    req.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ReqError::new(format!("request needs a {key:?} array")))
+}
+
+fn handle_request(line: &str, state: &ServeState) -> Result<(Json, Action), ReqError> {
+    let req = json::parse(line).map_err(ReqError::new)?;
+    let op = req
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ReqError::new("request needs an \"op\" string"))?;
+    match op {
+        "avgrf" => op_avgrf(&req, state).map(|j| (j, Action::Continue)),
+        "best-query" => op_best(&req, state).map(|j| (j, Action::Continue)),
+        "stats" => op_stats(state).map(|j| (j, Action::Continue)),
+        "add" | "remove" => op_mutate(&req, state, op == "add").map(|j| (j, Action::Continue)),
+        "compact" => op_compact(state).map(|j| (j, Action::Continue)),
+        "shutdown" => Ok((
+            Json::obj(vec![("ok", true.into()), ("shutdown", true.into())]),
+            Action::Shutdown,
+        )),
+        other => Err(ReqError::new(format!(
+            "unknown op {other:?} (expected avgrf, best-query, stats, add, remove, compact, shutdown)"
+        ))),
+    }
+}
+
+/// Clone the current snapshot `Arc` out of the cell — the only moment a
+/// query touches a lock.
+fn current_snap(state: &ServeState) -> Arc<SnapView> {
+    Arc::clone(&state.snap.read().expect("snapshot lock poisoned"))
+}
+
+fn scored(
+    snap: &SnapView,
+    req: &Json,
+    guard: &RunGuard,
+) -> Result<Vec<bfhrf::QueryScore>, ReqError> {
+    let queries = parse_payload_trees(&snap.taxa, payload_array(req, "queries")?)?;
+    BfhrfComparator::new(&snap.bfh, &snap.taxa)
+        .parallel(true)
+        .average_all_guarded(&queries, guard)
+        .map_err(ReqError::from_core)
+}
+
+fn op_avgrf(req: &Json, state: &ServeState) -> Result<Json, ReqError> {
+    let snap = current_snap(state);
+    let guard = request_guard(state);
+    let scores = scored(&snap, req, &guard)?;
+    let normalized = req
+        .get("normalized")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    let halved = req.get("halved").and_then(Json::as_bool).unwrap_or(false);
+    let n_taxa = snap.taxa.len();
+    let rows = scores
+        .iter()
+        .map(|s| {
+            let mut avg = if normalized {
+                bfhrf::variants::normalized_average(&s.rf, n_taxa)
+            } else {
+                s.rf.average()
+            };
+            if halved {
+                avg /= 2.0;
+            }
+            Json::obj(vec![
+                ("index", s.index.into()),
+                ("left", s.rf.left.into()),
+                ("right", s.rf.right.into()),
+                ("n_refs", s.rf.n_refs.into()),
+                ("avg", avg.into()),
+            ])
+        })
+        .collect();
+    Ok(Json::obj(vec![
+        ("ok", true.into()),
+        ("n_taxa", n_taxa.into()),
+        ("scores", Json::Arr(rows)),
+    ]))
+}
+
+fn op_best(req: &Json, state: &ServeState) -> Result<Json, ReqError> {
+    let snap = current_snap(state);
+    let guard = request_guard(state);
+    let scores = scored(&snap, req, &guard)?;
+    let best = bfhrf::best_query(&scores)
+        .ok_or_else(|| ReqError::new("the \"queries\" array is empty"))?;
+    Ok(Json::obj(vec![
+        ("ok", true.into()),
+        ("best_index", best.index.into()),
+        ("avg", best.rf.average().into()),
+        ("total", best.rf.total().into()),
+    ]))
+}
+
+fn op_stats(state: &ServeState) -> Result<Json, ReqError> {
+    let stats = state
+        .admin
+        .lock()
+        .map_err(|_| ReqError::new("admin state poisoned"))?
+        .stats();
+    Ok(Json::obj(vec![
+        ("ok", true.into()),
+        ("generation", stats.generation.into()),
+        ("n_trees", stats.n_trees.into()),
+        ("n_taxa", stats.n_taxa.into()),
+        ("distinct", stats.distinct.into()),
+        ("sum", stats.sum.into()),
+        ("wal_pending", stats.wal_pending.into()),
+        ("served", state.served.load(Ordering::Relaxed).into()),
+    ]))
+}
+
+fn op_mutate(req: &Json, state: &ServeState, add: bool) -> Result<Json, ReqError> {
+    let items = payload_array(req, "trees")?;
+    let mut index = state
+        .admin
+        .lock()
+        .map_err(|_| ReqError::new("admin state poisoned"))?;
+    // Validate the whole batch against the namespace up front so a typo in
+    // tree k does not leave trees 0..k applied.
+    let trees = parse_payload_trees(index.taxa(), items)?;
+    if !add {
+        // remove_tree is verify-then-mutate per tree, but a batch can still
+        // fail halfway; dry-run the batch on a scratch hash first.
+        let mut probe = index.bfh().clone();
+        let taxa = index.taxa().clone();
+        for (i, tree) in trees.iter().enumerate() {
+            probe
+                .remove_tree(tree, &taxa)
+                .map_err(|e| ReqError::new(format!("tree {i}: {e}")))?;
+        }
+    }
+    let mut applied = 0usize;
+    for tree in &trees {
+        let r = if add {
+            index.append_add(tree)
+        } else {
+            index.append_remove(tree)
+        };
+        r.map_err(ReqError::from_index)?;
+        applied += 1;
+    }
+    // Publish the mutated hash for queries.
+    let snap = Arc::new(SnapView {
+        bfh: index.bfh().clone(),
+        taxa: index.taxa().clone(),
+    });
+    *state.snap.write().expect("snapshot lock poisoned") = snap;
+    Ok(Json::obj(vec![
+        ("ok", true.into()),
+        ("applied", applied.into()),
+        ("n_trees", index.stats().n_trees.into()),
+    ]))
+}
+
+fn op_compact(state: &ServeState) -> Result<Json, ReqError> {
+    let mut index = state
+        .admin
+        .lock()
+        .map_err(|_| ReqError::new("admin state poisoned"))?;
+    let meta = index.compact().map_err(ReqError::from_index)?;
+    Ok(Json::obj(vec![
+        ("ok", true.into()),
+        ("generation", meta.generation.into()),
+        ("distinct", meta.distinct.into()),
+        ("wal_pending", 0usize.into()),
+    ]))
+}
+
+/// Map a protocol failure code to the process exit code clients use.
+pub fn protocol_code_to_exit(code: &str) -> u8 {
+    if code == "budget" {
+        EXIT_BUDGET
+    } else {
+        EXIT_ERROR
+    }
+}

@@ -1,0 +1,362 @@
+//! In-process integration tests for `bfhrf index` / `bfhrf serve` /
+//! `bfhrf query`: a real TCP server on a loopback port, driven both
+//! through raw sockets and through the `query` subcommand.
+
+use bfhrf_cli::server::{ServeConfig, Server};
+use bfhrf_cli::{json, run_full, EXIT_BUDGET, EXIT_OK};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+const REFS: &str = "((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n((A,F),((C,D),(E,B)));\n";
+const QUERIES: &str = "((A,B),((C,D),(E,F)));\n((A,E),((C,D),(B,F)));\n";
+const EXTRA: &str = "((A,B),((C,E),(D,F)));\n";
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bfhrf-serve-{}-{name}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write(dir: &std::path::Path, name: &str, content: &str) -> String {
+    let p = dir.join(name);
+    std::fs::write(&p, content).unwrap();
+    p.to_str().unwrap().to_string()
+}
+
+fn runv(parts: &[&str]) -> Result<bfhrf_cli::CmdOutcome, bfhrf_cli::CliError> {
+    run_full(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+}
+
+/// Build an index directory from `refs` and return its path.
+fn build_index(dir: &std::path::Path, refs: &str) -> String {
+    let refs_path = write(dir, "refs.nwk", refs);
+    let index_dir = dir.join("index");
+    let out = runv(&[
+        "index",
+        "build",
+        "--refs",
+        &refs_path,
+        "--out",
+        index_dir.to_str().unwrap(),
+    ])
+    .unwrap();
+    assert_eq!(out.code, EXIT_OK);
+    assert!(out.stdout.contains("generation\t0"), "{}", out.stdout);
+    index_dir.to_str().unwrap().to_string()
+}
+
+/// Start a server over `index_dir` on a free loopback port; returns the
+/// address and the join handle for `run()`.
+fn start_server(
+    index_dir: &str,
+    timeout_ms: Option<u64>,
+) -> (String, std::thread::JoinHandle<u64>) {
+    let srv = Server::bind(&ServeConfig {
+        index_dir: PathBuf::from(index_dir),
+        addr: "127.0.0.1:0".into(),
+        threads: 3,
+        mem_budget: None,
+        timeout_ms,
+    })
+    .unwrap();
+    let addr = srv.local_addr().to_string();
+    let handle = std::thread::spawn(move || srv.run().unwrap());
+    (addr, handle)
+}
+
+fn raw_request(addr: &str, request: &str) -> json::Json {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(format!("{request}\n").as_bytes()).unwrap();
+    let mut line = String::new();
+    BufReader::new(&stream).read_line(&mut line).unwrap();
+    json::parse(line.trim()).unwrap()
+}
+
+fn shutdown(addr: &str, handle: std::thread::JoinHandle<u64>) -> u64 {
+    let resp = raw_request(addr, r#"{"op":"shutdown"}"#);
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+    handle.join().unwrap()
+}
+
+/// The acceptance round trip: a served `avgrf` answer must be
+/// byte-identical to the offline `bfhrf avgrf` report on the same data.
+#[test]
+fn served_avgrf_matches_offline() {
+    let dir = scratch("match");
+    let refs_path = write(&dir, "refs.nwk", REFS);
+    let queries_path = write(&dir, "queries.nwk", QUERIES);
+    let index_dir = build_index(&dir, REFS);
+    let (addr, handle) = start_server(&index_dir, None);
+
+    let offline = runv(&["avgrf", "--refs", &refs_path, "--queries", &queries_path]).unwrap();
+    let served = runv(&["query", "--addr", &addr, "--queries", &queries_path]).unwrap();
+    assert_eq!(served.code, EXIT_OK);
+    assert_eq!(served.stdout, offline.stdout);
+
+    // The flag variants agree too.
+    for flag in ["--normalized", "--halved"] {
+        let offline = runv(&[
+            "avgrf",
+            "--refs",
+            &refs_path,
+            "--queries",
+            &queries_path,
+            flag,
+        ])
+        .unwrap();
+        let served = runv(&["query", "--addr", &addr, "--queries", &queries_path, flag]).unwrap();
+        assert_eq!(served.stdout, offline.stdout, "with {flag}");
+    }
+
+    // best-query matches the offline `best` subcommand.
+    let offline = runv(&["best", "--refs", &refs_path, "--queries", &queries_path]).unwrap();
+    let served = runv(&[
+        "query",
+        "--addr",
+        &addr,
+        "--op",
+        "best-query",
+        "--queries",
+        &queries_path,
+    ])
+    .unwrap();
+    assert_eq!(served.stdout, offline.stdout);
+
+    let served_total = shutdown(&addr, handle);
+    assert!(served_total >= 5, "served {served_total}");
+}
+
+/// Admin ops over the wire: add/remove/compact mutate the served hash and
+/// persist across a server restart.
+#[test]
+fn admin_ops_mutate_and_persist() {
+    let dir = scratch("admin");
+    let queries_path = write(&dir, "queries.nwk", QUERIES);
+    let extra_path = write(&dir, "extra.nwk", EXTRA);
+    let index_dir = build_index(&dir, REFS);
+    let (addr, handle) = start_server(&index_dir, None);
+
+    let before = raw_request(&addr, r#"{"op":"stats"}"#);
+    assert_eq!(before.get("n_trees").unwrap().as_u64(), Some(3));
+    assert_eq!(before.get("generation").unwrap().as_u64(), Some(0));
+
+    // Add a tree over the wire; stats and answers change immediately.
+    let add = runv(&[
+        "query",
+        "--addr",
+        &addr,
+        "--op",
+        "add",
+        "--trees",
+        &extra_path,
+    ])
+    .unwrap();
+    assert!(add.stdout.contains("applied\t1"), "{}", add.stdout);
+    assert!(add.stdout.contains("n_trees\t4"), "{}", add.stdout);
+    let stats = raw_request(&addr, r#"{"op":"stats"}"#);
+    assert_eq!(stats.get("n_trees").unwrap().as_u64(), Some(4));
+    assert_eq!(stats.get("wal_pending").unwrap().as_u64(), Some(1));
+
+    // The served answer now reflects 4 reference trees.
+    let served = runv(&["query", "--addr", &addr, "--queries", &queries_path]).unwrap();
+    let offline_refs = write(&dir, "refs4.nwk", &format!("{REFS}{EXTRA}"));
+    let offline = runv(&["avgrf", "--refs", &offline_refs, "--queries", &queries_path]).unwrap();
+    assert_eq!(served.stdout, offline.stdout);
+
+    // Remove it again, then compact: generation bumps, WAL drains.
+    let rm = runv(&[
+        "query",
+        "--addr",
+        &addr,
+        "--op",
+        "remove",
+        "--trees",
+        &extra_path,
+    ])
+    .unwrap();
+    assert!(rm.stdout.contains("n_trees\t3"), "{}", rm.stdout);
+    let compacted = runv(&["query", "--addr", &addr, "--op", "compact"]).unwrap();
+    assert!(
+        compacted.stdout.contains("generation\t1"),
+        "{}",
+        compacted.stdout
+    );
+    let stats = runv(&["query", "--addr", &addr, "--op", "stats"]).unwrap();
+    assert!(stats.stdout.contains("wal_pending\t0"), "{}", stats.stdout);
+
+    shutdown(&addr, handle);
+
+    // Restart over the same directory: the compacted state survived.
+    let (addr, handle) = start_server(&index_dir, None);
+    let stats = raw_request(&addr, r#"{"op":"stats"}"#);
+    assert_eq!(stats.get("generation").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("n_trees").unwrap().as_u64(), Some(3));
+    shutdown(&addr, handle);
+}
+
+/// Malformed requests are answered (not dropped), the connection stays
+/// usable, and removing an unknown tree fails without mutating anything.
+#[test]
+fn protocol_errors_are_answered_and_recoverable() {
+    let dir = scratch("errors");
+    let index_dir = build_index(&dir, REFS);
+    let (addr, handle) = start_server(&index_dir, None);
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut ask = |req: &str| -> json::Json {
+        stream.write_all(format!("{req}\n").as_bytes()).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        json::parse(line.trim()).unwrap()
+    };
+
+    for bad in [
+        "this is not json",
+        r#"{"no_op":1}"#,
+        r#"{"op":"frobnicate"}"#,
+        r#"{"op":"avgrf"}"#,
+        r#"{"op":"avgrf","queries":[42]}"#,
+        r#"{"op":"avgrf","queries":["((A,Zed),B);"]}"#,
+        r#"{"op":"remove","trees":["((A,B),((C,E),(D,F)));"]}"#,
+    ] {
+        let resp = ask(bad);
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false), "{bad}");
+        assert!(resp.get("error").unwrap().as_str().is_some(), "{bad}");
+    }
+    // Same connection still answers good requests.
+    let resp = ask(r#"{"op":"stats"}"#);
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(resp.get("n_trees").unwrap().as_u64(), Some(3));
+    // Shut down while the connection is still open: the polling read loop
+    // must notice the flag instead of blocking until the idle timeout.
+    shutdown(&addr, handle);
+    drop(reader);
+    drop(stream);
+}
+
+/// Per-request budgets surface as the protocol's `budget` code, which the
+/// query client maps to exit code 3 — and the server keeps serving. A
+/// zero-millisecond deadline means every scoring request is already over
+/// budget when its guard is armed.
+#[test]
+fn budget_refusal_is_exit_3_and_recoverable() {
+    let dir = scratch("budget");
+    let queries_path = write(&dir, "queries.nwk", QUERIES);
+    let index_dir = build_index(&dir, REFS);
+    let (addr, handle) = start_server(&index_dir, Some(0));
+
+    let err = runv(&["query", "--addr", &addr, "--queries", &queries_path]).unwrap_err();
+    assert_eq!(err.code, EXIT_BUDGET, "{}", err.message);
+    assert!(err.message.contains("server:"), "{}", err.message);
+
+    // stats carries no per-request guard, so the daemon still answers.
+    let stats = runv(&["query", "--addr", &addr, "--op", "stats"]).unwrap();
+    assert!(stats.stdout.contains("n_trees\t3"), "{}", stats.stdout);
+    shutdown(&addr, handle);
+}
+
+/// Concurrent clients hammering avgrf all get byte-identical answers.
+#[test]
+fn concurrent_queries_agree() {
+    let dir = scratch("concurrent");
+    let queries_path = write(&dir, "queries.nwk", QUERIES);
+    let index_dir = build_index(&dir, REFS);
+    let (addr, handle) = start_server(&index_dir, None);
+
+    let want = runv(&["query", "--addr", &addr, "--queries", &queries_path])
+        .unwrap()
+        .stdout;
+    let answers: Vec<String> = std::thread::scope(|scope| {
+        (0..8)
+            .map(|_| {
+                let addr = addr.clone();
+                let queries_path = queries_path.clone();
+                scope.spawn(move || {
+                    (0..5)
+                        .map(|_| {
+                            runv(&["query", "--addr", &addr, "--queries", &queries_path])
+                                .unwrap()
+                                .stdout
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    assert_eq!(answers.len(), 40);
+    for a in &answers {
+        assert_eq!(a, &want);
+    }
+    let served = shutdown(&addr, handle);
+    assert!(served >= 41, "served {served}");
+}
+
+/// `serve --port-file` + `query --port-file` close the loop without the
+/// caller ever knowing the port; `index inspect` reads the same state.
+#[test]
+fn port_file_and_inspect() {
+    let dir = scratch("portfile");
+    let queries_path = write(&dir, "queries.nwk", QUERIES);
+    let index_dir = build_index(&dir, REFS);
+
+    let inspect = runv(&["index", "inspect", "--index", &index_dir, "--check"]).unwrap();
+    assert!(inspect.stdout.contains("n_trees\t3"), "{}", inspect.stdout);
+    assert!(inspect.stdout.contains("check\tok"), "{}", inspect.stdout);
+
+    // Drive serve through the real subcommand in a thread; sync on the
+    // port file like the CI smoke script does.
+    let port_file = dir.join("port");
+    let serve_args: Vec<String> = [
+        "serve",
+        "--index",
+        &index_dir,
+        "--addr",
+        "127.0.0.1:0",
+        "--threads",
+        "2",
+        "--port-file",
+        port_file.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let handle = std::thread::spawn(move || run_full(&serve_args).unwrap());
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !port_file.exists() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "port file never appeared"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    let out = runv(&[
+        "query",
+        "--port-file",
+        port_file.to_str().unwrap(),
+        "--queries",
+        &queries_path,
+    ])
+    .unwrap();
+    assert!(out.stdout.starts_with("query\tavg_rf\n"), "{}", out.stdout);
+
+    let bye = runv(&[
+        "query",
+        "--port-file",
+        port_file.to_str().unwrap(),
+        "--op",
+        "shutdown",
+    ])
+    .unwrap();
+    assert_eq!(bye.stdout, "shutdown\tok\n");
+    let outcome = handle.join().unwrap();
+    assert!(outcome.stdout.starts_with("served\t"), "{}", outcome.stdout);
+}

@@ -16,20 +16,19 @@
 //! is skipped entirely. [`Bfh::build_sharded`] exploits the partition for
 //! construction: splits are extracted into per-worker spill buffers,
 //! routed by hash prefix, and each shard's map is then folded
-//! independently — no cross-thread merge step, unlike the fold/reduce of
-//! the deprecated `build_parallel`. Because the router is a pure function
+//! independently — no cross-thread merge step, unlike a rayon fold/reduce
+//! of per-worker hashes. Because the router is a pure function
 //! of the mask words, the shard decomposition is deterministic and the
 //! resulting frequencies are bitwise-identical to a sequential build.
 
 use crate::error::CoreError;
 use crate::guard::{isolate, RunGuard};
-use phylo::{Bipartition, BipartitionScratch, TaxaPolicy, TaxonSet, Tree};
+use phylo::{Bipartition, BipartitionScratch, TaxonSet, Tree};
 use phylo_bitset::{
     bits_map_with_capacity, map_get_words, map_get_words_mut, shard_of, split_hash128, words_for,
     Bits, BitsMap,
 };
 use rayon::prelude::*;
-use std::io::BufRead;
 
 /// Bipartition frequency hash over a reference collection.
 ///
@@ -120,28 +119,6 @@ impl Bfh {
             bfh.add_tree_with(tree, taxa, &mut scratch);
         }
         bfh
-    }
-
-    /// Build in parallel with rayon: per-thread local hashes fold the trees
-    /// they are handed, then merge pairwise. Produces exactly the same
-    /// counts as [`Bfh::build`] — addition is commutative, so the work
-    /// split cannot change the result.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `BfhBuilder::new().parallel(true)` (fold-merge) or \
-                `Bfh::build_sharded` (no merge step, usually faster)"
-    )]
-    pub fn build_parallel(trees: &[Tree], taxa: &TaxonSet) -> Self {
-        trees
-            .par_iter()
-            .fold(
-                || Bfh::empty(taxa.len()),
-                |mut acc, tree| {
-                    acc.add_tree(tree, taxa);
-                    acc
-                },
-            )
-            .reduce(|| Bfh::empty(taxa.len()), |a, b| a.merged(b))
     }
 
     /// Build a `shards`-way partitioned hash in two phases with **no merge
@@ -278,40 +255,51 @@ impl Bfh {
         })
     }
 
-    /// Build from a Newick stream without materializing the collection —
-    /// memory stays `O(hash)` regardless of `r`. Labels must already be in
-    /// `taxa` (the fixed-taxa requirement); pass a namespace pre-grown from
-    /// the same data, or intern labels first with [`TaxaPolicy::Grow`]
-    /// parsing.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `BfhBuilder::new().from_newick_reader(..)`"
-    )]
-    pub fn build_streaming<R: BufRead>(
-        reader: R,
-        taxa: &mut TaxonSet,
-        policy: TaxaPolicy,
-    ) -> Result<Self, phylo::PhyloError> {
-        let mut stream = phylo::newick::NewickStream::new(reader, policy);
-        // Two-phase is impossible when growing: bitmask width would change
-        // as labels appear. Collect trees first if growing, else stream.
-        match policy {
-            TaxaPolicy::Grow => {
-                let mut trees = Vec::new();
-                while let Some(t) = stream.next_tree(taxa)? {
-                    trees.push(t);
-                }
-                Ok(Bfh::build(&trees, taxa))
-            }
-            TaxaPolicy::Require => {
-                let mut bfh = Bfh::empty(taxa.len());
-                let mut scratch = BipartitionScratch::new();
-                while let Some(t) = stream.next_tree(taxa)? {
-                    bfh.add_tree_with(&t, taxa, &mut scratch);
-                }
-                Ok(bfh)
-            }
+    /// Reassemble a hash from raw `(mask, frequency)` entries — the
+    /// validating reconstruction path used by the on-disk snapshot reader
+    /// (`phylo-index`). Entries are routed into the `shards`-way layout
+    /// exactly as an in-memory build would route them, so the result is
+    /// bitwise-identical to the hash the entries were exported from.
+    ///
+    /// Every entry is validated: the mask width must match `n_taxa`, the
+    /// frequency must be in `1..=n_trees`, and duplicate masks are
+    /// rejected — a corrupted snapshot surfaces as
+    /// [`CoreError::Structure`], never as silently wrong frequencies.
+    pub fn from_entries<I>(
+        n_taxa: usize,
+        shards: usize,
+        n_trees: usize,
+        entries: I,
+    ) -> Result<Self, CoreError>
+    where
+        I: IntoIterator<Item = (Bits, u32)>,
+    {
+        if shards == 0 {
+            return Err(CoreError::Structure(
+                "a Bfh needs at least one shard".into(),
+            ));
         }
+        let mut bfh = Bfh::empty_sharded(n_taxa, shards);
+        bfh.n_trees = n_trees;
+        for (bits, freq) in entries {
+            if bits.len() != n_taxa {
+                return Err(CoreError::Structure(format!(
+                    "entry mask is {} bits wide, namespace has {n_taxa} taxa",
+                    bits.len()
+                )));
+            }
+            if freq == 0 || freq as usize > n_trees {
+                return Err(CoreError::Structure(format!(
+                    "entry {bits} has frequency {freq}, expected 1..={n_trees}"
+                )));
+            }
+            let si = bfh.shard_index(bits.words());
+            if bfh.shards[si].insert(bits, freq).is_some() {
+                return Err(CoreError::Structure("duplicate mask among entries".into()));
+            }
+            bfh.sum += u64::from(freq);
+        }
+        Ok(bfh)
     }
 
     /// Add one reference tree's bipartitions (incremental update).
@@ -379,6 +367,14 @@ impl Bfh {
             self.sum -= 1;
         }
         self.n_trees -= 1;
+        // Long add/remove churn evicts entries but hashbrown never returns
+        // bucket memory on its own; give it back once occupancy falls below
+        // a quarter so the footprint tracks the live collection.
+        for shard in &mut self.shards {
+            if shard.capacity() > 64 && shard.len() < shard.capacity() / 4 {
+                shard.shrink_to_fit();
+            }
+        }
         Ok(())
     }
 
@@ -542,12 +538,48 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the fold-merge path stays tested until removal
-    fn parallel_build_matches_sequential() {
-        let c = coll(&"((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n".repeat(40));
-        let seq = Bfh::build(&c.trees, &c.taxa);
-        let par = Bfh::build_parallel(&c.trees, &c.taxa);
-        assert_same_counts(&seq, &par);
+    fn from_entries_round_trips_any_build() {
+        let c = coll(&"((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n".repeat(10));
+        let built = Bfh::build_sharded(&c.trees, &c.taxa, 3);
+        let entries: Vec<(Bits, u32)> = built.iter().map(|(b, f)| (b.clone(), f)).collect();
+        // Reassemble under a different shard layout: same frequencies.
+        for shards in [1usize, 2, 8] {
+            let back = Bfh::from_entries(
+                c.taxa.len(),
+                shards,
+                built.n_trees(),
+                entries.iter().cloned(),
+            )
+            .unwrap();
+            assert_eq!(back.n_shards(), shards);
+            assert_same_counts(&built, &back);
+        }
+    }
+
+    #[test]
+    fn from_entries_rejects_corrupt_input() {
+        let c = coll("((A,B),((C,D),(E,F)));");
+        let built = Bfh::build(&c.trees, &c.taxa);
+        let entries: Vec<(Bits, u32)> = built.iter().map(|(b, f)| (b.clone(), f)).collect();
+        // zero shards
+        assert!(matches!(
+            Bfh::from_entries(6, 0, 1, entries.iter().cloned()),
+            Err(CoreError::Structure(_))
+        ));
+        // wrong mask width
+        let wrong = vec![(Bits::from_bitstring("0011").unwrap(), 1u32)];
+        assert!(matches!(
+            Bfh::from_entries(6, 1, 1, wrong),
+            Err(CoreError::Structure(_))
+        ));
+        // frequency out of range (0, and > n_trees)
+        let (mask, _) = entries[0].clone();
+        assert!(Bfh::from_entries(6, 1, 1, vec![(mask.clone(), 0u32)]).is_err());
+        assert!(Bfh::from_entries(6, 1, 1, vec![(mask.clone(), 2u32)]).is_err());
+        // duplicate mask
+        let dup = vec![(mask.clone(), 1u32), (mask, 1u32)];
+        let err = Bfh::from_entries(6, 1, 1, dup).unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
     }
 
     #[test]
@@ -594,16 +626,28 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // exercises the deprecated streaming entry point
-    fn streaming_build_matches_batch() {
-        let text = "((A,B),(C,D));\n((A,C),(B,D));\n((A,D),(B,C));\n";
-        let batch_coll = coll(text);
-        let batch = Bfh::build(&batch_coll.trees, &batch_coll.taxa);
-        let mut taxa = TaxonSet::new();
-        let streamed = Bfh::build_streaming(text.as_bytes(), &mut taxa, TaxaPolicy::Grow).unwrap();
-        assert_eq!(streamed.sum(), batch.sum());
-        assert_eq!(streamed.distinct(), batch.distinct());
-        assert_eq!(streamed.n_trees(), 3);
+    fn churn_shrinks_capacity_back_down() {
+        // Add a large batch of near-disjoint-split trees, then remove them
+        // all: the hash must end empty AND give bucket memory back, not
+        // hold the high-water capacity forever.
+        let c = phylo_sim::perturb::random_collection(24, 150, 0x5eed);
+        let mut bfh = Bfh::empty(c.taxa.len());
+        for t in &c.trees {
+            bfh.add_tree(t, &c.taxa);
+        }
+        let peak = bfh.shards[0].capacity();
+        for t in &c.trees {
+            bfh.remove_tree(t, &c.taxa).unwrap();
+        }
+        assert_eq!(bfh.n_trees(), 0);
+        assert_eq!(bfh.sum(), 0);
+        assert_eq!(bfh.distinct(), 0);
+        assert!(
+            bfh.shards[0].capacity() <= 64,
+            "capacity {} did not shrink from peak {peak}",
+            bfh.shards[0].capacity()
+        );
+        assert!(peak > 64, "test needs enough distinct splits to matter");
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! [`BfhBuilder`] — one front door for every way of constructing a
 //! [`Bfh`].
 //!
-//! The hash grew a constructor per strategy (`build`, `build_parallel`,
-//! `build_streaming`, `build_sharded`), each with its own error behavior.
-//! The builder replaces that zoo: pick the knobs, then call one of the two
-//! `from_*` terminals, and get a `Result` instead of a panic on bad input.
+//! The hash once grew a constructor per strategy, each with its own error
+//! behavior. The builder replaces that zoo: pick the knobs, then call one
+//! of the `from_*` terminals, and get a `Result` instead of a panic on bad
+//! input.
 //!
 //! ```
 //! use bfhrf::BfhBuilder;

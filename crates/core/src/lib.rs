@@ -92,10 +92,6 @@ pub use day::day_rf;
 pub use error::CoreError;
 pub use guard::{CancelToken, Degradation, RunBudget, RunGuard};
 pub use hashrf::{HashRf, HashRfConfig};
-#[allow(deprecated)]
-pub use rf::bfhrf_parallel;
 pub use rf::{bfhrf_all, bfhrf_average, QueryScore, RfAverage};
 pub use select::best_query;
 pub use seqrf::sequential_rf;
-#[allow(deprecated)]
-pub use seqrf::sequential_rf_parallel;

@@ -8,7 +8,6 @@
 use crate::bfh::Bfh;
 use crate::CoreError;
 use phylo::{BipartitionScratch, TaxaPolicy, TaxonSet, Tree};
-use rayon::prelude::*;
 use std::io::BufRead;
 
 /// Exact average-RF result for one query tree against a collection.
@@ -183,40 +182,6 @@ pub fn bfhrf_all(
         .collect())
 }
 
-/// Average RF of every query tree, parallelized at the tree level with
-/// rayon — the paper's "embarrassingly parallel" comparison loop. Output
-/// order and values are identical to [`bfhrf_all`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `BfhrfComparator::new(..).parallel(true).average_all(..)`"
-)]
-pub fn bfhrf_parallel(
-    queries: &[Tree],
-    taxa: &TaxonSet,
-    bfh: &Bfh,
-) -> Result<Vec<QueryScore>, CoreError> {
-    check_nonempty(queries, bfh)?;
-    // Chunked so each worker reuses one scratch across its queries.
-    let chunk = queries.len().div_ceil(rayon::current_num_threads()).max(1);
-    Ok(queries
-        .par_chunks(chunk)
-        .enumerate()
-        .map(|(ci, qs)| {
-            let mut scratch = BipartitionScratch::new();
-            qs.iter()
-                .enumerate()
-                .map(|(i, q)| QueryScore {
-                    index: ci * chunk + i,
-                    rf: bfhrf_average_scratch(q, taxa, bfh, &mut scratch),
-                })
-                .collect::<Vec<_>>()
-        })
-        .collect::<Vec<_>>()
-        .into_iter()
-        .flatten()
-        .collect())
-}
-
 /// Average RF of every query tree read from a Newick stream, without ever
 /// holding more than one query in memory. Labels must resolve against
 /// `taxa` (the namespace the hash was built over).
@@ -292,13 +257,16 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the wrapper must keep matching bfhrf_all until removal
-    fn all_and_parallel_agree() {
+    fn all_and_parallel_comparator_agree() {
         let refs = "((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n((A,F),((C,D),(E,B)));";
         let queries = "((A,B),((C,D),(E,F)));\n((A,E),((C,D),(B,F)));";
         let (refs_coll, qs, bfh) = setup(refs, queries);
         let seq = bfhrf_all(&qs, &refs_coll.taxa, &bfh).unwrap();
-        let par = bfhrf_parallel(&qs, &refs_coll.taxa, &bfh).unwrap();
+        use crate::Comparator as _;
+        let par = crate::BfhrfComparator::new(&bfh, &refs_coll.taxa)
+            .parallel(true)
+            .average_all(&qs)
+            .unwrap();
         assert_eq!(seq, par);
         assert_eq!(seq.len(), 2);
         assert_eq!(seq[0].index, 0);

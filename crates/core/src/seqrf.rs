@@ -10,7 +10,6 @@
 use crate::rf::{QueryScore, RfAverage};
 use crate::CoreError;
 use phylo::{BipartitionSet, TaxonSet, Tree};
-use rayon::prelude::*;
 
 fn check(queries: &[Tree], refs: &[Tree]) -> Result<(), CoreError> {
     if refs.is_empty() {
@@ -77,29 +76,6 @@ pub fn sequential_rf(
         .collect())
 }
 
-/// Algorithm 1, parallel (DSMP): the query loop runs on the rayon pool.
-/// Results are identical to [`sequential_rf`] in value and order.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `SetComparator::new(..).parallel(true).average_all(..)`"
-)]
-pub fn sequential_rf_parallel(
-    queries: &[Tree],
-    refs: &[Tree],
-    taxa: &TaxonSet,
-) -> Result<Vec<QueryScore>, CoreError> {
-    check(queries, refs)?;
-    let ref_sets: Vec<BipartitionSet> = refs
-        .par_iter()
-        .map(|t| BipartitionSet::from_tree(t, taxa))
-        .collect();
-    Ok(queries
-        .par_iter()
-        .enumerate()
-        .map(|(i, q)| score_against(i, q, taxa, &ref_sets))
-        .collect())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,11 +110,14 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the wrapper must keep matching sequential_rf until removal
-    fn dsmp_matches_ds() {
+    fn dsmp_comparator_matches_ds() {
         let (refs, queries) = six_taxa_collections();
         let ds = sequential_rf(&queries, &refs.trees, &refs.taxa).unwrap();
-        let dsmp = sequential_rf_parallel(&queries, &refs.trees, &refs.taxa).unwrap();
+        use crate::Comparator as _;
+        let dsmp = crate::SetComparator::new(&refs.trees, &refs.taxa)
+            .parallel(true)
+            .average_all(&queries)
+            .unwrap();
         assert_eq!(ds, dsmp);
     }
 

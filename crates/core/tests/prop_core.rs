@@ -7,9 +7,6 @@
 //! agree **exactly** — integer for integer — which is a far stronger check
 //! than any fixed example.
 
-#[allow(deprecated)] // the deprecated wrappers stay equivalence-tested until removal
-use bfhrf::{bfhrf_parallel, sequential_rf_parallel};
-
 use bfhrf::matrix::rf_matrix_exact;
 use bfhrf::{
     bfhrf_all, day_rf, sequential_rf, Bfh, BfhBuilder, BfhrfComparator, Comparator, DayComparator,
@@ -78,7 +75,6 @@ proptest! {
     }
 
     #[test]
-    #[allow(deprecated)] // deprecated wrappers must stay value-identical until removal
     fn parallel_variants_match_sequential(
         n in 5usize..20,
         r in 2usize..10,
@@ -87,16 +83,25 @@ proptest! {
         let refs = collection(n, r, seed, true);
         let queries = collection(n, 3, seed ^ 7, true);
         let bfh_seq = Bfh::build(&refs.trees, &refs.taxa);
-        let bfh_par = Bfh::build_parallel(&refs.trees, &refs.taxa);
+        let bfh_par = BfhBuilder::new()
+            .parallel(true)
+            .from_trees(&refs.trees, &refs.taxa)
+            .unwrap();
         prop_assert_eq!(bfh_seq.sum(), bfh_par.sum());
         prop_assert_eq!(bfh_seq.distinct(), bfh_par.distinct());
 
         let a = bfhrf_all(&queries.trees, &refs.taxa, &bfh_seq).unwrap();
-        let b = bfhrf_parallel(&queries.trees, &refs.taxa, &bfh_par).unwrap();
+        let b = BfhrfComparator::new(&bfh_par, &refs.taxa)
+            .parallel(true)
+            .average_all(&queries.trees)
+            .unwrap();
         prop_assert_eq!(a, b);
 
         let ds = sequential_rf(&queries.trees, &refs.trees, &refs.taxa).unwrap();
-        let dsmp = sequential_rf_parallel(&queries.trees, &refs.trees, &refs.taxa).unwrap();
+        let dsmp = SetComparator::new(&refs.trees, &refs.taxa)
+            .parallel(true)
+            .average_all(&queries.trees)
+            .unwrap();
         prop_assert_eq!(ds, dsmp);
     }
 
@@ -188,6 +193,45 @@ proptest! {
         let exact = rf_matrix_exact(&coll.trees, &coll.taxa, usize::MAX).unwrap();
         let h = HashRf::compute(&coll.trees, &coll.taxa, &HashRfConfig::default()).unwrap();
         prop_assert_eq!(h.error_rate_against(&exact), 0.0);
+    }
+
+    #[test]
+    fn churned_hash_equals_fresh_build(
+        n in 5usize..16,
+        r in 4usize..12,
+        seed in any::<u64>(),
+        coalescent in any::<bool>(),
+    ) {
+        // Long add/remove churn: add everything, remove a prefix, re-add it,
+        // remove a suffix. The survivor hash must be indistinguishable from
+        // a fresh build over the surviving trees — same distinct count in
+        // BOTH directions (no leaked zero-frequency entries), same sum,
+        // same n_trees.
+        let coll = collection(n, r, seed, coalescent);
+        let cut = r / 2;
+        let mut churned = Bfh::empty(coll.taxa.len());
+        for t in &coll.trees {
+            churned.add_tree(t, &coll.taxa);
+        }
+        for t in &coll.trees[..cut] {
+            churned.remove_tree(t, &coll.taxa).unwrap();
+        }
+        for t in &coll.trees[..cut] {
+            churned.add_tree(t, &coll.taxa);
+        }
+        for t in &coll.trees[cut..] {
+            churned.remove_tree(t, &coll.taxa).unwrap();
+        }
+        let fresh = Bfh::build(&coll.trees[..cut], &coll.taxa);
+        prop_assert_eq!(churned.n_trees(), fresh.n_trees());
+        prop_assert_eq!(churned.sum(), fresh.sum());
+        prop_assert_eq!(churned.distinct(), fresh.distinct());
+        for (bits, count) in fresh.iter() {
+            prop_assert_eq!(churned.frequency(bits), count);
+        }
+        for (bits, count) in churned.iter() {
+            prop_assert_eq!(fresh.frequency(bits), count);
+        }
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! The on-disk index: one snapshot plus one WAL in a directory, with
+//! compaction folding the log back into a fresh snapshot.
+//!
+//! # Directory layout
+//!
+//! ```text
+//! <dir>/snapshot.bfh       the current full snapshot (generation g)
+//! <dir>/snapshot.bfh.tmp   compaction scratch, renamed into place
+//! <dir>/wal.log            add/remove batches appended since generation g
+//! ```
+//!
+//! # Crash safety
+//!
+//! Every mutation is WAL-first (for adds) or verified-then-logged (for
+//! removes), and both the WAL append and the snapshot write fsync before
+//! returning. Compaction writes the next-generation snapshot to a temp
+//! name, renames it over the old one, and only then resets the WAL. The
+//! rename is the commit point:
+//!
+//! * crash **before** the rename → old snapshot + old WAL, nothing lost;
+//! * crash **after** the rename but before the WAL reset → new snapshot
+//!   (generation *g+1*) next to a WAL still marked *g*. [`Index::open`]
+//!   sees the stale generation and discards the log: its batches are
+//!   already folded into the snapshot, so replaying them would double-count.
+//!
+//! A WAL from the *future* (generation greater than the snapshot's) can
+//! only mean manual file shuffling and is reported as corruption.
+
+use crate::error::IndexError;
+use crate::snapshot::{read_snapshot, write_snapshot, Snapshot, SnapshotMeta};
+use crate::wal::{Wal, WalOp, WalRecord};
+use bfhrf::{Bfh, RunGuard};
+use phylo::{parse_newick, write_newick, TaxaPolicy, TaxonSet, Tree};
+use std::path::{Path, PathBuf};
+
+/// File name of the snapshot inside an index directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bfh";
+/// File name of the WAL inside an index directory.
+pub const WAL_FILE: &str = "wal.log";
+const SNAPSHOT_TMP: &str = "snapshot.bfh.tmp";
+
+/// Live counters describing an opened index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Current compaction generation.
+    pub generation: u64,
+    /// Trees currently folded into the hash (snapshot plus WAL deltas).
+    pub n_trees: usize,
+    /// Taxa in the namespace.
+    pub n_taxa: usize,
+    /// Distinct splits currently stored.
+    pub distinct: usize,
+    /// Sum of stored frequencies (`sumBFHR`).
+    pub sum: u64,
+    /// WAL records appended since the last compaction.
+    pub wal_pending: usize,
+}
+
+/// A persistent BFH index opened for reading and incremental mutation.
+pub struct Index {
+    dir: PathBuf,
+    bfh: Bfh,
+    taxa: TaxonSet,
+    generation: u64,
+    wal: Wal,
+    wal_pending: usize,
+}
+
+fn replay(bfh: &mut Bfh, taxa: &TaxonSet, records: &[WalRecord]) -> Result<(), IndexError> {
+    // The taxa namespace is frozen at snapshot time; WAL payloads must
+    // resolve against it, so replay clones the set only to satisfy the
+    // parser's `&mut` and asserts it never grew.
+    let mut scratch = taxa.clone();
+    for (i, rec) in records.iter().enumerate() {
+        let tree = parse_newick(&rec.newick, &mut scratch, TaxaPolicy::Require).map_err(|e| {
+            IndexError::Corrupt {
+                section: "wal-record",
+                detail: format!("record {i} does not parse against the index taxa: {e}"),
+            }
+        })?;
+        match rec.op {
+            WalOp::Add => bfh.add_tree(&tree, taxa),
+            WalOp::Remove => bfh
+                .remove_tree(&tree, taxa)
+                .map_err(|e| IndexError::Corrupt {
+                    section: "wal-record",
+                    detail: format!("record {i} removes a tree the hash does not hold: {e}"),
+                })?,
+        }
+    }
+    Ok(())
+}
+
+impl Index {
+    /// Create a fresh index at `dir` (created if missing) from an
+    /// in-memory hash, writing a generation-0 snapshot and an empty WAL.
+    /// Refuses to overwrite an existing snapshot.
+    pub fn create(dir: &Path, bfh: Bfh, taxa: TaxonSet) -> Result<Index, IndexError> {
+        std::fs::create_dir_all(dir).map_err(|e| IndexError::io(dir, e))?;
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        if snap_path.exists() {
+            return Err(IndexError::io(
+                &snap_path,
+                std::io::Error::new(
+                    std::io::ErrorKind::AlreadyExists,
+                    "index already exists here (use open, or pick a fresh directory)",
+                ),
+            ));
+        }
+        let tmp = dir.join(SNAPSHOT_TMP);
+        write_snapshot(&tmp, &bfh, &taxa, 0)?;
+        std::fs::rename(&tmp, &snap_path).map_err(|e| IndexError::io(&snap_path, e))?;
+        let wal = Wal::create(&dir.join(WAL_FILE), 0)?;
+        Ok(Index {
+            dir: dir.to_path_buf(),
+            bfh,
+            taxa,
+            generation: 0,
+            wal,
+            wal_pending: 0,
+        })
+    }
+
+    /// Open the index at `dir` with the permissive default guard.
+    pub fn open(dir: &Path) -> Result<Index, IndexError> {
+        Index::open_guarded(dir, &RunGuard::default())
+    }
+
+    /// Open the index at `dir`: load and validate the snapshot, then
+    /// replay the WAL on top of it (reusing the same incremental
+    /// `add_tree`/`remove_tree` paths the live index uses). `guard` bounds
+    /// the snapshot load.
+    pub fn open_guarded(dir: &Path, guard: &RunGuard) -> Result<Index, IndexError> {
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        if !snap_path.exists() {
+            return Err(IndexError::NotAnIndex(format!(
+                "no {SNAPSHOT_FILE} in {}",
+                dir.display()
+            )));
+        }
+        let Snapshot {
+            mut bfh,
+            taxa,
+            meta,
+        } = read_snapshot(&snap_path, guard)?;
+
+        let wal_path = dir.join(WAL_FILE);
+        let (wal, wal_pending) = if wal_path.exists() {
+            let (wal, records) = Wal::open(&wal_path)?;
+            match wal.generation().cmp(&meta.generation) {
+                std::cmp::Ordering::Equal => {
+                    replay(&mut bfh, &taxa, &records)?;
+                    (wal, records.len())
+                }
+                std::cmp::Ordering::Less => {
+                    // Crash window between snapshot rename and WAL reset:
+                    // these batches are already folded into the snapshot.
+                    drop(wal);
+                    (Wal::create(&wal_path, meta.generation)?, 0)
+                }
+                std::cmp::Ordering::Greater => {
+                    return Err(IndexError::Corrupt {
+                        section: "wal-header",
+                        detail: format!(
+                            "WAL generation {} is ahead of snapshot generation {}",
+                            wal.generation(),
+                            meta.generation
+                        ),
+                    });
+                }
+            }
+        } else {
+            (Wal::create(&wal_path, meta.generation)?, 0)
+        };
+
+        Ok(Index {
+            dir: dir.to_path_buf(),
+            bfh,
+            taxa,
+            generation: meta.generation,
+            wal,
+            wal_pending,
+        })
+    }
+
+    /// The live hash (snapshot plus replayed/pending WAL batches).
+    pub fn bfh(&self) -> &Bfh {
+        &self.bfh
+    }
+
+    /// The frozen taxon namespace.
+    pub fn taxa(&self) -> &TaxonSet {
+        &self.taxa
+    }
+
+    /// The directory this index lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            generation: self.generation,
+            n_trees: self.bfh.n_trees(),
+            n_taxa: self.bfh.n_taxa(),
+            distinct: self.bfh.distinct(),
+            sum: self.bfh.sum(),
+            wal_pending: self.wal_pending,
+        }
+    }
+
+    /// Parse `newick` against the frozen namespace without mutating it.
+    fn parse_against_taxa(&self, newick: &str) -> Result<Tree, IndexError> {
+        let mut scratch = self.taxa.clone();
+        Ok(parse_newick(newick, &mut scratch, TaxaPolicy::Require)?)
+    }
+
+    /// Log and apply an add of `tree`. WAL-first: the record is durable
+    /// before the in-memory hash changes, so a crash replays it on open.
+    pub fn append_add(&mut self, tree: &Tree) -> Result<(), IndexError> {
+        let newick = write_newick(tree, &self.taxa);
+        self.wal.append(WalOp::Add, &newick)?;
+        self.bfh.add_tree(tree, &self.taxa);
+        self.wal_pending += 1;
+        Ok(())
+    }
+
+    /// Parse `newick` against the index taxa, then log and apply the add.
+    pub fn append_add_newick(&mut self, newick: &str) -> Result<(), IndexError> {
+        let tree = self.parse_against_taxa(newick)?;
+        self.append_add(&tree)
+    }
+
+    /// Log and apply a removal of `tree`. The removal is verified against
+    /// the live hash **before** the record is logged, so a tree that was
+    /// never added fails cleanly and leaves both memory and disk unchanged.
+    pub fn append_remove(&mut self, tree: &Tree) -> Result<(), IndexError> {
+        // remove_tree is verify-then-mutate: on error the hash is untouched
+        // and nothing must reach the WAL.
+        self.bfh.remove_tree(tree, &self.taxa)?;
+        let newick = write_newick(tree, &self.taxa);
+        if let Err(e) = self.wal.append(WalOp::Remove, &newick) {
+            // Disk refused the record; roll the in-memory hash back so it
+            // keeps matching what a reopen would reconstruct.
+            self.bfh.add_tree(tree, &self.taxa);
+            return Err(e);
+        }
+        self.wal_pending += 1;
+        Ok(())
+    }
+
+    /// Parse `newick` against the index taxa, then log and apply the
+    /// removal.
+    pub fn append_remove_newick(&mut self, newick: &str) -> Result<(), IndexError> {
+        let tree = self.parse_against_taxa(newick)?;
+        self.append_remove(&tree)
+    }
+
+    /// Fold the WAL into a fresh snapshot at generation `g+1` and reset
+    /// the log. Returns the new snapshot's header. See the module docs for
+    /// the crash-safety sequencing.
+    pub fn compact(&mut self) -> Result<SnapshotMeta, IndexError> {
+        let next = self.generation + 1;
+        let tmp = self.dir.join(SNAPSHOT_TMP);
+        let snap_path = self.dir.join(SNAPSHOT_FILE);
+        write_snapshot(&tmp, &self.bfh, &self.taxa, next)?;
+        std::fs::rename(&tmp, &snap_path).map_err(|e| IndexError::io(&snap_path, e))?;
+        self.wal = Wal::create(&self.dir.join(WAL_FILE), next)?;
+        self.generation = next;
+        self.wal_pending = 0;
+        Ok(SnapshotMeta {
+            generation: next,
+            n_taxa: self.bfh.n_taxa(),
+            n_trees: self.bfh.n_trees(),
+            n_shards: self.bfh.n_shards(),
+            sum: self.bfh.sum(),
+            distinct: self.bfh.distinct(),
+        })
+    }
+
+    /// Tear the index apart into its hash and taxa (for callers that want
+    /// to hand the state to a long-lived reader).
+    pub fn into_parts(self) -> (Bfh, TaxonSet) {
+        (self.bfh, self.taxa)
+    }
+}

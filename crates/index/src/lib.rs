@@ -1,0 +1,36 @@
+//! Persistent on-disk BFH index.
+//!
+//! The in-memory bipartition frequency hash ([`bfhrf::Bfh`]) is cheap to
+//! query but costs a full Newick parse + split enumeration to rebuild.
+//! This crate makes it durable:
+//!
+//! * [`snapshot`] — a versioned binary snapshot of a whole hash (taxon
+//!   table + sorted split records, per-section FNV-1a checksums). Loading
+//!   one reconstructs a hash **bitwise-identical** to the one written:
+//!   same frequencies, same `sum`, same shard routing, so every RF answer
+//!   matches an in-memory build exactly.
+//! * [`wal`] — an append-only log of add/remove tree batches, fsynced per
+//!   record, replayed on open through the same incremental
+//!   `add_tree`/`remove_tree` paths the live index uses.
+//! * [`Index`] — the directory-level lifecycle tying the two together:
+//!   create, open (snapshot + replay), append, and [`Index::compact`],
+//!   which folds the log into a next-generation snapshot with a
+//!   rename-as-commit-point protocol (see [`index`] module docs).
+//!
+//! Corruption anywhere — flipped bytes, truncation, stale or future WAL
+//! generations — surfaces as a typed [`IndexError`], never a panic, so a
+//! daemon can keep serving from its last good in-memory state.
+
+pub mod error;
+pub mod format;
+pub mod index;
+pub mod snapshot;
+pub mod wal;
+
+pub use error::IndexError;
+pub use index::{Index, IndexStats, SNAPSHOT_FILE, WAL_FILE};
+pub use snapshot::{
+    read_meta, read_snapshot, write_snapshot, Snapshot, SnapshotMeta, FORMAT_VERSION,
+    SNAPSHOT_MAGIC,
+};
+pub use wal::{read_wal, Wal, WalOp, WalRecord, WAL_MAGIC, WAL_VERSION};

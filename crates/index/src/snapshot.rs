@@ -1,0 +1,325 @@
+//! The versioned on-disk snapshot: a full BFH frozen into one file.
+//!
+//! # Layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! magic    8  bytes  "BFHSNAP\0"          (not covered by any checksum)
+//! version  u16                            (not covered by any checksum)
+//! -- header section ------------------------------------------------
+//! generation u64 | n_taxa u64 | n_trees u64 | n_shards u64
+//! sum u64 | distinct u64
+//! FNV-1a 64 checksum of the section payload
+//! -- taxon table section -------------------------------------------
+//! n_taxa × { label_len u32 | label UTF-8 bytes }
+//! FNV-1a 64 checksum
+//! -- splits section ------------------------------------------------
+//! distinct × { mask words: words_for(n_taxa) × u64 | freq u32 }
+//!   records sorted strictly ascending by mask (deterministic bytes,
+//!   duplicate masks are impossible by construction)
+//! FNV-1a 64 checksum
+//! EOF (trailing bytes are an error)
+//! ```
+//!
+//! The reader validates everything **before** acting on it: header fields
+//! are checksum-verified before any allocation they size, mask padding
+//! bits are checked manually before [`Bits::from_words`] (which would
+//! panic), and the reconstructed hash is cross-checked against the header
+//! totals. Corruption is always a typed [`IndexError`], never a panic.
+
+use crate::error::IndexError;
+use crate::format::{CheckedReader, CheckedWriter};
+use bfhrf::{Bfh, RunGuard};
+use phylo::TaxonSet;
+use phylo_bitset::{words_for, Bits, WORD_BITS};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"BFHSNAP\0";
+/// Highest snapshot format version this build reads and the version it
+/// writes.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Hard ceiling on `n_taxa` accepted from a header. Far above any real
+/// collection; exists so a corrupt-but-checksum-colliding header cannot
+/// drive a multi-gigabyte allocation.
+const MAX_TAXA: u64 = 100_000_000;
+/// How many split records to read between cancellation checkpoints.
+const CHECKPOINT_EVERY: usize = 4096;
+
+/// The fixed-size header fields of a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Compaction generation; a WAL only applies to its own generation.
+    pub generation: u64,
+    /// Number of taxa (bit width of every mask).
+    pub n_taxa: usize,
+    /// Number of reference trees folded into the hash.
+    pub n_trees: usize,
+    /// Shard count the hash was built with.
+    pub n_shards: usize,
+    /// Sum of all stored frequencies (`sumBFHR`).
+    pub sum: u64,
+    /// Number of distinct splits stored.
+    pub distinct: usize,
+}
+
+/// A fully validated snapshot loaded back into memory.
+pub struct Snapshot {
+    /// The reconstructed hash — bitwise-identical to the one written.
+    pub bfh: Bfh,
+    /// The taxon table, in the exact id order used by the masks.
+    pub taxa: TaxonSet,
+    /// Header fields.
+    pub meta: SnapshotMeta,
+}
+
+/// Write `bfh` + `taxa` as a version-1 snapshot at `path`, fsyncing before
+/// returning. The caller owns crash-safety sequencing (write to a temp
+/// name, then rename).
+pub fn write_snapshot(
+    path: &Path,
+    bfh: &Bfh,
+    taxa: &TaxonSet,
+    generation: u64,
+) -> Result<(), IndexError> {
+    if taxa.len() != bfh.n_taxa() {
+        return Err(IndexError::Core(bfhrf::CoreError::Structure(format!(
+            "taxon table has {} labels but the hash is {}-taxon",
+            taxa.len(),
+            bfh.n_taxa()
+        ))));
+    }
+    let file = File::create(path).map_err(|e| IndexError::io(path, e))?;
+    let mut w = CheckedWriter::new(BufWriter::new(file), path);
+
+    w.put_unchecked(SNAPSHOT_MAGIC)?;
+    w.put_unchecked(&FORMAT_VERSION.to_le_bytes())?;
+
+    // Header section.
+    w.put_u64(generation)?;
+    w.put_u64(bfh.n_taxa() as u64)?;
+    w.put_u64(bfh.n_trees() as u64)?;
+    w.put_u64(bfh.n_shards() as u64)?;
+    w.put_u64(bfh.sum())?;
+    w.put_u64(bfh.distinct() as u64)?;
+    w.finish_section()?;
+
+    // Taxon table section.
+    for (_, label) in taxa.iter() {
+        let bytes = label.as_bytes();
+        w.put_u32(bytes.len() as u32)?;
+        w.put(bytes)?;
+    }
+    w.finish_section()?;
+
+    // Splits section, sorted by mask for deterministic output bytes.
+    let mut entries: Vec<(&Bits, u32)> = bfh.iter().collect();
+    entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    for (bits, freq) in entries {
+        for word in bits.words() {
+            w.put_u64(*word)?;
+        }
+        w.put_u32(freq)?;
+    }
+    w.finish_section()?;
+
+    let mut inner = w.into_inner();
+    inner.flush().map_err(|e| IndexError::io(path, e))?;
+    inner
+        .into_inner()
+        .map_err(|e| IndexError::io(path, e.into_error()))?
+        .sync_all()
+        .map_err(|e| IndexError::io(path, e))?;
+    Ok(())
+}
+
+/// Read and checksum-verify just the magic, version, and header section.
+fn read_header<R: std::io::Read>(r: &mut CheckedReader<R>) -> Result<SnapshotMeta, IndexError> {
+    let mut magic = [0u8; 8];
+    r.take_unchecked(&mut magic, "magic")?;
+    if &magic != SNAPSHOT_MAGIC {
+        return Err(IndexError::NotAnIndex(format!(
+            "bad magic {:02x?} (expected {:02x?})",
+            magic, SNAPSHOT_MAGIC
+        )));
+    }
+    let mut ver = [0u8; 2];
+    r.take_unchecked(&mut ver, "version")?;
+    let version = u16::from_le_bytes(ver);
+    if version == 0 || version > FORMAT_VERSION {
+        return Err(IndexError::Version {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+
+    let generation = r.take_u64("header")?;
+    let n_taxa = r.take_u64("header")?;
+    let n_trees = r.take_u64("header")?;
+    let n_shards = r.take_u64("header")?;
+    let sum = r.take_u64("header")?;
+    let distinct = r.take_u64("header")?;
+    r.verify_section("header")?;
+
+    // Checksum passed; now sanity-bound the values before they size
+    // anything.
+    if n_taxa == 0 || n_taxa > MAX_TAXA {
+        return Err(IndexError::Corrupt {
+            section: "header",
+            detail: format!("implausible taxon count {n_taxa}"),
+        });
+    }
+    if n_shards == 0 || n_shards > 1 << 20 {
+        return Err(IndexError::Corrupt {
+            section: "header",
+            detail: format!("implausible shard count {n_shards}"),
+        });
+    }
+    if n_trees > u64::from(u32::MAX) {
+        return Err(IndexError::Corrupt {
+            section: "header",
+            detail: format!("implausible tree count {n_trees}"),
+        });
+    }
+    Ok(SnapshotMeta {
+        generation,
+        n_taxa: n_taxa as usize,
+        n_trees: n_trees as usize,
+        n_shards: n_shards as usize,
+        sum,
+        distinct: usize::try_from(distinct).map_err(|_| IndexError::Corrupt {
+            section: "header",
+            detail: format!("implausible distinct count {distinct}"),
+        })?,
+    })
+}
+
+/// Read only the header of the snapshot at `path` — cheap inspection
+/// without touching the taxon table or splits.
+pub fn read_meta(path: &Path) -> Result<SnapshotMeta, IndexError> {
+    let file = File::open(path).map_err(|e| IndexError::io(path, e))?;
+    let mut r = CheckedReader::new(BufReader::new(file), path);
+    read_header(&mut r)
+}
+
+/// Load and fully validate the snapshot at `path`.
+///
+/// The returned [`Bfh`] is bitwise-identical to the hash that was written:
+/// same taxa, same shard routing, same frequencies, same `sum`. `guard`
+/// bounds the load — allocations are pre-checked against the budget and
+/// cancellation is honoured between record batches.
+pub fn read_snapshot(path: &Path, guard: &RunGuard) -> Result<Snapshot, IndexError> {
+    let file = File::open(path).map_err(|e| IndexError::io(path, e))?;
+    let mut r = CheckedReader::new(BufReader::new(file), path);
+    let meta = read_header(&mut r)?;
+
+    // Taxon table.
+    guard.check_alloc("snapshot taxon table", meta.n_taxa * 16)?;
+    let mut taxa = TaxonSet::new();
+    let mut label_buf = Vec::new();
+    for i in 0..meta.n_taxa {
+        let len = r.take_u32("taxa")? as usize;
+        if len > 1 << 20 {
+            return Err(IndexError::Corrupt {
+                section: "taxa",
+                detail: format!("label {i} claims implausible length {len}"),
+            });
+        }
+        label_buf.resize(len, 0);
+        r.take(&mut label_buf, "taxa")?;
+        let label = std::str::from_utf8(&label_buf).map_err(|_| IndexError::Corrupt {
+            section: "taxa",
+            detail: format!("label {i} is not valid UTF-8"),
+        })?;
+        let id = taxa.intern(label);
+        if id.index() != i {
+            return Err(IndexError::Corrupt {
+                section: "taxa",
+                detail: format!("duplicate label {label:?} at position {i}"),
+            });
+        }
+    }
+    r.verify_section("taxa")?;
+
+    // Splits.
+    let words = words_for(meta.n_taxa);
+    let record_bytes = words * 8 + 4;
+    guard.check_alloc(
+        "snapshot splits",
+        meta.distinct.saturating_mul(record_bytes + 32),
+    )?;
+    let pad_mask = if meta.n_taxa % WORD_BITS == 0 {
+        0u64
+    } else {
+        !((1u64 << (meta.n_taxa % WORD_BITS)) - 1)
+    };
+    let mut entries: Vec<(Bits, u32)> = Vec::with_capacity(meta.distinct);
+    let mut word_buf = vec![0u64; words];
+    let mut prev: Option<Bits> = None;
+    let mut sum_check: u64 = 0;
+    for i in 0..meta.distinct {
+        if i % CHECKPOINT_EVERY == 0 {
+            guard.checkpoint("snapshot splits")?;
+        }
+        for w in word_buf.iter_mut() {
+            *w = r.take_u64("splits")?;
+        }
+        // Validate the canonical-padding invariant by hand: Bits::from_words
+        // panics on stray padding bits, and corruption must stay a typed
+        // error.
+        if let Some(&last) = word_buf.last() {
+            if last & pad_mask != 0 {
+                return Err(IndexError::Corrupt {
+                    section: "splits",
+                    detail: format!("record {i} has set bits in the mask padding"),
+                });
+            }
+        }
+        let bits = Bits::from_words(meta.n_taxa, &word_buf);
+        if let Some(p) = &prev {
+            if bits <= *p {
+                return Err(IndexError::Corrupt {
+                    section: "splits",
+                    detail: format!("record {i} out of order (masks must strictly ascend)"),
+                });
+            }
+        }
+        let freq = r.take_u32("splits")?;
+        if freq == 0 || freq as usize > meta.n_trees {
+            return Err(IndexError::Corrupt {
+                section: "splits",
+                detail: format!("record {i} frequency {freq} outside 1..={}", meta.n_trees),
+            });
+        }
+        sum_check += u64::from(freq);
+        prev = Some(bits.clone());
+        entries.push((bits, freq));
+    }
+    r.verify_section("splits")?;
+    r.expect_eof("splits")?;
+
+    if sum_check != meta.sum {
+        return Err(IndexError::Corrupt {
+            section: "splits",
+            detail: format!(
+                "frequency sum {sum_check} disagrees with header sum {}",
+                meta.sum
+            ),
+        });
+    }
+
+    let bfh = Bfh::from_entries(meta.n_taxa, meta.n_shards, meta.n_trees, entries)?;
+    if bfh.distinct() != meta.distinct {
+        return Err(IndexError::Corrupt {
+            section: "splits",
+            detail: format!(
+                "reconstructed {} distinct splits, header says {}",
+                bfh.distinct(),
+                meta.distinct
+            ),
+        });
+    }
+    Ok(Snapshot { bfh, taxa, meta })
+}

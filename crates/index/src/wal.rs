@@ -1,0 +1,345 @@
+//! Append-only write-ahead log of add/remove tree batches.
+//!
+//! # Layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! magic    8  bytes  "BFHWAL\0\0"         (not covered by any checksum)
+//! version  u16                            (not covered by any checksum)
+//! -- header section ------------------------------------------------
+//! generation u64
+//! FNV-1a 64 checksum
+//! -- records, appended over time -----------------------------------
+//! each: { op u8 (1=add, 2=remove) | payload_len u32 | payload (Newick,
+//!         UTF-8) | FNV-1a 64 checksum of op+len+payload }
+//! ```
+//!
+//! The `generation` ties a WAL to the snapshot it amends. Compaction
+//! writes a new snapshot at generation *g+1* and then resets the WAL to
+//! *g+1*; if a crash lands between those two steps, the leftover WAL still
+//! says *g* and [`crate::Index`] discards it as stale instead of replaying
+//! already-folded batches twice.
+
+use crate::error::IndexError;
+use crate::format::Digest;
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"BFHWAL\0\0";
+/// WAL format version this build reads and writes.
+pub const WAL_VERSION: u16 = 1;
+
+/// Largest Newick payload a record may carry (64 MiB) — bounds what a
+/// corrupt length field can make the reader allocate.
+const MAX_PAYLOAD: usize = 64 << 20;
+
+const OP_ADD: u8 = 1;
+const OP_REMOVE: u8 = 2;
+
+/// What a WAL record does to the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalOp {
+    /// Fold the payload tree into the hash.
+    Add,
+    /// Downdate the payload tree out of the hash.
+    Remove,
+}
+
+/// One replayable record: an operation plus its Newick payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Add or remove.
+    pub op: WalOp,
+    /// The tree, serialized as Newick.
+    pub newick: String,
+}
+
+/// An open WAL positioned for appending.
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    generation: u64,
+}
+
+fn record_checksum(op: u8, payload: &[u8]) -> u64 {
+    let mut d = Digest::new();
+    d.update(&[op]);
+    d.update(&(payload.len() as u32).to_le_bytes());
+    d.update(payload);
+    d.value()
+}
+
+impl Wal {
+    /// Create (or truncate) the WAL at `path` for `generation`, fsynced.
+    pub fn create(path: &Path, generation: u64) -> Result<Wal, IndexError> {
+        let mut file = File::create(path).map_err(|e| IndexError::io(path, e))?;
+        let mut header = Vec::with_capacity(26);
+        header.extend_from_slice(WAL_MAGIC);
+        header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        let gen_bytes = generation.to_le_bytes();
+        header.extend_from_slice(&gen_bytes);
+        let mut d = Digest::new();
+        d.update(&gen_bytes);
+        header.extend_from_slice(&d.value().to_le_bytes());
+        file.write_all(&header)
+            .map_err(|e| IndexError::io(path, e))?;
+        file.sync_all().map_err(|e| IndexError::io(path, e))?;
+        Ok(Wal {
+            path: path.to_path_buf(),
+            file,
+            generation,
+        })
+    }
+
+    /// Open the WAL at `path`, validating and returning every record, then
+    /// leave the handle positioned for appending.
+    pub fn open(path: &Path) -> Result<(Wal, Vec<WalRecord>), IndexError> {
+        let (generation, records) = read_wal(path)?;
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| IndexError::io(path, e))?;
+        Ok((
+            Wal {
+                path: path.to_path_buf(),
+                file,
+                generation,
+            },
+            records,
+        ))
+    }
+
+    /// The generation this WAL amends.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Append one record and fsync it.
+    pub fn append(&mut self, op: WalOp, newick: &str) -> Result<(), IndexError> {
+        let payload = newick.as_bytes();
+        if payload.len() > MAX_PAYLOAD {
+            return Err(IndexError::Corrupt {
+                section: "wal-record",
+                detail: format!(
+                    "payload of {} bytes exceeds the record limit",
+                    payload.len()
+                ),
+            });
+        }
+        let op_byte = match op {
+            WalOp::Add => OP_ADD,
+            WalOp::Remove => OP_REMOVE,
+        };
+        let mut rec = Vec::with_capacity(1 + 4 + payload.len() + 8);
+        rec.push(op_byte);
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(payload);
+        rec.extend_from_slice(&record_checksum(op_byte, payload).to_le_bytes());
+        self.file
+            .write_all(&rec)
+            .map_err(|e| IndexError::io(&self.path, e))?;
+        self.file
+            .sync_all()
+            .map_err(|e| IndexError::io(&self.path, e))?;
+        Ok(())
+    }
+}
+
+fn take(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    path: &Path,
+    section: &'static str,
+) -> Result<(), IndexError> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Err(IndexError::Corrupt {
+            section,
+            detail: "file truncated mid-record".into(),
+        }),
+        Err(e) => Err(IndexError::io(path, e)),
+    }
+}
+
+/// Read and validate the whole WAL at `path`: returns its generation and
+/// every record in append order. Any flipped byte or torn record is a
+/// typed [`IndexError::Corrupt`].
+pub fn read_wal(path: &Path) -> Result<(u64, Vec<WalRecord>), IndexError> {
+    let file = File::open(path).map_err(|e| IndexError::io(path, e))?;
+    let mut r = BufReader::new(file);
+
+    let mut magic = [0u8; 8];
+    take(&mut r, &mut magic, path, "wal-header")?;
+    if &magic != WAL_MAGIC {
+        return Err(IndexError::NotAnIndex(format!(
+            "bad WAL magic {:02x?} (expected {:02x?})",
+            magic, WAL_MAGIC
+        )));
+    }
+    let mut ver = [0u8; 2];
+    take(&mut r, &mut ver, path, "wal-header")?;
+    let version = u16::from_le_bytes(ver);
+    if version == 0 || version > WAL_VERSION {
+        return Err(IndexError::Version {
+            found: version,
+            supported: WAL_VERSION,
+        });
+    }
+    let mut gen_bytes = [0u8; 8];
+    take(&mut r, &mut gen_bytes, path, "wal-header")?;
+    let mut sum = [0u8; 8];
+    take(&mut r, &mut sum, path, "wal-header")?;
+    let mut d = Digest::new();
+    d.update(&gen_bytes);
+    if d.value() != u64::from_le_bytes(sum) {
+        return Err(IndexError::Corrupt {
+            section: "wal-header",
+            detail: "generation checksum mismatch".into(),
+        });
+    }
+    let generation = u64::from_le_bytes(gen_bytes);
+
+    let mut records = Vec::new();
+    loop {
+        let mut op_byte = [0u8; 1];
+        match r.read_exact(&mut op_byte) {
+            Ok(()) => {}
+            // Clean EOF at a record boundary is the normal end of the log.
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(IndexError::io(path, e)),
+        }
+        let op = match op_byte[0] {
+            OP_ADD => WalOp::Add,
+            OP_REMOVE => WalOp::Remove,
+            other => {
+                return Err(IndexError::Corrupt {
+                    section: "wal-record",
+                    detail: format!("record {} has unknown op {other}", records.len()),
+                })
+            }
+        };
+        let mut len_bytes = [0u8; 4];
+        take(&mut r, &mut len_bytes, path, "wal-record")?;
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > MAX_PAYLOAD {
+            return Err(IndexError::Corrupt {
+                section: "wal-record",
+                detail: format!(
+                    "record {} claims implausible payload length {len}",
+                    records.len()
+                ),
+            });
+        }
+        let mut payload = vec![0u8; len];
+        take(&mut r, &mut payload, path, "wal-record")?;
+        let mut sum = [0u8; 8];
+        take(&mut r, &mut sum, path, "wal-record")?;
+        if record_checksum(op_byte[0], &payload) != u64::from_le_bytes(sum) {
+            return Err(IndexError::Corrupt {
+                section: "wal-record",
+                detail: format!("record {} checksum mismatch", records.len()),
+            });
+        }
+        let newick = String::from_utf8(payload).map_err(|_| IndexError::Corrupt {
+            section: "wal-record",
+            detail: format!("record {} payload is not valid UTF-8", records.len()),
+        })?;
+        records.push(WalRecord { op, newick });
+    }
+    Ok((generation, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bfhrf-wal-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    #[test]
+    fn create_append_read_round_trip() {
+        let path = tmp("roundtrip");
+        let mut wal = Wal::create(&path, 7).unwrap();
+        wal.append(WalOp::Add, "((A,B),C);").unwrap();
+        wal.append(WalOp::Remove, "((A,C),B);").unwrap();
+        drop(wal);
+        let (generation, records) = read_wal(&path).unwrap();
+        assert_eq!(generation, 7);
+        assert_eq!(
+            records,
+            vec![
+                WalRecord {
+                    op: WalOp::Add,
+                    newick: "((A,B),C);".into()
+                },
+                WalRecord {
+                    op: WalOp::Remove,
+                    newick: "((A,C),B);".into()
+                },
+            ]
+        );
+        // Reopen-for-append preserves existing records.
+        let (mut wal, recs) = Wal::open(&path).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(wal.generation(), 7);
+        wal.append(WalOp::Add, "(A,(B,C));").unwrap();
+        let (_, records) = read_wal(&path).unwrap();
+        assert_eq!(records.len(), 3);
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_typed_corruption() {
+        let path = tmp("flip");
+        let mut wal = Wal::create(&path, 0).unwrap();
+        wal.append(WalOp::Add, "((A,B),C);").unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() - 12; // inside the payload
+        bytes[at] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_wal(&path).unwrap_err();
+        assert!(err.is_corruption(), "{err}");
+        assert!(err.to_string().contains("wal-record"), "{err}");
+    }
+
+    #[test]
+    fn torn_tail_is_typed_corruption() {
+        let path = tmp("torn");
+        let mut wal = Wal::create(&path, 0).unwrap();
+        wal.append(WalOp::Add, "((A,B),C);").unwrap();
+        drop(wal);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let err = read_wal(&path).unwrap_err();
+        assert!(err.is_corruption(), "{err}");
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let path = tmp("magic");
+        Wal::create(&path, 0).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_wal(&path).unwrap_err(),
+            IndexError::NotAnIndex(_)
+        ));
+
+        let path = tmp("version");
+        Wal::create(&path, 0).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] = 0xEE;
+        bytes[9] = 0xEE;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_wal(&path).unwrap_err(),
+            IndexError::Version { found: 0xEEEE, .. }
+        ));
+    }
+}

@@ -1,0 +1,308 @@
+//! End-to-end tests for the persistent index: snapshot round-trips must be
+//! bitwise-exact, corruption must stay a typed error, and a WAL replay
+//! must land on the same hash as a fresh build.
+
+use bfhrf::{Bfh, Comparator, RunBudget, RunGuard};
+use phylo::TreeCollection;
+use phylo_index::{
+    read_meta, read_snapshot, read_wal, write_snapshot, Index, IndexError, Wal, WalOp,
+    SNAPSHOT_FILE, WAL_FILE,
+};
+use phylo_sim::perturb::random_collection;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// Fresh scratch directory per test.
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bfhrf-index-{}-{name}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Exact equality of two hashes: headline counters plus every frequency
+/// in both directions (so neither side holds an extra split).
+fn assert_bfh_identical(a: &Bfh, b: &Bfh) {
+    assert_eq!(a.n_taxa(), b.n_taxa(), "n_taxa");
+    assert_eq!(a.n_trees(), b.n_trees(), "n_trees");
+    assert_eq!(a.sum(), b.sum(), "sum");
+    assert_eq!(a.distinct(), b.distinct(), "distinct");
+    for (bits, freq) in a.iter() {
+        assert_eq!(b.frequency(bits), freq, "frequency of {bits}");
+    }
+    for (bits, freq) in b.iter() {
+        assert_eq!(a.frequency(bits), freq, "reverse frequency of {bits}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The acceptance criterion: a loaded snapshot is bitwise-identical to
+    /// the hash that was written — same frequencies, same shard routing,
+    /// and identical `average_all` answers.
+    #[test]
+    fn snapshot_round_trip_is_bitwise_exact(
+        n in 4usize..40,
+        r in 1usize..20,
+        shards in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let coll = random_collection(n, r, seed);
+        let bfh = Bfh::build_sharded(&coll.trees, &coll.taxa, shards);
+        let dir = std::env::temp_dir()
+            .join(format!("bfhrf-index-prop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("snap-{seed:x}-{n}-{r}-{shards}.bfh"));
+        write_snapshot(&path, &bfh, &coll.taxa, 3).unwrap();
+
+        let snap = read_snapshot(&path, &RunGuard::default()).unwrap();
+        prop_assert_eq!(snap.meta.generation, 3);
+        prop_assert_eq!(snap.meta.n_shards, bfh.n_shards());
+        prop_assert_eq!(snap.taxa.len(), coll.taxa.len());
+        for (id, label) in coll.taxa.iter() {
+            prop_assert_eq!(snap.taxa.label(id), label);
+        }
+        assert_bfh_identical(&snap.bfh, &bfh);
+
+        // Same shard routing → identical per-shard contents.
+        for (bits, freq) in bfh.iter() {
+            prop_assert_eq!(snap.bfh.frequency_words(bits.words()), freq);
+        }
+
+        // Identical average-RF answers on an independent query set.
+        let queries = random_collection(n, 3, seed.wrapping_add(99));
+        let before = bfhrf::BfhrfComparator::new(&bfh, &coll.taxa)
+            .average_all(&queries.trees)
+            .unwrap();
+        let after = bfhrf::BfhrfComparator::new(&snap.bfh, &snap.taxa)
+            .average_all(&queries.trees)
+            .unwrap();
+        for (x, y) in before.iter().zip(after.iter()) {
+            prop_assert_eq!(x.rf.left, y.rf.left);
+            prop_assert_eq!(x.rf.right, y.rf.right);
+            prop_assert_eq!(x.rf.n_refs, y.rf.n_refs);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Every single-byte flip anywhere in a snapshot must surface as a typed
+/// corruption/IO error — never a panic, never a silently-different hash.
+#[test]
+fn every_flipped_snapshot_byte_is_a_typed_error() {
+    let dir = tmp("flip-sweep");
+    let coll = random_collection(12, 6, 0xf11b);
+    let bfh = Bfh::build_sharded(&coll.trees, &coll.taxa, 4);
+    let path = dir.join("snap.bfh");
+    write_snapshot(&path, &bfh, &coll.taxa, 1).unwrap();
+    let clean = std::fs::read(&path).unwrap();
+
+    for at in 0..clean.len() {
+        let mut bytes = clean.clone();
+        bytes[at] ^= 0x5a;
+        std::fs::write(&path, &bytes).unwrap();
+        match read_snapshot(&path, &RunGuard::default()) {
+            Ok(snap) => panic!(
+                "flip at byte {at} went undetected (loaded {} splits)",
+                snap.bfh.distinct()
+            ),
+            Err(e) => assert!(
+                e.is_corruption(),
+                "flip at byte {at} produced a non-corruption error: {e}"
+            ),
+        }
+    }
+}
+
+/// Every truncation point must be a typed error too.
+#[test]
+fn every_truncation_is_a_typed_error() {
+    let dir = tmp("trunc-sweep");
+    let coll = random_collection(10, 4, 0x77);
+    let bfh = Bfh::build(&coll.trees, &coll.taxa);
+    let path = dir.join("snap.bfh");
+    write_snapshot(&path, &bfh, &coll.taxa, 0).unwrap();
+    let clean = std::fs::read(&path).unwrap();
+
+    for keep in 0..clean.len() {
+        std::fs::write(&path, &clean[..keep]).unwrap();
+        let err = read_snapshot(&path, &RunGuard::default())
+            .err()
+            .unwrap_or_else(|| panic!("truncation to {keep} bytes loaded successfully"));
+        assert!(
+            err.is_corruption(),
+            "truncation to {keep} bytes produced a non-corruption error: {err}"
+        );
+    }
+}
+
+/// Reopening an index replays the WAL through `add_tree`/`remove_tree`
+/// and lands on exactly the hash a fresh build over the surviving trees
+/// would produce.
+#[test]
+fn wal_replay_equals_fresh_rebuild() {
+    let dir = tmp("replay");
+    let coll = random_collection(16, 12, 0xabcd);
+    let half = 6;
+
+    let base = Bfh::build(&coll.trees[..half], &coll.taxa);
+    let mut idx = Index::create(&dir, base, coll.taxa.clone()).unwrap();
+    // Add the back half, then remove two of the originals.
+    for tree in &coll.trees[half..] {
+        idx.append_add(tree).unwrap();
+    }
+    idx.append_remove(&coll.trees[0]).unwrap();
+    idx.append_remove(&coll.trees[3]).unwrap();
+    let live_stats = idx.stats();
+    assert_eq!(live_stats.wal_pending, coll.trees.len() - half + 2);
+    assert_eq!(live_stats.generation, 0);
+    drop(idx);
+
+    // What the collection looks like after the churn.
+    let survivors: Vec<phylo::Tree> = coll
+        .trees
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 0 && *i != 3)
+        .map(|(_, t)| t.clone())
+        .collect();
+    let fresh = Bfh::build(&survivors, &coll.taxa);
+
+    let reopened = Index::open(&dir).unwrap();
+    assert_bfh_identical(reopened.bfh(), &fresh);
+    assert_eq!(reopened.stats().wal_pending, live_stats.wal_pending);
+}
+
+/// Compaction folds the WAL into a new snapshot: the reopened index has
+/// the same hash, a bumped generation, and an empty log.
+#[test]
+fn compaction_folds_wal_and_bumps_generation() {
+    let dir = tmp("compact");
+    let coll = random_collection(14, 10, 0xc0de);
+
+    let base = Bfh::build(&coll.trees[..5], &coll.taxa);
+    let mut idx = Index::create(&dir, base, coll.taxa.clone()).unwrap();
+    for tree in &coll.trees[5..] {
+        idx.append_add(tree).unwrap();
+    }
+    let meta = idx.compact().unwrap();
+    assert_eq!(meta.generation, 1);
+    assert_eq!(idx.stats().wal_pending, 0);
+    let live = idx.bfh().clone();
+    drop(idx);
+
+    // Disk agrees: snapshot header says generation 1, WAL is empty at 1.
+    assert_eq!(read_meta(&dir.join(SNAPSHOT_FILE)).unwrap().generation, 1);
+    let (wal_gen, records) = read_wal(&dir.join(WAL_FILE)).unwrap();
+    assert_eq!(wal_gen, 1);
+    assert!(records.is_empty());
+
+    let reopened = Index::open(&dir).unwrap();
+    assert_bfh_identical(reopened.bfh(), &live);
+    assert_eq!(reopened.stats().generation, 1);
+}
+
+/// A WAL left behind by a crash between the snapshot rename and the WAL
+/// reset (generation older than the snapshot's) is discarded, not
+/// replayed — its batches are already folded in.
+#[test]
+fn stale_generation_wal_is_discarded() {
+    let dir = tmp("stale");
+    let coll = random_collection(12, 8, 0x57a1e);
+
+    let bfh = Bfh::build(&coll.trees, &coll.taxa);
+    let mut idx = Index::create(&dir, bfh, coll.taxa.clone()).unwrap();
+    idx.compact().unwrap(); // snapshot now at generation 1
+    let live = idx.bfh().clone();
+    drop(idx);
+
+    // Simulate the crash remnant: a generation-0 WAL holding a batch that
+    // the generation-1 snapshot already contains.
+    let mut stale = Wal::create(&dir.join(WAL_FILE), 0).unwrap();
+    stale
+        .append(WalOp::Add, &phylo::write_newick(&coll.trees[0], &coll.taxa))
+        .unwrap();
+    drop(stale);
+
+    let reopened = Index::open(&dir).unwrap();
+    assert_bfh_identical(reopened.bfh(), &live);
+    assert_eq!(reopened.stats().wal_pending, 0);
+    // The stale log was reset to the snapshot's generation.
+    let (wal_gen, records) = read_wal(&dir.join(WAL_FILE)).unwrap();
+    assert_eq!(wal_gen, 1);
+    assert!(records.is_empty());
+}
+
+/// A WAL claiming a generation *newer* than the snapshot can only come
+/// from manual file shuffling — typed corruption.
+#[test]
+fn future_generation_wal_is_corruption() {
+    let dir = tmp("future");
+    let coll = random_collection(8, 4, 0xf00d);
+    let bfh = Bfh::build(&coll.trees, &coll.taxa);
+    let idx = Index::create(&dir, bfh, coll.taxa.clone()).unwrap();
+    drop(idx);
+
+    Wal::create(&dir.join(WAL_FILE), 9).unwrap();
+    let err = Index::open(&dir).err().expect("future WAL must not open");
+    assert!(err.is_corruption(), "{err}");
+    assert!(err.to_string().contains("ahead of snapshot"), "{err}");
+}
+
+/// Removing a tree that was never added fails cleanly and leaves both the
+/// in-memory hash and the on-disk WAL untouched.
+#[test]
+fn failed_remove_leaves_index_unchanged() {
+    let dir = tmp("badremove");
+    let coll = random_collection(10, 6, 0xbad);
+    let bfh = Bfh::build(&coll.trees[..3], &coll.taxa);
+    let mut idx = Index::create(&dir, bfh, coll.taxa.clone()).unwrap();
+    let before = idx.stats();
+
+    // Pick a tree whose splits were never folded in. random_collection on
+    // 10 taxa essentially never repeats interior splits across seeds.
+    let stranger = random_collection(10, 1, 0xdead);
+    let err = idx.append_remove(&stranger.trees[0]).err();
+    assert!(err.is_some(), "removing an absent tree must fail");
+    assert_eq!(idx.stats(), before);
+    let (_, records) = read_wal(&dir.join(WAL_FILE)).unwrap();
+    assert!(records.is_empty(), "nothing may reach the WAL");
+}
+
+/// A guarded open refuses to load a snapshot that does not fit the byte
+/// budget — typed, recoverable, no allocation attempt.
+#[test]
+fn guarded_open_enforces_budget() {
+    let dir = tmp("budget");
+    let coll = random_collection(20, 10, 0xb1d);
+    let bfh = Bfh::build(&coll.trees, &coll.taxa);
+    let idx = Index::create(&dir, bfh, coll.taxa.clone()).unwrap();
+    drop(idx);
+
+    let tight = RunGuard::with_budget(RunBudget::with_max_bytes(64));
+    let err = Index::open_guarded(&dir, &tight)
+        .err()
+        .expect("64-byte budget cannot fit the snapshot");
+    assert!(matches!(err, IndexError::Core(_)), "{err}");
+
+    // And the same directory opens fine without the budget.
+    Index::open(&dir).unwrap();
+}
+
+/// `TreeCollection::parse` namespaces must survive the round trip with
+/// label order intact (ids are positional in the masks).
+#[test]
+fn taxon_labels_round_trip_in_order() {
+    let dir = tmp("labels");
+    let coll = TreeCollection::parse("((Homo_sapiens,Pan),(Mus,(Rattus,Canis)));\n").unwrap();
+    let bfh = Bfh::build(&coll.trees, &coll.taxa);
+    let idx = Index::create(&dir, bfh, coll.taxa.clone()).unwrap();
+    drop(idx);
+    let reopened = Index::open(&dir).unwrap();
+    for (id, label) in coll.taxa.iter() {
+        assert_eq!(reopened.taxa().label(id), label);
+    }
+}
