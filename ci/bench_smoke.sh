@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Smoke for the query-path benchmark: run `query_bench --fast` (a real
+# build + freeze + probe + serve cycle on a reduced insect preset) and
+# validate that the emitted BENCH_query.json carries the full measurement
+# schema — dataset provenance, warmup/repeats protocol, single- and
+# multi-thread sections with median/CV/speedup, and the serve section.
+#
+# The speedup itself is NOT asserted here: CI runners are too noisy for a
+# throughput gate, and query_bench already hard-asserts frozen == live on
+# every answer before it times anything. What CI pins down is that the
+# artifact schema never silently regresses.
+set -euo pipefail
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+OUT="$WORK/BENCH_query.json"
+
+echo "== run query_bench --fast"
+cargo run --release -p bfhrf-bench --bin query_bench -- --fast --out "$OUT"
+
+echo "== validate BENCH_query.json schema"
+python3 - "$OUT" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+
+def need(obj, key, kind, where):
+    if key not in obj:
+        sys.exit(f"bench smoke: missing {where}.{key}")
+    if not isinstance(obj[key], kind):
+        sys.exit(f"bench smoke: {where}.{key} is {type(obj[key]).__name__}, "
+                 f"expected {kind}")
+    return obj[key]
+
+ds = need(doc, "dataset", dict, "$")
+for key in ("n_taxa", "n_trees", "distinct"):
+    need(ds, key, int, "dataset")
+need(ds, "name", str, "dataset")
+need(doc, "queries", int, "$")
+need(doc, "repeats", int, "$")
+need(doc, "warmup", int, "$")
+
+st = need(doc, "single_thread", dict, "$")
+need(st, "probes", int, "single_thread")
+for key in ("live_seconds", "live_cv", "live_mprobes_per_s",
+            "frozen_seconds", "frozen_cv", "frozen_mprobes_per_s", "speedup"):
+    need(st, key, (int, float), "single_thread")
+ee = need(doc, "end_to_end", dict, "$")
+for key in ("live_seconds", "live_cv", "live_qps",
+            "frozen_seconds", "frozen_cv", "frozen_qps", "speedup"):
+    need(ee, key, (int, float), "end_to_end")
+mt = need(doc, "multi_thread", dict, "$")
+for key in ("live_seconds", "live_cv", "frozen_seconds", "frozen_cv", "speedup"):
+    need(mt, key, (int, float), "multi_thread")
+srv = need(doc, "serve", dict, "$")
+need(srv, "requests", int, "serve")
+need(srv, "clients", int, "serve")
+for key in ("qps", "inproc_live_qps", "inproc_frozen_qps"):
+    need(srv, key, (int, float), "serve")
+
+for section, obj in (("single_thread", st), ("end_to_end", ee),
+                     ("multi_thread", mt), ("serve", srv)):
+    for key, value in obj.items():
+        if isinstance(value, (int, float)) and value < 0:
+            sys.exit(f"bench smoke: {section}.{key} is negative: {value}")
+if st["speedup"] <= 0 or st["live_mprobes_per_s"] <= 0 \
+        or st["frozen_mprobes_per_s"] <= 0:
+    sys.exit("bench smoke: degenerate single-thread timings")
+if srv["qps"] <= 0:
+    sys.exit("bench smoke: serve section measured nothing")
+
+print(f"bench smoke: schema ok "
+      f"(single-thread speedup {st['speedup']:.2f}x, serve {srv['qps']:.0f} q/s)")
+EOF

@@ -59,13 +59,17 @@ fn main() {
     let ds = bfhrf_bench::datasets::prepare(&spec);
     let coll = phylo::TreeCollection::parse(&ds.newick).expect("simulated trees parse");
 
-    // best-of-K to shave scheduler noise; the checksums must agree on
-    // every repeat, not just the kept one
-    let mut best: Vec<BuildCell> = Vec::new();
+    // One unmeasured warmup round (page cache, allocator, lazy pools),
+    // then median-of-K with CV so scheduler noise is visible in the
+    // artifact instead of silently shaved; the checksums must agree on
+    // every round, warmup included.
+    eprintln!("[build_bench] warmup round ...");
+    let warm = build_ablation(&coll, &[1, 2, 4, 8]);
+    let (d0, s0) = (warm[0].distinct, warm[0].sum);
+    let mut rounds: Vec<Vec<BuildCell>> = Vec::new();
     for rep in 0..repeats.max(1) {
         eprintln!("[build_bench] repeat {}/{repeats} ...", rep + 1);
         let cells = build_ablation(&coll, &[1, 2, 4, 8]);
-        let (d0, s0) = (cells[0].distinct, cells[0].sum);
         for c in &cells {
             assert_eq!(
                 (c.distinct, c.sum),
@@ -74,15 +78,14 @@ fn main() {
                 c.mode
             );
         }
-        if best.is_empty() {
-            best = cells;
-        } else {
-            for (b, c) in best.iter_mut().zip(cells) {
-                if c.seconds < b.seconds {
-                    *b = c;
-                }
-            }
-        }
+        rounds.push(cells);
+    }
+    let mut best: Vec<BuildCell> = rounds[0].clone();
+    let mut cvs = vec![0.0f64; best.len()];
+    for (i, cell) in best.iter_mut().enumerate() {
+        let times: Vec<f64> = rounds.iter().map(|r| r[i].seconds).collect();
+        cell.seconds = bfhrf_bench::stats::median(&times);
+        cvs[i] = bfhrf_bench::stats::coeff_of_variation(&times);
     }
 
     let time_of = |mode: &str, threads: usize| {
@@ -101,12 +104,13 @@ fn main() {
         coll.len()
     );
     let _ = writeln!(json, "  \"repeats\": {},", repeats.max(1));
+    json.push_str("  \"warmup\": 1,\n");
     json.push_str("  \"cells\": [\n");
     for (i, c) in best.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"mode\": \"{}\", \"threads\": {}, \"shards\": {}, \"seconds\": {:.6}, \"distinct\": {}, \"sum\": {}}}",
-            c.mode, c.threads, c.shards, c.seconds, c.distinct, c.sum
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"shards\": {}, \"seconds\": {:.6}, \"cv\": {:.4}, \"distinct\": {}, \"sum\": {}}}",
+            c.mode, c.threads, c.shards, c.seconds, cvs[i], c.distinct, c.sum
         );
         json.push_str(if i + 1 < best.len() { ",\n" } else { "\n" });
     }

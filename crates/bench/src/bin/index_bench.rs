@@ -8,7 +8,8 @@
 //!
 //! 1. **Startup**: how much faster is loading a snapshot than re-parsing
 //!    the Newick collection and rebuilding the hash from scratch?
-//!    (best-of-K for cold build, snapshot save, snapshot load)
+//!    (one warmup cycle, then median-of-K with CV for cold build,
+//!    snapshot save, snapshot load)
 //! 2. **Serving**: how many `avgrf` requests per second does `bfhrf
 //!    serve` sustain with 1, 4, and 8 concurrent client connections?
 //!
@@ -74,16 +75,21 @@ fn main() {
     let index_dir = dir.join("index");
 
     // -------- startup: cold rebuild vs snapshot save / load ------------
-    let mut cold = f64::INFINITY;
-    let mut save = f64::INFINITY;
-    let mut load = f64::INFINITY;
+    // warmup cycle (unrecorded) + median-of-K with CV per phase
+    let mut colds = Vec::with_capacity(repeats);
+    let mut saves = Vec::with_capacity(repeats);
+    let mut loads = Vec::with_capacity(repeats);
     let mut built = None;
-    for rep in 0..repeats {
-        eprintln!("[index_bench] repeat {}/{repeats} ...", rep + 1);
+    for rep in 0..=repeats {
+        if rep == 0 {
+            eprintln!("[index_bench] warmup cycle ...");
+        } else {
+            eprintln!("[index_bench] repeat {rep}/{repeats} ...");
+        }
         let t = Instant::now();
         let coll = phylo::TreeCollection::parse(&ds.newick).expect("simulated trees parse");
         let bfh = bfhrf::Bfh::build_sharded(&coll.trees, &coll.taxa, 8);
-        cold = cold.min(t.elapsed().as_secs_f64());
+        let cold_s = t.elapsed().as_secs_f64();
 
         if index_dir.exists() {
             std::fs::remove_dir_all(&index_dir).expect("clearing index dir");
@@ -91,21 +97,38 @@ fn main() {
         let t = Instant::now();
         let index =
             Index::create(&index_dir, bfh.clone(), coll.taxa.clone()).expect("index create");
-        save = save.min(t.elapsed().as_secs_f64());
+        let save_s = t.elapsed().as_secs_f64();
         drop(index);
 
         let t = Instant::now();
         let index = Index::open(&index_dir).expect("index open");
-        load = load.min(t.elapsed().as_secs_f64());
+        let load_s = t.elapsed().as_secs_f64();
         assert_eq!(
             index.bfh().distinct(),
             bfh.distinct(),
             "loaded hash diverged"
         );
         assert_eq!(index.bfh().sum(), bfh.sum(), "loaded hash diverged");
+        if rep > 0 {
+            colds.push(cold_s);
+            saves.push(save_s);
+            loads.push(load_s);
+        }
         built = Some((bfh, coll));
     }
     let (bfh, coll) = built.expect("at least one repeat ran");
+    let (cold, cold_cv) = (
+        bfhrf_bench::stats::median(&colds),
+        bfhrf_bench::stats::coeff_of_variation(&colds),
+    );
+    let (save, save_cv) = (
+        bfhrf_bench::stats::median(&saves),
+        bfhrf_bench::stats::coeff_of_variation(&saves),
+    );
+    let (load, load_cv) = (
+        bfhrf_bench::stats::median(&loads),
+        bfhrf_bench::stats::coeff_of_variation(&loads),
+    );
     eprintln!("[index_bench] cold build {cold:.4}s, snapshot save {save:.4}s, load {load:.4}s");
 
     // -------- serving: avgrf throughput at 1/4/8 clients ---------------
@@ -124,8 +147,9 @@ fn main() {
     let addr = srv.local_addr();
     let handle = std::thread::spawn(move || srv.run().expect("server run"));
 
-    let mut serve_rows = Vec::new();
-    for clients in [1usize, 4, 8] {
+    // per client count: one warmup batch, then `repeats` timed batches;
+    // the row carries the median qps and its CV
+    let run_batch = |clients: usize, n_requests: usize| -> f64 {
         let t = Instant::now();
         std::thread::scope(|scope| {
             for _ in 0..clients {
@@ -135,7 +159,7 @@ fn main() {
                     let mut writer = stream.try_clone().expect("client clone");
                     let mut reader = BufReader::new(stream);
                     let mut line = String::new();
-                    for _ in 0..requests {
+                    for _ in 0..n_requests {
                         writer
                             .write_all(format!("{query}\n").as_bytes())
                             .expect("client write");
@@ -146,13 +170,26 @@ fn main() {
                 });
             }
         });
-        let seconds = t.elapsed().as_secs_f64();
+        t.elapsed().as_secs_f64()
+    };
+    let mut serve_rows = Vec::new();
+    for clients in [1usize, 4, 8] {
+        run_batch(clients, (requests / 4).max(5)); // warmup
         let total = clients * requests;
-        let qps = total as f64 / seconds;
+        let mut qpss = Vec::with_capacity(repeats);
+        let mut secs = Vec::with_capacity(repeats);
+        for _ in 0..repeats {
+            let seconds = run_batch(clients, requests);
+            secs.push(seconds);
+            qpss.push(total as f64 / seconds);
+        }
+        let seconds = bfhrf_bench::stats::median(&secs);
+        let qps = bfhrf_bench::stats::median(&qpss);
+        let cv = bfhrf_bench::stats::coeff_of_variation(&qpss);
         eprintln!(
-            "[index_bench] {clients} client(s): {total} requests in {seconds:.4}s ({qps:.1}/s)"
+            "[index_bench] {clients} client(s): {total} requests in {seconds:.4}s ({qps:.1}/s, cv {cv:.3})"
         );
-        serve_rows.push((clients, total, seconds, qps));
+        serve_rows.push((clients, total, seconds, qps, cv));
     }
 
     let mut bye = TcpStream::connect(addr).expect("shutdown connect");
@@ -171,19 +208,23 @@ fn main() {
         bfh.distinct()
     );
     let _ = writeln!(json, "  \"repeats\": {repeats},");
+    json.push_str("  \"warmup\": 1,\n");
     let _ = writeln!(json, "  \"cold_build_seconds\": {cold:.6},");
+    let _ = writeln!(json, "  \"cold_build_cv\": {cold_cv:.4},");
     let _ = writeln!(json, "  \"snapshot_save_seconds\": {save:.6},");
+    let _ = writeln!(json, "  \"snapshot_save_cv\": {save_cv:.4},");
     let _ = writeln!(json, "  \"snapshot_load_seconds\": {load:.6},");
+    let _ = writeln!(json, "  \"snapshot_load_cv\": {load_cv:.4},");
     let _ = writeln!(
         json,
         "  \"load_speedup_vs_cold_build\": {:.3},",
         cold / load
     );
     json.push_str("  \"serve\": [\n");
-    for (i, (clients, total, seconds, qps)) in serve_rows.iter().enumerate() {
+    for (i, (clients, total, seconds, qps, cv)) in serve_rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"clients\": {clients}, \"requests\": {total}, \"seconds\": {seconds:.6}, \"qps\": {qps:.1}}}"
+            "    {{\"clients\": {clients}, \"requests\": {total}, \"seconds\": {seconds:.6}, \"qps\": {qps:.1}, \"cv\": {cv:.4}}}"
         );
         json.push_str(if i + 1 < serve_rows.len() {
             ",\n"

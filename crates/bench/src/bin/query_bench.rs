@@ -1,0 +1,347 @@
+//! Query-path benchmark: frozen probe-optimized kernel vs the live
+//! hashbrown hash, emitted as machine-readable JSON (`BENCH_query.json`).
+//!
+//! ```text
+//! query_bench [--fast] [--trees R] [--queries Q] [--repeats K] [--out FILE]
+//! ```
+//!
+//! Four sections, one file:
+//!
+//! 1. **Single-thread probe path**: the headline. Query splits are
+//!    extracted and hashed once up front (both paths share that cost in
+//!    production), then the pure probe kernels race over the same
+//!    batches: the hashbrown map probe (`split_frequency_words` per
+//!    split) vs the frozen pipelined kernel
+//!    (`FrozenBfh::frequency_sum_batch`). Target: ≥ 1.5× (measured
+//!    ~2×). Reported as median seconds with CV and probes/second.
+//! 2. **End-to-end**: full single-thread query scoring — extraction +
+//!    hashing + probing + Algorithm 2 — live (`bfhrf_average_scratch`
+//!    over `Bfh`) vs frozen (`FrozenBfh::average_scratch`). Extraction
+//!    dominates here (~70% of a query at n = 144), so this speedup is
+//!    the diluted, whole-pipeline view of the same kernel win.
+//! 3. **Multi-thread**: the same batch through the parallel comparators.
+//! 4. **Serve**: requests/second of a real `bfhrf serve` daemon (frozen
+//!    snapshot path) over one connection, next to an in-process
+//!    emulation of the pre-freeze request path (parse + live sequential
+//!    probe per request) for the before/after contrast.
+//!
+//! Every frozen answer is asserted equal to the live answer before any
+//! timing is reported — a throughput win can never hide a correctness
+//! loss.
+
+use bfhrf::{BfhrfComparator, Comparator, FrozenComparator};
+use bfhrf_bench::measure::measured_repeats;
+use phylo::BipartitionScratch;
+use phylo_sim::DatasetSpec;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trees = 2000usize;
+    let mut queries = 200usize;
+    let mut repeats = 5usize;
+    let mut requests = 300usize;
+    let mut out_path = "BENCH_query.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("query_bench: {name} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        let parse = |name: &str, v: String| -> usize {
+            v.parse().unwrap_or_else(|e| {
+                eprintln!("query_bench: bad {name}: {e}");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--fast" => {
+                trees = 300;
+                queries = 50;
+                repeats = 2;
+                requests = 50;
+            }
+            "--trees" => trees = parse("--trees", grab("--trees")),
+            "--queries" => queries = parse("--queries", grab("--queries")),
+            "--repeats" => repeats = parse("--repeats", grab("--repeats")),
+            "--requests" => requests = parse("--requests", grab("--requests")),
+            "--out" => out_path = grab("--out"),
+            other => {
+                eprintln!("query_bench: unknown argument {other:?}");
+                eprintln!(
+                    "usage: query_bench [--fast] [--trees R] [--queries Q] [--repeats K] [--requests N] [--out FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let repeats = repeats.max(1);
+    let queries = queries.max(1);
+
+    eprintln!("[query_bench] generating insect preset (n=144, r={trees}) ...");
+    let spec = DatasetSpec::insect().with_trees(trees);
+    let ds = bfhrf_bench::datasets::prepare(&spec);
+    let coll = phylo::TreeCollection::parse(&ds.newick).expect("simulated trees parse");
+    let q: Vec<phylo::Tree> = coll.trees.iter().take(queries).cloned().collect();
+
+    eprintln!("[query_bench] building + freezing the hash ...");
+    let bfh = bfhrf::Bfh::build_sharded(&coll.trees, &coll.taxa, 8);
+    let frozen = bfh.freeze();
+
+    // Correctness first: frozen must answer exactly like live on every
+    // query before any throughput number is written down.
+    {
+        let mut scratch = BipartitionScratch::new();
+        for tree in &q {
+            assert_eq!(
+                bfhrf::bfhrf_average(tree, &coll.taxa, &bfh),
+                frozen.average_scratch(tree, &coll.taxa, &mut scratch),
+                "frozen diverged from live"
+            );
+        }
+    }
+
+    // -------- single-thread probe path (the headline) ------------------
+    // Extract + hash every query's splits once, as production batched
+    // scoring does, then race the two probe kernels over identical input.
+    eprintln!("[query_bench] probe path: hashbrown vs frozen kernel ...");
+    use bfhrf::SplitFrequency;
+    let batches: Vec<(usize, Vec<u64>, Vec<u128>)> = {
+        let mut scratch = BipartitionScratch::new();
+        q.iter()
+            .map(|tree| {
+                let b = scratch.batch_splits(tree, &coll.taxa);
+                let masks: Vec<u64> = (0..b.len())
+                    .flat_map(|i| b.mask(i).iter().copied())
+                    .collect();
+                (b.words(), masks, b.hashes().to_vec())
+            })
+            .collect()
+    };
+    let total_probes: usize = batches.iter().map(|(_, _, h)| h.len()).sum();
+    {
+        // both kernels must sum the same frequencies over the same batches
+        let mut live_sum = 0u64;
+        let mut frozen_sum = 0u64;
+        for (words, masks, hashes) in &batches {
+            for i in 0..hashes.len() {
+                let w = &masks[i * words..(i + 1) * words];
+                live_sum += u64::from(bfh.split_frequency_words(coll.taxa.len(), w));
+            }
+            let batch = phylo::SplitBatch::from_parts(*words, masks, hashes);
+            frozen_sum += frozen.frequency_sum_batch(&batch);
+        }
+        assert_eq!(live_sum, frozen_sum, "probe kernels diverged");
+    }
+    let live_probe = measured_repeats(1, repeats, || {
+        let mut acc = 0u64;
+        for (words, masks, hashes) in &batches {
+            for i in 0..hashes.len() {
+                let w = &masks[i * words..(i + 1) * words];
+                acc += u64::from(bfh.split_frequency_words(coll.taxa.len(), w));
+            }
+        }
+        acc
+    });
+    let frozen_probe = measured_repeats(1, repeats, || {
+        let mut acc = 0u64;
+        for (words, masks, hashes) in &batches {
+            let batch = phylo::SplitBatch::from_parts(*words, masks, hashes);
+            acc += frozen.frequency_sum_batch(&batch);
+        }
+        acc
+    });
+    let probe_speedup = live_probe.median_s / frozen_probe.median_s;
+    eprintln!(
+        "[query_bench] probe path: live {:.1} ns/probe (cv {:.3}), frozen {:.1} ns/probe (cv {:.3}) → {probe_speedup:.2}x",
+        live_probe.median_s * 1e9 / total_probes as f64,
+        live_probe.cv,
+        frozen_probe.median_s * 1e9 / total_probes as f64,
+        frozen_probe.cv
+    );
+
+    // -------- end-to-end single-thread query scoring -------------------
+    eprintln!("[query_bench] end-to-end: live vs frozen ...");
+    let live_st = measured_repeats(1, repeats, || {
+        let mut scratch = BipartitionScratch::new();
+        let mut acc = 0u64;
+        for tree in &q {
+            let rf = bfhrf::rf::bfhrf_average_scratch(tree, &coll.taxa, &bfh, &mut scratch);
+            acc = acc.wrapping_add(rf.left + rf.right);
+        }
+        acc
+    });
+    let frozen_st = measured_repeats(1, repeats, || {
+        let mut scratch = BipartitionScratch::new();
+        let mut acc = 0u64;
+        for tree in &q {
+            let rf = frozen.average_scratch(tree, &coll.taxa, &mut scratch);
+            acc = acc.wrapping_add(rf.left + rf.right);
+        }
+        acc
+    });
+    let st_speedup = live_st.median_s / frozen_st.median_s;
+    eprintln!(
+        "[query_bench] end-to-end: live {:.4}s (cv {:.3}), frozen {:.4}s (cv {:.3}) → {st_speedup:.2}x",
+        live_st.median_s, live_st.cv, frozen_st.median_s, frozen_st.cv
+    );
+
+    // -------- multi-thread comparator throughput -----------------------
+    eprintln!("[query_bench] multi-thread comparators ...");
+    let live_cmp = BfhrfComparator::new(&bfh, &coll.taxa).parallel(true);
+    let frozen_cmp = FrozenComparator::new(&frozen, &coll.taxa).parallel(true);
+    assert_eq!(
+        live_cmp.average_all(&q).expect("live batch"),
+        frozen_cmp.average_all(&q).expect("frozen batch"),
+        "parallel frozen diverged from live"
+    );
+    let live_mt = measured_repeats(1, repeats, || live_cmp.average_all(&q).expect("live batch"));
+    let frozen_mt = measured_repeats(1, repeats, || {
+        frozen_cmp.average_all(&q).expect("frozen batch")
+    });
+    let mt_speedup = live_mt.median_s / frozen_mt.median_s;
+    eprintln!(
+        "[query_bench] multi-thread: live {:.4}s, frozen {:.4}s → {mt_speedup:.2}x",
+        live_mt.median_s, frozen_mt.median_s
+    );
+
+    // -------- serve: daemon qps vs pre-freeze request-path emulation ---
+    eprintln!("[query_bench] serve daemon ({requests} requests, 1 client) ...");
+    let dir = std::env::temp_dir().join(format!("bfhrf-query-bench-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clearing scratch dir");
+    }
+    let index_dir = dir.join("index");
+    std::fs::create_dir_all(&dir).expect("creating scratch dir");
+    phylo_index::Index::create(&index_dir, bfh.clone(), coll.taxa.clone()).expect("index create");
+
+    let query_line = format!(
+        r#"{{"op":"avgrf","queries":["{}"]}}"#,
+        phylo::write_newick(&coll.trees[0], &coll.taxa)
+    );
+    let srv = bfhrf_cli::server::Server::bind(&bfhrf_cli::server::ServeConfig {
+        index_dir: index_dir.clone(),
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        mem_budget: None,
+        timeout_ms: None,
+    })
+    .expect("server bind");
+    let addr = srv.local_addr();
+    let handle = std::thread::spawn(move || srv.run().expect("server run"));
+    let serve_qps = {
+        let stream = TcpStream::connect(addr).expect("client connect");
+        let mut writer = stream.try_clone().expect("client clone");
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        let mut send = |n: usize| {
+            for _ in 0..n {
+                writer
+                    .write_all(format!("{query_line}\n").as_bytes())
+                    .expect("client write");
+                line.clear();
+                reader.read_line(&mut line).expect("client read");
+                assert!(line.contains("\"ok\":true"), "server refused: {line}");
+            }
+        };
+        send((requests / 4).max(5)); // warmup
+        let t = Instant::now();
+        send(requests);
+        requests as f64 / t.elapsed().as_secs_f64()
+    };
+    let mut bye = TcpStream::connect(addr).expect("shutdown connect");
+    bye.write_all(b"{\"op\":\"shutdown\"}\n")
+        .expect("shutdown write");
+    drop(bye);
+    handle.join().expect("server thread");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The pre-freeze request path, minus the socket: clone-namespace
+    // parse + live sequential probe per request (what each served query
+    // cost before the frozen snapshot existed).
+    let newick0 = phylo::write_newick(&coll.trees[0], &coll.taxa);
+    let inproc_live = measured_repeats(1, repeats, || {
+        let mut acc = 0u64;
+        for _ in 0..requests {
+            let mut scratch_taxa = coll.taxa.clone();
+            let tree = phylo::parse_newick(&newick0, &mut scratch_taxa, phylo::TaxaPolicy::Require)
+                .expect("query parses");
+            let rf = bfhrf::bfhrf_average(&tree, &coll.taxa, &bfh);
+            acc = acc.wrapping_add(rf.left + rf.right);
+        }
+        acc
+    });
+    let inproc_frozen = measured_repeats(1, repeats, || {
+        let mut scratch = BipartitionScratch::new();
+        let mut acc = 0u64;
+        for _ in 0..requests {
+            let tree = phylo::parse_newick_readonly(&newick0, &coll.taxa).expect("query parses");
+            let rf = frozen.average_scratch(&tree, &coll.taxa, &mut scratch);
+            acc = acc.wrapping_add(rf.left + rf.right);
+        }
+        acc
+    });
+    let inproc_live_qps = requests as f64 / inproc_live.median_s;
+    let inproc_frozen_qps = requests as f64 / inproc_frozen.median_s;
+    eprintln!(
+        "[query_bench] serve {serve_qps:.1} q/s; in-process request path: live {inproc_live_qps:.1} q/s, frozen {inproc_frozen_qps:.1} q/s"
+    );
+
+    // -------- emit ------------------------------------------------------
+    let q_per_run = q.len() as f64;
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"dataset\": {{\"name\": \"insect\", \"n_taxa\": {}, \"n_trees\": {}, \"distinct\": {}}},",
+        coll.taxa.len(),
+        coll.len(),
+        frozen.distinct()
+    );
+    let _ = writeln!(json, "  \"queries\": {},", q.len());
+    let _ = writeln!(json, "  \"repeats\": {repeats},");
+    json.push_str("  \"warmup\": 1,\n");
+    let _ = writeln!(
+        json,
+        "  \"single_thread\": {{\"probes\": {total_probes}, \"live_seconds\": {:.6}, \"live_cv\": {:.4}, \"live_mprobes_per_s\": {:.2}, \"frozen_seconds\": {:.6}, \"frozen_cv\": {:.4}, \"frozen_mprobes_per_s\": {:.2}, \"speedup\": {:.3}}},",
+        live_probe.median_s,
+        live_probe.cv,
+        total_probes as f64 / live_probe.median_s / 1e6,
+        frozen_probe.median_s,
+        frozen_probe.cv,
+        total_probes as f64 / frozen_probe.median_s / 1e6,
+        probe_speedup
+    );
+    let _ = writeln!(
+        json,
+        "  \"end_to_end\": {{\"live_seconds\": {:.6}, \"live_cv\": {:.4}, \"live_qps\": {:.1}, \"frozen_seconds\": {:.6}, \"frozen_cv\": {:.4}, \"frozen_qps\": {:.1}, \"speedup\": {:.3}}},",
+        live_st.median_s,
+        live_st.cv,
+        q_per_run / live_st.median_s,
+        frozen_st.median_s,
+        frozen_st.cv,
+        q_per_run / frozen_st.median_s,
+        st_speedup
+    );
+    let _ = writeln!(
+        json,
+        "  \"multi_thread\": {{\"live_seconds\": {:.6}, \"live_cv\": {:.4}, \"frozen_seconds\": {:.6}, \"frozen_cv\": {:.4}, \"speedup\": {:.3}}},",
+        live_mt.median_s, live_mt.cv, frozen_mt.median_s, frozen_mt.cv, mt_speedup
+    );
+    let _ = writeln!(
+        json,
+        "  \"serve\": {{\"requests\": {requests}, \"clients\": 1, \"qps\": {serve_qps:.1}, \"inproc_live_qps\": {inproc_live_qps:.1}, \"inproc_frozen_qps\": {inproc_frozen_qps:.1}}}"
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!(
+        "single-thread probe path frozen vs hashbrown: {probe_speedup:.2}x, end-to-end {st_speedup:.2}x (written to {out_path})"
+    );
+}

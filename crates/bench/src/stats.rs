@@ -54,9 +54,56 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
     (a, b, r2)
 }
 
+/// Median of a sample (mean of the middle pair for even sizes).
+///
+/// # Panics
+/// Panics on an empty sample.
+pub fn median(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of an empty sample");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Coefficient of variation (population std-dev / mean) — the dispersion
+/// figure every BENCH_*.json records next to its median so a noisy run is
+/// visible in the artifact. Zero for a single sample or a zero mean.
+pub fn coeff_of_variation(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn median_odd_even_and_unsorted() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn cv_of_constant_sample_is_zero() {
+        assert_eq!(coeff_of_variation(&[5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(coeff_of_variation(&[5.0]), 0.0);
+        let cv = coeff_of_variation(&[9.0, 11.0]);
+        assert!((cv - 0.1).abs() < 1e-12, "{cv}");
+    }
 
     #[test]
     fn perfect_line() {

@@ -32,17 +32,47 @@ const SPARSE_COMPLEMENT: u8 = 0x02;
 /// Compress to the smallest of the dense / sparse / sparse-complement
 /// encodings.
 pub fn compress(bits: &Bits) -> Box<[u8]> {
-    let dense_len = 1 + dense_size(bits);
-    let sparse = sparse_encode(bits.iter_ones(), SPARSE);
-    let complement = bits.complemented();
-    let co = sparse_encode(complement.iter_ones(), SPARSE_COMPLEMENT);
-    let best_sparse = if co.len() < sparse.len() { co } else { sparse };
-    if best_sparse.len() < dense_len {
-        best_sparse.into_boxed_slice()
+    let mut out = Vec::new();
+    compress_words_into(bits.words(), bits.len(), &mut out);
+    out.into_boxed_slice()
+}
+
+/// [`compress`] from a raw canonical word slice into a reusable buffer —
+/// the probe-side variant: no [`Bits`] materialization, no complement
+/// allocation, no temporary candidate encodings. The winning encoding is
+/// *sized* first (popcount-driven gap walks), then written once, so a
+/// steady-state caller allocates nothing. Output bytes are identical to
+/// [`compress`] on the same mask.
+///
+/// `words` must honor the canonical padding invariant (tail bits beyond
+/// `nbits` zero), as every mask in this workspace does.
+pub fn compress_words_into(words: &[u64], nbits: usize, out: &mut Vec<u8>) {
+    out.clear();
+    let dense_len = 1 + match last_one_words(words) {
+        None => 0,
+        Some(i) => i / 8 + 1,
+    };
+    let sparse_len = 1 + gap_varint_bytes(iter_ones_words(words));
+    let co_len = 1 + gap_varint_bytes(iter_zeros_words(words, nbits));
+    // Same tie-breaking as the original: complement wins only when strictly
+    // smaller than sparse; dense wins ties against the best sparse form.
+    let (best_sparse_len, best_sparse_tag) = if co_len < sparse_len {
+        (co_len, SPARSE_COMPLEMENT)
     } else {
-        let mut out = Vec::with_capacity(dense_len);
+        (sparse_len, SPARSE)
+    };
+    if best_sparse_len < dense_len {
+        out.reserve(best_sparse_len);
+        out.push(best_sparse_tag);
+        if best_sparse_tag == SPARSE_COMPLEMENT {
+            write_gaps(out, iter_zeros_words(words, nbits));
+        } else {
+            write_gaps(out, iter_ones_words(words));
+        }
+    } else {
+        out.reserve(dense_len);
         out.push(DENSE);
-        'outer: for w in bits.words() {
+        'outer: for w in words {
             for b in w.to_le_bytes() {
                 if out.len() == dense_len {
                     break 'outer;
@@ -50,7 +80,89 @@ pub fn compress(bits: &Bits) -> Box<[u8]> {
                 out.push(b);
             }
         }
-        out.into_boxed_slice()
+    }
+}
+
+/// Highest set bit of a word slice.
+fn last_one_words(words: &[u64]) -> Option<usize> {
+    words
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, &w)| w != 0)
+        .map(|(wi, &w)| wi * 64 + 63 - w.leading_zeros() as usize)
+}
+
+/// Set-bit indices of a word slice, ascending.
+fn iter_ones_words(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(|(wi, &word)| {
+        let mut w = word;
+        std::iter::from_fn(move || {
+            if w == 0 {
+                return None;
+            }
+            let b = w.trailing_zeros() as usize;
+            w &= w - 1;
+            Some(wi * 64 + b)
+        })
+    })
+}
+
+/// Clear-bit indices below `nbits`, ascending (padding bits beyond `nbits`
+/// read as set in `!w` and are cut off by the bound).
+fn iter_zeros_words(words: &[u64], nbits: usize) -> impl Iterator<Item = usize> + '_ {
+    words
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, &word)| {
+            let mut w = !word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + b)
+            })
+        })
+        .take_while(move |&i| i < nbits)
+}
+
+/// Encoded length of `v` as a LEB128 varint.
+#[inline]
+fn varint_len(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (70 - v.leading_zeros() as usize) / 7
+    }
+}
+
+/// Total varint bytes the gap encoding of `indices` would occupy.
+fn gap_varint_bytes<I: Iterator<Item = usize>>(indices: I) -> usize {
+    let mut prev: Option<usize> = None;
+    let mut total = 0usize;
+    for i in indices {
+        let gap = match prev {
+            None => i as u64,
+            Some(p) => (i - p - 1) as u64,
+        };
+        total += varint_len(gap);
+        prev = Some(i);
+    }
+    total
+}
+
+/// Write the gap encoding of `indices` (no tag byte).
+fn write_gaps<I: Iterator<Item = usize>>(out: &mut Vec<u8>, indices: I) {
+    let mut prev: Option<usize> = None;
+    for i in indices {
+        let gap = match prev {
+            None => i as u64,
+            Some(p) => (i - p - 1) as u64,
+        };
+        write_varint(out, gap);
+        prev = Some(i);
     }
 }
 
@@ -105,28 +217,6 @@ pub fn decompress(data: &[u8], nbits: usize) -> Option<Bits> {
         }
         _ => None,
     }
-}
-
-/// Dense payload size: bytes up to the highest set bit.
-fn dense_size(bits: &Bits) -> usize {
-    match bits.last_one() {
-        None => 0,
-        Some(i) => i / 8 + 1,
-    }
-}
-
-fn sparse_encode<I: Iterator<Item = usize>>(ones: I, tag: u8) -> Vec<u8> {
-    let mut out = vec![tag];
-    let mut prev: Option<usize> = None;
-    for i in ones {
-        let gap = match prev {
-            None => i as u64,
-            Some(p) => (i - p - 1) as u64,
-        };
-        write_varint(&mut out, gap);
-        prev = Some(i);
-    }
-    out
 }
 
 fn write_varint(out: &mut Vec<u8>, mut v: u64) {
@@ -220,6 +310,38 @@ mod tests {
             decompress(&[DENSE, 0xff, 0xff], 10).is_none(),
             "dense payload exceeds nbits"
         );
+    }
+
+    #[test]
+    fn words_encoder_is_byte_identical_to_owned_encoder() {
+        let cases = [
+            Bits::zeros(0),
+            Bits::zeros(100),
+            Bits::ones(100),
+            Bits::from_indices(63, [0, 31, 62]),
+            Bits::from_indices(64, [63]),
+            Bits::from_indices(65, [64]),
+            Bits::from_indices(65, [0, 63, 64]),
+            Bits::from_indices(128, [0, 127]),
+            Bits::from_indices(128, 0..64),
+            Bits::from_indices(1000, [3, 700]),
+            Bits::from_indices(1000, 2..998),
+        ];
+        let mut buf = Vec::new();
+        for b in &cases {
+            compress_words_into(b.words(), b.len(), &mut buf);
+            assert_eq!(buf.as_slice(), &*compress(b), "width {} mask {b}", b.len());
+            assert_eq!(decompress(&buf, b.len()).as_ref(), Some(b));
+        }
+    }
+
+    #[test]
+    fn varint_len_matches_written_bytes() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, 1 << 62, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(varint_len(v), buf.len(), "v={v}");
+        }
     }
 
     #[test]

@@ -40,7 +40,8 @@ pub use bits::Bits;
 pub use hasher::{BuildWordHasher, WordHasher};
 pub use iter::Ones;
 pub use splithash::{
-    map_get_words, map_get_words_mut, set_contains_words, shard_of, split_hash128, WordsKey,
+    hash_bucket, hash_tag, map_get_words, map_get_words_mut, set_contains_words, shard_of,
+    split_hash128, WordsKey,
 };
 
 /// Number of bits per storage word.

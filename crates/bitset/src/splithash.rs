@@ -52,8 +52,24 @@ pub fn split_hash128(words: &[u64]) -> u128 {
 #[inline]
 pub fn shard_of(hash: u128, shards: usize) -> usize {
     debug_assert!(shards > 0, "shard_of: zero shards");
-    let high = (hash >> 64) as u64;
-    (((high as u128) * (shards as u128)) >> 64) as usize
+    (((hash_bucket(hash) as u128) * (shards as u128)) >> 64) as usize
+}
+
+/// The bucket-selection lane of a split hash: the high 64 bits — the same
+/// lane [`shard_of`] routes on, so an open-addressing table indexed by this
+/// lane stays balanced whether or not the hash was sharded first.
+#[inline]
+pub fn hash_bucket(hash: u128) -> u64 {
+    (hash >> 64) as u64
+}
+
+/// The tag lane of a split hash: the low 64 bits, independent of
+/// [`hash_bucket`] by construction (the two lanes mix with different
+/// multipliers). Frozen probe tables store this as the per-slot tag so a
+/// probe can reject non-matching slots without touching the key pool.
+#[inline]
+pub fn hash_tag(hash: u128) -> u64 {
+    hash as u64
 }
 
 /// Borrowed view of a mask's words, usable as a lookup key in a
@@ -186,5 +202,66 @@ mod tests {
         for i in 0..100u64 {
             assert_eq!(shard_of(split_hash128(&[i]), 1), 0);
         }
+    }
+
+    #[test]
+    fn lanes_recompose_the_full_hash() {
+        for i in 0..64u64 {
+            let h = split_hash128(&[1u64 << i, i]);
+            assert_eq!(((hash_bucket(h) as u128) << 64) | hash_tag(h) as u128, h);
+        }
+    }
+
+    #[test]
+    fn word_boundary_widths_hash_and_probe_consistently() {
+        // n_bits ∈ {63, 64, 65, 128}: one-word, exactly-one-word,
+        // just-into-two-words, exactly-two-words. At each width, borrowed
+        // word-slice probes must agree with owned-key probes for masks that
+        // exercise the last valid bit and the word seam.
+        for n_bits in [63usize, 64, 65, 128] {
+            let mut map = bits_map_with_capacity::<u32>(16);
+            let masks = [
+                Bits::from_indices(n_bits, [0]),
+                Bits::from_indices(n_bits, [n_bits - 1]),
+                Bits::from_indices(n_bits, [0, n_bits - 1]),
+                Bits::from_indices(n_bits, 0..n_bits.min(64)),
+                Bits::ones(n_bits),
+            ];
+            for (v, m) in masks.iter().enumerate() {
+                map.insert(m.clone(), v as u32);
+            }
+            for m in masks.iter() {
+                // At width 63 the "low 64 bits" and "all ones" masks
+                // coincide; the later insert wins, so expect the value of
+                // the last equal mask.
+                let expected = masks.iter().rposition(|x| x == m).unwrap() as u32;
+                assert_eq!(
+                    map_get_words(&map, m.words()),
+                    Some(&expected),
+                    "width {n_bits}, mask {m}"
+                );
+                // The 128-bit hash of the same words must be self-consistent
+                // and distinct across the mask set (no tag aliasing here).
+                assert_eq!(split_hash128(m.words()), split_hash128(m.words()));
+            }
+            let hashes: Vec<u128> = masks.iter().map(|m| split_hash128(m.words())).collect();
+            for i in 0..hashes.len() {
+                for j in i + 1..hashes.len() {
+                    if masks[i] != masks[j] {
+                        assert_ne!(hashes[i], hashes[j], "width {n_bits}: {i} vs {j}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_widths_with_same_words_still_distinguishable_by_caller() {
+        // 63- and 64-bit masks with identical word content hash identically
+        // (the hash sees words only) — the documented contract is that one
+        // map never mixes widths. This pins the contract down.
+        let a = Bits::from_indices(63, [5]);
+        let b = Bits::from_indices(64, [5]);
+        assert_eq!(split_hash128(a.words()), split_hash128(b.words()));
     }
 }

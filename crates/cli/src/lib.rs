@@ -26,8 +26,8 @@ pub mod server;
 
 use args::Args;
 use bfhrf::{
-    best_query, hashrf_or_degrade, BfhBuilder, BfhrfComparator, Comparator, CoreError,
-    DayComparator, HashRfConfig, RunBudget, RunGuard, SetComparator,
+    best_query, hashrf_or_degrade, BfhBuilder, Comparator, CoreError, DayComparator,
+    FrozenComparator, HashRfConfig, RunBudget, RunGuard, SetComparator,
 };
 use phylo::{IngestPolicy, IngestReport, TaxaPolicy, TreeCollection};
 use std::fmt::Write as _;
@@ -371,7 +371,9 @@ fn cmd_avgrf(raw: &[String]) -> Result<CmdOutcome, CliError> {
                     .guard(guard.clone())
                     .from_trees(&refs.trees, &refs.taxa)
                     .map_err(core_fail)?;
-                BfhrfComparator::new(&bfh, &refs.taxa)
+                // Query through the frozen probe-optimized table; freezing
+                // is one pass over the hash just built.
+                FrozenComparator::from_owned(bfh.freeze(), &refs.taxa)
                     .parallel(algorithm == "bfhrf")
                     .average_all_guarded(&queries, &guard)
                     .map_err(core_fail)
@@ -438,7 +440,7 @@ fn cmd_best(raw: &[String]) -> Result<CmdOutcome, CliError> {
         let bfh = resolve_builder(None, None, "sharded")?
             .from_trees(&refs.trees, &refs.taxa)
             .map_err(core_fail)?;
-        BfhrfComparator::new(&bfh, &refs.taxa)
+        FrozenComparator::from_owned(bfh.freeze(), &refs.taxa)
             .parallel(true)
             .average_all(&queries)
             .map_err(core_fail)
@@ -508,7 +510,7 @@ fn cmd_matrix(raw: &[String]) -> Result<CmdOutcome, CliError> {
     let refs_path = a.require("refs")?;
     let (refs, report) = load_with(refs_path, policy)?;
     let partial = note_ingest(&mut notes, refs_path, &report);
-    let m = bfhrf::matrix::rf_matrix_exact_guarded(&refs.trees, &refs.taxa, &guard)
+    let m = bfhrf::matrix::rf_matrix_exact_parallel_guarded(&refs.trees, &refs.taxa, &guard)
         .map_err(core_fail)?;
     let mut out = String::new();
     for i in 0..m.size() {

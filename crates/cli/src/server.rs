@@ -29,20 +29,28 @@
 //! # Concurrency
 //!
 //! A fixed pool of worker threads shares one listener. Queries run on an
-//! immutable `Arc` snapshot of the hash: a reader takes the snapshot lock
-//! only long enough to clone the `Arc`, so queries never block behind an
-//! admin mutation — writers (`add`/`remove`/`compact`) mutate the
-//! [`Index`] under its own mutex, then publish a fresh snapshot by
-//! swapping the `Arc`. In-flight queries keep answering from the snapshot
-//! they started with.
+//! immutable `Arc` snapshot of the hash, pre-frozen into the
+//! probe-optimized [`bfhrf::FrozenBfh`] layout once per snapshot
+//! generation: a reader takes the snapshot lock only long enough to clone
+//! the `Arc`, so queries never block behind an admin mutation — writers
+//! (`add`/`remove`/`compact`) mutate the [`Index`] under its own mutex,
+//! then publish a fresh snapshot (freezing the mutated hash) by swapping
+//! the `Arc`. In-flight queries keep answering from the snapshot they
+//! started with.
+//!
+//! Shutdown does not poll: every live connection registers a handle in a
+//! shared registry, and the shutdown path calls `TcpStream::shutdown` on
+//! each — a worker blocked in `read` wakes immediately with EOF instead of
+//! noticing a flag at the next 250 ms poll tick.
 
 use crate::json::{self, Json};
 use crate::{CliError, EXIT_BUDGET, EXIT_ERROR};
-use bfhrf::{BfhrfComparator, Comparator, CoreError, RunBudget, RunGuard};
-use phylo::{parse_newick, TaxaPolicy, TaxonSet, Tree};
+use bfhrf::{Comparator, CoreError, FrozenComparator, RunBudget, RunGuard};
+use phylo::{parse_newick_readonly, TaxonSet, Tree};
 use phylo_index::Index;
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -51,11 +59,10 @@ use std::time::{Duration, Instant};
 /// Longest accepted request line (bytes) — bounds what a hostile client
 /// can make a worker buffer.
 const MAX_REQUEST_BYTES: usize = 32 << 20;
-/// Socket read timeout per poll: between polls the worker re-checks the
-/// shutdown flag, so an open connection delays shutdown by at most this.
-const POLL_INTERVAL: Duration = Duration::from_millis(250);
 /// A connection that sends nothing for this long is dropped, so an idle
-/// client cannot pin a worker forever.
+/// client cannot pin a worker forever. Also the socket read timeout —
+/// reads block the full window (shutdown interrupts them through the
+/// connection registry, not by polling).
 const IDLE_TIMEOUT: Duration = Duration::from_secs(300);
 
 /// Everything `bfhrf serve` needs to come up.
@@ -73,10 +80,11 @@ pub struct ServeConfig {
     pub timeout_ms: Option<u64>,
 }
 
-/// The immutable state queries read: hash + taxa, swapped atomically as a
-/// unit after every admin mutation.
+/// The immutable state queries read: frozen hash + taxa, swapped
+/// atomically as a unit after every admin mutation. Freezing happens once
+/// per snapshot generation, never on the request path.
 struct SnapView {
-    bfh: bfhrf::Bfh,
+    frozen: Arc<bfhrf::FrozenBfh>,
     taxa: TaxonSet,
 }
 
@@ -87,6 +95,48 @@ struct ServeState {
     served: AtomicU64,
     mem_budget: Option<usize>,
     timeout_ms: Option<u64>,
+    /// Live connections by id; shutdown walks this and half-closes each
+    /// socket so blocked readers wake immediately.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+}
+
+/// Registry entry for one connection, deregistered on drop (any exit path
+/// from `handle_connection`).
+struct ConnGuard<'a> {
+    state: &'a ServeState,
+    id: u64,
+}
+
+impl<'a> ConnGuard<'a> {
+    fn register(state: &'a ServeState, stream: &TcpStream) -> Option<ConnGuard<'a>> {
+        let handle = stream.try_clone().ok()?;
+        let id = state.next_conn.fetch_add(1, Ordering::Relaxed);
+        state
+            .conns
+            .lock()
+            .expect("connection registry poisoned")
+            .insert(id, handle);
+        Some(ConnGuard { state, id })
+    }
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut conns) = self.state.conns.lock() {
+            conns.remove(&self.id);
+        }
+    }
+}
+
+/// Half-close every registered connection: readers parked in `read` get
+/// EOF at once instead of waiting out a poll interval.
+fn interrupt_connections(state: &ServeState) {
+    if let Ok(conns) = state.conns.lock() {
+        for stream in conns.values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+    }
 }
 
 /// A typed request failure: protocol code + message.
@@ -147,9 +197,9 @@ pub struct Server {
 impl Server {
     /// Open the index and bind the listener.
     pub fn bind(cfg: &ServeConfig) -> Result<Server, CliError> {
-        let index = Index::open(&cfg.index_dir).map_err(crate::index_fail)?;
+        let mut index = Index::open(&cfg.index_dir).map_err(crate::index_fail)?;
         let snap = Arc::new(SnapView {
-            bfh: index.bfh().clone(),
+            frozen: index.frozen(),
             taxa: index.taxa().clone(),
         });
         let listener = TcpListener::bind(&cfg.addr)
@@ -166,6 +216,8 @@ impl Server {
                 served: AtomicU64::new(0),
                 mem_budget: cfg.mem_budget,
                 timeout_ms: cfg.timeout_ms,
+                conns: Mutex::new(HashMap::new()),
+                next_conn: AtomicU64::new(0),
             }),
             threads: cfg.threads.max(1),
             addr,
@@ -233,9 +285,11 @@ enum LineRead {
     Close,
 }
 
-/// Read one newline-terminated request, polling in short slices so the
-/// worker notices a shutdown while the socket is quiet. Partial bytes
-/// accumulate in `buf` across polls — a slow sender loses nothing.
+/// Read one newline-terminated request. The read blocks up to
+/// [`IDLE_TIMEOUT`]; shutdown interrupts it through the connection
+/// registry (the socket half-closes and the read returns EOF), so there is
+/// no polling interval to wait out. Partial bytes accumulate in `buf`
+/// across reads — a slow sender loses nothing.
 fn read_request_line(
     reader: &mut BufReader<TcpStream>,
     buf: &mut Vec<u8>,
@@ -279,10 +333,13 @@ fn read_request_line(
 }
 
 fn handle_connection(stream: TcpStream, state: &ServeState, addr: SocketAddr) {
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
+    };
+    let Some(_conn_guard) = ConnGuard::register(state, &stream) else {
+        return;
     };
     let mut reader = BufReader::new(stream);
     let mut buf = Vec::new();
@@ -310,6 +367,9 @@ fn handle_connection(stream: TcpStream, state: &ServeState, addr: SocketAddr) {
         }
         if matches!(action, Action::Shutdown) {
             state.shutdown.store(true, Ordering::SeqCst);
+            // Wake blocked readers instantly (no poll tick) and unpark any
+            // workers sitting in accept().
+            interrupt_connections(state);
             wake_workers(addr, 64); // generous: covers any thread count
             return;
         }
@@ -327,8 +387,8 @@ fn request_guard(state: &ServeState) -> RunGuard {
 
 /// Parse the request's Newick payloads against the snapshot's frozen
 /// namespace (unknown labels are request errors, not namespace growth).
+/// Read-only resolution: no per-request namespace clone.
 fn parse_payload_trees(taxa: &TaxonSet, items: &[Json]) -> Result<Vec<Tree>, ReqError> {
-    let mut scratch = taxa.clone();
     items
         .iter()
         .enumerate()
@@ -336,8 +396,7 @@ fn parse_payload_trees(taxa: &TaxonSet, items: &[Json]) -> Result<Vec<Tree>, Req
             let text = item
                 .as_str()
                 .ok_or_else(|| ReqError::new(format!("tree {i} is not a string")))?;
-            parse_newick(text, &mut scratch, TaxaPolicy::Require)
-                .map_err(|e| ReqError::new(format!("tree {i}: {e}")))
+            parse_newick_readonly(text, taxa).map_err(|e| ReqError::new(format!("tree {i}: {e}")))
         })
         .collect()
 }
@@ -382,8 +441,10 @@ fn scored(
     guard: &RunGuard,
 ) -> Result<Vec<bfhrf::QueryScore>, ReqError> {
     let queries = parse_payload_trees(&snap.taxa, payload_array(req, "queries")?)?;
-    BfhrfComparator::new(&snap.bfh, &snap.taxa)
-        .parallel(true)
+    // Rayon fan-out only pays off past a single query; the common
+    // one-query request runs on the worker thread itself.
+    FrozenComparator::new(&snap.frozen, &snap.taxa)
+        .parallel(queries.len() > 1)
         .average_all_guarded(&queries, guard)
         .map_err(ReqError::from_core)
 }
@@ -487,9 +548,10 @@ fn op_mutate(req: &Json, state: &ServeState, add: bool) -> Result<Json, ReqError
         r.map_err(ReqError::from_index)?;
         applied += 1;
     }
-    // Publish the mutated hash for queries.
+    // Publish the mutated hash for queries, frozen once for this
+    // generation; in-flight readers keep their old Arc alive.
     let snap = Arc::new(SnapView {
-        bfh: index.bfh().clone(),
+        frozen: index.frozen(),
         taxa: index.taxa().clone(),
     });
     *state.snap.write().expect("snapshot lock poisoned") = snap;

@@ -360,3 +360,28 @@ fn port_file_and_inspect() {
     let outcome = handle.join().unwrap();
     assert!(outcome.stdout.starts_with("served\t"), "{}", outcome.stdout);
 }
+
+/// Shutdown must wake a worker blocked in `read` on an idle connection at
+/// once. The socket read timeout is the 300 s idle window — without the
+/// connection-registry interrupt the join below would hang for minutes,
+/// not finish in moments.
+#[test]
+fn shutdown_interrupts_idle_connections_immediately() {
+    let dir = scratch("serve-idle-shutdown");
+    let index_dir = build_index(&dir, "((A,B),(C,D));\n((A,C),(B,D));\n");
+    let (addr, handle) = start_server(&index_dir, None);
+
+    // Park a connection that never sends a byte: a worker blocks reading it.
+    let idle = TcpStream::connect(&addr).unwrap();
+    // Let the worker reach the blocking read before shutdown fires.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    let begin = std::time::Instant::now();
+    shutdown(&addr, handle);
+    assert!(
+        begin.elapsed() < std::time::Duration::from_secs(5),
+        "shutdown took {:?} with an idle connection parked",
+        begin.elapsed()
+    );
+    drop(idle);
+}

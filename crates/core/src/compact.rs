@@ -76,6 +76,22 @@ impl CompactBfh {
         self.counts.get(&compress(bits)).copied().unwrap_or(0)
     }
 
+    /// Frequency of a canonical mask given as raw words — compresses into
+    /// a thread-local probe buffer, so the hot query path allocates
+    /// nothing per split.
+    #[inline]
+    pub fn frequency_words(&self, n_bits: usize, words: &[u64]) -> u32 {
+        debug_assert_eq!(n_bits, self.n_taxa);
+        thread_local! {
+            static PROBE: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
+        }
+        PROBE.with(|buf| {
+            let mut buf = buf.borrow_mut();
+            phylo_bitset::compress::compress_words_into(words, n_bits, &mut buf);
+            self.counts.get(buf.as_slice()).copied().unwrap_or(0)
+        })
+    }
+
     /// Total occurrences (`sumBFHR`).
     #[inline]
     pub fn sum(&self) -> u64 {
@@ -154,6 +170,7 @@ mod tests {
         assert_eq!(plain.distinct(), compact.distinct());
         for (bits, count) in plain.iter() {
             assert_eq!(compact.frequency(bits), count);
+            assert_eq!(compact.frequency_words(bits.len(), bits.words()), count);
         }
         for q in &c.trees {
             assert_eq!(

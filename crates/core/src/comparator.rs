@@ -202,6 +202,118 @@ impl Comparator for BfhrfComparator<'_> {
     }
 }
 
+/// BFHRF over a [`FrozenBfh`](crate::FrozenBfh): the same Algorithm 2
+/// arithmetic, probing the frozen struct-of-arrays table through the
+/// batched split-hashing path. Answers are bitwise-identical to
+/// [`BfhrfComparator`] over the source hash; `name()` stays `"bfhrf"` so
+/// reports don't fork on an internal layout choice.
+#[derive(Debug, Clone)]
+pub struct FrozenComparator<'a> {
+    frozen: Cow<'a, crate::FrozenBfh>,
+    taxa: &'a TaxonSet,
+    parallel: bool,
+}
+
+impl<'a> FrozenComparator<'a> {
+    /// Compare against an already-frozen hash.
+    pub fn new(frozen: &'a crate::FrozenBfh, taxa: &'a TaxonSet) -> Self {
+        FrozenComparator {
+            frozen: Cow::Borrowed(frozen),
+            taxa,
+            parallel: false,
+        }
+    }
+
+    /// Compare against a frozen hash the comparator owns.
+    pub fn from_owned(frozen: crate::FrozenBfh, taxa: &'a TaxonSet) -> Self {
+        FrozenComparator {
+            frozen: Cow::Owned(frozen),
+            taxa,
+            parallel: false,
+        }
+    }
+
+    /// Parallelize [`Comparator::average_all`] over query chunks.
+    pub fn parallel(mut self, yes: bool) -> Self {
+        self.parallel = yes;
+        self
+    }
+
+    /// The frozen table being probed.
+    pub fn frozen(&self) -> &crate::FrozenBfh {
+        &self.frozen
+    }
+}
+
+impl Comparator for FrozenComparator<'_> {
+    fn name(&self) -> &'static str {
+        "bfhrf"
+    }
+
+    fn average(&self, query: &Tree) -> Result<RfAverage, CoreError> {
+        if self.frozen.n_trees() == 0 {
+            return Err(CoreError::EmptyReference);
+        }
+        check_tree_taxa(query, self.taxa)?;
+        let mut scratch = BipartitionScratch::new();
+        Ok(self.frozen.average_scratch(query, self.taxa, &mut scratch))
+    }
+
+    fn average_all_guarded(
+        &self,
+        queries: &[Tree],
+        guard: &RunGuard,
+    ) -> Result<Vec<QueryScore>, CoreError> {
+        if self.frozen.n_trees() == 0 {
+            return Err(CoreError::EmptyReference);
+        }
+        if queries.is_empty() {
+            return Err(CoreError::EmptyQuery);
+        }
+        for q in queries {
+            check_tree_taxa(q, self.taxa)?;
+        }
+        if !self.parallel {
+            let mut scratch = BipartitionScratch::new();
+            return queries
+                .iter()
+                .enumerate()
+                .map(|(index, q)| {
+                    guard.checkpoint("bfhrf average_all")?;
+                    Ok(QueryScore {
+                        index,
+                        rf: self.frozen.average_scratch(q, self.taxa, &mut scratch),
+                    })
+                })
+                .collect();
+        }
+        // Mirrors the live parallel path: chunked for scratch reuse,
+        // panic-isolated, guard polled per query.
+        let chunk = queries.len().div_ceil(rayon::current_num_threads()).max(1);
+        let chunks: Vec<Vec<QueryScore>> = queries
+            .par_chunks(chunk)
+            .enumerate()
+            .map(|(ci, qs)| {
+                isolate("bfhrf query worker", || {
+                    let mut scratch = BipartitionScratch::new();
+                    qs.iter()
+                        .enumerate()
+                        .map(|(i, q)| {
+                            guard.checkpoint("bfhrf average_all")?;
+                            guard.panic_if_injected(ci * chunk + i);
+                            Ok(QueryScore {
+                                index: ci * chunk + i,
+                                rf: self.frozen.average_scratch(q, self.taxa, &mut scratch),
+                            })
+                        })
+                        .collect::<Result<Vec<_>, CoreError>>()
+                })
+            })
+            .collect::<Result<_, CoreError>>()?;
+        Ok(chunks.into_iter().flatten().collect())
+    }
+}
+
 /// Algorithm 1 (DS / DSMP): precomputed reference split sets, symmetric
 /// set differences per query. `parallel(true)` is the paper's DSMP.
 #[derive(Debug, Clone)]
@@ -484,9 +596,12 @@ mod tests {
     fn all_exact_comparators_agree_field_by_field() {
         let (refs, queries) = setup();
         let bfh = Bfh::build(&refs.trees, &refs.taxa);
+        let frozen = bfh.freeze();
         let engines: Vec<Box<dyn Comparator>> = vec![
             Box::new(BfhrfComparator::new(&bfh, &refs.taxa)),
             Box::new(BfhrfComparator::new(&bfh, &refs.taxa).parallel(true)),
+            Box::new(FrozenComparator::new(&frozen, &refs.taxa)),
+            Box::new(FrozenComparator::new(&frozen, &refs.taxa).parallel(true)),
             Box::new(SetComparator::new(&refs.trees, &refs.taxa)),
             Box::new(SetComparator::new(&refs.trees, &refs.taxa).parallel(true)),
             Box::new(DayComparator::new(&refs.trees, &refs.taxa)),
@@ -554,10 +669,14 @@ mod tests {
     fn guarded_batch_stops_on_cancel() {
         let (refs, queries) = setup();
         let bfh = Bfh::build(&refs.trees, &refs.taxa);
-        for cmp in [
-            BfhrfComparator::new(&bfh, &refs.taxa),
-            BfhrfComparator::new(&bfh, &refs.taxa).parallel(true),
-        ] {
+        let frozen = bfh.freeze();
+        let cmps: Vec<Box<dyn Comparator>> = vec![
+            Box::new(BfhrfComparator::new(&bfh, &refs.taxa)),
+            Box::new(BfhrfComparator::new(&bfh, &refs.taxa).parallel(true)),
+            Box::new(FrozenComparator::new(&frozen, &refs.taxa)),
+            Box::new(FrozenComparator::new(&frozen, &refs.taxa).parallel(true)),
+        ];
+        for cmp in cmps {
             let guard = RunGuard::default();
             guard.cancel.cancel();
             let err = cmp.average_all_guarded(&queries, &guard).unwrap_err();
@@ -573,6 +692,11 @@ mod tests {
         let mut guard = RunGuard::default();
         guard.inject_panic_at(1);
         let err = cmp.average_all_guarded(&queries, &guard).unwrap_err();
+        assert!(matches!(err, CoreError::WorkerPanic(_)), "{err:?}");
+        // Frozen path too
+        let frozen = bfh.freeze();
+        let fz = FrozenComparator::new(&frozen, &refs.taxa).parallel(true);
+        let err = fz.average_all_guarded(&queries, &guard).unwrap_err();
         assert!(matches!(err, CoreError::WorkerPanic(_)), "{err:?}");
         // DSMP path too
         let ds = SetComparator::new(&refs.trees, &refs.taxa).parallel(true);

@@ -1,0 +1,394 @@
+//! The frozen, read-only BFH query kernel.
+//!
+//! After a build (or snapshot load) finishes, the hash stops changing: the
+//! serve daemon answers thousands of queries per snapshot generation, and
+//! the offline CLI answers a whole query file against one build. A
+//! general-purpose hashbrown map pays for its mutability on every one of
+//! those probes — SipHash-free but still rehashing the full mask per
+//! lookup, chasing a boxed key allocation per hit, with no locality across
+//! the ~`n` probes a query tree issues. [`FrozenBfh`] freezes the map into
+//! a struct-of-arrays open-addressing table tuned for the probe loop:
+//!
+//! * a power-of-two **bucket array of 64-bit tags** derived from
+//!   [`split_hash128`] (for one-word namespaces the tag *is* the mask, so
+//!   a tag match is a key match and the pool is never touched);
+//! * a parallel **`u32` frequency array**, whose zero value doubles as the
+//!   empty-slot marker (stored frequencies are always ≥ 1);
+//! * a parallel **`u32` offset array** into one **packed word pool**
+//!   holding every distinct mask contiguously at stride
+//!   `words_for(n_taxa)` — a confirmed probe is one pooled `memcmp`, never
+//!   a pointer chase into a per-key allocation.
+//!
+//! Probing is batched: [`BipartitionScratch::batch_splits`] extracts a
+//! query's canonical masks *and* their 128-bit hashes in one post-order
+//! pass, and [`FrozenBfh::frequency_sum_batch`] walks the batch in a
+//! pipelined loop that software-prefetches the bucket of split `i + D`
+//! while probing split `i`, overlapping the cache misses that dominate on
+//! collection-scale tables (hundreds of thousands of distinct splits).
+//!
+//! The table is immutable by construction — freezing a mutated hash means
+//! freezing again — and the freeze itself is a single `O(distinct)` pass
+//! over [`Bfh::iter`], cheap next to the build that produced it.
+
+use crate::bfh::Bfh;
+use phylo::{BipartitionScratch, SplitBatch, TaxonSet, Tree};
+use phylo_bitset::{hash_bucket, hash_tag, split_hash128, words_for, Bits};
+
+/// How many splits ahead the batched probe loop prefetches. Far enough to
+/// cover a main-memory miss at typical probe cost, near enough that the
+/// lines are still resident when their probe arrives.
+const PREFETCH_AHEAD: usize = 8;
+
+/// A frozen, probe-optimized snapshot of a [`Bfh`].
+///
+/// Answers exactly the same `frequency`/`sum`/`n_trees` questions (it
+/// implements [`crate::SplitFrequency`]), bitwise-identically, but
+/// read-only.
+#[derive(Debug, Clone)]
+pub struct FrozenBfh {
+    n_taxa: usize,
+    words: usize,
+    n_trees: usize,
+    sum: u64,
+    distinct: usize,
+    /// `capacity - 1`; capacity is a power of two ≥ 2 × distinct.
+    mask: usize,
+    /// Per-slot tag: the mask word itself when `words == 1`, else the low
+    /// lane of the split hash.
+    tags: Box<[u64]>,
+    /// Per-slot stored frequency; 0 marks an empty slot.
+    freqs: Box<[u32]>,
+    /// Per-slot entry rank into `pool` (word offset = rank × words).
+    offsets: Box<[u32]>,
+    /// All distinct masks, packed at stride `words` in insertion order.
+    pool: Box<[u64]>,
+}
+
+/// Issue a best-effort prefetch of the cache line holding `*ptr`.
+#[inline(always)]
+#[allow(unused_variables)]
+fn prefetch<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch has no memory effects; any address is allowed.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch(ptr as *const i8, std::arch::x86_64::_MM_HINT_T0);
+    }
+}
+
+impl FrozenBfh {
+    /// Freeze `bfh` into the probe-optimized layout. One pass, no effect on
+    /// the source hash.
+    pub fn freeze(bfh: &Bfh) -> FrozenBfh {
+        let n_taxa = bfh.n_taxa();
+        let words = words_for(n_taxa);
+        let distinct = bfh.distinct();
+        // Load factor ≤ 0.5 keeps linear-probe chains short; minimum 8
+        // slots so the empty and near-empty cases stay trivially correct.
+        let capacity = (distinct * 2).max(8).next_power_of_two();
+        let mask = capacity - 1;
+        let mut tags = vec![0u64; capacity].into_boxed_slice();
+        let mut freqs = vec![0u32; capacity].into_boxed_slice();
+        let mut offsets = vec![0u32; capacity].into_boxed_slice();
+        let mut pool = Vec::with_capacity(distinct * words);
+        for (bits, freq) in bfh.iter() {
+            debug_assert!(freq >= 1, "stored frequencies are tree counts");
+            let w = bits.words();
+            let h = split_hash128(w);
+            let mut i = hash_bucket(h) as usize & mask;
+            while freqs[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            tags[i] = if words == 1 { w[0] } else { hash_tag(h) };
+            freqs[i] = freq;
+            offsets[i] = (pool.len() / words.max(1)) as u32;
+            pool.extend_from_slice(w);
+        }
+        FrozenBfh {
+            n_taxa,
+            words,
+            n_trees: bfh.n_trees(),
+            sum: bfh.sum(),
+            distinct,
+            mask,
+            tags,
+            freqs,
+            offsets,
+            pool: pool.into_boxed_slice(),
+        }
+    }
+
+    /// Number of taxa in the namespace.
+    #[inline]
+    pub fn n_taxa(&self) -> usize {
+        self.n_taxa
+    }
+
+    /// Number of reference trees folded in (`r`).
+    #[inline]
+    pub fn n_trees(&self) -> usize {
+        self.n_trees
+    }
+
+    /// Total split occurrences (`sumBFHR`).
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Number of distinct splits stored.
+    #[inline]
+    pub fn distinct(&self) -> usize {
+        self.distinct
+    }
+
+    /// Slot count of the bucket array.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Approximate heap bytes of the frozen layout.
+    pub fn approx_bytes(&self) -> usize {
+        self.tags.len() * 8 + self.freqs.len() * 4 + self.offsets.len() * 4 + self.pool.len() * 8
+    }
+
+    /// Frequency of the canonical mask `w` whose split hash is already
+    /// known (the batched path computes it during extraction).
+    #[inline]
+    pub fn frequency_hashed(&self, h: u128, w: &[u64]) -> u32 {
+        if self.distinct == 0 {
+            return 0;
+        }
+        let mut i = hash_bucket(h) as usize & self.mask;
+        if self.words == 1 {
+            // One-word namespace: the tag is the mask, equality is exact.
+            let t = w[0];
+            loop {
+                let f = self.freqs[i];
+                if f == 0 {
+                    return 0;
+                }
+                if self.tags[i] == t {
+                    return f;
+                }
+                i = (i + 1) & self.mask;
+            }
+        }
+        let t = hash_tag(h);
+        loop {
+            let f = self.freqs[i];
+            if f == 0 {
+                return 0;
+            }
+            if self.tags[i] == t {
+                let off = self.offsets[i] as usize * self.words;
+                if &self.pool[off..off + self.words] == w {
+                    return f;
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Frequency of a canonical mask given as raw words (hash computed
+    /// here; prefer the batched path for whole query trees).
+    #[inline]
+    pub fn frequency_words(&self, w: &[u64]) -> u32 {
+        self.frequency_hashed(split_hash128(w), w)
+    }
+
+    /// Frequency of a canonical split (0 if absent).
+    #[inline]
+    pub fn frequency(&self, bits: &Bits) -> u32 {
+        debug_assert_eq!(bits.len(), self.n_taxa, "namespace width mismatch");
+        self.frequency_words(bits.words())
+    }
+
+    /// Prefetch the bucket a hash will land in — tag, frequency, and
+    /// offset lanes, which sit in separate arrays by design.
+    #[inline(always)]
+    fn prefetch_bucket(&self, h: u128) {
+        let i = hash_bucket(h) as usize & self.mask;
+        prefetch(&raw const self.tags[i]);
+        prefetch(&raw const self.freqs[i]);
+        if self.words > 1 {
+            prefetch(&raw const self.offsets[i]);
+        }
+    }
+
+    /// Σ frequency over a whole extracted batch — the quantity Algorithm 2
+    /// needs — in one pipelined pass with software prefetch
+    /// [`PREFETCH_AHEAD`] splits ahead.
+    pub fn frequency_sum_batch(&self, batch: &SplitBatch<'_>) -> u64 {
+        if self.distinct == 0 {
+            return 0;
+        }
+        let n = batch.len();
+        let hashes = batch.hashes();
+        for &h in hashes.iter().take(PREFETCH_AHEAD.min(n)) {
+            self.prefetch_bucket(h);
+        }
+        let mut total = 0u64;
+        for i in 0..n {
+            if let Some(&h) = hashes.get(i + PREFETCH_AHEAD) {
+                self.prefetch_bucket(h);
+            }
+            total += u64::from(self.frequency_hashed(hashes[i], batch.mask(i)));
+        }
+        total
+    }
+
+    /// Average RF of one query tree against the frozen hash through a
+    /// caller-owned extraction arena — the batched Algorithm 2: one
+    /// post-order pass extracts masks + hashes, one pipelined loop probes
+    /// them.
+    ///
+    /// # Panics
+    /// Panics if the frozen hash holds no trees (average undefined).
+    pub fn average_scratch(
+        &self,
+        query: &Tree,
+        taxa: &TaxonSet,
+        scratch: &mut BipartitionScratch,
+    ) -> crate::RfAverage {
+        assert!(
+            self.n_trees > 0,
+            "average RF over an empty reference collection"
+        );
+        let r = self.n_trees as u64;
+        let batch = scratch.batch_splits(query, taxa);
+        let q_splits = batch.len() as u64;
+        let freq_sum = self.frequency_sum_batch(&batch);
+        crate::RfAverage {
+            left: self.sum - freq_sum,
+            right: q_splits * r - freq_sum,
+            n_refs: self.n_trees,
+        }
+    }
+}
+
+impl Bfh {
+    /// Freeze this hash into the probe-optimized read-only layout. See
+    /// [`FrozenBfh`].
+    pub fn freeze(&self) -> FrozenBfh {
+        FrozenBfh::freeze(self)
+    }
+}
+
+impl crate::SplitFrequency for FrozenBfh {
+    fn split_frequency(&self, bits: &Bits) -> u32 {
+        self.frequency(bits)
+    }
+
+    fn occurrence_sum(&self) -> u64 {
+        self.sum
+    }
+
+    fn reference_count(&self) -> usize {
+        self.n_trees
+    }
+
+    fn split_frequency_words(&self, _n_bits: usize, words: &[u64]) -> u32 {
+        self.frequency_words(words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo::TreeCollection;
+
+    fn build(text: &str) -> (TreeCollection, Bfh, FrozenBfh) {
+        let coll = TreeCollection::parse(text).unwrap();
+        let bfh = Bfh::build(&coll.trees, &coll.taxa);
+        let frozen = bfh.freeze();
+        (coll, bfh, frozen)
+    }
+
+    #[test]
+    fn frozen_answers_equal_live_on_every_stored_split() {
+        let (_, bfh, frozen) = build(
+            "((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n((A,F),((C,D),(E,B)));\n((A,B),((C,D),(E,F)));",
+        );
+        assert_eq!(frozen.n_trees(), bfh.n_trees());
+        assert_eq!(frozen.sum(), bfh.sum());
+        assert_eq!(frozen.distinct(), bfh.distinct());
+        for (bits, count) in bfh.iter() {
+            assert_eq!(frozen.frequency(bits), count, "{bits}");
+            assert_eq!(frozen.frequency_words(bits.words()), count);
+        }
+    }
+
+    #[test]
+    fn absent_splits_read_zero() {
+        let (coll, _, frozen) = build("((A,B),(C,D));\n((A,B),(C,D));");
+        // {A,C} = 0101 is a valid canonical mask the collection never holds
+        let absent = Bits::from_indices(coll.taxa.len(), [0, 2]);
+        assert_eq!(frozen.frequency(&absent), 0);
+    }
+
+    #[test]
+    fn empty_hash_freezes_and_reads_zero() {
+        let frozen = Bfh::empty(6).freeze();
+        assert_eq!(frozen.distinct(), 0);
+        assert_eq!(frozen.frequency(&Bits::from_indices(6, [0, 1])), 0);
+        assert_eq!(frozen.frequency_sum_batch_smoke(), 0);
+    }
+
+    impl FrozenBfh {
+        /// Test helper: batch-sum over an empty batch via a trivial tree.
+        fn frequency_sum_batch_smoke(&self) -> u64 {
+            let mut taxa = phylo::TaxonSet::new();
+            let t = phylo::parse_newick("(A,B,C);", &mut taxa, phylo::TaxaPolicy::Grow).unwrap();
+            let mut scratch = BipartitionScratch::new();
+            let batch = scratch.batch_splits(&t, &taxa);
+            self.frequency_sum_batch(&batch)
+        }
+    }
+
+    #[test]
+    fn batched_average_matches_per_split_probes() {
+        let (coll, bfh, frozen) =
+            build("((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n((A,F),((C,D),(E,B)));");
+        let mut scratch = BipartitionScratch::new();
+        for q in &coll.trees {
+            let live = crate::bfhrf_average(q, &coll.taxa, &bfh);
+            let froz = frozen.average_scratch(q, &coll.taxa, &mut scratch);
+            assert_eq!(live, froz);
+        }
+    }
+
+    #[test]
+    fn word_boundary_widths_freeze_and_probe_identically() {
+        // n_taxa ∈ {63, 64, 65, 128}: the one-word fast path, its exact
+        // upper edge, the first two-word width, and an exact two-word
+        // width. Frozen must equal live on every simulated tree.
+        for n in [63usize, 64, 65, 128] {
+            let spec = phylo_sim::DatasetSpec::new("widths", n, 12, n as u64);
+            let coll = phylo_sim::generate(&spec);
+            let bfh = Bfh::build(&coll.trees, &coll.taxa);
+            let frozen = bfh.freeze();
+            let mut scratch = BipartitionScratch::new();
+            for (bits, count) in bfh.iter() {
+                assert_eq!(frozen.frequency(bits), count, "n={n} {bits}");
+            }
+            for q in &coll.trees {
+                assert_eq!(
+                    crate::bfhrf_average(q, &coll.taxa, &bfh),
+                    frozen.average_scratch(q, &coll.taxa, &mut scratch),
+                    "n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn load_factor_stays_at_most_half() {
+        let spec = phylo_sim::DatasetSpec::new("load", 80, 40, 7);
+        let coll = phylo_sim::generate(&spec);
+        let frozen = Bfh::build(&coll.trees, &coll.taxa).freeze();
+        assert!(frozen.capacity() >= 2 * frozen.distinct());
+        assert!(frozen.capacity().is_power_of_two());
+        assert!(frozen.approx_bytes() > 0);
+    }
+}

@@ -71,6 +71,7 @@ pub mod comparator;
 pub mod consensus;
 pub mod day;
 pub mod error;
+pub mod frozen;
 pub mod guard;
 pub mod hashrf;
 pub mod matrix;
@@ -86,12 +87,14 @@ pub use bfh::Bfh;
 pub use builder::BfhBuilder;
 pub use compact::CompactBfh;
 pub use comparator::{
-    hashrf_or_degrade, BfhrfComparator, Comparator, DayComparator, HashRfComparator, SetComparator,
+    hashrf_or_degrade, BfhrfComparator, Comparator, DayComparator, FrozenComparator,
+    HashRfComparator, SetComparator,
 };
 pub use day::day_rf;
 pub use error::CoreError;
+pub use frozen::FrozenBfh;
 pub use guard::{CancelToken, Degradation, RunBudget, RunGuard};
 pub use hashrf::{HashRf, HashRfConfig};
-pub use rf::{bfhrf_all, bfhrf_average, QueryScore, RfAverage};
+pub use rf::{bfhrf_all, bfhrf_average, QueryScore, RfAverage, SplitFrequency};
 pub use select::best_query;
 pub use seqrf::sequential_rf;

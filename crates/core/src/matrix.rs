@@ -8,10 +8,11 @@
 //! via a bipartition inverted index; the [`crate::hashrf`] baseline shares
 //! the same pair-counting core but goes through compressed IDs.
 
-use crate::guard::{RunBudget, RunGuard};
+use crate::guard::{isolate, RunBudget, RunGuard};
 use crate::CoreError;
 use phylo::{BipartitionScratch, TaxonSet, Tree};
-use phylo_bitset::{bits_map_with_capacity, map_get_words_mut, Bits, BitsMap};
+use phylo_bitset::{bits_map_with_capacity, map_get_words_mut, words_for, Bits, BitsMap};
+use rayon::prelude::*;
 
 /// Strict-upper-triangle symmetric matrix of `u16` counts with a zero
 /// diagonal. Entry type is `u16` because every stored quantity (shared
@@ -138,6 +139,17 @@ pub fn rf_matrix_exact_guarded(
             splits[t_idx] += 1;
         });
     }
+    finish_matrix(&index, &splits, r, guard)
+}
+
+/// Shared tail of the exact-matrix builds: pair-count co-occurrences from
+/// the inverted index, then convert shared counts to RF distances.
+fn finish_matrix(
+    index: &BitsMap<Vec<u32>>,
+    splits: &[u16],
+    r: usize,
+    guard: &RunGuard,
+) -> Result<TriMatrix, CoreError> {
     let mut shared = TriMatrix::zeroed(r);
     for (_, list) in index.iter() {
         for (k, &i) in list.iter().enumerate() {
@@ -157,6 +169,67 @@ pub fn rf_matrix_exact_guarded(
         }
     }
     Ok(out)
+}
+
+/// [`rf_matrix_exact`] with the extraction phase parallelized: workers
+/// spill each chunk's canonical masks into a flat buffer (per-worker
+/// scratch arena, no shared state), and the spills are folded into the
+/// inverted index sequentially in tree order — so the resulting index, and
+/// therefore the matrix, is identical to the sequential build's. Pair
+/// counting stays sequential (it is write-heavy on one triangle).
+pub fn rf_matrix_exact_parallel_guarded(
+    trees: &[Tree],
+    taxa: &TaxonSet,
+    guard: &RunGuard,
+) -> Result<TriMatrix, CoreError> {
+    if trees.is_empty() {
+        return Err(CoreError::EmptyReference);
+    }
+    let r = trees.len();
+    guard.check_alloc("RF matrix", TriMatrix::required_bytes(r))?;
+    let words = words_for(taxa.len());
+    let chunk = r.div_ceil(rayon::current_num_threads()).max(1);
+    let spills: Vec<(Vec<u64>, Vec<u16>)> = trees
+        .par_chunks(chunk)
+        .map(|qs| {
+            isolate("RF matrix extract worker", || {
+                let mut scratch = BipartitionScratch::new();
+                let mut masks = Vec::new();
+                let mut counts = Vec::with_capacity(qs.len());
+                for tree in qs {
+                    guard.checkpoint("RF matrix index fill")?;
+                    let mut c = 0u16;
+                    scratch.for_each_split(tree, taxa, |w| {
+                        masks.extend_from_slice(w);
+                        c += 1;
+                    });
+                    counts.push(c);
+                }
+                Ok((masks, counts))
+            })
+        })
+        .collect::<Result<_, CoreError>>()?;
+    let mut index: BitsMap<Vec<u32>> = bits_map_with_capacity(r);
+    let mut splits = vec![0u16; r];
+    let mut t_idx = 0usize;
+    for (masks, counts) in &spills {
+        let mut off = 0usize;
+        for &c in counts {
+            for _ in 0..c {
+                let w = &masks[off..off + words];
+                off += words;
+                match map_get_words_mut(&mut index, w) {
+                    Some(list) => list.push(t_idx as u32),
+                    None => {
+                        index.insert(Bits::from_words(taxa.len(), w), vec![t_idx as u32]);
+                    }
+                }
+            }
+            splits[t_idx] = c;
+            t_idx += 1;
+        }
+    }
+    finish_matrix(&index, &splits, r, guard)
 }
 
 /// The exact RF matrix computed pairwise with Day's O(n) algorithm —
@@ -285,6 +358,26 @@ mod tests {
             }
         }
         assert!(rf_matrix_day(&coll.trees, &coll.taxa, 1).is_err());
+    }
+
+    #[test]
+    fn parallel_extraction_matches_sequential_exactly() {
+        let spec = phylo_sim::DatasetSpec::new("matrix-par", 40, 60, 11);
+        let coll = phylo_sim::generate(&spec);
+        let guard = RunGuard::default();
+        let seq = rf_matrix_exact_guarded(&coll.trees, &coll.taxa, &guard).unwrap();
+        let par = rf_matrix_exact_parallel_guarded(&coll.trees, &coll.taxa, &guard).unwrap();
+        for i in 0..coll.len() {
+            for j in 0..coll.len() {
+                assert_eq!(seq.get(i, j), par.get(i, j), "entry ({i},{j})");
+            }
+        }
+        let cancelled = RunGuard::default();
+        cancelled.cancel.cancel();
+        assert!(matches!(
+            rf_matrix_exact_parallel_guarded(&coll.trees, &coll.taxa, &cancelled).unwrap_err(),
+            CoreError::Cancelled(_)
+        ));
     }
 
     #[test]

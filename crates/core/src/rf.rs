@@ -94,6 +94,10 @@ impl SplitFrequency for crate::CompactBfh {
     fn reference_count(&self) -> usize {
         self.n_trees()
     }
+
+    fn split_frequency_words(&self, n_bits: usize, words: &[u64]) -> u32 {
+        self.frequency_words(n_bits, words)
+    }
 }
 
 /// Average RF of one query tree against any split-frequency store —

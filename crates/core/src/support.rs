@@ -71,16 +71,15 @@ pub fn edge_support(tree: &Tree, taxa: &TaxonSet, bfh: &Bfh) -> Vec<EdgeSupport>
 /// `((a,b)0.97,(c,d)0.66);` — the conventional way phylogenetics tools
 /// exchange support values.
 pub fn write_newick_with_support(tree: &Tree, taxa: &TaxonSet, bfh: &Bfh) -> String {
-    let supports = edge_support(tree, taxa, bfh);
-    let label_of = |node: NodeId| -> Option<String> {
-        supports
-            .iter()
-            .find(|s| s.node == node)
-            .map(|s| format!("{:.2}", s.fraction))
-    };
+    // Labels indexed by node id: one pass over the supports instead of a
+    // per-node linear scan during serialization.
+    let mut labels: Vec<Option<String>> = vec![None; tree.num_nodes()];
+    for s in edge_support(tree, taxa, bfh) {
+        labels[s.node.index()] = Some(format!("{:.2}", s.fraction));
+    }
     let mut out = String::new();
     if let Some(root) = tree.root() {
-        write_node(tree, taxa, root, &label_of, &mut out);
+        write_node(tree, taxa, root, &labels, &mut out);
     }
     out.push(';');
     out
@@ -90,7 +89,7 @@ fn write_node(
     tree: &Tree,
     taxa: &TaxonSet,
     node: NodeId,
-    label_of: &dyn Fn(NodeId) -> Option<String>,
+    labels: &[Option<String>],
     out: &mut String,
 ) {
     enum Frame {
@@ -121,8 +120,8 @@ fn write_node(
             Frame::Sep => out.push(','),
             Frame::Exit(n) => {
                 out.push(')');
-                if let Some(label) = label_of(n) {
-                    out.push_str(&label);
+                if let Some(label) = &labels[n.index()] {
+                    out.push_str(label);
                 }
             }
         }
@@ -150,16 +149,27 @@ mod tests {
         let focal = &coll.trees[0];
         let supports = edge_support(focal, &coll.taxa, &bfh);
         assert_eq!(supports.len(), 3, "6-leaf binary tree: n-3 internal edges");
-        let by_split: std::collections::HashMap<String, f64> = supports
-            .iter()
-            .map(|s| (s.split.to_string(), s.fraction))
-            .collect();
-        // {A,B} canonical: contains taxon A (bit 0) → 000011
-        assert_eq!(by_split["000011"], 0.75);
-        // {E,F} canonical contains A? complement {A,B,C,D} → 001111
-        assert_eq!(by_split["001111"], 1.0);
-        // {C,D} → complement {A,B,E,F} = 110011
-        assert_eq!(by_split["110011"], 0.5);
+        // Keyed by the canonical mask itself, not a rendered string — the
+        // same word-level keys every hash in the workspace probes with.
+        let mut by_split: phylo_bitset::BitsMap<f64> = phylo_bitset::bits_map_with_capacity(8);
+        for s in &supports {
+            by_split.insert(s.split.bits().clone(), s.fraction);
+        }
+        let n = coll.taxa.len();
+        let mask = |idx: &[usize]| phylo_bitset::Bits::from_indices(n, idx.iter().copied());
+        // {A,B} canonical: contains taxon A (bit 0)
+        assert_eq!(by_split[&mask(&[0, 1])], 0.75);
+        // {E,F} canonical: complement {A,B,C,D}
+        assert_eq!(by_split[&mask(&[0, 1, 2, 3])], 1.0);
+        // {C,D} canonical: complement {A,B,E,F}
+        assert_eq!(by_split[&mask(&[0, 1, 4, 5])], 0.5);
+        // word-slice probes resolve the same entries without owning a key
+        for s in &supports {
+            assert_eq!(
+                phylo_bitset::map_get_words(&by_split, s.split.bits().words()),
+                Some(&s.fraction)
+            );
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use bfhrf::matrix::rf_matrix_exact;
 use bfhrf::{
     bfhrf_all, day_rf, sequential_rf, Bfh, BfhBuilder, BfhrfComparator, Comparator, DayComparator,
-    HashRf, HashRfConfig, SetComparator,
+    FrozenComparator, HashRf, HashRfConfig, SetComparator,
 };
 use phylo::{BipartitionScratch, TreeCollection};
 use phylo_sim::datasets::DatasetSpec;
@@ -430,6 +430,76 @@ proptest! {
     }
 
     #[test]
+    fn frozen_probe_table_equals_live_hash(
+        n in 5usize..24,
+        r in 2usize..12,
+        q in 1usize..5,
+        seed in any::<u64>(),
+        coalescent in any::<bool>(),
+    ) {
+        // The frozen open-addressing table is a pure read-optimization: on
+        // arbitrary collections it must answer every probe — stored split,
+        // absent split, full Algorithm-2 average — exactly like the live
+        // hashbrown map it was frozen from.
+        let refs = collection(n, r, seed, coalescent);
+        let queries = collection(n, q, seed ^ 21, !coalescent);
+        let bfh = Bfh::build(&refs.trees, &refs.taxa);
+        let frozen = bfh.freeze();
+        prop_assert_eq!(frozen.sum(), bfh.sum());
+        prop_assert_eq!(frozen.distinct(), bfh.distinct());
+        prop_assert_eq!(frozen.n_trees(), bfh.n_trees());
+        for (bits, count) in bfh.iter() {
+            prop_assert_eq!(frozen.frequency(bits), count);
+        }
+        let mut scratch = BipartitionScratch::new();
+        for qt in &queries.trees {
+            let live = bfhrf::bfhrf_average(qt, &refs.taxa, &bfh);
+            // batched kernel and generic SplitFrequency path both agree
+            prop_assert_eq!(frozen.average_scratch(qt, &refs.taxa, &mut scratch), live);
+            prop_assert_eq!(bfhrf::rf::bfhrf_average_with(qt, &refs.taxa, &frozen), live);
+        }
+        // through the Comparator API, sequential and parallel, against the
+        // independent Day oracle
+        let day = DayComparator::new(&refs.trees, &refs.taxa);
+        let oracle = day.average_all(&queries.trees).unwrap();
+        for par in [false, true] {
+            let got = FrozenComparator::new(&frozen, &refs.taxa)
+                .parallel(par)
+                .average_all(&queries.trees)
+                .unwrap();
+            prop_assert_eq!(&got, &oracle, "parallel={}", par);
+        }
+    }
+
+    #[test]
+    fn frozen_is_exact_at_word_boundary_widths(
+        wi in 0usize..4,
+        r in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        // n_taxa ∈ {63, 64, 65, 128}: one-below, exactly-at, one-above a
+        // word boundary, and the two-word boundary — where the packed pool
+        // stride and the single-word tag fast path change shape.
+        let widths = [63usize, 64, 65, 128];
+        let n = widths[wi];
+        let refs = collection(n, r, seed, true);
+        let queries = collection(n, 2, seed ^ 9, false);
+        let bfh = Bfh::build(&refs.trees, &refs.taxa);
+        let frozen = bfh.freeze();
+        for (bits, count) in bfh.iter() {
+            prop_assert_eq!(frozen.frequency(bits), count);
+        }
+        let mut scratch = BipartitionScratch::new();
+        for qt in &queries.trees {
+            prop_assert_eq!(
+                frozen.average_scratch(qt, &refs.taxa, &mut scratch),
+                bfhrf::bfhrf_average(qt, &refs.taxa, &bfh),
+                "width {}", n
+            );
+        }
+    }
+
+    #[test]
     fn streaming_query_path_matches_batch(
         n in 5usize..14,
         r in 2usize..8,
@@ -455,6 +525,62 @@ proptest! {
 /// **bitwise-identical** to the sequential build — same distinct splits,
 /// same frequency for every mask, in both directions, for several shard
 /// counts.
+/// Acceptance fixture: on a ≥1000-tree collection the frozen table answers
+/// exactly like the live hash — per-split, per-query, through every derived
+/// RF variant (total, average, halved, normalized), and through both
+/// comparators sequential and parallel against the Day oracle.
+#[test]
+fn frozen_matches_live_on_thousand_tree_collection() {
+    let mut spec = DatasetSpec::new("frozen-acceptance", 20, 1000, 0xf20e);
+    spec.pop_scale = 0.5;
+    let refs = phylo_sim::generate(&spec);
+    assert!(refs.len() >= 1000);
+    let queries = random_collection(20, 8, 0x51de);
+    let bfh = Bfh::build_sharded(&refs.trees, &refs.taxa, 8);
+    let frozen = bfh.freeze();
+    assert_eq!(frozen.sum(), bfh.sum());
+    assert_eq!(frozen.distinct(), bfh.distinct());
+    for (bits, count) in bfh.iter() {
+        assert_eq!(frozen.frequency(bits), count);
+    }
+    let mut scratch = BipartitionScratch::new();
+    for qt in &queries.trees {
+        let live = bfhrf::bfhrf_average(qt, &refs.taxa, &bfh);
+        let frz = frozen.average_scratch(qt, &refs.taxa, &mut scratch);
+        assert_eq!(frz, live);
+        assert_eq!(frz.total(), live.total());
+        assert!((frz.average() - live.average()).abs() < 1e-12);
+        assert!((frz.average_halved() - live.average_halved()).abs() < 1e-12);
+        assert!(
+            (bfhrf::variants::normalized_average(&frz, 20)
+                - bfhrf::variants::normalized_average(&live, 20))
+            .abs()
+                < 1e-12
+        );
+    }
+    let oracle = DayComparator::new(&refs.trees, &refs.taxa)
+        .average_all(&queries.trees)
+        .unwrap();
+    for par in [false, true] {
+        assert_eq!(
+            FrozenComparator::new(&frozen, &refs.taxa)
+                .parallel(par)
+                .average_all(&queries.trees)
+                .unwrap(),
+            oracle,
+            "frozen comparator, parallel={par}"
+        );
+        assert_eq!(
+            BfhrfComparator::new(&bfh, &refs.taxa)
+                .parallel(par)
+                .average_all(&queries.trees)
+                .unwrap(),
+            oracle,
+            "live comparator, parallel={par}"
+        );
+    }
+}
+
 #[test]
 fn sharded_build_identical_on_thousand_tree_collection() {
     let mut spec = DatasetSpec::new("acceptance", 20, 1000, 0xbf4f);

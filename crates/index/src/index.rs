@@ -64,6 +64,10 @@ pub struct Index {
     generation: u64,
     wal: Wal,
     wal_pending: usize,
+    /// Probe-optimized view of `bfh`, built lazily and invalidated by
+    /// every mutation. `Arc` so long-lived readers (the serve daemon)
+    /// keep a generation alive across snapshot swaps.
+    frozen: Option<std::sync::Arc<bfhrf::FrozenBfh>>,
 }
 
 fn replay(bfh: &mut Bfh, taxa: &TaxonSet, records: &[WalRecord]) -> Result<(), IndexError> {
@@ -118,6 +122,7 @@ impl Index {
             generation: 0,
             wal,
             wal_pending: 0,
+            frozen: None,
         })
     }
 
@@ -173,14 +178,30 @@ impl Index {
             (Wal::create(&wal_path, meta.generation)?, 0)
         };
 
-        Ok(Index {
+        let mut index = Index {
             dir: dir.to_path_buf(),
             bfh,
             taxa,
             generation: meta.generation,
             wal,
             wal_pending,
-        })
+            frozen: None,
+        };
+        // Freeze eagerly: an opened index is overwhelmingly read-next, and
+        // the freeze is one pass over a hash that was just built anyway.
+        index.frozen();
+        Ok(index)
+    }
+
+    /// The frozen probe-optimized view of the current hash, built on first
+    /// use after open or mutation and cached until the next mutation.
+    pub fn frozen(&mut self) -> std::sync::Arc<bfhrf::FrozenBfh> {
+        if let Some(f) = &self.frozen {
+            return f.clone();
+        }
+        let f = std::sync::Arc::new(self.bfh.freeze());
+        self.frozen = Some(f.clone());
+        f
     }
 
     /// The live hash (snapshot plus replayed/pending WAL batches).
@@ -223,6 +244,7 @@ impl Index {
         self.wal.append(WalOp::Add, &newick)?;
         self.bfh.add_tree(tree, &self.taxa);
         self.wal_pending += 1;
+        self.frozen = None;
         Ok(())
     }
 
@@ -247,6 +269,7 @@ impl Index {
             return Err(e);
         }
         self.wal_pending += 1;
+        self.frozen = None;
         Ok(())
     }
 

@@ -306,3 +306,45 @@ fn taxon_labels_round_trip_in_order() {
         assert_eq!(reopened.taxa().label(id), label);
     }
 }
+
+/// The frozen view opened with the index answers like the live hash, the
+/// cached Arc is reused until a mutation, and mutations invalidate it.
+#[test]
+fn frozen_view_tracks_mutations() {
+    let dir = tmp("frozen");
+    let coll = random_collection(12, 8, 0xf0f);
+    let bfh = Bfh::build(&coll.trees, &coll.taxa);
+    let mut idx = Index::create(&dir, bfh, coll.taxa.clone()).unwrap();
+
+    let f1 = idx.frozen();
+    assert_eq!(f1.n_trees(), idx.bfh().n_trees());
+    assert_eq!(f1.sum(), idx.bfh().sum());
+    for (bits, freq) in idx.bfh().iter() {
+        assert_eq!(f1.frequency(bits), freq, "frozen frequency of {bits}");
+    }
+    // Cached until a mutation...
+    assert!(std::sync::Arc::ptr_eq(&f1, &idx.frozen()));
+
+    // ...and rebuilt after one.
+    let extra = random_collection(12, 1, 0xf1f);
+    let tree = phylo::read_trees_from_str(
+        &phylo::write_newick(&extra.trees[0], &extra.taxa),
+        &mut coll.taxa.clone(),
+        phylo::TaxaPolicy::Require,
+    )
+    .unwrap()
+    .remove(0);
+    idx.append_add(&tree).unwrap();
+    let f2 = idx.frozen();
+    assert!(!std::sync::Arc::ptr_eq(&f1, &f2));
+    assert_eq!(f2.n_trees(), idx.bfh().n_trees());
+    for (bits, freq) in idx.bfh().iter() {
+        assert_eq!(f2.frequency(bits), freq, "post-add frequency of {bits}");
+    }
+
+    // A reopened index carries an eagerly-built frozen view too.
+    drop(idx);
+    let mut reopened = Index::open(&dir).unwrap();
+    let f3 = reopened.frozen();
+    assert_eq!(f3.n_trees(), reopened.bfh().n_trees());
+}

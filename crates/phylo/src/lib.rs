@@ -53,8 +53,10 @@ pub mod tree;
 pub use bipartition::{Bipartition, BipartitionSet};
 pub use error::PhyloError;
 pub use ingest::{IngestPolicy, IngestReport, NewickReader, RecordError};
-pub use newick::{parse_newick, read_trees_from_str, write_newick, TaxaPolicy};
-pub use scratch::BipartitionScratch;
+pub use newick::{
+    parse_newick, parse_newick_readonly, read_trees_from_str, write_newick, TaxaPolicy,
+};
+pub use scratch::{BipartitionScratch, SplitBatch};
 pub use taxa::{TaxonId, TaxonSet};
 pub use tree::{NodeId, Tree};
 

@@ -184,7 +184,25 @@ pub fn parse_newick(
     policy: TaxaPolicy,
 ) -> Result<Tree, PhyloError> {
     let mut lexer = Lexer::new(input);
-    let tree = parse_one(&mut lexer, taxa, policy)?;
+    let tree = parse_one(&mut lexer, &mut policy_resolver(taxa, policy))?;
+    if !lexer.at_end()? {
+        return Err(PhyloError::parse(
+            lexer.offset(),
+            "trailing content after ';'",
+        ));
+    }
+    Ok(tree)
+}
+
+/// [`parse_newick`] against a **shared** namespace with
+/// [`TaxaPolicy::Require`] semantics: unknown labels error, the namespace
+/// is never mutated, and — unlike cloning the set to satisfy the `&mut`
+/// parser signature — nothing is allocated per call. This is the serve
+/// daemon's request path: many worker threads parsing concurrently against
+/// one frozen `TaxonSet`.
+pub fn parse_newick_readonly(input: &str, taxa: &TaxonSet) -> Result<Tree, PhyloError> {
+    let mut lexer = Lexer::new(input);
+    let tree = parse_one(&mut lexer, &mut |label| taxa.require(label))?;
     if !lexer.at_end()? {
         return Err(PhyloError::parse(
             lexer.offset(),
@@ -201,17 +219,29 @@ pub fn read_trees_from_str(
     policy: TaxaPolicy,
 ) -> Result<Vec<Tree>, PhyloError> {
     let mut lexer = Lexer::new(input);
+    let mut resolve = policy_resolver(taxa, policy);
     let mut out = Vec::new();
     while !lexer.at_end()? {
-        out.push(parse_one(&mut lexer, taxa, policy)?);
+        out.push(parse_one(&mut lexer, &mut resolve)?);
     }
     Ok(out)
 }
 
-fn parse_one(
-    lexer: &mut Lexer<'_>,
+/// Label resolution under a [`TaxaPolicy`], as a closure so the parser
+/// core is agnostic to whether the namespace can grow.
+fn policy_resolver(
     taxa: &mut TaxonSet,
     policy: TaxaPolicy,
+) -> impl FnMut(&str) -> Result<crate::TaxonId, PhyloError> + '_ {
+    move |label| match policy {
+        TaxaPolicy::Grow => Ok(taxa.intern(label)),
+        TaxaPolicy::Require => taxa.require(label),
+    }
+}
+
+fn parse_one(
+    lexer: &mut Lexer<'_>,
+    resolve: &mut dyn FnMut(&str) -> Result<crate::TaxonId, PhyloError>,
 ) -> Result<Tree, PhyloError> {
     let mut tree = Tree::new();
     let root = tree.add_root();
@@ -252,7 +282,7 @@ fn parse_one(
                 if depth == 0 {
                     return Err(PhyloError::parse(offset, "',' outside parentheses"));
                 }
-                finish_node(&tree, taxa, cur, offset)?;
+                finish_node(&tree, cur, offset)?;
                 let parent = tree
                     .parent(cur)
                     .ok_or_else(|| PhyloError::parse(offset, "',' outside parentheses"))?;
@@ -262,7 +292,7 @@ fn parse_one(
                 if depth == 0 {
                     return Err(PhyloError::parse(offset, "unbalanced ')'"));
                 }
-                finish_node(&tree, taxa, cur, offset)?;
+                finish_node(&tree, cur, offset)?;
                 depth -= 1;
                 cur = tree
                     .parent(cur)
@@ -292,7 +322,7 @@ fn parse_one(
                         "unbalanced '(': tree ended early",
                     ));
                 }
-                finish_node(&tree, taxa, cur, offset)?;
+                finish_node(&tree, cur, offset)?;
                 debug_assert_eq!(cur, root);
                 return Ok(tree);
             }
@@ -305,10 +335,7 @@ fn parse_one(
                 }
                 if tree.children(cur).is_empty() {
                     // leaf name → taxon
-                    let id = match policy {
-                        TaxaPolicy::Grow => taxa.intern(&label),
-                        TaxaPolicy::Require => taxa.require(&label)?,
-                    };
+                    let id = resolve(&label)?;
                     tree.set_taxon(cur, Some(id));
                 }
                 // Internal labels (clade names / support values) are parsed
@@ -324,12 +351,7 @@ fn parse_one(
 
 /// A node is finished when `,`, `)` or `;` closes it: leaves must have
 /// received a taxon by then.
-fn finish_node(
-    tree: &Tree,
-    _taxa: &TaxonSet,
-    node: NodeId,
-    offset: usize,
-) -> Result<(), PhyloError> {
+fn finish_node(tree: &Tree, node: NodeId, offset: usize) -> Result<(), PhyloError> {
     if tree.children(node).is_empty() && tree.taxon(node).is_none() {
         return Err(PhyloError::parse(offset, "leaf without a label"));
     }

@@ -33,7 +33,80 @@
 
 use crate::taxa::TaxonSet;
 use crate::tree::{NodeId, Tree};
-use phylo_bitset::{words_for, Bits, WORD_BITS};
+use phylo_bitset::{split_hash128, words_for, Bits, WORD_BITS};
+
+/// One query tree's canonical splits with their 128-bit hashes, borrowed
+/// from the [`BipartitionScratch`] that extracted them.
+///
+/// Masks are packed contiguously at stride [`words`](Self::words) in visit
+/// order; `hashes[i]` is `split_hash128` of `mask(i)`. Frozen probe tables
+/// consume the whole batch in one pipelined loop instead of re-hashing
+/// split by split.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitBatch<'a> {
+    words: usize,
+    masks: &'a [u64],
+    hashes: &'a [u128],
+}
+
+impl<'a> SplitBatch<'a> {
+    /// Assemble a batch from caller-owned buffers: `masks` packed at stride
+    /// `words` in split order, `hashes[i]` the `split_hash128` of mask `i`.
+    /// Lets callers that cache extracted splits (benchmarks, repeated
+    /// scoring of a fixed query set) re-enter the batched probe kernel
+    /// without re-extracting.
+    ///
+    /// # Panics
+    /// Panics if `masks.len() != hashes.len() * words`.
+    pub fn from_parts(words: usize, masks: &'a [u64], hashes: &'a [u128]) -> SplitBatch<'a> {
+        assert_eq!(
+            masks.len(),
+            hashes.len() * words,
+            "masks must pack one stride-{words} mask per hash"
+        );
+        SplitBatch {
+            words,
+            masks,
+            hashes,
+        }
+    }
+
+    /// Number of splits in the batch (|B(T)|).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Whether the query tree had no non-trivial splits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    /// Words per mask (`words_for(n_taxa)`).
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The `i`-th canonical mask as a word slice.
+    #[inline]
+    pub fn mask(&self, i: usize) -> &'a [u64] {
+        &self.masks[i * self.words..(i + 1) * self.words]
+    }
+
+    /// The `i`-th mask's stable 128-bit split hash.
+    #[inline]
+    pub fn hash(&self, i: usize) -> u128 {
+        self.hashes[i]
+    }
+
+    /// All hashes, in visit order.
+    #[inline]
+    pub fn hashes(&self) -> &'a [u128] {
+        self.hashes
+    }
+}
 
 /// Reusable arena for allocation-free bipartition extraction.
 ///
@@ -52,6 +125,11 @@ pub struct BipartitionScratch {
     order: Vec<NodeId>,
     /// Reused traversal stack.
     stack: Vec<NodeId>,
+    /// Batched canonical masks, packed at stride `words` (see
+    /// [`Self::batch_splits`]).
+    batch: Vec<u64>,
+    /// 128-bit split hashes parallel to `batch`.
+    hashes: Vec<u128>,
 }
 
 impl BipartitionScratch {
@@ -192,6 +270,35 @@ impl BipartitionScratch {
                 }
                 visit(&self.canon[..words]);
             }
+        }
+    }
+
+    /// Extract every canonical split of `tree` **and** its 128-bit split
+    /// hash in one post-order pass, returning a borrowed [`SplitBatch`].
+    ///
+    /// This is the batched-query front half of the frozen probe kernel: the
+    /// masks land packed in the arena (child masks OR-combined in place, no
+    /// per-split [`Bits`] allocation) and each is hashed exactly once while
+    /// its words are still cache-hot. The batch stays valid until the next
+    /// extraction call on this scratch.
+    pub fn batch_splits(&mut self, tree: &Tree, taxa: &TaxonSet) -> SplitBatch<'_> {
+        let words = words_for(taxa.len());
+        // Move the batch buffers out so the extraction closure can fill
+        // them while `self` is mutably borrowed by `for_each_split`.
+        let mut batch = std::mem::take(&mut self.batch);
+        let mut hashes = std::mem::take(&mut self.hashes);
+        batch.clear();
+        hashes.clear();
+        self.for_each_split(tree, taxa, |w| {
+            batch.extend_from_slice(w);
+            hashes.push(split_hash128(w));
+        });
+        self.batch = batch;
+        self.hashes = hashes;
+        SplitBatch {
+            words,
+            masks: &self.batch,
+            hashes: &self.hashes,
         }
     }
 
@@ -344,6 +451,54 @@ mod tests {
         assert_matches(&big, &taxa, &mut scratch);
         assert_matches(&small, &taxa, &mut scratch);
         assert_matches(&big, &taxa, &mut scratch);
+    }
+
+    #[test]
+    fn batch_splits_matches_visitor_and_hashes_correctly() {
+        let cases = [
+            "((A,B),(C,D));",
+            "(((A,B),C),((D,E),(F,G)));",
+            "((A,(B,(C,(D,E)))),(F,(G,H)));",
+            "(A,B,C);", // no splits → empty batch
+        ];
+        let mut scratch = BipartitionScratch::new();
+        for nwk in cases {
+            let mut taxa = TaxonSet::new();
+            let t = parse_newick(nwk, &mut taxa, TaxaPolicy::Grow).unwrap();
+            let expected = scratch.splits(&t, &taxa);
+            let batch = scratch.batch_splits(&t, &taxa);
+            assert_eq!(batch.len(), expected.len());
+            assert_eq!(batch.is_empty(), expected.is_empty());
+            for (i, bits) in expected.iter().enumerate() {
+                assert_eq!(batch.mask(i), bits.words(), "{nwk} split {i}");
+                assert_eq!(
+                    batch.hash(i),
+                    phylo_bitset::split_hash128(bits.words()),
+                    "{nwk} hash {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_from_parts_round_trips_and_checks_stride() {
+        let mut taxa = TaxonSet::new();
+        let t = parse_newick("(((A,B),C),((D,E),(F,G)));", &mut taxa, TaxaPolicy::Grow).unwrap();
+        let mut scratch = BipartitionScratch::new();
+        let extracted = scratch.batch_splits(&t, &taxa);
+        let words = extracted.words();
+        let masks: Vec<u64> = (0..extracted.len())
+            .flat_map(|i| extracted.mask(i).iter().copied())
+            .collect();
+        let hashes = extracted.hashes().to_vec();
+        let rebuilt = SplitBatch::from_parts(words, &masks, &hashes);
+        assert_eq!(rebuilt.len(), extracted.len());
+        for i in 0..rebuilt.len() {
+            assert_eq!(rebuilt.mask(i), extracted.mask(i));
+            assert_eq!(rebuilt.hash(i), extracted.hash(i));
+        }
+        let bad = std::panic::catch_unwind(|| SplitBatch::from_parts(words, &masks[1..], &hashes));
+        assert!(bad.is_err(), "stride mismatch must panic");
     }
 
     #[test]
