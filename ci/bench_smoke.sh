@@ -59,9 +59,17 @@ need(srv, "requests", int, "serve")
 need(srv, "clients", int, "serve")
 for key in ("qps", "inproc_live_qps", "inproc_frozen_qps"):
     need(srv, key, (int, float), "serve")
+obs = need(doc, "obs", dict, "$")
+need(obs, "attempts", int, "obs")
+for key in ("bare_seconds", "bare_cv", "instrumented_seconds",
+            "instrumented_cv", "overhead_ratio", "max_ratio"):
+    need(obs, key, (int, float), "obs")
+if obs["overhead_ratio"] > obs["max_ratio"]:
+    sys.exit(f"bench smoke: obs overhead {obs['overhead_ratio']} exceeds "
+             f"the recorded gate {obs['max_ratio']}")
 
 for section, obj in (("single_thread", st), ("end_to_end", ee),
-                     ("multi_thread", mt), ("serve", srv)):
+                     ("multi_thread", mt), ("serve", srv), ("obs", obs)):
     for key, value in obj.items():
         if isinstance(value, (int, float)) and value < 0:
             sys.exit(f"bench smoke: {section}.{key} is negative: {value}")
@@ -72,5 +80,6 @@ if srv["qps"] <= 0:
     sys.exit("bench smoke: serve section measured nothing")
 
 print(f"bench smoke: schema ok "
-      f"(single-thread speedup {st['speedup']:.2f}x, serve {srv['qps']:.0f} q/s)")
+      f"(single-thread speedup {st['speedup']:.2f}x, serve {srv['qps']:.0f} q/s, "
+      f"obs overhead {obs['overhead_ratio']:.4f}x)")
 EOF

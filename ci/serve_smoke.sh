@@ -40,8 +40,68 @@ echo "== served answers must match offline avgrf byte-for-byte"
 "$BIN" query --port-file "$WORK/port" --queries "$WORK/queries.nwk" >"$WORK/served.tsv"
 diff -u "$WORK/offline.tsv" "$WORK/served.tsv"
 
-echo "== stats + clean shutdown"
+echo "== stats: metrics schema + non-zero request counters"
 "$BIN" query --port-file "$WORK/port" --op stats
+"$BIN" stats --port-file "$WORK/port"
+"$BIN" stats --port-file "$WORK/port" --json >"$WORK/stats.json"
+python3 - "$WORK/stats.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+
+if doc.get("ok") is not True:
+    sys.exit(f"serve smoke: stats response not ok: {doc}")
+series = doc.get("metrics", {}).get("series")
+if not isinstance(series, list) or not series:
+    sys.exit("serve smoke: stats carries no metrics.series")
+
+by_key = {}
+for s in series:
+    for key in ("name", "labels", "kind"):
+        if key not in s:
+            sys.exit(f"serve smoke: series missing {key}: {s}")
+    if s["kind"] == "histogram":
+        for key in ("count", "sum", "max", "mean", "p50", "p90", "p99",
+                    "buckets"):
+            if key not in s:
+                sys.exit(f"serve smoke: histogram missing {key}: {s}")
+        for b in s["buckets"]:
+            if "le" not in b or "n" not in b:
+                sys.exit(f"serve smoke: malformed bucket in {s['name']}: {b}")
+    else:
+        if "value" not in s:
+            sys.exit(f"serve smoke: {s['kind']} missing value: {s}")
+    labels = ",".join(f"{k}={v}" for k, v in sorted(s["labels"].items()))
+    by_key[(s["name"], labels)] = s
+
+# the query burst above must have been counted
+ok_avgrf = by_key.get(("serve_requests_total", "op=avgrf,outcome=ok"))
+if ok_avgrf is None or ok_avgrf["value"] < 1:
+    sys.exit("serve smoke: no successful avgrf requests counted")
+lat = by_key.get(("serve_request_ns", "op=avgrf"))
+if lat is None or lat["count"] < 1 or lat["p50"] <= 0:
+    sys.exit("serve smoke: avgrf latency histogram is empty")
+conns = by_key.get(("serve_connections_total", ""))
+if conns is None or conns["value"] < 2:
+    sys.exit("serve smoke: connection counter missed the query burst")
+gen = by_key.get(("index_generation", ""))
+if gen is None or gen["value"] < 0:
+    sys.exit("serve smoke: index generation gauge absent")
+# every op x outcome cell is pre-registered so dashboards never see a
+# series appear out of nowhere; spot-check the schema stability claim
+for op in ("avgrf", "best-query", "stats", "add", "remove", "compact",
+           "shutdown", "unknown"):
+    for outcome in ("ok", "error", "budget", "cancelled"):
+        if ("serve_requests_total", f"op={op},outcome={outcome}") not in by_key:
+            sys.exit(f"serve smoke: missing pre-registered series "
+                     f"op={op} outcome={outcome}")
+print(f"serve smoke: stats schema ok "
+      f"({ok_avgrf['value']} avgrf ok, p50 {lat['p50']:.0f} ns)")
+EOF
+
+echo "== clean shutdown"
 "$BIN" query --port-file "$WORK/port" --op shutdown
 wait "$SERVER_PID"
 SERVER_PID=""

@@ -5,7 +5,7 @@
 //! query_bench [--fast] [--trees R] [--queries Q] [--repeats K] [--out FILE]
 //! ```
 //!
-//! Four sections, one file:
+//! Five sections, one file:
 //!
 //! 1. **Single-thread probe path**: the headline. Query splits are
 //!    extracted and hashed once up front (both paths share that cost in
@@ -24,6 +24,13 @@
 //!    snapshot path) over one connection, next to an in-process
 //!    emulation of the pre-freeze request path (parse + live sequential
 //!    probe per request) for the before/after contrast.
+//! 5. **Obs overhead**: the frozen probe loop bare vs wrapped in the
+//!    same request-boundary instrumentation the serve daemon uses (one
+//!    clock pair + histogram record + counter bump per request, where
+//!    one request covers the whole query batch, as served avgrf does).
+//!    Measured
+//!    as best-of-N interleaved rounds (noise only inflates a round) and
+//!    asserted within 3%, re-measured up to three times on a miss.
 //!
 //! Every frozen answer is asserted equal to the live answer before any
 //! timing is reported — a throughput win can never hide a correctness
@@ -32,8 +39,8 @@
 use bfhrf::{BfhrfComparator, Comparator, FrozenComparator};
 use bfhrf_bench::measure::measured_repeats;
 use phylo::BipartitionScratch;
+use phylo_obs::json::Json;
 use phylo_sim::DatasetSpec;
-use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::TcpStream;
 use std::time::Instant;
@@ -294,51 +301,175 @@ fn main() {
         "[query_bench] serve {serve_qps:.1} q/s; in-process request path: live {inproc_live_qps:.1} q/s, frozen {inproc_frozen_qps:.1} q/s"
     );
 
+    // -------- obs overhead: bare vs instrumented probe loop -------------
+    // The serve daemon instruments at request boundaries only: one clock
+    // pair, one histogram record, one counter bump per request. Replay
+    // exactly that pattern around the frozen probe kernel and require the
+    // overhead to stay within 3%. The quantity under test is a
+    // nanoseconds-per-query delta, so a noisy CI neighbour can fake a
+    // regression — re-measure up to three times before believing one.
+    eprintln!("[query_bench] obs overhead: bare vs instrumented probe loop ...");
+    const OBS_MAX_RATIO: f64 = 1.03;
+    // The daemon records once per request — one avgrf request covers a
+    // whole query file — so one pass over all the batches is the honest
+    // request analogue here. A single pass is sub-millisecond, far too
+    // short to resolve a 3% delta against timer jitter, so each timed
+    // round runs many request-passes back to back. Rounds alternate
+    // bare/instrumented so a noisy neighbour taxes both sides equally,
+    // and each side is scored by its best round (additive noise only
+    // ever inflates a round, so the minimum is the closest estimate of
+    // the true cost).
+    const OBS_PASSES: usize = 16;
+    let obs_lat = phylo_obs::global().histogram("bench_probe_ns", &[]);
+    let obs_ctr = phylo_obs::global().counter("bench_probe_total", &[]);
+    let bare_pass = || {
+        let mut acc = 0u64;
+        for _ in 0..OBS_PASSES {
+            for (words, masks, hashes) in &batches {
+                let batch = phylo::SplitBatch::from_parts(*words, masks, hashes);
+                acc += frozen.frequency_sum_batch(&batch);
+            }
+        }
+        acc
+    };
+    let inst_pass = || {
+        let mut acc = 0u64;
+        for _ in 0..OBS_PASSES {
+            let t = Instant::now();
+            for (words, masks, hashes) in &batches {
+                let batch = phylo::SplitBatch::from_parts(*words, masks, hashes);
+                acc += frozen.frequency_sum_batch(&batch);
+            }
+            obs_lat.record_duration(t.elapsed());
+            obs_ctr.inc();
+        }
+        acc
+    };
+    let timed = |f: &dyn Fn() -> u64| {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        t.elapsed().as_secs_f64()
+    };
+    let obs_rounds = repeats.max(5) * 2;
+    let (obs_bare, obs_inst, obs_ratio, obs_attempts) = {
+        let mut attempt = 0usize;
+        loop {
+            attempt += 1;
+            std::hint::black_box(bare_pass());
+            std::hint::black_box(inst_pass());
+            let mut bare_times = Vec::with_capacity(obs_rounds);
+            let mut inst_times = Vec::with_capacity(obs_rounds);
+            for _ in 0..obs_rounds {
+                bare_times.push(timed(&bare_pass));
+                inst_times.push(timed(&inst_pass));
+            }
+            let best = |ts: &[f64]| ts.iter().copied().fold(f64::INFINITY, f64::min);
+            let (bare_s, inst_s) = (best(&bare_times), best(&inst_times));
+            let ratio = inst_s / bare_s;
+            if ratio <= OBS_MAX_RATIO || attempt >= 3 {
+                let cv = bfhrf_bench::stats::coeff_of_variation;
+                break (
+                    (bare_s, cv(&bare_times)),
+                    (inst_s, cv(&inst_times)),
+                    ratio,
+                    attempt,
+                );
+            }
+            eprintln!(
+                "[query_bench] obs overhead {ratio:.4}x > {OBS_MAX_RATIO:.2}x, re-measuring (attempt {attempt}/3) ..."
+            );
+        }
+    };
+    eprintln!(
+        "[query_bench] obs overhead: bare {:.6}s, instrumented {:.6}s → {obs_ratio:.4}x ({obs_attempts} attempt(s))",
+        obs_bare.0, obs_inst.0
+    );
+    assert!(
+        obs_ratio <= OBS_MAX_RATIO,
+        "request-boundary instrumentation costs {obs_ratio:.4}x (> {OBS_MAX_RATIO:.2}x) \
+         over the bare probe loop after {obs_attempts} attempts"
+    );
+
     // -------- emit ------------------------------------------------------
     let q_per_run = q.len() as f64;
-    let mut json = String::from("{\n");
-    let _ = writeln!(
-        json,
-        "  \"dataset\": {{\"name\": \"insect\", \"n_taxa\": {}, \"n_trees\": {}, \"distinct\": {}}},",
-        coll.taxa.len(),
-        coll.len(),
-        frozen.distinct()
-    );
-    let _ = writeln!(json, "  \"queries\": {},", q.len());
-    let _ = writeln!(json, "  \"repeats\": {repeats},");
-    json.push_str("  \"warmup\": 1,\n");
-    let _ = writeln!(
-        json,
-        "  \"single_thread\": {{\"probes\": {total_probes}, \"live_seconds\": {:.6}, \"live_cv\": {:.4}, \"live_mprobes_per_s\": {:.2}, \"frozen_seconds\": {:.6}, \"frozen_cv\": {:.4}, \"frozen_mprobes_per_s\": {:.2}, \"speedup\": {:.3}}},",
-        live_probe.median_s,
-        live_probe.cv,
-        total_probes as f64 / live_probe.median_s / 1e6,
-        frozen_probe.median_s,
-        frozen_probe.cv,
-        total_probes as f64 / frozen_probe.median_s / 1e6,
-        probe_speedup
-    );
-    let _ = writeln!(
-        json,
-        "  \"end_to_end\": {{\"live_seconds\": {:.6}, \"live_cv\": {:.4}, \"live_qps\": {:.1}, \"frozen_seconds\": {:.6}, \"frozen_cv\": {:.4}, \"frozen_qps\": {:.1}, \"speedup\": {:.3}}},",
-        live_st.median_s,
-        live_st.cv,
-        q_per_run / live_st.median_s,
-        frozen_st.median_s,
-        frozen_st.cv,
-        q_per_run / frozen_st.median_s,
-        st_speedup
-    );
-    let _ = writeln!(
-        json,
-        "  \"multi_thread\": {{\"live_seconds\": {:.6}, \"live_cv\": {:.4}, \"frozen_seconds\": {:.6}, \"frozen_cv\": {:.4}, \"speedup\": {:.3}}},",
-        live_mt.median_s, live_mt.cv, frozen_mt.median_s, frozen_mt.cv, mt_speedup
-    );
-    let _ = writeln!(
-        json,
-        "  \"serve\": {{\"requests\": {requests}, \"clients\": 1, \"qps\": {serve_qps:.1}, \"inproc_live_qps\": {inproc_live_qps:.1}, \"inproc_frozen_qps\": {inproc_frozen_qps:.1}}}"
-    );
-    json.push_str("}\n");
+    let doc = Json::obj(vec![
+        (
+            "dataset",
+            Json::obj(vec![
+                ("name", "insect".into()),
+                ("n_taxa", coll.taxa.len().into()),
+                ("n_trees", coll.len().into()),
+                ("distinct", frozen.distinct().into()),
+            ]),
+        ),
+        ("queries", q.len().into()),
+        ("repeats", repeats.into()),
+        ("warmup", 1u64.into()),
+        (
+            "single_thread",
+            Json::obj(vec![
+                ("probes", total_probes.into()),
+                ("live_seconds", live_probe.median_s.into()),
+                ("live_cv", live_probe.cv.into()),
+                (
+                    "live_mprobes_per_s",
+                    (total_probes as f64 / live_probe.median_s / 1e6).into(),
+                ),
+                ("frozen_seconds", frozen_probe.median_s.into()),
+                ("frozen_cv", frozen_probe.cv.into()),
+                (
+                    "frozen_mprobes_per_s",
+                    (total_probes as f64 / frozen_probe.median_s / 1e6).into(),
+                ),
+                ("speedup", probe_speedup.into()),
+            ]),
+        ),
+        (
+            "end_to_end",
+            Json::obj(vec![
+                ("live_seconds", live_st.median_s.into()),
+                ("live_cv", live_st.cv.into()),
+                ("live_qps", (q_per_run / live_st.median_s).into()),
+                ("frozen_seconds", frozen_st.median_s.into()),
+                ("frozen_cv", frozen_st.cv.into()),
+                ("frozen_qps", (q_per_run / frozen_st.median_s).into()),
+                ("speedup", st_speedup.into()),
+            ]),
+        ),
+        (
+            "multi_thread",
+            Json::obj(vec![
+                ("live_seconds", live_mt.median_s.into()),
+                ("live_cv", live_mt.cv.into()),
+                ("frozen_seconds", frozen_mt.median_s.into()),
+                ("frozen_cv", frozen_mt.cv.into()),
+                ("speedup", mt_speedup.into()),
+            ]),
+        ),
+        (
+            "serve",
+            Json::obj(vec![
+                ("requests", requests.into()),
+                ("clients", 1u64.into()),
+                ("qps", serve_qps.into()),
+                ("inproc_live_qps", inproc_live_qps.into()),
+                ("inproc_frozen_qps", inproc_frozen_qps.into()),
+            ]),
+        ),
+        (
+            "obs",
+            Json::obj(vec![
+                ("bare_seconds", obs_bare.0.into()),
+                ("bare_cv", obs_bare.1.into()),
+                ("instrumented_seconds", obs_inst.0.into()),
+                ("instrumented_cv", obs_inst.1.into()),
+                ("overhead_ratio", obs_ratio.into()),
+                ("max_ratio", OBS_MAX_RATIO.into()),
+                ("attempts", obs_attempts.into()),
+            ]),
+        ),
+    ]);
+    let json = format!("{doc}\n");
 
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!(

@@ -21,8 +21,13 @@
 //! ```
 
 pub mod args;
-pub mod json;
 pub mod server;
+
+// The hand-rolled JSON value/parser used to live here; it moved to
+// `phylo-obs` so the serve protocol, the metrics exposition, and the bench
+// emitters share one escaping implementation. Re-exported under the old
+// path for existing users.
+pub use phylo_obs::json;
 
 use args::Args;
 use bfhrf::{
@@ -117,6 +122,7 @@ pub fn run_full(argv: &[String]) -> Result<CmdOutcome, CliError> {
         "index" => cmd_index(rest),
         "serve" => cmd_serve(rest),
         "query" => cmd_query(rest),
+        "stats" => cmd_stats(rest),
         "help" | "--help" | "-h" => Ok(CmdOutcome::clean(usage())),
         other => Err(format!("unknown subcommand {other:?}\n\n{}", usage()).into()),
     }
@@ -160,6 +166,10 @@ pub fn usage() -> String {
      \x20                               hashrf degrades to bfhrf when over\n\
      \x20          --timeout SECS       cancel the run at the deadline\n\
      \n\
+     avgrf, matrix, and index build also accept:\n\
+     \x20          --profile            print a per-phase timing table on\n\
+     \x20                               stderr when the run finishes\n\
+     \n\
      exit codes: 0 clean success | 1 error | 2 partial success\n\
      \x20            (records skipped under --lenient) | 3 over budget or\n\
      \x20            timed out\n\
@@ -181,7 +191,9 @@ pub fn usage() -> String {
      query      one request against a running server\n\
      \x20          --addr HOST:PORT | --port-file FILE\n\
      \x20          --op avgrf|best-query|stats|add|remove|compact|shutdown\n\
-     \x20          [--queries FILE] [--trees FILE] [--normalized] [--halved]\n"
+     \x20          [--queries FILE] [--trees FILE] [--normalized] [--halved]\n\
+     stats      fetch and render a running server's metrics\n\
+     \x20          --addr HOST:PORT | --port-file FILE [--json]\n"
         .to_string()
 }
 
@@ -215,6 +227,9 @@ fn note_ingest(notes: &mut Vec<String>, path: &str, report: &IngestReport) -> bo
     if !report.is_partial() {
         return false;
     }
+    phylo_obs::global()
+        .counter("ingest_recovered_total", &[])
+        .add(report.skipped.len() as u64);
     notes.push(format!("{path}: {}", report.summary()));
     for rec in &report.skipped {
         notes.push(format!("{path}: skipped {rec}"));
@@ -294,7 +309,10 @@ fn resolve_builder(
 }
 
 fn cmd_avgrf(raw: &[String]) -> Result<CmdOutcome, CliError> {
-    let a = Args::parse(raw, &["halved", "normalized", "common-taxa", "lenient"])?;
+    let a = Args::parse(
+        raw,
+        &["halved", "normalized", "common-taxa", "lenient", "profile"],
+    )?;
     a.reject_unknown(
         &[
             "refs",
@@ -307,11 +325,13 @@ fn cmd_avgrf(raw: &[String]) -> Result<CmdOutcome, CliError> {
             "mem-budget",
             "timeout",
         ],
-        &["halved", "normalized", "common-taxa", "lenient"],
+        &["halved", "normalized", "common-taxa", "lenient", "profile"],
     )?;
     let policy = ingest_policy(&a)?;
     let guard = run_guard(&a)?;
+    let mut prof = phylo_obs::Profiler::new(a.flag("profile"));
     let mut notes = Vec::new();
+    prof.phase("load");
     let refs_path = a.require("refs")?;
     let (mut refs, refs_report) = load_with(refs_path, policy)?;
     let mut partial = note_ingest(&mut notes, refs_path, &refs_report);
@@ -329,13 +349,16 @@ fn cmd_avgrf(raw: &[String]) -> Result<CmdOutcome, CliError> {
             }
             None => refs.clone(),
         };
+        prof.phase("score");
         let out = bfhrf::variable_taxa::common_taxa_rf(&refs, &queries).map_err(core_fail)?;
+        prof.phase("render");
         let mut report = format!(
             "# common taxa: {} of {} reference labels\n",
             out.taxa.len(),
             refs.taxa.len()
         );
         render_scores(&mut report, &out.scores, out.taxa.len(), &a);
+        notes.extend(prof.render().lines().map(String::from));
         return Ok(CmdOutcome {
             stdout: report,
             notes,
@@ -358,6 +381,8 @@ fn cmd_avgrf(raw: &[String]) -> Result<CmdOutcome, CliError> {
         )
         .into());
     }
+    let prof = &mut prof;
+    prof.phase("score");
     let scores = with_threads(threads, || -> Result<Vec<bfhrf::QueryScore>, CliError> {
         match algorithm {
             "bfhrf" | "bfhrf-seq" => {
@@ -367,10 +392,12 @@ fn cmd_avgrf(raw: &[String]) -> Result<CmdOutcome, CliError> {
                     "seq"
                 };
                 let builder = resolve_builder(build_mode, shards, default_mode)?;
+                prof.phase("build");
                 let bfh = builder
                     .guard(guard.clone())
                     .from_trees(&refs.trees, &refs.taxa)
                     .map_err(core_fail)?;
+                prof.phase("freeze+query");
                 // Query through the frozen probe-optimized table; freezing
                 // is one pass over the hash just built.
                 FrozenComparator::from_owned(bfh.freeze(), &refs.taxa)
@@ -406,8 +433,10 @@ fn cmd_avgrf(raw: &[String]) -> Result<CmdOutcome, CliError> {
     for d in guard.degradations() {
         notes.push(d.to_string());
     }
+    prof.phase("render");
     let mut report = String::new();
     render_scores(&mut report, &scores, n, &a);
+    notes.extend(prof.render().lines().map(String::from));
     Ok(CmdOutcome {
         stdout: report,
         notes,
@@ -493,13 +522,14 @@ fn cmd_consensus(raw: &[String]) -> Result<CmdOutcome, CliError> {
 }
 
 fn cmd_matrix(raw: &[String]) -> Result<CmdOutcome, CliError> {
-    let a = Args::parse(raw, &["lenient"])?;
+    let a = Args::parse(raw, &["lenient", "profile"])?;
     a.reject_unknown(
         &["refs", "budget-mb", "max-errors", "mem-budget", "timeout"],
-        &["lenient"],
+        &["lenient", "profile"],
     )?;
     let policy = ingest_policy(&a)?;
     let mut guard = run_guard(&a)?;
+    let mut prof = phylo_obs::Profiler::new(a.flag("profile"));
     // --budget-mb is the pre-existing coarse knob; --mem-budget (bytes)
     // takes precedence when both are given.
     if guard.budget.max_bytes.is_none() {
@@ -508,10 +538,13 @@ fn cmd_matrix(raw: &[String]) -> Result<CmdOutcome, CliError> {
     }
     let mut notes = Vec::new();
     let refs_path = a.require("refs")?;
+    prof.phase("load");
     let (refs, report) = load_with(refs_path, policy)?;
     let partial = note_ingest(&mut notes, refs_path, &report);
+    prof.phase("matrix");
     let m = bfhrf::matrix::rf_matrix_exact_parallel_guarded(&refs.trees, &refs.taxa, &guard)
         .map_err(core_fail)?;
+    prof.phase("render");
     let mut out = String::new();
     for i in 0..m.size() {
         for j in 0..m.size() {
@@ -522,6 +555,7 @@ fn cmd_matrix(raw: &[String]) -> Result<CmdOutcome, CliError> {
         }
         out.push('\n');
     }
+    notes.extend(prof.render().lines().map(String::from));
     Ok(CmdOutcome {
         stdout: out,
         notes,
@@ -649,7 +683,7 @@ fn cmd_index(raw: &[String]) -> Result<CmdOutcome, CliError> {
 }
 
 fn cmd_index_build(raw: &[String]) -> Result<CmdOutcome, CliError> {
-    let a = Args::parse(raw, &["lenient"])?;
+    let a = Args::parse(raw, &["lenient", "profile"])?;
     a.reject_unknown(
         &[
             "refs",
@@ -661,27 +695,32 @@ fn cmd_index_build(raw: &[String]) -> Result<CmdOutcome, CliError> {
             "mem-budget",
             "timeout",
         ],
-        &["lenient"],
+        &["lenient", "profile"],
     )?;
     let policy = ingest_policy(&a)?;
     let guard = run_guard(&a)?;
+    let mut prof = phylo_obs::Profiler::new(a.flag("profile"));
     let mut notes = Vec::new();
     let refs_path = a.require("refs")?;
     let out_dir = a.require("out")?;
+    prof.phase("load");
     let (refs, report) = load_with(refs_path, policy)?;
     let partial = note_ingest(&mut notes, refs_path, &report);
     let threads: Option<usize> = a.get_parsed("threads")?;
     let shards: Option<usize> = a.get_parsed("shards")?;
     let build_mode = a.get("build-mode");
+    prof.phase("build");
     let bfh = with_threads(threads, || -> Result<bfhrf::Bfh, CliError> {
         resolve_builder(build_mode, shards, "sharded")?
             .guard(guard.clone())
             .from_trees(&refs.trees, &refs.taxa)
             .map_err(core_fail)
     })??;
+    prof.phase("write");
     let index = phylo_index::Index::create(Path::new(out_dir), bfh, refs.taxa.clone())
         .map_err(index_fail)?;
     let stats = index.stats();
+    notes.extend(prof.render().lines().map(String::from));
     Ok(CmdOutcome {
         stdout: format!(
             "index\t{out_dir}\ngeneration\t{}\nn_trees\t{}\nn_taxa\t{}\ndistinct\t{}\nsum\t{}\n",
@@ -813,9 +852,28 @@ fn query_addr(a: &Args) -> Result<String, CliError> {
         .into())
 }
 
-fn cmd_query(raw: &[String]) -> Result<CmdOutcome, CliError> {
+/// One request/response round trip against a running server.
+fn send_request(addr: &str, request: &json::Json) -> Result<json::Json, CliError> {
     use std::io::{BufRead as _, Write as _};
 
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| CliError::from(format!("cannot connect to {addr}: {e}")))?;
+    stream.set_read_timeout(Some(Duration::from_secs(120))).ok();
+    stream
+        .write_all(format!("{request}\n").as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| CliError::from(format!("cannot send request to {addr}: {e}")))?;
+    let mut line = String::new();
+    std::io::BufReader::new(&stream)
+        .read_line(&mut line)
+        .map_err(|e| CliError::from(format!("no response from {addr}: {e}")))?;
+    if line.trim().is_empty() {
+        return Err(format!("server at {addr} closed the connection without answering").into());
+    }
+    json::parse(line.trim()).map_err(|e| format!("malformed response: {e}").into())
+}
+
+fn cmd_query(raw: &[String]) -> Result<CmdOutcome, CliError> {
     let a = Args::parse(raw, &["normalized", "halved"])?;
     a.reject_unknown(
         &["addr", "port-file", "op", "queries", "trees"],
@@ -855,38 +913,43 @@ fn cmd_query(raw: &[String]) -> Result<CmdOutcome, CliError> {
         }
     }
     let request = json::Json::obj(fields);
-
-    let mut stream = std::net::TcpStream::connect(&addr)
-        .map_err(|e| CliError::from(format!("cannot connect to {addr}: {e}")))?;
-    stream.set_read_timeout(Some(Duration::from_secs(120))).ok();
-    stream
-        .write_all(format!("{request}\n").as_bytes())
-        .and_then(|()| stream.flush())
-        .map_err(|e| CliError::from(format!("cannot send request to {addr}: {e}")))?;
-    let mut line = String::new();
-    std::io::BufReader::new(&stream)
-        .read_line(&mut line)
-        .map_err(|e| CliError::from(format!("no response from {addr}: {e}")))?;
-    if line.trim().is_empty() {
-        return Err(format!("server at {addr} closed the connection without answering").into());
-    }
-    let resp = json::parse(line.trim()).map_err(|e| format!("malformed response: {e}"))?;
+    let resp = send_request(&addr, &request)?;
 
     if resp.get("ok").and_then(json::Json::as_bool) != Some(true) {
         let code = resp
             .get("code")
             .and_then(json::Json::as_str)
             .unwrap_or("error");
+        // The finer outcome label (budget vs cancelled) when the server
+        // sends one; older servers only send the code.
+        let outcome = resp
+            .get("outcome")
+            .and_then(json::Json::as_str)
+            .unwrap_or(code);
         let message = resp
             .get("error")
             .and_then(json::Json::as_str)
             .unwrap_or("server reported an unspecified failure");
         return Err(CliError {
-            message: format!("server: {message}"),
+            message: format!("server: [{outcome}] {message}"),
             code: server::protocol_code_to_exit(code),
         });
     }
-    render_response(op, &resp).map(CmdOutcome::clean)
+    // Degradation notes travel with successful responses; relay them to
+    // stderr so `query` matches the offline commands' reporting.
+    let notes: Vec<String> = resp
+        .get("notes")
+        .and_then(json::Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|n| n.as_str().map(|s| format!("server: {s}")))
+        .collect();
+    let stdout = render_response(op, &resp)?;
+    Ok(CmdOutcome {
+        stdout,
+        notes,
+        code: EXIT_OK,
+    })
 }
 
 /// Render a successful server response in the same tab-separated shapes
@@ -944,6 +1007,89 @@ fn render_response(op: &str, resp: &json::Json) -> Result<String, CliError> {
         "shutdown" => Ok("shutdown\tok\n".to_string()),
         _ => unreachable!("ops are validated before the request is sent"),
     }
+}
+
+/// `bfhrf stats`: fetch one `stats` snapshot from a running daemon and
+/// render it for operators — the index header, then every metric series
+/// (with scaled latency quantiles). `--json` prints the raw wire response
+/// for scripts instead.
+fn cmd_stats(raw: &[String]) -> Result<CmdOutcome, CliError> {
+    let a = Args::parse(raw, &["json"])?;
+    a.reject_unknown(&["addr", "port-file"], &["json"])?;
+    let addr = query_addr(&a)?;
+    let request = json::Json::obj(vec![("op", "stats".into())]);
+    let resp = send_request(&addr, &request)?;
+    if resp.get("ok").and_then(json::Json::as_bool) != Some(true) {
+        let message = resp
+            .get("error")
+            .and_then(json::Json::as_str)
+            .unwrap_or("server reported an unspecified failure");
+        return Err(format!("server: {message}").into());
+    }
+    if a.flag("json") {
+        return Ok(CmdOutcome::clean(format!("{resp}\n")));
+    }
+    let mut out = render_response("stats", &resp)?;
+    if let Some(metrics) = resp.get("metrics") {
+        out.push('\n');
+        out.push_str(&render_metrics_text(metrics));
+    }
+    Ok(CmdOutcome::clean(out))
+}
+
+/// Render the `metrics` member of a `stats` response as the aligned text
+/// table `phylo_obs::expose::to_text` produces server-side — recomputed
+/// here from the wire JSON because the client only has the document.
+fn render_metrics_text(metrics: &json::Json) -> String {
+    let series = metrics
+        .get("series")
+        .and_then(json::Json::as_arr)
+        .unwrap_or(&[]);
+    let mut rows: Vec<(String, String)> = Vec::with_capacity(series.len());
+    for s in series {
+        let name = s.get("name").and_then(json::Json::as_str).unwrap_or("?");
+        let mut key = name.to_string();
+        if let Some(json::Json::Obj(pairs)) = s.get("labels") {
+            if !pairs.is_empty() {
+                let inner: Vec<String> = pairs
+                    .iter()
+                    .map(|(k, v)| format!("{k}={}", v.as_str().unwrap_or("?")))
+                    .collect();
+                key.push_str(&format!("{{{}}}", inner.join(",")));
+            }
+        }
+        let num = |field: &str| s.get(field).and_then(json::Json::as_f64).unwrap_or(0.0);
+        let value = match s.get("kind").and_then(json::Json::as_str) {
+            Some("histogram") => {
+                let count = num("count");
+                if count == 0.0 {
+                    "count=0".to_string()
+                } else {
+                    let show: fn(f64) -> String = if name.ends_with("_ns") {
+                        phylo_obs::expose::fmt_ns
+                    } else {
+                        |v: f64| format!("{v:.0}")
+                    };
+                    format!(
+                        "count={count} mean={} p50={} p90={} p99={} max={}",
+                        show(num("mean")),
+                        show(num("p50")),
+                        show(num("p90")),
+                        show(num("p99")),
+                        show(num("max")),
+                    )
+                }
+            }
+            _ => format!("{}", num("value")),
+        };
+        rows.push((key, value));
+    }
+    let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (key, value) in rows {
+        let _ = writeln!(out, "{key:width$}  {value}");
+    }
+    out
 }
 
 #[cfg(test)]

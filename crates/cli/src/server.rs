@@ -12,7 +12,7 @@
 //! ← {"ok":true,"best_index":1,"avg":0.5,"total":3}
 //! → {"op":"stats"}
 //! ← {"ok":true,"generation":0,"n_trees":10,"n_taxa":16,"distinct":120,
-//!    "sum":1300,"wal_pending":2,"served":17}
+//!    "sum":1300,"wal_pending":2,"served":17,"metrics":{"series":[...]}}
 //! → {"op":"add","trees":["((A,B),(C,D));"]}        (admin)
 //! ← {"ok":true,"applied":1,"n_trees":11}
 //! → {"op":"remove","trees":[...]}                   (admin)
@@ -22,9 +22,14 @@
 //! ← {"ok":true,"shutdown":true}
 //! ```
 //!
-//! Failures: `{"ok":false,"code":"error"|"budget","error":"..."}` — the
-//! `budget` code marks per-request resource refusals (`--mem-budget`,
-//! `--timeout-ms`), which clients map to exit code 3.
+//! Failures: `{"ok":false,"code":"error"|"budget","outcome":"error"|
+//! "budget"|"cancelled","error":"..."}` — the `budget` code marks
+//! per-request resource refusals (`--mem-budget`, `--timeout-ms`), which
+//! clients map to exit code 3; `outcome` refines the code for operators
+//! (a deadline expiry reports `cancelled`, an allocation refusal
+//! `budget`). Query responses carry a `notes` array of degradation
+//! messages (empty when the run was clean), and the `stats` response
+//! embeds a full metrics snapshot under `metrics` (see `phylo-obs`).
 //!
 //! # Concurrency
 //!
@@ -48,12 +53,13 @@ use crate::{CliError, EXIT_BUDGET, EXIT_ERROR};
 use bfhrf::{Comparator, CoreError, FrozenComparator, RunBudget, RunGuard};
 use phylo::{parse_newick_readonly, TaxonSet, Tree};
 use phylo_index::Index;
+use phylo_obs::{expose, Counter, Gauge, Histogram};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::time::{Duration, Instant};
 
 /// Longest accepted request line (bytes) — bounds what a hostile client
@@ -88,6 +94,70 @@ struct SnapView {
     taxa: TaxonSet,
 }
 
+/// Wire op names, in dispatch order; the last slot absorbs unparseable
+/// requests and unknown ops so every request lands in exactly one series.
+const OPS: [&str; 8] = [
+    "avgrf",
+    "best-query",
+    "stats",
+    "add",
+    "remove",
+    "compact",
+    "shutdown",
+    "unknown",
+];
+const OP_UNKNOWN: usize = OPS.len() - 1;
+
+/// Request outcome labels. `cancelled` (deadline/cancel) is distinguished
+/// from `budget` (allocation refusal) in metrics even though both share
+/// the `budget` wire code and exit 3.
+const OUTCOMES: [&str; 4] = ["ok", "error", "budget", "cancelled"];
+const OUTCOME_OK: usize = 0;
+
+/// Metric handles the daemon touches per request, resolved once at bind
+/// time so the request path never takes the registry lock. Every
+/// op × outcome series is pre-registered, which also pins the `stats`
+/// schema: all combinations appear (zero-valued) from the first snapshot.
+struct ServeMetrics {
+    latency: [Histogram; OPS.len()],
+    outcomes: [[Counter; OUTCOMES.len()]; OPS.len()],
+    admin_wait: Histogram,
+    snap_wait: Histogram,
+    conns_active: Gauge,
+    conns_total: Counter,
+    swaps: Counter,
+}
+
+impl ServeMetrics {
+    fn resolve() -> ServeMetrics {
+        let reg = phylo_obs::global();
+        ServeMetrics {
+            latency: std::array::from_fn(|i| reg.histogram("serve_request_ns", &[("op", OPS[i])])),
+            outcomes: std::array::from_fn(|i| {
+                std::array::from_fn(|j| {
+                    reg.counter(
+                        "serve_requests_total",
+                        &[("op", OPS[i]), ("outcome", OUTCOMES[j])],
+                    )
+                })
+            }),
+            admin_wait: reg.histogram("serve_queue_wait_ns", &[("lock", "admin")]),
+            snap_wait: reg.histogram("serve_queue_wait_ns", &[("lock", "snapshot")]),
+            conns_active: reg.gauge("serve_connections_active", &[]),
+            conns_total: reg.counter("serve_connections_total", &[]),
+            swaps: reg.counter("serve_snapshot_swaps_total", &[]),
+        }
+    }
+
+    fn op_index(op: &str) -> usize {
+        OPS.iter().position(|&o| o == op).unwrap_or(OP_UNKNOWN)
+    }
+
+    fn outcome_index(outcome: &str) -> usize {
+        OUTCOMES.iter().position(|&o| o == outcome).unwrap_or(1)
+    }
+}
+
 struct ServeState {
     snap: RwLock<Arc<SnapView>>,
     admin: Mutex<Index>,
@@ -99,6 +169,19 @@ struct ServeState {
     /// socket so blocked readers wake immediately.
     conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn: AtomicU64,
+    metrics: ServeMetrics,
+}
+
+/// Lock the admin mutex, recording how long the request queued behind
+/// other admin work.
+fn lock_admin(state: &ServeState) -> Result<MutexGuard<'_, Index>, ReqError> {
+    let start = Instant::now();
+    let guard = state
+        .admin
+        .lock()
+        .map_err(|_| ReqError::new("admin state poisoned"))?;
+    state.metrics.admin_wait.record_duration(start.elapsed());
+    Ok(guard)
 }
 
 /// Registry entry for one connection, deregistered on drop (any exit path
@@ -117,12 +200,15 @@ impl<'a> ConnGuard<'a> {
             .lock()
             .expect("connection registry poisoned")
             .insert(id, handle);
+        state.metrics.conns_total.inc();
+        state.metrics.conns_active.add(1);
         Some(ConnGuard { state, id })
     }
 }
 
 impl Drop for ConnGuard<'_> {
     fn drop(&mut self) {
+        self.state.metrics.conns_active.sub(1);
         if let Ok(mut conns) = self.state.conns.lock() {
             conns.remove(&self.id);
         }
@@ -139,9 +225,12 @@ fn interrupt_connections(state: &ServeState) {
     }
 }
 
-/// A typed request failure: protocol code + message.
+/// A typed request failure: protocol code + message, plus the finer
+/// `outcome` label metrics use (`cancelled` vs `budget` share the wire
+/// code but are different operational signals).
 struct ReqError {
     code: &'static str,
+    outcome: &'static str,
     message: String,
 }
 
@@ -149,17 +238,20 @@ impl ReqError {
     fn new(message: impl Into<String>) -> Self {
         ReqError {
             code: "error",
+            outcome: "error",
             message: message.into(),
         }
     }
 
     fn from_core(e: CoreError) -> Self {
-        let code = match e {
-            CoreError::Cancelled(_) | CoreError::ResourceLimit(_) => "budget",
-            _ => "error",
+        let (code, outcome) = match e {
+            CoreError::Cancelled(_) => ("budget", "cancelled"),
+            CoreError::ResourceLimit(_) => ("budget", "budget"),
+            _ => ("error", "error"),
         };
         ReqError {
             code,
+            outcome,
             message: e.to_string(),
         }
     }
@@ -175,6 +267,7 @@ impl ReqError {
         Json::obj(vec![
             ("ok", false.into()),
             ("code", self.code.into()),
+            ("outcome", self.outcome.into()),
             ("error", self.message.into()),
         ])
     }
@@ -218,6 +311,7 @@ impl Server {
                 timeout_ms: cfg.timeout_ms,
                 conns: Mutex::new(HashMap::new()),
                 next_conn: AtomicU64::new(0),
+                metrics: ServeMetrics::resolve(),
             }),
             threads: cfg.threads.max(1),
             addr,
@@ -353,10 +447,7 @@ fn handle_connection(stream: TcpStream, state: &ServeState, addr: SocketAddr) {
         if line.is_empty() {
             continue;
         }
-        let (response, action) = match handle_request(line, state) {
-            Ok((json, action)) => (json, action),
-            Err(e) => (e.into_json(), Action::Continue),
-        };
+        let (response, action) = handle_request(line, state);
         state.served.fetch_add(1, Ordering::Relaxed);
         if writer
             .write_all(format!("{response}\n").as_bytes())
@@ -407,13 +498,39 @@ fn payload_array<'a>(req: &'a Json, key: &str) -> Result<&'a [Json], ReqError> {
         .ok_or_else(|| ReqError::new(format!("request needs a {key:?} array")))
 }
 
-fn handle_request(line: &str, state: &ServeState) -> Result<(Json, Action), ReqError> {
-    let req = json::parse(line).map_err(ReqError::new)?;
-    let op = req
-        .get("op")
-        .and_then(Json::as_str)
-        .ok_or_else(|| ReqError::new("request needs an \"op\" string"))?;
-    match op {
+/// Dispatch one request, recording its latency and outcome under the op
+/// label (`unknown` for unparseable requests). This wrapper is the whole
+/// query-path instrumentation: one clock pair, one histogram record, one
+/// counter bump per request.
+fn handle_request(line: &str, state: &ServeState) -> (Json, Action) {
+    let start = Instant::now();
+    let (op_idx, result) = dispatch(line, state);
+    state.metrics.latency[op_idx].record_duration(start.elapsed());
+    match result {
+        Ok((json, action)) => {
+            state.metrics.outcomes[op_idx][OUTCOME_OK].inc();
+            (json, action)
+        }
+        Err(e) => {
+            state.metrics.outcomes[op_idx][ServeMetrics::outcome_index(e.outcome)].inc();
+            (e.into_json(), Action::Continue)
+        }
+    }
+}
+
+fn dispatch(line: &str, state: &ServeState) -> (usize, Result<(Json, Action), ReqError>) {
+    let req = match json::parse(line) {
+        Ok(req) => req,
+        Err(e) => return (OP_UNKNOWN, Err(ReqError::new(e))),
+    };
+    let Some(op) = req.get("op").and_then(Json::as_str) else {
+        return (
+            OP_UNKNOWN,
+            Err(ReqError::new("request needs an \"op\" string")),
+        );
+    };
+    let op_idx = ServeMetrics::op_index(op);
+    let result = match op {
         "avgrf" => op_avgrf(&req, state).map(|j| (j, Action::Continue)),
         "best-query" => op_best(&req, state).map(|j| (j, Action::Continue)),
         "stats" => op_stats(state).map(|j| (j, Action::Continue)),
@@ -426,13 +543,31 @@ fn handle_request(line: &str, state: &ServeState) -> Result<(Json, Action), ReqE
         other => Err(ReqError::new(format!(
             "unknown op {other:?} (expected avgrf, best-query, stats, add, remove, compact, shutdown)"
         ))),
-    }
+    };
+    (op_idx, result)
 }
 
 /// Clone the current snapshot `Arc` out of the cell — the only moment a
-/// query touches a lock.
+/// query touches a lock. The wait is recorded so contention behind
+/// publishing writers shows up as `serve_queue_wait_ns{lock=snapshot}`.
 fn current_snap(state: &ServeState) -> Arc<SnapView> {
-    Arc::clone(&state.snap.read().expect("snapshot lock poisoned"))
+    let start = Instant::now();
+    let snap = Arc::clone(&state.snap.read().expect("snapshot lock poisoned"));
+    state.metrics.snap_wait.record_duration(start.elapsed());
+    snap
+}
+
+/// Degradation notes recorded while serving one request, as a JSON array
+/// (empty array when the run was clean — the key is always present so
+/// clients need no existence check).
+fn notes_json(guard: &RunGuard) -> Json {
+    Json::Arr(
+        guard
+            .degradations()
+            .iter()
+            .map(|d| Json::from(d.to_string()))
+            .collect(),
+    )
 }
 
 fn scored(
@@ -483,6 +618,7 @@ fn op_avgrf(req: &Json, state: &ServeState) -> Result<Json, ReqError> {
         ("ok", true.into()),
         ("n_taxa", n_taxa.into()),
         ("scores", Json::Arr(rows)),
+        ("notes", notes_json(&guard)),
     ]))
 }
 
@@ -497,15 +633,15 @@ fn op_best(req: &Json, state: &ServeState) -> Result<Json, ReqError> {
         ("best_index", best.index.into()),
         ("avg", best.rf.average().into()),
         ("total", best.rf.total().into()),
+        ("notes", notes_json(&guard)),
     ]))
 }
 
 fn op_stats(state: &ServeState) -> Result<Json, ReqError> {
-    let stats = state
-        .admin
-        .lock()
-        .map_err(|_| ReqError::new("admin state poisoned"))?
-        .stats();
+    // Index::stats also refreshes the index_generation / index_wal_pending
+    // gauges, so the metrics snapshot below reflects this very answer.
+    let stats = lock_admin(state)?.stats();
+    let metrics = expose::to_json(&phylo_obs::global().snapshot());
     Ok(Json::obj(vec![
         ("ok", true.into()),
         ("generation", stats.generation.into()),
@@ -515,15 +651,13 @@ fn op_stats(state: &ServeState) -> Result<Json, ReqError> {
         ("sum", stats.sum.into()),
         ("wal_pending", stats.wal_pending.into()),
         ("served", state.served.load(Ordering::Relaxed).into()),
+        ("metrics", metrics),
     ]))
 }
 
 fn op_mutate(req: &Json, state: &ServeState, add: bool) -> Result<Json, ReqError> {
     let items = payload_array(req, "trees")?;
-    let mut index = state
-        .admin
-        .lock()
-        .map_err(|_| ReqError::new("admin state poisoned"))?;
+    let mut index = lock_admin(state)?;
     // Validate the whole batch against the namespace up front so a typo in
     // tree k does not leave trees 0..k applied.
     let trees = parse_payload_trees(index.taxa(), items)?;
@@ -555,6 +689,7 @@ fn op_mutate(req: &Json, state: &ServeState, add: bool) -> Result<Json, ReqError
         taxa: index.taxa().clone(),
     });
     *state.snap.write().expect("snapshot lock poisoned") = snap;
+    state.metrics.swaps.inc();
     Ok(Json::obj(vec![
         ("ok", true.into()),
         ("applied", applied.into()),
@@ -563,10 +698,7 @@ fn op_mutate(req: &Json, state: &ServeState, add: bool) -> Result<Json, ReqError
 }
 
 fn op_compact(state: &ServeState) -> Result<Json, ReqError> {
-    let mut index = state
-        .admin
-        .lock()
-        .map_err(|_| ReqError::new("admin state poisoned"))?;
+    let mut index = lock_admin(state)?;
     let meta = index.compact().map_err(ReqError::from_index)?;
     Ok(Json::obj(vec![
         ("ok", true.into()),

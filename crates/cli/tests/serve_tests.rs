@@ -361,6 +361,194 @@ fn port_file_and_inspect() {
     assert!(outcome.stdout.starts_with("served\t"), "{}", outcome.stdout);
 }
 
+/// Find one exposition series by name and exact label set.
+fn find_series<'a>(
+    metrics: &'a json::Json,
+    name: &str,
+    labels: &[(&str, &str)],
+) -> Option<&'a json::Json> {
+    metrics.get("series")?.as_arr()?.iter().find(|s| {
+        let n_labels = match s.get("labels") {
+            Some(json::Json::Obj(pairs)) => pairs.len(),
+            _ => return false,
+        };
+        s.get("name").and_then(|n| n.as_str()) == Some(name)
+            && n_labels == labels.len()
+            && labels.iter().all(|(k, v)| {
+                s.get("labels")
+                    .and_then(|l| l.get(k))
+                    .and_then(|x| x.as_str())
+                    == Some(*v)
+            })
+    })
+}
+
+/// The `stats` response carries a `metrics` payload of exposition JSON
+/// that round-trips through the shared json module, holds the full
+/// pre-registered series set (every op x outcome cell exists before any
+/// request of that kind arrives), and keeps counting across a
+/// snapshot-generation swap mid-stream.
+///
+/// The registry is process-global and tests share one binary, so every
+/// numeric assertion is `>=` or a delta — parallel tests may also count.
+#[test]
+fn stats_metrics_schema_and_snapshot_swap() {
+    let dir = scratch("metrics");
+    let queries_path = write(&dir, "queries.nwk", QUERIES);
+    let extra_path = write(&dir, "extra.nwk", EXTRA);
+    let index_dir = build_index(&dir, REFS);
+    let (addr, handle) = start_server(&index_dir, None);
+
+    for _ in 0..3 {
+        runv(&["query", "--addr", &addr, "--queries", &queries_path]).unwrap();
+    }
+    let resp = raw_request(&addr, r#"{"op":"stats"}"#);
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+    let metrics = resp.get("metrics").expect("stats carries metrics");
+
+    // Round trip: exposition output is exactly what the parser reads back.
+    assert_eq!(json::parse(&metrics.to_string()).unwrap(), *metrics);
+
+    // Schema stability: every op x outcome cell pre-registered at bind.
+    for op in [
+        "avgrf",
+        "best-query",
+        "stats",
+        "add",
+        "remove",
+        "compact",
+        "shutdown",
+        "unknown",
+    ] {
+        for outcome in ["ok", "error", "budget", "cancelled"] {
+            let s = find_series(
+                metrics,
+                "serve_requests_total",
+                &[("op", op), ("outcome", outcome)],
+            )
+            .unwrap_or_else(|| panic!("missing series op={op} outcome={outcome}"));
+            assert_eq!(s.get("kind").unwrap().as_str(), Some("counter"));
+        }
+    }
+
+    // The burst above was counted and timed.
+    let ok = find_series(
+        metrics,
+        "serve_requests_total",
+        &[("op", "avgrf"), ("outcome", "ok")],
+    )
+    .unwrap();
+    let ok_before = ok.get("value").unwrap().as_u64().unwrap();
+    assert!(ok_before >= 3, "avgrf ok = {ok_before}");
+    let lat = find_series(metrics, "serve_request_ns", &[("op", "avgrf")]).unwrap();
+    assert_eq!(lat.get("kind").unwrap().as_str(), Some("histogram"));
+    assert!(lat.get("count").unwrap().as_u64().unwrap() >= 3);
+    for key in ["sum", "max", "mean", "p50", "p90", "p99"] {
+        assert!(
+            lat.get(key).unwrap().as_f64().unwrap() > 0.0,
+            "{key} not positive"
+        );
+    }
+    assert!(!lat.get("buckets").unwrap().as_arr().unwrap().is_empty());
+    let swaps_before = find_series(metrics, "serve_snapshot_swaps_total", &[])
+        .unwrap()
+        .get("value")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+
+    // Swap the snapshot generation mid-stream (add publishes a new Arc),
+    // keep querying, and the same counters keep counting.
+    runv(&[
+        "query",
+        "--addr",
+        &addr,
+        "--op",
+        "add",
+        "--trees",
+        &extra_path,
+    ])
+    .unwrap();
+    runv(&["query", "--addr", &addr, "--queries", &queries_path]).unwrap();
+    let resp = raw_request(&addr, r#"{"op":"stats"}"#);
+    let metrics = resp.get("metrics").unwrap();
+    assert_eq!(json::parse(&metrics.to_string()).unwrap(), *metrics);
+    let swaps_after = find_series(metrics, "serve_snapshot_swaps_total", &[])
+        .unwrap()
+        .get("value")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert!(
+        swaps_after > swaps_before,
+        "{swaps_before} -> {swaps_after}"
+    );
+    let ok_after = find_series(
+        metrics,
+        "serve_requests_total",
+        &[("op", "avgrf"), ("outcome", "ok")],
+    )
+    .unwrap()
+    .get("value")
+    .unwrap()
+    .as_u64()
+    .unwrap();
+    assert!(ok_after > ok_before, "{ok_before} -> {ok_after}");
+    let adds = find_series(metrics, "wal_appends_total", &[("op", "add")])
+        .unwrap()
+        .get("value")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert!(adds >= 1);
+
+    // The human renderer exposes the same numbers without --json.
+    let human = runv(&["stats", "--addr", &addr]).unwrap();
+    assert!(
+        human
+            .stdout
+            .contains("serve_requests_total{op=avgrf,outcome=ok}"),
+        "{}",
+        human.stdout
+    );
+    assert!(human.stdout.contains("serve_request_ns{op=avgrf}"));
+    shutdown(&addr, handle);
+}
+
+/// A budget-refused request is visible in the metrics under its own
+/// outcome label, and the client surfaces the server's outcome code.
+#[test]
+fn budget_outcome_is_counted_and_surfaced() {
+    let dir = scratch("metrics-budget");
+    let queries_path = write(&dir, "queries.nwk", QUERIES);
+    let index_dir = build_index(&dir, REFS);
+    let (addr, handle) = start_server(&index_dir, Some(0));
+
+    let err = runv(&["query", "--addr", &addr, "--queries", &queries_path]).unwrap_err();
+    assert_eq!(err.code, EXIT_BUDGET);
+    assert!(err.message.contains("server: ["), "{}", err.message);
+
+    let resp = raw_request(&addr, r#"{"op":"stats"}"#);
+    let metrics = resp.get("metrics").unwrap();
+    let refused: u64 = ["budget", "cancelled"]
+        .iter()
+        .map(|outcome| {
+            find_series(
+                metrics,
+                "serve_requests_total",
+                &[("op", "avgrf"), ("outcome", outcome)],
+            )
+            .unwrap()
+            .get("value")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+        })
+        .sum();
+    assert!(refused >= 1, "no refused avgrf counted");
+    shutdown(&addr, handle);
+}
+
 /// Shutdown must wake a worker blocked in `read` on an idle connection at
 /// once. The socket read timeout is the 300 s idle window — without the
 /// connection-registry interrupt the join below would hang for minutes,

@@ -466,6 +466,13 @@ impl Bfh {
         self.shards.iter().map(|m| m.len()).sum()
     }
 
+    /// Distinct-entry count of each shard map, in shard order. The spread
+    /// across shards is the routing-balance signal the build pipeline
+    /// reports as `build_shard_skew_permille`.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|m| m.len()).collect()
+    }
+
     /// Iterate `(bitmask, frequency)` entries in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (&Bits, u32)> {
         self.shards

@@ -120,8 +120,9 @@ impl BfhBuilder {
     /// strategy honours the configured guard: sequential builds poll it
     /// per tree, parallel builds per tree inside panic-isolated workers.
     pub fn from_trees(&self, trees: &[Tree], taxa: &TaxonSet) -> Result<Bfh, CoreError> {
+        let start = std::time::Instant::now();
         self.validate(trees, taxa)?;
-        match (self.shards, self.parallel) {
+        let bfh = match (self.shards, self.parallel) {
             (1, false) => {
                 let mut bfh = Bfh::empty(taxa.len());
                 let mut scratch = BipartitionScratch::new();
@@ -129,13 +130,15 @@ impl BfhBuilder {
                     self.guard.checkpoint("BFH build")?;
                     bfh.add_tree_with(tree, taxa, &mut scratch);
                 }
-                Ok(bfh)
+                bfh
             }
             // Parallel one-shard runs the two-phase pipeline with k = 1:
             // counts are bitwise-identical to the fold-merge strategy, and
             // the pipeline is the guarded, panic-isolated path.
-            (k, _) => Bfh::try_build_sharded(trees, taxa, k, &self.guard),
-        }
+            (k, _) => Bfh::try_build_sharded(trees, taxa, k, &self.guard)?,
+        };
+        record_build_metrics(&bfh, start.elapsed());
+        Ok(bfh)
     }
 
     /// Parse a Newick stream and build from it. With [`TaxaPolicy::Grow`]
@@ -177,6 +180,33 @@ impl BfhBuilder {
         }
         let bfh = self.from_trees(&trees, taxa)?;
         Ok((bfh, stream.into_report()))
+    }
+}
+
+/// Publish one finished build's throughput and balance into the global
+/// registry: duration histogram, tree/split totals, last-build rate gauges,
+/// and the shard skew (max/mean distinct entries, scaled by 1000 — 1000
+/// means perfectly balanced routing).
+fn record_build_metrics(bfh: &Bfh, elapsed: std::time::Duration) {
+    let reg = phylo_obs::global();
+    reg.histogram("build_ns", &[]).record_duration(elapsed);
+    reg.counter("build_trees_total", &[])
+        .add(bfh.n_trees() as u64);
+    reg.counter("build_splits_total", &[]).add(bfh.sum());
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        reg.gauge("build_trees_per_s", &[])
+            .set((bfh.n_trees() as f64 / secs) as i64);
+        reg.gauge("build_splits_per_s", &[])
+            .set((bfh.sum() as f64 / secs) as i64);
+    }
+    let sizes = bfh.shard_sizes();
+    let total: usize = sizes.iter().sum();
+    if sizes.len() > 1 && total > 0 {
+        let mean = total as f64 / sizes.len() as f64;
+        let max = sizes.iter().copied().max().unwrap_or(0) as f64;
+        reg.gauge("build_shard_skew_permille", &[])
+            .set((max / mean * 1000.0) as i64);
     }
 }
 

@@ -61,9 +61,14 @@ impl RunBudget {
     /// Call *before* allocating — the point is to fail typed, not OOM.
     pub fn check_alloc(&self, what: &str, bytes: usize) -> Result<(), CoreError> {
         match self.max_bytes {
-            Some(max) if bytes > max => Err(CoreError::ResourceLimit(format!(
-                "{what} needs {bytes} bytes, budget is {max}"
-            ))),
+            Some(max) if bytes > max => {
+                phylo_obs::global()
+                    .counter("core_budget_refusals_total", &[])
+                    .inc();
+                Err(CoreError::ResourceLimit(format!(
+                    "{what} needs {bytes} bytes, budget is {max}"
+                )))
+            }
             _ => Ok(()),
         }
     }
@@ -170,6 +175,9 @@ impl RunGuard {
 
     /// Record that a fallback happened.
     pub fn record_degradation(&self, from: &str, to: &str, reason: impl Into<String>) {
+        phylo_obs::global()
+            .counter("core_degradations_total", &[])
+            .inc();
         let event = Degradation {
             from: from.to_string(),
             to: to.to_string(),
@@ -216,6 +224,9 @@ pub fn isolate<T>(what: &str, f: impl FnOnce() -> Result<T, CoreError>) -> Resul
     match catch_unwind(AssertUnwindSafe(f)) {
         Ok(r) => r,
         Err(payload) => {
+            phylo_obs::global()
+                .counter("core_worker_panics_total", &[])
+                .inc();
             let msg = if let Some(s) = payload.downcast_ref::<&str>() {
                 (*s).to_string()
             } else if let Some(s) = payload.downcast_ref::<String>() {

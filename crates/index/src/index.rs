@@ -199,7 +199,11 @@ impl Index {
         if let Some(f) = &self.frozen {
             return f.clone();
         }
+        let start = std::time::Instant::now();
         let f = std::sync::Arc::new(self.bfh.freeze());
+        phylo_obs::global()
+            .histogram("index_freeze_ns", &[])
+            .record_duration(start.elapsed());
         self.frozen = Some(f.clone());
         f
     }
@@ -219,8 +223,15 @@ impl Index {
         &self.dir
     }
 
-    /// Live counters.
+    /// Live counters. Also refreshes the `index_generation` and
+    /// `index_wal_pending` gauges so the metrics registry tracks whichever
+    /// index was inspected last (one daemon process serves one index).
     pub fn stats(&self) -> IndexStats {
+        let reg = phylo_obs::global();
+        reg.gauge("index_generation", &[])
+            .set(self.generation as i64);
+        reg.gauge("index_wal_pending", &[])
+            .set(self.wal_pending as i64);
         IndexStats {
             generation: self.generation,
             n_trees: self.bfh.n_trees(),

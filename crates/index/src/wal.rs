@@ -85,6 +85,7 @@ impl Wal {
         file.write_all(&header)
             .map_err(|e| IndexError::io(path, e))?;
         file.sync_all().map_err(|e| IndexError::io(path, e))?;
+        phylo_obs::global().counter("wal_fsyncs_total", &[]).inc();
         Ok(Wal {
             path: path.to_path_buf(),
             file,
@@ -142,6 +143,13 @@ impl Wal {
         self.file
             .sync_all()
             .map_err(|e| IndexError::io(&self.path, e))?;
+        let reg = phylo_obs::global();
+        let op_label = match op {
+            WalOp::Add => "add",
+            WalOp::Remove => "remove",
+        };
+        reg.counter("wal_appends_total", &[("op", op_label)]).inc();
+        reg.counter("wal_fsyncs_total", &[]).inc();
         Ok(())
     }
 }

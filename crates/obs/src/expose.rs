@@ -1,0 +1,211 @@
+//! Exposition: render a registry snapshot for machines (JSON, served by the
+//! `stats` wire command) or humans (an aligned text table, `bfhrf stats`).
+//!
+//! The JSON schema is deliberately flat and stable — golden-tested — so
+//! operators can scrape it with one `jq` expression:
+//!
+//! ```json
+//! {"series":[
+//!   {"name":"serve_requests_total","labels":{"op":"avgrf","outcome":"ok"},
+//!    "kind":"counter","value":12},
+//!   {"name":"serve_request_ns","labels":{"op":"avgrf"},"kind":"histogram",
+//!    "count":12,"sum":48000,"max":9000,"mean":4000.0,
+//!    "p50":3100.0,"p90":7800.0,"p99":8900.0,
+//!    "buckets":[{"le":4095,"n":3},{"le":8191,"n":8},{"le":16383,"n":1}]}
+//! ]}
+//! ```
+//!
+//! Histogram buckets are emitted sparsely (non-empty only) with their
+//! inclusive upper bound `le`, keeping a 65-bucket histogram's wire size
+//! proportional to the spread actually observed.
+
+use crate::json::Json;
+use crate::metrics::{bucket_bounds, HistogramSnapshot};
+use crate::registry::{Series, SeriesValue};
+use std::fmt::Write as _;
+
+fn labels_json(labels: &[(&'static str, &'static str)]) -> Json {
+    Json::Obj(
+        labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), Json::Str(v.to_string())))
+            .collect(),
+    )
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> Vec<(&'static str, Json)> {
+    let buckets: Vec<Json> = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > 0)
+        .map(|(b, &n)| Json::obj(vec![("le", bucket_bounds(b).1.into()), ("n", n.into())]))
+        .collect();
+    vec![
+        ("count", h.count.into()),
+        ("sum", h.sum.into()),
+        ("max", h.max.into()),
+        ("mean", h.mean().into()),
+        ("p50", h.quantile(0.50).into()),
+        ("p90", h.quantile(0.90).into()),
+        ("p99", h.quantile(0.99).into()),
+        ("buckets", Json::Arr(buckets)),
+    ]
+}
+
+/// Render a snapshot as the stable `{"series":[...]}` JSON document.
+pub fn to_json(series: &[Series]) -> Json {
+    let items = series
+        .iter()
+        .map(|s| {
+            let mut pairs = vec![
+                ("name", Json::from(s.name)),
+                ("labels", labels_json(&s.labels)),
+            ];
+            match &s.value {
+                SeriesValue::Counter(v) => {
+                    pairs.push(("kind", "counter".into()));
+                    pairs.push(("value", (*v).into()));
+                }
+                SeriesValue::Gauge(v) => {
+                    pairs.push(("kind", "gauge".into()));
+                    pairs.push(("value", (*v).into()));
+                }
+                SeriesValue::Histogram(h) => {
+                    pairs.push(("kind", "histogram".into()));
+                    pairs.extend(histogram_json(h));
+                }
+            }
+            Json::obj(pairs)
+        })
+        .collect();
+    Json::obj(vec![("series", Json::Arr(items))])
+}
+
+/// Format a nanosecond quantity with a readable unit (`1.2ms`, `340ns`).
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn label_suffix(labels: &[(&'static str, &'static str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// Render a snapshot as an aligned human-readable table, one series per
+/// line. Nanosecond histograms (`_ns` names) show scaled quantiles.
+pub fn to_text(series: &[Series]) -> String {
+    let mut rows: Vec<(String, String)> = Vec::with_capacity(series.len());
+    for s in series {
+        let key = format!("{}{}", s.name, label_suffix(&s.labels));
+        let value = match &s.value {
+            SeriesValue::Counter(v) => format!("{v}"),
+            SeriesValue::Gauge(v) => format!("{v}"),
+            SeriesValue::Histogram(h) if h.count == 0 => "count=0".to_string(),
+            SeriesValue::Histogram(h) => {
+                let show: fn(f64) -> String = if s.name.ends_with("_ns") {
+                    fmt_ns
+                } else {
+                    |v: f64| format!("{v:.0}")
+                };
+                format!(
+                    "count={} mean={} p50={} p90={} p99={} max={}",
+                    h.count,
+                    show(h.mean()),
+                    show(h.quantile(0.50)),
+                    show(h.quantile(0.90)),
+                    show(h.quantile(0.99)),
+                    show(h.max as f64),
+                )
+            }
+        };
+        rows.push((key, value));
+    }
+    let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (key, value) in rows {
+        let _ = writeln!(out, "{key:width$}  {value}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::registry::Registry;
+
+    fn sample() -> Registry {
+        let r = Registry::new();
+        r.counter("req_total", &[("op", "avgrf"), ("outcome", "ok")])
+            .add(12);
+        r.gauge("gen", &[]).set(3);
+        let h = r.histogram("req_ns", &[("op", "avgrf")]);
+        for v in [900, 3_000, 3_100, 7_800] {
+            h.record(v);
+        }
+        r
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let doc = to_json(&sample().snapshot());
+        let parsed = json::parse(&doc.to_string()).unwrap();
+        assert_eq!(parsed, doc);
+        let series = parsed.get("series").unwrap().as_arr().unwrap();
+        assert_eq!(series.len(), 3);
+        // Sorted by name: gen, req_ns, req_total.
+        assert_eq!(series[0].get("name").unwrap().as_str(), Some("gen"));
+        assert_eq!(series[0].get("kind").unwrap().as_str(), Some("gauge"));
+        let hist = &series[1];
+        assert_eq!(hist.get("kind").unwrap().as_str(), Some("histogram"));
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(4));
+        assert!(hist.get("p50").unwrap().as_f64().is_some());
+        let buckets = hist.get("buckets").unwrap().as_arr().unwrap();
+        assert!(!buckets.is_empty());
+        for b in buckets {
+            assert!(b.get("le").unwrap().as_u64().is_some());
+            assert!(b.get("n").unwrap().as_u64().unwrap() > 0);
+        }
+        assert_eq!(
+            series[2]
+                .get("labels")
+                .unwrap()
+                .get("outcome")
+                .unwrap()
+                .as_str(),
+            Some("ok")
+        );
+        assert_eq!(series[2].get("value").unwrap().as_u64(), Some(12));
+    }
+
+    #[test]
+    fn text_is_aligned_and_scaled() {
+        let text = to_text(&sample().snapshot());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("gen"));
+        assert!(lines[1].contains("req_ns{op=avgrf}"));
+        assert!(lines[1].contains("us"), "ns histograms use units: {text}");
+        assert!(lines[2].contains("12"));
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(340.0), "340ns");
+        assert_eq!(fmt_ns(4_500.0), "4.5us");
+        assert_eq!(fmt_ns(2_300_000.0), "2.30ms");
+        assert_eq!(fmt_ns(1.5e9), "1.50s");
+    }
+}

@@ -100,6 +100,11 @@ impl From<usize> for Json {
         Json::Num(n as f64)
     }
 }
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        Json::Num(n as f64)
+    }
+}
 impl From<&str> for Json {
     fn from(s: &str) -> Json {
         Json::Str(s.to_string())

@@ -1,0 +1,57 @@
+//! `phylo-obs` — zero-dependency observability for the BFHRF stack.
+//!
+//! The serving stack (sharded builds, persistent index, `bfhrf serve`)
+//! needs runtime numbers — request latency distributions, error and
+//! degradation counters, memory and WAL gauges — without pulling a metrics
+//! framework into a workspace that builds hermetically. This crate is that
+//! core, std-only:
+//!
+//! * [`Counter`] / [`Gauge`] — single atomic cells behind cheap
+//!   clone-and-share handles.
+//! * [`Histogram`] — fixed log2-bucket distribution with p50/p90/p99
+//!   estimation; one `record` is three relaxed atomic adds and a
+//!   `fetch_max`.
+//! * [`Registry`] — a sharded name+label → metric table. Resolution takes
+//!   one shard mutex; hot paths resolve handles **once** and then touch
+//!   only atomics ("lock-light").
+//! * [`ScopedTimer`] — RAII latency recording into a histogram.
+//! * [`json`] — the hand-rolled JSON value/parser shared by the serve
+//!   protocol, the exposition layer, and the bench emitters.
+//! * [`expose`] — registry snapshots rendered as JSON (for the `stats`
+//!   wire command) or aligned text (for humans).
+//! * [`profile`] — a phase-timing profiler backing the CLI `--profile`
+//!   flag.
+//!
+//! # Conventions
+//!
+//! Metric names are `snake_case` with a unit suffix: `_total` for
+//! monotonic counters, `_ns` for nanosecond histograms, `_bytes` for byte
+//! gauges, `_permille` for ratios scaled by 1000. Labels are static
+//! `(key, value)` pairs with a small, bounded cardinality (command names,
+//! outcome codes) — never request payloads.
+//!
+//! ```
+//! use phylo_obs::{Registry, ScopedTimer};
+//!
+//! let registry = Registry::new();
+//! let latency = registry.histogram("demo_request_ns", &[("op", "avgrf")]);
+//! let hits = registry.counter("demo_requests_total", &[("op", "avgrf")]);
+//! {
+//!     let _timer = ScopedTimer::new(&latency);
+//!     hits.inc();
+//! }
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.len(), 2);
+//! ```
+
+pub mod expose;
+pub mod json;
+mod metrics;
+pub mod profile;
+mod registry;
+
+pub use metrics::{
+    bucket_bounds, bucket_of, Counter, Gauge, Histogram, HistogramSnapshot, ScopedTimer, N_BUCKETS,
+};
+pub use profile::Profiler;
+pub use registry::{global, Registry, Series, SeriesValue};

@@ -1,0 +1,329 @@
+//! The atomic metric primitives: counters, gauges, log2-bucket histograms,
+//! and the RAII timer that feeds them.
+//!
+//! Every operation on a live metric is a handful of `Relaxed` atomic
+//! instructions — no locks, no allocation — so instrumentation can sit on
+//! a request path without distorting what it measures. Handles are `Arc`s
+//! around the cells: clone freely, share across threads.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Bucket count of a [`Histogram`]: bucket 0 holds the value 0, bucket
+/// `k ≥ 1` holds values whose bit length is `k` (the range
+/// `[2^(k-1), 2^k)`), up to bucket 64 ending at `u64::MAX`.
+pub const N_BUCKETS: usize = 65;
+
+/// The bucket index a value lands in: 0 for 0, otherwise the value's bit
+/// length (`1` → 1, `2..=3` → 2, `2^k..2^(k+1)` → k+1, `u64::MAX` → 64).
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The inclusive `[lo, hi]` value range of bucket `b`.
+pub fn bucket_bounds(b: usize) -> (u64, u64) {
+    match b {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        _ => (1 << (b - 1), (1 << b) - 1),
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed gauge (active connections, last-build rate, …).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative via [`Gauge::sub`]).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; N_BUCKETS],
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A fixed log2-bucket histogram of `u64` samples (typically nanoseconds).
+///
+/// Recording is wait-free; quantiles are estimated from a bucket snapshot
+/// by linear interpolation inside the bucket holding the requested rank,
+/// so an estimate is always within the true quantile's bucket — at most a
+/// factor of 2 off for values ≥ 1, and exact at bucket boundaries' lower
+/// edges.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let core = &*self.0;
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(value, Ordering::Relaxed);
+        core.max.fetch_max(value, Ordering::Relaxed);
+        core.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a duration as nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the distribution. Under concurrent writers
+    /// the copy may be mid-update by a few samples; after writers are
+    /// joined it is exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let core = &*self.0;
+        HistogramSnapshot {
+            count: core.count.load(Ordering::Relaxed),
+            sum: core.sum.load(Ordering::Relaxed),
+            max: core.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| core.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen (0 when empty).
+    pub max: u64,
+    /// Per-bucket sample counts (see [`bucket_bounds`]).
+    pub buckets: [u64; N_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) by interpolating inside
+    /// the bucket that holds rank `q · (count − 1)`. Returns 0 for an
+    /// empty histogram. The estimate never leaves its bucket, so it is
+    /// within a factor of 2 of the true quantile and never exceeds
+    /// [`HistogramSnapshot::max`]'s bucket upper bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * (self.count - 1) as f64;
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let upto = seen + c;
+            if rank < upto as f64 || upto == self.count {
+                let (lo, hi) = bucket_bounds(b);
+                // Clip the top bucket to the observed max: better than
+                // reporting 2^k when the largest sample is known.
+                let hi = (hi.min(self.max)).max(lo) as f64;
+                let lo = lo as f64;
+                if c == 1 {
+                    return (lo + hi) / 2.0;
+                }
+                let frac = (rank - seen as f64).clamp(0.0, (c - 1) as f64) / (c - 1) as f64;
+                return lo + frac * (hi - lo);
+            }
+            seen = upto;
+        }
+        self.max as f64
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// RAII timer: records the elapsed time into a histogram (in nanoseconds)
+/// when dropped.
+///
+/// ```
+/// use phylo_obs::{Histogram, ScopedTimer};
+/// let h = Histogram::new();
+/// {
+///     let _t = ScopedTimer::new(&h);
+///     // ... timed work ...
+/// }
+/// assert_eq!(h.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ScopedTimer {
+    hist: Option<Histogram>,
+    start: Instant,
+}
+
+impl ScopedTimer {
+    /// Start timing into `hist`.
+    pub fn new(hist: &Histogram) -> Self {
+        ScopedTimer {
+            hist: Some(hist.clone()),
+            start: Instant::now(),
+        }
+    }
+
+    /// Stop early and record now instead of at scope exit.
+    pub fn stop(mut self) {
+        self.record();
+    }
+
+    /// Abandon the measurement: nothing is recorded.
+    pub fn discard(mut self) {
+        self.hist = None;
+    }
+
+    fn record(&mut self) {
+        if let Some(h) = self.hist.take() {
+            h.record_duration(self.start.elapsed());
+        }
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        // Clones share the cell.
+        let c2 = c.clone();
+        c2.inc();
+        assert_eq!(c.get(), 43);
+
+        let g = Gauge::new();
+        g.set(7);
+        g.add(5);
+        g.sub(2);
+        assert_eq!(g.get(), 10);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn bucket_of_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        for k in 1..63 {
+            let v = 1u64 << k;
+            assert_eq!(bucket_of(v - 1), k, "2^{k}-1");
+            assert_eq!(bucket_of(v), k + 1, "2^{k}");
+            assert_eq!(bucket_of(v + 1), k + 1, "2^{k}+1");
+        }
+        assert_eq!(bucket_of(u64::MAX), 64);
+        // Bounds tile the u64 range without gaps or overlaps.
+        let mut next = 0u64;
+        for b in 0..N_BUCKETS {
+            let (lo, hi) = bucket_bounds(b);
+            assert_eq!(lo, next, "bucket {b} starts where {} ended", b - 1);
+            assert!(hi >= lo);
+            next = hi.wrapping_add(1);
+        }
+        assert_eq!(next, 0, "bucket 64 ends at u64::MAX");
+    }
+
+    #[test]
+    fn scoped_timer_records_and_discards() {
+        let h = Histogram::new();
+        {
+            let _t = ScopedTimer::new(&h);
+        }
+        ScopedTimer::new(&h).stop();
+        ScopedTimer::new(&h).discard();
+        assert_eq!(h.count(), 2);
+    }
+}

@@ -1,0 +1,220 @@
+//! The sharded metric registry: `(name, labels)` → metric handle.
+//!
+//! Registration and lookup take one shard mutex; the returned handles are
+//! plain `Arc`s, so a caller that resolves its handles once (the serve
+//! daemon does this at bind time) never touches the registry again on the
+//! hot path. Names and label keys/values are `&'static str` — series are
+//! a small, statically known set, never derived from request payloads.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+const REGISTRY_SHARDS: usize = 16;
+
+/// Static label pairs identifying one series within a metric name.
+type LabelSet = Vec<(&'static str, &'static str)>;
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One series in a registry snapshot, ready for exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Metric name (`snake_case`, unit-suffixed).
+    pub name: &'static str,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(&'static str, &'static str)>,
+    /// The captured value.
+    pub value: SeriesValue,
+}
+
+/// The captured value of one series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeriesValue {
+    /// Monotonic counter total.
+    Counter(u64),
+    /// Point-in-time gauge reading.
+    Gauge(i64),
+    /// Full distribution snapshot (boxed: 65 buckets dwarf the scalars).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// A sharded name+label → metric table. See the module docs.
+#[derive(Debug, Default)]
+pub struct Registry {
+    shards: [Mutex<HashMap<(&'static str, LabelSet), Metric>>; REGISTRY_SHARDS],
+}
+
+fn canonical(labels: &[(&'static str, &'static str)]) -> LabelSet {
+    let mut set: LabelSet = labels.to_vec();
+    set.sort_unstable();
+    set
+}
+
+fn shard_of(name: &str) -> usize {
+    // FNV-1a over the name: series of one family stay on one shard, which
+    // keeps snapshots cheap and contention spread across families.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % REGISTRY_SHARDS as u64) as usize
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn resolve(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &'static str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let key = (name, canonical(labels));
+        let mut shard = self.shards[shard_of(name)]
+            .lock()
+            .expect("metric registry poisoned");
+        let entry = shard.entry(key).or_insert_with(make);
+        entry.clone()
+    }
+
+    /// The counter `name{labels}`, created at zero on first use.
+    ///
+    /// # Panics
+    /// If the same series was already registered as a different kind —
+    /// that is a programming error, not a runtime condition.
+    pub fn counter(&self, name: &'static str, labels: &[(&'static str, &'static str)]) -> Counter {
+        match self.resolve(name, labels, || Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            other => panic!("{name} is registered as a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// The gauge `name{labels}`, created at zero on first use.
+    ///
+    /// # Panics
+    /// On a kind conflict, like [`Registry::counter`].
+    pub fn gauge(&self, name: &'static str, labels: &[(&'static str, &'static str)]) -> Gauge {
+        match self.resolve(name, labels, || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            other => panic!("{name} is registered as a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// The histogram `name{labels}`, created empty on first use.
+    ///
+    /// # Panics
+    /// On a kind conflict, like [`Registry::counter`].
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &'static str)],
+    ) -> Histogram {
+        match self.resolve(name, labels, || Metric::Histogram(Histogram::new())) {
+            Metric::Histogram(h) => h,
+            other => panic!(
+                "{name} is registered as a {}, not a histogram",
+                other.kind()
+            ),
+        }
+    }
+
+    /// Capture every series, sorted by `(name, labels)` so the output is
+    /// deterministic and exposition formats are schema-stable.
+    pub fn snapshot(&self) -> Vec<Series> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("metric registry poisoned");
+            for ((name, labels), metric) in shard.iter() {
+                let value = match metric {
+                    Metric::Counter(c) => SeriesValue::Counter(c.get()),
+                    Metric::Gauge(g) => SeriesValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SeriesValue::Histogram(Box::new(h.snapshot())),
+                };
+                out.push(Series {
+                    name,
+                    labels: labels.clone(),
+                    value,
+                });
+            }
+        }
+        out.sort_by(|a, b| (a.name, &a.labels).cmp(&(b.name, &b.labels)));
+        out
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry every layer of the stack instruments into.
+/// One daemon process = one registry; tests that need isolation construct
+/// their own [`Registry`].
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_series_shares_one_cell() {
+        let r = Registry::new();
+        let a = r.counter("x_total", &[("op", "a")]);
+        let b = r.counter("x_total", &[("op", "a")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        // Label order does not split the series.
+        let c1 = r.counter("y_total", &[("a", "1"), ("b", "2")]);
+        let c2 = r.counter("y_total", &[("b", "2"), ("a", "1")]);
+        c1.inc();
+        assert_eq!(c2.get(), 1);
+        // Different labels do.
+        let other = r.counter("x_total", &[("op", "b")]);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("b_total", &[]).add(2);
+        r.gauge("a_gauge", &[("k", "v")]).set(-5);
+        r.histogram("c_ns", &[]).record(100);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["a_gauge", "b_total", "c_ns"]);
+        assert_eq!(snap[0].value, SeriesValue::Gauge(-5));
+        assert_eq!(snap[1].value, SeriesValue::Counter(2));
+        match &snap[2].value {
+            SeriesValue::Histogram(h) => assert_eq!(h.count, 1),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as a counter")]
+    fn kind_conflicts_panic() {
+        let r = Registry::new();
+        r.counter("conflict", &[]);
+        r.gauge("conflict", &[]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Integration tests for the metrics core: quantile error bounds, a
+//! multi-thread hammer asserting no lost updates, and a golden exposition
+//! test pinning the `stats` JSON schema.
+
+use phylo_obs::{bucket_bounds, bucket_of, expose, json, Histogram, Registry, N_BUCKETS};
+use std::thread;
+
+#[test]
+fn quantile_error_is_bounded_by_bucket_width() {
+    // A geometric spread of exact samples: every quantile estimate must
+    // land inside the bucket of the true rank-order statistic, i.e. within
+    // a factor of 2 (and within [lo, hi] of that bucket exactly).
+    let samples: Vec<u64> = (0..2000u64).map(|i| (i * i) % 100_000 + 1).collect();
+    let mut sorted = samples.clone();
+    sorted.sort_unstable();
+
+    let h = Histogram::new();
+    for &v in &samples {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, samples.len() as u64);
+    assert_eq!(snap.sum, samples.iter().sum::<u64>());
+    assert_eq!(snap.max, *sorted.last().unwrap());
+
+    for &q in &[0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+        let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+        let truth = sorted[rank];
+        let est = snap.quantile(q);
+        let (lo, hi) = bucket_bounds(bucket_of(truth));
+        assert!(
+            est >= lo as f64 && est <= hi as f64,
+            "q={q}: estimate {est} outside bucket [{lo}, {hi}] of true value {truth}"
+        );
+        // Factor-of-2 bound for values >= 1.
+        assert!(est <= 2.0 * truth as f64 && 2.0 * est >= truth as f64);
+    }
+    // Quantiles never exceed the observed max even in the top bucket.
+    assert!(snap.quantile(1.0) <= snap.max as f64);
+}
+
+#[test]
+fn quantiles_of_uniform_samples_are_monotone() {
+    let h = Histogram::new();
+    for v in 1..=10_000u64 {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    let mut prev = -1.0;
+    for i in 0..=100 {
+        let q = i as f64 / 100.0;
+        let est = snap.quantile(q);
+        assert!(est >= prev, "quantile not monotone at q={q}");
+        prev = est;
+    }
+}
+
+#[test]
+fn eight_thread_hammer_loses_no_updates() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 50_000;
+
+    let reg = Registry::new();
+    let counter = reg.counter("hammer_total", &[]);
+    let hist = reg.histogram("hammer_ns", &[]);
+
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let counter = counter.clone();
+            let hist = hist.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    // Deterministic spread across many buckets.
+                    hist.record((t * PER_THREAD + i) % 1_000_003);
+                }
+            });
+        }
+    });
+
+    let expected = THREADS * PER_THREAD;
+    assert_eq!(counter.get(), expected, "counter lost updates");
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, expected, "histogram count lost updates");
+    assert_eq!(
+        snap.buckets.iter().sum::<u64>(),
+        expected,
+        "bucket totals lost updates"
+    );
+    let exact_sum: u64 = (0..THREADS)
+        .flat_map(|t| (0..PER_THREAD).map(move |i| (t * PER_THREAD + i) % 1_000_003))
+        .sum();
+    assert_eq!(snap.sum, exact_sum, "histogram sum lost updates");
+}
+
+#[test]
+fn exposition_golden_schema() {
+    // An isolated registry with one series of each kind, pinned to the
+    // exact wire bytes: this is the schema the `stats` command promises.
+    let reg = Registry::new();
+    reg.counter("demo_requests_total", &[("op", "avgrf"), ("outcome", "ok")])
+        .add(3);
+    reg.gauge("demo_generation", &[]).set(2);
+    let h = reg.histogram("demo_request_ns", &[("op", "avgrf")]);
+    h.record(5); // bucket 3: [4, 7]
+    h.record(6); // bucket 3
+    h.record(9); // bucket 4: [8, 15]
+
+    let doc = expose::to_json(&reg.snapshot());
+    let golden = concat!(
+        "{\"series\":[",
+        "{\"name\":\"demo_generation\",\"labels\":{},\"kind\":\"gauge\",\"value\":2},",
+        "{\"name\":\"demo_request_ns\",\"labels\":{\"op\":\"avgrf\"},\"kind\":\"histogram\",",
+        "\"count\":3,\"sum\":20,\"max\":9,\"mean\":6.666666666666667,",
+        "\"p50\":7,\"p90\":7,\"p99\":7,",
+        "\"buckets\":[{\"le\":7,\"n\":2},{\"le\":15,\"n\":1}]},",
+        "{\"name\":\"demo_requests_total\",\"labels\":{\"op\":\"avgrf\",\"outcome\":\"ok\"},",
+        "\"kind\":\"counter\",\"value\":3}",
+        "]}"
+    );
+    assert_eq!(doc.to_string(), golden);
+    // And the wire bytes parse back to the same value.
+    assert_eq!(json::parse(golden).unwrap(), doc);
+}
+
+#[test]
+fn histogram_covers_full_u64_range() {
+    let h = Histogram::new();
+    h.record(0);
+    h.record(1);
+    h.record(u64::MAX);
+    let snap = h.snapshot();
+    assert_eq!(snap.buckets[0], 1);
+    assert_eq!(snap.buckets[1], 1);
+    assert_eq!(snap.buckets[N_BUCKETS - 1], 1);
+    assert_eq!(snap.max, u64::MAX);
+    assert!(snap.quantile(1.0) <= u64::MAX as f64);
+}
