@@ -57,8 +57,14 @@ for key in ("live_seconds", "live_cv", "frozen_seconds", "frozen_cv", "speedup")
 srv = need(doc, "serve", dict, "$")
 need(srv, "requests", int, "serve")
 need(srv, "clients", int, "serve")
-for key in ("qps", "inproc_live_qps", "inproc_frozen_qps"):
+need(srv, "pipeline_window", int, "serve")
+need(srv, "batch_size", int, "serve")
+need(srv, "batch_frames", int, "serve")
+for key in ("qps", "pipelined_qps", "batch_qps",
+            "inproc_live_qps", "inproc_frozen_qps"):
     need(srv, key, (int, float), "serve")
+if srv["batch_size"] < 1 or srv["batch_frames"] < 1:
+    sys.exit("bench smoke: degenerate batch cell parameters")
 obs = need(doc, "obs", dict, "$")
 need(obs, "attempts", int, "obs")
 for key in ("bare_seconds", "bare_cv", "instrumented_seconds",
@@ -76,10 +82,11 @@ for section, obj in (("single_thread", st), ("end_to_end", ee),
 if st["speedup"] <= 0 or st["live_mprobes_per_s"] <= 0 \
         or st["frozen_mprobes_per_s"] <= 0:
     sys.exit("bench smoke: degenerate single-thread timings")
-if srv["qps"] <= 0:
+if srv["qps"] <= 0 or srv["pipelined_qps"] <= 0 or srv["batch_qps"] <= 0:
     sys.exit("bench smoke: serve section measured nothing")
 
 print(f"bench smoke: schema ok "
       f"(single-thread speedup {st['speedup']:.2f}x, serve {srv['qps']:.0f} q/s, "
+      f"batch {srv['batch_qps']:.0f} q/s, "
       f"obs overhead {obs['overhead_ratio']:.4f}x)")
 EOF

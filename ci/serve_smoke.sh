@@ -40,6 +40,73 @@ echo "== served answers must match offline avgrf byte-for-byte"
 "$BIN" query --port-file "$WORK/port" --queries "$WORK/queries.nwk" >"$WORK/served.tsv"
 diff -u "$WORK/offline.tsv" "$WORK/served.tsv"
 
+echo "== batched v2 client matches offline byte-for-byte"
+"$BIN" query --port-file "$WORK/port" --queries "$WORK/queries.nwk" --batch 2 \
+    >"$WORK/served_batch.tsv"
+diff -u "$WORK/offline.tsv" "$WORK/served_batch.tsv"
+
+echo "== wire protocol v2: hello + pipelined batch; v1 dialect on the same socket"
+python3 - "$(cat "$WORK/port")" "$WORK/queries.nwk" <<'EOF'
+import json
+import socket
+import sys
+
+host, port = sys.argv[1].rsplit(":", 1)
+queries = [l.strip() for l in open(sys.argv[2]) if l.strip()]
+
+sock = socket.create_connection((host, int(port)), timeout=30)
+rfile = sock.makefile("r", encoding="utf-8")
+
+def send(frame):
+    sock.sendall((json.dumps(frame) + "\n").encode())
+
+def recv():
+    line = rfile.readline()
+    if not line:
+        sys.exit("serve smoke: server closed the v2 session")
+    return json.loads(line)
+
+# hello handshake: version + batch ceiling
+send({"v": 2, "op": "hello"})
+hello = recv()
+if hello.get("ok") is not True or hello.get("v") != 2:
+    sys.exit(f"serve smoke: bad hello response: {hello}")
+if not isinstance(hello.get("max_batch"), int) or hello["max_batch"] < 1:
+    sys.exit(f"serve smoke: hello lacks a max_batch ceiling: {hello}")
+
+# two pipelined batch frames written back-to-back, answered in order
+# with their ids echoed
+send({"v": 2, "op": "batch", "id": 7, "queries": queries})
+send({"v": 2, "op": "batch", "id": 8, "queries": queries})
+for want in (7, 8):
+    resp = recv()
+    if resp.get("ok") is not True or resp.get("id") != want:
+        sys.exit(f"serve smoke: frame {want} answered wrong: {resp}")
+    if len(resp.get("scores", [])) != len(queries):
+        sys.exit(f"serve smoke: frame {want} row count mismatch: {resp}")
+    if "snap" not in resp or "generation" not in resp:
+        sys.exit(f"serve smoke: batch response lacks snapshot provenance: {resp}")
+
+# a v1 frame (no "v") on the same connection keeps working
+send({"op": "avgrf", "queries": queries[:1]})
+v1 = recv()
+if v1.get("ok") is not True or len(v1.get("scores", [])) != 1:
+    sys.exit(f"serve smoke: v1 dialect broken on a v2 session: {v1}")
+
+# oversized batches are refused without dropping the connection
+send({"v": 2, "op": "batch", "queries": queries * (hello["max_batch"] // len(queries) + 1)})
+err = recv()
+if err.get("ok") is not False or err.get("code") != "error":
+    sys.exit(f"serve smoke: oversized batch not refused: {err}")
+send({"op": "stats"})
+if recv().get("ok") is not True:
+    sys.exit("serve smoke: connection unusable after oversized batch")
+
+sock.close()
+print(f"serve smoke: v2 session ok (max_batch {hello['max_batch']}, "
+      f"{2 * len(queries)} rows pipelined)")
+EOF
+
 echo "== stats: metrics schema + non-zero request counters"
 "$BIN" query --port-file "$WORK/port" --op stats
 "$BIN" stats --port-file "$WORK/port"
@@ -83,6 +150,14 @@ if ok_avgrf is None or ok_avgrf["value"] < 1:
 lat = by_key.get(("serve_request_ns", "op=avgrf"))
 if lat is None or lat["count"] < 1 or lat["p50"] <= 0:
     sys.exit("serve smoke: avgrf latency histogram is empty")
+# the v2 session above pushed batch frames through a pipelined connection,
+# so both protocol-shape histograms must have fired
+bs = by_key.get(("serve_batch_size", ""))
+if bs is None or bs["count"] < 1:
+    sys.exit("serve smoke: serve_batch_size histogram empty after batch ops")
+pd = by_key.get(("serve_pipeline_depth", ""))
+if pd is None or pd["count"] < 1:
+    sys.exit("serve smoke: serve_pipeline_depth histogram never recorded")
 conns = by_key.get(("serve_connections_total", ""))
 if conns is None or conns["value"] < 2:
     sys.exit("serve smoke: connection counter missed the query burst")
@@ -91,8 +166,8 @@ if gen is None or gen["value"] < 0:
     sys.exit("serve smoke: index generation gauge absent")
 # every op x outcome cell is pre-registered so dashboards never see a
 # series appear out of nowhere; spot-check the schema stability claim
-for op in ("avgrf", "best-query", "stats", "add", "remove", "compact",
-           "shutdown", "unknown"):
+for op in ("hello", "avgrf", "best-query", "batch", "stats", "add", "remove",
+           "compact", "shutdown", "unknown"):
     for outcome in ("ok", "error", "budget", "cancelled"):
         if ("serve_requests_total", f"op={op},outcome={outcome}") not in by_key:
             sys.exit(f"serve smoke: missing pre-registered series "

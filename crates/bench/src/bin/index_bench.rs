@@ -11,7 +11,11 @@
 //!    (one warmup cycle, then median-of-K with CV for cold build,
 //!    snapshot save, snapshot load)
 //! 2. **Serving**: how many `avgrf` requests per second does `bfhrf
-//!    serve` sustain with 1, 4, and 8 concurrent client connections?
+//!    serve` sustain with 1, 4, and 8 concurrent client connections —
+//!    both as single-op request/response frames and as pipelined v2
+//!    `batch` frames (64 queries each, `batch_qps` counts individual
+//!    queries)? Rounds interleave the client counts and each row keeps
+//!    its peak observed throughput (noise only ever subtracts).
 //!
 //! The loaded hash is checked against the freshly built one (counters
 //! must match) so a timing win can never hide a correctness loss.
@@ -132,9 +136,12 @@ fn main() {
     eprintln!("[index_bench] cold build {cold:.4}s, snapshot save {save:.4}s, load {load:.4}s");
 
     // -------- serving: avgrf throughput at 1/4/8 clients ---------------
-    let query = format!(
-        r#"{{"op":"avgrf","queries":["{}"]}}"#,
-        phylo::write_newick(&coll.trees[0], &coll.taxa)
+    let newick = phylo::write_newick(&coll.trees[0], &coll.taxa);
+    let query = format!(r#"{{"op":"avgrf","queries":["{newick}"]}}"#);
+    let batch_size = 64usize;
+    let batch_query = format!(
+        r#"{{"v":2,"op":"batch","queries":[{}]}}"#,
+        vec![format!("\"{newick}\""); batch_size].join(",")
     );
     let srv = Server::bind(&ServeConfig {
         index_dir: index_dir.clone(),
@@ -147,49 +154,120 @@ fn main() {
     let addr = srv.local_addr();
     let handle = std::thread::spawn(move || srv.run().expect("server run"));
 
-    // per client count: one warmup batch, then `repeats` timed batches;
-    // the row carries the median qps and its CV
+    // per client count: one warmup batch, then `repeats` timed batches.
+    // Clients pipeline single-op frames (window of 4 in flight) the way a
+    // v2 client does, and connect + park on a barrier first so connect and
+    // thread-spawn cost stays outside the timed window.
+    let frame = format!("{query}\n").into_bytes();
     let run_batch = |clients: usize, n_requests: usize| -> f64 {
-        let t = Instant::now();
+        let barrier = std::sync::Barrier::new(clients + 1);
+        let mut t = Instant::now();
         std::thread::scope(|scope| {
             for _ in 0..clients {
-                let query = &query;
+                let frame = &frame;
+                let barrier = &barrier;
                 scope.spawn(move || {
                     let stream = TcpStream::connect(addr).expect("client connect");
+                    stream.set_nodelay(true).expect("nodelay");
                     let mut writer = stream.try_clone().expect("client clone");
                     let mut reader = BufReader::new(stream);
                     let mut line = String::new();
-                    for _ in 0..n_requests {
-                        writer
-                            .write_all(format!("{query}\n").as_bytes())
-                            .expect("client write");
+                    let mut sent = 0usize;
+                    let mut read = 0usize;
+                    barrier.wait();
+                    while read < n_requests {
+                        while sent < n_requests && sent - read < 4 {
+                            writer.write_all(frame).expect("client write");
+                            sent += 1;
+                        }
                         line.clear();
                         reader.read_line(&mut line).expect("client read");
                         assert!(line.contains("\"ok\":true"), "server refused: {line}");
+                        read += 1;
                     }
                 });
             }
+            barrier.wait();
+            t = Instant::now();
         });
         t.elapsed().as_secs_f64()
     };
-    let mut serve_rows = Vec::new();
-    for clients in [1usize, 4, 8] {
+    // Same shape for the v2 batch op: each client pipelines `frames`
+    // batch frames (window of 4 in flight) on one connection; the row's
+    // batch_qps counts individual queries served per second.
+    let batch_frame = format!("{batch_query}\n").into_bytes();
+    let run_batch_op = |clients: usize, frames: usize| -> f64 {
+        let barrier = std::sync::Barrier::new(clients + 1);
+        let mut t = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..clients {
+                let batch_frame = &batch_frame;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("client connect");
+                    stream.set_nodelay(true).expect("nodelay");
+                    let mut writer = stream.try_clone().expect("client clone");
+                    let mut reader = BufReader::new(stream);
+                    let mut line = String::new();
+                    let mut sent = 0usize;
+                    let mut read = 0usize;
+                    barrier.wait();
+                    while read < frames {
+                        while sent < frames && sent - read < 2 {
+                            writer.write_all(batch_frame).expect("client write");
+                            sent += 1;
+                        }
+                        line.clear();
+                        reader.read_line(&mut line).expect("client read");
+                        assert!(line.contains("\"ok\":true"), "server refused: {line}");
+                        read += 1;
+                    }
+                });
+            }
+            barrier.wait();
+            t = Instant::now();
+        });
+        t.elapsed().as_secs_f64()
+    };
+    // Rounds interleave the client counts (1, 4, 8, 1, 4, 8, ...) so any
+    // slow drift on the host — cache warming, background load — taxes
+    // every row equally instead of biasing whichever count ran last.
+    let batch_frames = (requests / 4).max(4);
+    const CLIENT_COUNTS: [usize; 3] = [1, 4, 8];
+    let serve_repeats = repeats.max(5);
+    for &clients in &CLIENT_COUNTS {
         run_batch(clients, (requests / 4).max(5)); // warmup
-        let total = clients * requests;
-        let mut qpss = Vec::with_capacity(repeats);
-        let mut secs = Vec::with_capacity(repeats);
-        for _ in 0..repeats {
+        run_batch_op(clients, (batch_frames / 2).max(2)); // warmup
+    }
+    let mut secs_by = [const { Vec::new() }; CLIENT_COUNTS.len()];
+    let mut qps_by = [const { Vec::new() }; CLIENT_COUNTS.len()];
+    let mut batch_qps_by = [const { Vec::new() }; CLIENT_COUNTS.len()];
+    for _ in 0..serve_repeats {
+        for (i, &clients) in CLIENT_COUNTS.iter().enumerate() {
             let seconds = run_batch(clients, requests);
-            secs.push(seconds);
-            qpss.push(total as f64 / seconds);
+            secs_by[i].push(seconds);
+            qps_by[i].push((clients * requests) as f64 / seconds);
+            let seconds = run_batch_op(clients, batch_frames);
+            batch_qps_by[i].push((clients * batch_frames * batch_size) as f64 / seconds);
         }
-        let seconds = bfhrf_bench::stats::median(&secs);
-        let qps = bfhrf_bench::stats::median(&qpss);
-        let cv = bfhrf_bench::stats::coeff_of_variation(&qpss);
+    }
+    // Rows carry peak q/s over the rounds (noise — a preempting neighbour,
+    // a cold cache — only ever subtracts from a throughput sample, so the
+    // maximum is the closest estimate of true capacity; same argument the
+    // obs-overhead bench documents), with the CV across rounds for honesty.
+    let peak = |xs: &[f64]| xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut serve_rows = Vec::new();
+    for (i, &clients) in CLIENT_COUNTS.iter().enumerate() {
+        let total = clients * requests;
+        let seconds = secs_by[i].iter().copied().fold(f64::INFINITY, f64::min);
+        let qps = peak(&qps_by[i]);
+        let cv = bfhrf_bench::stats::coeff_of_variation(&qps_by[i]);
+        let batch_qps = peak(&batch_qps_by[i]);
+        let batch_cv = bfhrf_bench::stats::coeff_of_variation(&batch_qps_by[i]);
         eprintln!(
-            "[index_bench] {clients} client(s): {total} requests in {seconds:.4}s ({qps:.1}/s, cv {cv:.3})"
+            "[index_bench] {clients} client(s): {total} requests in {seconds:.4}s ({qps:.1}/s, cv {cv:.3}); batch op {batch_qps:.1} q/s (cv {batch_cv:.3})"
         );
-        serve_rows.push((clients, total, seconds, qps, cv));
+        serve_rows.push((clients, total, seconds, qps, cv, batch_qps, batch_cv));
     }
 
     let mut bye = TcpStream::connect(addr).expect("shutdown connect");
@@ -220,11 +298,14 @@ fn main() {
         "  \"load_speedup_vs_cold_build\": {:.3},",
         cold / load
     );
+    let _ = writeln!(json, "  \"batch_size\": {batch_size},");
     json.push_str("  \"serve\": [\n");
-    for (i, (clients, total, seconds, qps, cv)) in serve_rows.iter().enumerate() {
+    for (i, (clients, total, seconds, qps, cv, batch_qps, batch_cv)) in
+        serve_rows.iter().enumerate()
+    {
         let _ = write!(
             json,
-            "    {{\"clients\": {clients}, \"requests\": {total}, \"seconds\": {seconds:.6}, \"qps\": {qps:.1}, \"cv\": {cv:.4}}}"
+            "    {{\"clients\": {clients}, \"requests\": {total}, \"seconds\": {seconds:.6}, \"qps\": {qps:.1}, \"cv\": {cv:.4}, \"batch_qps\": {batch_qps:.1}, \"batch_cv\": {batch_cv:.4}}}"
         );
         json.push_str(if i + 1 < serve_rows.len() {
             ",\n"

@@ -20,10 +20,13 @@
 //!    dominates here (~70% of a query at n = 144), so this speedup is
 //!    the diluted, whole-pipeline view of the same kernel win.
 //! 3. **Multi-thread**: the same batch through the parallel comparators.
-//! 4. **Serve**: requests/second of a real `bfhrf serve` daemon (frozen
-//!    snapshot path) over one connection, next to an in-process
-//!    emulation of the pre-freeze request path (parse + live sequential
-//!    probe per request) for the before/after contrast.
+//! 4. **Serve**: q/s of a real `bfhrf serve` daemon (frozen snapshot
+//!    path) over one connection, three ways — strict request/response
+//!    single-op frames, the same frames pipelined (window of 32 in
+//!    flight), and v2 `batch` frames (64 queries each) — next to an
+//!    in-process emulation of the pre-freeze request path (parse + live
+//!    sequential probe per request) for the before/after contrast. Each
+//!    cell keeps its peak q/s over `repeats` rounds.
 //! 5. **Obs overhead**: the frozen probe loop bare vs wrapped in the
 //!    same request-boundary instrumentation the serve daemon uses (one
 //!    clock pair + histogram record + counter bump per request, where
@@ -229,10 +232,8 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("creating scratch dir");
     phylo_index::Index::create(&index_dir, bfh.clone(), coll.taxa.clone()).expect("index create");
 
-    let query_line = format!(
-        r#"{{"op":"avgrf","queries":["{}"]}}"#,
-        phylo::write_newick(&coll.trees[0], &coll.taxa)
-    );
+    let newick = phylo::write_newick(&coll.trees[0], &coll.taxa);
+    let query_line = format!(r#"{{"op":"avgrf","queries":["{newick}"]}}"#);
     let srv = bfhrf_cli::server::Server::bind(&bfhrf_cli::server::ServeConfig {
         index_dir: index_dir.clone(),
         addr: "127.0.0.1:0".into(),
@@ -243,26 +244,116 @@ fn main() {
     .expect("server bind");
     let addr = srv.local_addr();
     let handle = std::thread::spawn(move || srv.run().expect("server run"));
+    // Each serve cell runs one warmup round plus `repeats` timed rounds on
+    // a persistent connection and keeps the peak q/s — noise (a preempting
+    // neighbour, a cold cache) only ever subtracts from a throughput
+    // sample, so the maximum is the closest estimate of true capacity.
     let serve_qps = {
         let stream = TcpStream::connect(addr).expect("client connect");
         let mut writer = stream.try_clone().expect("client clone");
         let mut reader = BufReader::new(stream);
         let mut line = String::new();
+        let frame = format!("{query_line}\n").into_bytes();
         let mut send = |n: usize| {
             for _ in 0..n {
-                writer
-                    .write_all(format!("{query_line}\n").as_bytes())
-                    .expect("client write");
+                writer.write_all(&frame).expect("client write");
                 line.clear();
                 reader.read_line(&mut line).expect("client read");
                 assert!(line.contains("\"ok\":true"), "server refused: {line}");
             }
         };
         send((requests / 4).max(5)); // warmup
-        let t = Instant::now();
-        send(requests);
-        requests as f64 / t.elapsed().as_secs_f64()
+        let mut best = 0f64;
+        for _ in 0..repeats {
+            let t = Instant::now();
+            send(requests);
+            best = best.max(requests as f64 / t.elapsed().as_secs_f64());
+        }
+        best
     };
+
+    // Pipelined: the same single-query op, but with a window of frames in
+    // flight on one connection so framing and scoring overlap instead of
+    // alternating. This is what `bfhrf query --batch 1` does on the wire.
+    eprintln!("[query_bench] serve daemon, pipelined single-op frames ...");
+    let pipeline_window = 32usize;
+    let pipelined_qps = {
+        let stream = TcpStream::connect(addr).expect("client connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut writer = stream.try_clone().expect("client clone");
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        let frame = format!("{query_line}\n").into_bytes();
+        let mut run = |n: usize| {
+            let mut sent = 0usize;
+            let mut read = 0usize;
+            while read < n {
+                while sent < n && sent - read < pipeline_window {
+                    writer.write_all(&frame).expect("client write");
+                    sent += 1;
+                }
+                line.clear();
+                reader.read_line(&mut line).expect("client read");
+                assert!(line.contains("\"ok\":true"), "server refused: {line}");
+                read += 1;
+            }
+        };
+        run((requests / 4).max(5)); // warmup
+        let mut best = 0f64;
+        for _ in 0..repeats {
+            let t = Instant::now();
+            run(requests);
+            best = best.max(requests as f64 / t.elapsed().as_secs_f64());
+        }
+        best
+    };
+
+    // Batch: the v2 headline op — many queries per frame, one snapshot,
+    // one response. Framing + JSON + syscall cost amortize over the whole
+    // frame, which is where the wire path finally catches the kernel.
+    let batch_size = 64usize;
+    let batch_frames = (requests / 4).max(8);
+    eprintln!(
+        "[query_bench] serve daemon, batch op ({batch_frames} frames x {batch_size} queries) ..."
+    );
+    let batch_line = format!(
+        r#"{{"v":2,"op":"batch","queries":[{}]}}"#,
+        vec![format!("\"{newick}\""); batch_size].join(",")
+    );
+    let batch_qps = {
+        let stream = TcpStream::connect(addr).expect("client connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut writer = stream.try_clone().expect("client clone");
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        let frame = format!("{batch_line}\n").into_bytes();
+        let mut run = |frames: usize| {
+            let mut sent = 0usize;
+            let mut read = 0usize;
+            while read < frames {
+                while sent < frames && sent - read < 2 {
+                    writer.write_all(&frame).expect("client write");
+                    sent += 1;
+                }
+                line.clear();
+                reader.read_line(&mut line).expect("client read");
+                assert!(line.contains("\"ok\":true"), "server refused: {line}");
+                read += 1;
+            }
+        };
+        run((batch_frames / 4).max(2)); // warmup
+        let mut best = 0f64;
+        for _ in 0..repeats {
+            let t = Instant::now();
+            run(batch_frames);
+            best = best.max((batch_frames * batch_size) as f64 / t.elapsed().as_secs_f64());
+        }
+        best
+    };
+    eprintln!(
+        "[query_bench] serve: sequential {serve_qps:.1} q/s, pipelined {pipelined_qps:.1} q/s, batch {batch_qps:.1} q/s"
+    );
+
     let mut bye = TcpStream::connect(addr).expect("shutdown connect");
     bye.write_all(b"{\"op\":\"shutdown\"}\n")
         .expect("shutdown write");
@@ -452,6 +543,11 @@ fn main() {
                 ("requests", requests.into()),
                 ("clients", 1u64.into()),
                 ("qps", serve_qps.into()),
+                ("pipeline_window", pipeline_window.into()),
+                ("pipelined_qps", pipelined_qps.into()),
+                ("batch_size", batch_size.into()),
+                ("batch_frames", batch_frames.into()),
+                ("batch_qps", batch_qps.into()),
                 ("inproc_live_qps", inproc_live_qps.into()),
                 ("inproc_frozen_qps", inproc_frozen_qps.into()),
             ]),
@@ -473,6 +569,6 @@ fn main() {
 
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!(
-        "single-thread probe path frozen vs hashbrown: {probe_speedup:.2}x, end-to-end {st_speedup:.2}x (written to {out_path})"
+        "single-thread probe path frozen vs hashbrown: {probe_speedup:.2}x, end-to-end {st_speedup:.2}x, served batch {batch_qps:.0} q/s (written to {out_path})"
     );
 }

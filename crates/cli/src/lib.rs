@@ -16,11 +16,13 @@
 //! bfhrf matrix    --refs refs.nwk [--budget-mb M]
 //! bfhrf simulate  --taxa N --trees R --out file.nwk [--seed S] [--pop-scale P]
 //! bfhrf index     build|inspect|compact|add|remove   (persistent BFH index)
-//! bfhrf serve     --index DIR [--addr HOST:PORT] [--threads N] [--port-file F]
+//! bfhrf serve     --index DIR [--addr HOST:PORT] [--threads MAX_CONNS] [--port-file F]
 //! bfhrf query     --addr HOST:PORT --op avgrf|best-query|stats|... [--queries F]
+//!                 [--batch N]   (pipelined wire-protocol-v2 batch frames)
 //! ```
 
 pub mod args;
+pub mod proto;
 pub mod server;
 
 // The hand-rolled JSON value/parser used to live here; it moved to
@@ -185,13 +187,14 @@ pub fn usage() -> String {
      \x20          compact  --index DIR\n\
      \x20          add      --index DIR --trees FILE\n\
      \x20          remove   --index DIR --trees FILE\n\
-     serve      answer queries from an index over TCP (NDJSON protocol)\n\
-     \x20          --index DIR [--addr HOST:PORT] [--threads N]\n\
+     serve      answer queries from an index over TCP (NDJSON protocol v2)\n\
+     \x20          --index DIR [--addr HOST:PORT] [--threads MAX_CONNS]\n\
      \x20          [--port-file FILE] [--mem-budget BYTES] [--timeout-ms MS]\n\
-     query      one request against a running server\n\
+     query      request(s) against a running server\n\
      \x20          --addr HOST:PORT | --port-file FILE\n\
      \x20          --op avgrf|best-query|stats|add|remove|compact|shutdown\n\
      \x20          [--queries FILE] [--trees FILE] [--normalized] [--halved]\n\
+     \x20          [--batch N]   pipelined v2 batch frames of N queries each\n\
      stats      fetch and render a running server's metrics\n\
      \x20          --addr HOST:PORT | --port-file FILE [--json]\n"
         .to_string()
@@ -820,7 +823,9 @@ fn cmd_serve(raw: &[String]) -> Result<CmdOutcome, CliError> {
     let cfg = server::ServeConfig {
         index_dir: Path::new(a.require("index")?).to_path_buf(),
         addr: a.get("addr").unwrap_or("127.0.0.1:4077").to_string(),
-        threads: a.get_parsed("threads")?.unwrap_or(4),
+        // Connections are cheap under the per-connection engine (a parked
+        // thread each); the cap only guards against floods.
+        threads: a.get_parsed("threads")?.unwrap_or(64),
         mem_budget: a.get_parsed("mem-budget")?,
         timeout_ms: a.get_parsed("timeout-ms")?,
     };
@@ -876,11 +881,26 @@ fn send_request(addr: &str, request: &json::Json) -> Result<json::Json, CliError
 fn cmd_query(raw: &[String]) -> Result<CmdOutcome, CliError> {
     let a = Args::parse(raw, &["normalized", "halved"])?;
     a.reject_unknown(
-        &["addr", "port-file", "op", "queries", "trees"],
+        &["addr", "port-file", "op", "queries", "trees", "batch"],
         &["normalized", "halved"],
     )?;
     let addr = query_addr(&a)?;
     let op = a.get("op").unwrap_or("avgrf");
+
+    if let Some(batch) = a.get_parsed::<usize>("batch")? {
+        if op != "avgrf" {
+            return Err(format!("--batch only applies to --op avgrf (got {op:?})").into());
+        }
+        if batch == 0 {
+            return Err("--batch must be at least 1".to_string().into());
+        }
+        let payload = payload_from_file(a.require("queries")?)?;
+        let flags = proto::QueryFlags {
+            normalized: a.flag("normalized"),
+            halved: a.flag("halved"),
+        };
+        return batched_avgrf(&addr, batch, &payload, flags);
+    }
 
     let mut fields: Vec<(&str, json::Json)> = vec![("op", op.into())];
     match op {
@@ -947,6 +967,152 @@ fn cmd_query(raw: &[String]) -> Result<CmdOutcome, CliError> {
     let stdout = render_response(op, &resp)?;
     Ok(CmdOutcome {
         stdout,
+        notes,
+        code: EXIT_OK,
+    })
+}
+
+/// `bfhrf query --batch N`: one persistent wire-protocol-v2 session that
+/// packs the query file into `batch`-sized frames and keeps up to
+/// [`PIPELINE_WINDOW`] frames in flight. The output is the same
+/// `query\tavg_rf` table single-query mode prints (indices renumbered
+/// across frames), so it diffs cleanly against offline `bfhrf avgrf`; the
+/// 0/1/3 exit-code contract is unchanged, with the first failing frame
+/// aborting the session.
+fn batched_avgrf(
+    addr: &str,
+    batch: usize,
+    payload: &[String],
+    flags: proto::QueryFlags,
+) -> Result<CmdOutcome, CliError> {
+    use proto::{Envelope, Request, Response};
+    use std::io::{BufRead as _, Write as _};
+
+    /// Frames in flight at once: deep enough to hide a round trip, shallow
+    /// enough that neither side buffers unboundedly.
+    const PIPELINE_WINDOW: usize = 32;
+
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| CliError::from(format!("cannot connect to {addr}: {e}")))?;
+    stream.set_read_timeout(Some(Duration::from_secs(120))).ok();
+    stream.set_nodelay(true).ok();
+    let writer_stream = stream
+        .try_clone()
+        .map_err(|e| CliError::from(format!("cannot clone connection to {addr}: {e}")))?;
+    // Batch frames run large (a 64-query frame on real trees is hundreds
+    // of kilobytes); a roomy write buffer keeps each frame to a few
+    // syscalls instead of dozens of 8 KB slices.
+    let mut writer = std::io::BufWriter::with_capacity(128 << 10, writer_stream);
+    let mut reader = std::io::BufReader::with_capacity(64 << 10, stream);
+
+    fn read_response(
+        reader: &mut std::io::BufReader<std::net::TcpStream>,
+        addr: &str,
+    ) -> Result<(Response, Option<u64>), CliError> {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| CliError::from(format!("no response from {addr}: {e}")))?;
+        if line.trim().is_empty() {
+            return Err(format!("server at {addr} closed the connection mid-session").into());
+        }
+        let doc = json::parse(line.trim())
+            .map_err(|e| CliError::from(format!("malformed response: {e}")))?;
+        Response::from_json(&doc).map_err(|e| CliError::from(format!("malformed response: {e}")))
+    }
+
+    let send = |writer: &mut std::io::BufWriter<std::net::TcpStream>,
+                env: &Envelope|
+     -> Result<(), CliError> {
+        writer
+            .write_all(format!("{}\n", env.to_json()).as_bytes())
+            .map_err(|e| CliError::from(format!("cannot send request to {addr}: {e}")))
+    };
+
+    // Handshake: learn the server's batch ceiling before committing to a
+    // frame size (an old server that cannot answer `hello` fails loudly
+    // here instead of mis-parsing v2 frames later).
+    send(&mut writer, &Envelope::v2(Request::Hello, None))?;
+    writer
+        .flush()
+        .map_err(|e| CliError::from(format!("cannot send request to {addr}: {e}")))?;
+    let batch = match read_response(&mut reader, addr)?.0 {
+        Response::Hello { max_batch, .. } => batch.min(max_batch).max(1),
+        Response::Error { message, .. } => {
+            return Err(format!("server rejected the hello handshake: {message}").into())
+        }
+        _ => {
+            return Err(format!(
+                "server at {addr} answered the hello handshake with an unexpected shape \
+                 (not a v2 server?)"
+            )
+            .into())
+        }
+    };
+
+    let chunks: Vec<&[String]> = payload.chunks(batch).collect();
+    let mut out = String::from("query\tavg_rf\n");
+    let mut notes: Vec<String> = Vec::new();
+    let (mut sent, mut read) = (0usize, 0usize);
+    while read < chunks.len() {
+        while sent < chunks.len() && sent - read < PIPELINE_WINDOW {
+            let env = Envelope::v2(
+                Request::Batch {
+                    queries: chunks[sent].to_vec(),
+                    flags,
+                },
+                Some(sent as u64),
+            );
+            send(&mut writer, &env)?;
+            sent += 1;
+        }
+        writer
+            .flush()
+            .map_err(|e| CliError::from(format!("cannot send request to {addr}: {e}")))?;
+        let (resp, id) = read_response(&mut reader, addr)?;
+        match resp {
+            Response::Scores {
+                scores,
+                notes: frame_notes,
+                ..
+            } => {
+                if id != Some(read as u64) {
+                    return Err(format!(
+                        "server answered frame {id:?} where frame {read} was expected"
+                    )
+                    .into());
+                }
+                let base = read * batch;
+                for row in &scores {
+                    let _ = writeln!(out, "{}\t{:.6}", base + row.index, row.avg);
+                }
+                for n in frame_notes {
+                    let n = format!("server: {n}");
+                    if !notes.contains(&n) {
+                        notes.push(n);
+                    }
+                }
+            }
+            Response::Error {
+                code,
+                outcome,
+                message,
+            } => {
+                return Err(CliError {
+                    message: format!("server: [{}] {message}", outcome.as_str()),
+                    code: server::protocol_code_to_exit(code.as_str()),
+                });
+            }
+            _ => {
+                return Err("server answered a batch frame with an unexpected shape"
+                    .to_string()
+                    .into())
+            }
+        }
+        read += 1;
+    }
+    Ok(CmdOutcome {
+        stdout: out,
         notes,
         code: EXIT_OK,
     })

@@ -1,23 +1,25 @@
-//! The `bfhrf serve` daemon: newline-delimited JSON over TCP.
+//! The `bfhrf serve` daemon: newline-delimited JSON over TCP, wire
+//! protocol v2.
 //!
 //! # Protocol
 //!
-//! One request per line, one response per line, UTF-8 JSON both ways.
-//! A connection may carry any number of requests.
+//! One request per line, one response per line, UTF-8 JSON both ways; the
+//! typed surface (ops, payloads, error codes, versions) lives in
+//! [`crate::proto`] and is shared with the `bfhrf query` client. A
+//! connection may carry any number of requests, and any number may be in
+//! flight at once (pipelining) — responses always come back in request
+//! order. Version-1 frames (no `"v"` member) are the exact dialect the
+//! pre-v2 daemon spoke and keep working unchanged; v2 adds the `hello`
+//! handshake, the `batch` op, and optional `id` correlation:
 //!
 //! ```text
-//! → {"op":"avgrf","queries":["((A,B),(C,D));"],"normalized":false}
-//! ← {"ok":true,"n_taxa":4,"scores":[{"index":0,"left":0,"right":0,"n_refs":2,"avg":0.0}]}
-//! → {"op":"best-query","queries":[...]}
-//! ← {"ok":true,"best_index":1,"avg":0.5,"total":3}
-//! → {"op":"stats"}
-//! ← {"ok":true,"generation":0,"n_trees":10,"n_taxa":16,"distinct":120,
-//!    "sum":1300,"wal_pending":2,"served":17,"metrics":{"series":[...]}}
-//! → {"op":"add","trees":["((A,B),(C,D));"]}        (admin)
-//! ← {"ok":true,"applied":1,"n_trees":11}
-//! → {"op":"remove","trees":[...]}                   (admin)
-//! → {"op":"compact"}                                (admin)
-//! ← {"ok":true,"generation":1,"wal_pending":0}
+//! → {"v":2,"op":"hello"}
+//! ← {"ok":true,"v":2,"max_batch":4096}
+//! → {"v":2,"op":"batch","id":1,"queries":["((A,B),(C,D));",...]}
+//! ← {"ok":true,"id":1,"n_taxa":4,"generation":0,"snap":0,"scores":[...],"notes":[]}
+//! → {"op":"avgrf","queries":["((A,B),(C,D));"]}              (v1 dialect)
+//! ← {"ok":true,"n_taxa":4,"generation":0,"snap":0,"scores":[...],"notes":[]}
+//! → {"op":"stats"}  /  {"op":"add","trees":[...]}  /  {"op":"compact"}
 //! → {"op":"shutdown"}
 //! ← {"ok":true,"shutdown":true}
 //! ```
@@ -25,51 +27,74 @@
 //! Failures: `{"ok":false,"code":"error"|"budget","outcome":"error"|
 //! "budget"|"cancelled","error":"..."}` — the `budget` code marks
 //! per-request resource refusals (`--mem-budget`, `--timeout-ms`), which
-//! clients map to exit code 3; `outcome` refines the code for operators
-//! (a deadline expiry reports `cancelled`, an allocation refusal
-//! `budget`). Query responses carry a `notes` array of degradation
-//! messages (empty when the run was clean), and the `stats` response
-//! embeds a full metrics snapshot under `metrics` (see `phylo-obs`).
+//! clients map to exit code 3. Score responses carry the `generation` and
+//! `snap` of the snapshot that answered: every row of a `batch` comes from
+//! **one** snapshot, even if an admin mutation lands mid-batch.
 //!
-//! # Concurrency
+//! # Connection engine
 //!
-//! A fixed pool of worker threads shares one listener. Queries run on an
-//! immutable `Arc` snapshot of the hash, pre-frozen into the
-//! probe-optimized [`bfhrf::FrozenBfh`] layout once per snapshot
-//! generation: a reader takes the snapshot lock only long enough to clone
-//! the `Arc`, so queries never block behind an admin mutation — writers
+//! One acceptor thread owns the listener and hands each accepted socket to
+//! its own scoped handler thread, bounded by a slot count (`--threads`) so
+//! a connection flood degrades to queueing in the OS backlog instead of
+//! thread explosion. Each handler owns a per-connection arena — read
+//! buffer, write buffer, and a reusable [`BipartitionScratch`] — so the
+//! steady-state request path allocates nothing for parsing or split
+//! extraction. Responses are buffered and only flushed when the connection
+//! has no further complete frame already readable, which collapses a
+//! pipelined burst of N requests into ~one write syscall (depth is
+//! recorded in `serve_pipeline_depth`).
+//!
+//! Queries run on an immutable `Arc` snapshot of the hash, pre-frozen into
+//! the probe-optimized [`bfhrf::FrozenBfh`] layout once per publication: a
+//! reader takes the snapshot lock only long enough to clone the `Arc`, so
+//! queries never block behind an admin mutation — writers
 //! (`add`/`remove`/`compact`) mutate the [`Index`] under its own mutex,
-//! then publish a fresh snapshot (freezing the mutated hash) by swapping
-//! the `Arc`. In-flight queries keep answering from the snapshot they
-//! started with.
+//! then publish a fresh [`QueryView`]. In-flight requests keep answering
+//! from the view they started with.
 //!
-//! Shutdown does not poll: every live connection registers a handle in a
-//! shared registry, and the shutdown path calls `TcpStream::shutdown` on
-//! each — a worker blocked in `read` wakes immediately with EOF instead of
-//! noticing a flag at the next 250 ms poll tick.
+//! Shutdown does not poll and does not need the old
+//! one-connection-per-worker unpark hack: the shutdown path half-closes
+//! every registered connection (blocked readers wake with EOF), notifies
+//! the slot condvar, and makes a single wake connection to unpark the
+//! acceptor.
 
-use crate::json::{self, Json};
+use crate::json::Json;
+use crate::proto::{
+    self, Envelope, Op, Outcome, Request, Response, ScoreRow, StatsBody, MAX_BATCH, PROTO_VERSION,
+};
 use crate::{CliError, EXIT_BUDGET, EXIT_ERROR};
 use bfhrf::{Comparator, CoreError, FrozenComparator, RunBudget, RunGuard};
-use phylo::{parse_newick_readonly, TaxonSet, Tree};
-use phylo_index::Index;
+use phylo::{parse_newick_readonly, BipartitionScratch, TaxonSet, Tree};
+use phylo_index::{Index, QueryView};
 use phylo_obs::{expose, Counter, Gauge, Histogram};
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 /// Longest accepted request line (bytes) — bounds what a hostile client
-/// can make a worker buffer.
+/// can make a handler buffer.
 const MAX_REQUEST_BYTES: usize = 32 << 20;
 /// A connection that sends nothing for this long is dropped, so an idle
-/// client cannot pin a worker forever. Also the socket read timeout —
-/// reads block the full window (shutdown interrupts them through the
-/// connection registry, not by polling).
+/// client cannot pin a connection slot forever. Also the socket read
+/// timeout — reads block the full window (shutdown interrupts them through
+/// the connection registry, not by polling).
 const IDLE_TIMEOUT: Duration = Duration::from_secs(300);
+/// Requests with at most this many queries score sequentially on the
+/// handler thread through the connection arena; larger ones fan out on the
+/// shared rayon pool. Small enough that concurrent connections don't fight
+/// over the pool for everyday requests.
+const PARALLEL_QUERY_THRESHOLD: usize = 8;
+/// Per-connection socket buffer sizes. Batch frames run to hundreds of
+/// kilobytes (64 insect-preset queries ≈ 430 KB), so the stock 8 KB
+/// `BufReader` would cost ~50 read syscalls per frame; 128 KB keeps that
+/// in the single digits. The write side carries ~5 KB score frames —
+/// 64 KB lets a pipelined burst of responses coalesce into one flush.
+const CONN_READ_BUF: usize = 128 << 10;
+const CONN_WRITE_BUF: usize = 64 << 10;
 
 /// Everything `bfhrf serve` needs to come up.
 #[derive(Debug, Clone)]
@@ -78,7 +103,7 @@ pub struct ServeConfig {
     pub index_dir: PathBuf,
     /// Bind address, e.g. `127.0.0.1:4077` (`:0` picks a free port).
     pub addr: String,
-    /// Worker thread count.
+    /// Maximum concurrent connections (each gets its own handler thread).
     pub threads: usize,
     /// Per-request allocation budget in bytes.
     pub mem_budget: Option<usize>,
@@ -86,43 +111,27 @@ pub struct ServeConfig {
     pub timeout_ms: Option<u64>,
 }
 
-/// The immutable state queries read: frozen hash + taxa, swapped
-/// atomically as a unit after every admin mutation. Freezing happens once
-/// per snapshot generation, never on the request path.
+/// The immutable state queries read: a [`QueryView`] (frozen hash + taxa +
+/// generation) plus this daemon's monotone swap id, published atomically
+/// as a unit. `generation` only moves on compaction; `snap` bumps on every
+/// publication, so a batch can prove "one snapshot" even across
+/// non-compacting mutations.
 struct SnapView {
-    frozen: Arc<bfhrf::FrozenBfh>,
-    taxa: TaxonSet,
+    view: QueryView,
+    snap: u64,
 }
-
-/// Wire op names, in dispatch order; the last slot absorbs unparseable
-/// requests and unknown ops so every request lands in exactly one series.
-const OPS: [&str; 8] = [
-    "avgrf",
-    "best-query",
-    "stats",
-    "add",
-    "remove",
-    "compact",
-    "shutdown",
-    "unknown",
-];
-const OP_UNKNOWN: usize = OPS.len() - 1;
-
-/// Request outcome labels. `cancelled` (deadline/cancel) is distinguished
-/// from `budget` (allocation refusal) in metrics even though both share
-/// the `budget` wire code and exit 3.
-const OUTCOMES: [&str; 4] = ["ok", "error", "budget", "cancelled"];
-const OUTCOME_OK: usize = 0;
 
 /// Metric handles the daemon touches per request, resolved once at bind
 /// time so the request path never takes the registry lock. Every
 /// op × outcome series is pre-registered, which also pins the `stats`
 /// schema: all combinations appear (zero-valued) from the first snapshot.
 struct ServeMetrics {
-    latency: [Histogram; OPS.len()],
-    outcomes: [[Counter; OUTCOMES.len()]; OPS.len()],
+    latency: [Histogram; Op::ALL.len()],
+    outcomes: [[Counter; Outcome::ALL.len()]; Op::ALL.len()],
     admin_wait: Histogram,
     snap_wait: Histogram,
+    batch_size: Histogram,
+    pipeline_depth: Histogram,
     conns_active: Gauge,
     conns_total: Counter,
     swaps: Counter,
@@ -132,30 +141,42 @@ impl ServeMetrics {
     fn resolve() -> ServeMetrics {
         let reg = phylo_obs::global();
         ServeMetrics {
-            latency: std::array::from_fn(|i| reg.histogram("serve_request_ns", &[("op", OPS[i])])),
+            latency: std::array::from_fn(|i| {
+                reg.histogram("serve_request_ns", &[("op", Op::ALL[i].name())])
+            }),
             outcomes: std::array::from_fn(|i| {
                 std::array::from_fn(|j| {
                     reg.counter(
                         "serve_requests_total",
-                        &[("op", OPS[i]), ("outcome", OUTCOMES[j])],
+                        &[
+                            ("op", Op::ALL[i].name()),
+                            ("outcome", Outcome::ALL[j].as_str()),
+                        ],
                     )
                 })
             }),
             admin_wait: reg.histogram("serve_queue_wait_ns", &[("lock", "admin")]),
             snap_wait: reg.histogram("serve_queue_wait_ns", &[("lock", "snapshot")]),
+            batch_size: reg.histogram("serve_batch_size", &[]),
+            pipeline_depth: reg.histogram("serve_pipeline_depth", &[]),
             conns_active: reg.gauge("serve_connections_active", &[]),
             conns_total: reg.counter("serve_connections_total", &[]),
             swaps: reg.counter("serve_snapshot_swaps_total", &[]),
         }
     }
 
-    fn op_index(op: &str) -> usize {
-        OPS.iter().position(|&o| o == op).unwrap_or(OP_UNKNOWN)
+    fn count(&self, op: Op, outcome: Outcome) {
+        self.outcomes[op.index()][Outcome::ALL.iter().position(|&o| o == outcome).unwrap_or(1)]
+            .inc();
     }
+}
 
-    fn outcome_index(outcome: &str) -> usize {
-        OUTCOMES.iter().position(|&o| o == outcome).unwrap_or(1)
-    }
+/// Connection-slot bookkeeping: the acceptor waits here when all slots are
+/// taken; handlers return their slot (and notify) on exit, as does the
+/// shutdown path so a parked acceptor re-checks the flag immediately.
+struct ConnSlots {
+    free: Mutex<usize>,
+    freed: Condvar,
 }
 
 struct ServeState {
@@ -169,6 +190,9 @@ struct ServeState {
     /// socket so blocked readers wake immediately.
     conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn: AtomicU64,
+    /// Monotone snapshot-publication counter (`snap` in score responses).
+    snap_seq: AtomicU64,
+    slots: ConnSlots,
     metrics: ServeMetrics,
 }
 
@@ -225,32 +249,46 @@ fn interrupt_connections(state: &ServeState) {
     }
 }
 
-/// A typed request failure: protocol code + message, plus the finer
-/// `outcome` label metrics use (`cancelled` vs `budget` share the wire
-/// code but are different operational signals).
+/// Flip the shutdown flag and wake everything that might be parked: blocked
+/// connection readers (half-close → EOF), the acceptor waiting on a free
+/// slot (condvar), and the acceptor parked in `accept` (one wake
+/// connection — the single replacement for the old 64-connection hack).
+fn begin_shutdown(state: &ServeState, addr: SocketAddr) {
+    state.shutdown.store(true, Ordering::SeqCst);
+    interrupt_connections(state);
+    // Lock-then-notify so the acceptor cannot check the flag and park
+    // between our store and our notify.
+    drop(state.slots.free.lock());
+    state.slots.freed.notify_all();
+    drop(TcpStream::connect_timeout(
+        &addr,
+        Duration::from_millis(200),
+    ));
+}
+
+/// A typed request failure on the server side: the outcome label metrics
+/// use, plus the message. The wire code derives from the outcome
+/// (`cancelled`/`budget` → `budget`).
 struct ReqError {
-    code: &'static str,
-    outcome: &'static str,
+    outcome: Outcome,
     message: String,
 }
 
 impl ReqError {
     fn new(message: impl Into<String>) -> Self {
         ReqError {
-            code: "error",
-            outcome: "error",
+            outcome: Outcome::Error,
             message: message.into(),
         }
     }
 
     fn from_core(e: CoreError) -> Self {
-        let (code, outcome) = match e {
-            CoreError::Cancelled(_) => ("budget", "cancelled"),
-            CoreError::ResourceLimit(_) => ("budget", "budget"),
-            _ => ("error", "error"),
+        let outcome = match e {
+            CoreError::Cancelled(_) => Outcome::Cancelled,
+            CoreError::ResourceLimit(_) => Outcome::Budget,
+            _ => Outcome::Error,
         };
         ReqError {
-            code,
             outcome,
             message: e.to_string(),
         }
@@ -263,13 +301,12 @@ impl ReqError {
         }
     }
 
-    fn into_json(self) -> Json {
-        Json::obj(vec![
-            ("ok", false.into()),
-            ("code", self.code.into()),
-            ("outcome", self.outcome.into()),
-            ("error", self.message.into()),
-        ])
+    fn into_response(self) -> Response {
+        Response::Error {
+            code: self.outcome.code(),
+            outcome: self.outcome,
+            message: self.message,
+        }
     }
 }
 
@@ -279,11 +316,10 @@ enum Action {
 }
 
 /// A bound, not-yet-running daemon: lets callers learn the OS-assigned
-/// port (and write a `--port-file`) before the accept loops start.
+/// port (and write a `--port-file`) before the accept loop starts.
 pub struct Server {
-    listener: Arc<TcpListener>,
+    listener: TcpListener,
     state: Arc<ServeState>,
-    threads: usize,
     addr: SocketAddr,
 }
 
@@ -292,8 +328,8 @@ impl Server {
     pub fn bind(cfg: &ServeConfig) -> Result<Server, CliError> {
         let mut index = Index::open(&cfg.index_dir).map_err(crate::index_fail)?;
         let snap = Arc::new(SnapView {
-            frozen: index.frozen(),
-            taxa: index.taxa().clone(),
+            view: index.view(),
+            snap: 0,
         });
         let listener = TcpListener::bind(&cfg.addr)
             .map_err(|e| CliError::from(format!("cannot bind {}: {e}", cfg.addr)))?;
@@ -301,7 +337,7 @@ impl Server {
             .local_addr()
             .map_err(|e| CliError::from(format!("cannot resolve bound address: {e}")))?;
         Ok(Server {
-            listener: Arc::new(listener),
+            listener,
             state: Arc::new(ServeState {
                 snap: RwLock::new(snap),
                 admin: Mutex::new(index),
@@ -311,9 +347,13 @@ impl Server {
                 timeout_ms: cfg.timeout_ms,
                 conns: Mutex::new(HashMap::new()),
                 next_conn: AtomicU64::new(0),
+                snap_seq: AtomicU64::new(0),
+                slots: ConnSlots {
+                    free: Mutex::new(cfg.threads.max(1)),
+                    freed: Condvar::new(),
+                },
                 metrics: ServeMetrics::resolve(),
             }),
-            threads: cfg.threads.max(1),
             addr,
         })
     }
@@ -323,51 +363,73 @@ impl Server {
         self.addr
     }
 
-    /// Run the accept loops until a `shutdown` request lands. Returns the
+    /// Run the accept loop until a `shutdown` request lands. Returns the
     /// number of requests served.
     pub fn run(self) -> Result<u64, CliError> {
         let Server {
             listener,
             state,
-            threads,
             addr,
         } = self;
         std::thread::scope(|scope| {
-            for i in 0..threads {
-                let listener = Arc::clone(&listener);
-                let state = Arc::clone(&state);
-                std::thread::Builder::new()
-                    .name(format!("bfhrf-serve-{i}"))
-                    .spawn_scoped(scope, move || worker_loop(&listener, &state, addr))
-                    .expect("spawning a worker thread");
+            let mut conn_seq = 0u64;
+            loop {
+                if !take_slot(&state) {
+                    break; // shutdown while waiting for a slot
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if state.shutdown.load(Ordering::SeqCst) {
+                            release_slot(&state);
+                            break;
+                        }
+                        let state = Arc::clone(&state);
+                        conn_seq += 1;
+                        std::thread::Builder::new()
+                            .name(format!("bfhrf-conn-{conn_seq}"))
+                            .spawn_scoped(scope, move || {
+                                handle_connection(stream, &state, addr);
+                                release_slot(&state);
+                            })
+                            .expect("spawning a connection handler");
+                    }
+                    Err(_) => {
+                        release_slot(&state);
+                        if state.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                }
             }
+            // The scope join waits for live handlers; they have all been
+            // interrupted by begin_shutdown and exit on their next read.
         });
         Ok(state.served.load(Ordering::Relaxed))
     }
 }
 
-fn worker_loop(listener: &TcpListener, state: &ServeState, addr: SocketAddr) {
-    loop {
+/// Claim a connection slot, parking until a handler frees one. Returns
+/// `false` when shutdown arrives first.
+fn take_slot(state: &ServeState) -> bool {
+    let mut free = state.slots.free.lock().expect("slot lock poisoned");
+    while *free == 0 {
         if state.shutdown.load(Ordering::SeqCst) {
-            return;
+            return false;
         }
-        match listener.accept() {
-            Ok((stream, _peer)) => handle_connection(stream, state, addr),
-            Err(_) if state.shutdown.load(Ordering::SeqCst) => return,
-            Err(_) => continue,
-        }
+        free = state.slots.freed.wait(free).expect("slot lock poisoned");
     }
+    if state.shutdown.load(Ordering::SeqCst) {
+        return false;
+    }
+    *free -= 1;
+    true
 }
 
-/// After `shutdown` flips, workers may still be parked in `accept`; a
-/// no-op connection per worker unparks them.
-fn wake_workers(addr: SocketAddr, n: usize) {
-    for _ in 0..n {
-        drop(TcpStream::connect_timeout(
-            &addr,
-            Duration::from_millis(200),
-        ));
-    }
+fn release_slot(state: &ServeState) {
+    let mut free = state.slots.free.lock().expect("slot lock poisoned");
+    *free += 1;
+    drop(free);
+    state.slots.freed.notify_one();
 }
 
 enum LineRead {
@@ -383,7 +445,8 @@ enum LineRead {
 /// [`IDLE_TIMEOUT`]; shutdown interrupts it through the connection
 /// registry (the socket half-closes and the read returns EOF), so there is
 /// no polling interval to wait out. Partial bytes accumulate in `buf`
-/// across reads — a slow sender loses nothing.
+/// across reads — a slow sender loses nothing, and a frame split across
+/// TCP segments is reassembled transparently.
 fn read_request_line(
     reader: &mut BufReader<TcpStream>,
     buf: &mut Vec<u8>,
@@ -426,17 +489,25 @@ fn read_request_line(
     }
 }
 
+/// The per-connection loop: read frames, dispatch, write responses in
+/// order, deferring the socket flush while more complete frames are
+/// already buffered (pipelining).
 fn handle_connection(stream: TcpStream, state: &ServeState, addr: SocketAddr) {
     let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+    let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
-        Ok(w) => w,
+        Ok(w) => BufWriter::with_capacity(CONN_WRITE_BUF, w),
         Err(_) => return,
     };
     let Some(_conn_guard) = ConnGuard::register(state, &stream) else {
         return;
     };
-    let mut reader = BufReader::new(stream);
+    let mut reader = BufReader::with_capacity(CONN_READ_BUF, stream);
+    // The connection arena: request-line buffer and bipartition extraction
+    // scratch, reused for every request this connection ever sends.
     let mut buf = Vec::new();
+    let mut scratch = BipartitionScratch::new();
+    let mut depth = 0u64; // responses written since the last flush
     loop {
         match read_request_line(&mut reader, &mut buf, state) {
             LineRead::Line => {}
@@ -447,21 +518,25 @@ fn handle_connection(stream: TcpStream, state: &ServeState, addr: SocketAddr) {
         if line.is_empty() {
             continue;
         }
-        let (response, action) = handle_request(line, state);
+        let (response, action) = handle_request(line, state, &mut scratch);
         state.served.fetch_add(1, Ordering::Relaxed);
-        if writer
-            .write_all(format!("{response}\n").as_bytes())
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
+        if writeln!(writer, "{response}").is_err() {
             return;
         }
-        if matches!(action, Action::Shutdown) {
-            state.shutdown.store(true, Ordering::SeqCst);
-            // Wake blocked readers instantly (no poll tick) and unpark any
-            // workers sitting in accept().
-            interrupt_connections(state);
-            wake_workers(addr, 64); // generous: covers any thread count
+        depth += 1;
+        let shutting_down = matches!(action, Action::Shutdown);
+        // Flush only when no further complete frame is already buffered:
+        // a pipelined burst of N requests costs ~one flush, a lone
+        // request-response exchange flushes immediately as before.
+        if shutting_down || !reader.buffer().contains(&b'\n') {
+            state.metrics.pipeline_depth.record(depth);
+            depth = 0;
+            if writer.flush().is_err() {
+                return;
+            }
+        }
+        if shutting_down {
+            begin_shutdown(state, addr);
             return;
         }
     }
@@ -476,75 +551,97 @@ fn request_guard(state: &ServeState) -> RunGuard {
     })
 }
 
-/// Parse the request's Newick payloads against the snapshot's frozen
-/// namespace (unknown labels are request errors, not namespace growth).
-/// Read-only resolution: no per-request namespace clone.
-fn parse_payload_trees(taxa: &TaxonSet, items: &[Json]) -> Result<Vec<Tree>, ReqError> {
+/// Parse the request's Newick payloads against a frozen namespace (unknown
+/// labels are request errors, not namespace growth). Read-only resolution:
+/// no per-request namespace clone. `base` offsets the tree index in error
+/// messages when parsing a chunk of a larger batch.
+fn parse_payload_trees_from(
+    taxa: &TaxonSet,
+    items: &[String],
+    base: usize,
+) -> Result<Vec<Tree>, ReqError> {
     items
         .iter()
         .enumerate()
-        .map(|(i, item)| {
-            let text = item
-                .as_str()
-                .ok_or_else(|| ReqError::new(format!("tree {i} is not a string")))?;
-            parse_newick_readonly(text, taxa).map_err(|e| ReqError::new(format!("tree {i}: {e}")))
+        .map(|(i, text)| {
+            parse_newick_readonly(text, taxa)
+                .map_err(|e| ReqError::new(format!("tree {}: {e}", base + i)))
         })
         .collect()
 }
 
-fn payload_array<'a>(req: &'a Json, key: &str) -> Result<&'a [Json], ReqError> {
-    req.get(key)
-        .and_then(Json::as_arr)
-        .ok_or_else(|| ReqError::new(format!("request needs a {key:?} array")))
+fn parse_payload_trees(taxa: &TaxonSet, items: &[String]) -> Result<Vec<Tree>, ReqError> {
+    parse_payload_trees_from(taxa, items, 0)
 }
 
 /// Dispatch one request, recording its latency and outcome under the op
 /// label (`unknown` for unparseable requests). This wrapper is the whole
 /// query-path instrumentation: one clock pair, one histogram record, one
 /// counter bump per request.
-fn handle_request(line: &str, state: &ServeState) -> (Json, Action) {
+fn handle_request(
+    line: &str,
+    state: &ServeState,
+    scratch: &mut BipartitionScratch,
+) -> (Json, Action) {
     let start = Instant::now();
-    let (op_idx, result) = dispatch(line, state);
-    state.metrics.latency[op_idx].record_duration(start.elapsed());
+    let (op, id, result) = dispatch(line, state, scratch);
+    state.metrics.latency[op.index()].record_duration(start.elapsed());
     match result {
-        Ok((json, action)) => {
-            state.metrics.outcomes[op_idx][OUTCOME_OK].inc();
-            (json, action)
+        Ok((response, action)) => {
+            state.metrics.count(op, Outcome::Ok);
+            (response.to_json(id), action)
         }
         Err(e) => {
-            state.metrics.outcomes[op_idx][ServeMetrics::outcome_index(e.outcome)].inc();
-            (e.into_json(), Action::Continue)
+            state.metrics.count(op, e.outcome);
+            (e.into_response().to_json(id), Action::Continue)
         }
     }
 }
 
-fn dispatch(line: &str, state: &ServeState) -> (usize, Result<(Json, Action), ReqError>) {
-    let req = match json::parse(line) {
-        Ok(req) => req,
-        Err(e) => return (OP_UNKNOWN, Err(ReqError::new(e))),
+/// Parse the frame through the typed protocol layer and route it to its op
+/// handler — the only dispatch point; there is no string matching past
+/// [`proto::parse_request`].
+fn dispatch(
+    line: &str,
+    state: &ServeState,
+    scratch: &mut BipartitionScratch,
+) -> (Op, Option<u64>, Result<(Response, Action), ReqError>) {
+    let env = match proto::parse_request(line) {
+        Ok(env) => env,
+        Err(e) => return (e.op, None, Err(ReqError::new(e.message))),
     };
-    let Some(op) = req.get("op").and_then(Json::as_str) else {
-        return (
-            OP_UNKNOWN,
-            Err(ReqError::new("request needs an \"op\" string")),
-        );
-    };
-    let op_idx = ServeMetrics::op_index(op);
-    let result = match op {
-        "avgrf" => op_avgrf(&req, state).map(|j| (j, Action::Continue)),
-        "best-query" => op_best(&req, state).map(|j| (j, Action::Continue)),
-        "stats" => op_stats(state).map(|j| (j, Action::Continue)),
-        "add" | "remove" => op_mutate(&req, state, op == "add").map(|j| (j, Action::Continue)),
-        "compact" => op_compact(state).map(|j| (j, Action::Continue)),
-        "shutdown" => Ok((
-            Json::obj(vec![("ok", true.into()), ("shutdown", true.into())]),
-            Action::Shutdown,
+    let Envelope { id, request, .. } = env;
+    let op = request.op();
+    let cont = |r: Result<Response, ReqError>| r.map(|resp| (resp, Action::Continue));
+    let result = match request {
+        Request::Hello => Ok((
+            Response::Hello {
+                version: PROTO_VERSION,
+                max_batch: MAX_BATCH,
+            },
+            Action::Continue,
         )),
-        other => Err(ReqError::new(format!(
-            "unknown op {other:?} (expected avgrf, best-query, stats, add, remove, compact, shutdown)"
-        ))),
+        Request::AvgRf { queries, flags } => cont(op_scores(state, scratch, &queries, flags)),
+        Request::Batch { queries, flags } => {
+            state.metrics.batch_size.record(queries.len() as u64);
+            if queries.len() > MAX_BATCH {
+                Err(ReqError::new(format!(
+                    "batch of {} queries exceeds max_batch {MAX_BATCH} (split it, or ask \
+                     \"hello\" for the ceiling)",
+                    queries.len()
+                )))
+            } else {
+                cont(op_scores(state, scratch, &queries, flags))
+            }
+        }
+        Request::BestQuery { queries } => cont(op_best(state, scratch, &queries)),
+        Request::Stats => cont(op_stats(state)),
+        Request::Add { trees } => cont(op_mutate(state, &trees, true)),
+        Request::Remove { trees } => cont(op_mutate(state, &trees, false)),
+        Request::Compact => cont(op_compact(state)),
+        Request::Shutdown => Ok((Response::Shutdown, Action::Shutdown)),
     };
-    (op_idx, result)
+    (op, id, result)
 }
 
 /// Clone the current snapshot `Arc` out of the cell — the only moment a
@@ -557,106 +654,157 @@ fn current_snap(state: &ServeState) -> Arc<SnapView> {
     snap
 }
 
-/// Degradation notes recorded while serving one request, as a JSON array
-/// (empty array when the run was clean — the key is always present so
-/// clients need no existence check).
-fn notes_json(guard: &RunGuard) -> Json {
-    Json::Arr(
-        guard
-            .degradations()
-            .iter()
-            .map(|d| Json::from(d.to_string()))
-            .collect(),
-    )
+/// Publish the admin index's current state as the new query snapshot.
+/// Call with the admin lock held so publications serialize.
+fn publish_snap(state: &ServeState, index: &mut Index) {
+    let snap = state.snap_seq.fetch_add(1, Ordering::Relaxed) + 1;
+    let published = Arc::new(SnapView {
+        view: index.view(),
+        snap,
+    });
+    *state.snap.write().expect("snapshot lock poisoned") = published;
+    state.metrics.swaps.inc();
+}
+
+/// Degradation notes recorded while serving one request (empty when the
+/// run was clean — the array is always present so clients need no
+/// existence check).
+fn notes_vec(guard: &RunGuard) -> Vec<String> {
+    guard.degradations().iter().map(|d| d.to_string()).collect()
+}
+
+/// Score `queries` against one snapshot. Small requests run sequentially
+/// through the connection arena; large batches fan out on the shared rayon
+/// pool (fresh scratch per chunk inside the comparator) — unless the box
+/// has a single core, where fan-out is pure overhead on top of the
+/// handler threads already competing for it.
+fn parallel_scoring(n_queries: usize) -> bool {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    let cores = *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    n_queries > PARALLEL_QUERY_THRESHOLD && cores > 1
 }
 
 fn scored(
-    snap: &SnapView,
-    req: &Json,
+    view: &QueryView,
+    queries: &[Tree],
     guard: &RunGuard,
+    scratch: &mut BipartitionScratch,
 ) -> Result<Vec<bfhrf::QueryScore>, ReqError> {
-    let queries = parse_payload_trees(&snap.taxa, payload_array(req, "queries")?)?;
-    // Rayon fan-out only pays off past a single query; the common
-    // one-query request runs on the worker thread itself.
-    FrozenComparator::new(&snap.frozen, &snap.taxa)
-        .parallel(queries.len() > 1)
-        .average_all_guarded(&queries, guard)
-        .map_err(ReqError::from_core)
+    let cmp = FrozenComparator::new(&view.frozen, &view.taxa);
+    if parallel_scoring(queries.len()) {
+        cmp.parallel(true)
+            .average_all_guarded(queries, guard)
+            .map_err(ReqError::from_core)
+    } else {
+        cmp.average_all_scratch_guarded(queries, guard, scratch)
+            .map_err(ReqError::from_core)
+    }
 }
 
-fn op_avgrf(req: &Json, state: &ServeState) -> Result<Json, ReqError> {
+/// `avgrf` and `batch` share this: same scoring, same response shape; the
+/// batch op is the explicitly versioned, ceiling-checked form.
+fn op_scores(
+    state: &ServeState,
+    scratch: &mut BipartitionScratch,
+    queries: &[String],
+    flags: proto::QueryFlags,
+) -> Result<Response, ReqError> {
     let snap = current_snap(state);
     let guard = request_guard(state);
-    let scores = scored(&snap, req, &guard)?;
-    let normalized = req
-        .get("normalized")
-        .and_then(Json::as_bool)
-        .unwrap_or(false);
-    let halved = req.get("halved").and_then(Json::as_bool).unwrap_or(false);
-    let n_taxa = snap.taxa.len();
+    // Sequential scoring walks the batch in small chunks — parse a few
+    // trees, score them, reuse the arena — so a 4096-query frame never
+    // holds thousands of parsed trees live at once (with many concurrent
+    // connections that footprint is real cache pressure). The parallel
+    // path keeps the whole batch: rayon wants it all to fan out.
+    let scores = if parallel_scoring(queries.len()) {
+        let trees = parse_payload_trees(&snap.view.taxa, queries)?;
+        scored(&snap.view, &trees, &guard, scratch)?
+    } else {
+        let mut scores = Vec::with_capacity(queries.len());
+        for (chunk_idx, chunk) in queries.chunks(PARALLEL_QUERY_THRESHOLD).enumerate() {
+            let base = chunk_idx * PARALLEL_QUERY_THRESHOLD;
+            let trees = parse_payload_trees_from(&snap.view.taxa, chunk, base)?;
+            let part = scored(&snap.view, &trees, &guard, scratch)?;
+            scores.extend(part.into_iter().map(|mut s| {
+                s.index += base;
+                s
+            }));
+        }
+        scores
+    };
+    let n_taxa = snap.view.taxa.len();
     let rows = scores
         .iter()
         .map(|s| {
-            let mut avg = if normalized {
+            let mut avg = if flags.normalized {
                 bfhrf::variants::normalized_average(&s.rf, n_taxa)
             } else {
                 s.rf.average()
             };
-            if halved {
+            if flags.halved {
                 avg /= 2.0;
             }
-            Json::obj(vec![
-                ("index", s.index.into()),
-                ("left", s.rf.left.into()),
-                ("right", s.rf.right.into()),
-                ("n_refs", s.rf.n_refs.into()),
-                ("avg", avg.into()),
-            ])
+            ScoreRow {
+                index: s.index,
+                left: s.rf.left,
+                right: s.rf.right,
+                n_refs: s.rf.n_refs,
+                avg,
+            }
         })
         .collect();
-    Ok(Json::obj(vec![
-        ("ok", true.into()),
-        ("n_taxa", n_taxa.into()),
-        ("scores", Json::Arr(rows)),
-        ("notes", notes_json(&guard)),
-    ]))
+    Ok(Response::Scores {
+        n_taxa,
+        generation: snap.view.generation,
+        snap: snap.snap,
+        scores: rows,
+        notes: notes_vec(&guard),
+    })
 }
 
-fn op_best(req: &Json, state: &ServeState) -> Result<Json, ReqError> {
+fn op_best(
+    state: &ServeState,
+    scratch: &mut BipartitionScratch,
+    queries: &[String],
+) -> Result<Response, ReqError> {
     let snap = current_snap(state);
     let guard = request_guard(state);
-    let scores = scored(&snap, req, &guard)?;
+    let trees = parse_payload_trees(&snap.view.taxa, queries)?;
+    let scores = scored(&snap.view, &trees, &guard, scratch)?;
     let best = bfhrf::best_query(&scores)
         .ok_or_else(|| ReqError::new("the \"queries\" array is empty"))?;
-    Ok(Json::obj(vec![
-        ("ok", true.into()),
-        ("best_index", best.index.into()),
-        ("avg", best.rf.average().into()),
-        ("total", best.rf.total().into()),
-        ("notes", notes_json(&guard)),
-    ]))
+    Ok(Response::Best {
+        best_index: best.index,
+        avg: best.rf.average(),
+        total: best.rf.total(),
+        notes: notes_vec(&guard),
+    })
 }
 
-fn op_stats(state: &ServeState) -> Result<Json, ReqError> {
+fn op_stats(state: &ServeState) -> Result<Response, ReqError> {
     // Index::stats also refreshes the index_generation / index_wal_pending
     // gauges, so the metrics snapshot below reflects this very answer.
     let stats = lock_admin(state)?.stats();
     let metrics = expose::to_json(&phylo_obs::global().snapshot());
-    Ok(Json::obj(vec![
-        ("ok", true.into()),
-        ("generation", stats.generation.into()),
-        ("n_trees", stats.n_trees.into()),
-        ("n_taxa", stats.n_taxa.into()),
-        ("distinct", stats.distinct.into()),
-        ("sum", stats.sum.into()),
-        ("wal_pending", stats.wal_pending.into()),
-        ("served", state.served.load(Ordering::Relaxed).into()),
-        ("metrics", metrics),
-    ]))
+    Ok(Response::Stats {
+        body: StatsBody {
+            generation: stats.generation,
+            n_trees: stats.n_trees,
+            n_taxa: stats.n_taxa,
+            distinct: stats.distinct,
+            sum: stats.sum,
+            wal_pending: stats.wal_pending,
+            served: state.served.load(Ordering::Relaxed),
+        },
+        metrics,
+    })
 }
 
-fn op_mutate(req: &Json, state: &ServeState, add: bool) -> Result<Json, ReqError> {
-    let items = payload_array(req, "trees")?;
+fn op_mutate(state: &ServeState, items: &[String], add: bool) -> Result<Response, ReqError> {
     let mut index = lock_admin(state)?;
     // Validate the whole batch against the namespace up front so a typo in
     // tree k does not leave trees 0..k applied.
@@ -683,29 +831,26 @@ fn op_mutate(req: &Json, state: &ServeState, add: bool) -> Result<Json, ReqError
         applied += 1;
     }
     // Publish the mutated hash for queries, frozen once for this
-    // generation; in-flight readers keep their old Arc alive.
-    let snap = Arc::new(SnapView {
-        frozen: index.frozen(),
-        taxa: index.taxa().clone(),
-    });
-    *state.snap.write().expect("snapshot lock poisoned") = snap;
-    state.metrics.swaps.inc();
-    Ok(Json::obj(vec![
-        ("ok", true.into()),
-        ("applied", applied.into()),
-        ("n_trees", index.stats().n_trees.into()),
-    ]))
+    // publication; in-flight readers keep their old view alive, so every
+    // batch still answers from a single snapshot.
+    publish_snap(state, &mut index);
+    Ok(Response::Applied {
+        applied,
+        n_trees: index.stats().n_trees,
+    })
 }
 
-fn op_compact(state: &ServeState) -> Result<Json, ReqError> {
+fn op_compact(state: &ServeState) -> Result<Response, ReqError> {
     let mut index = lock_admin(state)?;
     let meta = index.compact().map_err(ReqError::from_index)?;
-    Ok(Json::obj(vec![
-        ("ok", true.into()),
-        ("generation", meta.generation.into()),
-        ("distinct", meta.distinct.into()),
-        ("wal_pending", 0usize.into()),
-    ]))
+    // The hash contents are unchanged, but the generation moved; publish
+    // so score responses report the new generation.
+    publish_snap(state, &mut index);
+    Ok(Response::Compacted {
+        generation: meta.generation,
+        distinct: meta.distinct,
+        wal_pending: 0,
+    })
 }
 
 /// Map a protocol failure code to the process exit code clients use.

@@ -1,0 +1,181 @@
+//! Round-trip property tests for the typed wire protocol: any envelope or
+//! response the types can express must survive `to_json` → wire text →
+//! `parse`/`from_json` unchanged, for both protocol versions.
+
+use bfhrf_cli::json;
+use bfhrf_cli::proto::{
+    parse_request, Envelope, ErrorCode, Op, Outcome, QueryFlags, Request, Response, ScoreRow,
+    StatsBody, PROTO_VERSION,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Newick-flavoured tree text: the protocol layer treats trees as opaque
+/// strings, so the class just needs JSON-hostile characters (quotes are
+/// escaped by the writer; backslashes exercise the escaper).
+const TREE_PATTERN: &str = "[(),;:A-Ea-e0-9._\"\\\\ -]{0,40}";
+
+fn request_from(which: usize, queries: Vec<String>, normalized: bool, halved: bool) -> Request {
+    let flags = QueryFlags { normalized, halved };
+    match which % 9 {
+        0 => Request::Hello,
+        1 => Request::AvgRf { queries, flags },
+        2 => Request::BestQuery { queries },
+        3 => Request::Batch { queries, flags },
+        4 => Request::Stats,
+        5 => Request::Add { trees: queries },
+        6 => Request::Remove { trees: queries },
+        7 => Request::Compact,
+        _ => Request::Shutdown,
+    }
+}
+
+proptest! {
+    #[test]
+    fn envelopes_round_trip_through_wire_text(
+        which in 0usize..9,
+        queries in vec(TREE_PATTERN, 0..6),
+        normalized in any::<bool>(),
+        halved in any::<bool>(),
+        v2 in any::<bool>(),
+        id in 0u64..(1 << 53),
+        with_id in any::<bool>(),
+    ) {
+        let request = request_from(which, queries, normalized, halved);
+        let env = if v2 {
+            Envelope::v2(request, with_id.then_some(id))
+        } else {
+            Envelope::v1(request)
+        };
+        let line = env.to_json().to_string();
+        prop_assert!(!line.contains('\n'), "frames must be single lines: {line:?}");
+        let back = parse_request(&line).unwrap();
+        prop_assert_eq!(back, env);
+        prop_assert_eq!(line.contains("\"v\""), v2, "only v2 frames carry a version: {}", line);
+    }
+
+    #[test]
+    fn score_responses_round_trip(
+        n_taxa in 0usize..2000,
+        generation in 0u64..1_000_000,
+        snap in 0u64..1_000_000,
+        rows in vec((0u64..1_000_000, 0u64..1_000_000, 0usize..500), 0..8),
+        notes in vec("[a-e ]{0,12}", 0..3),
+        id in 0u64..(1 << 53),
+        with_id in any::<bool>(),
+    ) {
+        let scores = rows
+            .iter()
+            .enumerate()
+            .map(|(index, &(left, right, n_refs))| ScoreRow {
+                index,
+                left,
+                right,
+                n_refs,
+                avg: if n_refs == 0 { 0.0 } else { (left + right) as f64 / n_refs as f64 },
+            })
+            .collect();
+        let resp = Response::Scores { n_taxa, generation, snap, scores, notes };
+        let id = with_id.then_some(id);
+        let line = resp.to_json(id).to_string();
+        let (back, back_id) = Response::from_json(&json::parse(&line).unwrap()).unwrap();
+        prop_assert_eq!(back, resp);
+        prop_assert_eq!(back_id, id);
+    }
+
+    #[test]
+    fn admin_and_control_responses_round_trip(
+        which in 0usize..5,
+        a in 0u64..1_000_000,
+        b in 0usize..1_000_000,
+        c in 0usize..1_000_000,
+        served in any::<u32>(),
+    ) {
+        let resp = match which {
+            0 => Response::Hello { version: PROTO_VERSION, max_batch: b },
+            1 => Response::Applied { applied: b, n_trees: c },
+            2 => Response::Compacted { generation: a, distinct: b, wal_pending: 0 },
+            3 => Response::Shutdown,
+            _ => Response::Stats {
+                body: StatsBody {
+                    generation: a,
+                    n_trees: b,
+                    n_taxa: c,
+                    distinct: b / 2,
+                    sum: a + 1,
+                    wal_pending: c % 17,
+                    served: u64::from(served),
+                },
+                metrics: json::Json::obj(vec![("series", json::Json::Arr(vec![]))]),
+            },
+        };
+        let line = resp.to_json(None).to_string();
+        let (back, back_id) = Response::from_json(&json::parse(&line).unwrap()).unwrap();
+        prop_assert_eq!(back, resp);
+        prop_assert_eq!(back_id, None);
+    }
+
+    #[test]
+    fn error_responses_round_trip_and_keep_exit_semantics(
+        outcome_pick in 0usize..3,
+        message in "\\PC{0,60}",
+        id in 0u64..(1 << 53),
+        with_id in any::<bool>(),
+    ) {
+        let outcome = [Outcome::Error, Outcome::Budget, Outcome::Cancelled][outcome_pick];
+        let resp = Response::Error { code: outcome.code(), outcome, message };
+        let id = with_id.then_some(id);
+        let line = resp.to_json(id).to_string();
+        let doc = json::parse(&line).unwrap();
+        prop_assert_eq!(doc.get("ok").and_then(json::Json::as_bool), Some(false));
+        let (back, back_id) = Response::from_json(&doc).unwrap();
+        prop_assert_eq!(back_id, id);
+        let Response::Error { code, outcome: back_outcome, .. } = &back else {
+            panic!("error response parsed as {back:?}");
+        };
+        // budget + cancelled must stay on the `budget` wire code so v1
+        // clients keep mapping them to exit 3
+        prop_assert_eq!(*code, outcome.code());
+        prop_assert_eq!(*back_outcome, outcome);
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn v1_dialect_is_a_subset_of_the_typed_surface(
+        queries in vec(TREE_PATTERN, 1..4),
+        halved in any::<bool>(),
+    ) {
+        // A frame written the way the v1 client writes it today must parse
+        // into the same typed request as the typed writer's own output.
+        let mut fields = vec![
+            ("op", json::Json::from("avgrf")),
+            ("queries", json::Json::Arr(queries.iter().map(|q| q.as_str().into()).collect())),
+        ];
+        if halved {
+            fields.push(("halved", true.into()));
+        }
+        let handwritten = json::Json::obj(fields).to_string();
+        let env = parse_request(&handwritten).unwrap();
+        prop_assert_eq!(env.version, 1);
+        prop_assert_eq!(env.request.op(), Op::AvgRf);
+        prop_assert_eq!(parse_request(&env.to_json().to_string()).unwrap(), env);
+    }
+}
+
+#[test]
+fn every_wire_op_parses_back_to_itself() {
+    for op in Op::ALL {
+        if op == Op::Unknown {
+            continue;
+        }
+        assert_eq!(Op::from_name(op.name()), Some(op), "{op:?}");
+    }
+    assert_eq!(
+        ErrorCode::from_wire(ErrorCode::Budget.as_str()),
+        ErrorCode::Budget
+    );
+    assert_eq!(
+        ErrorCode::from_wire(ErrorCode::Error.as_str()),
+        ErrorCode::Error
+    );
+}

@@ -411,8 +411,10 @@ fn stats_metrics_schema_and_snapshot_swap() {
 
     // Schema stability: every op x outcome cell pre-registered at bind.
     for op in [
+        "hello",
         "avgrf",
         "best-query",
+        "batch",
         "stats",
         "add",
         "remove",
@@ -572,4 +574,301 @@ fn shutdown_interrupts_idle_connections_immediately() {
         begin.elapsed()
     );
     drop(idle);
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol v2: hello, batch, pipelining
+// ---------------------------------------------------------------------------
+
+/// A persistent raw connection with split read/write halves, for tests
+/// that pipeline frames or deliver partial ones.
+struct RawConn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl RawConn {
+    fn open(addr: &str) -> RawConn {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        RawConn { stream, reader }
+    }
+
+    fn send(&mut self, frame: &str) {
+        self.stream
+            .write_all(format!("{frame}\n").as_bytes())
+            .unwrap();
+    }
+
+    fn recv(&mut self) -> json::Json {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        json::parse(line.trim()).unwrap()
+    }
+}
+
+/// The v2 handshake answers the protocol version and batch ceiling, and
+/// the same connection keeps serving v1 frames afterwards (dialects mix
+/// freely on one connection).
+#[test]
+fn hello_handshake_reports_version_and_ceiling() {
+    let dir = scratch("hello");
+    let index_dir = build_index(&dir, REFS);
+    let (addr, handle) = start_server(&index_dir, None);
+
+    let mut conn = RawConn::open(&addr);
+    conn.send(r#"{"v":2,"op":"hello"}"#);
+    let resp = conn.recv();
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(resp.get("v").unwrap().as_u64(), Some(2));
+    assert_eq!(
+        resp.get("max_batch").unwrap().as_u64(),
+        Some(bfhrf_cli::proto::MAX_BATCH as u64)
+    );
+    // A v1 frame on the same connection still answers.
+    conn.send(r#"{"op":"stats"}"#);
+    assert_eq!(conn.recv().get("ok").unwrap().as_bool(), Some(true));
+    // Frames claiming a future protocol version fail loudly, typed.
+    conn.send(r#"{"v":9,"op":"stats"}"#);
+    let resp = conn.recv();
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false));
+    assert!(
+        resp.get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("unsupported protocol version"),
+        "{resp}"
+    );
+    shutdown(&addr, handle);
+}
+
+/// Pipelined frames — including one delivered in two partial writes — are
+/// answered strictly in request order with their ids echoed.
+#[test]
+fn pipelined_partial_frames_answer_in_order() {
+    let dir = scratch("pipeline");
+    let index_dir = build_index(&dir, REFS);
+    let (addr, handle) = start_server(&index_dir, None);
+
+    let mut conn = RawConn::open(&addr);
+    let frame = |id: u64| {
+        format!(r#"{{"v":2,"op":"batch","id":{id},"queries":["((A,B),((C,D),(E,F)));"]}}"#)
+    };
+    // Burst of three frames in one write...
+    let burst = format!("{}\n{}\n{}\n", frame(10), frame(11), frame(12));
+    conn.stream.write_all(burst.as_bytes()).unwrap();
+    // ...then a fourth delivered in two halves with a pause in between:
+    // the reassembly path must treat it exactly like a whole frame.
+    let late = format!("{}\n", frame(13));
+    let (a, b) = late.as_bytes().split_at(late.len() / 2);
+    conn.stream.write_all(a).unwrap();
+    conn.stream.flush().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    conn.stream.write_all(b).unwrap();
+
+    for expect in [10u64, 11, 12, 13] {
+        let resp = conn.recv();
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp}");
+        assert_eq!(resp.get("id").unwrap().as_u64(), Some(expect), "{resp}");
+        assert_eq!(resp.get("scores").unwrap().as_arr().unwrap().len(), 1);
+    }
+    shutdown(&addr, handle);
+}
+
+/// Admin and query ops interleaved on one pipelined connection answer in
+/// order, and each batch reports the snapshot that answered it: the batch
+/// before the `add` sees the old hash, the one after sees the new one.
+#[test]
+fn interleaved_admin_and_query_frames_pin_their_snapshots() {
+    let dir = scratch("interleave");
+    let index_dir = build_index(&dir, REFS);
+    let (addr, handle) = start_server(&index_dir, None);
+
+    let mut conn = RawConn::open(&addr);
+    let batch = |id: u64| {
+        format!(r#"{{"v":2,"op":"batch","id":{id},"queries":["((A,B),((C,D),(E,F)));"]}}"#)
+    };
+    let add = format!(r#"{{"op":"add","trees":["{}"]}}"#, EXTRA.trim());
+    let burst = format!(
+        "{}\n{add}\n{}\n{}\n",
+        batch(1),
+        batch(2),
+        r#"{"op":"stats"}"#
+    );
+    conn.stream.write_all(burst.as_bytes()).unwrap();
+
+    let before = conn.recv();
+    assert_eq!(before.get("id").unwrap().as_u64(), Some(1));
+    let applied = conn.recv();
+    assert_eq!(applied.get("applied").unwrap().as_u64(), Some(1));
+    let after = conn.recv();
+    assert_eq!(after.get("id").unwrap().as_u64(), Some(2));
+    let stats = conn.recv();
+    assert_eq!(stats.get("n_trees").unwrap().as_u64(), Some(4));
+
+    let n_refs = |resp: &json::Json| {
+        resp.get("scores").unwrap().as_arr().unwrap()[0]
+            .get("n_refs")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+    };
+    assert_eq!(n_refs(&before), 3, "{before}");
+    assert_eq!(n_refs(&after), 4, "{after}");
+    let snap = |resp: &json::Json| resp.get("snap").unwrap().as_u64().unwrap();
+    assert!(
+        snap(&after) > snap(&before),
+        "snap did not advance: {} -> {}",
+        snap(&before),
+        snap(&after)
+    );
+    shutdown(&addr, handle);
+}
+
+/// A batch above the server's ceiling is refused with a typed error and
+/// the connection keeps serving.
+#[test]
+fn oversized_batch_is_rejected_and_connection_survives() {
+    let dir = scratch("oversize");
+    let index_dir = build_index(&dir, REFS);
+    let (addr, handle) = start_server(&index_dir, None);
+
+    let tree = "\"((A,B),((C,D),(E,F)));\"";
+    let queries = vec![tree; bfhrf_cli::proto::MAX_BATCH + 1].join(",");
+    let mut conn = RawConn::open(&addr);
+    conn.send(&format!(r#"{{"v":2,"op":"batch","queries":[{queries}]}}"#));
+    let resp = conn.recv();
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false));
+    assert_eq!(resp.get("code").unwrap().as_str(), Some("error"));
+    assert!(
+        resp.get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("max_batch"),
+        "{resp}"
+    );
+    // Same connection, conforming batch: answers fine.
+    conn.send(r#"{"v":2,"op":"batch","queries":["((A,B),((C,D),(E,F)));"]}"#);
+    assert_eq!(conn.recv().get("ok").unwrap().as_bool(), Some(true));
+    shutdown(&addr, handle);
+}
+
+/// Batches racing concurrent admin mutations: every row of a batch must
+/// come from one snapshot (uniform `n_refs`), and the `snap` ids a
+/// connection observes never go backwards.
+#[test]
+fn mid_batch_snapshot_swaps_keep_batches_single_generation() {
+    let dir = scratch("swap-race");
+    let index_dir = build_index(&dir, REFS);
+    let (addr, handle) = start_server(&index_dir, None);
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mutator = {
+        let addr = addr.clone();
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let add = format!(r#"{{"op":"add","trees":["{}"]}}"#, EXTRA.trim());
+            let remove = format!(r#"{{"op":"remove","trees":["{}"]}}"#, EXTRA.trim());
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                assert_eq!(
+                    raw_request(&addr, &add).get("ok").unwrap().as_bool(),
+                    Some(true)
+                );
+                assert_eq!(
+                    raw_request(&addr, &remove).get("ok").unwrap().as_bool(),
+                    Some(true)
+                );
+            }
+        })
+    };
+
+    let mut conn = RawConn::open(&addr);
+    // Two queries per batch so a torn snapshot would show as mixed n_refs
+    // within one frame.
+    let frame = |id: u64| {
+        format!(
+            r#"{{"v":2,"op":"batch","id":{id},"queries":["((A,B),((C,D),(E,F)));","((A,E),((C,D),(B,F)));"]}}"#
+        )
+    };
+    let mut last_snap = 0u64;
+    for round in 0..30u64 {
+        conn.send(&frame(round));
+        let resp = conn.recv();
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp}");
+        let rows = resp.get("scores").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 2);
+        let refs: Vec<u64> = rows
+            .iter()
+            .map(|r| r.get("n_refs").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(refs[0], refs[1], "torn batch in round {round}: {resp}");
+        assert!(refs[0] == 3 || refs[0] == 4, "{resp}");
+        let snap = resp.get("snap").unwrap().as_u64().unwrap();
+        assert!(
+            snap >= last_snap,
+            "snap went backwards: {last_snap} -> {snap}"
+        );
+        last_snap = snap;
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    mutator.join().unwrap();
+    shutdown(&addr, handle);
+}
+
+/// `bfhrf query --batch N` output is byte-identical to the offline
+/// `avgrf` table regardless of frame size, and flags ride along.
+#[test]
+fn client_batch_mode_matches_offline_avgrf() {
+    let dir = scratch("client-batch");
+    let refs_path = write(&dir, "refs.nwk", REFS);
+    // Enough queries to span several frames at --batch 2.
+    let many: String = QUERIES.repeat(4);
+    let queries_path = write(&dir, "queries.nwk", &many);
+    let index_dir = build_index(&dir, REFS);
+    let (addr, handle) = start_server(&index_dir, None);
+
+    let offline = runv(&["avgrf", "--refs", &refs_path, "--queries", &queries_path]).unwrap();
+    for batch in ["1", "2", "64"] {
+        let served = runv(&[
+            "query",
+            "--addr",
+            &addr,
+            "--queries",
+            &queries_path,
+            "--batch",
+            batch,
+        ])
+        .unwrap();
+        assert_eq!(served.code, EXIT_OK, "--batch {batch}");
+        assert_eq!(served.stdout, offline.stdout, "--batch {batch}");
+    }
+    // Flags flow through batch frames too.
+    let offline = runv(&[
+        "avgrf",
+        "--refs",
+        &refs_path,
+        "--queries",
+        &queries_path,
+        "--normalized",
+    ])
+    .unwrap();
+    let served = runv(&[
+        "query",
+        "--addr",
+        &addr,
+        "--queries",
+        &queries_path,
+        "--batch",
+        "3",
+        "--normalized",
+    ])
+    .unwrap();
+    assert_eq!(served.stdout, offline.stdout);
+    // --batch outside avgrf is a client-side error.
+    let err = runv(&["query", "--addr", &addr, "--op", "stats", "--batch", "2"]).unwrap_err();
+    assert!(err.message.contains("--batch"), "{}", err.message);
+    shutdown(&addr, handle);
 }

@@ -243,6 +243,39 @@ impl<'a> FrozenComparator<'a> {
     pub fn frozen(&self) -> &crate::FrozenBfh {
         &self.frozen
     }
+
+    /// [`Comparator::average_all_guarded`], sequential, through a
+    /// caller-owned extraction arena. For callers that score many small
+    /// requests over time (the serve daemon keeps one arena per
+    /// connection) — identical results to the trait path, zero per-request
+    /// arena allocation.
+    pub fn average_all_scratch_guarded(
+        &self,
+        queries: &[Tree],
+        guard: &RunGuard,
+        scratch: &mut BipartitionScratch,
+    ) -> Result<Vec<QueryScore>, CoreError> {
+        if self.frozen.n_trees() == 0 {
+            return Err(CoreError::EmptyReference);
+        }
+        if queries.is_empty() {
+            return Err(CoreError::EmptyQuery);
+        }
+        for q in queries {
+            check_tree_taxa(q, self.taxa)?;
+        }
+        queries
+            .iter()
+            .enumerate()
+            .map(|(index, q)| {
+                guard.checkpoint("bfhrf average_all")?;
+                Ok(QueryScore {
+                    index,
+                    rf: self.frozen.average_scratch(q, self.taxa, scratch),
+                })
+            })
+            .collect()
+    }
 }
 
 impl Comparator for FrozenComparator<'_> {

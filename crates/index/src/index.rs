@@ -56,11 +56,26 @@ pub struct IndexStats {
     pub wal_pending: usize,
 }
 
+/// An immutable scoring view of the index at one instant: the frozen
+/// probe-optimized hash, the (shared) taxon namespace, and the generation
+/// they came from. Cheap to clone; the serve daemon hands one `QueryView`
+/// to each in-flight batch so every row of a batch is guaranteed to be
+/// answered from the same generation even while admin mutations land.
+#[derive(Clone)]
+pub struct QueryView {
+    /// Probe-optimized read-only hash.
+    pub frozen: std::sync::Arc<bfhrf::FrozenBfh>,
+    /// The frozen taxon namespace.
+    pub taxa: std::sync::Arc<TaxonSet>,
+    /// Compaction generation this view was taken from.
+    pub generation: u64,
+}
+
 /// A persistent BFH index opened for reading and incremental mutation.
 pub struct Index {
     dir: PathBuf,
     bfh: Bfh,
-    taxa: TaxonSet,
+    taxa: std::sync::Arc<TaxonSet>,
     generation: u64,
     wal: Wal,
     wal_pending: usize,
@@ -118,7 +133,7 @@ impl Index {
         Ok(Index {
             dir: dir.to_path_buf(),
             bfh,
-            taxa,
+            taxa: std::sync::Arc::new(taxa),
             generation: 0,
             wal,
             wal_pending: 0,
@@ -181,7 +196,7 @@ impl Index {
         let mut index = Index {
             dir: dir.to_path_buf(),
             bfh,
-            taxa,
+            taxa: std::sync::Arc::new(taxa),
             generation: meta.generation,
             wal,
             wal_pending,
@@ -206,6 +221,18 @@ impl Index {
             .record_duration(start.elapsed());
         self.frozen = Some(f.clone());
         f
+    }
+
+    /// Snapshot the current state as an immutable [`QueryView`]. Freezes
+    /// the hash if a mutation invalidated the cache; the returned view
+    /// stays valid (and internally consistent) no matter what happens to
+    /// the index afterwards.
+    pub fn view(&mut self) -> QueryView {
+        QueryView {
+            frozen: self.frozen(),
+            taxa: self.taxa.clone(),
+            generation: self.generation,
+        }
     }
 
     /// The live hash (snapshot plus replayed/pending WAL batches).
@@ -244,7 +271,7 @@ impl Index {
 
     /// Parse `newick` against the frozen namespace without mutating it.
     fn parse_against_taxa(&self, newick: &str) -> Result<Tree, IndexError> {
-        let mut scratch = self.taxa.clone();
+        let mut scratch = (*self.taxa).clone();
         Ok(parse_newick(newick, &mut scratch, TaxaPolicy::Require)?)
     }
 
@@ -316,6 +343,7 @@ impl Index {
     /// Tear the index apart into its hash and taxa (for callers that want
     /// to hand the state to a long-lived reader).
     pub fn into_parts(self) -> (Bfh, TaxonSet) {
-        (self.bfh, self.taxa)
+        let taxa = std::sync::Arc::try_unwrap(self.taxa).unwrap_or_else(|a| (*a).clone());
+        (self.bfh, taxa)
     }
 }

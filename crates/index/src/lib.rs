@@ -28,7 +28,7 @@ pub mod snapshot;
 pub mod wal;
 
 pub use error::IndexError;
-pub use index::{Index, IndexStats, SNAPSHOT_FILE, WAL_FILE};
+pub use index::{Index, IndexStats, QueryView, SNAPSHOT_FILE, WAL_FILE};
 pub use snapshot::{
     read_meta, read_snapshot, write_snapshot, Snapshot, SnapshotMeta, FORMAT_VERSION,
     SNAPSHOT_MAGIC,
