@@ -87,6 +87,15 @@ for want in (7, 8):
     if "snap" not in resp or "generation" not in resp:
         sys.exit(f"serve smoke: batch response lacks snapshot provenance: {resp}")
 
+# ping: a health summary without touching the admin path
+send({"v": 2, "op": "ping"})
+pong = recv()
+if pong.get("ok") is not True or pong.get("pong") is not True:
+    sys.exit(f"serve smoke: bad pong: {pong}")
+for key in ("generation", "wal_pending", "uptime_ms"):
+    if not isinstance(pong.get(key), int):
+        sys.exit(f"serve smoke: pong lacks {key}: {pong}")
+
 # a v1 frame (no "v") on the same connection keeps working
 send({"op": "avgrf", "queries": queries[:1]})
 v1 = recv()
@@ -108,6 +117,7 @@ print(f"serve smoke: v2 session ok (max_batch {hello['max_batch']}, "
 EOF
 
 echo "== stats: metrics schema + non-zero request counters"
+"$BIN" query --port-file "$WORK/port" --op ping
 "$BIN" query --port-file "$WORK/port" --op stats
 "$BIN" stats --port-file "$WORK/port"
 "$BIN" stats --port-file "$WORK/port" --json >"$WORK/stats.json"
@@ -166,9 +176,9 @@ if gen is None or gen["value"] < 0:
     sys.exit("serve smoke: index generation gauge absent")
 # every op x outcome cell is pre-registered so dashboards never see a
 # series appear out of nowhere; spot-check the schema stability claim
-for op in ("hello", "avgrf", "best-query", "batch", "stats", "add", "remove",
-           "compact", "shutdown", "unknown"):
-    for outcome in ("ok", "error", "budget", "cancelled"):
+for op in ("hello", "avgrf", "best-query", "batch", "ping", "stats", "add",
+           "remove", "compact", "shutdown", "unknown"):
+    for outcome in ("ok", "error", "budget", "cancelled", "busy"):
         if ("serve_requests_total", f"op={op},outcome={outcome}") not in by_key:
             sys.exit(f"serve smoke: missing pre-registered series "
                      f"op={op} outcome={outcome}")

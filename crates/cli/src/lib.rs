@@ -192,9 +192,14 @@ pub fn usage() -> String {
      \x20          [--port-file FILE] [--mem-budget BYTES] [--timeout-ms MS]\n\
      query      request(s) against a running server\n\
      \x20          --addr HOST:PORT | --port-file FILE\n\
-     \x20          --op avgrf|best-query|stats|add|remove|compact|shutdown\n\
+     \x20          --op avgrf|best-query|ping|stats|add|remove|compact|shutdown\n\
      \x20          [--queries FILE] [--trees FILE] [--normalized] [--halved]\n\
      \x20          [--batch N]   pipelined v2 batch frames of N queries each\n\
+     \x20          [--retries N] [--backoff-ms MS]\n\
+     \x20                        reconnect + resend on connection loss or a\n\
+     \x20                        busy shed (idempotent read ops only);\n\
+     \x20                        exponential backoff with jitter. Exhausted\n\
+     \x20                        retries keep the 0/1/3 exit contract.\n\
      stats      fetch and render a running server's metrics\n\
      \x20          --addr HOST:PORT | --port-file FILE [--json]\n"
         .to_string()
@@ -857,6 +862,118 @@ fn query_addr(a: &Args) -> Result<String, CliError> {
         .into())
 }
 
+/// Client-side retry budget for idempotent query ops: exponential backoff
+/// with jitter between attempts, reset whenever a request actually
+/// succeeds (so a long batch session is allowed `retries` consecutive
+/// failures, not `retries` over its whole life).
+///
+/// Only reads (`avgrf`, `best-query`, `stats`, `ping`) may carry a retry
+/// budget — re-sending an `add` after an ambiguous failure could apply it
+/// twice, so mutations keep the old fail-fast contract.
+struct Retry {
+    /// Remaining consecutive failures before giving up.
+    left: u32,
+    /// Configured budget (for the reset).
+    budget: u32,
+    /// Base delay; doubles per consecutive failure.
+    backoff_ms: u64,
+    /// Consecutive failures so far (drives the exponent).
+    streak: u32,
+    /// xorshift64 state for jitter.
+    rng: u64,
+}
+
+impl Retry {
+    fn new(retries: u32, backoff_ms: u64) -> Retry {
+        Retry {
+            left: retries,
+            budget: retries,
+            backoff_ms: backoff_ms.max(1),
+            streak: 0,
+            rng: u64::from(std::process::id()) | 1,
+        }
+    }
+
+    /// Account one failure. When budget remains: sleep the backoff (with
+    /// jitter), report the retry on stderr, and return `true` so the
+    /// caller loops. When exhausted: return `false` — the caller surfaces
+    /// the underlying error with its usual exit code.
+    fn pause(&mut self, why: &str) -> bool {
+        if self.left == 0 {
+            return false;
+        }
+        self.left -= 1;
+        // Exponential backoff, capped at 10 s per wait.
+        let base = self
+            .backoff_ms
+            .saturating_mul(1u64 << self.streak.min(16))
+            .min(10_000);
+        self.streak += 1;
+        // xorshift64 jitter in [0, base/2]: concurrent clients retrying
+        // the same outage spread out instead of reconnecting in lockstep.
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let jitter = if base >= 2 {
+            self.rng % (base / 2 + 1)
+        } else {
+            0
+        };
+        let wait = base + jitter;
+        eprintln!(
+            "bfhrf: {why}; retrying in {wait} ms ({} retr{} left)",
+            self.left,
+            if self.left == 1 { "y" } else { "ies" }
+        );
+        std::thread::sleep(Duration::from_millis(wait));
+        true
+    }
+
+    /// A request went through: restore the budget for the next failure.
+    fn reset(&mut self) {
+        self.left = self.budget;
+        self.streak = 0;
+    }
+}
+
+/// Whether a failed *response* (ok=false) is safe to retry: only the
+/// `busy` shed, which the server sends before running anything.
+fn is_busy_response(resp: &json::Json) -> bool {
+    resp.get("ok").and_then(json::Json::as_bool) == Some(false)
+        && resp.get("code").and_then(json::Json::as_str) == Some("busy")
+}
+
+/// One request/response round trip with a retry budget: transport
+/// failures (connect, send, read, malformed or truncated response) and
+/// `busy` sheds back off and reconnect; typed server failures other than
+/// `busy` return immediately — they would fail identically on a resend.
+fn send_request_retry(
+    addr: &str,
+    request: &json::Json,
+    retry: &mut Retry,
+) -> Result<json::Json, CliError> {
+    loop {
+        match send_request(addr, request) {
+            Ok(resp) if is_busy_response(&resp) => {
+                if retry.pause("server is busy") {
+                    continue;
+                }
+                return Ok(resp); // exhausted: caller maps busy → exit 1
+            }
+            Ok(resp) => {
+                retry.reset();
+                return Ok(resp);
+            }
+            Err(e) => {
+                if retry.pause(&e.message) {
+                    continue;
+                }
+                return Err(e);
+            }
+        }
+    }
+}
+
 /// One request/response round trip against a running server.
 fn send_request(addr: &str, request: &json::Json) -> Result<json::Json, CliError> {
     use std::io::{BufRead as _, Write as _};
@@ -878,14 +995,43 @@ fn send_request(addr: &str, request: &json::Json) -> Result<json::Json, CliError
     json::parse(line.trim()).map_err(|e| format!("malformed response: {e}").into())
 }
 
+/// Ops a retry budget may apply to: pure reads, where re-sending after an
+/// ambiguous failure cannot double-apply anything.
+const IDEMPOTENT_OPS: [&str; 4] = ["avgrf", "best-query", "stats", "ping"];
+
 fn cmd_query(raw: &[String]) -> Result<CmdOutcome, CliError> {
     let a = Args::parse(raw, &["normalized", "halved"])?;
     a.reject_unknown(
-        &["addr", "port-file", "op", "queries", "trees", "batch"],
+        &[
+            "addr",
+            "port-file",
+            "op",
+            "queries",
+            "trees",
+            "batch",
+            "retries",
+            "backoff-ms",
+        ],
         &["normalized", "halved"],
     )?;
     let addr = query_addr(&a)?;
     let op = a.get("op").unwrap_or("avgrf");
+
+    let retries: u32 = a.get_parsed("retries")?.unwrap_or(0);
+    let backoff_ms: u64 = a.get_parsed("backoff-ms")?.unwrap_or(100);
+    if a.get("backoff-ms").is_some() && a.get("retries").is_none() {
+        return Err("--backoff-ms only applies together with --retries"
+            .to_string()
+            .into());
+    }
+    if retries > 0 && !IDEMPOTENT_OPS.contains(&op) {
+        return Err(format!(
+            "--retries only applies to idempotent ops ({}); a resent {op:?} could apply twice",
+            IDEMPOTENT_OPS.join(", ")
+        )
+        .into());
+    }
+    let mut retry = Retry::new(retries, backoff_ms);
 
     if let Some(batch) = a.get_parsed::<usize>("batch")? {
         if op != "avgrf" {
@@ -899,7 +1045,7 @@ fn cmd_query(raw: &[String]) -> Result<CmdOutcome, CliError> {
             normalized: a.flag("normalized"),
             halved: a.flag("halved"),
         };
-        return batched_avgrf(&addr, batch, &payload, flags);
+        return batched_avgrf(&addr, batch, &payload, flags, retry);
     }
 
     let mut fields: Vec<(&str, json::Json)> = vec![("op", op.into())];
@@ -924,16 +1070,18 @@ fn cmd_query(raw: &[String]) -> Result<CmdOutcome, CliError> {
                 json::Json::Arr(payload.into_iter().map(Into::into).collect()),
             ));
         }
+        "ping" => fields.insert(0, ("v", 2u64.into())),
         "stats" | "compact" | "shutdown" => {}
         other => {
             return Err(format!(
-                "unknown op {other:?} (expected avgrf, best-query, stats, add, remove, compact, shutdown)"
+                "unknown op {other:?} (expected avgrf, best-query, ping, stats, add, remove, \
+                 compact, shutdown)"
             )
             .into())
         }
     }
     let request = json::Json::obj(fields);
-    let resp = send_request(&addr, &request)?;
+    let resp = send_request_retry(&addr, &request, &mut retry)?;
 
     if resp.get("ok").and_then(json::Json::as_bool) != Some(true) {
         let code = resp
@@ -972,6 +1120,111 @@ fn cmd_query(raw: &[String]) -> Result<CmdOutcome, CliError> {
     })
 }
 
+/// A batch-session failure, tagged with whether an idempotent retry can
+/// absorb it. Transport failures (connect, send, read, truncated or
+/// malformed lines) and `busy` sheds are retryable; typed server errors
+/// are not — resending the same frame would fail the same way.
+struct SessionError {
+    retryable: bool,
+    err: CliError,
+}
+
+impl SessionError {
+    fn transport(err: CliError) -> SessionError {
+        SessionError {
+            retryable: true,
+            err,
+        }
+    }
+
+    fn fatal(err: CliError) -> SessionError {
+        SessionError {
+            retryable: false,
+            err,
+        }
+    }
+}
+
+/// One connected, hello-handshaken batch session.
+struct BatchSession {
+    reader: std::io::BufReader<std::net::TcpStream>,
+    writer: std::io::BufWriter<std::net::TcpStream>,
+    max_batch: usize,
+}
+
+/// Connect and run the `hello` handshake: learn the server's batch
+/// ceiling before committing to a frame size (an old server that cannot
+/// answer `hello` fails loudly here instead of mis-parsing v2 frames
+/// later).
+fn open_batch_session(addr: &str) -> Result<BatchSession, SessionError> {
+    use proto::{Envelope, Request, Response};
+    use std::io::Write as _;
+
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| SessionError::transport(format!("cannot connect to {addr}: {e}").into()))?;
+    stream.set_read_timeout(Some(Duration::from_secs(120))).ok();
+    stream.set_nodelay(true).ok();
+    let writer_stream = stream.try_clone().map_err(|e| {
+        SessionError::transport(format!("cannot clone connection to {addr}: {e}").into())
+    })?;
+    // Batch frames run large (a 64-query frame on real trees is hundreds
+    // of kilobytes); a roomy write buffer keeps each frame to a few
+    // syscalls instead of dozens of 8 KB slices.
+    let mut writer = std::io::BufWriter::with_capacity(128 << 10, writer_stream);
+    let mut reader = std::io::BufReader::with_capacity(64 << 10, stream);
+    writer
+        .write_all(format!("{}\n", Envelope::v2(Request::Hello, None).to_json()).as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| {
+            SessionError::transport(format!("cannot send request to {addr}: {e}").into())
+        })?;
+    let max_batch = match read_batch_response(&mut reader, addr)?.0 {
+        Response::Hello { max_batch, .. } => max_batch,
+        Response::Error { code, message, .. } => {
+            let err = CliError::from(format!("server rejected the hello handshake: {message}"));
+            return Err(if code == proto::ErrorCode::Busy {
+                SessionError::transport(err)
+            } else {
+                SessionError::fatal(err)
+            });
+        }
+        _ => {
+            return Err(SessionError::fatal(
+                format!(
+                    "server at {addr} answered the hello handshake with an unexpected shape \
+                     (not a v2 server?)"
+                )
+                .into(),
+            ))
+        }
+    };
+    Ok(BatchSession {
+        reader,
+        writer,
+        max_batch,
+    })
+}
+
+fn read_batch_response(
+    reader: &mut std::io::BufReader<std::net::TcpStream>,
+    addr: &str,
+) -> Result<(proto::Response, Option<u64>), SessionError> {
+    use std::io::BufRead as _;
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| SessionError::transport(format!("no response from {addr}: {e}").into()))?;
+    if line.trim().is_empty() {
+        return Err(SessionError::transport(
+            format!("server at {addr} closed the connection mid-session").into(),
+        ));
+    }
+    let doc = json::parse(line.trim())
+        .map_err(|e| SessionError::transport(format!("malformed response: {e}").into()))?;
+    proto::Response::from_json(&doc)
+        .map_err(|e| SessionError::transport(format!("malformed response: {e}").into()))
+}
+
 /// `bfhrf query --batch N`: one persistent wire-protocol-v2 session that
 /// packs the query file into `batch`-sized frames and keeps up to
 /// [`PIPELINE_WINDOW`] frames in flight. The output is the same
@@ -979,137 +1232,153 @@ fn cmd_query(raw: &[String]) -> Result<CmdOutcome, CliError> {
 /// across frames), so it diffs cleanly against offline `bfhrf avgrf`; the
 /// 0/1/3 exit-code contract is unchanged, with the first failing frame
 /// aborting the session.
+///
+/// With a retry budget, a dropped connection (daemon restart, network
+/// blip) or a `busy` shed reconnects after a backoff, re-runs the
+/// handshake, and resends every unanswered frame. Frame sizing is fixed
+/// by the **first** handshake, so rows land in the output exactly once
+/// and the final table is byte-identical to an uninterrupted run. Each
+/// answered frame restores the budget.
 fn batched_avgrf(
     addr: &str,
     batch: usize,
     payload: &[String],
     flags: proto::QueryFlags,
+    mut retry: Retry,
 ) -> Result<CmdOutcome, CliError> {
     use proto::{Envelope, Request, Response};
-    use std::io::{BufRead as _, Write as _};
+    use std::io::Write as _;
 
     /// Frames in flight at once: deep enough to hide a round trip, shallow
     /// enough that neither side buffers unboundedly.
     const PIPELINE_WINDOW: usize = 32;
 
-    let stream = std::net::TcpStream::connect(addr)
-        .map_err(|e| CliError::from(format!("cannot connect to {addr}: {e}")))?;
-    stream.set_read_timeout(Some(Duration::from_secs(120))).ok();
-    stream.set_nodelay(true).ok();
-    let writer_stream = stream
-        .try_clone()
-        .map_err(|e| CliError::from(format!("cannot clone connection to {addr}: {e}")))?;
-    // Batch frames run large (a 64-query frame on real trees is hundreds
-    // of kilobytes); a roomy write buffer keeps each frame to a few
-    // syscalls instead of dozens of 8 KB slices.
-    let mut writer = std::io::BufWriter::with_capacity(128 << 10, writer_stream);
-    let mut reader = std::io::BufReader::with_capacity(64 << 10, stream);
-
-    fn read_response(
-        reader: &mut std::io::BufReader<std::net::TcpStream>,
-        addr: &str,
-    ) -> Result<(Response, Option<u64>), CliError> {
-        let mut line = String::new();
-        reader
-            .read_line(&mut line)
-            .map_err(|e| CliError::from(format!("no response from {addr}: {e}")))?;
-        if line.trim().is_empty() {
-            return Err(format!("server at {addr} closed the connection mid-session").into());
-        }
-        let doc = json::parse(line.trim())
-            .map_err(|e| CliError::from(format!("malformed response: {e}")))?;
-        Response::from_json(&doc).map_err(|e| CliError::from(format!("malformed response: {e}")))
-    }
-
-    let send = |writer: &mut std::io::BufWriter<std::net::TcpStream>,
-                env: &Envelope|
-     -> Result<(), CliError> {
-        writer
-            .write_all(format!("{}\n", env.to_json()).as_bytes())
-            .map_err(|e| CliError::from(format!("cannot send request to {addr}: {e}")))
-    };
-
-    // Handshake: learn the server's batch ceiling before committing to a
-    // frame size (an old server that cannot answer `hello` fails loudly
-    // here instead of mis-parsing v2 frames later).
-    send(&mut writer, &Envelope::v2(Request::Hello, None))?;
-    writer
-        .flush()
-        .map_err(|e| CliError::from(format!("cannot send request to {addr}: {e}")))?;
-    let batch = match read_response(&mut reader, addr)?.0 {
-        Response::Hello { max_batch, .. } => batch.min(max_batch).max(1),
-        Response::Error { message, .. } => {
-            return Err(format!("server rejected the hello handshake: {message}").into())
-        }
-        _ => {
-            return Err(format!(
-                "server at {addr} answered the hello handshake with an unexpected shape \
-                 (not a v2 server?)"
-            )
-            .into())
-        }
-    };
-
-    let chunks: Vec<&[String]> = payload.chunks(batch).collect();
     let mut out = String::from("query\tavg_rf\n");
     let mut notes: Vec<String> = Vec::new();
-    let (mut sent, mut read) = (0usize, 0usize);
-    while read < chunks.len() {
-        while sent < chunks.len() && sent - read < PIPELINE_WINDOW {
-            let env = Envelope::v2(
-                Request::Batch {
-                    queries: chunks[sent].to_vec(),
-                    flags,
-                },
-                Some(sent as u64),
-            );
-            send(&mut writer, &env)?;
-            sent += 1;
+    // Fixed after the first handshake; `None` until then.
+    let mut chunks: Option<Vec<&[String]>> = None;
+    let mut frame_size = batch.max(1);
+    let mut read = 0usize; // frames fully answered and rendered
+
+    'session: loop {
+        let session = match open_batch_session(addr) {
+            Ok(s) => s,
+            Err(e) => {
+                if e.retryable && retry.pause(&e.err.message) {
+                    continue 'session;
+                }
+                return Err(e.err);
+            }
+        };
+        let BatchSession {
+            mut reader,
+            mut writer,
+            max_batch,
+        } = session;
+        match &chunks {
+            None => {
+                frame_size = batch.min(max_batch).max(1);
+                chunks = Some(payload.chunks(frame_size).collect());
+            }
+            Some(_) if frame_size > max_batch.max(1) => {
+                // The replacement server advertises a smaller ceiling than
+                // the frames we already rendered rows from; re-chunking
+                // would renumber rows, so fail instead of emitting a table
+                // that no uninterrupted run could produce.
+                return Err(format!(
+                    "server at {addr} restarted with a smaller batch ceiling ({max_batch} < \
+                     {frame_size}); rerun the query"
+                )
+                .into());
+            }
+            Some(_) => {}
         }
-        writer
-            .flush()
-            .map_err(|e| CliError::from(format!("cannot send request to {addr}: {e}")))?;
-        let (resp, id) = read_response(&mut reader, addr)?;
-        match resp {
-            Response::Scores {
-                scores,
-                notes: frame_notes,
-                ..
-            } => {
-                if id != Some(read as u64) {
-                    return Err(format!(
-                        "server answered frame {id:?} where frame {read} was expected"
-                    )
-                    .into());
+        let chunks = chunks.as_ref().expect("chunks fixed above");
+        if read >= chunks.len() {
+            break 'session;
+        }
+        let mut sent = read; // everything past `read` is unanswered: resend
+        let failure: SessionError = loop {
+            let mut send_err: Option<std::io::Error> = None;
+            while sent < chunks.len() && sent - read < PIPELINE_WINDOW {
+                let env = Envelope::v2(
+                    Request::Batch {
+                        queries: chunks[sent].to_vec(),
+                        flags,
+                    },
+                    Some(sent as u64),
+                );
+                if let Err(e) = writer.write_all(format!("{}\n", env.to_json()).as_bytes()) {
+                    send_err = Some(e);
+                    break;
                 }
-                let base = read * batch;
-                for row in &scores {
-                    let _ = writeln!(out, "{}\t{:.6}", base + row.index, row.avg);
-                }
-                for n in frame_notes {
-                    let n = format!("server: {n}");
-                    if !notes.contains(&n) {
-                        notes.push(n);
+                sent += 1;
+            }
+            if let Some(e) = send_err.or_else(|| writer.flush().err()) {
+                break SessionError::transport(
+                    format!("cannot send request to {addr}: {e}").into(),
+                );
+            }
+            let (resp, id) = match read_batch_response(&mut reader, addr) {
+                Ok(r) => r,
+                Err(e) => break e,
+            };
+            match resp {
+                Response::Scores {
+                    scores,
+                    notes: frame_notes,
+                    ..
+                } => {
+                    if id != Some(read as u64) {
+                        break SessionError::transport(
+                            format!("server answered frame {id:?} where frame {read} was expected")
+                                .into(),
+                        );
+                    }
+                    let base = read * frame_size;
+                    for row in &scores {
+                        let _ = writeln!(out, "{}\t{:.6}", base + row.index, row.avg);
+                    }
+                    for n in frame_notes {
+                        let n = format!("server: {n}");
+                        if !notes.contains(&n) {
+                            notes.push(n);
+                        }
+                    }
+                    read += 1;
+                    retry.reset();
+                    if read >= chunks.len() {
+                        break 'session;
                     }
                 }
+                Response::Error {
+                    code,
+                    outcome,
+                    message,
+                } => {
+                    let err = CliError {
+                        message: format!("server: [{}] {message}", outcome.as_str()),
+                        code: server::protocol_code_to_exit(code.as_str()),
+                    };
+                    break if code == proto::ErrorCode::Busy {
+                        SessionError::transport(err)
+                    } else {
+                        SessionError::fatal(err)
+                    };
+                }
+                _ => {
+                    break SessionError::transport(
+                        "server answered a batch frame with an unexpected shape"
+                            .to_string()
+                            .into(),
+                    )
+                }
             }
-            Response::Error {
-                code,
-                outcome,
-                message,
-            } => {
-                return Err(CliError {
-                    message: format!("server: [{}] {message}", outcome.as_str()),
-                    code: server::protocol_code_to_exit(code.as_str()),
-                });
-            }
-            _ => {
-                return Err("server answered a batch frame with an unexpected shape"
-                    .to_string()
-                    .into())
-            }
+        };
+        if failure.retryable && retry.pause(&failure.err.message) {
+            continue 'session;
         }
-        read += 1;
+        return Err(failure.err);
     }
     Ok(CmdOutcome {
         stdout: out,
@@ -1170,6 +1439,13 @@ fn render_response(op: &str, resp: &json::Json) -> Result<String, CliError> {
             field("generation")?.as_u64().unwrap_or(0),
             field("distinct")?.as_u64().unwrap_or(0),
         )),
+        "ping" => {
+            let mut out = String::new();
+            for key in ["generation", "wal_pending", "uptime_ms"] {
+                let _ = writeln!(out, "{key}\t{}", field(key)?.as_u64().unwrap_or(0));
+            }
+            Ok(out)
+        }
         "shutdown" => Ok("shutdown\tok\n".to_string()),
         _ => unreachable!("ops are validated before the request is sent"),
     }

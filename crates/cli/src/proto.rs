@@ -57,6 +57,8 @@ pub const MAX_BATCH: usize = 4096;
 
 /// Wire-level failure codes (`"code"` in an error response). Clients map
 /// these to process exit codes: `budget` → 3, everything else → 1.
+/// `busy` is retryable — a client with `--retries` backs off and
+/// reconnects instead of failing; old clients fall through to exit 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorCode {
     /// Generic request failure: bad frame, bad payload, unknown op.
@@ -64,6 +66,9 @@ pub enum ErrorCode {
     /// The request was refused or cancelled by a per-request resource
     /// budget (`--mem-budget`, `--timeout-ms`).
     Budget,
+    /// The server is at its connection ceiling and shed this connection
+    /// instead of queueing it. Safe to retry after a backoff.
+    Busy,
 }
 
 impl ErrorCode {
@@ -72,6 +77,7 @@ impl ErrorCode {
         match self {
             ErrorCode::Error => "error",
             ErrorCode::Budget => "budget",
+            ErrorCode::Busy => "busy",
         }
     }
 
@@ -80,6 +86,7 @@ impl ErrorCode {
     pub fn from_wire(s: &str) -> ErrorCode {
         match s {
             "budget" => ErrorCode::Budget,
+            "busy" => ErrorCode::Busy,
             _ => ErrorCode::Error,
         }
     }
@@ -98,15 +105,18 @@ pub enum Outcome {
     Budget,
     /// Cancelled at the request deadline.
     Cancelled,
+    /// Shed at the connection ceiling before any request ran.
+    Busy,
 }
 
 impl Outcome {
     /// All outcomes, in metrics-label order.
-    pub const ALL: [Outcome; 4] = [
+    pub const ALL: [Outcome; 5] = [
         Outcome::Ok,
         Outcome::Error,
         Outcome::Budget,
         Outcome::Cancelled,
+        Outcome::Busy,
     ];
 
     /// The wire/label spelling.
@@ -116,6 +126,7 @@ impl Outcome {
             Outcome::Error => "error",
             Outcome::Budget => "budget",
             Outcome::Cancelled => "cancelled",
+            Outcome::Busy => "busy",
         }
     }
 
@@ -123,6 +134,7 @@ impl Outcome {
     pub fn code(self) -> ErrorCode {
         match self {
             Outcome::Budget | Outcome::Cancelled => ErrorCode::Budget,
+            Outcome::Busy => ErrorCode::Busy,
             _ => ErrorCode::Error,
         }
     }
@@ -141,6 +153,8 @@ pub enum Op {
     BestQuery,
     /// N independent queries, one frame, one snapshot generation (v2).
     Batch,
+    /// Liveness + health probe: generation, WAL depth, uptime (v2).
+    Ping,
     /// Index counters + metrics snapshot.
     Stats,
     /// Append trees (admin).
@@ -157,11 +171,12 @@ pub enum Op {
 
 impl Op {
     /// All ops in metrics-label order; `Unknown` is last.
-    pub const ALL: [Op; 10] = [
+    pub const ALL: [Op; 11] = [
         Op::Hello,
         Op::AvgRf,
         Op::BestQuery,
         Op::Batch,
+        Op::Ping,
         Op::Stats,
         Op::Add,
         Op::Remove,
@@ -177,6 +192,7 @@ impl Op {
             Op::AvgRf => "avgrf",
             Op::BestQuery => "best-query",
             Op::Batch => "batch",
+            Op::Ping => "ping",
             Op::Stats => "stats",
             Op::Add => "add",
             Op::Remove => "remove",
@@ -236,6 +252,8 @@ pub enum Request {
         /// Presentation flags.
         flags: QueryFlags,
     },
+    /// Liveness + health probe; cheap enough for load balancers to poll.
+    Ping,
     /// Index counters + metrics snapshot.
     Stats,
     /// Append trees (admin).
@@ -262,6 +280,7 @@ impl Request {
             Request::AvgRf { .. } => Op::AvgRf,
             Request::BestQuery { .. } => Op::BestQuery,
             Request::Batch { .. } => Op::Batch,
+            Request::Ping => Op::Ping,
             Request::Stats => Op::Stats,
             Request::Add { .. } => Op::Add,
             Request::Remove { .. } => Op::Remove,
@@ -369,8 +388,8 @@ impl Envelope {
             return Err(ProtoError::new(
                 Op::Unknown,
                 format!(
-                    "unknown op {op_name:?} (expected hello, avgrf, best-query, batch, stats, \
-                     add, remove, compact, shutdown)"
+                    "unknown op {op_name:?} (expected hello, avgrf, best-query, batch, ping, \
+                     stats, add, remove, compact, shutdown)"
                 ),
             ));
         };
@@ -395,6 +414,7 @@ impl Envelope {
                 queries: string_array(req, op, "queries")?,
                 flags: query_flags(req),
             },
+            Op::Ping => Request::Ping,
             Op::Stats => Request::Stats,
             Op::Add => Request::Add {
                 trees: string_array(req, op, "trees")?,
@@ -443,7 +463,11 @@ impl Envelope {
             Request::Add { trees: ts } | Request::Remove { trees: ts } => {
                 fields.push(("trees", trees(ts)));
             }
-            Request::Hello | Request::Stats | Request::Compact | Request::Shutdown => {}
+            Request::Hello
+            | Request::Ping
+            | Request::Stats
+            | Request::Compact
+            | Request::Shutdown => {}
         }
         Json::obj(fields)
     }
@@ -543,6 +567,16 @@ pub enum Response {
         /// Always zero after a compaction.
         wal_pending: usize,
     },
+    /// The `ping` answer: a minimal health summary served without taking
+    /// the admin lock, so it stays responsive under mutation load.
+    Pong {
+        /// Compaction generation of the published snapshot.
+        generation: u64,
+        /// WAL records since the last compaction.
+        wal_pending: u64,
+        /// Milliseconds since the daemon bound its listener.
+        uptime_ms: u64,
+    },
     /// `shutdown` acknowledged; the daemon exits after sending this.
     Shutdown,
     /// A request failure.
@@ -630,6 +664,16 @@ impl Response {
                 fields.push(("distinct", (*distinct).into()));
                 fields.push(("wal_pending", (*wal_pending).into()));
             }
+            Response::Pong {
+                generation,
+                wal_pending,
+                uptime_ms,
+            } => {
+                fields.push(("pong", true.into()));
+                fields.push(("generation", (*generation).into()));
+                fields.push(("wal_pending", (*wal_pending).into()));
+                fields.push(("uptime_ms", (*uptime_ms).into()));
+            }
             Response::Shutdown => fields.push(("shutdown", true.into())),
             Response::Error {
                 code,
@@ -681,6 +725,7 @@ impl Response {
                 .find(|o| Some(o.as_str()) == outcome_str)
                 .unwrap_or(match code {
                     ErrorCode::Budget => Outcome::Budget,
+                    ErrorCode::Busy => Outcome::Busy,
                     ErrorCode::Error => Outcome::Error,
                 });
             let message = resp
@@ -753,6 +798,14 @@ impl Response {
             Response::Applied {
                 applied: u("applied")? as usize,
                 n_trees: u("n_trees")? as usize,
+            }
+        } else if resp.get("pong").is_some() {
+            // Checked before the bare-"generation" Compacted arm below,
+            // which a pong frame would otherwise satisfy.
+            Response::Pong {
+                generation: u("generation")?,
+                wal_pending: u("wal_pending")?,
+                uptime_ms: u("uptime_ms")?,
             }
         } else if resp.get("shutdown").is_some() {
             Response::Shutdown
@@ -840,8 +893,30 @@ mod tests {
         assert_eq!(ErrorCode::from_wire("budget"), ErrorCode::Budget);
         assert_eq!(ErrorCode::from_wire("error"), ErrorCode::Error);
         assert_eq!(ErrorCode::from_wire("???"), ErrorCode::Error);
+        assert_eq!(ErrorCode::from_wire("busy"), ErrorCode::Busy);
         assert_eq!(Outcome::Cancelled.code(), ErrorCode::Budget);
         assert_eq!(Outcome::Budget.code(), ErrorCode::Budget);
         assert_eq!(Outcome::Error.code(), ErrorCode::Error);
+        assert_eq!(Outcome::Busy.code(), ErrorCode::Busy);
+    }
+
+    #[test]
+    fn pong_is_not_mistaken_for_compacted() {
+        let pong = Response::Pong {
+            generation: 3,
+            wal_pending: 7,
+            uptime_ms: 12_345,
+        };
+        let (parsed, id) = Response::from_json(&pong.to_json(Some(9))).unwrap();
+        assert_eq!(parsed, pong);
+        assert_eq!(id, Some(9));
+        // A compacted frame (bare "generation") still parses as itself.
+        let compacted = Response::Compacted {
+            generation: 4,
+            distinct: 10,
+            wal_pending: 0,
+        };
+        let (parsed, _) = Response::from_json(&compacted.to_json(None)).unwrap();
+        assert_eq!(parsed, compacted);
     }
 }

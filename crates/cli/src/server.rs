@@ -24,19 +24,25 @@
 //! ← {"ok":true,"shutdown":true}
 //! ```
 //!
-//! Failures: `{"ok":false,"code":"error"|"budget","outcome":"error"|
-//! "budget"|"cancelled","error":"..."}` — the `budget` code marks
-//! per-request resource refusals (`--mem-budget`, `--timeout-ms`), which
-//! clients map to exit code 3. Score responses carry the `generation` and
-//! `snap` of the snapshot that answered: every row of a `batch` comes from
-//! **one** snapshot, even if an admin mutation lands mid-batch.
+//! Failures: `{"ok":false,"code":"error"|"budget"|"busy","outcome":
+//! "error"|"budget"|"cancelled"|"busy","error":"..."}` — the `budget`
+//! code marks per-request resource refusals (`--mem-budget`,
+//! `--timeout-ms`), which clients map to exit code 3; `busy` marks a
+//! connection shed at the slot ceiling and is safe to retry after a
+//! backoff. Score responses carry the `generation` and `snap` of the
+//! snapshot that answered: every row of a `batch` comes from **one**
+//! snapshot, even if an admin mutation lands mid-batch. The v2 `ping` op
+//! answers a health summary (generation, WAL depth, uptime) without ever
+//! taking the admin lock, so it stays responsive under mutation load.
 //!
 //! # Connection engine
 //!
 //! One acceptor thread owns the listener and hands each accepted socket to
-//! its own scoped handler thread, bounded by a slot count (`--threads`) so
-//! a connection flood degrades to queueing in the OS backlog instead of
-//! thread explosion. Each handler owns a per-connection arena — read
+//! its own scoped handler thread, bounded by a slot count (`--threads`).
+//! When every slot is taken the daemon **sheds** the excess connection
+//! with a typed `busy` frame and closes it — overload is a loud, typed,
+//! retryable signal instead of unbounded queueing behind a parked
+//! acceptor. Each handler owns a per-connection arena — read
 //! buffer, write buffer, and a reusable [`BipartitionScratch`] — so the
 //! steady-state request path allocates nothing for parsing or split
 //! extraction. Responses are buffered and only flushed when the connection
@@ -56,11 +62,22 @@
 //! one-connection-per-worker unpark hack: the shutdown path half-closes
 //! every registered connection (blocked readers wake with EOF), notifies
 //! the slot condvar, and makes a single wake connection to unpark the
-//! acceptor.
+//! acceptor. The drain is graceful: a half-closed reader first exhausts
+//! the complete frames already buffered in its `BufReader`, so a
+//! pipelined client gets an answer for every frame the server had
+//! received before the half-close, then a clean EOF.
+//!
+//! A poisoned lock (a handler thread panicked while holding it) is
+//! recovered, not propagated: the guarded structures stay consistent
+//! across panics (mutations roll back; publications are whole-`Arc`
+//! swaps), so the daemon counts the event in
+//! `serve_lock_recoveries_total` and keeps serving instead of cascading
+//! the panic into every other connection.
 
 use crate::json::Json;
 use crate::proto::{
-    self, Envelope, Op, Outcome, Request, Response, ScoreRow, StatsBody, MAX_BATCH, PROTO_VERSION,
+    self, Envelope, ErrorCode, Op, Outcome, Request, Response, ScoreRow, StatsBody, MAX_BATCH,
+    PROTO_VERSION,
 };
 use crate::{CliError, EXIT_BUDGET, EXIT_ERROR};
 use bfhrf::{Comparator, CoreError, FrozenComparator, RunBudget, RunGuard};
@@ -68,11 +85,11 @@ use phylo::{parse_newick_readonly, BipartitionScratch, TaxonSet, Tree};
 use phylo_index::{Index, QueryView};
 use phylo_obs::{expose, Counter, Gauge, Histogram};
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 /// Longest accepted request line (bytes) — bounds what a hostile client
@@ -135,6 +152,8 @@ struct ServeMetrics {
     conns_active: Gauge,
     conns_total: Counter,
     swaps: Counter,
+    busy_rejections: Counter,
+    lock_recoveries: Counter,
 }
 
 impl ServeMetrics {
@@ -162,6 +181,8 @@ impl ServeMetrics {
             conns_active: reg.gauge("serve_connections_active", &[]),
             conns_total: reg.counter("serve_connections_total", &[]),
             swaps: reg.counter("serve_snapshot_swaps_total", &[]),
+            busy_rejections: reg.counter("serve_busy_rejections_total", &[]),
+            lock_recoveries: reg.counter("serve_lock_recoveries_total", &[]),
         }
     }
 
@@ -171,9 +192,11 @@ impl ServeMetrics {
     }
 }
 
-/// Connection-slot bookkeeping: the acceptor waits here when all slots are
-/// taken; handlers return their slot (and notify) on exit, as does the
-/// shutdown path so a parked acceptor re-checks the flag immediately.
+/// Connection-slot bookkeeping. The acceptor claims a slot per accepted
+/// socket and sheds the connection with a typed `busy` frame when none is
+/// free; handlers return their slot (and notify) on exit. The condvar
+/// remains for anything parked on slot availability (tests, future
+/// waiters) and is notified by the shutdown path.
 struct ConnSlots {
     free: Mutex<usize>,
     freed: Condvar,
@@ -184,6 +207,11 @@ struct ServeState {
     admin: Mutex<Index>,
     shutdown: AtomicBool,
     served: AtomicU64,
+    /// When the listener came up, for `ping` uptime.
+    started: Instant,
+    /// WAL records since the last compaction, mirrored out of the admin
+    /// index on every mutation so `ping` never queues behind admin work.
+    wal_pending: AtomicU64,
     mem_budget: Option<usize>,
     timeout_ms: Option<u64>,
     /// Live connections by id; shutdown walks this and half-closes each
@@ -193,19 +221,32 @@ struct ServeState {
     /// Monotone snapshot-publication counter (`snap` in score responses).
     snap_seq: AtomicU64,
     slots: ConnSlots,
+    /// Configured slot ceiling (`--threads`), reported in `busy` frames.
+    max_conns: usize,
     metrics: ServeMetrics,
+}
+
+/// Recover a possibly-poisoned lock guard. Poison means some handler
+/// panicked while holding the lock; every structure we guard stays
+/// consistent across a panic (index mutations validate up front and roll
+/// back on failure, snapshot publication is a whole-`Arc` swap, the slot
+/// count and connection registry are single-statement updates), so the
+/// right move is to count the event and keep the daemon serving — one
+/// connection dies with the panic, not all of them.
+fn recover_lock<G>(state: &ServeState, result: Result<G, PoisonError<G>>) -> G {
+    result.unwrap_or_else(|poisoned| {
+        state.metrics.lock_recoveries.inc();
+        poisoned.into_inner()
+    })
 }
 
 /// Lock the admin mutex, recording how long the request queued behind
 /// other admin work.
-fn lock_admin(state: &ServeState) -> Result<MutexGuard<'_, Index>, ReqError> {
+fn lock_admin(state: &ServeState) -> MutexGuard<'_, Index> {
     let start = Instant::now();
-    let guard = state
-        .admin
-        .lock()
-        .map_err(|_| ReqError::new("admin state poisoned"))?;
+    let guard = recover_lock(state, state.admin.lock());
     state.metrics.admin_wait.record_duration(start.elapsed());
-    Ok(guard)
+    guard
 }
 
 /// Registry entry for one connection, deregistered on drop (any exit path
@@ -219,11 +260,7 @@ impl<'a> ConnGuard<'a> {
     fn register(state: &'a ServeState, stream: &TcpStream) -> Option<ConnGuard<'a>> {
         let handle = stream.try_clone().ok()?;
         let id = state.next_conn.fetch_add(1, Ordering::Relaxed);
-        state
-            .conns
-            .lock()
-            .expect("connection registry poisoned")
-            .insert(id, handle);
+        recover_lock(state, state.conns.lock()).insert(id, handle);
         state.metrics.conns_total.inc();
         state.metrics.conns_active.add(1);
         Some(ConnGuard { state, id })
@@ -233,19 +270,16 @@ impl<'a> ConnGuard<'a> {
 impl Drop for ConnGuard<'_> {
     fn drop(&mut self) {
         self.state.metrics.conns_active.sub(1);
-        if let Ok(mut conns) = self.state.conns.lock() {
-            conns.remove(&self.id);
-        }
+        recover_lock(self.state, self.state.conns.lock()).remove(&self.id);
     }
 }
 
 /// Half-close every registered connection: readers parked in `read` get
 /// EOF at once instead of waiting out a poll interval.
 fn interrupt_connections(state: &ServeState) {
-    if let Ok(conns) = state.conns.lock() {
-        for stream in conns.values() {
-            let _ = stream.shutdown(Shutdown::Read);
-        }
+    let conns = recover_lock(state, state.conns.lock());
+    for stream in conns.values() {
+        let _ = stream.shutdown(Shutdown::Read);
     }
 }
 
@@ -327,6 +361,7 @@ impl Server {
     /// Open the index and bind the listener.
     pub fn bind(cfg: &ServeConfig) -> Result<Server, CliError> {
         let mut index = Index::open(&cfg.index_dir).map_err(crate::index_fail)?;
+        let wal_pending = index.stats().wal_pending as u64;
         let snap = Arc::new(SnapView {
             view: index.view(),
             snap: 0,
@@ -343,6 +378,8 @@ impl Server {
                 admin: Mutex::new(index),
                 shutdown: AtomicBool::new(false),
                 served: AtomicU64::new(0),
+                started: Instant::now(),
+                wal_pending: AtomicU64::new(wal_pending),
                 mem_budget: cfg.mem_budget,
                 timeout_ms: cfg.timeout_ms,
                 conns: Mutex::new(HashMap::new()),
@@ -352,6 +389,7 @@ impl Server {
                     free: Mutex::new(cfg.threads.max(1)),
                     freed: Condvar::new(),
                 },
+                max_conns: cfg.threads.max(1),
                 metrics: ServeMetrics::resolve(),
             }),
             addr,
@@ -374,27 +412,33 @@ impl Server {
         std::thread::scope(|scope| {
             let mut conn_seq = 0u64;
             loop {
-                if !take_slot(&state) {
-                    break; // shutdown while waiting for a slot
-                }
                 match listener.accept() {
                     Ok((stream, _peer)) => {
                         if state.shutdown.load(Ordering::SeqCst) {
-                            release_slot(&state);
                             break;
                         }
-                        let state = Arc::clone(&state);
+                        if !try_take_slot(&state) {
+                            shed_busy(&state, stream);
+                            continue;
+                        }
                         conn_seq += 1;
-                        std::thread::Builder::new()
+                        let spawned = std::thread::Builder::new()
                             .name(format!("bfhrf-conn-{conn_seq}"))
-                            .spawn_scoped(scope, move || {
-                                handle_connection(stream, &state, addr);
-                                release_slot(&state);
-                            })
-                            .expect("spawning a connection handler");
+                            .spawn_scoped(scope, {
+                                let state = Arc::clone(&state);
+                                move || {
+                                    handle_connection(stream, &state, addr);
+                                    release_slot(&state);
+                                }
+                            });
+                        if spawned.is_err() {
+                            // Thread exhaustion is an overload signal like a
+                            // full slot table: shed loudly, keep accepting.
+                            release_slot(&state);
+                            shed_busy_unregistered(&state);
+                        }
                     }
                     Err(_) => {
-                        release_slot(&state);
                         if state.shutdown.load(Ordering::SeqCst) {
                             break;
                         }
@@ -402,23 +446,18 @@ impl Server {
                 }
             }
             // The scope join waits for live handlers; they have all been
-            // interrupted by begin_shutdown and exit on their next read.
+            // interrupted by begin_shutdown and exit once they drain the
+            // frames already buffered on their connection.
         });
         Ok(state.served.load(Ordering::Relaxed))
     }
 }
 
-/// Claim a connection slot, parking until a handler frees one. Returns
-/// `false` when shutdown arrives first.
-fn take_slot(state: &ServeState) -> bool {
-    let mut free = state.slots.free.lock().expect("slot lock poisoned");
-    while *free == 0 {
-        if state.shutdown.load(Ordering::SeqCst) {
-            return false;
-        }
-        free = state.slots.freed.wait(free).expect("slot lock poisoned");
-    }
-    if state.shutdown.load(Ordering::SeqCst) {
+/// Claim a connection slot without blocking. `false` means every slot is
+/// taken and the caller should shed the connection.
+fn try_take_slot(state: &ServeState) -> bool {
+    let mut free = recover_lock(state, state.slots.free.lock());
+    if *free == 0 {
         return false;
     }
     *free -= 1;
@@ -426,10 +465,47 @@ fn take_slot(state: &ServeState) -> bool {
 }
 
 fn release_slot(state: &ServeState) {
-    let mut free = state.slots.free.lock().expect("slot lock poisoned");
+    let mut free = recover_lock(state, state.slots.free.lock());
     *free += 1;
     drop(free);
     state.slots.freed.notify_one();
+}
+
+/// Refuse a connection at the slot ceiling: answer one typed `busy` frame
+/// (bounded write so a stalled peer cannot wedge the acceptor) and close.
+/// A retrying client backs off and reconnects; an old client reports the
+/// error and exits 1.
+fn shed_busy(state: &ServeState, stream: TcpStream) {
+    state.metrics.busy_rejections.inc();
+    state.metrics.count(Op::Unknown, Outcome::Busy);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_nodelay(true);
+    let resp = Response::Error {
+        code: ErrorCode::Busy,
+        outcome: Outcome::Busy,
+        message: format!(
+            "server is at its connection ceiling ({} slots); retry after a backoff",
+            state.max_conns
+        ),
+    };
+    let mut stream = stream;
+    let _ = writeln!(stream, "{}", resp.to_json(None));
+    // Half-close and drain what the peer already sent instead of closing
+    // outright: closing with unread request bytes in the receive buffer
+    // makes the kernel send RST, which can discard the busy frame before
+    // the client reads it. The read timeout bounds a peer that never
+    // closes.
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut sink = [0u8; 1024];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+/// Count a shed that happened before we had a socket worth answering on
+/// (handler-thread spawn failure).
+fn shed_busy_unregistered(state: &ServeState) {
+    state.metrics.busy_rejections.inc();
+    state.metrics.count(Op::Unknown, Outcome::Busy);
 }
 
 enum LineRead {
@@ -447,6 +523,11 @@ enum LineRead {
 /// no polling interval to wait out. Partial bytes accumulate in `buf`
 /// across reads — a slow sender loses nothing, and a frame split across
 /// TCP segments is reassembled transparently.
+///
+/// Shutdown drains gracefully: complete frames already sitting in the
+/// `BufReader` are still returned (a pipelined client gets an answer for
+/// everything the server had received), and only then does the
+/// connection close.
 fn read_request_line(
     reader: &mut BufReader<TcpStream>,
     buf: &mut Vec<u8>,
@@ -455,7 +536,7 @@ fn read_request_line(
     buf.clear();
     let start = Instant::now();
     loop {
-        if state.shutdown.load(Ordering::SeqCst) {
+        if state.shutdown.load(Ordering::SeqCst) && !reader.buffer().contains(&b'\n') {
             return LineRead::Close;
         }
         match reader.fill_buf() {
@@ -635,6 +716,7 @@ fn dispatch(
             }
         }
         Request::BestQuery { queries } => cont(op_best(state, scratch, &queries)),
+        Request::Ping => cont(op_ping(state)),
         Request::Stats => cont(op_stats(state)),
         Request::Add { trees } => cont(op_mutate(state, &trees, true)),
         Request::Remove { trees } => cont(op_mutate(state, &trees, false)),
@@ -649,7 +731,9 @@ fn dispatch(
 /// publishing writers shows up as `serve_queue_wait_ns{lock=snapshot}`.
 fn current_snap(state: &ServeState) -> Arc<SnapView> {
     let start = Instant::now();
-    let snap = Arc::clone(&state.snap.read().expect("snapshot lock poisoned"));
+    let guard = recover_lock(state, state.snap.read());
+    let snap = Arc::clone(&*guard);
+    drop(guard);
     state.metrics.snap_wait.record_duration(start.elapsed());
     snap
 }
@@ -662,7 +746,7 @@ fn publish_snap(state: &ServeState, index: &mut Index) {
         view: index.view(),
         snap,
     });
-    *state.snap.write().expect("snapshot lock poisoned") = published;
+    *recover_lock(state, state.snap.write()) = published;
     state.metrics.swaps.inc();
 }
 
@@ -785,10 +869,25 @@ fn op_best(
     })
 }
 
+/// Health probe: answered from the published snapshot and mirrored
+/// atomics only, so it never queues behind admin mutations — a load
+/// balancer polling `ping` sees liveness, not lock contention.
+fn op_ping(state: &ServeState) -> Result<Response, ReqError> {
+    let snap = current_snap(state);
+    Ok(Response::Pong {
+        generation: snap.view.generation,
+        wal_pending: state.wal_pending.load(Ordering::Relaxed),
+        uptime_ms: state.started.elapsed().as_millis() as u64,
+    })
+}
+
 fn op_stats(state: &ServeState) -> Result<Response, ReqError> {
     // Index::stats also refreshes the index_generation / index_wal_pending
     // gauges, so the metrics snapshot below reflects this very answer.
-    let stats = lock_admin(state)?.stats();
+    let stats = lock_admin(state).stats();
+    state
+        .wal_pending
+        .store(stats.wal_pending as u64, Ordering::Relaxed);
     let metrics = expose::to_json(&phylo_obs::global().snapshot());
     Ok(Response::Stats {
         body: StatsBody {
@@ -805,7 +904,7 @@ fn op_stats(state: &ServeState) -> Result<Response, ReqError> {
 }
 
 fn op_mutate(state: &ServeState, items: &[String], add: bool) -> Result<Response, ReqError> {
-    let mut index = lock_admin(state)?;
+    let mut index = lock_admin(state);
     // Validate the whole batch against the namespace up front so a typo in
     // tree k does not leave trees 0..k applied.
     let trees = parse_payload_trees(index.taxa(), items)?;
@@ -834,18 +933,23 @@ fn op_mutate(state: &ServeState, items: &[String], add: bool) -> Result<Response
     // publication; in-flight readers keep their old view alive, so every
     // batch still answers from a single snapshot.
     publish_snap(state, &mut index);
+    let stats = index.stats();
+    state
+        .wal_pending
+        .store(stats.wal_pending as u64, Ordering::Relaxed);
     Ok(Response::Applied {
         applied,
-        n_trees: index.stats().n_trees,
+        n_trees: stats.n_trees,
     })
 }
 
 fn op_compact(state: &ServeState) -> Result<Response, ReqError> {
-    let mut index = lock_admin(state)?;
+    let mut index = lock_admin(state);
     let meta = index.compact().map_err(ReqError::from_index)?;
     // The hash contents are unchanged, but the generation moved; publish
     // so score responses report the new generation.
     publish_snap(state, &mut index);
+    state.wal_pending.store(0, Ordering::Relaxed);
     Ok(Response::Compacted {
         generation: meta.generation,
         distinct: meta.distinct,

@@ -17,7 +17,7 @@ const TREE_PATTERN: &str = "[(),;:A-Ea-e0-9._\"\\\\ -]{0,40}";
 
 fn request_from(which: usize, queries: Vec<String>, normalized: bool, halved: bool) -> Request {
     let flags = QueryFlags { normalized, halved };
-    match which % 9 {
+    match which % 10 {
         0 => Request::Hello,
         1 => Request::AvgRf { queries, flags },
         2 => Request::BestQuery { queries },
@@ -26,6 +26,7 @@ fn request_from(which: usize, queries: Vec<String>, normalized: bool, halved: bo
         5 => Request::Add { trees: queries },
         6 => Request::Remove { trees: queries },
         7 => Request::Compact,
+        8 => Request::Ping,
         _ => Request::Shutdown,
     }
 }
@@ -33,7 +34,7 @@ fn request_from(which: usize, queries: Vec<String>, normalized: bool, halved: bo
 proptest! {
     #[test]
     fn envelopes_round_trip_through_wire_text(
-        which in 0usize..9,
+        which in 0usize..10,
         queries in vec(TREE_PATTERN, 0..6),
         normalized in any::<bool>(),
         halved in any::<bool>(),
@@ -85,7 +86,7 @@ proptest! {
 
     #[test]
     fn admin_and_control_responses_round_trip(
-        which in 0usize..5,
+        which in 0usize..6,
         a in 0u64..1_000_000,
         b in 0usize..1_000_000,
         c in 0usize..1_000_000,
@@ -96,6 +97,7 @@ proptest! {
             1 => Response::Applied { applied: b, n_trees: c },
             2 => Response::Compacted { generation: a, distinct: b, wal_pending: 0 },
             3 => Response::Shutdown,
+            4 => Response::Pong { generation: a, wal_pending: b as u64, uptime_ms: a * 3 },
             _ => Response::Stats {
                 body: StatsBody {
                     generation: a,
@@ -117,12 +119,13 @@ proptest! {
 
     #[test]
     fn error_responses_round_trip_and_keep_exit_semantics(
-        outcome_pick in 0usize..3,
+        outcome_pick in 0usize..4,
         message in "\\PC{0,60}",
         id in 0u64..(1 << 53),
         with_id in any::<bool>(),
     ) {
-        let outcome = [Outcome::Error, Outcome::Budget, Outcome::Cancelled][outcome_pick];
+        let outcome =
+            [Outcome::Error, Outcome::Budget, Outcome::Cancelled, Outcome::Busy][outcome_pick];
         let resp = Response::Error { code: outcome.code(), outcome, message };
         let id = with_id.then_some(id);
         let line = resp.to_json(id).to_string();
@@ -177,5 +180,9 @@ fn every_wire_op_parses_back_to_itself() {
     assert_eq!(
         ErrorCode::from_wire(ErrorCode::Error.as_str()),
         ErrorCode::Error
+    );
+    assert_eq!(
+        ErrorCode::from_wire(ErrorCode::Busy.as_str()),
+        ErrorCode::Busy
     );
 }

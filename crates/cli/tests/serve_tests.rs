@@ -261,6 +261,9 @@ fn budget_refusal_is_exit_3_and_recoverable() {
 }
 
 /// Concurrent clients hammering avgrf all get byte-identical answers.
+/// With 8 clients against 3 connection slots some connections get shed
+/// with a typed `busy` frame; `--retries` absorbs the sheds, so every
+/// client still converges on the same bytes.
 #[test]
 fn concurrent_queries_agree() {
     let dir = scratch("concurrent");
@@ -279,9 +282,19 @@ fn concurrent_queries_agree() {
                 scope.spawn(move || {
                     (0..5)
                         .map(|_| {
-                            runv(&["query", "--addr", &addr, "--queries", &queries_path])
-                                .unwrap()
-                                .stdout
+                            runv(&[
+                                "query",
+                                "--addr",
+                                &addr,
+                                "--queries",
+                                &queries_path,
+                                "--retries",
+                                "20",
+                                "--backoff-ms",
+                                "10",
+                            ])
+                            .unwrap()
+                            .stdout
                         })
                         .collect::<Vec<_>>()
                 })
@@ -415,6 +428,7 @@ fn stats_metrics_schema_and_snapshot_swap() {
         "avgrf",
         "best-query",
         "batch",
+        "ping",
         "stats",
         "add",
         "remove",
@@ -422,7 +436,7 @@ fn stats_metrics_schema_and_snapshot_swap() {
         "shutdown",
         "unknown",
     ] {
-        for outcome in ["ok", "error", "budget", "cancelled"] {
+        for outcome in ["ok", "error", "budget", "cancelled", "busy"] {
             let s = find_series(
                 metrics,
                 "serve_requests_total",
@@ -870,5 +884,253 @@ fn client_batch_mode_matches_offline_avgrf() {
     // --batch outside avgrf is a client-side error.
     let err = runv(&["query", "--addr", &addr, "--op", "stats", "--batch", "2"]).unwrap_err();
     assert!(err.message.contains("--batch"), "{}", err.message);
+    shutdown(&addr, handle);
+}
+
+// ---------------------------------------------------------------------------
+// Failure handling: ping, busy shedding, graceful drain, retries
+// ---------------------------------------------------------------------------
+
+/// The v2 `ping` op answers a health summary — generation, WAL depth,
+/// uptime — through both the raw wire and the `query` client, and the
+/// mirrored WAL depth tracks mutations and compactions.
+#[test]
+fn ping_reports_generation_wal_depth_and_uptime() {
+    let dir = scratch("ping");
+    let extra_path = write(&dir, "extra.nwk", EXTRA);
+    let index_dir = build_index(&dir, REFS);
+    let (addr, handle) = start_server(&index_dir, None);
+
+    let pong = raw_request(&addr, r#"{"v":2,"op":"ping"}"#);
+    assert_eq!(pong.get("ok").unwrap().as_bool(), Some(true), "{pong}");
+    assert_eq!(pong.get("pong").unwrap().as_bool(), Some(true), "{pong}");
+    assert_eq!(pong.get("generation").unwrap().as_u64(), Some(0));
+    assert_eq!(pong.get("wal_pending").unwrap().as_u64(), Some(0));
+    assert!(pong.get("uptime_ms").unwrap().as_u64().is_some(), "{pong}");
+
+    // A mutation shows up in the mirrored WAL depth without the ping
+    // touching the admin lock.
+    runv(&[
+        "query",
+        "--addr",
+        &addr,
+        "--op",
+        "add",
+        "--trees",
+        &extra_path,
+    ])
+    .unwrap();
+    let pong = raw_request(&addr, r#"{"v":2,"op":"ping"}"#);
+    assert_eq!(pong.get("wal_pending").unwrap().as_u64(), Some(1), "{pong}");
+
+    // Compaction drains it and bumps the generation.
+    runv(&["query", "--addr", &addr, "--op", "compact"]).unwrap();
+    let pong = raw_request(&addr, r#"{"v":2,"op":"ping"}"#);
+    assert_eq!(pong.get("generation").unwrap().as_u64(), Some(1), "{pong}");
+    assert_eq!(pong.get("wal_pending").unwrap().as_u64(), Some(0), "{pong}");
+
+    // The query client renders the same numbers as a table.
+    let out = runv(&["query", "--addr", &addr, "--op", "ping"]).unwrap();
+    assert!(out.stdout.contains("generation\t1"), "{}", out.stdout);
+    assert!(out.stdout.contains("wal_pending\t0"), "{}", out.stdout);
+    assert!(out.stdout.contains("uptime_ms\t"), "{}", out.stdout);
+    shutdown(&addr, handle);
+}
+
+/// At the connection ceiling the daemon sheds new connections with a
+/// typed `busy` frame instead of queueing them: a plain client surfaces
+/// it as exit 1, a retrying client rides it out once a slot frees up.
+#[test]
+fn busy_shed_is_typed_and_absorbed_by_retries() {
+    let dir = scratch("busy");
+    let index_dir = build_index(&dir, REFS);
+    let srv = Server::bind(&ServeConfig {
+        index_dir: PathBuf::from(&index_dir),
+        addr: "127.0.0.1:0".into(),
+        threads: 1,
+        mem_budget: None,
+        timeout_ms: None,
+    })
+    .unwrap();
+    let addr = srv.local_addr().to_string();
+    let handle = std::thread::spawn(move || srv.run().unwrap());
+
+    // Occupy the single slot with a connection that never speaks.
+    let hog = TcpStream::connect(&addr).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    // Raw connection: one typed busy frame, then close.
+    let mut shed = BufReader::new(TcpStream::connect(&addr).unwrap());
+    let mut line = String::new();
+    shed.read_line(&mut line).unwrap();
+    let resp = json::parse(line.trim()).unwrap();
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false), "{resp}");
+    assert_eq!(resp.get("code").unwrap().as_str(), Some("busy"), "{resp}");
+    assert_eq!(
+        resp.get("outcome").unwrap().as_str(),
+        Some("busy"),
+        "{resp}"
+    );
+    line.clear();
+    assert_eq!(
+        shed.read_line(&mut line).unwrap(),
+        0,
+        "shed conn not closed"
+    );
+
+    // A client without retries maps busy to exit 1.
+    let err = runv(&["query", "--addr", &addr, "--op", "ping"]).unwrap_err();
+    assert_eq!(err.code, 1, "{}", err.message);
+    assert!(err.message.contains("busy"), "{}", err.message);
+
+    // Free the slot shortly; a retrying client succeeds through the sheds.
+    let freer = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        drop(hog);
+    });
+    let out = runv(&[
+        "query",
+        "--addr",
+        &addr,
+        "--op",
+        "ping",
+        "--retries",
+        "10",
+        "--backoff-ms",
+        "50",
+    ])
+    .unwrap();
+    assert!(out.stdout.contains("generation\t0"), "{}", out.stdout);
+    freer.join().unwrap();
+
+    // The single slot may still be draining the previous client's
+    // connection, so raw requests here can themselves get shed; retry
+    // past any busy frame.
+    let retry_ok = |req: &str| {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let resp = raw_request(&addr, req);
+            if resp.get("ok").unwrap().as_bool() == Some(true) {
+                return resp;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "request kept getting shed: {resp}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+    };
+
+    // The sheds were counted.
+    let stats = retry_ok(r#"{"op":"stats"}"#);
+    let metrics = stats.get("metrics").unwrap();
+    let sheds = find_series(metrics, "serve_busy_rejections_total", &[])
+        .unwrap()
+        .get("value")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert!(sheds >= 2, "busy sheds = {sheds}");
+    retry_ok(r#"{"op":"shutdown"}"#);
+    handle.join().unwrap();
+}
+
+/// Shutdown drains gracefully: a pipelined connection with frames already
+/// buffered server-side gets an answer for every one of them before the
+/// close, even though another connection triggered the shutdown.
+#[test]
+fn shutdown_drains_buffered_pipelined_frames() {
+    let dir = scratch("drain");
+    let index_dir = build_index(&dir, REFS);
+    let (addr, handle) = start_server(&index_dir, None);
+
+    let mut conn = RawConn::open(&addr);
+    let frame = |id: u64| {
+        format!(r#"{{"v":2,"op":"batch","id":{id},"queries":["((A,B),((C,D),(E,F)));"]}}"#)
+    };
+    let burst: String = (0..6).map(|i| format!("{}\n", frame(i))).collect();
+    conn.stream.write_all(burst.as_bytes()).unwrap();
+    conn.stream.flush().unwrap();
+    // Let the burst land in the handler's read buffer before shutdown.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    let served = shutdown(&addr, handle);
+    // Every buffered frame was answered, in order, before the half-close.
+    for expect in 0..6u64 {
+        let resp = conn.recv();
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp}");
+        assert_eq!(resp.get("id").unwrap().as_u64(), Some(expect), "{resp}");
+    }
+    // Then a clean EOF.
+    let mut line = String::new();
+    assert_eq!(conn.reader.read_line(&mut line).unwrap(), 0);
+    assert!(served >= 7, "served {served}");
+}
+
+/// A daemon restart in the middle of a pipelined batch session: the
+/// retrying client reconnects, re-handshakes, resends every unanswered
+/// frame, and the final table is byte-identical to an offline run. This
+/// is the in-process version of the chaos smoke's kill-and-restart.
+#[test]
+fn mid_batch_restart_with_retries_is_byte_identical() {
+    let dir = scratch("restart");
+    let refs_path = write(&dir, "refs.nwk", REFS);
+    // Enough single-query frames that the restart lands mid-session.
+    let many: String = QUERIES.repeat(40);
+    let queries_path = write(&dir, "queries.nwk", &many);
+    let index_dir = build_index(&dir, REFS);
+    let (addr, handle) = start_server(&index_dir, None);
+
+    let offline = runv(&["avgrf", "--refs", &refs_path, "--queries", &queries_path]).unwrap();
+
+    let client = {
+        let addr = addr.clone();
+        let queries_path = queries_path.clone();
+        std::thread::spawn(move || {
+            runv(&[
+                "query",
+                "--addr",
+                &addr,
+                "--queries",
+                &queries_path,
+                "--batch",
+                "1",
+                "--retries",
+                "15",
+                "--backoff-ms",
+                "50",
+            ])
+        })
+    };
+
+    // Stop the daemon mid-session, then rebind on the SAME port — the
+    // dead listener's port may linger, so retry the bind briefly.
+    std::thread::sleep(std::time::Duration::from_millis(40));
+    shutdown(&addr, handle);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let srv = loop {
+        match Server::bind(&ServeConfig {
+            index_dir: PathBuf::from(&index_dir),
+            addr: addr.clone(),
+            threads: 3,
+            mem_budget: None,
+            timeout_ms: None,
+        }) {
+            Ok(srv) => break srv,
+            Err(e) => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "could not rebind {addr}: {}",
+                    e.message
+                );
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+    };
+    let handle = std::thread::spawn(move || srv.run().unwrap());
+
+    let out = client.join().unwrap().expect("retrying client failed");
+    assert_eq!(out.code, EXIT_OK);
+    assert_eq!(out.stdout, offline.stdout, "restart changed the answer");
     shutdown(&addr, handle);
 }

@@ -41,6 +41,13 @@ pub enum IndexError {
     Core(bfhrf::CoreError),
     /// A WAL payload failed to parse as Newick against the index taxa.
     Phylo(phylo::PhyloError),
+    /// The WAL could not be reset after a committed compaction, so
+    /// mutations are refused until a reopen or a successful compaction
+    /// heals the log. Reads stay available; nothing durable is lost.
+    WalUnavailable {
+        /// Why the log is out of service.
+        detail: String,
+    },
 }
 
 impl fmt::Display for IndexError {
@@ -59,6 +66,10 @@ impl fmt::Display for IndexError {
             }
             IndexError::Core(e) => write!(f, "core error: {e}"),
             IndexError::Phylo(e) => write!(f, "newick error: {e}"),
+            IndexError::WalUnavailable { detail } => write!(
+                f,
+                "WAL unavailable: {detail} (reads still work; compact or reopen to recover)"
+            ),
         }
     }
 }

@@ -27,11 +27,13 @@
 //! only mean manual file shuffling and is reported as corruption.
 
 use crate::error::IndexError;
-use crate::snapshot::{read_snapshot, write_snapshot, Snapshot, SnapshotMeta};
-use crate::wal::{Wal, WalOp, WalRecord};
+use crate::snapshot::{read_snapshot_with, write_snapshot_with, Snapshot, SnapshotMeta};
+use crate::vfs::{real_vfs, Vfs};
+use crate::wal::{Wal, WalOp, WalOpen, WalRecord};
 use bfhrf::{Bfh, RunGuard};
 use phylo::{parse_newick, write_newick, TaxaPolicy, TaxonSet, Tree};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// File name of the snapshot inside an index directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.bfh";
@@ -74,11 +76,20 @@ pub struct QueryView {
 /// A persistent BFH index opened for reading and incremental mutation.
 pub struct Index {
     dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
     bfh: Bfh,
     taxa: std::sync::Arc<TaxonSet>,
     generation: u64,
-    wal: Wal,
+    /// `None` after a committed compaction whose WAL reset failed: the
+    /// snapshot holds everything durable, but the old log is stale and
+    /// appending to it would be silent data loss — mutations are refused
+    /// with [`IndexError::WalUnavailable`] until [`Index::compact`] heals
+    /// the log or the index is reopened.
+    wal: Option<Wal>,
     wal_pending: usize,
+    /// Recovery notes accumulated while opening (torn WAL tail truncated,
+    /// stale log discarded, ...). Surfaced by the CLI and the daemon.
+    notes: Vec<String>,
     /// Probe-optimized view of `bfh`, built lazily and invalidated by
     /// every mutation. `Arc` so long-lived readers (the serve daemon)
     /// keep a generation alive across snapshot swaps.
@@ -115,9 +126,20 @@ impl Index {
     /// in-memory hash, writing a generation-0 snapshot and an empty WAL.
     /// Refuses to overwrite an existing snapshot.
     pub fn create(dir: &Path, bfh: Bfh, taxa: TaxonSet) -> Result<Index, IndexError> {
-        std::fs::create_dir_all(dir).map_err(|e| IndexError::io(dir, e))?;
+        Index::create_with(real_vfs(), dir, bfh, taxa)
+    }
+
+    /// [`Index::create`] routed through an explicit [`Vfs`].
+    pub fn create_with(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        bfh: Bfh,
+        taxa: TaxonSet,
+    ) -> Result<Index, IndexError> {
+        vfs.create_dir_all(dir)
+            .map_err(|e| IndexError::io(dir, e))?;
         let snap_path = dir.join(SNAPSHOT_FILE);
-        if snap_path.exists() {
+        if vfs.exists(&snap_path) {
             return Err(IndexError::io(
                 &snap_path,
                 std::io::Error::new(
@@ -127,16 +149,22 @@ impl Index {
             ));
         }
         let tmp = dir.join(SNAPSHOT_TMP);
-        write_snapshot(&tmp, &bfh, &taxa, 0)?;
-        std::fs::rename(&tmp, &snap_path).map_err(|e| IndexError::io(&snap_path, e))?;
-        let wal = Wal::create(&dir.join(WAL_FILE), 0)?;
+        if let Err(e) = write_snapshot_with(&*vfs, &tmp, &bfh, &taxa, 0) {
+            let _ = vfs.remove_file(&tmp);
+            return Err(e);
+        }
+        vfs.rename(&tmp, &snap_path)
+            .map_err(|e| IndexError::io(&snap_path, e))?;
+        let wal = Wal::create_with(vfs.clone(), &dir.join(WAL_FILE), 0)?;
         Ok(Index {
             dir: dir.to_path_buf(),
+            vfs,
             bfh,
             taxa: std::sync::Arc::new(taxa),
             generation: 0,
-            wal,
+            wal: Some(wal),
             wal_pending: 0,
+            notes: Vec::new(),
             frozen: None,
         })
     }
@@ -151,61 +179,127 @@ impl Index {
     /// `add_tree`/`remove_tree` paths the live index uses). `guard` bounds
     /// the snapshot load.
     pub fn open_guarded(dir: &Path, guard: &RunGuard) -> Result<Index, IndexError> {
+        Index::open_guarded_with(real_vfs(), dir, guard)
+    }
+
+    /// [`Index::open`] routed through an explicit [`Vfs`].
+    pub fn open_with(vfs: Arc<dyn Vfs>, dir: &Path) -> Result<Index, IndexError> {
+        Index::open_guarded_with(vfs, dir, &RunGuard::default())
+    }
+
+    /// [`Index::open_guarded`] routed through an explicit [`Vfs`].
+    pub fn open_guarded_with(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        guard: &RunGuard,
+    ) -> Result<Index, IndexError> {
         let snap_path = dir.join(SNAPSHOT_FILE);
-        if !snap_path.exists() {
+        if !vfs.exists(&snap_path) {
             return Err(IndexError::NotAnIndex(format!(
                 "no {SNAPSHOT_FILE} in {}",
                 dir.display()
             )));
         }
+        // Compaction scratch left by a crash between the snapshot write
+        // and the rename: the real snapshot is authoritative, the scratch
+        // is garbage.
+        let tmp = dir.join(SNAPSHOT_TMP);
+        let mut notes = Vec::new();
+        if vfs.exists(&tmp) && vfs.remove_file(&tmp).is_ok() {
+            notes.push(format!(
+                "removed stale compaction scratch {SNAPSHOT_TMP} (crash before commit)"
+            ));
+        }
         let Snapshot {
             mut bfh,
             taxa,
             meta,
-        } = read_snapshot(&snap_path, guard)?;
+        } = read_snapshot_with(&*vfs, &snap_path, guard)?;
 
         let wal_path = dir.join(WAL_FILE);
-        let (wal, wal_pending) = if wal_path.exists() {
-            let (wal, records) = Wal::open(&wal_path)?;
-            match wal.generation().cmp(&meta.generation) {
-                std::cmp::Ordering::Equal => {
-                    replay(&mut bfh, &taxa, &records)?;
-                    (wal, records.len())
+        let (wal, wal_pending) = if vfs.exists(&wal_path) {
+            match Wal::recover(vfs.clone(), &wal_path)? {
+                None => {
+                    // Header torn by a crash mid log-reset: the log holds
+                    // nothing replayable; start a fresh one.
+                    notes.push(
+                        "wal: header torn by a crash during log reset; recreated empty log"
+                            .to_string(),
+                    );
+                    (
+                        Wal::create_with(vfs.clone(), &wal_path, meta.generation)?,
+                        0,
+                    )
                 }
-                std::cmp::Ordering::Less => {
-                    // Crash window between snapshot rename and WAL reset:
-                    // these batches are already folded into the snapshot.
-                    drop(wal);
-                    (Wal::create(&wal_path, meta.generation)?, 0)
-                }
-                std::cmp::Ordering::Greater => {
-                    return Err(IndexError::Corrupt {
-                        section: "wal-header",
-                        detail: format!(
-                            "WAL generation {} is ahead of snapshot generation {}",
-                            wal.generation(),
-                            meta.generation
-                        ),
-                    });
+                Some(WalOpen {
+                    wal,
+                    records,
+                    notes: wal_notes,
+                }) => {
+                    notes.extend(wal_notes);
+                    match wal.generation().cmp(&meta.generation) {
+                        std::cmp::Ordering::Equal => {
+                            replay(&mut bfh, &taxa, &records)?;
+                            (wal, records.len())
+                        }
+                        std::cmp::Ordering::Less => {
+                            // Crash window between snapshot rename and WAL
+                            // reset: these batches are already folded into
+                            // the snapshot.
+                            notes.push(format!(
+                                "wal: discarded stale generation-{} log ({} records already \
+                                 folded into the generation-{} snapshot)",
+                                wal.generation(),
+                                records.len(),
+                                meta.generation
+                            ));
+                            drop(wal);
+                            (
+                                Wal::create_with(vfs.clone(), &wal_path, meta.generation)?,
+                                0,
+                            )
+                        }
+                        std::cmp::Ordering::Greater => {
+                            return Err(IndexError::Corrupt {
+                                section: "wal-header",
+                                detail: format!(
+                                    "WAL generation {} is ahead of snapshot generation {}",
+                                    wal.generation(),
+                                    meta.generation
+                                ),
+                            });
+                        }
+                    }
                 }
             }
         } else {
-            (Wal::create(&wal_path, meta.generation)?, 0)
+            (
+                Wal::create_with(vfs.clone(), &wal_path, meta.generation)?,
+                0,
+            )
         };
 
         let mut index = Index {
             dir: dir.to_path_buf(),
+            vfs,
             bfh,
             taxa: std::sync::Arc::new(taxa),
             generation: meta.generation,
-            wal,
+            wal: Some(wal),
             wal_pending,
+            notes,
             frozen: None,
         };
         // Freeze eagerly: an opened index is overwhelmingly read-next, and
         // the freeze is one pass over a hash that was just built anyway.
         index.frozen();
         Ok(index)
+    }
+
+    /// Recovery notes accumulated while opening this index (empty on a
+    /// clean open).
+    pub fn notes(&self) -> &[String] {
+        &self.notes
     }
 
     /// The frozen probe-optimized view of the current hash, built on first
@@ -275,11 +369,19 @@ impl Index {
         Ok(parse_newick(newick, &mut scratch, TaxaPolicy::Require)?)
     }
 
+    /// The live log, or a typed refusal if a failed compaction left it
+    /// out of service.
+    fn wal_mut(&mut self) -> Result<&mut Wal, IndexError> {
+        self.wal.as_mut().ok_or_else(|| IndexError::WalUnavailable {
+            detail: "the log could not be reset after the last compaction committed".into(),
+        })
+    }
+
     /// Log and apply an add of `tree`. WAL-first: the record is durable
     /// before the in-memory hash changes, so a crash replays it on open.
     pub fn append_add(&mut self, tree: &Tree) -> Result<(), IndexError> {
         let newick = write_newick(tree, &self.taxa);
-        self.wal.append(WalOp::Add, &newick)?;
+        self.wal_mut()?.append(WalOp::Add, &newick)?;
         self.bfh.add_tree(tree, &self.taxa);
         self.wal_pending += 1;
         self.frozen = None;
@@ -296,11 +398,17 @@ impl Index {
     /// the live hash **before** the record is logged, so a tree that was
     /// never added fails cleanly and leaves both memory and disk unchanged.
     pub fn append_remove(&mut self, tree: &Tree) -> Result<(), IndexError> {
+        // Check WAL availability before touching the hash so a refusal
+        // leaves memory untouched.
+        self.wal_mut()?;
         // remove_tree is verify-then-mutate: on error the hash is untouched
         // and nothing must reach the WAL.
         self.bfh.remove_tree(tree, &self.taxa)?;
         let newick = write_newick(tree, &self.taxa);
-        if let Err(e) = self.wal.append(WalOp::Remove, &newick) {
+        if let Err(e) = self
+            .wal_mut()
+            .and_then(|wal| wal.append(WalOp::Remove, &newick))
+        {
             // Disk refused the record; roll the in-memory hash back so it
             // keeps matching what a reopen would reconstruct.
             self.bfh.add_tree(tree, &self.taxa);
@@ -321,17 +429,47 @@ impl Index {
     /// Fold the WAL into a fresh snapshot at generation `g+1` and reset
     /// the log. Returns the new snapshot's header. See the module docs for
     /// the crash-safety sequencing.
+    ///
+    /// # Failure handling
+    ///
+    /// * Snapshot write or rename fails (ENOSPC, torn write, ...) → the
+    ///   scratch file is removed and **nothing changed**: the old
+    ///   snapshot, WAL, and in-memory state all stay live.
+    /// * The rename commits but the WAL reset fails → the new snapshot
+    ///   holds every record durably, but the on-disk log is now stale;
+    ///   appending to it would be silently discarded by the next open, so
+    ///   the log is taken out of service ([`IndexError::WalUnavailable`]
+    ///   on mutations) until a retried `compact` heals it.
     pub fn compact(&mut self) -> Result<SnapshotMeta, IndexError> {
-        let next = self.generation + 1;
-        let tmp = self.dir.join(SNAPSHOT_TMP);
-        let snap_path = self.dir.join(SNAPSHOT_FILE);
-        write_snapshot(&tmp, &self.bfh, &self.taxa, next)?;
-        std::fs::rename(&tmp, &snap_path).map_err(|e| IndexError::io(&snap_path, e))?;
-        self.wal = Wal::create(&self.dir.join(WAL_FILE), next)?;
-        self.generation = next;
-        self.wal_pending = 0;
+        if self.wal.is_some() {
+            let next = self.generation + 1;
+            let tmp = self.dir.join(SNAPSHOT_TMP);
+            let snap_path = self.dir.join(SNAPSHOT_FILE);
+            if let Err(e) = write_snapshot_with(&*self.vfs, &tmp, &self.bfh, &self.taxa, next) {
+                let _ = self.vfs.remove_file(&tmp);
+                return Err(e);
+            }
+            if let Err(e) = self.vfs.rename(&tmp, &snap_path) {
+                let _ = self.vfs.remove_file(&tmp);
+                return Err(IndexError::io(&snap_path, e));
+            }
+            // The rename is the commit point: from here the index IS at
+            // `next`, and the old-generation log handle must never be
+            // appended to again (a reopen discards it as stale).
+            self.generation = next;
+            self.wal = None;
+            self.wal_pending = 0;
+        }
+        // (Re)create the log at the committed generation. On failure the
+        // index stays fully readable — the snapshot holds everything —
+        // but mutations are refused until a later compact succeeds here.
+        self.wal = Some(Wal::create_with(
+            self.vfs.clone(),
+            &self.dir.join(WAL_FILE),
+            self.generation,
+        )?);
         Ok(SnapshotMeta {
-            generation: next,
+            generation: self.generation,
             n_taxa: self.bfh.n_taxa(),
             n_trees: self.bfh.n_trees(),
             n_shards: self.bfh.n_shards(),

@@ -25,12 +25,19 @@ pub mod error;
 pub mod format;
 pub mod index;
 pub mod snapshot;
+pub mod vfs;
 pub mod wal;
 
 pub use error::IndexError;
 pub use index::{Index, IndexStats, QueryView, SNAPSHOT_FILE, WAL_FILE};
 pub use snapshot::{
-    read_meta, read_snapshot, write_snapshot, Snapshot, SnapshotMeta, FORMAT_VERSION,
-    SNAPSHOT_MAGIC,
+    read_meta, read_meta_with, read_snapshot, read_snapshot_with, write_snapshot,
+    write_snapshot_with, Snapshot, SnapshotMeta, FORMAT_VERSION, SNAPSHOT_MAGIC,
 };
-pub use wal::{read_wal, Wal, WalOp, WalRecord, WAL_MAGIC, WAL_VERSION};
+pub use vfs::{
+    real_vfs, seeded_schedule, Fault, FaultKind, FaultSite, FaultVfs, JournalOp, MemVfs, RealVfs,
+    Vfs, VfsFile,
+};
+pub use wal::{
+    read_wal, scan_wal, Wal, WalOp, WalOpen, WalRecord, WalScan, WalTail, WAL_MAGIC, WAL_VERSION,
+};

@@ -28,10 +28,10 @@
 
 use crate::error::IndexError;
 use crate::format::{CheckedReader, CheckedWriter};
+use crate::vfs::{RealVfs, Vfs};
 use bfhrf::{Bfh, RunGuard};
 use phylo::TaxonSet;
 use phylo_bitset::{words_for, Bits, WORD_BITS};
-use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
 
@@ -84,6 +84,17 @@ pub fn write_snapshot(
     taxa: &TaxonSet,
     generation: u64,
 ) -> Result<(), IndexError> {
+    write_snapshot_with(&RealVfs, path, bfh, taxa, generation)
+}
+
+/// [`write_snapshot`] routed through an explicit [`Vfs`].
+pub fn write_snapshot_with(
+    vfs: &dyn Vfs,
+    path: &Path,
+    bfh: &Bfh,
+    taxa: &TaxonSet,
+    generation: u64,
+) -> Result<(), IndexError> {
     if taxa.len() != bfh.n_taxa() {
         return Err(IndexError::Core(bfhrf::CoreError::Structure(format!(
             "taxon table has {} labels but the hash is {}-taxon",
@@ -91,7 +102,7 @@ pub fn write_snapshot(
             bfh.n_taxa()
         ))));
     }
-    let file = File::create(path).map_err(|e| IndexError::io(path, e))?;
+    let file = vfs.create(path).map_err(|e| IndexError::io(path, e))?;
     let mut w = CheckedWriter::new(BufWriter::new(file), path);
 
     w.put_unchecked(SNAPSHOT_MAGIC)?;
@@ -127,11 +138,10 @@ pub fn write_snapshot(
 
     let mut inner = w.into_inner();
     inner.flush().map_err(|e| IndexError::io(path, e))?;
-    inner
+    let mut file = inner
         .into_inner()
-        .map_err(|e| IndexError::io(path, e.into_error()))?
-        .sync_all()
-        .map_err(|e| IndexError::io(path, e))?;
+        .map_err(|e| IndexError::io(path, e.into_error()))?;
+    file.sync_all().map_err(|e| IndexError::io(path, e))?;
     Ok(())
 }
 
@@ -199,7 +209,12 @@ fn read_header<R: std::io::Read>(r: &mut CheckedReader<R>) -> Result<SnapshotMet
 /// Read only the header of the snapshot at `path` — cheap inspection
 /// without touching the taxon table or splits.
 pub fn read_meta(path: &Path) -> Result<SnapshotMeta, IndexError> {
-    let file = File::open(path).map_err(|e| IndexError::io(path, e))?;
+    read_meta_with(&RealVfs, path)
+}
+
+/// [`read_meta`] routed through an explicit [`Vfs`].
+pub fn read_meta_with(vfs: &dyn Vfs, path: &Path) -> Result<SnapshotMeta, IndexError> {
+    let file = vfs.open_read(path).map_err(|e| IndexError::io(path, e))?;
     let mut r = CheckedReader::new(BufReader::new(file), path);
     read_header(&mut r)
 }
@@ -211,7 +226,16 @@ pub fn read_meta(path: &Path) -> Result<SnapshotMeta, IndexError> {
 /// bounds the load — allocations are pre-checked against the budget and
 /// cancellation is honoured between record batches.
 pub fn read_snapshot(path: &Path, guard: &RunGuard) -> Result<Snapshot, IndexError> {
-    let file = File::open(path).map_err(|e| IndexError::io(path, e))?;
+    read_snapshot_with(&RealVfs, path, guard)
+}
+
+/// [`read_snapshot`] routed through an explicit [`Vfs`].
+pub fn read_snapshot_with(
+    vfs: &dyn Vfs,
+    path: &Path,
+    guard: &RunGuard,
+) -> Result<Snapshot, IndexError> {
+    let file = vfs.open_read(path).map_err(|e| IndexError::io(path, e))?;
     let mut r = CheckedReader::new(BufReader::new(file), path);
     let meta = read_header(&mut r)?;
 

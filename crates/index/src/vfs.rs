@@ -1,0 +1,739 @@
+//! Virtual filesystem seam: every byte the index writes or reads goes
+//! through a [`Vfs`], so tests can observe, replay, and sabotage I/O.
+//!
+//! Three implementations:
+//!
+//! * [`RealVfs`] — thin shim over `std::fs`; the default for every public
+//!   constructor, zero behavior change for production callers.
+//! * [`MemVfs`] — an in-memory filesystem that journals every mutating
+//!   operation ([`JournalOp`]) at syscall granularity. Replaying a journal
+//!   *prefix* onto a fresh `MemVfs` reconstructs exactly the bytes a crash
+//!   at that point would have left on disk (sequential-consistency crash
+//!   model: everything before the cut is durable, nothing after exists).
+//! * [`FaultVfs`] — wraps any inner `Vfs` and executes a scripted fault
+//!   schedule: fail the Nth fsync, tear the Nth write at byte *k*, fail a
+//!   rename, return ENOSPC. Each injected fault is counted in the obs
+//!   registry under `fault_injected_total{site=...}`.
+//!
+//! The trait is deliberately tiny — create/append/read/rename/remove/
+//! truncate/exists — because those are the only primitives the WAL,
+//! snapshot writer, and directory lifecycle use.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// A writable file handle handed out by a [`Vfs`].
+pub trait VfsFile: Write + Send {
+    /// Flush file contents and metadata to stable storage (fsync).
+    fn sync_all(&mut self) -> io::Result<()>;
+}
+
+/// The filesystem operations the index layer is allowed to perform.
+pub trait Vfs: Send + Sync {
+    /// Create (or truncate) the file at `path` for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Open the file at `path` positioned for appending.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Open the file at `path` for sequential reading.
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn Read + Send>>;
+    /// Atomically rename `from` over `to` (the commit primitive).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Delete the file at `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Shrink the file at `path` to `len` bytes and sync the change.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Whether a file exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+    /// Create `path` and all missing parents as directories.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The production [`Vfs`]: every operation maps 1:1 onto `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealVfs;
+
+/// Shared handle to the production filesystem.
+pub fn real_vfs() -> Arc<dyn Vfs> {
+    Arc::new(RealVfs)
+}
+
+impl VfsFile for std::fs::File {
+    fn sync_all(&mut self) -> io::Result<()> {
+        std::fs::File::sync_all(self)
+    }
+}
+
+impl Vfs for RealVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(std::fs::File::create(path)?))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(
+            std::fs::OpenOptions::new().append(true).open(path)?,
+        ))
+    }
+
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn Read + Send>> {
+        Ok(Box::new(std::fs::File::open(path)?))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(len)?;
+        file.sync_all()
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+}
+
+/// One mutating filesystem operation, recorded at syscall granularity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalOp {
+    /// `create(path)` — the file now exists and is empty.
+    Create(PathBuf),
+    /// One `write` call appending `bytes` to `path`.
+    Append {
+        /// The file written to.
+        path: PathBuf,
+        /// The exact bytes of this write call.
+        bytes: Vec<u8>,
+    },
+    /// `sync_all(path)` — everything written so far is durable.
+    Sync(PathBuf),
+    /// `rename(from, to)`.
+    Rename {
+        /// Source path.
+        from: PathBuf,
+        /// Destination path (replaced if present).
+        to: PathBuf,
+    },
+    /// `remove_file(path)`.
+    Remove(PathBuf),
+    /// `truncate(path, len)`.
+    Truncate {
+        /// The file truncated.
+        path: PathBuf,
+        /// The new length.
+        len: u64,
+    },
+}
+
+impl JournalOp {
+    /// A torn variant of this op: for an `Append`, only the first `keep`
+    /// bytes reach disk (a write cut mid-flight). Other ops are atomic in
+    /// the crash model and have no torn form.
+    pub fn torn(&self, keep: usize) -> Option<JournalOp> {
+        match self {
+            JournalOp::Append { path, bytes } if keep < bytes.len() => Some(JournalOp::Append {
+                path: path.clone(),
+                bytes: bytes[..keep].to_vec(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Default)]
+struct MemState {
+    files: HashMap<PathBuf, Vec<u8>>,
+    journal: Vec<JournalOp>,
+    recording: bool,
+}
+
+impl MemState {
+    fn record(&mut self, op: JournalOp) {
+        if self.recording {
+            self.journal.push(op);
+        }
+    }
+}
+
+/// In-memory journaling filesystem for crash-consistency tests.
+#[derive(Clone, Default)]
+pub struct MemVfs {
+    state: Arc<Mutex<MemState>>,
+}
+
+impl MemVfs {
+    /// An empty in-memory filesystem (not recording).
+    pub fn new() -> MemVfs {
+        MemVfs::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Start journaling every mutating operation from this point on.
+    pub fn start_recording(&self) {
+        self.lock().recording = true;
+    }
+
+    /// The journal recorded so far (clone; recording continues).
+    pub fn journal(&self) -> Vec<JournalOp> {
+        self.lock().journal.clone()
+    }
+
+    /// Apply a sequence of journal ops to this filesystem (not recorded).
+    /// Replaying `ops[..k]` onto a fresh `MemVfs` reconstructs the exact
+    /// disk state of a crash after the k-th operation.
+    pub fn apply(&self, ops: &[JournalOp]) {
+        let mut s = self.lock();
+        for op in ops {
+            match op {
+                JournalOp::Create(p) => {
+                    s.files.insert(p.clone(), Vec::new());
+                }
+                JournalOp::Append { path, bytes } => {
+                    s.files.entry(path.clone()).or_default().extend(bytes);
+                }
+                JournalOp::Sync(_) => {}
+                JournalOp::Rename { from, to } => {
+                    if let Some(bytes) = s.files.remove(from) {
+                        s.files.insert(to.clone(), bytes);
+                    }
+                }
+                JournalOp::Remove(p) => {
+                    s.files.remove(p);
+                }
+                JournalOp::Truncate { path, len } => {
+                    if let Some(f) = s.files.get_mut(path) {
+                        f.truncate(*len as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The current bytes of `path`, if it exists (for test assertions and
+    /// out-of-band corruption).
+    pub fn read_bytes(&self, path: &Path) -> Option<Vec<u8>> {
+        self.lock().files.get(path).cloned()
+    }
+
+    /// Overwrite `path` with `bytes` directly, bypassing the journal (for
+    /// test setup and byte-flipping).
+    pub fn write_bytes(&self, path: &Path, bytes: Vec<u8>) {
+        self.lock().files.insert(path.to_path_buf(), bytes);
+    }
+}
+
+struct MemFile {
+    state: Arc<Mutex<MemState>>,
+    path: PathBuf,
+}
+
+impl Write for MemFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut s = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        match s.files.get_mut(&self.path) {
+            Some(f) => f.extend_from_slice(buf),
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("{} was removed under an open handle", self.path.display()),
+                ))
+            }
+        }
+        s.record(JournalOp::Append {
+            path: self.path.clone(),
+            bytes: buf.to_vec(),
+        });
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl VfsFile for MemFile {
+    fn sync_all(&mut self) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let op = JournalOp::Sync(self.path.clone());
+        s.record(op);
+        Ok(())
+    }
+}
+
+impl Vfs for MemVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut s = self.lock();
+        s.files.insert(path.to_path_buf(), Vec::new());
+        s.record(JournalOp::Create(path.to_path_buf()));
+        Ok(Box::new(MemFile {
+            state: self.state.clone(),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let s = self.lock();
+        if !s.files.contains_key(path) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file {}", path.display()),
+            ));
+        }
+        Ok(Box::new(MemFile {
+            state: self.state.clone(),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn Read + Send>> {
+        let s = self.lock();
+        match s.files.get(path) {
+            Some(bytes) => Ok(Box::new(io::Cursor::new(bytes.clone()))),
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file {}", path.display()),
+            )),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut s = self.lock();
+        let Some(bytes) = s.files.remove(from) else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file {}", from.display()),
+            ));
+        };
+        s.files.insert(to.to_path_buf(), bytes);
+        s.record(JournalOp::Rename {
+            from: from.to_path_buf(),
+            to: to.to_path_buf(),
+        });
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let mut s = self.lock();
+        if s.files.remove(path).is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file {}", path.display()),
+            ));
+        }
+        s.record(JournalOp::Remove(path.to_path_buf()));
+        Ok(())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let mut s = self.lock();
+        match s.files.get_mut(path) {
+            Some(f) => f.truncate(len as usize),
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("no such file {}", path.display()),
+                ))
+            }
+        }
+        s.record(JournalOp::Truncate {
+            path: path.to_path_buf(),
+            len,
+        });
+        Ok(())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.lock().files.contains_key(path)
+    }
+
+    fn create_dir_all(&self, _path: &Path) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Where in the I/O path a fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// `Vfs::create` (also covers WAL resets and snapshot temp files).
+    Create,
+    /// A `write` call on any handle.
+    Write,
+    /// A `sync_all` (fsync) call on any handle.
+    Sync,
+    /// `Vfs::rename` — the commit primitive.
+    Rename,
+}
+
+impl FaultSite {
+    /// Stable label used for the obs `fault_injected_total{site=...}` cell.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::Create => "create",
+            FaultSite::Write => "write",
+            FaultSite::Sync => "sync",
+            FaultSite::Rename => "rename",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            FaultSite::Create => 0,
+            FaultSite::Write => 1,
+            FaultSite::Sync => 2,
+            FaultSite::Rename => 3,
+        }
+    }
+}
+
+/// What an injected fault does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// ENOSPC — "no space left on device".
+    Enospc,
+    /// A generic injected I/O error.
+    Io,
+    /// Write only the first `keep` bytes, then fail (a torn write). Only
+    /// meaningful at [`FaultSite::Write`]; elsewhere it degrades to `Io`.
+    Torn {
+        /// Bytes that reach the file before the tear.
+        keep: usize,
+    },
+}
+
+impl FaultKind {
+    fn to_error(self) -> io::Error {
+        match self {
+            // Raw os error 28 is ENOSPC on Linux; using the raw code keeps
+            // the error indistinguishable from the real thing.
+            FaultKind::Enospc => io::Error::from_raw_os_error(28),
+            FaultKind::Io => io::Error::other("injected I/O fault"),
+            FaultKind::Torn { .. } => io::Error::other("injected torn write"),
+        }
+    }
+}
+
+/// One scheduled fault: fire `kind` on the `at`-th operation (1-based) at
+/// `site`, then disarm.
+#[derive(Debug, Clone, Copy)]
+pub struct Fault {
+    /// Which I/O primitive to sabotage.
+    pub site: FaultSite,
+    /// 1-based ordinal of the operation at that site.
+    pub at: u64,
+    /// The failure to produce.
+    pub kind: FaultKind,
+}
+
+#[derive(Default)]
+struct FaultPlan {
+    faults: Vec<Fault>,
+    seen: [u64; 4],
+    injected: u64,
+}
+
+impl FaultPlan {
+    /// Count one operation at `site`; if a scheduled fault matches, disarm
+    /// it and return its kind.
+    fn check(&mut self, site: FaultSite) -> Option<FaultKind> {
+        self.seen[site.idx()] += 1;
+        let n = self.seen[site.idx()];
+        let hit = self
+            .faults
+            .iter()
+            .position(|f| f.site == site && f.at == n)?;
+        let fault = self.faults.swap_remove(hit);
+        self.injected += 1;
+        phylo_obs::global()
+            .counter("fault_injected_total", &[("site", site.label())])
+            .inc();
+        Some(fault.kind)
+    }
+}
+
+/// A [`Vfs`] wrapper executing a scripted, deterministic fault schedule.
+#[derive(Clone)]
+pub struct FaultVfs {
+    inner: Arc<dyn Vfs>,
+    plan: Arc<Mutex<FaultPlan>>,
+}
+
+impl FaultVfs {
+    /// Wrap `inner` with an empty (fault-free) schedule.
+    pub fn new(inner: Arc<dyn Vfs>) -> FaultVfs {
+        FaultVfs {
+            inner,
+            plan: Arc::new(Mutex::new(FaultPlan::default())),
+        }
+    }
+
+    fn plan(&self) -> std::sync::MutexGuard<'_, FaultPlan> {
+        self.plan.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Schedule `kind` to fire on the `at`-th (1-based) operation at
+    /// `site`, counted from now. One-shot: the fault disarms after firing.
+    pub fn fail_nth(&self, site: FaultSite, at: u64, kind: FaultKind) {
+        let mut plan = self.plan();
+        // `at` is relative to the operations already seen, so schedules
+        // composed mid-run behave intuitively.
+        let at = plan.seen[site.idx()] + at;
+        plan.faults.push(Fault { site, at, kind });
+    }
+
+    /// Drop every armed fault.
+    pub fn clear(&self) {
+        self.plan().faults.clear();
+    }
+
+    /// How many faults have fired so far.
+    pub fn injected(&self) -> u64 {
+        self.plan().injected
+    }
+
+    /// How many operations have been observed at `site`.
+    pub fn seen(&self, site: FaultSite) -> u64 {
+        self.plan().seen[site.idx()]
+    }
+}
+
+/// A deterministic seeded fault schedule: `n_faults` one-shot faults
+/// spread over the first `horizon` operations of each site. Same seed,
+/// same schedule — failures found by a seed sweep stay reproducible.
+pub fn seeded_schedule(seed: u64, n_faults: usize, horizon: u64) -> Vec<Fault> {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let horizon = horizon.max(1);
+    (0..n_faults)
+        .map(|_| {
+            let site = match next() % 4 {
+                0 => FaultSite::Create,
+                1 => FaultSite::Write,
+                2 => FaultSite::Sync,
+                _ => FaultSite::Rename,
+            };
+            let at = next() % horizon + 1;
+            let kind = match next() % 3 {
+                0 => FaultKind::Enospc,
+                1 => FaultKind::Io,
+                _ => FaultKind::Torn {
+                    keep: (next() % 64) as usize,
+                },
+            };
+            Fault { site, at, kind }
+        })
+        .collect()
+}
+
+impl FaultVfs {
+    /// Arm every fault in `schedule` (offsets relative to ops seen so far).
+    pub fn arm(&self, schedule: &[Fault]) {
+        for f in schedule {
+            self.fail_nth(f.site, f.at, f.kind);
+        }
+    }
+}
+
+struct FaultFile {
+    inner: Box<dyn VfsFile>,
+    plan: Arc<Mutex<FaultPlan>>,
+}
+
+impl FaultFile {
+    fn check(&self, site: FaultSite) -> Option<FaultKind> {
+        self.plan
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .check(site)
+    }
+}
+
+impl Write for FaultFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.check(FaultSite::Write) {
+            None => self.inner.write(buf),
+            Some(FaultKind::Torn { keep }) => {
+                // The torn prefix really lands in the file: that is what a
+                // write cut mid-flight leaves behind.
+                let keep = keep.min(buf.len());
+                self.inner.write_all(&buf[..keep])?;
+                Err(FaultKind::Torn { keep }.to_error())
+            }
+            Some(kind) => Err(kind.to_error()),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl VfsFile for FaultFile {
+    fn sync_all(&mut self) -> io::Result<()> {
+        match self.check(FaultSite::Sync) {
+            None => self.inner.sync_all(),
+            Some(kind) => Err(kind.to_error()),
+        }
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        if let Some(kind) = self.plan().check(FaultSite::Create) {
+            return Err(kind.to_error());
+        }
+        Ok(Box::new(FaultFile {
+            inner: self.inner.create(path)?,
+            plan: self.plan.clone(),
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(FaultFile {
+            inner: self.inner.open_append(path)?,
+            plan: self.plan.clone(),
+        }))
+    }
+
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn Read + Send>> {
+        self.inner.open_read(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        if let Some(kind) = self.plan().check(FaultSite::Rename) {
+            return Err(kind.to_error());
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.inner.truncate(path, len)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_vfs_journals_and_replays_prefixes() {
+        let vfs = MemVfs::new();
+        vfs.start_recording();
+        let p = Path::new("a.bin");
+        let q = Path::new("b.bin");
+        let mut f = vfs.create(p).unwrap();
+        f.write_all(b"hello ").unwrap();
+        f.write_all(b"world").unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+        vfs.rename(p, q).unwrap();
+        let journal = vfs.journal();
+        assert_eq!(journal.len(), 5, "{journal:?}");
+
+        // Crash before the rename: a.bin holds both writes, b.bin absent.
+        let at3 = MemVfs::new();
+        at3.apply(&journal[..4]);
+        assert_eq!(at3.read_bytes(p).unwrap(), b"hello world");
+        assert!(!at3.exists(q));
+
+        // Crash mid-write: only the first chunk landed.
+        let at1 = MemVfs::new();
+        at1.apply(&journal[..2]);
+        assert_eq!(at1.read_bytes(p).unwrap(), b"hello ");
+
+        // Torn second write.
+        let torn = MemVfs::new();
+        torn.apply(&journal[..2]);
+        torn.apply(&[journal[2].torn(3).unwrap()]);
+        assert_eq!(torn.read_bytes(p).unwrap(), b"hello wor");
+    }
+
+    #[test]
+    fn fault_vfs_fires_scheduled_faults_once() {
+        let vfs = FaultVfs::new(Arc::new(MemVfs::new()));
+        vfs.fail_nth(FaultSite::Sync, 2, FaultKind::Enospc);
+        let mut f = vfs.create(Path::new("x")).unwrap();
+        f.sync_all().unwrap();
+        let err = f.sync_all().unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28), "{err}");
+        f.sync_all().unwrap();
+        assert_eq!(vfs.injected(), 1);
+        assert_eq!(vfs.seen(FaultSite::Sync), 3);
+    }
+
+    #[test]
+    fn torn_write_leaves_prefix_in_file() {
+        let mem = MemVfs::new();
+        let vfs = FaultVfs::new(Arc::new(mem.clone()));
+        vfs.fail_nth(FaultSite::Write, 1, FaultKind::Torn { keep: 4 });
+        let mut f = vfs.create(Path::new("t")).unwrap();
+        assert!(f.write_all(b"abcdefgh").is_err());
+        assert_eq!(mem.read_bytes(Path::new("t")).unwrap(), b"abcd");
+        // The next write goes through untouched.
+        f.write_all(b"ij").unwrap();
+        assert_eq!(mem.read_bytes(Path::new("t")).unwrap(), b"abcdij");
+    }
+
+    #[test]
+    fn rename_fault_blocks_commit() {
+        let mem = MemVfs::new();
+        let vfs = FaultVfs::new(Arc::new(mem.clone()));
+        let mut f = vfs.create(Path::new("tmp")).unwrap();
+        f.write_all(b"data").unwrap();
+        drop(f);
+        vfs.fail_nth(FaultSite::Rename, 1, FaultKind::Io);
+        assert!(vfs.rename(Path::new("tmp"), Path::new("dst")).is_err());
+        assert!(mem.exists(Path::new("tmp")));
+        assert!(!mem.exists(Path::new("dst")));
+        vfs.rename(Path::new("tmp"), Path::new("dst")).unwrap();
+        assert_eq!(mem.read_bytes(Path::new("dst")).unwrap(), b"data");
+    }
+
+    #[test]
+    fn seeded_schedules_are_deterministic() {
+        let a = seeded_schedule(42, 8, 100);
+        let b = seeded_schedule(42, 8, 100);
+        assert_eq!(a.len(), 8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.site, y.site);
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.kind, y.kind);
+        }
+        let c = seeded_schedule(43, 8, 100);
+        assert!(
+            a.iter()
+                .zip(&c)
+                .any(|(x, y)| x.site != y.site || x.at != y.at || x.kind != y.kind),
+            "different seeds should differ"
+        );
+    }
+}

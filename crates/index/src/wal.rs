@@ -18,17 +18,38 @@
 //! *g+1*; if a crash lands between those two steps, the leftover WAL still
 //! says *g* and [`crate::Index`] discards it as stale instead of replaying
 //! already-folded batches twice.
+//!
+//! # Torn tails
+//!
+//! A crash mid-append leaves a prefix of the final record (or, on real
+//! hardware, a garbled final record). [`scan_wal`] distinguishes the two
+//! recoverable shapes from true corruption:
+//!
+//! * the file ends inside a record, or the **final** record's checksum
+//!   fails → [`WalTail::TornRecord`]: every fully-checksummed record
+//!   before it is valid; recovery truncates the tail.
+//! * the file ends inside the 26-byte header → [`WalTail::TornHeader`]: a
+//!   crash during a log reset; recovery recreates the log.
+//!
+//! Anything wrong *before* the final record — checksum mismatch with more
+//! data following, an unknown op byte, an implausible length — cannot be
+//! produced by tearing a suffix off our own writes and stays a fatal
+//! [`IndexError::Corrupt`].
 
 use crate::error::IndexError;
 use crate::format::Digest;
-use std::fs::{File, OpenOptions};
+use crate::vfs::{real_vfs, Vfs, VfsFile};
 use std::io::{BufReader, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Magic bytes opening every WAL file.
 pub const WAL_MAGIC: &[u8; 8] = b"BFHWAL\0\0";
 /// WAL format version this build reads and writes.
 pub const WAL_VERSION: u16 = 1;
+
+/// Bytes of magic + version + generation + header checksum.
+const HEADER_LEN: u64 = 8 + 2 + 8 + 8;
 
 /// Largest Newick payload a record may carry (64 MiB) — bounds what a
 /// corrupt length field can make the reader allocate.
@@ -55,11 +76,63 @@ pub struct WalRecord {
     pub newick: String,
 }
 
+/// How the byte stream of a WAL ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalTail {
+    /// The file ends exactly at a record boundary.
+    Clean,
+    /// The final record is cut short or garbled — a crash mid-append.
+    /// Everything before `valid_len` replays; the tail is recoverable by
+    /// truncation.
+    TornRecord {
+        /// Offset of the last fully-validated record's end.
+        valid_len: u64,
+        /// Garbage bytes after it.
+        lost: u64,
+    },
+    /// The file ends inside the header — a crash during a log reset.
+    /// Nothing replays; recovery recreates the log.
+    TornHeader {
+        /// Actual file length.
+        len: u64,
+    },
+}
+
+/// The result of a lenient WAL scan: validated records plus a
+/// classification of how the byte stream ends.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Generation from the header (0 when the header itself is torn).
+    pub generation: u64,
+    /// Every fully-validated record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Offset one past the last valid byte (header or record end).
+    pub valid_len: u64,
+    /// Tail classification.
+    pub tail: WalTail,
+}
+
+/// A successfully opened (possibly recovered) WAL plus its replayable
+/// records and any recovery notes.
+pub struct WalOpen {
+    /// The log, positioned for appending.
+    pub wal: Wal,
+    /// Records to replay on top of the snapshot.
+    pub records: Vec<WalRecord>,
+    /// Human-readable recovery notes (empty on a clean open).
+    pub notes: Vec<String>,
+}
+
 /// An open WAL positioned for appending.
 pub struct Wal {
+    vfs: Arc<dyn Vfs>,
     path: PathBuf,
-    file: File,
+    file: Box<dyn VfsFile>,
     generation: u64,
+    /// Bytes known durable and valid: the header plus every record whose
+    /// append fsync was acknowledged. A failed append rolls the file back
+    /// to this offset so a half-written record never poisons the log.
+    synced_len: u64,
 }
 
 fn record_checksum(op: u8, payload: &[u8]) -> u64 {
@@ -73,8 +146,13 @@ fn record_checksum(op: u8, payload: &[u8]) -> u64 {
 impl Wal {
     /// Create (or truncate) the WAL at `path` for `generation`, fsynced.
     pub fn create(path: &Path, generation: u64) -> Result<Wal, IndexError> {
-        let mut file = File::create(path).map_err(|e| IndexError::io(path, e))?;
-        let mut header = Vec::with_capacity(26);
+        Wal::create_with(real_vfs(), path, generation)
+    }
+
+    /// [`Wal::create`] routed through an explicit [`Vfs`].
+    pub fn create_with(vfs: Arc<dyn Vfs>, path: &Path, generation: u64) -> Result<Wal, IndexError> {
+        let mut file = vfs.create(path).map_err(|e| IndexError::io(path, e))?;
+        let mut header = Vec::with_capacity(HEADER_LEN as usize);
         header.extend_from_slice(WAL_MAGIC);
         header.extend_from_slice(&WAL_VERSION.to_le_bytes());
         let gen_bytes = generation.to_le_bytes();
@@ -87,28 +165,82 @@ impl Wal {
         file.sync_all().map_err(|e| IndexError::io(path, e))?;
         phylo_obs::global().counter("wal_fsyncs_total", &[]).inc();
         Ok(Wal {
+            vfs,
             path: path.to_path_buf(),
             file,
             generation,
+            synced_len: HEADER_LEN,
         })
     }
 
-    /// Open the WAL at `path`, validating and returning every record, then
-    /// leave the handle positioned for appending.
+    /// Open the WAL at `path` strictly: any torn or corrupt byte is an
+    /// error. Validates and returns every record, then leaves the handle
+    /// positioned for appending.
     pub fn open(path: &Path) -> Result<(Wal, Vec<WalRecord>), IndexError> {
-        let (generation, records) = read_wal(path)?;
-        let file = OpenOptions::new()
-            .append(true)
-            .open(path)
-            .map_err(|e| IndexError::io(path, e))?;
+        let vfs = real_vfs();
+        let scan = scan_wal(&*vfs, path)?;
+        if let Some(err) = tail_error(&scan.tail) {
+            return Err(err);
+        }
+        let file = vfs.open_append(path).map_err(|e| IndexError::io(path, e))?;
         Ok((
             Wal {
+                vfs,
                 path: path.to_path_buf(),
                 file,
-                generation,
+                generation: scan.generation,
+                synced_len: scan.valid_len,
             },
-            records,
+            scan.records,
         ))
+    }
+
+    /// Open the WAL at `path` with torn-tail recovery.
+    ///
+    /// * Clean log → `Ok(Some(..))` with no notes.
+    /// * Torn or garbled **final** record → the tail is truncated away,
+    ///   a note records what was dropped, and the open succeeds with the
+    ///   surviving records.
+    /// * Torn **header** → `Ok(None)`: the log carries no information; the
+    ///   caller recreates it at the snapshot's generation.
+    /// * Corruption before the tail → `Err` as before.
+    pub fn recover(vfs: Arc<dyn Vfs>, path: &Path) -> Result<Option<WalOpen>, IndexError> {
+        let scan = scan_wal(&*vfs, path)?;
+        let mut notes = Vec::new();
+        match scan.tail {
+            WalTail::Clean => {}
+            WalTail::TornHeader { len } => {
+                phylo_obs::global()
+                    .counter("wal_recovered_total", &[("kind", "torn-header")])
+                    .inc();
+                let _ = len;
+                return Ok(None);
+            }
+            WalTail::TornRecord { valid_len, lost } => {
+                vfs.truncate(path, valid_len)
+                    .map_err(|e| IndexError::io(path, e))?;
+                phylo_obs::global()
+                    .counter("wal_recovered_total", &[("kind", "torn-tail")])
+                    .inc();
+                notes.push(format!(
+                    "wal: dropped a torn final record ({lost} trailing bytes after offset \
+                     {valid_len}); {} intact records replayed",
+                    scan.records.len()
+                ));
+            }
+        }
+        let file = vfs.open_append(path).map_err(|e| IndexError::io(path, e))?;
+        Ok(Some(WalOpen {
+            wal: Wal {
+                vfs,
+                path: path.to_path_buf(),
+                file,
+                generation: scan.generation,
+                synced_len: scan.valid_len,
+            },
+            records: scan.records,
+            notes,
+        }))
     }
 
     /// The generation this WAL amends.
@@ -117,6 +249,11 @@ impl Wal {
     }
 
     /// Append one record and fsync it.
+    ///
+    /// On failure the file is rolled back to the last acknowledged record
+    /// boundary, so a torn in-flight record never reaches a future open;
+    /// if even the rollback fails, the error reports the log as
+    /// unavailable and the caller must reopen.
     pub fn append(&mut self, op: WalOp, newick: &str) -> Result<(), IndexError> {
         let payload = newick.as_bytes();
         if payload.len() > MAX_PAYLOAD {
@@ -137,12 +274,14 @@ impl Wal {
         rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         rec.extend_from_slice(payload);
         rec.extend_from_slice(&record_checksum(op_byte, payload).to_le_bytes());
-        self.file
+        let write_then_sync = self
+            .file
             .write_all(&rec)
-            .map_err(|e| IndexError::io(&self.path, e))?;
-        self.file
-            .sync_all()
-            .map_err(|e| IndexError::io(&self.path, e))?;
+            .and_then(|()| self.file.sync_all());
+        if let Err(e) = write_then_sync {
+            return Err(self.rollback_failed_append(e));
+        }
+        self.synced_len += rec.len() as u64;
         let reg = phylo_obs::global();
         let op_label = match op {
             WalOp::Add => "add",
@@ -152,33 +291,81 @@ impl Wal {
         reg.counter("wal_fsyncs_total", &[]).inc();
         Ok(())
     }
-}
 
-fn take(
-    r: &mut impl Read,
-    buf: &mut [u8],
-    path: &Path,
-    section: &'static str,
-) -> Result<(), IndexError> {
-    match r.read_exact(buf) {
-        Ok(()) => Ok(()),
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Err(IndexError::Corrupt {
-            section,
-            detail: "file truncated mid-record".into(),
-        }),
-        Err(e) => Err(IndexError::io(path, e)),
+    /// Undo a half-written record by truncating back to the last
+    /// acknowledged boundary, preserving the original failure as the
+    /// returned error.
+    fn rollback_failed_append(&mut self, cause: std::io::Error) -> IndexError {
+        match self.vfs.truncate(&self.path, self.synced_len) {
+            Ok(()) => {
+                phylo_obs::global()
+                    .counter("wal_append_rollbacks_total", &[])
+                    .inc();
+                IndexError::io(&self.path, cause)
+            }
+            Err(trunc_err) => IndexError::io(
+                &self.path,
+                std::io::Error::other(format!(
+                    "append failed ({cause}) and rollback truncation also failed \
+                     ({trunc_err}); reopen the index to recover the log"
+                )),
+            ),
+        }
     }
 }
 
-/// Read and validate the whole WAL at `path`: returns its generation and
-/// every record in append order. Any flipped byte or torn record is a
-/// typed [`IndexError::Corrupt`].
-pub fn read_wal(path: &Path) -> Result<(u64, Vec<WalRecord>), IndexError> {
-    let file = File::open(path).map_err(|e| IndexError::io(path, e))?;
+/// The strict-mode error for a non-clean tail (legacy `read_wal`
+/// semantics).
+fn tail_error(tail: &WalTail) -> Option<IndexError> {
+    match tail {
+        WalTail::Clean => None,
+        WalTail::TornRecord { .. } => Some(IndexError::Corrupt {
+            section: "wal-record",
+            detail: "file truncated mid-record".into(),
+        }),
+        WalTail::TornHeader { .. } => Some(IndexError::Corrupt {
+            section: "wal-header",
+            detail: "file truncated mid-record".into(),
+        }),
+    }
+}
+
+/// Read `buf.len()` bytes, tracking `offset`. Returns `Ok(false)` on EOF
+/// (partial reads count toward `offset` so tails measure exactly).
+fn read_fully(r: &mut impl Read, buf: &mut [u8], offset: &mut u64) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = r.read(&mut buf[filled..])?;
+        if n == 0 {
+            *offset += filled as u64;
+            return Ok(false);
+        }
+        filled += n;
+    }
+    *offset += buf.len() as u64;
+    Ok(true)
+}
+
+/// Scan the WAL at `path`, validating records and classifying the tail
+/// instead of failing on it. Corruption *before* the final record is
+/// still a typed error.
+pub fn scan_wal(vfs: &dyn Vfs, path: &Path) -> Result<WalScan, IndexError> {
+    let file = vfs.open_read(path).map_err(|e| IndexError::io(path, e))?;
     let mut r = BufReader::new(file);
+    let mut offset: u64 = 0;
+    let io_err = |e| IndexError::io(path, e);
+
+    let torn_header = |offset| WalScan {
+        generation: 0,
+        records: Vec::new(),
+        valid_len: 0,
+        tail: WalTail::TornHeader { len: offset },
+    };
 
     let mut magic = [0u8; 8];
-    take(&mut r, &mut magic, path, "wal-header")?;
+    if !read_fully(&mut r, &mut magic, &mut offset).map_err(io_err)? {
+        return Ok(torn_header(offset));
+    }
     if &magic != WAL_MAGIC {
         return Err(IndexError::NotAnIndex(format!(
             "bad WAL magic {:02x?} (expected {:02x?})",
@@ -186,7 +373,9 @@ pub fn read_wal(path: &Path) -> Result<(u64, Vec<WalRecord>), IndexError> {
         )));
     }
     let mut ver = [0u8; 2];
-    take(&mut r, &mut ver, path, "wal-header")?;
+    if !read_fully(&mut r, &mut ver, &mut offset).map_err(io_err)? {
+        return Ok(torn_header(offset));
+    }
     let version = u16::from_le_bytes(ver);
     if version == 0 || version > WAL_VERSION {
         return Err(IndexError::Version {
@@ -195,12 +384,18 @@ pub fn read_wal(path: &Path) -> Result<(u64, Vec<WalRecord>), IndexError> {
         });
     }
     let mut gen_bytes = [0u8; 8];
-    take(&mut r, &mut gen_bytes, path, "wal-header")?;
+    if !read_fully(&mut r, &mut gen_bytes, &mut offset).map_err(io_err)? {
+        return Ok(torn_header(offset));
+    }
     let mut sum = [0u8; 8];
-    take(&mut r, &mut sum, path, "wal-header")?;
+    if !read_fully(&mut r, &mut sum, &mut offset).map_err(io_err)? {
+        return Ok(torn_header(offset));
+    }
     let mut d = Digest::new();
     d.update(&gen_bytes);
     if d.value() != u64::from_le_bytes(sum) {
+        // All 26 header bytes are present, so this is a flipped byte, not
+        // a tear.
         return Err(IndexError::Corrupt {
             section: "wal-header",
             detail: "generation checksum mismatch".into(),
@@ -209,14 +404,28 @@ pub fn read_wal(path: &Path) -> Result<(u64, Vec<WalRecord>), IndexError> {
     let generation = u64::from_le_bytes(gen_bytes);
 
     let mut records = Vec::new();
+    let mut valid_len = offset;
     loop {
         let mut op_byte = [0u8; 1];
-        match r.read_exact(&mut op_byte) {
-            Ok(()) => {}
-            // Clean EOF at a record boundary is the normal end of the log.
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
-            Err(e) => return Err(IndexError::io(path, e)),
+        if !read_fully(&mut r, &mut op_byte, &mut offset).map_err(io_err)? {
+            // Clean EOF at a record boundary is the normal end (a 1-byte
+            // read is all-or-nothing, so EOF here is exactly boundary EOF).
+            return Ok(WalScan {
+                generation,
+                records,
+                valid_len,
+                tail: WalTail::Clean,
+            });
         }
+        let torn = |offset: u64, records: Vec<WalRecord>| WalScan {
+            generation,
+            records,
+            valid_len,
+            tail: WalTail::TornRecord {
+                valid_len,
+                lost: offset - valid_len,
+            },
+        };
         let op = match op_byte[0] {
             OP_ADD => WalOp::Add,
             OP_REMOVE => WalOp::Remove,
@@ -228,7 +437,9 @@ pub fn read_wal(path: &Path) -> Result<(u64, Vec<WalRecord>), IndexError> {
             }
         };
         let mut len_bytes = [0u8; 4];
-        take(&mut r, &mut len_bytes, path, "wal-record")?;
+        if !read_fully(&mut r, &mut len_bytes, &mut offset).map_err(io_err)? {
+            return Ok(torn(offset, records));
+        }
         let len = u32::from_le_bytes(len_bytes) as usize;
         if len > MAX_PAYLOAD {
             return Err(IndexError::Corrupt {
@@ -240,27 +451,52 @@ pub fn read_wal(path: &Path) -> Result<(u64, Vec<WalRecord>), IndexError> {
             });
         }
         let mut payload = vec![0u8; len];
-        take(&mut r, &mut payload, path, "wal-record")?;
+        if !read_fully(&mut r, &mut payload, &mut offset).map_err(io_err)? {
+            return Ok(torn(offset, records));
+        }
         let mut sum = [0u8; 8];
-        take(&mut r, &mut sum, path, "wal-record")?;
+        if !read_fully(&mut r, &mut sum, &mut offset).map_err(io_err)? {
+            return Ok(torn(offset, records));
+        }
         if record_checksum(op_byte[0], &payload) != u64::from_le_bytes(sum) {
-            return Err(IndexError::Corrupt {
-                section: "wal-record",
-                detail: format!("record {} checksum mismatch", records.len()),
-            });
+            // A garbled record that is the *last* thing in the file is a
+            // crash artifact (partial-sector garbage); one followed by
+            // more data is mid-file corruption.
+            let mut probe = [0u8; 1];
+            return if read_fully(&mut r, &mut probe, &mut offset).map_err(io_err)? {
+                Err(IndexError::Corrupt {
+                    section: "wal-record",
+                    detail: format!("record {} checksum mismatch", records.len()),
+                })
+            } else {
+                Ok(torn(offset, records))
+            };
         }
         let newick = String::from_utf8(payload).map_err(|_| IndexError::Corrupt {
             section: "wal-record",
             detail: format!("record {} payload is not valid UTF-8", records.len()),
         })?;
         records.push(WalRecord { op, newick });
+        valid_len = offset;
     }
-    Ok((generation, records))
+}
+
+/// Read and validate the whole WAL at `path`: returns its generation and
+/// every record in append order. Any flipped byte or torn record is a
+/// typed [`IndexError::Corrupt`] (strict mode; [`scan_wal`] is the lenient
+/// variant).
+pub fn read_wal(path: &Path) -> Result<(u64, Vec<WalRecord>), IndexError> {
+    let scan = scan_wal(&crate::vfs::RealVfs, path)?;
+    if let Some(err) = tail_error(&scan.tail) {
+        return Err(err);
+    }
+    Ok((scan.generation, scan.records))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::RealVfs;
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("bfhrf-wal-{}-{name}", std::process::id()));
@@ -304,18 +540,24 @@ mod tests {
         let path = tmp("flip");
         let mut wal = Wal::create(&path, 0).unwrap();
         wal.append(WalOp::Add, "((A,B),C);").unwrap();
+        wal.append(WalOp::Add, "((A,C),B);").unwrap();
         drop(wal);
         let mut bytes = std::fs::read(&path).unwrap();
-        let at = bytes.len() - 12; // inside the payload
+        // Flip inside the FIRST record's payload (header 26 + op 1 +
+        // len 4 puts the payload at offset 31): mid-file garbage is fatal
+        // even in lenient mode.
+        let at = HEADER_LEN as usize + 5 + 2;
         bytes[at] ^= 0x01;
         std::fs::write(&path, &bytes).unwrap();
         let err = read_wal(&path).unwrap_err();
         assert!(err.is_corruption(), "{err}");
         assert!(err.to_string().contains("wal-record"), "{err}");
+        let err = scan_wal(&RealVfs, &path).unwrap_err();
+        assert!(err.is_corruption(), "{err}");
     }
 
     #[test]
-    fn torn_tail_is_typed_corruption() {
+    fn torn_tail_is_typed_corruption_in_strict_mode() {
         let path = tmp("torn");
         let mut wal = Wal::create(&path, 0).unwrap();
         wal.append(WalOp::Add, "((A,B),C);").unwrap();
@@ -325,6 +567,85 @@ mod tests {
         let err = read_wal(&path).unwrap_err();
         assert!(err.is_corruption(), "{err}");
         assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn scan_classifies_torn_record_and_recover_truncates_it() {
+        let path = tmp("scan-torn");
+        let mut wal = Wal::create(&path, 3).unwrap();
+        wal.append(WalOp::Add, "((A,B),C);").unwrap();
+        wal.append(WalOp::Add, "((A,C),B);").unwrap();
+        drop(wal);
+        let full = std::fs::read(&path).unwrap();
+        let boundary = HEADER_LEN as usize + (full.len() - HEADER_LEN as usize) / 2;
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+
+        let scan = scan_wal(&RealVfs, &path).unwrap();
+        assert_eq!(scan.generation, 3);
+        assert_eq!(scan.records.len(), 1, "first record survives");
+        assert_eq!(scan.valid_len as usize, boundary);
+        assert!(
+            matches!(scan.tail, WalTail::TornRecord { lost, .. } if lost > 0),
+            "{:?}",
+            scan.tail
+        );
+
+        let opened = Wal::recover(real_vfs(), &path).unwrap().unwrap();
+        assert_eq!(opened.records.len(), 1);
+        assert_eq!(opened.notes.len(), 1, "{:?}", opened.notes);
+        assert!(opened.notes[0].contains("torn final record"));
+        drop(opened);
+        // The file is truncated back to a clean boundary now.
+        let (generation, records) = read_wal(&path).unwrap();
+        assert_eq!(generation, 3);
+        assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn recover_appends_after_truncation() {
+        let path = tmp("recover-append");
+        let mut wal = Wal::create(&path, 0).unwrap();
+        wal.append(WalOp::Add, "((A,B),C);").unwrap();
+        wal.append(WalOp::Add, "((A,C),B);").unwrap();
+        drop(wal);
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let mut opened = Wal::recover(real_vfs(), &path).unwrap().unwrap();
+        opened.wal.append(WalOp::Add, "(A,(B,C));").unwrap();
+        drop(opened.wal);
+        let (_, records) = read_wal(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].newick, "(A,(B,C));");
+    }
+
+    #[test]
+    fn garbled_final_record_is_recoverable_mid_file_is_not() {
+        // Flip a byte in the LAST record's payload: lenient scan treats it
+        // as crash garbage at the tail.
+        let path = tmp("garbled-tail");
+        let mut wal = Wal::create(&path, 0).unwrap();
+        wal.append(WalOp::Add, "((A,B),C);").unwrap();
+        wal.append(WalOp::Add, "((A,C),B);").unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() - 12; // inside the final payload
+        bytes[at] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_wal(&path).is_err(), "strict mode still refuses");
+        let scan = scan_wal(&RealVfs, &path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(matches!(scan.tail, WalTail::TornRecord { .. }));
+    }
+
+    #[test]
+    fn torn_header_is_classified() {
+        let path = tmp("torn-header");
+        Wal::create(&path, 9).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..11]).unwrap();
+        let scan = scan_wal(&RealVfs, &path).unwrap();
+        assert_eq!(scan.tail, WalTail::TornHeader { len: 11 });
+        assert!(Wal::recover(real_vfs(), &path).unwrap().is_none());
     }
 
     #[test]
@@ -349,5 +670,39 @@ mod tests {
             read_wal(&path).unwrap_err(),
             IndexError::Version { found: 0xEEEE, .. }
         ));
+    }
+
+    #[test]
+    fn failed_append_rolls_back_to_a_clean_boundary() {
+        use crate::vfs::{FaultKind, FaultSite, FaultVfs, MemVfs};
+        let mem = MemVfs::new();
+        let vfs = FaultVfs::new(Arc::new(mem.clone()));
+        let path = Path::new("wal.log");
+        let mut wal = Wal::create_with(Arc::new(vfs.clone()), path, 0).unwrap();
+        wal.append(WalOp::Add, "((A,B),C);").unwrap();
+        let good_len = mem.read_bytes(path).unwrap().len();
+
+        // Tear the next record's write mid-payload.
+        vfs.fail_nth(FaultSite::Write, 1, FaultKind::Torn { keep: 7 });
+        assert!(wal.append(WalOp::Add, "((A,C),B);").is_err());
+        assert_eq!(
+            mem.read_bytes(path).unwrap().len(),
+            good_len,
+            "rollback must erase the torn record"
+        );
+
+        // The log keeps working and a scan sees a clean file.
+        wal.append(WalOp::Add, "(A,(B,C));").unwrap();
+        let scan = scan_wal(&mem, path).unwrap();
+        assert_eq!(scan.tail, WalTail::Clean);
+        assert_eq!(scan.records.len(), 2);
+
+        // An fsync failure also rolls back: the record was never
+        // acknowledged, so it must not survive.
+        vfs.fail_nth(FaultSite::Sync, 1, FaultKind::Enospc);
+        assert!(wal.append(WalOp::Add, "((B,C),A);").is_err());
+        let scan = scan_wal(&mem, path).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.tail, WalTail::Clean);
     }
 }
