@@ -177,7 +177,8 @@ if gen is None or gen["value"] < 0:
 # every op x outcome cell is pre-registered so dashboards never see a
 # series appear out of nowhere; spot-check the schema stability claim
 for op in ("hello", "avgrf", "best-query", "batch", "ping", "stats", "add",
-           "remove", "compact", "shutdown", "unknown"):
+           "remove", "compact", "xavgrf", "catalog-create", "catalog-drop",
+           "catalog-list", "shutdown", "unknown"):
     for outcome in ("ok", "error", "budget", "cancelled", "busy"):
         if ("serve_requests_total", f"op={op},outcome={outcome}") not in by_key:
             sys.exit(f"serve smoke: missing pre-registered series "
@@ -190,4 +191,144 @@ echo "== clean shutdown"
 "$BIN" query --port-file "$WORK/port" --op shutdown
 wait "$SERVER_PID"
 SERVER_PID=""
-echo "serve smoke: served answers match offline avgrf"
+
+# ---------------------------------------------------------------------------
+# Multi-collection catalog: one daemon, many indexes, LRU-managed under a
+# global memory budget. Phase 1 creates three collections unbudgeted and
+# measures their combined resident size; phase 2 restarts the same catalog
+# under a budget one byte smaller, so serving the interleaved workload is
+# only possible by evicting — and every routed answer must still match the
+# offline report byte-for-byte.
+# ---------------------------------------------------------------------------
+
+wait_port() {
+    local file=$1 pid=$2
+    for _ in $(seq 1 100); do
+        [ -s "$file" ] && return 0
+        kill -0 "$pid" 2>/dev/null || { echo "serve smoke: daemon died" >&2; exit 1; }
+        sleep 0.1
+    done
+    echo "serve smoke: port file never appeared" >&2
+    exit 1
+}
+
+echo "== catalog: simulate three collections on a shared taxon set"
+"$BIN" simulate --taxa 32 --trees 30 --out "$WORK/c1.nwk" --seed 101
+"$BIN" simulate --taxa 32 --trees 30 --out "$WORK/c2.nwk" --seed 202
+"$BIN" simulate --taxa 32 --trees 30 --out "$WORK/c3.nwk" --seed 303
+head -n 3 "$WORK/c1.nwk" >"$WORK/cq.nwk"
+
+echo "== catalog phase 1: create collections unbudgeted, measure residency"
+"$BIN" serve --index "$WORK/index" --catalog "$WORK/catalog" \
+    --addr 127.0.0.1:0 --threads 2 --port-file "$WORK/port2" &
+SERVER_PID=$!
+wait_port "$WORK/port2" "$SERVER_PID"
+for c in c1 c2 c3; do
+    "$BIN" catalog create --port-file "$WORK/port2" --name "$c" \
+        --trees "$WORK/$c.nwk"
+    # Touch each collection through the routed path so it is open (and
+    # therefore measured) when we read the resident sizes below.
+    "$BIN" query --port-file "$WORK/port2" --op stats --collection "$c" >/dev/null
+done
+"$BIN" catalog list --port-file "$WORK/port2" >"$WORK/catalog_list.tsv"
+cat "$WORK/catalog_list.tsv"
+COMBINED=$(awk -F'\t' 'NR > 1 && $2 == "true" { s += $3 } END { print s+0 }' \
+    "$WORK/catalog_list.tsv")
+OPEN_ROWS=$(awk -F'\t' 'NR > 1 && $2 == "true"' "$WORK/catalog_list.tsv" | wc -l)
+[ "$OPEN_ROWS" -eq 3 ] || {
+    echo "serve smoke: expected 3 open collections, saw $OPEN_ROWS" >&2; exit 1; }
+[ "$COMBINED" -gt 3 ] || {
+    echo "serve smoke: implausible combined resident size $COMBINED" >&2; exit 1; }
+"$BIN" query --port-file "$WORK/port2" --op shutdown
+wait "$SERVER_PID"
+SERVER_PID=""
+rm -f "$WORK/port2"
+
+echo "== catalog phase 2: budget $((COMBINED - 1)) < combined $COMBINED forces LRU eviction"
+"$BIN" serve --index "$WORK/index" --catalog "$WORK/catalog" \
+    --mem-budget "$((COMBINED - 1))" \
+    --addr 127.0.0.1:0 --threads 2 --port-file "$WORK/port2" &
+SERVER_PID=$!
+wait_port "$WORK/port2" "$SERVER_PID"
+
+echo "== routed queries match offline avgrf per collection, across evictions"
+for c in c1 c2 c3 c1; do
+    "$BIN" avgrf --refs "$WORK/$c.nwk" --queries "$WORK/cq.nwk" \
+        >"$WORK/offline_$c.tsv"
+    "$BIN" query --port-file "$WORK/port2" --collection "$c" \
+        --queries "$WORK/cq.nwk" >"$WORK/served_$c.tsv"
+    diff -u "$WORK/offline_$c.tsv" "$WORK/served_$c.tsv"
+done
+
+echo "== cross-collection xavgrf on the shared taxa"
+"$BIN" query --port-file "$WORK/port2" --op xavgrf \
+    --refs-collection c1 --queries-collection c2 >"$WORK/xavgrf.tsv"
+head -n 2 "$WORK/xavgrf.tsv"
+COMMON=$(awk -F'\t' '$1 == "common_taxa" { print $2 }' "$WORK/xavgrf.tsv")
+[ "$COMMON" -eq 32 ] || {
+    echo "serve smoke: xavgrf saw $COMMON common taxa, expected 32" >&2; exit 1; }
+XROWS=$(awk 'NR > 2' "$WORK/xavgrf.tsv" | wc -l)
+[ "$XROWS" -eq 30 ] || {
+    echo "serve smoke: xavgrf scored $XROWS queries, expected 30" >&2; exit 1; }
+
+echo "== ping reports the catalog; collection-less clients are untouched"
+"$BIN" query --port-file "$WORK/port2" --op ping | tee "$WORK/pong2.tsv"
+grep -q $'^collections\t4$' "$WORK/pong2.tsv" || {
+    echo "serve smoke: pong should count default + 3 collections" >&2; exit 1; }
+"$BIN" query --port-file "$WORK/port2" --queries "$WORK/queries.nwk" \
+    >"$WORK/served_default.tsv"
+diff -u "$WORK/offline.tsv" "$WORK/served_default.tsv"
+
+echo "== catalog counters: evictions observed, residency under budget"
+"$BIN" stats --port-file "$WORK/port2" --json >"$WORK/stats2.json"
+python3 - "$WORK/stats2.json" "$COMBINED" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+combined = int(sys.argv[2])
+
+by_key = {}
+for s in doc["metrics"]["series"]:
+    labels = ",".join(f"{k}={v}" for k, v in sorted(s["labels"].items()))
+    by_key[(s["name"], labels)] = s
+
+def value(name, labels=""):
+    s = by_key.get((name, labels))
+    return None if s is None else s["value"]
+
+if value("catalog_collections") != 3:
+    sys.exit(f"serve smoke: catalog_collections != 3: "
+             f"{value('catalog_collections')}")
+cold = value("catalog_opens_total", "kind=cold") or 0
+if cold < 3:
+    sys.exit(f"serve smoke: expected >= 3 cold opens, saw {cold}")
+evictions = sum(s["value"] for (name, _), s in by_key.items()
+                if name == "catalog_evictions_total")
+if evictions < 1:
+    sys.exit("serve smoke: the over-budget workload evicted nothing")
+resident = value("catalog_resident_bytes")
+if resident is None or resident >= combined:
+    sys.exit(f"serve smoke: resident {resident} not held under "
+             f"combined {combined}")
+for c in ("c1", "c2", "c3"):
+    if ("catalog_collection_open", f"collection={c}") not in by_key:
+        sys.exit(f"serve smoke: missing per-collection gauge for {c}")
+print(f"serve smoke: catalog ok ({cold} cold opens, {evictions} evictions, "
+      f"resident {resident}/{combined - 1})")
+EOF
+
+echo "== catalog admin: drop removes a collection from the listing"
+"$BIN" catalog drop --port-file "$WORK/port2" --name c3
+"$BIN" catalog list --port-file "$WORK/port2" >"$WORK/catalog_list2.tsv"
+ROWS=$(awk 'NR > 1' "$WORK/catalog_list2.tsv" | wc -l)
+[ "$ROWS" -eq 2 ] || {
+    echo "serve smoke: expected 2 collections after drop, saw $ROWS" >&2; exit 1; }
+! grep -q $'^c3\t' "$WORK/catalog_list2.tsv" || {
+    echo "serve smoke: dropped collection still listed" >&2; exit 1; }
+
+"$BIN" query --port-file "$WORK/port2" --op shutdown
+wait "$SERVER_PID"
+SERVER_PID=""
+echo "serve smoke: served answers match offline avgrf; catalog workload ok"

@@ -4,13 +4,17 @@
 //! index_bench [--trees R] [--repeats K] [--requests Q] [--out FILE]
 //! ```
 //!
-//! Two questions, one file (`BENCH_index.json`):
+//! Three questions, one file (`BENCH_index.json`):
 //!
 //! 1. **Startup**: how much faster is loading a snapshot than re-parsing
 //!    the Newick collection and rebuilding the hash from scratch?
 //!    (one warmup cycle, then median-of-K with CV for cold build,
 //!    snapshot save, snapshot load)
-//! 2. **Serving**: how many `avgrf` requests per second does `bfhrf
+//! 2. **Catalog**: what does collection routing cost — a cold open
+//!    (snapshot load + WAL replay on first acquire, the price of an LRU
+//!    eviction) vs a warm acquire (pin an already-open collection, the
+//!    steady-state per-request cost)?
+//! 3. **Serving**: how many `avgrf` requests per second does `bfhrf
 //!    serve` sustain with 1, 4, and 8 concurrent client connections —
 //!    both as single-op request/response frames and as pipelined v2
 //!    `batch` frames (64 queries each, `batch_qps` counts individual
@@ -135,6 +139,58 @@ fn main() {
     );
     eprintln!("[index_bench] cold build {cold:.4}s, snapshot save {save:.4}s, load {load:.4}s");
 
+    // -------- catalog: cold open vs LRU-warm acquire -------------------
+    // A cold acquire pays the full collection open (snapshot load + WAL
+    // replay) — the cost an LRU eviction pushes onto the next request for
+    // the evicted collection. A warm acquire just pins the open cell. The
+    // gap is the budget/latency trade the catalog makes.
+    let cat_dir = dir.join("catalog");
+    let cat_trees: String = ds
+        .newick
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .take(300)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    {
+        let mut cat = phylo_index::Catalog::open(&cat_dir, None).expect("catalog open");
+        cat.create("bench", &cat_trees).expect("catalog create");
+    }
+    let mut cat_colds = Vec::with_capacity(repeats);
+    let mut cat_warms = Vec::with_capacity(repeats);
+    const WARM_ACQUIRES: usize = 1000;
+    for rep in 0..=repeats {
+        // Fresh Catalog per repeat: the open pool starts empty, so the
+        // first acquire is genuinely cold.
+        let mut cat = phylo_index::Catalog::open(&cat_dir, None).expect("catalog reopen");
+        let t = Instant::now();
+        drop(cat.acquire("bench").expect("cold acquire"));
+        let cold_s = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        for _ in 0..WARM_ACQUIRES {
+            drop(cat.acquire("bench").expect("warm acquire"));
+        }
+        let warm_s = t.elapsed().as_secs_f64() / WARM_ACQUIRES as f64;
+        if rep > 0 {
+            cat_colds.push(cold_s);
+            cat_warms.push(warm_s);
+        }
+    }
+    let (cat_cold, cat_cold_cv) = (
+        bfhrf_bench::stats::median(&cat_colds),
+        bfhrf_bench::stats::coeff_of_variation(&cat_colds),
+    );
+    let (cat_warm, cat_warm_cv) = (
+        bfhrf_bench::stats::median(&cat_warms),
+        bfhrf_bench::stats::coeff_of_variation(&cat_warms),
+    );
+    eprintln!(
+        "[index_bench] catalog cold open {:.1}us, warm acquire {:.3}us ({:.0}x)",
+        cat_cold * 1e6,
+        cat_warm * 1e6,
+        cat_cold / cat_warm
+    );
+
     // -------- serving: avgrf throughput at 1/4/8 clients ---------------
     let newick = phylo::write_newick(&coll.trees[0], &coll.taxa);
     let query = format!(r#"{{"op":"avgrf","queries":["{newick}"]}}"#);
@@ -143,12 +199,16 @@ fn main() {
         r#"{{"v":2,"op":"batch","queries":[{}]}}"#,
         vec![format!("\"{newick}\""); batch_size].join(",")
     );
+    // Slots ride well above the 8-client peak: rounds run back-to-back,
+    // and a fresh round's connects can race the server's teardown of the
+    // previous round's (already-closed) sockets.
     let srv = Server::bind(&ServeConfig {
         index_dir: index_dir.clone(),
         addr: "127.0.0.1:0".into(),
-        threads: 8,
+        threads: 32,
         mem_budget: None,
         timeout_ms: None,
+        catalog_dir: None,
     })
     .expect("server bind");
     let addr = srv.local_addr();
@@ -297,6 +357,15 @@ fn main() {
         json,
         "  \"load_speedup_vs_cold_build\": {:.3},",
         cold / load
+    );
+    let _ = writeln!(json, "  \"catalog_cold_open_seconds\": {cat_cold:.9},");
+    let _ = writeln!(json, "  \"catalog_cold_open_cv\": {cat_cold_cv:.4},");
+    let _ = writeln!(json, "  \"catalog_warm_acquire_seconds\": {cat_warm:.9},");
+    let _ = writeln!(json, "  \"catalog_warm_acquire_cv\": {cat_warm_cv:.4},");
+    let _ = writeln!(
+        json,
+        "  \"catalog_warm_speedup_vs_cold\": {:.3},",
+        cat_cold / cat_warm
     );
     let _ = writeln!(json, "  \"batch_size\": {batch_size},");
     json.push_str("  \"serve\": [\n");

@@ -240,6 +240,7 @@ fn main() {
         threads: 4,
         mem_budget: None,
         timeout_ms: None,
+        catalog_dir: None,
     })
     .expect("server bind");
     let addr = srv.local_addr();

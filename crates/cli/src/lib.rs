@@ -125,6 +125,7 @@ pub fn run_full(argv: &[String]) -> Result<CmdOutcome, CliError> {
         "serve" => cmd_serve(rest),
         "query" => cmd_query(rest),
         "stats" => cmd_stats(rest),
+        "catalog" => cmd_catalog(rest),
         "help" | "--help" | "-h" => Ok(CmdOutcome::clean(usage())),
         other => Err(format!("unknown subcommand {other:?}\n\n{}", usage()).into()),
     }
@@ -183,23 +184,41 @@ pub fn usage() -> String {
      \x20          --refs FILE --k K [--budget-mb M]\n\
      index      persistent on-disk BFH index (snapshot + WAL)\n\
      \x20          build    --refs FILE --out DIR [--shards K] [--lenient]\n\
+     \x20                   or --refs FILE --catalog DIR --collection NAME\n\
+     \x20                   to create a collection in a local catalog\n\
      \x20          inspect  --index DIR [--check]\n\
+     \x20                   or --catalog DIR --collection NAME\n\
      \x20          compact  --index DIR\n\
      \x20          add      --index DIR --trees FILE\n\
      \x20          remove   --index DIR --trees FILE\n\
      serve      answer queries from an index over TCP (NDJSON protocol v2)\n\
      \x20          --index DIR [--addr HOST:PORT] [--threads MAX_CONNS]\n\
      \x20          [--port-file FILE] [--mem-budget BYTES] [--timeout-ms MS]\n\
+     \x20          [--catalog DIR]  host named collections next to the\n\
+     \x20                           default index, LRU-evicted under the\n\
+     \x20                           shared --mem-budget\n\
      query      request(s) against a running server\n\
      \x20          --addr HOST:PORT | --port-file FILE\n\
-     \x20          --op avgrf|best-query|ping|stats|add|remove|compact|shutdown\n\
+     \x20          --op avgrf|best-query|ping|stats|add|remove|compact|\n\
+     \x20               xavgrf|catalog-create|catalog-drop|catalog-list|\n\
+     \x20               shutdown\n\
      \x20          [--queries FILE] [--trees FILE] [--normalized] [--halved]\n\
+     \x20          [--collection NAME]  route the op at a named catalog\n\
+     \x20                               collection (v2 framing)\n\
+     \x20          [--refs-collection A --queries-collection B]  xavgrf\n\
+     \x20                               operands: cross-collection average\n\
+     \x20                               RF over the common taxa\n\
+     \x20          [--name NAME]        catalog-create / catalog-drop target\n\
      \x20          [--batch N]   pipelined v2 batch frames of N queries each\n\
      \x20          [--retries N] [--backoff-ms MS]\n\
      \x20                        reconnect + resend on connection loss or a\n\
      \x20                        busy shed (idempotent read ops only);\n\
      \x20                        exponential backoff with jitter. Exhausted\n\
      \x20                        retries keep the 0/1/3 exit contract.\n\
+     catalog    administer a serving daemon's collection catalog\n\
+     \x20          create   --addr|--port-file --name NAME [--trees FILE]\n\
+     \x20          drop     --addr|--port-file --name NAME\n\
+     \x20          list     --addr|--port-file\n\
      stats      fetch and render a running server's metrics\n\
      \x20          --addr HOST:PORT | --port-file FILE [--json]\n"
         .to_string()
@@ -702,6 +721,8 @@ fn cmd_index_build(raw: &[String]) -> Result<CmdOutcome, CliError> {
             "max-errors",
             "mem-budget",
             "timeout",
+            "catalog",
+            "collection",
         ],
         &["lenient", "profile"],
     )?;
@@ -710,6 +731,30 @@ fn cmd_index_build(raw: &[String]) -> Result<CmdOutcome, CliError> {
     let mut prof = phylo_obs::Profiler::new(a.flag("profile"));
     let mut notes = Vec::new();
     let refs_path = a.require("refs")?;
+    if let Some(cat_dir) = a.get("catalog") {
+        // Catalog mode: fold the references into a named collection of a
+        // local catalog instead of a standalone --out directory.
+        let name = a.require("collection")?;
+        if a.get("out").is_some() {
+            return Err("--catalog/--collection and --out are mutually exclusive"
+                .to_string()
+                .into());
+        }
+        let (refs, report) = load_with(refs_path, policy)?;
+        let partial = note_ingest(&mut notes, refs_path, &report);
+        let text: String = refs
+            .trees
+            .iter()
+            .map(|t| format!("{}\n", phylo::write_newick(t, &refs.taxa)))
+            .collect();
+        let mut cat = phylo_index::Catalog::open(Path::new(cat_dir), None).map_err(index_fail)?;
+        let n_trees = cat.create(name, &text).map_err(index_fail)?;
+        return Ok(CmdOutcome {
+            stdout: format!("catalog\t{cat_dir}\ncollection\t{name}\nn_trees\t{n_trees}\n"),
+            notes,
+            code: if partial { EXIT_PARTIAL } else { EXIT_OK },
+        });
+    }
     let out_dir = a.require("out")?;
     prof.phase("load");
     let (refs, report) = load_with(refs_path, policy)?;
@@ -741,7 +786,20 @@ fn cmd_index_build(raw: &[String]) -> Result<CmdOutcome, CliError> {
 
 fn cmd_index_inspect(raw: &[String]) -> Result<CmdOutcome, CliError> {
     let a = Args::parse(raw, &["check"])?;
-    a.reject_unknown(&["index"], &["check"])?;
+    a.reject_unknown(&["index", "catalog", "collection"], &["check"])?;
+    if let Some(cat_dir) = a.get("catalog") {
+        // Catalog mode: open the named collection (replaying its WAL and
+        // healing the tree-list sidecar exactly as the daemon would) and
+        // report its stats.
+        let name = a.require("collection")?;
+        let mut cat = phylo_index::Catalog::open(Path::new(cat_dir), None).map_err(index_fail)?;
+        let pin = cat.acquire(name).map_err(index_fail)?;
+        let stats = pin.lock().stats();
+        return Ok(CmdOutcome::clean(format!(
+            "collection\t{name}\ngeneration\t{}\nn_taxa\t{}\nn_trees\t{}\nsum\t{}\ndistinct\t{}\nwal_pending\t{}\n",
+            stats.generation, stats.n_taxa, stats.n_trees, stats.sum, stats.distinct, stats.wal_pending
+        )));
+    }
     let dir = Path::new(a.require("index")?);
     let meta = phylo_index::read_meta(&dir.join(phylo_index::SNAPSHOT_FILE)).map_err(index_fail)?;
     let wal_path = dir.join(phylo_index::WAL_FILE);
@@ -822,6 +880,7 @@ fn cmd_serve(raw: &[String]) -> Result<CmdOutcome, CliError> {
             "port-file",
             "mem-budget",
             "timeout-ms",
+            "catalog",
         ],
         &[],
     )?;
@@ -833,6 +892,7 @@ fn cmd_serve(raw: &[String]) -> Result<CmdOutcome, CliError> {
         threads: a.get_parsed("threads")?.unwrap_or(64),
         mem_budget: a.get_parsed("mem-budget")?,
         timeout_ms: a.get_parsed("timeout-ms")?,
+        catalog_dir: a.get("catalog").map(|s| Path::new(s).to_path_buf()),
     };
     let srv = server::Server::bind(&cfg)?;
     let addr = srv.local_addr();
@@ -843,6 +903,9 @@ fn cmd_serve(raw: &[String]) -> Result<CmdOutcome, CliError> {
     // The daemon's only immediate signal (stdout is buffered until exit):
     // humans see the address, scripts read the --port-file.
     eprintln!("bfhrf: serving {} on {addr}", cfg.index_dir.display());
+    if let Some(cat) = &cfg.catalog_dir {
+        eprintln!("bfhrf: catalog at {}", cat.display());
+    }
     let served = srv.run()?;
     Ok(CmdOutcome::clean(format!("served\t{served}\n")))
 }
@@ -997,7 +1060,25 @@ fn send_request(addr: &str, request: &json::Json) -> Result<json::Json, CliError
 
 /// Ops a retry budget may apply to: pure reads, where re-sending after an
 /// ambiguous failure cannot double-apply anything.
-const IDEMPOTENT_OPS: [&str; 4] = ["avgrf", "best-query", "stats", "ping"];
+const IDEMPOTENT_OPS: [&str; 6] = [
+    "avgrf",
+    "best-query",
+    "stats",
+    "ping",
+    "xavgrf",
+    "catalog-list",
+];
+
+/// Ops that accept a `--collection` routing field.
+const ROUTED_OPS: [&str; 7] = [
+    "avgrf",
+    "best-query",
+    "ping",
+    "stats",
+    "add",
+    "remove",
+    "compact",
+];
 
 fn cmd_query(raw: &[String]) -> Result<CmdOutcome, CliError> {
     let a = Args::parse(raw, &["normalized", "halved"])?;
@@ -1011,11 +1092,23 @@ fn cmd_query(raw: &[String]) -> Result<CmdOutcome, CliError> {
             "batch",
             "retries",
             "backoff-ms",
+            "collection",
+            "refs-collection",
+            "queries-collection",
+            "name",
         ],
         &["normalized", "halved"],
     )?;
     let addr = query_addr(&a)?;
     let op = a.get("op").unwrap_or("avgrf");
+    let collection = a.get("collection").map(str::to_string);
+    if collection.is_some() && !ROUTED_OPS.contains(&op) {
+        return Err(format!(
+            "--collection only applies to collection-routed ops ({}); got {op:?}",
+            ROUTED_OPS.join(", ")
+        )
+        .into());
+    }
 
     let retries: u32 = a.get_parsed("retries")?.unwrap_or(0);
     let backoff_ms: u64 = a.get_parsed("backoff-ms")?.unwrap_or(100);
@@ -1045,7 +1138,7 @@ fn cmd_query(raw: &[String]) -> Result<CmdOutcome, CliError> {
             normalized: a.flag("normalized"),
             halved: a.flag("halved"),
         };
-        return batched_avgrf(&addr, batch, &payload, flags, retry);
+        return batched_avgrf(&addr, batch, &payload, flags, collection, retry);
     }
 
     let mut fields: Vec<(&str, json::Json)> = vec![("op", op.into())];
@@ -1072,13 +1165,50 @@ fn cmd_query(raw: &[String]) -> Result<CmdOutcome, CliError> {
         }
         "ping" => fields.insert(0, ("v", 2u64.into())),
         "stats" | "compact" | "shutdown" => {}
+        "xavgrf" => {
+            fields.push(("refs", a.require("refs-collection")?.into()));
+            fields.push(("queries", a.require("queries-collection")?.into()));
+            if a.flag("normalized") {
+                fields.push(("normalized", true.into()));
+            }
+            if a.flag("halved") {
+                fields.push(("halved", true.into()));
+            }
+        }
+        "catalog-create" => {
+            fields.push(("name", a.require("name")?.into()));
+            if let Some(trees_path) = a.get("trees") {
+                let payload = payload_from_file(trees_path)?;
+                fields.push((
+                    "trees",
+                    json::Json::Arr(payload.into_iter().map(Into::into).collect()),
+                ));
+            }
+        }
+        "catalog-drop" => fields.push(("name", a.require("name")?.into())),
+        "catalog-list" => {}
         other => {
             return Err(format!(
                 "unknown op {other:?} (expected avgrf, best-query, ping, stats, add, remove, \
-                 compact, shutdown)"
+                 compact, xavgrf, catalog-create, catalog-drop, catalog-list, shutdown)"
             )
             .into())
         }
+    }
+    // Collection routing and the catalog/cross-collection ops are a v2
+    // vocabulary: frame them explicitly so an old server fails loudly
+    // instead of guessing. Collection-less legacy ops keep their exact
+    // pre-catalog frames.
+    if let Some(name) = &collection {
+        fields.push(("collection", name.as_str().into()));
+    }
+    let needs_v2 = collection.is_some()
+        || matches!(
+            op,
+            "xavgrf" | "catalog-create" | "catalog-drop" | "catalog-list"
+        );
+    if needs_v2 && op != "ping" {
+        fields.insert(0, ("v", 2u64.into()));
     }
     let request = json::Json::obj(fields);
     let resp = send_request_retry(&addr, &request, &mut retry)?;
@@ -1244,6 +1374,7 @@ fn batched_avgrf(
     batch: usize,
     payload: &[String],
     flags: proto::QueryFlags,
+    collection: Option<String>,
     mut retry: Retry,
 ) -> Result<CmdOutcome, CliError> {
     use proto::{Envelope, Request, Response};
@@ -1305,6 +1436,7 @@ fn batched_avgrf(
                     Request::Batch {
                         queries: chunks[sent].to_vec(),
                         flags,
+                        collection: collection.clone(),
                     },
                     Some(sent as u64),
                 );
@@ -1444,11 +1576,134 @@ fn render_response(op: &str, resp: &json::Json) -> Result<String, CliError> {
             for key in ["generation", "wal_pending", "uptime_ms"] {
                 let _ = writeln!(out, "{key}\t{}", field(key)?.as_u64().unwrap_or(0));
             }
+            // Catalog-aware daemons add the collection counts on v2 pongs;
+            // rows appear only when present so pre-catalog servers render
+            // byte-identically.
+            for key in ["collections", "open_collections"] {
+                if let Some(v) = resp.get(key).and_then(json::Json::as_u64) {
+                    let _ = writeln!(out, "{key}\t{v}");
+                }
+            }
+            Ok(out)
+        }
+        "xavgrf" => {
+            let mut out = format!(
+                "common_taxa\t{}\nquery\tavg_rf\n",
+                field("common_taxa")?.as_u64().unwrap_or(0)
+            );
+            for row in field("scores")?.as_arr().unwrap_or(&[]) {
+                let idx = row.get("index").and_then(json::Json::as_u64).unwrap_or(0);
+                let avg = row
+                    .get("avg")
+                    .and_then(json::Json::as_f64)
+                    .unwrap_or(f64::NAN);
+                let _ = writeln!(out, "{idx}\t{avg:.6}");
+            }
+            Ok(out)
+        }
+        "catalog-create" => Ok(format!(
+            "created\t{}\nn_trees\t{}\n",
+            field("created")?.as_str().unwrap_or("?"),
+            field("n_trees")?.as_u64().unwrap_or(0),
+        )),
+        "catalog-drop" => Ok(format!(
+            "dropped\t{}\n",
+            field("dropped")?.as_str().unwrap_or("?"),
+        )),
+        "catalog-list" => {
+            let mut out = String::from("name\topen\tresident_bytes\n");
+            for row in field("catalog")?.as_arr().unwrap_or(&[]) {
+                let _ = writeln!(
+                    out,
+                    "{}\t{}\t{}",
+                    row.get("name").and_then(json::Json::as_str).unwrap_or("?"),
+                    row.get("open")
+                        .and_then(json::Json::as_bool)
+                        .unwrap_or(false),
+                    row.get("resident_bytes")
+                        .and_then(json::Json::as_u64)
+                        .unwrap_or(0),
+                );
+            }
             Ok(out)
         }
         "shutdown" => Ok("shutdown\tok\n".to_string()),
         _ => unreachable!("ops are validated before the request is sent"),
     }
+}
+
+/// `bfhrf catalog <create|drop|list>`: administer a running daemon's
+/// collection catalog over the v2 wire ops — verb-shaped sugar over
+/// `query --op catalog-*` so scripts read like the operations they
+/// perform.
+fn cmd_catalog(raw: &[String]) -> Result<CmdOutcome, CliError> {
+    let Some(verb) = raw.first() else {
+        return Err("catalog needs a verb: create, drop, list"
+            .to_string()
+            .into());
+    };
+    let rest = &raw[1..];
+    let (op, knowns): (&str, &[&str]) = match verb.as_str() {
+        "create" => ("catalog-create", &["addr", "port-file", "name", "trees"]),
+        "drop" => ("catalog-drop", &["addr", "port-file", "name"]),
+        "list" => ("catalog-list", &["addr", "port-file"]),
+        other => {
+            return Err(
+                format!("unknown catalog verb {other:?} (expected create, drop, list)").into(),
+            )
+        }
+    };
+    let a = Args::parse(rest, &[])?;
+    a.reject_unknown(knowns, &[])?;
+    let addr = query_addr(&a)?;
+    let mut fields: Vec<(&str, json::Json)> = vec![("v", 2u64.into()), ("op", op.into())];
+    match verb.as_str() {
+        "create" => {
+            fields.push(("name", a.require("name")?.into()));
+            if let Some(trees_path) = a.get("trees") {
+                let payload = payload_from_file(trees_path)?;
+                fields.push((
+                    "trees",
+                    json::Json::Arr(payload.into_iter().map(Into::into).collect()),
+                ));
+            }
+        }
+        "drop" => fields.push(("name", a.require("name")?.into())),
+        _ => {}
+    }
+    let request = json::Json::obj(fields);
+    let resp = send_request(&addr, &request)?;
+    if resp.get("ok").and_then(json::Json::as_bool) != Some(true) {
+        let code = resp
+            .get("code")
+            .and_then(json::Json::as_str)
+            .unwrap_or("error");
+        let outcome = resp
+            .get("outcome")
+            .and_then(json::Json::as_str)
+            .unwrap_or(code);
+        let message = resp
+            .get("error")
+            .and_then(json::Json::as_str)
+            .unwrap_or("server reported an unspecified failure");
+        return Err(CliError {
+            message: format!("server: [{outcome}] {message}"),
+            code: server::protocol_code_to_exit(code),
+        });
+    }
+    let notes: Vec<String> = resp
+        .get("notes")
+        .and_then(json::Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|n| n.as_str().map(|s| format!("server: {s}")))
+        .collect();
+    let stdout = render_response(op, &resp)?;
+    Ok(CmdOutcome {
+        stdout,
+        notes,
+        code: EXIT_OK,
+    })
 }
 
 /// `bfhrf stats`: fetch one `stats` snapshot from a running daemon and

@@ -163,6 +163,15 @@ pub enum Op {
     Remove,
     /// Fold the WAL into a fresh snapshot (admin).
     Compact,
+    /// Cross-collection RF: one catalog collection's trees scored against
+    /// another's via restriction to the common taxa (v2).
+    Xavgrf,
+    /// Create a catalog collection (admin, v2).
+    CatalogCreate,
+    /// Drop a catalog collection (admin, v2).
+    CatalogDrop,
+    /// List catalog collections (v2).
+    CatalogList,
     /// Stop the daemon.
     Shutdown,
     /// Unparseable frame or unrecognized op name.
@@ -171,7 +180,7 @@ pub enum Op {
 
 impl Op {
     /// All ops in metrics-label order; `Unknown` is last.
-    pub const ALL: [Op; 11] = [
+    pub const ALL: [Op; 15] = [
         Op::Hello,
         Op::AvgRf,
         Op::BestQuery,
@@ -181,6 +190,10 @@ impl Op {
         Op::Add,
         Op::Remove,
         Op::Compact,
+        Op::Xavgrf,
+        Op::CatalogCreate,
+        Op::CatalogDrop,
+        Op::CatalogList,
         Op::Shutdown,
         Op::Unknown,
     ];
@@ -197,6 +210,10 @@ impl Op {
             Op::Add => "add",
             Op::Remove => "remove",
             Op::Compact => "compact",
+            Op::Xavgrf => "xavgrf",
+            Op::CatalogCreate => "catalog-create",
+            Op::CatalogDrop => "catalog-drop",
+            Op::CatalogList => "catalog-list",
             Op::Shutdown => "shutdown",
             Op::Unknown => "unknown",
         }
@@ -227,7 +244,10 @@ pub struct QueryFlags {
     pub halved: bool,
 }
 
-/// A parsed, typed request payload.
+/// A parsed, typed request payload. Every op that touches index state
+/// carries an optional `collection` routing field (v2): absent or
+/// `"default"` targets the daemon's default index, anything else a
+/// catalog collection.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Version/capability handshake.
@@ -239,11 +259,15 @@ pub enum Request {
         queries: Vec<String>,
         /// Presentation flags.
         flags: QueryFlags,
+        /// Catalog collection to score against (v2).
+        collection: Option<String>,
     },
     /// Index + score of the lowest-average query.
     BestQuery {
         /// Newick query trees.
         queries: Vec<String>,
+        /// Catalog collection to score against (v2).
+        collection: Option<String>,
     },
     /// N independent queries in one frame, answered from one snapshot.
     Batch {
@@ -251,23 +275,62 @@ pub enum Request {
         queries: Vec<String>,
         /// Presentation flags.
         flags: QueryFlags,
+        /// Catalog collection to score against (v2).
+        collection: Option<String>,
     },
     /// Liveness + health probe; cheap enough for load balancers to poll.
-    Ping,
+    Ping {
+        /// Catalog collection to report on instead of the default (v2).
+        collection: Option<String>,
+    },
     /// Index counters + metrics snapshot.
-    Stats,
+    Stats {
+        /// Catalog collection to report on instead of the default (v2).
+        collection: Option<String>,
+    },
     /// Append trees (admin).
     Add {
         /// Newick trees to add.
         trees: Vec<String>,
+        /// Catalog collection to mutate (v2).
+        collection: Option<String>,
     },
     /// Remove trees (admin, all-or-nothing).
     Remove {
         /// Newick trees to remove.
         trees: Vec<String>,
+        /// Catalog collection to mutate (v2).
+        collection: Option<String>,
     },
     /// Fold the WAL into a fresh snapshot (admin).
-    Compact,
+    Compact {
+        /// Catalog collection to compact (v2).
+        collection: Option<String>,
+    },
+    /// Score collection `queries`' trees against collection `refs` via
+    /// restriction to their common taxa (v2).
+    Xavgrf {
+        /// Reference collection name (or `"default"`).
+        refs: String,
+        /// Query collection name (or `"default"`).
+        queries: String,
+        /// Presentation flags.
+        flags: QueryFlags,
+    },
+    /// Create a catalog collection from Newick trees (admin, v2).
+    CatalogCreate {
+        /// Collection name.
+        name: String,
+        /// Initial Newick trees (may be empty).
+        trees: Vec<String>,
+    },
+    /// Drop a catalog collection (admin, v2).
+    CatalogDrop {
+        /// Collection name.
+        name: String,
+    },
+    /// List catalog collections (v2).
+    CatalogList,
     /// Stop the daemon.
     Shutdown,
 }
@@ -280,12 +343,31 @@ impl Request {
             Request::AvgRf { .. } => Op::AvgRf,
             Request::BestQuery { .. } => Op::BestQuery,
             Request::Batch { .. } => Op::Batch,
-            Request::Ping => Op::Ping,
-            Request::Stats => Op::Stats,
+            Request::Ping { .. } => Op::Ping,
+            Request::Stats { .. } => Op::Stats,
             Request::Add { .. } => Op::Add,
             Request::Remove { .. } => Op::Remove,
-            Request::Compact => Op::Compact,
+            Request::Compact { .. } => Op::Compact,
+            Request::Xavgrf { .. } => Op::Xavgrf,
+            Request::CatalogCreate { .. } => Op::CatalogCreate,
+            Request::CatalogDrop { .. } => Op::CatalogDrop,
+            Request::CatalogList => Op::CatalogList,
             Request::Shutdown => Op::Shutdown,
+        }
+    }
+
+    /// The `collection` routing field, for ops that carry one.
+    pub fn collection(&self) -> Option<&str> {
+        match self {
+            Request::AvgRf { collection, .. }
+            | Request::BestQuery { collection, .. }
+            | Request::Batch { collection, .. }
+            | Request::Ping { collection }
+            | Request::Stats { collection }
+            | Request::Add { collection, .. }
+            | Request::Remove { collection, .. }
+            | Request::Compact { collection } => collection.as_deref(),
+            _ => None,
         }
     }
 }
@@ -359,6 +441,23 @@ fn string_array(req: &Json, op: Op, key: &str) -> Result<Vec<String>, ProtoError
         .collect()
 }
 
+fn string_field(req: &Json, op: Op, key: &str) -> Result<String, ProtoError> {
+    req.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ProtoError::new(op, format!("request needs a {key:?} string")))
+}
+
+fn collection_field(req: &Json, op: Op) -> Result<Option<String>, ProtoError> {
+    match req.get("collection") {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| ProtoError::new(op, "\"collection\" must be a string")),
+    }
+}
+
 fn query_flags(req: &Json) -> QueryFlags {
     let flag = |key: &str| req.get(key).and_then(Json::as_bool).unwrap_or(false);
     QueryFlags {
@@ -389,7 +488,8 @@ impl Envelope {
                 Op::Unknown,
                 format!(
                     "unknown op {op_name:?} (expected hello, avgrf, best-query, batch, ping, \
-                     stats, add, remove, compact, shutdown)"
+                     stats, add, remove, compact, xavgrf, catalog-create, catalog-drop, \
+                     catalog-list, shutdown)"
                 ),
             ));
         };
@@ -406,23 +506,50 @@ impl Envelope {
             Op::AvgRf => Request::AvgRf {
                 queries: string_array(req, op, "queries")?,
                 flags: query_flags(req),
+                collection: collection_field(req, op)?,
             },
             Op::BestQuery => Request::BestQuery {
                 queries: string_array(req, op, "queries")?,
+                collection: collection_field(req, op)?,
             },
             Op::Batch => Request::Batch {
                 queries: string_array(req, op, "queries")?,
                 flags: query_flags(req),
+                collection: collection_field(req, op)?,
             },
-            Op::Ping => Request::Ping,
-            Op::Stats => Request::Stats,
+            Op::Ping => Request::Ping {
+                collection: collection_field(req, op)?,
+            },
+            Op::Stats => Request::Stats {
+                collection: collection_field(req, op)?,
+            },
             Op::Add => Request::Add {
                 trees: string_array(req, op, "trees")?,
+                collection: collection_field(req, op)?,
             },
             Op::Remove => Request::Remove {
                 trees: string_array(req, op, "trees")?,
+                collection: collection_field(req, op)?,
             },
-            Op::Compact => Request::Compact,
+            Op::Compact => Request::Compact {
+                collection: collection_field(req, op)?,
+            },
+            Op::Xavgrf => Request::Xavgrf {
+                refs: string_field(req, op, "refs")?,
+                queries: string_field(req, op, "queries")?,
+                flags: query_flags(req),
+            },
+            Op::CatalogCreate => Request::CatalogCreate {
+                name: string_field(req, op, "name")?,
+                trees: match req.get("trees") {
+                    None => Vec::new(),
+                    Some(_) => string_array(req, op, "trees")?,
+                },
+            },
+            Op::CatalogDrop => Request::CatalogDrop {
+                name: string_field(req, op, "name")?,
+            },
+            Op::CatalogList => Request::CatalogList,
             Op::Shutdown => Request::Shutdown,
             Op::Unknown => unreachable!("from_name never yields Unknown"),
         };
@@ -455,19 +582,39 @@ impl Envelope {
             }
         };
         match &self.request {
-            Request::AvgRf { queries, flags } | Request::Batch { queries, flags } => {
+            Request::AvgRf { queries, flags, .. } | Request::Batch { queries, flags, .. } => {
                 fields.push(("queries", trees(queries)));
                 push_flags(&mut fields, flags);
             }
-            Request::BestQuery { queries } => fields.push(("queries", trees(queries))),
-            Request::Add { trees: ts } | Request::Remove { trees: ts } => {
+            Request::BestQuery { queries, .. } => fields.push(("queries", trees(queries))),
+            Request::Add { trees: ts, .. } | Request::Remove { trees: ts, .. } => {
                 fields.push(("trees", trees(ts)));
             }
+            Request::Xavgrf {
+                refs,
+                queries,
+                flags,
+            } => {
+                fields.push(("refs", refs.as_str().into()));
+                fields.push(("queries", queries.as_str().into()));
+                push_flags(&mut fields, flags);
+            }
+            Request::CatalogCreate { name, trees: ts } => {
+                fields.push(("name", name.as_str().into()));
+                if !ts.is_empty() {
+                    fields.push(("trees", trees(ts)));
+                }
+            }
+            Request::CatalogDrop { name } => fields.push(("name", name.as_str().into())),
             Request::Hello
-            | Request::Ping
-            | Request::Stats
-            | Request::Compact
+            | Request::Ping { .. }
+            | Request::Stats { .. }
+            | Request::Compact { .. }
+            | Request::CatalogList
             | Request::Shutdown => {}
+        }
+        if let Some(c) = self.request.collection() {
+            fields.push(("collection", c.into()));
         }
         Json::obj(fields)
     }
@@ -505,6 +652,17 @@ pub struct StatsBody {
     pub wal_pending: usize,
     /// Requests served by this daemon so far.
     pub served: u64,
+}
+
+/// One collection row in a `catalog-list` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogRow {
+    /// Collection name.
+    pub name: String,
+    /// Whether it is currently open (resident under the byte budget).
+    pub open: bool,
+    /// Accounted frozen-table bytes when open, 0 otherwise.
+    pub resident_bytes: usize,
 }
 
 /// A typed response payload. [`Response::to_json`] emits the exact v1
@@ -576,6 +734,39 @@ pub enum Response {
         wal_pending: u64,
         /// Milliseconds since the daemon bound its listener.
         uptime_ms: u64,
+        /// Total collections hosted (default + catalog). `None` on v1
+        /// frames, which keep the exact v1 shape.
+        collections: Option<u64>,
+        /// Collections currently open (default + resident catalog pool).
+        /// `None` on v1 frames.
+        open_collections: Option<u64>,
+    },
+    /// Cross-collection scores from `xavgrf`, in query-collection tree
+    /// order, computed over the two collections' common taxa.
+    XScores {
+        /// Size of the shared taxon set the trees were restricted to.
+        common_taxa: usize,
+        /// One row per query-collection tree.
+        scores: Vec<ScoreRow>,
+        /// Degradation notes (empty when clean).
+        notes: Vec<String>,
+    },
+    /// `catalog-create` confirmation.
+    Created {
+        /// The new collection's name.
+        name: String,
+        /// Trees folded into it.
+        n_trees: usize,
+    },
+    /// `catalog-drop` confirmation.
+    Dropped {
+        /// The dropped collection's name.
+        name: String,
+    },
+    /// The `catalog-list` answer.
+    Catalog {
+        /// One row per collection, sorted by name.
+        collections: Vec<CatalogRow>,
     },
     /// `shutdown` acknowledged; the daemon exits after sending this.
     Shutdown,
@@ -668,11 +859,58 @@ impl Response {
                 generation,
                 wal_pending,
                 uptime_ms,
+                collections,
+                open_collections,
             } => {
                 fields.push(("pong", true.into()));
                 fields.push(("generation", (*generation).into()));
                 fields.push(("wal_pending", (*wal_pending).into()));
                 fields.push(("uptime_ms", (*uptime_ms).into()));
+                if let Some(c) = collections {
+                    fields.push(("collections", (*c).into()));
+                }
+                if let Some(o) = open_collections {
+                    fields.push(("open_collections", (*o).into()));
+                }
+            }
+            Response::XScores {
+                common_taxa,
+                scores,
+                notes,
+            } => {
+                fields.push(("common_taxa", (*common_taxa).into()));
+                let rows = scores
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("index", s.index.into()),
+                            ("left", s.left.into()),
+                            ("right", s.right.into()),
+                            ("n_refs", s.n_refs.into()),
+                            ("avg", s.avg.into()),
+                        ])
+                    })
+                    .collect();
+                fields.push(("scores", Json::Arr(rows)));
+                fields.push(("notes", notes_json(notes)));
+            }
+            Response::Created { name, n_trees } => {
+                fields.push(("created", name.as_str().into()));
+                fields.push(("n_trees", (*n_trees).into()));
+            }
+            Response::Dropped { name } => fields.push(("dropped", name.as_str().into())),
+            Response::Catalog { collections } => {
+                let rows = collections
+                    .iter()
+                    .map(|c| {
+                        Json::obj(vec![
+                            ("name", c.name.as_str().into()),
+                            ("open", c.open.into()),
+                            ("resident_bytes", c.resident_bytes.into()),
+                        ])
+                    })
+                    .collect();
+                fields.push(("catalog", Json::Arr(rows)));
             }
             Response::Shutdown => fields.push(("shutdown", true.into())),
             Response::Error {
@@ -766,6 +1004,19 @@ impl Response {
                     })
                 })
                 .collect::<Result<_, _>>()?;
+            // "common_taxa" distinguishes a cross-collection answer from
+            // a plain scores frame before the generation members are
+            // consulted.
+            if resp.get("common_taxa").is_some() {
+                return Ok((
+                    Response::XScores {
+                        common_taxa: u("common_taxa")? as usize,
+                        scores,
+                        notes: notes(),
+                    },
+                    id,
+                ));
+            }
             Response::Scores {
                 n_taxa: u("n_taxa")? as usize,
                 // Absent on pre-v2 servers: read as generation 0 / snap 0.
@@ -799,6 +1050,43 @@ impl Response {
                 applied: u("applied")? as usize,
                 n_trees: u("n_trees")? as usize,
             }
+        } else if resp.get("created").is_some() {
+            Response::Created {
+                name: resp
+                    .get("created")
+                    .and_then(Json::as_str)
+                    .ok_or("\"created\" must be the collection name")?
+                    .to_string(),
+                n_trees: u("n_trees")? as usize,
+            }
+        } else if resp.get("dropped").is_some() {
+            Response::Dropped {
+                name: resp
+                    .get("dropped")
+                    .and_then(Json::as_str)
+                    .ok_or("\"dropped\" must be the collection name")?
+                    .to_string(),
+            }
+        } else if let Some(rows) = resp.get("catalog").and_then(Json::as_arr) {
+            let collections = rows
+                .iter()
+                .enumerate()
+                .map(|(i, row)| -> Result<CatalogRow, String> {
+                    Ok(CatalogRow {
+                        name: row
+                            .get("name")
+                            .and_then(Json::as_str)
+                            .ok_or_else(|| format!("catalog row {i} is missing \"name\""))?
+                            .to_string(),
+                        open: row.get("open").and_then(Json::as_bool).unwrap_or(false),
+                        resident_bytes: row
+                            .get("resident_bytes")
+                            .and_then(Json::as_u64)
+                            .unwrap_or(0) as usize,
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            Response::Catalog { collections }
         } else if resp.get("pong").is_some() {
             // Checked before the bare-"generation" Compacted arm below,
             // which a pong frame would otherwise satisfy.
@@ -806,6 +1094,8 @@ impl Response {
                 generation: u("generation")?,
                 wal_pending: u("wal_pending")?,
                 uptime_ms: u("uptime_ms")?,
+                collections: resp.get("collections").and_then(Json::as_u64),
+                open_collections: resp.get("open_collections").and_then(Json::as_u64),
             }
         } else if resp.get("shutdown").is_some() {
             Response::Shutdown
@@ -906,6 +1196,8 @@ mod tests {
             generation: 3,
             wal_pending: 7,
             uptime_ms: 12_345,
+            collections: None,
+            open_collections: None,
         };
         let (parsed, id) = Response::from_json(&pong.to_json(Some(9))).unwrap();
         assert_eq!(parsed, pong);
@@ -918,5 +1210,121 @@ mod tests {
         };
         let (parsed, _) = Response::from_json(&compacted.to_json(None)).unwrap();
         assert_eq!(parsed, compacted);
+    }
+
+    #[test]
+    fn pong_catalog_fields_are_additive() {
+        // A v1 pong carries no catalog members at all.
+        let v1 = Response::Pong {
+            generation: 0,
+            wal_pending: 0,
+            uptime_ms: 1,
+            collections: None,
+            open_collections: None,
+        };
+        let text = v1.to_json(None).to_string();
+        assert!(
+            !text.contains("collections"),
+            "v1 pong gained a member: {text}"
+        );
+        // A v2 pong round-trips them.
+        let v2 = Response::Pong {
+            generation: 0,
+            wal_pending: 0,
+            uptime_ms: 1,
+            collections: Some(4),
+            open_collections: Some(2),
+        };
+        let (parsed, _) = Response::from_json(&v2.to_json(None)).unwrap();
+        assert_eq!(parsed, v2);
+    }
+
+    #[test]
+    fn collection_routing_field_round_trips_and_is_typed() {
+        let env = parse_request(
+            r#"{"v":2,"op":"batch","queries":["((A,B),(C,D));"],"collection":"mammals"}"#,
+        )
+        .unwrap();
+        assert_eq!(env.request.collection(), Some("mammals"));
+        let text = env.to_json().to_string();
+        assert!(text.contains(r#""collection":"mammals""#));
+        assert_eq!(parse_request(&text).unwrap(), env);
+        // A frame without the field parses to None and renders without it.
+        let env = parse_request(r#"{"v":2,"op":"compact"}"#).unwrap();
+        assert_eq!(env.request.collection(), None);
+        assert!(!env.to_json().to_string().contains("collection"));
+        // A non-string collection is a typed error on the right op.
+        let err = parse_request(r#"{"v":2,"op":"ping","collection":7}"#).unwrap_err();
+        assert_eq!(err.op, Op::Ping);
+    }
+
+    #[test]
+    fn catalog_ops_round_trip() {
+        let env = parse_request(
+            r#"{"v":2,"op":"catalog-create","name":"mammals","trees":["((A,B),(C,D));"]}"#,
+        )
+        .unwrap();
+        assert_eq!(env.request.op(), Op::CatalogCreate);
+        assert_eq!(parse_request(&env.to_json().to_string()).unwrap(), env);
+        // trees is optional on create.
+        let env = parse_request(r#"{"v":2,"op":"catalog-create","name":"empty"}"#).unwrap();
+        assert!(matches!(
+            &env.request,
+            Request::CatalogCreate { trees, .. } if trees.is_empty()
+        ));
+        let env = parse_request(r#"{"v":2,"op":"catalog-drop","name":"mammals"}"#).unwrap();
+        assert_eq!(parse_request(&env.to_json().to_string()).unwrap(), env);
+        let env = parse_request(r#"{"v":2,"op":"catalog-list"}"#).unwrap();
+        assert_eq!(env.request, Request::CatalogList);
+        // A missing name is a typed error on the right op.
+        let err = parse_request(r#"{"v":2,"op":"catalog-drop"}"#).unwrap_err();
+        assert_eq!(err.op, Op::CatalogDrop);
+        assert!(err.message.contains("name"));
+    }
+
+    #[test]
+    fn xavgrf_and_catalog_responses_round_trip() {
+        let env = parse_request(r#"{"v":2,"op":"xavgrf","refs":"a","queries":"b","halved":true}"#)
+            .unwrap();
+        assert_eq!(env.request.op(), Op::Xavgrf);
+        assert_eq!(parse_request(&env.to_json().to_string()).unwrap(), env);
+
+        let xs = Response::XScores {
+            common_taxa: 6,
+            scores: vec![ScoreRow {
+                index: 0,
+                left: 1,
+                right: 2,
+                n_refs: 3,
+                avg: 1.0,
+            }],
+            notes: vec![],
+        };
+        let (parsed, _) = Response::from_json(&xs.to_json(None)).unwrap();
+        assert_eq!(
+            parsed, xs,
+            "common_taxa must win over the plain scores shape"
+        );
+
+        let created = Response::Created {
+            name: "mammals".into(),
+            n_trees: 9,
+        };
+        let (parsed, _) = Response::from_json(&created.to_json(None)).unwrap();
+        assert_eq!(parsed, created);
+        let dropped = Response::Dropped {
+            name: "mammals".into(),
+        };
+        let (parsed, _) = Response::from_json(&dropped.to_json(None)).unwrap();
+        assert_eq!(parsed, dropped);
+        let list = Response::Catalog {
+            collections: vec![CatalogRow {
+                name: "mammals".into(),
+                open: true,
+                resident_bytes: 4096,
+            }],
+        };
+        let (parsed, _) = Response::from_json(&list.to_json(None)).unwrap();
+        assert_eq!(parsed, list);
     }
 }

@@ -76,13 +76,13 @@
 
 use crate::json::Json;
 use crate::proto::{
-    self, Envelope, ErrorCode, Op, Outcome, Request, Response, ScoreRow, StatsBody, MAX_BATCH,
-    PROTO_VERSION,
+    self, CatalogRow, Envelope, ErrorCode, Op, Outcome, Request, Response, ScoreRow, StatsBody,
+    MAX_BATCH, PROTO_VERSION,
 };
 use crate::{CliError, EXIT_BUDGET, EXIT_ERROR};
 use bfhrf::{Comparator, CoreError, FrozenComparator, RunBudget, RunGuard};
 use phylo::{parse_newick_readonly, BipartitionScratch, TaxonSet, Tree};
-use phylo_index::{Index, QueryView};
+use phylo_index::{Catalog, Index, PinnedCollection, QueryView, DEFAULT_COLLECTION};
 use phylo_obs::{expose, Counter, Gauge, Histogram};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -122,10 +122,14 @@ pub struct ServeConfig {
     pub addr: String,
     /// Maximum concurrent connections (each gets its own handler thread).
     pub threads: usize,
-    /// Per-request allocation budget in bytes.
+    /// Per-request allocation budget in bytes. Doubles as the catalog's
+    /// open-collection pool budget when `catalog_dir` is set.
     pub mem_budget: Option<usize>,
     /// Per-request deadline in milliseconds.
     pub timeout_ms: Option<u64>,
+    /// Catalog root for multi-collection serving (`--catalog`). `None`
+    /// hosts only the default index, exactly like the pre-catalog daemon.
+    pub catalog_dir: Option<PathBuf>,
 }
 
 /// The immutable state queries read: a [`QueryView`] (frozen hash + taxa +
@@ -223,7 +227,24 @@ struct ServeState {
     slots: ConnSlots,
     /// Configured slot ceiling (`--threads`), reported in `busy` frames.
     max_conns: usize,
+    /// The multi-collection catalog, when the daemon was started with
+    /// `--catalog`. Resolution and admin run under this mutex; scoring
+    /// runs against per-collection cells after it is released.
+    catalog: Option<Mutex<Catalog>>,
+    /// Catalog size and open-pool size, mirrored out of the catalog on
+    /// every catalog-touching op so v2 `ping` stays lock-free.
+    catalog_size: AtomicU64,
+    catalog_open: AtomicU64,
     metrics: ServeMetrics,
+}
+
+/// Where a request's index ops land: the daemon's default index (the
+/// legacy single-index paths, byte-for-byte unchanged) or a pinned
+/// catalog collection. The pin lives as long as the target, so a
+/// collection serving an in-flight request is never evicted.
+enum Target {
+    Default,
+    Named(PinnedCollection),
 }
 
 /// Recover a possibly-poisoned lock guard. Poison means some handler
@@ -366,6 +387,14 @@ impl Server {
             view: index.view(),
             snap: 0,
         });
+        // Opening the catalog at bind also pre-registers every
+        // per-collection obs cell, so the full metrics matrix is visible
+        // from the first scrape.
+        let catalog = match &cfg.catalog_dir {
+            None => None,
+            Some(dir) => Some(Catalog::open(dir, cfg.mem_budget).map_err(crate::index_fail)?),
+        };
+        let catalog_size = catalog.as_ref().map_or(0, Catalog::len) as u64;
         let listener = TcpListener::bind(&cfg.addr)
             .map_err(|e| CliError::from(format!("cannot bind {}: {e}", cfg.addr)))?;
         let addr = listener
@@ -390,6 +419,9 @@ impl Server {
                     freed: Condvar::new(),
                 },
                 max_conns: cfg.threads.max(1),
+                catalog: catalog.map(Mutex::new),
+                catalog_size: AtomicU64::new(catalog_size),
+                catalog_open: AtomicU64::new(0),
                 metrics: ServeMetrics::resolve(),
             }),
             addr,
@@ -691,7 +723,11 @@ fn dispatch(
         Ok(env) => env,
         Err(e) => return (e.op, None, Err(ReqError::new(e.message))),
     };
-    let Envelope { id, request, .. } = env;
+    let Envelope {
+        version,
+        id,
+        request,
+    } = env;
     let op = request.op();
     let cont = |r: Result<Response, ReqError>| r.map(|resp| (resp, Action::Continue));
     let result = match request {
@@ -702,8 +738,19 @@ fn dispatch(
             },
             Action::Continue,
         )),
-        Request::AvgRf { queries, flags } => cont(op_scores(state, scratch, &queries, flags)),
-        Request::Batch { queries, flags } => {
+        Request::AvgRf {
+            queries,
+            flags,
+            collection,
+        } => cont(
+            resolve(state, collection.as_deref())
+                .and_then(|t| op_scores(state, scratch, &t, &queries, flags)),
+        ),
+        Request::Batch {
+            queries,
+            flags,
+            collection,
+        } => {
             state.metrics.batch_size.record(queries.len() as u64);
             if queries.len() > MAX_BATCH {
                 Err(ReqError::new(format!(
@@ -712,18 +759,110 @@ fn dispatch(
                     queries.len()
                 )))
             } else {
-                cont(op_scores(state, scratch, &queries, flags))
+                cont(
+                    resolve(state, collection.as_deref())
+                        .and_then(|t| op_scores(state, scratch, &t, &queries, flags)),
+                )
             }
         }
-        Request::BestQuery { queries } => cont(op_best(state, scratch, &queries)),
-        Request::Ping => cont(op_ping(state)),
-        Request::Stats => cont(op_stats(state)),
-        Request::Add { trees } => cont(op_mutate(state, &trees, true)),
-        Request::Remove { trees } => cont(op_mutate(state, &trees, false)),
-        Request::Compact => cont(op_compact(state)),
+        Request::BestQuery {
+            queries,
+            collection,
+        } => cont(
+            resolve(state, collection.as_deref())
+                .and_then(|t| op_best(state, scratch, &t, &queries)),
+        ),
+        Request::Ping { collection } => {
+            cont(resolve(state, collection.as_deref()).and_then(|t| op_ping(state, version, &t)))
+        }
+        Request::Stats { collection } => {
+            cont(resolve(state, collection.as_deref()).and_then(|t| op_stats(state, &t)))
+        }
+        Request::Add { trees, collection } => cont(
+            resolve(state, collection.as_deref()).and_then(|t| op_mutate(state, &t, &trees, true)),
+        ),
+        Request::Remove { trees, collection } => cont(
+            resolve(state, collection.as_deref()).and_then(|t| op_mutate(state, &t, &trees, false)),
+        ),
+        Request::Compact { collection } => {
+            cont(resolve(state, collection.as_deref()).and_then(|t| op_compact(state, &t)))
+        }
+        Request::Xavgrf {
+            refs,
+            queries,
+            flags,
+        } => cont(op_xavgrf(state, &refs, &queries, flags)),
+        Request::CatalogCreate { name, trees } => cont(op_catalog_create(state, &name, &trees)),
+        Request::CatalogDrop { name } => cont(op_catalog_drop(state, &name)),
+        Request::CatalogList => cont(op_catalog_list(state)),
         Request::Shutdown => Ok((Response::Shutdown, Action::Shutdown)),
     };
     (op, id, result)
+}
+
+/// Lock the daemon's catalog, or explain that it has none.
+fn lock_catalog<'a>(
+    state: &'a ServeState,
+    wanted: &str,
+) -> Result<MutexGuard<'a, Catalog>, ReqError> {
+    let Some(catalog) = &state.catalog else {
+        return Err(ReqError::new(format!(
+            "this daemon hosts no catalog (start serve with --catalog to use {wanted})"
+        )));
+    };
+    Ok(recover_lock(state, catalog.lock()))
+}
+
+/// Refresh the lock-free catalog mirrors `ping` reads.
+fn mirror_catalog(state: &ServeState, cat: &Catalog) {
+    state
+        .catalog_size
+        .store(cat.len() as u64, Ordering::Relaxed);
+    state
+        .catalog_open
+        .store(cat.open_count() as u64, Ordering::Relaxed);
+}
+
+/// Resolve a request's routing field: absent or `"default"` is the
+/// daemon's default index (the legacy paths, untouched); anything else
+/// resolves through the catalog and comes back pinned — the collection
+/// stays resident for as long as the returned [`Target`] lives.
+fn resolve(state: &ServeState, name: Option<&str>) -> Result<Target, ReqError> {
+    match name {
+        None => Ok(Target::Default),
+        Some(n) if n == DEFAULT_COLLECTION => Ok(Target::Default),
+        Some(n) => {
+            let mut cat = lock_catalog(state, &format!("collection {n:?}"))?;
+            let pin = cat.acquire(n).map_err(ReqError::from_index)?;
+            mirror_catalog(state, &cat);
+            Ok(Target::Named(pin))
+        }
+    }
+}
+
+/// The scoring view (and snapshot id) a target answers from. The default
+/// path clones the published `Arc` exactly as before; a named collection
+/// takes its cell lock only long enough to freeze and clone out the view,
+/// then scores lock-free — mutations to the same collection publish a new
+/// generation, and in-flight scoring keeps the view it started with.
+fn target_view(state: &ServeState, target: &Target) -> (QueryView, u64) {
+    match target {
+        Target::Default => {
+            let snap = current_snap(state);
+            let view = QueryView {
+                frozen: Arc::clone(&snap.view.frozen),
+                taxa: Arc::clone(&snap.view.taxa),
+                generation: snap.view.generation,
+            };
+            (view, snap.snap)
+        }
+        Target::Named(pin) => {
+            let mut col = pin.lock();
+            let view = col.view();
+            let snap = view.generation;
+            (view, snap)
+        }
+    }
 }
 
 /// Clone the current snapshot `Arc` out of the cell — the only moment a
@@ -794,10 +933,11 @@ fn scored(
 fn op_scores(
     state: &ServeState,
     scratch: &mut BipartitionScratch,
+    target: &Target,
     queries: &[String],
     flags: proto::QueryFlags,
 ) -> Result<Response, ReqError> {
-    let snap = current_snap(state);
+    let (view, snap_id) = target_view(state, target);
     let guard = request_guard(state);
     // Sequential scoring walks the batch in small chunks — parse a few
     // trees, score them, reuse the arena — so a 4096-query frame never
@@ -805,14 +945,14 @@ fn op_scores(
     // connections that footprint is real cache pressure). The parallel
     // path keeps the whole batch: rayon wants it all to fan out.
     let scores = if parallel_scoring(queries.len()) {
-        let trees = parse_payload_trees(&snap.view.taxa, queries)?;
-        scored(&snap.view, &trees, &guard, scratch)?
+        let trees = parse_payload_trees(&view.taxa, queries)?;
+        scored(&view, &trees, &guard, scratch)?
     } else {
         let mut scores = Vec::with_capacity(queries.len());
         for (chunk_idx, chunk) in queries.chunks(PARALLEL_QUERY_THRESHOLD).enumerate() {
             let base = chunk_idx * PARALLEL_QUERY_THRESHOLD;
-            let trees = parse_payload_trees_from(&snap.view.taxa, chunk, base)?;
-            let part = scored(&snap.view, &trees, &guard, scratch)?;
+            let trees = parse_payload_trees_from(&view.taxa, chunk, base)?;
+            let part = scored(&view, &trees, &guard, scratch)?;
             scores.extend(part.into_iter().map(|mut s| {
                 s.index += base;
                 s
@@ -820,7 +960,7 @@ fn op_scores(
         }
         scores
     };
-    let n_taxa = snap.view.taxa.len();
+    let n_taxa = view.taxa.len();
     let rows = scores
         .iter()
         .map(|s| {
@@ -843,8 +983,8 @@ fn op_scores(
         .collect();
     Ok(Response::Scores {
         n_taxa,
-        generation: snap.view.generation,
-        snap: snap.snap,
+        generation: view.generation,
+        snap: snap_id,
         scores: rows,
         notes: notes_vec(&guard),
     })
@@ -853,12 +993,13 @@ fn op_scores(
 fn op_best(
     state: &ServeState,
     scratch: &mut BipartitionScratch,
+    target: &Target,
     queries: &[String],
 ) -> Result<Response, ReqError> {
-    let snap = current_snap(state);
+    let (view, _snap_id) = target_view(state, target);
     let guard = request_guard(state);
-    let trees = parse_payload_trees(&snap.view.taxa, queries)?;
-    let scores = scored(&snap.view, &trees, &guard, scratch)?;
+    let trees = parse_payload_trees(&view.taxa, queries)?;
+    let scores = scored(&view, &trees, &guard, scratch)?;
     let best = bfhrf::best_query(&scores)
         .ok_or_else(|| ReqError::new("the \"queries\" array is empty"))?;
     Ok(Response::Best {
@@ -869,25 +1010,65 @@ fn op_best(
     })
 }
 
-/// Health probe: answered from the published snapshot and mirrored
-/// atomics only, so it never queues behind admin mutations — a load
-/// balancer polling `ping` sees liveness, not lock contention.
-fn op_ping(state: &ServeState) -> Result<Response, ReqError> {
-    let snap = current_snap(state);
+/// The catalog members of a v2 `pong`. The default index always counts as
+/// one hosted, one open collection; the catalog adds its mirrors on top.
+/// v1 frames get `None` — the v1 pong shape is byte-identical.
+fn pong_catalog_fields(state: &ServeState, version: u32) -> (Option<u64>, Option<u64>) {
+    if version < 2 {
+        return (None, None);
+    }
+    match &state.catalog {
+        None => (Some(1), Some(1)),
+        Some(_) => (
+            Some(1 + state.catalog_size.load(Ordering::Relaxed)),
+            Some(1 + state.catalog_open.load(Ordering::Relaxed)),
+        ),
+    }
+}
+
+/// Health probe: the default path is answered from the published snapshot
+/// and mirrored atomics only, so it never queues behind admin mutations —
+/// a load balancer polling `ping` sees liveness, not lock contention. A
+/// collection-routed ping reports that collection's generation and WAL
+/// depth instead (its cell lock, never the admin lock).
+fn op_ping(state: &ServeState, version: u32, target: &Target) -> Result<Response, ReqError> {
+    let (generation, wal_pending) = match target {
+        Target::Default => {
+            let snap = current_snap(state);
+            (
+                snap.view.generation,
+                state.wal_pending.load(Ordering::Relaxed),
+            )
+        }
+        Target::Named(pin) => {
+            let col = pin.lock();
+            (col.generation(), col.wal_pending() as u64)
+        }
+    };
+    let (collections, open_collections) = pong_catalog_fields(state, version);
     Ok(Response::Pong {
-        generation: snap.view.generation,
-        wal_pending: state.wal_pending.load(Ordering::Relaxed),
+        generation,
+        wal_pending,
         uptime_ms: state.started.elapsed().as_millis() as u64,
+        collections,
+        open_collections,
     })
 }
 
-fn op_stats(state: &ServeState) -> Result<Response, ReqError> {
-    // Index::stats also refreshes the index_generation / index_wal_pending
-    // gauges, so the metrics snapshot below reflects this very answer.
-    let stats = lock_admin(state).stats();
-    state
-        .wal_pending
-        .store(stats.wal_pending as u64, Ordering::Relaxed);
+fn op_stats(state: &ServeState, target: &Target) -> Result<Response, ReqError> {
+    let stats = match target {
+        Target::Default => {
+            // Index::stats also refreshes the index_generation /
+            // index_wal_pending gauges, so the metrics snapshot below
+            // reflects this very answer.
+            let stats = lock_admin(state).stats();
+            state
+                .wal_pending
+                .store(stats.wal_pending as u64, Ordering::Relaxed);
+            stats
+        }
+        Target::Named(pin) => pin.lock().stats(),
+    };
     let metrics = expose::to_json(&phylo_obs::global().snapshot());
     Ok(Response::Stats {
         body: StatsBody {
@@ -903,7 +1084,27 @@ fn op_stats(state: &ServeState) -> Result<Response, ReqError> {
     })
 }
 
-fn op_mutate(state: &ServeState, items: &[String], add: bool) -> Result<Response, ReqError> {
+fn op_mutate(
+    state: &ServeState,
+    target: &Target,
+    items: &[String],
+    add: bool,
+) -> Result<Response, ReqError> {
+    if let Target::Named(pin) = target {
+        // Per-collection mutations go through the Collection wrapper so the
+        // hash and the tree-list sidecar move in lockstep (same up-front
+        // validation and remove dry-run as the default path).
+        let mut col = pin.lock();
+        let applied = if add {
+            col.add_batch(items)
+        } else {
+            col.remove_batch(items)
+        }
+        .map_err(ReqError::from_index)?;
+        let n_trees = col.stats().n_trees;
+        pin.cell().publish_obs(&mut col);
+        return Ok(Response::Applied { applied, n_trees });
+    }
     let mut index = lock_admin(state);
     // Validate the whole batch against the namespace up front so a typo in
     // tree k does not leave trees 0..k applied.
@@ -943,7 +1144,17 @@ fn op_mutate(state: &ServeState, items: &[String], add: bool) -> Result<Response
     })
 }
 
-fn op_compact(state: &ServeState) -> Result<Response, ReqError> {
+fn op_compact(state: &ServeState, target: &Target) -> Result<Response, ReqError> {
+    if let Target::Named(pin) = target {
+        let mut col = pin.lock();
+        let meta = col.compact().map_err(ReqError::from_index)?;
+        pin.cell().publish_obs(&mut col);
+        return Ok(Response::Compacted {
+            generation: meta.generation,
+            distinct: meta.distinct,
+            wal_pending: 0,
+        });
+    }
     let mut index = lock_admin(state);
     let meta = index.compact().map_err(ReqError::from_index)?;
     // The hash contents are unchanged, but the generation moved; publish
@@ -955,6 +1166,106 @@ fn op_compact(state: &ServeState) -> Result<Response, ReqError> {
         distinct: meta.distinct,
         wal_pending: 0,
     })
+}
+
+/// Cross-collection RF: score collection `queries`' trees against
+/// collection `refs` via restriction to their common taxa
+/// ([`bfhrf::variable_taxa::common_taxa_rf`]). Both collections must come
+/// from the catalog — the default index keeps only its hash, not its
+/// trees. Both are pinned for the duration, so neither can be evicted
+/// mid-computation; their cell locks are taken one at a time (extract the
+/// tree list, release), never nested.
+fn op_xavgrf(
+    state: &ServeState,
+    refs_name: &str,
+    queries_name: &str,
+    flags: proto::QueryFlags,
+) -> Result<Response, ReqError> {
+    let named = |name: &str| -> Result<Target, ReqError> {
+        if name == DEFAULT_COLLECTION {
+            return Err(ReqError::new(
+                "xavgrf needs catalog collections on both sides: the default index does not \
+                 retain its trees",
+            ));
+        }
+        resolve(state, Some(name))
+    };
+    let refs_pin = named(refs_name)?;
+    let queries_pin = named(queries_name)?;
+    let tree_list = |t: &Target| match t {
+        Target::Named(pin) => pin.lock().tree_collection().map_err(ReqError::from_index),
+        Target::Default => unreachable!("named() refuses the default collection"),
+    };
+    let refs_tc = tree_list(&refs_pin)?;
+    let queries_tc = tree_list(&queries_pin)?;
+    let out =
+        bfhrf::variable_taxa::common_taxa_rf(&refs_tc, &queries_tc).map_err(ReqError::from_core)?;
+    let n_taxa = out.taxa.len();
+    let rows = out
+        .scores
+        .iter()
+        .map(|s| {
+            let mut avg = if flags.normalized {
+                bfhrf::variants::normalized_average(&s.rf, n_taxa)
+            } else {
+                s.rf.average()
+            };
+            if flags.halved {
+                avg /= 2.0;
+            }
+            ScoreRow {
+                index: s.index,
+                left: s.rf.left,
+                right: s.rf.right,
+                n_refs: s.rf.n_refs,
+                avg,
+            }
+        })
+        .collect();
+    Ok(Response::XScores {
+        common_taxa: n_taxa,
+        scores: rows,
+        notes: Vec::new(),
+    })
+}
+
+fn op_catalog_create(
+    state: &ServeState,
+    name: &str,
+    trees: &[String],
+) -> Result<Response, ReqError> {
+    let mut cat = lock_catalog(state, "catalog-create")?;
+    let n_trees = cat
+        .create(name, &trees.join("\n"))
+        .map_err(ReqError::from_index)?;
+    mirror_catalog(state, &cat);
+    Ok(Response::Created {
+        name: name.to_string(),
+        n_trees,
+    })
+}
+
+fn op_catalog_drop(state: &ServeState, name: &str) -> Result<Response, ReqError> {
+    let mut cat = lock_catalog(state, "catalog-drop")?;
+    cat.drop_collection(name).map_err(ReqError::from_index)?;
+    mirror_catalog(state, &cat);
+    Ok(Response::Dropped {
+        name: name.to_string(),
+    })
+}
+
+fn op_catalog_list(state: &ServeState) -> Result<Response, ReqError> {
+    let cat = lock_catalog(state, "catalog-list")?;
+    let collections = cat
+        .list()
+        .into_iter()
+        .map(|c| CatalogRow {
+            name: c.name,
+            open: c.open,
+            resident_bytes: c.resident_bytes,
+        })
+        .collect();
+    Ok(Response::Catalog { collections })
 }
 
 /// Map a protocol failure code to the process exit code clients use.

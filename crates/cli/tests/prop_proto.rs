@@ -4,8 +4,8 @@
 
 use bfhrf_cli::json;
 use bfhrf_cli::proto::{
-    parse_request, Envelope, ErrorCode, Op, Outcome, QueryFlags, Request, Response, ScoreRow,
-    StatsBody, PROTO_VERSION,
+    parse_request, CatalogRow, Envelope, ErrorCode, Op, Outcome, QueryFlags, Request, Response,
+    ScoreRow, StatsBody, PROTO_VERSION,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -15,18 +15,57 @@ use proptest::prelude::*;
 /// escaped by the writer; backslashes exercise the escaper).
 const TREE_PATTERN: &str = "[(),;:A-Ea-e0-9._\"\\\\ -]{0,40}";
 
-fn request_from(which: usize, queries: Vec<String>, normalized: bool, halved: bool) -> Request {
+/// Collection-name flavoured text (the protocol layer does not validate
+/// names — the catalog does — so any string must round-trip).
+const NAME_PATTERN: &str = "[A-Za-z0-9_.-]{1,12}";
+
+fn request_from(
+    which: usize,
+    queries: Vec<String>,
+    normalized: bool,
+    halved: bool,
+    collection: Option<String>,
+) -> Request {
     let flags = QueryFlags { normalized, halved };
-    match which % 10 {
+    let name = collection.clone().unwrap_or_else(|| "mammals".to_string());
+    match which % 14 {
         0 => Request::Hello,
-        1 => Request::AvgRf { queries, flags },
-        2 => Request::BestQuery { queries },
-        3 => Request::Batch { queries, flags },
-        4 => Request::Stats,
-        5 => Request::Add { trees: queries },
-        6 => Request::Remove { trees: queries },
-        7 => Request::Compact,
-        8 => Request::Ping,
+        1 => Request::AvgRf {
+            queries,
+            flags,
+            collection,
+        },
+        2 => Request::BestQuery {
+            queries,
+            collection,
+        },
+        3 => Request::Batch {
+            queries,
+            flags,
+            collection,
+        },
+        4 => Request::Stats { collection },
+        5 => Request::Add {
+            trees: queries,
+            collection,
+        },
+        6 => Request::Remove {
+            trees: queries,
+            collection,
+        },
+        7 => Request::Compact { collection },
+        8 => Request::Ping { collection },
+        9 => Request::Xavgrf {
+            refs: name.clone(),
+            queries: name,
+            flags,
+        },
+        10 => Request::CatalogCreate {
+            name,
+            trees: queries,
+        },
+        11 => Request::CatalogDrop { name },
+        12 => Request::CatalogList,
         _ => Request::Shutdown,
     }
 }
@@ -34,15 +73,18 @@ fn request_from(which: usize, queries: Vec<String>, normalized: bool, halved: bo
 proptest! {
     #[test]
     fn envelopes_round_trip_through_wire_text(
-        which in 0usize..10,
+        which in 0usize..14,
         queries in vec(TREE_PATTERN, 0..6),
         normalized in any::<bool>(),
         halved in any::<bool>(),
         v2 in any::<bool>(),
         id in 0u64..(1 << 53),
         with_id in any::<bool>(),
+        with_collection in any::<bool>(),
+        collection_name in NAME_PATTERN,
     ) {
-        let request = request_from(which, queries, normalized, halved);
+        let collection = with_collection.then_some(collection_name);
+        let request = request_from(which, queries, normalized, halved, collection);
         let env = if v2 {
             Envelope::v2(request, with_id.then_some(id))
         } else {
@@ -86,7 +128,7 @@ proptest! {
 
     #[test]
     fn admin_and_control_responses_round_trip(
-        which in 0usize..6,
+        which in 0usize..10,
         a in 0u64..1_000_000,
         b in 0usize..1_000_000,
         c in 0usize..1_000_000,
@@ -97,7 +139,33 @@ proptest! {
             1 => Response::Applied { applied: b, n_trees: c },
             2 => Response::Compacted { generation: a, distinct: b, wal_pending: 0 },
             3 => Response::Shutdown,
-            4 => Response::Pong { generation: a, wal_pending: b as u64, uptime_ms: a * 3 },
+            4 => Response::Pong {
+                generation: a,
+                wal_pending: b as u64,
+                uptime_ms: a * 3,
+                collections: (b % 2 == 0).then_some(a + 7),
+                open_collections: (c % 3 == 0).then_some(b as u64 % 5),
+            },
+            5 => Response::XScores {
+                common_taxa: c,
+                scores: vec![ScoreRow {
+                    index: 0,
+                    left: a,
+                    right: a + 1,
+                    n_refs: b.max(1),
+                    avg: (2 * a + 1) as f64 / b.max(1) as f64,
+                }],
+                notes: vec![],
+            },
+            6 => Response::Created { name: "mammals".into(), n_trees: b },
+            7 => Response::Dropped { name: "mammals".into() },
+            8 => Response::Catalog {
+                collections: vec![CatalogRow {
+                    name: "mammals".into(),
+                    open: b % 2 == 0,
+                    resident_bytes: c,
+                }],
+            },
             _ => Response::Stats {
                 body: StatsBody {
                     generation: a,

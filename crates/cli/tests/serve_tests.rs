@@ -61,6 +61,28 @@ fn start_server(
         threads: 3,
         mem_budget: None,
         timeout_ms,
+        catalog_dir: None,
+    })
+    .unwrap();
+    let addr = srv.local_addr().to_string();
+    let handle = std::thread::spawn(move || srv.run().unwrap());
+    (addr, handle)
+}
+
+/// Start a catalog-hosting server: default index from `index_dir`, named
+/// collections out of `catalog_dir`, all under `mem_budget` bytes.
+fn start_catalog_server(
+    index_dir: &str,
+    catalog_dir: &str,
+    mem_budget: Option<usize>,
+) -> (String, std::thread::JoinHandle<u64>) {
+    let srv = Server::bind(&ServeConfig {
+        index_dir: PathBuf::from(index_dir),
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        mem_budget,
+        timeout_ms: None,
+        catalog_dir: Some(PathBuf::from(catalog_dir)),
     })
     .unwrap();
     let addr = srv.local_addr().to_string();
@@ -433,6 +455,10 @@ fn stats_metrics_schema_and_snapshot_swap() {
         "add",
         "remove",
         "compact",
+        "xavgrf",
+        "catalog-create",
+        "catalog-drop",
+        "catalog-list",
         "shutdown",
         "unknown",
     ] {
@@ -950,6 +976,7 @@ fn busy_shed_is_typed_and_absorbed_by_retries() {
         threads: 1,
         mem_budget: None,
         timeout_ms: None,
+        catalog_dir: None,
     })
     .unwrap();
     let addr = srv.local_addr().to_string();
@@ -1115,6 +1142,7 @@ fn mid_batch_restart_with_retries_is_byte_identical() {
             threads: 3,
             mem_budget: None,
             timeout_ms: None,
+            catalog_dir: None,
         }) {
             Ok(srv) => break srv,
             Err(e) => {
@@ -1132,5 +1160,485 @@ fn mid_batch_restart_with_retries_is_byte_identical() {
     let out = client.join().unwrap().expect("retrying client failed");
     assert_eq!(out.code, EXIT_OK);
     assert_eq!(out.stdout, offline.stdout, "restart changed the answer");
+    shutdown(&addr, handle);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-collection catalog
+// ---------------------------------------------------------------------------
+
+/// Three distinct reference sets on the same six taxa, one per collection.
+const C1: &str = "((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n((A,F),((C,D),(E,B)));\n";
+const C2: &str = "((A,C),((B,D),(E,F)));\n((A,B),((C,E),(D,F)));\n((A,D),((B,C),(E,F)));\n";
+const C3: &str = "((A,E),((B,F),(C,D)));\n((A,F),((B,E),(C,D)));\n((A,B),((C,F),(D,E)));\n";
+
+/// Parse a `catalog-list` rendered table into (name, open, resident) rows.
+fn parse_catalog_table(stdout: &str) -> Vec<(String, bool, usize)> {
+    stdout
+        .lines()
+        .skip(1) // header
+        .map(|l| {
+            let mut parts = l.split('\t');
+            (
+                parts.next().unwrap().to_string(),
+                parts.next().unwrap() == "true",
+                parts.next().unwrap().parse().unwrap(),
+            )
+        })
+        .collect()
+}
+
+/// The tentpole acceptance path: one daemon hosts the default index plus
+/// three catalog collections under a byte budget smaller than their
+/// combined frozen size, answers an interleaved workload correctly, and
+/// the evictions are observable.
+#[test]
+fn catalog_daemon_hosts_many_collections_under_budget() {
+    let dir = scratch("catalog-accept");
+    let queries_path = write(&dir, "queries.nwk", QUERIES);
+    let c1_path = write(&dir, "c1.nwk", C1);
+    let c2_path = write(&dir, "c2.nwk", C2);
+    let c3_path = write(&dir, "c3.nwk", C3);
+    let index_dir = build_index(&dir, REFS);
+    let catalog_dir = dir.join("catalog");
+    let catalog_dir = catalog_dir.to_str().unwrap();
+
+    // Phase 1: no budget. Create the collections and measure their frozen
+    // footprints through catalog-list.
+    let (addr, handle) = start_catalog_server(&index_dir, catalog_dir, None);
+    for (name, path) in [("m1", &c1_path), ("m2", &c2_path), ("m3", &c3_path)] {
+        let out = runv(&[
+            "catalog", "create", "--addr", &addr, "--name", name, "--trees", path,
+        ])
+        .unwrap();
+        assert!(
+            out.stdout.contains(&format!("created\t{name}")),
+            "{}",
+            out.stdout
+        );
+        assert!(out.stdout.contains("n_trees\t3"), "{}", out.stdout);
+    }
+    // Open all three by touching them once.
+    for name in ["m1", "m2", "m3"] {
+        runv(&[
+            "query",
+            "--addr",
+            &addr,
+            "--collection",
+            name,
+            "--queries",
+            &queries_path,
+        ])
+        .unwrap();
+    }
+    let list = runv(&["catalog", "list", "--addr", &addr]).unwrap();
+    let rows = parse_catalog_table(&list.stdout);
+    assert_eq!(rows.len(), 3, "{}", list.stdout);
+    assert!(rows.iter().all(|(_, open, _)| *open), "{}", list.stdout);
+    let sizes: Vec<usize> = rows.iter().map(|&(_, _, b)| b).collect();
+    assert!(sizes.iter().all(|&b| b > 0), "{}", list.stdout);
+    let combined: usize = sizes.iter().sum();
+
+    // The v2 pong counts the default index plus the three collections.
+    let pong = raw_request(&addr, r#"{"v":2,"op":"ping"}"#);
+    assert_eq!(pong.get("collections").unwrap().as_u64(), Some(4), "{pong}");
+    assert_eq!(
+        pong.get("open_collections").unwrap().as_u64(),
+        Some(4),
+        "{pong}"
+    );
+    shutdown(&addr, handle);
+
+    // Phase 2: restart over the same catalog with a budget one byte short
+    // of the combined footprint — the third open must evict the LRU.
+    let (addr, handle) = start_catalog_server(&index_dir, catalog_dir, Some(combined - 1));
+    let list = runv(&["catalog", "list", "--addr", &addr]).unwrap();
+    let rows = parse_catalog_table(&list.stdout);
+    assert_eq!(rows.len(), 3, "collections survive the restart");
+    assert!(
+        rows.iter().all(|(_, open, _)| !*open),
+        "all start lazy-closed: {}",
+        list.stdout
+    );
+
+    // Interleaved workload: every routed answer must match the offline run
+    // on the collection's own references, before and after evictions.
+    let expected: Vec<String> = [&c1_path, &c2_path, &c3_path]
+        .iter()
+        .map(|refs| {
+            runv(&["avgrf", "--refs", refs, "--queries", &queries_path])
+                .unwrap()
+                .stdout
+        })
+        .collect();
+    let routed = |name: &str| {
+        runv(&[
+            "query",
+            "--addr",
+            &addr,
+            "--collection",
+            name,
+            "--queries",
+            &queries_path,
+        ])
+        .unwrap()
+        .stdout
+    };
+    assert_eq!(routed("m1"), expected[0]);
+    assert_eq!(routed("m2"), expected[1]);
+    // Opening m3 pushes the pool past the budget: m1 (LRU) is evicted.
+    assert_eq!(routed("m3"), expected[2]);
+    let rows = parse_catalog_table(&runv(&["catalog", "list", "--addr", &addr]).unwrap().stdout);
+    let open_of = |rows: &[(String, bool, usize)], name: &str| {
+        rows.iter().find(|(n, _, _)| n == name).unwrap().1
+    };
+    assert!(!open_of(&rows, "m1"), "m1 should be evicted: {rows:?}");
+    assert!(open_of(&rows, "m2"), "{rows:?}");
+    assert!(open_of(&rows, "m3"), "{rows:?}");
+
+    // Touching the evicted collection reopens it (evicting m2) and the
+    // answer is still byte-identical to the offline run.
+    assert_eq!(routed("m1"), expected[0]);
+    let rows = parse_catalog_table(&runv(&["catalog", "list", "--addr", &addr]).unwrap().stdout);
+    assert!(open_of(&rows, "m1"), "{rows:?}");
+    assert!(!open_of(&rows, "m2"), "m2 should be evicted: {rows:?}");
+
+    // The evictions are visible in the metrics, per collection.
+    let resp = raw_request(&addr, r#"{"op":"stats"}"#);
+    let metrics = resp.get("metrics").unwrap();
+    for victim in ["m1", "m2"] {
+        let evictions = find_series(
+            metrics,
+            "catalog_evictions_total",
+            &[("collection", victim)],
+        )
+        .unwrap_or_else(|| panic!("missing catalog_evictions_total for {victim}"))
+        .get("value")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+        assert!(evictions >= 1, "{victim} evictions = {evictions}");
+    }
+
+    // The default index answers unrouted queries throughout.
+    let refs_path = write(&dir, "refs-again.nwk", REFS);
+    let offline = runv(&["avgrf", "--refs", &refs_path, "--queries", &queries_path]).unwrap();
+    let unrouted = runv(&["query", "--addr", &addr, "--queries", &queries_path]).unwrap();
+    assert_eq!(unrouted.stdout, offline.stdout);
+    shutdown(&addr, handle);
+}
+
+/// Collection-less clients see the same bytes whether or not the daemon
+/// hosts a catalog, and v1 pongs never grow the new members.
+#[test]
+fn collectionless_clients_are_unchanged_by_the_catalog() {
+    let dir = scratch("catalog-legacy");
+    let queries_path = write(&dir, "queries.nwk", QUERIES);
+    let index_dir = build_index(&dir, REFS);
+    let catalog_dir = dir.join("catalog");
+
+    let (plain_addr, plain_handle) = start_server(&index_dir, None);
+    let (cat_addr, cat_handle) =
+        start_catalog_server(&index_dir, catalog_dir.to_str().unwrap(), None);
+
+    for args in [
+        vec!["--queries", queries_path.as_str()],
+        vec!["--op", "best-query", "--queries", queries_path.as_str()],
+        vec!["--op", "stats"],
+    ] {
+        let mut plain = vec!["query", "--addr", &plain_addr];
+        plain.extend(&args);
+        let mut cat = vec!["query", "--addr", &cat_addr];
+        cat.extend(&args);
+        assert_eq!(
+            runv(&plain).unwrap().stdout,
+            runv(&cat).unwrap().stdout,
+            "{args:?}"
+        );
+    }
+
+    // v1 pings carry no catalog members from either daemon.
+    for addr in [&plain_addr, &cat_addr] {
+        let pong = raw_request(addr, r#"{"op":"ping"}"#);
+        assert!(pong.get("collections").is_none(), "{pong}");
+        assert!(pong.get("open_collections").is_none(), "{pong}");
+    }
+    // v2 pings always carry them; without a catalog both count only the
+    // default index.
+    let pong = raw_request(&plain_addr, r#"{"v":2,"op":"ping"}"#);
+    assert_eq!(pong.get("collections").unwrap().as_u64(), Some(1), "{pong}");
+    assert_eq!(
+        pong.get("open_collections").unwrap().as_u64(),
+        Some(1),
+        "{pong}"
+    );
+
+    shutdown(&plain_addr, plain_handle);
+    shutdown(&cat_addr, cat_handle);
+}
+
+/// Routed mutations land in the named collection's own WAL and leave the
+/// default index untouched; the mutation survives eviction because the
+/// collection reopens from its own durable state.
+#[test]
+fn routed_mutations_are_isolated_and_survive_eviction() {
+    let dir = scratch("catalog-mutate");
+    let extra_path = write(&dir, "extra.nwk", EXTRA);
+    let queries_path = write(&dir, "queries.nwk", QUERIES);
+    let index_dir = build_index(&dir, REFS);
+    let catalog_dir = dir.join("catalog");
+    let catalog_dir = catalog_dir.to_str().unwrap();
+
+    let (addr, handle) = start_catalog_server(&index_dir, catalog_dir, None);
+    let c1_path = write(&dir, "c1.nwk", C1);
+    runv(&[
+        "catalog", "create", "--addr", &addr, "--name", "mut1", "--trees", &c1_path,
+    ])
+    .unwrap();
+
+    // Routed add: the collection's stats move, the default's do not.
+    let out = runv(&[
+        "query",
+        "--addr",
+        &addr,
+        "--collection",
+        "mut1",
+        "--op",
+        "add",
+        "--trees",
+        &extra_path,
+    ])
+    .unwrap();
+    assert!(out.stdout.contains("applied\t1"), "{}", out.stdout);
+    assert!(out.stdout.contains("n_trees\t4"), "{}", out.stdout);
+    let col_stats = runv(&[
+        "query",
+        "--addr",
+        &addr,
+        "--collection",
+        "mut1",
+        "--op",
+        "stats",
+    ])
+    .unwrap();
+    assert!(
+        col_stats.stdout.contains("n_trees\t4"),
+        "{}",
+        col_stats.stdout
+    );
+    assert!(
+        col_stats.stdout.contains("wal_pending\t1"),
+        "{}",
+        col_stats.stdout
+    );
+    let def_stats = runv(&["query", "--addr", &addr, "--op", "stats"]).unwrap();
+    assert!(
+        def_stats.stdout.contains("n_trees\t3"),
+        "{}",
+        def_stats.stdout
+    );
+    assert!(
+        def_stats.stdout.contains("wal_pending\t0"),
+        "{}",
+        def_stats.stdout
+    );
+
+    // Routed compact folds the collection's WAL.
+    let out = runv(&[
+        "query",
+        "--addr",
+        &addr,
+        "--collection",
+        "mut1",
+        "--op",
+        "compact",
+    ])
+    .unwrap();
+    assert!(out.stdout.contains("generation\t1"), "{}", out.stdout);
+    shutdown(&addr, handle);
+
+    // Restart with a budget too small to keep the collection resident:
+    // every touch is a cold open from durable state, with the add applied.
+    let (addr, handle) = start_catalog_server(&index_dir, catalog_dir, Some(1));
+    let col_stats = runv(&[
+        "query",
+        "--addr",
+        &addr,
+        "--collection",
+        "mut1",
+        "--op",
+        "stats",
+    ])
+    .unwrap();
+    assert!(
+        col_stats.stdout.contains("n_trees\t4"),
+        "{}",
+        col_stats.stdout
+    );
+    assert!(
+        col_stats.stdout.contains("generation\t1"),
+        "{}",
+        col_stats.stdout
+    );
+    // Scores against the mutated collection match the offline run over the
+    // same four trees.
+    let c1_plus = write(&dir, "c1-plus.nwk", &format!("{C1}{EXTRA}"));
+    let offline = runv(&["avgrf", "--refs", &c1_plus, "--queries", &queries_path]).unwrap();
+    let routed = runv(&[
+        "query",
+        "--addr",
+        &addr,
+        "--collection",
+        "mut1",
+        "--queries",
+        &queries_path,
+    ])
+    .unwrap();
+    assert_eq!(routed.stdout, offline.stdout);
+    shutdown(&addr, handle);
+}
+
+/// Cross-collection `xavgrf`: scores computed over the two collections'
+/// common taxa, with typed refusals for the default index and missing
+/// catalogs.
+#[test]
+fn xavgrf_scores_across_collections_on_common_taxa() {
+    let dir = scratch("catalog-xavgrf");
+    let index_dir = build_index(&dir, REFS);
+    let catalog_dir = dir.join("catalog");
+
+    let (addr, handle) = start_catalog_server(&index_dir, catalog_dir.to_str().unwrap(), None);
+    // Six taxa each, four shared (A-D): the cross-collection comparison
+    // restricts to the shared four.
+    let left = write(&dir, "left.nwk", C1);
+    let right = write(
+        &dir,
+        "right.nwk",
+        "((A,G),((C,D),(B,H)));\n((A,B),((C,G),(D,H)));\n",
+    );
+    runv(&[
+        "catalog", "create", "--addr", &addr, "--name", "xl", "--trees", &left,
+    ])
+    .unwrap();
+    runv(&[
+        "catalog", "create", "--addr", &addr, "--name", "xr", "--trees", &right,
+    ])
+    .unwrap();
+
+    let out = runv(&[
+        "query",
+        "--addr",
+        &addr,
+        "--op",
+        "xavgrf",
+        "--refs-collection",
+        "xl",
+        "--queries-collection",
+        "xr",
+    ])
+    .unwrap();
+    assert!(out.stdout.contains("common_taxa\t4"), "{}", out.stdout);
+    // One row per tree of the query collection, each a parseable average.
+    let rows: Vec<&str> = out.stdout.lines().skip(2).collect();
+    assert_eq!(rows.len(), 2, "{}", out.stdout);
+    for row in rows {
+        let avg: f64 = row.split('\t').nth(1).unwrap().parse().unwrap();
+        assert!(avg.is_finite() && avg >= 0.0, "{row}");
+    }
+
+    // A collection against itself over identical taxa: the self-pairing
+    // rows exist and index 0's average reflects distances to the other
+    // trees (sanity anchor, not a full recomputation).
+    let self_out = runv(&[
+        "query",
+        "--addr",
+        &addr,
+        "--op",
+        "xavgrf",
+        "--refs-collection",
+        "xl",
+        "--queries-collection",
+        "xl",
+    ])
+    .unwrap();
+    assert!(
+        self_out.stdout.contains("common_taxa\t6"),
+        "{}",
+        self_out.stdout
+    );
+
+    // The default index keeps no tree list: xavgrf refuses it, typed.
+    let err = runv(&[
+        "query",
+        "--addr",
+        &addr,
+        "--op",
+        "xavgrf",
+        "--refs-collection",
+        "default",
+        "--queries-collection",
+        "xr",
+    ])
+    .unwrap_err();
+    assert!(err.message.contains("default"), "{}", err.message);
+    shutdown(&addr, handle);
+
+    // A daemon without a catalog refuses catalog ops with a pointer to the
+    // missing flag.
+    let (addr, handle) = start_server(&index_dir, None);
+    let err = runv(&["catalog", "list", "--addr", &addr]).unwrap_err();
+    assert!(err.message.contains("--catalog"), "{}", err.message);
+    shutdown(&addr, handle);
+}
+
+/// Catalog admin ops: duplicate and invalid names are typed errors, drop
+/// makes a collection unroutable, and the reserved default name is
+/// protected.
+#[test]
+fn catalog_admin_errors_are_typed() {
+    let dir = scratch("catalog-admin");
+    let index_dir = build_index(&dir, REFS);
+    let catalog_dir = dir.join("catalog");
+    let (addr, handle) = start_catalog_server(&index_dir, catalog_dir.to_str().unwrap(), None);
+    let c1_path = write(&dir, "c1.nwk", C1);
+
+    runv(&[
+        "catalog", "create", "--addr", &addr, "--name", "dup", "--trees", &c1_path,
+    ])
+    .unwrap();
+    let err = runv(&[
+        "catalog", "create", "--addr", &addr, "--name", "dup", "--trees", &c1_path,
+    ])
+    .unwrap_err();
+    assert!(err.message.contains("exists"), "{}", err.message);
+
+    for bad in ["default", "", "a/b", ".hidden"] {
+        let err = runv(&[
+            "catalog", "create", "--addr", &addr, "--name", bad, "--trees", &c1_path,
+        ])
+        .unwrap_err();
+        assert!(
+            err.message.contains("server: ") || err.message.contains("needs"),
+            "{bad}: {}",
+            err.message
+        );
+    }
+
+    runv(&["catalog", "drop", "--addr", &addr, "--name", "dup"]).unwrap();
+    let queries_path = write(&dir, "queries.nwk", QUERIES);
+    let err = runv(&[
+        "query",
+        "--addr",
+        &addr,
+        "--collection",
+        "dup",
+        "--queries",
+        &queries_path,
+    ])
+    .unwrap_err();
+    assert!(err.message.contains("dup"), "{}", err.message);
+
+    let err = runv(&["catalog", "drop", "--addr", &addr, "--name", "gone"]).unwrap_err();
+    assert!(err.message.contains("gone"), "{}", err.message);
     shutdown(&addr, handle);
 }

@@ -152,6 +152,39 @@ impl FrozenBfh {
         self.tags.len() * 8 + self.freqs.len() * 4 + self.offsets.len() * 4 + self.pool.len() * 8
     }
 
+    /// FNV-1a fingerprint over every lane in layout order. Two frozen
+    /// tables built from the same hash are laid out identically, so equal
+    /// digests here mean bitwise-identical tables — the cheap way for the
+    /// catalog eviction tests to prove a reopened collection reproduces
+    /// the exact pre-eviction state.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        mix(&(self.n_taxa as u64).to_le_bytes());
+        mix(&(self.n_trees as u64).to_le_bytes());
+        mix(&self.sum.to_le_bytes());
+        mix(&(self.distinct as u64).to_le_bytes());
+        mix(&(self.mask as u64).to_le_bytes());
+        for &t in self.tags.iter() {
+            mix(&t.to_le_bytes());
+        }
+        for &f in self.freqs.iter() {
+            mix(&f.to_le_bytes());
+        }
+        for &o in self.offsets.iter() {
+            mix(&o.to_le_bytes());
+        }
+        for &w in self.pool.iter() {
+            mix(&w.to_le_bytes());
+        }
+        h
+    }
+
     /// Frequency of the canonical mask `w` whose split hash is already
     /// known (the batched path computes it during extraction).
     #[inline]

@@ -73,6 +73,39 @@ impl RunBudget {
         }
     }
 
+    /// Like [`RunBudget::check_alloc`], but for caches that can shed load:
+    /// `used` bytes are already resident, `bytes` more are wanted, and
+    /// `evict` is asked to release the shortfall before the budget gives
+    /// up. The hook returns how many bytes it actually freed (it may free
+    /// fewer — e.g. every candidate is pinned); only the remaining
+    /// shortfall is refused.
+    pub fn check_alloc_or_evict(
+        &self,
+        what: &str,
+        bytes: usize,
+        used: usize,
+        evict: &mut EvictFn<'_>,
+    ) -> Result<(), CoreError> {
+        let Some(max) = self.max_bytes else {
+            return Ok(());
+        };
+        let wanted = used.saturating_add(bytes);
+        if wanted <= max {
+            return Ok(());
+        }
+        let freed = evict(wanted - max);
+        let used = used.saturating_sub(freed);
+        if used.saturating_add(bytes) <= max {
+            return Ok(());
+        }
+        phylo_obs::global()
+            .counter("core_budget_refusals_total", &[])
+            .inc();
+        Err(CoreError::ResourceLimit(format!(
+            "{what} needs {bytes} bytes on top of {used} resident, budget is {max}"
+        )))
+    }
+
     /// Error if the deadline has passed.
     pub fn check_deadline(&self, where_: &str) -> Result<(), CoreError> {
         match self.deadline {
@@ -83,6 +116,10 @@ impl RunBudget {
         }
     }
 }
+
+/// An eviction hook handed to [`RunBudget::check_alloc_or_evict`]: given a
+/// byte shortfall, release what can be released and report the bytes freed.
+pub type EvictFn<'a> = dyn FnMut(usize) -> usize + 'a;
 
 /// A cooperative cancellation flag, cheap to clone and share across threads.
 ///
@@ -262,6 +299,42 @@ mod tests {
         };
         assert!(msg.contains("matrix"));
         assert!(msg.contains("1025"));
+    }
+
+    #[test]
+    fn eviction_hook_reclaims_before_refusing() {
+        let b = RunBudget::with_max_bytes(100);
+        // Fits outright: the hook is never consulted.
+        let mut called = false;
+        b.check_alloc_or_evict("open", 40, 60, &mut |_| {
+            called = true;
+            0
+        })
+        .unwrap();
+        assert!(!called);
+
+        // Over budget, hook frees enough: accepted.
+        let mut asked = 0;
+        b.check_alloc_or_evict("open", 40, 90, &mut |need| {
+            asked = need;
+            50
+        })
+        .unwrap();
+        assert_eq!(asked, 30, "hook is asked for exactly the shortfall");
+
+        // Hook cannot free enough (everything pinned): typed refusal.
+        let err = b
+            .check_alloc_or_evict("open", 40, 90, &mut |_| 10)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ResourceLimit(_)), "{err}");
+        assert!(err.to_string().contains("resident"), "{err}");
+
+        // Unlimited budget never evicts.
+        RunBudget::unlimited()
+            .check_alloc_or_evict("open", usize::MAX, usize::MAX, &mut |_| {
+                panic!("must not evict")
+            })
+            .unwrap();
     }
 
     #[test]

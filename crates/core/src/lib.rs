@@ -93,7 +93,7 @@ pub use comparator::{
 pub use day::day_rf;
 pub use error::CoreError;
 pub use frozen::FrozenBfh;
-pub use guard::{CancelToken, Degradation, RunBudget, RunGuard};
+pub use guard::{CancelToken, Degradation, EvictFn, RunBudget, RunGuard};
 pub use hashrf::{HashRf, HashRfConfig};
 pub use rf::{bfhrf_all, bfhrf_average, QueryScore, RfAverage, SplitFrequency};
 pub use select::best_query;

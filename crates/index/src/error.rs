@@ -41,6 +41,13 @@ pub enum IndexError {
     Core(bfhrf::CoreError),
     /// A WAL payload failed to parse as Newick against the index taxa.
     Phylo(phylo::PhyloError),
+    /// A catalog operation was semantically invalid: unknown collection,
+    /// name already taken, reserved or malformed name, or a collection
+    /// busy with in-flight work. Disk state is fine; the request is not.
+    Catalog {
+        /// What was wrong with the request.
+        detail: String,
+    },
     /// The WAL could not be reset after a committed compaction, so
     /// mutations are refused until a reopen or a successful compaction
     /// heals the log. Reads stay available; nothing durable is lost.
@@ -64,6 +71,7 @@ impl fmt::Display for IndexError {
             IndexError::Corrupt { section, detail } => {
                 write!(f, "corrupt {section} section: {detail}")
             }
+            IndexError::Catalog { detail } => write!(f, "catalog error: {detail}"),
             IndexError::Core(e) => write!(f, "core error: {e}"),
             IndexError::Phylo(e) => write!(f, "newick error: {e}"),
             IndexError::WalUnavailable { detail } => write!(

@@ -39,7 +39,7 @@ use std::sync::Arc;
 pub const SNAPSHOT_FILE: &str = "snapshot.bfh";
 /// File name of the WAL inside an index directory.
 pub const WAL_FILE: &str = "wal.log";
-const SNAPSHOT_TMP: &str = "snapshot.bfh.tmp";
+pub(crate) const SNAPSHOT_TMP: &str = "snapshot.bfh.tmp";
 
 /// Live counters describing an opened index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -302,6 +302,17 @@ impl Index {
         &self.notes
     }
 
+    /// Current compaction generation (no side effects, unlike
+    /// [`Index::stats`] which also refreshes global gauges).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// WAL records appended since the last compaction (no side effects).
+    pub fn wal_pending(&self) -> usize {
+        self.wal_pending
+    }
+
     /// The frozen probe-optimized view of the current hash, built on first
     /// use after open or mutation and cached until the next mutation.
     pub fn frozen(&mut self) -> std::sync::Arc<bfhrf::FrozenBfh> {
@@ -367,6 +378,12 @@ impl Index {
     fn parse_against_taxa(&self, newick: &str) -> Result<Tree, IndexError> {
         let mut scratch = (*self.taxa).clone();
         Ok(parse_newick(newick, &mut scratch, TaxaPolicy::Require)?)
+    }
+
+    /// Whether the log is live (false after a committed compaction whose
+    /// WAL reset failed; mutations are refused until healed).
+    pub fn wal_available(&self) -> bool {
+        self.wal.is_some()
     }
 
     /// The live log, or a typed refusal if a failed compaction left it
@@ -441,6 +458,21 @@ impl Index {
     ///   the log is taken out of service ([`IndexError::WalUnavailable`]
     ///   on mutations) until a retried `compact` heals it.
     pub fn compact(&mut self) -> Result<SnapshotMeta, IndexError> {
+        self.compact_with_hook(|_| Ok(()))
+    }
+
+    /// [`Index::compact`] with a callback run immediately after the
+    /// snapshot rename commits (and before the WAL reset). The catalog
+    /// layer uses this seam to commit its sidecar tree list at the same
+    /// generation: if a crash (or the hook itself) interrupts the window,
+    /// the still-stale WAL carries exactly the records the sidecar is
+    /// missing, so reopening can reconstruct it. A hook failure leaves the
+    /// WAL out of service ([`IndexError::WalUnavailable`] on mutations)
+    /// until a retried compaction or a reopen heals it.
+    pub fn compact_with_hook(
+        &mut self,
+        after_commit: impl FnOnce(u64) -> Result<(), IndexError>,
+    ) -> Result<SnapshotMeta, IndexError> {
         if self.wal.is_some() {
             let next = self.generation + 1;
             let tmp = self.dir.join(SNAPSHOT_TMP);
@@ -459,6 +491,7 @@ impl Index {
             self.generation = next;
             self.wal = None;
             self.wal_pending = 0;
+            after_commit(next)?;
         }
         // (Re)create the log at the committed generation. On failure the
         // index stays fully readable — the snapshot holds everything —

@@ -21,6 +21,7 @@
 //! generations — surfaces as a typed [`IndexError`], never a panic, so a
 //! daemon can keep serving from its last good in-memory state.
 
+pub mod catalog;
 pub mod error;
 pub mod format;
 pub mod index;
@@ -28,6 +29,11 @@ pub mod snapshot;
 pub mod vfs;
 pub mod wal;
 
+pub use catalog::{
+    replay_manifest, scan_manifest, validate_name, Catalog, CatalogOp, Collection, CollectionCell,
+    CollectionInfo, ManifestScan, PinnedCollection, COLLECTIONS_DIR, DEFAULT_COLLECTION,
+    MANIFEST_FILE, MANIFEST_MAGIC, MANIFEST_VERSION, TREES_FILE,
+};
 pub use error::IndexError;
 pub use index::{Index, IndexStats, QueryView, SNAPSHOT_FILE, WAL_FILE};
 pub use snapshot::{

@@ -1,0 +1,117 @@
+//! Property tests for the catalog's LRU pool invariants.
+//!
+//! Two promises the LRU must keep under *any* access pattern:
+//!
+//! 1. A pinned collection is never evicted, no matter how tight the byte
+//!    budget or how many other collections churn through the pool — a
+//!    connection actively scoring against a collection must never have it
+//!    ripped out from under the pin.
+//! 2. Eviction is invisible to correctness: a collection that is evicted
+//!    and later reacquired reopens to a frozen table **bitwise identical**
+//!    (equal [`bfhrf::FrozenBfh::digest`]) to the one that was dropped,
+//!    with the same canonical tree list — cold reopens are deterministic.
+
+use phylo::TreeCollection;
+use phylo_index::{Catalog, MemVfs};
+use phylo_sim::perturb::random_collection;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::path::Path;
+use std::sync::Arc;
+
+const ROOT: &str = "cat";
+
+fn trees_text(n_taxa: usize, n_trees: usize, seed: u64) -> String {
+    let coll: TreeCollection = random_collection(n_taxa, n_trees, seed);
+    coll.trees
+        .iter()
+        .map(|t| format!("{}\n", phylo::write_newick(t, &coll.taxa)))
+        .collect()
+}
+
+/// A catalog with three collections under a budget of one byte — every
+/// acquire is over budget, so the pool evicts as aggressively as it ever
+/// can.
+fn tight_catalog(seed: u64) -> Catalog {
+    let mut cat = Catalog::open_with(Arc::new(MemVfs::new()), Path::new(ROOT), Some(1)).unwrap();
+    for (i, name) in ["p0", "p1", "p2"].iter().enumerate() {
+        cat.create(name, &trees_text(7, 3 + i, seed.wrapping_add(i as u64)))
+            .unwrap();
+    }
+    cat
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under the tightest possible budget, a held pin keeps its collection
+    /// resident through any interleaving of other acquires; dropping the
+    /// pin makes it evictable again.
+    #[test]
+    fn pinned_collections_are_never_evicted(
+        seed in 0u64..1_000,
+        accesses in vec(0usize..3, 1..16),
+    ) {
+        let mut cat = tight_catalog(seed);
+        let pinned = cat.acquire("p0").unwrap();
+        let pinned_digest = pinned.lock().view().frozen.digest();
+
+        for (step, pick) in accesses.iter().enumerate() {
+            let name = ["p0", "p1", "p2"][*pick];
+            // Transient pin: held only for the duration of one "request".
+            let pin = cat.acquire(name).unwrap();
+            drop(pin);
+            // The long-lived pin's collection must still be open...
+            let info = cat
+                .list()
+                .into_iter()
+                .find(|c| c.name == "p0")
+                .unwrap();
+            prop_assert!(info.open, "step {step}: pinned p0 was evicted");
+        }
+        // ...and still be the exact same live cell (same frozen table).
+        prop_assert_eq!(pinned.lock().view().frozen.digest(), pinned_digest);
+
+        // Once the pin drops, churning the other collections may evict p0
+        // — the guarantee is gone, and the budget can finally reclaim it.
+        drop(pinned);
+        cat.acquire("p1").unwrap();
+        cat.acquire("p2").unwrap();
+        let info = cat.list().into_iter().find(|c| c.name == "p0").unwrap();
+        prop_assert!(!info.open, "unpinned p0 must be evictable under a 1-byte budget");
+    }
+
+    /// Evict-then-reacquire reopens a frozen table bitwise identical to
+    /// the evicted one, for arbitrary collection shapes.
+    #[test]
+    fn evicted_collections_reopen_bitwise_identical(
+        n_taxa in 5usize..10,
+        n_trees in 2usize..7,
+        seed in 0u64..10_000,
+        churn in vec(1usize..3, 1..6),
+    ) {
+        let mut cat = tight_catalog(seed);
+        cat.create("subject", &trees_text(n_taxa, n_trees, seed ^ 0xDEAD)).unwrap();
+
+        let (digest, lines) = {
+            let pin = cat.acquire("subject").unwrap();
+            let mut col = pin.lock();
+            let d = col.view().frozen.digest();
+            let l = col.tree_lines().join("\n");
+            (d, l)
+        };
+
+        // Churn other collections until the subject is evicted.
+        for pick in &churn {
+            cat.acquire(["p1", "p2"][*pick - 1]).unwrap();
+        }
+        let info = cat.list().into_iter().find(|c| c.name == "subject").unwrap();
+        prop_assert!(!info.open, "subject must be evicted under a 1-byte budget");
+        prop_assert!(cat.evictions() >= 1);
+
+        // Reacquire: the cold reopen reproduces the exact table.
+        let pin = cat.acquire("subject").unwrap();
+        prop_assert_eq!(pin.lock().view().frozen.digest(), digest);
+        prop_assert_eq!(pin.lock().tree_lines().join("\n"), lines);
+    }
+}

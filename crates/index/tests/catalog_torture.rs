@@ -1,0 +1,268 @@
+//! Crash-consistency torture tests for the collection catalog.
+//!
+//! The manifest is the catalog's commit log: every `create`, `drop`, and
+//! `rename` is one appended record, and the append is the commit point
+//! (collection files land *before* their create record; drop records land
+//! *before* the best-effort file removal). Here a scripted admin workload
+//! runs on a journaling [`MemVfs`]; the journal is then replayed **prefix
+//! by prefix**, each prefix simulating a crash at that exact write, and
+//! the catalog is reopened from the reconstructed disk state. Every crash
+//! point must land on a valid pre- or post-commit catalog: the set of
+//! listed collections equals the set just before or just after whichever
+//! admin stage the crash interrupted, and every listed collection opens to
+//! a hash logically identical to its committed content (same trees, same
+//! split-frequency totals — the physical layout may differ when a crash
+//! lands between a compaction's snapshot commit and its WAL reset) —
+//! never a phantom collection, never a missing acknowledged one, never a
+//! panic.
+
+use phylo::TreeCollection;
+use phylo_index::{Catalog, IndexError, MemVfs, MANIFEST_FILE};
+use phylo_sim::perturb::random_collection;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+const ROOT: &str = "cat";
+
+/// Newick text of a simulated collection: `n_trees` trees on 8 taxa.
+fn trees_text(n_trees: usize, seed: u64) -> String {
+    let coll: TreeCollection = random_collection(8, n_trees, seed);
+    coll.trees
+        .iter()
+        .map(|t| format!("{}\n", phylo::write_newick(t, &coll.taxa)))
+        .collect()
+}
+
+/// Logical content fingerprint of a whole catalog: every listed
+/// collection's name mapped to (tree count, frequency sum, distinct
+/// splits, canonical tree list). Two equal fingerprints mean the same
+/// collections answering the same queries from the same durable state;
+/// the *physical* table layout is allowed to differ (an interrupted
+/// compaction may reopen from the compacted snapshot instead of
+/// snapshot + WAL replay).
+fn fp(cat: &mut Catalog) -> BTreeMap<String, (usize, u64, usize, String)> {
+    let names: Vec<String> = cat.list().into_iter().map(|c| c.name).collect();
+    names
+        .into_iter()
+        .map(|name| {
+            let pin = cat
+                .acquire(&name)
+                .unwrap_or_else(|e| panic!("listed collection {name:?} must open: {e}"));
+            let col = pin.lock();
+            let stats = col.stats();
+            let lines = col.tree_lines().join("\n");
+            drop(col);
+            drop(pin);
+            (name, (stats.n_trees, stats.sum, stats.distinct, lines))
+        })
+        .collect()
+}
+
+type Stage<'a> = (
+    &'static str,
+    Box<dyn Fn(&mut Catalog) -> Result<(), IndexError> + 'a>,
+);
+
+/// The scripted admin workload: creates, a drop, a rename, and a routed
+/// mutation, so crash points cover every manifest record kind plus the
+/// collection-level WAL/sidecar commit protocol.
+fn workload<'a>(t1: &'a str, t2: &'a str, t3: &'a str, extra: &'a str) -> Vec<Stage<'a>> {
+    vec![
+        ("create a", Box::new(move |c| c.create("a", t1).map(|_| ()))),
+        ("create b", Box::new(move |c| c.create("b", t2).map(|_| ()))),
+        (
+            "add into a",
+            Box::new(move |c| {
+                let pin = c.acquire("a")?;
+                let mut col = pin.lock();
+                col.add_batch(&[extra.trim().to_string()]).map(|_| ())
+            }),
+        ),
+        ("drop b", Box::new(|c| c.drop_collection("b"))),
+        ("rename a -> z", Box::new(|c| c.rename_collection("a", "z"))),
+        ("create c", Box::new(move |c| c.create("c", t3).map(|_| ()))),
+        (
+            "compact z",
+            Box::new(|c| {
+                let pin = c.acquire("z")?;
+                let mut col = pin.lock();
+                col.compact().map(|_| ())
+            }),
+        ),
+    ]
+}
+
+/// Every prefix of the recorded write journal reopens to a valid pre- or
+/// post-commit catalog. Torn variants of each write are swept too.
+#[test]
+fn every_crash_point_reopens_to_a_committed_catalog() {
+    let root = Path::new(ROOT);
+    let t1 = trees_text(4, 0xA11CE);
+    let t2 = trees_text(5, 0xB0B);
+    let t3 = trees_text(3, 0xCAFE);
+    let extra = trees_text(1, 0xD00D);
+
+    // Record the workload's full write-op sequence.
+    let mem = MemVfs::new();
+    mem.start_recording();
+    let mut cat = Catalog::open_with(Arc::new(mem.clone()), root, None).expect("open on MemVfs");
+
+    // boundaries[j] = journal length once stage j is fully on disk;
+    // states[j] = the catalog fingerprint after stage j. Stage 0 is the
+    // (empty) catalog creation itself.
+    let mut boundaries = vec![mem.journal().len()];
+    let mut states = vec![fp(&mut cat)];
+    for (name, act) in workload(&t1, &t2, &t3, &extra) {
+        act(&mut cat).unwrap_or_else(|e| panic!("{name}: {e}"));
+        boundaries.push(mem.journal().len());
+        states.push(fp(&mut cat));
+    }
+    drop(cat);
+    let journal = mem.journal();
+    let n_stages = boundaries.len();
+    assert!(
+        journal.len() > 30,
+        "workload too small to be interesting: {} ops",
+        journal.len()
+    );
+
+    // Crash at op k, optionally with the k-th write torn at `keep` bytes.
+    let mut crash_points = 0;
+    let mut check = |k: usize, torn_keep: Option<usize>| {
+        let disk = MemVfs::new();
+        disk.apply(&journal[..k]);
+        let mut label = format!("crash after op {k}/{}", journal.len());
+        let mut upper = k; // ops that have at least begun
+        if let Some(keep) = torn_keep {
+            let Some(torn) = journal[k].torn(keep) else {
+                return;
+            };
+            disk.apply(std::slice::from_ref(&torn));
+            label = format!("crash tearing op {k} at byte {keep}");
+            upper = k + 1;
+        }
+        crash_points += 1;
+
+        // done = last stage fully on disk; started = last stage that has
+        // begun writing.
+        let done = boundaries.iter().rposition(|&b| b <= k).unwrap_or(0);
+        let started = boundaries
+            .iter()
+            .rposition(|&b| b < upper)
+            .map(|j| {
+                if j + 1 < n_stages && boundaries[j] < upper {
+                    j + 1
+                } else {
+                    j
+                }
+            })
+            .unwrap_or(done);
+
+        // A crash can never make the catalog unopenable: a torn manifest
+        // header is recreated empty, a torn tail record is truncated.
+        let mut reopened = Catalog::open_with(Arc::new(disk), root, None)
+            .unwrap_or_else(|e| panic!("{label}: catalog must reopen, got {e}"));
+        let got = fp(&mut reopened);
+        let lo = done;
+        let hi = started.max(lo).min(n_stages - 1);
+        let ok = (lo..=hi).any(|j| states[j] == got);
+        assert!(
+            ok,
+            "{label}: reopened catalog matches neither stage {lo} nor {hi}: \
+             listed = {:?}",
+            got.keys().collect::<Vec<_>>()
+        );
+    };
+
+    for k in 0..=journal.len() {
+        check(k, None);
+        if k < journal.len() {
+            // Tear the next write near its start and near its end.
+            check(k, Some(1));
+            check(k, Some(7));
+        }
+    }
+    assert!(
+        crash_points > journal.len(),
+        "sweep ran: {crash_points} crash points"
+    );
+}
+
+/// A torn final manifest record is a crash artifact: the reopen truncates
+/// it with a note and the catalog rolls back to the previous committed
+/// record. The truncation is durable — a second open is note-free.
+#[test]
+fn torn_manifest_tail_is_recovered_on_open() {
+    let root = Path::new(ROOT);
+    let manifest = root.join(MANIFEST_FILE);
+    let t1 = trees_text(4, 0x5EED);
+    let t2 = trees_text(3, 0xFEED);
+    for cut in [1usize, 5, 11] {
+        let mem = MemVfs::new();
+        let mut cat = Catalog::open_with(Arc::new(mem.clone()), root, None).unwrap();
+        cat.create("keep", &t1).unwrap();
+        cat.create("victim", &t2).unwrap();
+        drop(cat);
+
+        // Tear the last `cut` bytes off the final record.
+        let bytes = mem.read_bytes(&manifest).unwrap();
+        mem.write_bytes(&manifest, bytes[..bytes.len() - cut].to_vec());
+
+        let mut reopened = Catalog::open_with(Arc::new(mem.clone()), root, None)
+            .unwrap_or_else(|e| panic!("cut {cut}: open must recover a torn tail: {e}"));
+        assert!(reopened.contains("keep"), "cut {cut}");
+        assert!(
+            !reopened.contains("victim"),
+            "cut {cut}: the torn create must not commit"
+        );
+        assert!(
+            reopened.notes().iter().any(|n| n.contains("torn")),
+            "cut {cut}: recovery must leave a note: {:?}",
+            reopened.notes()
+        );
+        // The surviving collection still opens and answers.
+        let pin = reopened.acquire("keep").unwrap();
+        assert_eq!(pin.lock().stats().n_trees, 4, "cut {cut}");
+        drop(pin);
+        drop(reopened);
+
+        let again = Catalog::open_with(Arc::new(mem), root, None).unwrap();
+        assert!(
+            again.notes().is_empty(),
+            "cut {cut}: second open must be clean: {:?}",
+            again.notes()
+        );
+    }
+}
+
+/// Mid-file manifest corruption is *not* a crash artifact — a flipped
+/// byte in an interior record must refuse the catalog with a typed
+/// corruption error, never truncate acknowledged history.
+#[test]
+fn mid_manifest_corruption_is_a_typed_refusal() {
+    let root = Path::new(ROOT);
+    let manifest = root.join(MANIFEST_FILE);
+    let t1 = trees_text(3, 0x111);
+    let t2 = trees_text(3, 0x222);
+
+    let mem = MemVfs::new();
+    let mut cat = Catalog::open_with(Arc::new(mem.clone()), root, None).unwrap();
+    cat.create("first", &t1).unwrap();
+    let after_first = mem.read_bytes(&manifest).unwrap().len();
+    cat.create("second", &t2).unwrap();
+    drop(cat);
+
+    // Flip one byte inside the *first* record's payload (past the header,
+    // before the second record begins).
+    let mut bytes = mem.read_bytes(&manifest).unwrap();
+    let target = after_first - 6; // inside record 1's checksum/payload
+    bytes[target] ^= 0x40;
+    assert!(target < after_first, "flip must land mid-file");
+    mem.write_bytes(&manifest, bytes);
+
+    let err = Catalog::open_with(Arc::new(mem), root, None)
+        .err()
+        .expect("interior corruption must refuse the catalog");
+    assert!(err.is_corruption(), "unexpected error class: {err}");
+}

@@ -107,6 +107,7 @@ fn snapshot_load_serves_offline_identical_answers() {
         threads: 2,
         mem_budget: None,
         timeout_ms: None,
+        catalog_dir: None,
     })
     .unwrap();
     let addr = srv.local_addr().to_string();
