@@ -3,7 +3,9 @@
 # build + freeze + probe + serve cycle on a reduced insect preset) and
 # validate that the emitted BENCH_query.json carries the full measurement
 # schema — dataset provenance, warmup/repeats protocol, single- and
-# multi-thread sections with median/CV/speedup, and the serve section.
+# multi-thread sections with median/CV/speedup, the probe-engine and
+# extraction ablation cells (scalar vs SIMD group scan, scalar vs
+# word-striped extraction), and the serve section.
 #
 # The speedup itself is NOT asserted here: CI runners are too noisy for a
 # throughput gate, and query_bench already hard-asserts frozen == live on
@@ -47,11 +49,24 @@ need(st, "probes", int, "single_thread")
 for key in ("live_seconds", "live_cv", "live_mprobes_per_s",
             "frozen_seconds", "frozen_cv", "frozen_mprobes_per_s", "speedup"):
     need(st, key, (int, float), "single_thread")
+pa = need(doc, "probe_ablation", dict, "$")
+need(pa, "engine", str, "probe_ablation")
+need(pa, "simd_available", bool, "probe_ablation")
+for key in ("scalar_seconds", "scalar_cv", "scalar_mprobes_per_s",
+            "simd_seconds", "simd_cv", "simd_mprobes_per_s", "speedup"):
+    need(pa, key, (int, float), "probe_ablation")
+if pa["engine"] not in ("sse2", "neon", "scalar"):
+    sys.exit(f"bench smoke: unknown probe engine {pa['engine']!r}")
+ea = need(doc, "extract_ablation", dict, "$")
+for key in ("scalar_seconds", "scalar_cv",
+            "vectorized_seconds", "vectorized_cv", "speedup"):
+    need(ea, key, (int, float), "extract_ablation")
 ee = need(doc, "end_to_end", dict, "$")
 for key in ("live_seconds", "live_cv", "live_qps",
             "frozen_seconds", "frozen_cv", "frozen_qps", "speedup"):
     need(ee, key, (int, float), "end_to_end")
 mt = need(doc, "multi_thread", dict, "$")
+need(mt, "cores", int, "multi_thread")
 for key in ("live_seconds", "live_cv", "frozen_seconds", "frozen_cv", "speedup"):
     need(mt, key, (int, float), "multi_thread")
 srv = need(doc, "serve", dict, "$")
@@ -74,7 +89,8 @@ if obs["overhead_ratio"] > obs["max_ratio"]:
     sys.exit(f"bench smoke: obs overhead {obs['overhead_ratio']} exceeds "
              f"the recorded gate {obs['max_ratio']}")
 
-for section, obj in (("single_thread", st), ("end_to_end", ee),
+for section, obj in (("single_thread", st), ("probe_ablation", pa),
+                     ("extract_ablation", ea), ("end_to_end", ee),
                      ("multi_thread", mt), ("serve", srv), ("obs", obs)):
     for key, value in obj.items():
         if isinstance(value, (int, float)) and value < 0:
@@ -82,11 +98,16 @@ for section, obj in (("single_thread", st), ("end_to_end", ee),
 if st["speedup"] <= 0 or st["live_mprobes_per_s"] <= 0 \
         or st["frozen_mprobes_per_s"] <= 0:
     sys.exit("bench smoke: degenerate single-thread timings")
+if pa["speedup"] <= 0 or pa["scalar_mprobes_per_s"] <= 0 \
+        or pa["simd_mprobes_per_s"] <= 0 or ea["speedup"] <= 0:
+    sys.exit("bench smoke: degenerate ablation timings")
 if srv["qps"] <= 0 or srv["pipelined_qps"] <= 0 or srv["batch_qps"] <= 0:
     sys.exit("bench smoke: serve section measured nothing")
 
 print(f"bench smoke: schema ok "
-      f"(single-thread speedup {st['speedup']:.2f}x, serve {srv['qps']:.0f} q/s, "
+      f"(single-thread speedup {st['speedup']:.2f}x, "
+      f"probe ablation {pa['speedup']:.2f}x on {pa['engine']}, "
+      f"extraction {ea['speedup']:.2f}x, serve {srv['qps']:.0f} q/s, "
       f"batch {srv['batch_qps']:.0f} q/s, "
       f"obs overhead {obs['overhead_ratio']:.4f}x)")
 EOF

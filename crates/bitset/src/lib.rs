@@ -31,6 +31,7 @@
 
 mod bits;
 pub mod compress;
+pub mod group;
 mod hasher;
 mod iter;
 mod ops;
@@ -39,8 +40,9 @@ mod splithash;
 pub use bits::Bits;
 pub use hasher::{BuildWordHasher, WordHasher};
 pub use iter::Ones;
+pub use ops::{orient_words, popcount_words, union_words};
 pub use splithash::{
-    hash_bucket, hash_tag, map_get_words, map_get_words_mut, set_contains_words, shard_of,
+    ctrl_h2, hash_bucket, hash_tag, map_get_words, map_get_words_mut, set_contains_words, shard_of,
     split_hash128, WordsKey,
 };
 

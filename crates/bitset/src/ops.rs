@@ -136,6 +136,81 @@ impl Bits {
     }
 }
 
+/// Word-striped chunk width for the free-standing slice kernels below: four
+/// `u64` lanes per step, which LLVM lowers to 256-bit (or paired 128-bit)
+/// vector ops on every mainstream target.
+const STRIPE: usize = 4;
+
+/// `dst |= src`, word-striped. The vectorized core of bottom-up subtree
+/// mask accumulation: child masks OR into the parent's arena row four
+/// words per step with no per-word loop-carried branch.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn union_words(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "union_words: length mismatch");
+    let (d4, dr) = dst.split_at_mut(src.len() - src.len() % STRIPE);
+    let (s4, sr) = src.split_at(d4.len());
+    for (d, s) in d4.chunks_exact_mut(STRIPE).zip(s4.chunks_exact(STRIPE)) {
+        d[0] |= s[0];
+        d[1] |= s[1];
+        d[2] |= s[2];
+        d[3] |= s[3];
+    }
+    for (d, s) in dr.iter_mut().zip(sr) {
+        *d |= *s;
+    }
+}
+
+/// Total popcount of a word slice, word-striped with four independent
+/// accumulators so the `popcnt` chain never serializes on one register.
+#[inline]
+pub fn popcount_words(words: &[u64]) -> u32 {
+    let mut acc = [0u32; STRIPE];
+    let chunks = words.chunks_exact(STRIPE);
+    let rem = chunks.remainder();
+    for c in chunks {
+        acc[0] += c[0].count_ones();
+        acc[1] += c[1].count_ones();
+        acc[2] += c[2].count_ones();
+        acc[3] += c[3].count_ones();
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + rem.iter().map(|w| w.count_ones()).sum::<u32>()
+}
+
+/// Canonical-orientation kernel: `out[w] = mask[w] ^ (leafset[w] & flip)`,
+/// word-striped and branch-free.
+///
+/// With `flip == 0` this copies `mask`; with `flip == u64::MAX` it writes
+/// the complement of `mask` inside `leafset` (valid because a subtree mask
+/// is always a subset of its tree's leafset, so `leafset & !mask ==
+/// leafset ^ mask`). Extraction derives `flip` from the anchor-bit test, so
+/// a ~50/50-unpredictable orientation branch becomes a data dependency.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn orient_words(out: &mut [u64], leafset: &[u64], mask: &[u64], flip: u64) {
+    assert_eq!(out.len(), mask.len(), "orient_words: length mismatch");
+    assert_eq!(out.len(), leafset.len(), "orient_words: length mismatch");
+    let n4 = out.len() - out.len() % STRIPE;
+    let (o4, or) = out.split_at_mut(n4);
+    for ((o, l), m) in o4
+        .chunks_exact_mut(STRIPE)
+        .zip(leafset.chunks_exact(STRIPE))
+        .zip(mask.chunks_exact(STRIPE))
+    {
+        o[0] = m[0] ^ (l[0] & flip);
+        o[1] = m[1] ^ (l[1] & flip);
+        o[2] = m[2] ^ (l[2] & flip);
+        o[3] = m[3] ^ (l[3] & flip);
+    }
+    for ((o, l), m) in or.iter_mut().zip(&leafset[n4..]).zip(&mask[n4..]) {
+        *o = *m ^ (*l & flip);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,5 +284,55 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_panic() {
         let _ = bits("0011").union(&bits("011"));
+    }
+
+    /// Deterministic word stream for the striped-kernel tests.
+    fn rand_words(seed: u64, n: usize) -> Vec<u64> {
+        let mut s = seed.max(1);
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s.wrapping_mul(0x2545_f491_4f6c_dd1d)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn striped_kernels_match_scalar_at_every_stride() {
+        // Lengths straddling the stripe width (0..=9 covers empty, partial,
+        // exact, and exact-plus-remainder chunking) and word counts used by
+        // boundary taxon widths (words_for of 15..129 is 1..3).
+        for len in 0..10usize {
+            for seed in 1..20u64 {
+                let a = rand_words(seed, len);
+                let b = rand_words(seed ^ 0xabcd, len);
+                let mut dst = a.clone();
+                union_words(&mut dst, &b);
+                let expect: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x | y).collect();
+                assert_eq!(dst, expect, "union len {len} seed {seed}");
+
+                assert_eq!(
+                    popcount_words(&a),
+                    a.iter().map(|w| w.count_ones()).sum::<u32>(),
+                    "popcount len {len} seed {seed}"
+                );
+
+                let leafset: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x | y).collect();
+                let mut out = vec![0u64; len];
+                orient_words(&mut out, &leafset, &a, 0);
+                assert_eq!(out, a, "flip=0 must copy the mask");
+                orient_words(&mut out, &leafset, &a, u64::MAX);
+                let flipped: Vec<u64> = leafset.iter().zip(&a).map(|(l, m)| l ^ m).collect();
+                assert_eq!(out, flipped, "flip=MAX must complement inside the leafset");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "union_words: length mismatch")]
+    fn union_words_length_mismatch_panics() {
+        union_words(&mut [0u64; 3], &[0u64; 2]);
     }
 }

@@ -72,6 +72,16 @@ pub fn hash_tag(hash: u128) -> u64 {
     hash as u64
 }
 
+/// The 7-bit control-byte tag (`h2`) of a split hash: the top bits of the
+/// bucket lane, which an open-addressing table never consumes for slot
+/// selection until it exceeds 2^57 slots. The high bit is always clear, so
+/// `h2` can never equal [`crate::group::CTRL_EMPTY`] — a group scan for
+/// `h2` only ever reports full slots.
+#[inline]
+pub fn ctrl_h2(hash: u128) -> u8 {
+    (hash_bucket(hash) >> 57) as u8
+}
+
 /// Borrowed view of a mask's words, usable as a lookup key in a
 /// [`BitsMap`]/[`BitsSet`] without constructing a [`crate::Bits`].
 ///
@@ -210,6 +220,25 @@ mod tests {
             let h = split_hash128(&[1u64 << i, i]);
             assert_eq!(((hash_bucket(h) as u128) << 64) | hash_tag(h) as u128, h);
         }
+    }
+
+    #[test]
+    fn ctrl_h2_is_seven_bits_and_spread() {
+        let mut seen = [0usize; 128];
+        for i in 0..10_000u64 {
+            let h2 = ctrl_h2(split_hash128(&[i, !i]));
+            assert!(h2 < 0x80, "h2 must keep the high bit clear");
+            assert_ne!(h2, crate::group::CTRL_EMPTY, "h2 can never read as empty");
+            seen[h2 as usize] += 1;
+        }
+        let populated = seen.iter().filter(|&&c| c > 0).count();
+        assert!(
+            populated == 128,
+            "all 128 h2 values should occur: {populated}"
+        );
+        // h2 comes from bits the bucket index never uses below 2^57 slots.
+        let h = split_hash128(&[42]);
+        assert_eq!(ctrl_h2(h), (hash_bucket(h) >> 57) as u8);
     }
 
     #[test]

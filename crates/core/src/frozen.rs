@@ -7,24 +7,40 @@
 //! those probes — SipHash-free but still rehashing the full mask per
 //! lookup, chasing a boxed key allocation per hit, with no locality across
 //! the ~`n` probes a query tree issues. [`FrozenBfh`] freezes the map into
-//! a struct-of-arrays open-addressing table tuned for the probe loop:
+//! a **group-structured** open-addressing table tuned for the probe loop:
 //!
-//! * a power-of-two **bucket array of 64-bit tags** derived from
-//!   [`split_hash128`] (for one-word namespaces the tag *is* the mask, so
-//!   a tag match is a key match and the pool is never touched);
-//! * a parallel **`u32` frequency array**, whose zero value doubles as the
-//!   empty-slot marker (stored frequencies are always ≥ 1);
-//! * a parallel **`u32` offset array** into one **packed word pool**
-//!   holding every distinct mask contiguously at stride
-//!   `words_for(n_taxa)` — a confirmed probe is one pooled `memcmp`, never
-//!   a pointer chase into a per-key allocation.
+//! * a **control-byte lane** (`u8` per slot, plus a 16-byte wrap mirror):
+//!   [`CTRL_EMPTY`] for empty slots, the 7-bit [`ctrl_h2`] hash tag for
+//!   full ones. Probing scans it [`GROUP_SLOTS`] (16) tags per step with
+//!   one vector compare — SSE2 on x86-64, NEON on aarch64, an exact SWAR
+//!   fallback everywhere else (see [`phylo_bitset::group`]);
+//! * a parallel **entry lane** of 16-byte [`Entry`] records — the 64-bit
+//!   key word (for one-word namespaces the key *is* the mask, so a key
+//!   match is exact and the pool is never touched; for wider namespaces it
+//!   is the [`hash_tag`] lane), the `u32` frequency, and the `u32` rank
+//!   into the pool — one cache line per four slots instead of three
+//!   separate tag/freq/offset lanes;
+//! * one **packed word pool** holding every distinct mask contiguously at
+//!   stride `words_for(n_taxa)` — a confirmed multi-word probe is one
+//!   pooled `memcmp`, never a pointer chase into a per-key allocation.
+//!
+//! A typical multi-word hit now touches three cache lines (control group,
+//! entry, pool) where the PR 4 layout touched four (tag, freq, offset,
+//! pool), and a miss usually touches only the control group: the h2 scan
+//! rejects all 16 slots and reports an empty in the same load.
 //!
 //! Probing is batched: [`BipartitionScratch::batch_splits`] extracts a
 //! query's canonical masks *and* their 128-bit hashes in one post-order
 //! pass, and [`FrozenBfh::frequency_sum_batch`] walks the batch in a
-//! pipelined loop that software-prefetches the bucket of split `i + D`
-//! while probing split `i`, overlapping the cache misses that dominate on
-//! collection-scale tables (hundreds of thousands of distinct splits).
+//! pipelined loop that software-prefetches the control group and entry
+//! line of split `i + D` while probing split `i`, overlapping the cache
+//! misses that dominate on collection-scale tables (hundreds of thousands
+//! of distinct splits).
+//!
+//! The scan engine is resolved once per process ([`Engine::auto`]):
+//! `BFHRF_FORCE_SCALAR=1` pins the portable fallback (CI runs the whole
+//! workspace that way), and benchmark ablations pass an explicit
+//! [`ProbeMode`] to race both engines over identical batches.
 //!
 //! The table is immutable by construction — freezing a mutated hash means
 //! freezing again — and the freeze itself is a single `O(distinct)` pass
@@ -32,12 +48,31 @@
 
 use crate::bfh::Bfh;
 use phylo::{BipartitionScratch, SplitBatch, TaxonSet, Tree};
-use phylo_bitset::{hash_bucket, hash_tag, split_hash128, words_for, Bits};
+use phylo_bitset::group::{Engine, GroupScan, ScalarScan, SimdScan, CTRL_EMPTY, GROUP_SLOTS};
+use phylo_bitset::{ctrl_h2, hash_bucket, hash_tag, split_hash128, words_for, Bits};
 
-/// How many splits ahead the batched probe loop prefetches. Far enough to
-/// cover a main-memory miss at typical probe cost, near enough that the
-/// lines are still resident when their probe arrives.
-const PREFETCH_AHEAD: usize = 8;
+pub use phylo_bitset::group::{simd_available, ProbeMode};
+
+/// How many splits ahead the batched probe loop prefetches. Re-tuned for
+/// the group layout: each probe now pulls two lines (control group +
+/// entry) instead of three, so the pipeline runs a little deeper than
+/// PR 4's 8 without outpacing the L1 fill buffers (8/12/16 measure
+/// within noise of each other on the insect preset; 12 is the middle
+/// of that plateau).
+const PREFETCH_AHEAD: usize = 12;
+
+/// One slot of the frozen table: the 64-bit key word (mask word when
+/// `words == 1`, else the [`hash_tag`] lane), the stored frequency, and
+/// the entry rank into the pool (word offset = `offset × words`).
+/// 16 bytes, so four slots share a cache line and a confirmed probe reads
+/// key and frequency from the same load.
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(C)]
+struct Entry {
+    key: u64,
+    freq: u32,
+    offset: u32,
+}
 
 /// A frozen, probe-optimized snapshot of a [`Bfh`].
 ///
@@ -51,15 +86,15 @@ pub struct FrozenBfh {
     n_trees: usize,
     sum: u64,
     distinct: usize,
-    /// `capacity - 1`; capacity is a power of two ≥ 2 × distinct.
+    /// `capacity - 1`; capacity is a power of two ≥ 2 × distinct and
+    /// ≥ [`GROUP_SLOTS`].
     mask: usize,
-    /// Per-slot tag: the mask word itself when `words == 1`, else the low
-    /// lane of the split hash.
-    tags: Box<[u64]>,
-    /// Per-slot stored frequency; 0 marks an empty slot.
-    freqs: Box<[u32]>,
-    /// Per-slot entry rank into `pool` (word offset = rank × words).
-    offsets: Box<[u32]>,
+    /// Per-slot control byte ([`CTRL_EMPTY`] or `h2`), length
+    /// `capacity + GROUP_SLOTS`: the tail mirrors the first group so an
+    /// unaligned 16-byte window starting at any slot never wraps.
+    ctrl: Box<[u8]>,
+    /// Per-slot key/frequency/pool-rank record.
+    entries: Box<[Entry]>,
     /// All distinct masks, packed at stride `words` in insertion order.
     pool: Box<[u64]>,
 }
@@ -73,6 +108,12 @@ fn prefetch<T>(ptr: *const T) {
     unsafe {
         std::arch::x86_64::_mm_prefetch(ptr as *const i8, std::arch::x86_64::_MM_HINT_T0);
     }
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: PRFM is a hint with no memory effects; any address is
+    // allowed. No stable intrinsic exists, so spell it as asm.
+    unsafe {
+        std::arch::asm!("prfm pldl1keep, [{0}]", in(reg) ptr, options(nostack, readonly));
+    }
 }
 
 impl FrozenBfh {
@@ -82,27 +123,33 @@ impl FrozenBfh {
         let n_taxa = bfh.n_taxa();
         let words = words_for(n_taxa);
         let distinct = bfh.distinct();
-        // Load factor ≤ 0.5 keeps linear-probe chains short; minimum 8
-        // slots so the empty and near-empty cases stay trivially correct.
-        let capacity = (distinct * 2).max(8).next_power_of_two();
+        // Load factor ≤ 0.5 keeps probe chains short; minimum one full
+        // group so the windowed scan is always in bounds.
+        let capacity = (distinct * 2).max(GROUP_SLOTS).next_power_of_two();
         let mask = capacity - 1;
-        let mut tags = vec![0u64; capacity].into_boxed_slice();
-        let mut freqs = vec![0u32; capacity].into_boxed_slice();
-        let mut offsets = vec![0u32; capacity].into_boxed_slice();
+        let mut ctrl = vec![CTRL_EMPTY; capacity + GROUP_SLOTS].into_boxed_slice();
+        let mut entries = vec![Entry::default(); capacity].into_boxed_slice();
         let mut pool = Vec::with_capacity(distinct * words);
         for (bits, freq) in bfh.iter() {
             debug_assert!(freq >= 1, "stored frequencies are tree counts");
             let w = bits.words();
             let h = split_hash128(w);
             let mut i = hash_bucket(h) as usize & mask;
-            while freqs[i] != 0 {
+            while ctrl[i] != CTRL_EMPTY {
                 i = (i + 1) & mask;
             }
-            tags[i] = if words == 1 { w[0] } else { hash_tag(h) };
-            freqs[i] = freq;
-            offsets[i] = (pool.len() / words.max(1)) as u32;
+            ctrl[i] = ctrl_h2(h);
+            entries[i] = Entry {
+                key: if words == 1 { w[0] } else { hash_tag(h) },
+                freq,
+                offset: (pool.len() / words.max(1)) as u32,
+            };
             pool.extend_from_slice(w);
         }
+        // Mirror the first group past the end so every 16-byte window
+        // starting at a slot index is contiguous.
+        let (head, tail) = ctrl.split_at_mut(capacity);
+        tail.copy_from_slice(&head[..GROUP_SLOTS]);
         FrozenBfh {
             n_taxa,
             words,
@@ -110,9 +157,8 @@ impl FrozenBfh {
             sum: bfh.sum(),
             distinct,
             mask,
-            tags,
-            freqs,
-            offsets,
+            ctrl,
+            entries,
             pool: pool.into_boxed_slice(),
         }
     }
@@ -147,9 +193,14 @@ impl FrozenBfh {
         self.mask + 1
     }
 
-    /// Approximate heap bytes of the frozen layout.
+    /// Heap bytes of the frozen layout: the control lane (including its
+    /// wrap-mirror group), the 16-byte entry lane, and the packed mask
+    /// pool. Pinned against the real allocation sizes by test, because the
+    /// catalog LRU accounts resident collections in exactly these bytes.
     pub fn approx_bytes(&self) -> usize {
-        self.tags.len() * 8 + self.freqs.len() * 4 + self.offsets.len() * 4 + self.pool.len() * 8
+        self.ctrl.len() * std::mem::size_of::<u8>()
+            + self.entries.len() * std::mem::size_of::<Entry>()
+            + self.pool.len() * std::mem::size_of::<u64>()
     }
 
     /// FNV-1a fingerprint over every lane in layout order. Two frozen
@@ -170,14 +221,11 @@ impl FrozenBfh {
         mix(&self.sum.to_le_bytes());
         mix(&(self.distinct as u64).to_le_bytes());
         mix(&(self.mask as u64).to_le_bytes());
-        for &t in self.tags.iter() {
-            mix(&t.to_le_bytes());
-        }
-        for &f in self.freqs.iter() {
-            mix(&f.to_le_bytes());
-        }
-        for &o in self.offsets.iter() {
-            mix(&o.to_le_bytes());
+        mix(&self.ctrl[..self.capacity()]);
+        for e in self.entries.iter() {
+            mix(&e.key.to_le_bytes());
+            mix(&e.freq.to_le_bytes());
+            mix(&e.offset.to_le_bytes());
         }
         for &w in self.pool.iter() {
             mix(&w.to_le_bytes());
@@ -185,41 +233,73 @@ impl FrozenBfh {
         h
     }
 
-    /// Frequency of the canonical mask `w` whose split hash is already
-    /// known (the batched path computes it during extraction).
-    #[inline]
-    pub fn frequency_hashed(&self, h: u128, w: &[u64]) -> u32 {
+    /// The monomorphized probe loop: scan the control lane one 16-slot
+    /// group at a time from the hash's home slot, confirm candidates
+    /// against the entry key (and the pool for multi-word masks), stop at
+    /// the first group holding an empty slot.
+    ///
+    /// Correctness with unaligned windows: linear-probe insertion leaves
+    /// every slot between a key's home and its final slot full, so the
+    /// windows `[home + 16k, home + 16k + 16)` meet the key's candidate
+    /// bit no later than the first window containing an empty. Candidates
+    /// belonging to other chains inside a window are rejected by the key
+    /// compare; h2 never equals [`CTRL_EMPTY`], so candidates are always
+    /// full slots.
+    fn frequency_hashed_impl<G: GroupScan>(&self, h: u128, w: &[u64]) -> u32 {
         if self.distinct == 0 {
             return 0;
         }
+        let h2 = ctrl_h2(h);
         let mut i = hash_bucket(h) as usize & self.mask;
         if self.words == 1 {
-            // One-word namespace: the tag is the mask, equality is exact.
+            // One-word namespace: the key is the mask, equality is exact.
             let t = w[0];
             loop {
-                let f = self.freqs[i];
-                if f == 0 {
+                let g = &self.ctrl[i..i + GROUP_SLOTS];
+                let mut m = G::match_byte(g, h2);
+                while m != 0 {
+                    let s = (i + m.trailing_zeros() as usize) & self.mask;
+                    let e = &self.entries[s];
+                    if e.key == t {
+                        return e.freq;
+                    }
+                    m &= m - 1;
+                }
+                if G::match_empty(g) != 0 {
                     return 0;
                 }
-                if self.tags[i] == t {
-                    return f;
-                }
-                i = (i + 1) & self.mask;
+                i = (i + GROUP_SLOTS) & self.mask;
             }
         }
         let t = hash_tag(h);
         loop {
-            let f = self.freqs[i];
-            if f == 0 {
+            let g = &self.ctrl[i..i + GROUP_SLOTS];
+            let mut m = G::match_byte(g, h2);
+            while m != 0 {
+                let s = (i + m.trailing_zeros() as usize) & self.mask;
+                let e = &self.entries[s];
+                if e.key == t {
+                    let off = e.offset as usize * self.words;
+                    if &self.pool[off..off + self.words] == w {
+                        return e.freq;
+                    }
+                }
+                m &= m - 1;
+            }
+            if G::match_empty(g) != 0 {
                 return 0;
             }
-            if self.tags[i] == t {
-                let off = self.offsets[i] as usize * self.words;
-                if &self.pool[off..off + self.words] == w {
-                    return f;
-                }
-            }
-            i = (i + 1) & self.mask;
+            i = (i + GROUP_SLOTS) & self.mask;
+        }
+    }
+
+    /// Frequency of the canonical mask `w` whose split hash is already
+    /// known (the batched path computes it during extraction).
+    #[inline]
+    pub fn frequency_hashed(&self, h: u128, w: &[u64]) -> u32 {
+        match Engine::auto() {
+            Engine::Simd => self.frequency_hashed_impl::<SimdScan>(h, w),
+            Engine::Scalar => self.frequency_hashed_impl::<ScalarScan>(h, w),
         }
     }
 
@@ -230,6 +310,17 @@ impl FrozenBfh {
         self.frequency_hashed(split_hash128(w), w)
     }
 
+    /// [`Self::frequency_words`] through an explicit probe engine — the
+    /// scalar-vs-SIMD equivalence property tests probe both paths through
+    /// this regardless of the process-wide engine.
+    pub fn frequency_words_with(&self, mode: ProbeMode, w: &[u64]) -> u32 {
+        let h = split_hash128(w);
+        match mode.engine() {
+            Engine::Simd => self.frequency_hashed_impl::<SimdScan>(h, w),
+            Engine::Scalar => self.frequency_hashed_impl::<ScalarScan>(h, w),
+        }
+    }
+
     /// Frequency of a canonical split (0 if absent).
     #[inline]
     pub fn frequency(&self, bits: &Bits) -> u32 {
@@ -237,22 +328,35 @@ impl FrozenBfh {
         self.frequency_words(bits.words())
     }
 
-    /// Prefetch the bucket a hash will land in — tag, frequency, and
-    /// offset lanes, which sit in separate arrays by design.
+    /// Prefetch the lines a hash's probe will touch first: its control
+    /// group and its home entry.
     #[inline(always)]
     fn prefetch_bucket(&self, h: u128) {
         let i = hash_bucket(h) as usize & self.mask;
-        prefetch(&raw const self.tags[i]);
-        prefetch(&raw const self.freqs[i]);
-        if self.words > 1 {
-            prefetch(&raw const self.offsets[i]);
-        }
+        prefetch(&raw const self.ctrl[i]);
+        prefetch(&raw const self.entries[i]);
     }
 
     /// Σ frequency over a whole extracted batch — the quantity Algorithm 2
     /// needs — in one pipelined pass with software prefetch
     /// [`PREFETCH_AHEAD`] splits ahead.
+    #[inline]
     pub fn frequency_sum_batch(&self, batch: &SplitBatch<'_>) -> u64 {
+        self.frequency_sum_batch_with(ProbeMode::Auto, batch)
+    }
+
+    /// [`Self::frequency_sum_batch`] through an explicit probe engine.
+    /// `query_bench` races [`ProbeMode::Scalar`] against
+    /// [`ProbeMode::Simd`] over identical batches and asserts the sums
+    /// bit-identical before reporting either timing.
+    pub fn frequency_sum_batch_with(&self, mode: ProbeMode, batch: &SplitBatch<'_>) -> u64 {
+        match mode.engine() {
+            Engine::Simd => self.sum_batch_impl::<SimdScan>(batch),
+            Engine::Scalar => self.sum_batch_impl::<ScalarScan>(batch),
+        }
+    }
+
+    fn sum_batch_impl<G: GroupScan>(&self, batch: &SplitBatch<'_>) -> u64 {
         if self.distinct == 0 {
             return 0;
         }
@@ -266,7 +370,7 @@ impl FrozenBfh {
             if let Some(&h) = hashes.get(i + PREFETCH_AHEAD) {
                 self.prefetch_bucket(h);
             }
-            total += u64::from(self.frequency_hashed(hashes[i], batch.mask(i)));
+            total += u64::from(self.frequency_hashed_impl::<G>(hashes[i], batch.mask(i)));
         }
         total
     }
@@ -353,6 +457,27 @@ mod tests {
     }
 
     #[test]
+    fn scalar_and_simd_probes_agree_on_hits_and_misses() {
+        let (coll, bfh, frozen) =
+            build("((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n((A,F),((C,D),(E,B)));");
+        for (bits, count) in bfh.iter() {
+            assert_eq!(
+                frozen.frequency_words_with(ProbeMode::Scalar, bits.words()),
+                count
+            );
+            assert_eq!(
+                frozen.frequency_words_with(ProbeMode::Simd, bits.words()),
+                count
+            );
+        }
+        let absent = Bits::from_indices(coll.taxa.len(), [0, 3]);
+        assert_eq!(
+            frozen.frequency_words_with(ProbeMode::Scalar, absent.words()),
+            frozen.frequency_words_with(ProbeMode::Simd, absent.words()),
+        );
+    }
+
+    #[test]
     fn absent_splits_read_zero() {
         let (coll, _, frozen) = build("((A,B),(C,D));\n((A,B),(C,D));");
         // {A,C} = 0101 is a valid canonical mask the collection never holds
@@ -395,7 +520,8 @@ mod tests {
     fn word_boundary_widths_freeze_and_probe_identically() {
         // n_taxa ∈ {63, 64, 65, 128}: the one-word fast path, its exact
         // upper edge, the first two-word width, and an exact two-word
-        // width. Frozen must equal live on every simulated tree.
+        // width. Frozen must equal live on every simulated tree, on both
+        // probe engines.
         for n in [63usize, 64, 65, 128] {
             let spec = phylo_sim::DatasetSpec::new("widths", n, 12, n as u64);
             let coll = phylo_sim::generate(&spec);
@@ -404,6 +530,13 @@ mod tests {
             let mut scratch = BipartitionScratch::new();
             for (bits, count) in bfh.iter() {
                 assert_eq!(frozen.frequency(bits), count, "n={n} {bits}");
+                for mode in [ProbeMode::Scalar, ProbeMode::Simd] {
+                    assert_eq!(
+                        frozen.frequency_words_with(mode, bits.words()),
+                        count,
+                        "n={n} mode={mode:?}"
+                    );
+                }
             }
             for q in &coll.trees {
                 assert_eq!(
@@ -421,7 +554,44 @@ mod tests {
         let coll = phylo_sim::generate(&spec);
         let frozen = Bfh::build(&coll.trees, &coll.taxa).freeze();
         assert!(frozen.capacity() >= 2 * frozen.distinct());
+        assert!(frozen.capacity() >= GROUP_SLOTS);
         assert!(frozen.capacity().is_power_of_two());
         assert!(frozen.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn approx_bytes_matches_actual_allocation_sizes() {
+        // The catalog LRU accounts resident collections in approx_bytes;
+        // pin it to the real heap footprint of every lane so the control
+        // lane (and its wrap mirror) can never silently fall out of the
+        // accounting again.
+        for (n, r) in [(6usize, 2usize), (80, 40), (144, 30)] {
+            let spec = phylo_sim::DatasetSpec::new("bytes", n, r, 11);
+            let coll = phylo_sim::generate(&spec);
+            let frozen = Bfh::build(&coll.trees, &coll.taxa).freeze();
+            let actual = std::mem::size_of_val(&*frozen.ctrl)
+                + std::mem::size_of_val(&*frozen.entries)
+                + std::mem::size_of_val(&*frozen.pool);
+            assert_eq!(frozen.approx_bytes(), actual, "n={n} r={r}");
+            // Layout invariants the accounting relies on.
+            assert_eq!(frozen.ctrl.len(), frozen.capacity() + GROUP_SLOTS);
+            assert_eq!(std::mem::size_of::<Entry>(), 16);
+            assert_eq!(frozen.entries.len(), frozen.capacity());
+            assert_eq!(frozen.pool.len(), frozen.distinct() * frozen.words);
+        }
+        let empty = Bfh::empty(4).freeze();
+        let actual = std::mem::size_of_val(&*empty.ctrl)
+            + std::mem::size_of_val(&*empty.entries)
+            + std::mem::size_of_val(&*empty.pool);
+        assert_eq!(empty.approx_bytes(), actual);
+    }
+
+    #[test]
+    fn ctrl_mirror_keeps_wrapping_windows_consistent() {
+        let spec = phylo_sim::DatasetSpec::new("mirror", 40, 25, 3);
+        let coll = phylo_sim::generate(&spec);
+        let frozen = Bfh::build(&coll.trees, &coll.taxa).freeze();
+        let cap = frozen.capacity();
+        assert_eq!(&frozen.ctrl[cap..], &frozen.ctrl[..GROUP_SLOTS]);
     }
 }

@@ -10,7 +10,7 @@
 use bfhrf::matrix::rf_matrix_exact;
 use bfhrf::{
     bfhrf_all, day_rf, sequential_rf, Bfh, BfhBuilder, BfhrfComparator, Comparator, DayComparator,
-    FrozenComparator, HashRf, HashRfConfig, SetComparator,
+    FrozenComparator, HashRf, HashRfConfig, ProbeMode, SetComparator,
 };
 use phylo::{BipartitionScratch, TreeCollection};
 use phylo_sim::datasets::DatasetSpec;
@@ -496,6 +496,108 @@ proptest! {
                 bfhrf::bfhrf_average(qt, &refs.taxa, &bfh),
                 "width {}", n
             );
+        }
+    }
+
+    #[test]
+    fn scalar_and_simd_probe_paths_agree_on_arbitrary_collections(
+        n in 5usize..24,
+        r in 2usize..12,
+        q in 1usize..5,
+        seed in any::<u64>(),
+        coalescent in any::<bool>(),
+    ) {
+        // The SIMD group scan and the portable SWAR fallback are two
+        // implementations of one probe contract: identical answers, bit
+        // for bit, on every stored split, every absent probe, and every
+        // whole-batch sum — whatever engine the process default resolved
+        // to.
+        let refs = collection(n, r, seed, coalescent);
+        let queries = collection(n, q, seed ^ 33, !coalescent);
+        let bfh = Bfh::build(&refs.trees, &refs.taxa);
+        let frozen = bfh.freeze();
+        for (bits, count) in bfh.iter() {
+            prop_assert_eq!(frozen.frequency_words_with(ProbeMode::Scalar, bits.words()), count);
+            prop_assert_eq!(frozen.frequency_words_with(ProbeMode::Simd, bits.words()), count);
+        }
+        let mut scratch = BipartitionScratch::new();
+        for qt in &queries.trees {
+            let batch = scratch.batch_splits(qt, &refs.taxa);
+            // absent-and-present mix: query splits need not be stored
+            prop_assert_eq!(
+                frozen.frequency_sum_batch_with(ProbeMode::Scalar, &batch),
+                frozen.frequency_sum_batch_with(ProbeMode::Simd, &batch)
+            );
+        }
+    }
+
+    #[test]
+    fn probe_engines_agree_at_word_boundary_widths_and_min_capacity(
+        wi in 0usize..9,
+        seed in any::<u64>(),
+        removals in 0usize..3,
+    ) {
+        // n ∈ {15,16,17,63,64,65,127,128,129}: both sides of every word
+        // seam the pool stride and the tag-is-key fast path care about.
+        // `r = 2` keeps `distinct` tiny so tables freeze at minimum
+        // capacity (one control group), and removing trees first
+        // exercises freezing a hash that has pruned zero-frequency
+        // entries — the "deleted splits" shape the live map can hold.
+        let widths = [15usize, 16, 17, 63, 64, 65, 127, 128, 129];
+        let n = widths[wi];
+        let refs = collection(n, 2 + removals, seed, true);
+        let mut bfh = Bfh::build(&refs.trees, &refs.taxa);
+        for t in refs.trees.iter().take(removals) {
+            bfh.remove_tree(t, &refs.taxa).unwrap();
+        }
+        let frozen = bfh.freeze();
+        prop_assert!(frozen.capacity() >= 2 * frozen.distinct());
+        for (bits, count) in bfh.iter() {
+            prop_assert_eq!(
+                frozen.frequency_words_with(ProbeMode::Scalar, bits.words()),
+                count,
+                "scalar width {}", n
+            );
+            prop_assert_eq!(
+                frozen.frequency_words_with(ProbeMode::Simd, bits.words()),
+                count,
+                "simd width {}", n
+            );
+        }
+        let mut scratch = BipartitionScratch::new();
+        for qt in &refs.trees {
+            let batch = scratch.batch_splits(qt, &refs.taxa);
+            prop_assert_eq!(
+                frozen.frequency_sum_batch_with(ProbeMode::Scalar, &batch),
+                frozen.frequency_sum_batch_with(ProbeMode::Simd, &batch),
+                "width {}", n
+            );
+        }
+    }
+
+    #[test]
+    fn vectorized_extraction_equals_scalar_extraction(
+        n in 5usize..40,
+        seed in any::<u64>(),
+        coalescent in any::<bool>(),
+    ) {
+        // The word-striped fill/orient pass must hand the probe kernel the
+        // exact batch the scalar pass would: same masks, same hashes, same
+        // order, on arbitrary topologies.
+        let coll = collection(n, 3, seed, coalescent);
+        let mut vec_scratch = BipartitionScratch::new();
+        let mut sca_scratch = BipartitionScratch::new();
+        for t in &coll.trees {
+            let (vec_masks, vec_hashes): (Vec<Vec<u64>>, Vec<u128>) = {
+                let b = vec_scratch.batch_splits(t, &coll.taxa);
+                ((0..b.len()).map(|i| b.mask(i).to_vec()).collect(), b.hashes().to_vec())
+            };
+            let sca = sca_scratch.batch_splits_scalar(t, &coll.taxa);
+            prop_assert_eq!(sca.len(), vec_masks.len());
+            for (i, m) in vec_masks.iter().enumerate() {
+                prop_assert_eq!(sca.mask(i), &m[..]);
+                prop_assert_eq!(sca.hash(i), vec_hashes[i]);
+            }
         }
     }
 

@@ -8,7 +8,13 @@
 //! a flat `u64` arena sized `num_nodes × words` plus a handful of index
 //! buffers, all grown once and reused across trees. Extraction writes
 //! subtree masks in place and hands each canonical split to a visitor as a
-//! **borrowed** word slice — no allocation on the hot path at all. Callers
+//! **borrowed** word slice — no allocation on the hot path at all. The
+//! in-place pass is word-striped: child masks OR into their parent and
+//! popcounts accumulate via the chunked kernels in `phylo_bitset`
+//! ([`union_words`]/[`popcount_words`]), and canonical orientation is a
+//! branch-free conditional flip ([`orient_words`]) instead of a
+//! ~50/50-unpredictable branch per split (the scalar per-word twin is kept
+//! as `for_each_split_scalar` for ablation and equivalence tests). Callers
 //! that need an owned key (a fresh map insert) rebuild a [`Bits`] from the
 //! slice; callers that only probe (queries) pass the slice straight to the
 //! borrowed-key lookups in `phylo_bitset`.
@@ -33,7 +39,9 @@
 
 use crate::taxa::TaxonSet;
 use crate::tree::{NodeId, Tree};
-use phylo_bitset::{split_hash128, words_for, Bits, WORD_BITS};
+use phylo_bitset::{
+    orient_words, popcount_words, split_hash128, union_words, words_for, Bits, WORD_BITS,
+};
 
 /// One query tree's canonical splits with their 128-bit hashes, borrowed
 /// from the [`BipartitionScratch`] that extracted them.
@@ -150,7 +158,37 @@ impl BipartitionScratch {
     /// # Panics
     /// Panics if a leaf's taxon id is out of range for `taxa` (the same
     /// contract as [`Tree::bipartitions`]).
-    pub fn for_each_split<F: FnMut(&[u64])>(&mut self, tree: &Tree, taxa: &TaxonSet, mut visit: F) {
+    pub fn for_each_split<F: FnMut(&[u64])>(&mut self, tree: &Tree, taxa: &TaxonSet, visit: F) {
+        self.for_each_split_impl(tree, taxa, true, visit);
+    }
+
+    /// The scalar (per-word, branchy-orientation) twin of
+    /// [`Self::for_each_split`]. Visits exactly the same masks in the same
+    /// order; kept callable so the extraction ablation in `query_bench`
+    /// and the vectorized-vs-scalar property tests can race and compare
+    /// the two passes.
+    #[doc(hidden)]
+    pub fn for_each_split_scalar<F: FnMut(&[u64])>(
+        &mut self,
+        tree: &Tree,
+        taxa: &TaxonSet,
+        visit: F,
+    ) {
+        self.for_each_split_impl(tree, taxa, false, visit);
+    }
+
+    /// Shared extraction body. `vectorized` selects the word-striped
+    /// kernels ([`union_words`]/[`popcount_words`]/[`orient_words`]) for
+    /// the subtree-mask fill and the canonical-orientation emit; `false`
+    /// keeps the original per-word loops with a branch per split. Both
+    /// paths visit identical mask values in identical order.
+    fn for_each_split_impl<F: FnMut(&[u64])>(
+        &mut self,
+        tree: &Tree,
+        taxa: &TaxonSet,
+        vectorized: bool,
+        mut visit: F,
+    ) {
         let Some(root) = tree.root() else { return };
         let n_bits = taxa.len();
         let words = words_for(n_bits);
@@ -189,14 +227,26 @@ impl BipartitionScratch {
             }
             for &c in tree.children(n) {
                 let cb = c.index() * words;
-                for w in 0..words {
-                    self.masks[base + w] |= self.masks[cb + w];
+                if vectorized {
+                    let [dst, src] = self
+                        .masks
+                        .get_disjoint_mut([base..base + words, cb..cb + words])
+                        .expect("parent and child arena rows are disjoint");
+                    union_words(dst, src);
+                } else {
+                    for w in 0..words {
+                        self.masks[base + w] |= self.masks[cb + w];
+                    }
                 }
             }
-            self.ones[ni] = self.masks[base..base + words]
-                .iter()
-                .map(|w| w.count_ones())
-                .sum();
+            self.ones[ni] = if vectorized {
+                popcount_words(&self.masks[base..base + words])
+            } else {
+                self.masks[base..base + words]
+                    .iter()
+                    .map(|w| w.count_ones())
+                    .sum()
+            };
         }
 
         let root_base = root.index() * words;
@@ -262,7 +312,22 @@ impl BipartitionScratch {
                 continue; // ancestor-chain duplicate (rule 1)
             }
             let base = ni * words;
-            if (self.masks[base + aw] >> ab) & 1 == 1 {
+            if vectorized {
+                // Branch-free orientation: anchor bit set → flip = 0 and
+                // the mask copies through; clear → flip = !0 and the mask
+                // complements inside the leafset (root ^ mask, equal to
+                // root & !mask because the mask is a subset of the root's
+                // leafset). The ~50/50 orientation branch becomes a data
+                // dependency, and the copy is word-striped.
+                let flip = ((self.masks[base + aw] >> ab) & 1).wrapping_sub(1);
+                orient_words(
+                    &mut self.canon[..words],
+                    &self.masks[root_base..root_base + words],
+                    &self.masks[base..base + words],
+                    flip,
+                );
+                visit(&self.canon[..words]);
+            } else if (self.masks[base + aw] >> ab) & 1 == 1 {
                 visit(&self.masks[base..base + words]);
             } else {
                 for w in 0..words {
@@ -282,6 +347,23 @@ impl BipartitionScratch {
     /// its words are still cache-hot. The batch stays valid until the next
     /// extraction call on this scratch.
     pub fn batch_splits(&mut self, tree: &Tree, taxa: &TaxonSet) -> SplitBatch<'_> {
+        self.batch_splits_impl(tree, taxa, true)
+    }
+
+    /// The scalar-extraction twin of [`Self::batch_splits`] — identical
+    /// batch contents through [`Self::for_each_split_scalar`], for the
+    /// `query_bench` extraction ablation and equivalence tests.
+    #[doc(hidden)]
+    pub fn batch_splits_scalar(&mut self, tree: &Tree, taxa: &TaxonSet) -> SplitBatch<'_> {
+        self.batch_splits_impl(tree, taxa, false)
+    }
+
+    fn batch_splits_impl(
+        &mut self,
+        tree: &Tree,
+        taxa: &TaxonSet,
+        vectorized: bool,
+    ) -> SplitBatch<'_> {
         let words = words_for(taxa.len());
         // Move the batch buffers out so the extraction closure can fill
         // them while `self` is mutably borrowed by `for_each_split`.
@@ -289,7 +371,7 @@ impl BipartitionScratch {
         let mut hashes = std::mem::take(&mut self.hashes);
         batch.clear();
         hashes.clear();
-        self.for_each_split(tree, taxa, |w| {
+        self.for_each_split_impl(tree, taxa, vectorized, |w| {
             batch.extend_from_slice(w);
             hashes.push(split_hash128(w));
         });
@@ -499,6 +581,41 @@ mod tests {
         }
         let bad = std::panic::catch_unwind(|| SplitBatch::from_parts(words, &masks[1..], &hashes));
         assert!(bad.is_err(), "stride mismatch must panic");
+    }
+
+    #[test]
+    fn scalar_and_vectorized_extraction_are_bit_identical() {
+        // The striped fill/orient kernels must reproduce the scalar pass
+        // exactly: same masks, same hashes, same order — including on
+        // pathological shapes (polytomies, caterpillars, partial
+        // namespaces) where orientation flips cluster.
+        let cases = [
+            "((A,B),(C,D));",
+            "(A,B,(C,D));",
+            "((A,B),(C,D),(E,F));",
+            "(((A,B),C),((D,E),(F,G)));",
+            "((A,B,C,D),(E,F));",
+            "(((((A,B),C),D),E),F);",
+            "((A,(B,(C,(D,E)))),(F,(G,H)));",
+            "(A,B,C);",
+        ];
+        let mut vec_scratch = BipartitionScratch::new();
+        let mut sca_scratch = BipartitionScratch::new();
+        for nwk in cases {
+            let mut taxa = TaxonSet::new();
+            let t = parse_newick(nwk, &mut taxa, TaxaPolicy::Grow).unwrap();
+            let vec_masks: Vec<Vec<u64>> = {
+                let b = vec_scratch.batch_splits(&t, &taxa);
+                (0..b.len()).map(|i| b.mask(i).to_vec()).collect()
+            };
+            let vec_hashes = vec_scratch.batch_splits(&t, &taxa).hashes().to_vec();
+            let sca = sca_scratch.batch_splits_scalar(&t, &taxa);
+            assert_eq!(sca.len(), vec_masks.len(), "{nwk}");
+            for (i, m) in vec_masks.iter().enumerate() {
+                assert_eq!(sca.mask(i), &m[..], "{nwk} split {i}");
+                assert_eq!(sca.hash(i), vec_hashes[i], "{nwk} hash {i}");
+            }
+        }
     }
 
     #[test]
