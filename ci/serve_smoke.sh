@@ -45,6 +45,15 @@ echo "== batched v2 client matches offline byte-for-byte"
     >"$WORK/served_batch.tsv"
 diff -u "$WORK/offline.tsv" "$WORK/served_batch.tsv"
 
+echo "== v2 binary tree encoding: negotiated bin session matches newick byte-for-byte"
+"$BIN" query --port-file "$WORK/port" --queries "$WORK/queries.nwk" --format bin \
+    >"$WORK/served_bin.tsv"
+diff -u "$WORK/offline.tsv" "$WORK/served_bin.tsv"
+"$BIN" convert --in "$WORK/queries.nwk" --out "$WORK/queries.phw" --format bin
+"$BIN" query --port-file "$WORK/port" --queries "$WORK/queries.phw" --batch 2 \
+    --format bin >"$WORK/served_bin_file.tsv"
+diff -u "$WORK/offline.tsv" "$WORK/served_bin_file.tsv"
+
 echo "== wire protocol v2: hello + pipelined batch; v1 dialect on the same socket"
 python3 - "$(cat "$WORK/port")" "$WORK/queries.nwk" <<'EOF'
 import json
@@ -73,6 +82,29 @@ if hello.get("ok") is not True or hello.get("v") != 2:
     sys.exit(f"serve smoke: bad hello response: {hello}")
 if not isinstance(hello.get("max_batch"), int) or hello["max_batch"] < 1:
     sys.exit(f"serve smoke: hello lacks a max_batch ceiling: {hello}")
+if "encoding" in hello:
+    sys.exit(f"serve smoke: plain hello must stay byte-compatible "
+             f"(no encoding member): {hello}")
+
+# encoding negotiation on a separate socket (this session stays newick):
+# "bin" must be echoed, an unknown encoding refused without dropping the
+# connection
+neg = socket.create_connection((host, int(port)), timeout=30)
+nfile = neg.makefile("r", encoding="utf-8")
+neg.sendall((json.dumps({"v": 2, "op": "hello", "encoding": "bin"})
+             + "\n").encode())
+resp = json.loads(nfile.readline())
+if resp.get("ok") is not True or resp.get("encoding") != "bin":
+    sys.exit(f"serve smoke: bin encoding not echoed: {resp}")
+neg.sendall((json.dumps({"v": 2, "op": "hello", "encoding": "xml"})
+             + "\n").encode())
+resp = json.loads(nfile.readline())
+if resp.get("ok") is not False or "encoding" not in resp.get("error", ""):
+    sys.exit(f"serve smoke: unknown encoding not refused: {resp}")
+neg.sendall((json.dumps({"v": 2, "op": "ping"}) + "\n").encode())
+if json.loads(nfile.readline()).get("ok") is not True:
+    sys.exit("serve smoke: connection unusable after refused encoding")
+neg.close()
 
 # two pipelined batch frames written back-to-back, answered in order
 # with their ids echoed
@@ -174,6 +206,19 @@ if conns is None or conns["value"] < 2:
 gen = by_key.get(("index_generation", ""))
 if gen is None or gen["value"] < 0:
     sys.exit("serve smoke: index generation gauge absent")
+# the bin sessions above pushed binary frames, so the wire metrics must
+# have both fired and kept their pre-registered newick twins
+wf = by_key.get(("wire_frames_total", "encoding=bin"))
+if wf is None or wf["value"] < 1:
+    sys.exit("serve smoke: wire_frames_total{encoding=bin} never counted")
+wd = by_key.get(("wire_decode_ns", "encoding=bin"))
+if wd is None or wd["count"] < 1:
+    sys.exit("serve smoke: wire_decode_ns{encoding=bin} histogram empty")
+for name in ("wire_frames_total", "wire_decode_ns", "wire_encode_ns"):
+    for enc in ("newick", "bin"):
+        if (name, f"encoding={enc}") not in by_key:
+            sys.exit(f"serve smoke: missing pre-registered {name}"
+                     f"{{encoding={enc}}}")
 # every op x outcome cell is pre-registered so dashboards never see a
 # series appear out of nowhere; spot-check the schema stability claim
 for op in ("hello", "avgrf", "best-query", "batch", "ping", "stats", "add",

@@ -1,20 +1,28 @@
 //! Persistent-index benchmark, emitted as machine-readable JSON.
 //!
 //! ```text
-//! index_bench [--trees R] [--repeats K] [--requests Q] [--out FILE]
+//! index_bench [--trees R] [--frozen-trees F] [--repeats K] [--requests Q] [--out FILE]
 //! ```
 //!
-//! Three questions, one file (`BENCH_index.json`):
+//! Four questions, one file (`BENCH_index.json`):
 //!
 //! 1. **Startup**: how much faster is loading a snapshot than re-parsing
 //!    the Newick collection and rebuilding the hash from scratch?
 //!    (one warmup cycle, then median-of-K with CV for cold build,
 //!    snapshot save, snapshot load)
-//! 2. **Catalog**: what does collection routing cost — a cold open
+//! 2. **Frozen open**: at `--frozen-trees` scale (default 100k trees,
+//!    its own index directory), time-to-first-answer for the zero-copy
+//!    path — `Index::open_frozen` mapping the `frozen.bfh` sidecar and
+//!    probing it in place — vs the full `Index::open`, which reads the
+//!    snapshot and materializes every split into the live hash first.
+//!    Both sides answer the same `avgrf` query and both answers are
+//!    asserted equal to the pre-computed live answer before any timing
+//!    is recorded.
+//! 3. **Catalog**: what does collection routing cost — a cold open
 //!    (snapshot load + WAL replay on first acquire, the price of an LRU
 //!    eviction) vs a warm acquire (pin an already-open collection, the
 //!    steady-state per-request cost)?
-//! 3. **Serving**: how many `avgrf` requests per second does `bfhrf
+//! 4. **Serving**: how many `avgrf` requests per second does `bfhrf
 //!    serve` sustain with 1, 4, and 8 concurrent client connections —
 //!    both as single-op request/response frames and as pipelined v2
 //!    `batch` frames (64 queries each, `batch_qps` counts individual
@@ -35,6 +43,7 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut trees = 2000usize;
+    let mut frozen_trees = 100_000usize;
     let mut repeats = 3usize;
     let mut requests = 50usize;
     let mut out_path = "BENCH_index.json".to_string();
@@ -56,13 +65,14 @@ fn main() {
         };
         match a.as_str() {
             "--trees" => trees = parse("--trees", grab("--trees")),
+            "--frozen-trees" => frozen_trees = parse("--frozen-trees", grab("--frozen-trees")),
             "--repeats" => repeats = parse("--repeats", grab("--repeats")),
             "--requests" => requests = parse("--requests", grab("--requests")),
             "--out" => out_path = grab("--out"),
             other => {
                 eprintln!("index_bench: unknown argument {other:?}");
                 eprintln!(
-                    "usage: index_bench [--trees R] [--repeats K] [--requests Q] [--out FILE]"
+                    "usage: index_bench [--trees R] [--frozen-trees F] [--repeats K] [--requests Q] [--out FILE]"
                 );
                 std::process::exit(2);
             }
@@ -138,6 +148,80 @@ fn main() {
         bfhrf_bench::stats::coeff_of_variation(&loads),
     );
     eprintln!("[index_bench] cold build {cold:.4}s, snapshot save {save:.4}s, load {load:.4}s");
+
+    // -------- frozen sidecar: zero-copy mmap open vs full open ---------
+    // The tentpole claim of the frozen sidecar: a query-only consumer can
+    // open a huge index without materializing a single split. Side A maps
+    // `frozen.bfh` and probes it in place; side B is the classic open —
+    // snapshot read, every split rebuilt into the live hash. Both sides
+    // answer one avgrf query so "open" means time-to-first-answer, and
+    // both answers are asserted equal to the live hash's before timing.
+    eprintln!("[index_bench] frozen open: generating insect preset (n=144, r={frozen_trees}) ...");
+    let fspec = DatasetSpec::insect().with_trees(frozen_trees);
+    let fds = bfhrf_bench::datasets::prepare(&fspec);
+    let fcoll = phylo::TreeCollection::parse(&fds.newick).expect("frozen-open trees parse");
+    drop(fds);
+    eprintln!("[index_bench] frozen open: building + persisting the index ...");
+    let fbfh = bfhrf::Bfh::build_sharded(&fcoll.trees, &fcoll.taxa, 8);
+    let fquery = fcoll.trees[0].clone();
+    let expected = bfhrf::bfhrf_average(&fquery, &fcoll.taxa, &fbfh);
+    let frozen_dir = dir.join("frozen");
+    drop(Index::create(&frozen_dir, fbfh, fcoll.taxa.clone()).expect("frozen-open create"));
+    let snap_bytes = std::fs::metadata(frozen_dir.join(phylo_index::SNAPSHOT_FILE))
+        .expect("snapshot metadata")
+        .len();
+    let sidecar_bytes = std::fs::metadata(frozen_dir.join(phylo_index::FROZEN_FILE))
+        .expect("sidecar metadata")
+        .len();
+    let mut scratch = phylo::BipartitionScratch::new();
+    let mut mmap_opens = Vec::with_capacity(repeats);
+    let mut full_opens = Vec::with_capacity(repeats);
+    let mut mapped = false;
+    for rep in 0..=repeats {
+        let t = Instant::now();
+        let fo = Index::open_frozen(&frozen_dir).expect("frozen open");
+        let ans = fo.frozen.average_scratch(&fquery, &fo.taxa, &mut scratch);
+        let mmap_s = t.elapsed().as_secs_f64();
+        assert_eq!(ans, expected, "frozen-open answer diverged from live");
+        mapped = fo.mapped;
+        drop(fo);
+
+        let t = Instant::now();
+        let mut idx = Index::open(&frozen_dir).expect("full open");
+        let frozen = idx.frozen();
+        let ans = frozen.average_scratch(&fquery, &fcoll.taxa, &mut scratch);
+        let full_s = t.elapsed().as_secs_f64();
+        assert_eq!(ans, expected, "full-open answer diverged from live");
+        drop(frozen);
+        drop(idx);
+
+        if rep > 0 {
+            mmap_opens.push(mmap_s);
+            full_opens.push(full_s);
+        }
+    }
+    let (fz_open, fz_open_cv) = (
+        bfhrf_bench::stats::median(&mmap_opens),
+        bfhrf_bench::stats::coeff_of_variation(&mmap_opens),
+    );
+    let (full_open, full_open_cv) = (
+        bfhrf_bench::stats::median(&full_opens),
+        bfhrf_bench::stats::coeff_of_variation(&full_opens),
+    );
+    assert!(
+        fz_open < full_open,
+        "zero-copy open ({fz_open:.4}s) must beat read-and-materialize ({full_open:.4}s)"
+    );
+    eprintln!(
+        "[index_bench] frozen open: mmap {:.1}ms vs full {:.1}ms → {:.1}x (mapped: {mapped}, snapshot {:.1} MiB, sidecar {:.1} MiB)",
+        fz_open * 1e3,
+        full_open * 1e3,
+        full_open / fz_open,
+        snap_bytes as f64 / (1 << 20) as f64,
+        sidecar_bytes as f64 / (1 << 20) as f64,
+    );
+    std::fs::remove_dir_all(&frozen_dir).ok();
+    drop(fcoll);
 
     // -------- catalog: cold open vs LRU-warm acquire -------------------
     // A cold acquire pays the full collection open (snapshot load + WAL
@@ -357,6 +441,19 @@ fn main() {
         json,
         "  \"load_speedup_vs_cold_build\": {:.3},",
         cold / load
+    );
+    let _ = writeln!(json, "  \"frozen_trees\": {frozen_trees},");
+    let _ = writeln!(json, "  \"frozen_snapshot_bytes\": {snap_bytes},");
+    let _ = writeln!(json, "  \"frozen_sidecar_bytes\": {sidecar_bytes},");
+    let _ = writeln!(json, "  \"frozen_mapped\": {mapped},");
+    let _ = writeln!(json, "  \"frozen_open_seconds\": {fz_open:.6},");
+    let _ = writeln!(json, "  \"frozen_open_cv\": {fz_open_cv:.4},");
+    let _ = writeln!(json, "  \"full_open_seconds\": {full_open:.6},");
+    let _ = writeln!(json, "  \"full_open_cv\": {full_open_cv:.4},");
+    let _ = writeln!(
+        json,
+        "  \"frozen_open_speedup_vs_full\": {:.3},",
+        full_open / fz_open
     );
     let _ = writeln!(json, "  \"catalog_cold_open_seconds\": {cat_cold:.9},");
     let _ = writeln!(json, "  \"catalog_cold_open_cv\": {cat_cold_cv:.4},");

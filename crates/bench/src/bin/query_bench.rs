@@ -5,7 +5,7 @@
 //! query_bench [--fast] [--trees R] [--queries Q] [--repeats K] [--out FILE]
 //! ```
 //!
-//! Seven sections, one file:
+//! Eight sections, one file:
 //!
 //! 1. **Single-thread probe path**: the headline. Query splits are
 //!    extracted and hashed once up front (both paths share that cost in
@@ -29,23 +29,28 @@
 //!    retained scalar twin `batch_splits_scalar`, masks and hashes
 //!    asserted identical before timing; same interleaved best-of-N
 //!    protocol.
-//! 4. **End-to-end**: full single-thread query scoring — extraction +
+//! 4. **Wire ablation**: rebuilding a `Tree` per wire item by Newick
+//!    parse vs phylo-wire binary decode (`decode_tree_exact`), splits
+//!    asserted bitwise identical (masks and hashes) before timing; same
+//!    interleaved best-of-N protocol. Target: decode ≥ 5× faster per
+//!    tree. The cell also records the payload sizes of both encodings.
+//! 5. **End-to-end**: full single-thread query scoring — extraction +
 //!    hashing + probing + Algorithm 2 — live (`bfhrf_average_scratch`
 //!    over `Bfh`) vs frozen (`FrozenBfh::average_scratch`). Extraction
 //!    dominates here (~70% of a query at n = 144), so this speedup is
 //!    the diluted, whole-pipeline view of the same kernel win.
-//! 5. **Multi-thread**: the same batch through the parallel comparators.
+//! 6. **Multi-thread**: the same batch through the parallel comparators.
 //!    The cell records the detected core count — on a 1-core host the
 //!    rayon pools serialize and the frozen-vs-live ratio collapses
 //!    toward the end-to-end ratio, which is expected, not a regression.
-//! 6. **Serve**: q/s of a real `bfhrf serve` daemon (frozen snapshot
+//! 7. **Serve**: q/s of a real `bfhrf serve` daemon (frozen snapshot
 //!    path) over one connection, three ways — strict request/response
 //!    single-op frames, the same frames pipelined (window of 32 in
 //!    flight), and v2 `batch` frames (64 queries each) — next to an
 //!    in-process emulation of the pre-freeze request path (parse + live
 //!    sequential probe per request) for the before/after contrast. Each
 //!    cell keeps its peak q/s over `repeats` rounds.
-//! 7. **Obs overhead**: the frozen probe loop bare vs wrapped in the
+//! 8. **Obs overhead**: the frozen probe loop bare vs wrapped in the
 //!    same request-boundary instrumentation the serve daemon uses (one
 //!    clock pair + histogram record + counter bump per request, where
 //!    one request covers the whole query batch, as served avgrf does).
@@ -316,6 +321,88 @@ fn main() {
     eprintln!(
         "[query_bench] extraction ablation: scalar {:.4}s (cv {:.3}), vectorized {:.4}s (cv {:.3}) → {extract_speedup:.2}x",
         extract_scalar.0, extract_scalar.1, extract_vec.0, extract_vec.1
+    );
+
+    // -------- wire ablation: Newick parse vs binary record decode -------
+    // The serve payload path rebuilds a `Tree` per wire item either by
+    // parsing Newick text or by decoding a phylo-wire record. Both
+    // reconstructions must yield bitwise-identical splits (masks *and*
+    // hashes) before either is timed, so the decode speedup can never
+    // hide a topology change.
+    eprintln!("[query_bench] wire ablation: newick parse vs binary decode ...");
+    let wire_newicks: Vec<String> = q
+        .iter()
+        .map(|t| phylo::write_newick(t, &coll.taxa))
+        .collect();
+    let wire_records: Vec<Vec<u8>> = q
+        .iter()
+        .map(|t| phylo_wire::encode_tree_vec(t).expect("simulated trees encode"))
+        .collect();
+    let wire_newick_bytes: usize = wire_newicks.iter().map(String::len).sum();
+    let wire_bin_bytes: usize = wire_records.iter().map(Vec::len).sum();
+    {
+        let mut sp = BipartitionScratch::new();
+        let mut sd = BipartitionScratch::new();
+        for (newick, record) in wire_newicks.iter().zip(&wire_records) {
+            let parsed = phylo::parse_newick_readonly(newick, &coll.taxa).expect("query parses");
+            let decoded =
+                phylo_wire::decode_tree_exact(record, coll.taxa.len()).expect("record decodes");
+            let bp = sp.batch_splits(&parsed, &coll.taxa);
+            let pm: Vec<u64> = (0..bp.len())
+                .flat_map(|i| bp.mask(i).iter().copied())
+                .collect();
+            let ph = bp.hashes().to_vec();
+            let bd = sd.batch_splits(&decoded, &coll.taxa);
+            let dm: Vec<u64> = (0..bd.len())
+                .flat_map(|i| bd.mask(i).iter().copied())
+                .collect();
+            assert_eq!(pm, dm, "decoded splits diverged from parsed splits");
+            assert_eq!(ph, bd.hashes(), "decoded split hashes diverged");
+        }
+    }
+    // Same interleaved best-of-N protocol as the other micro-ablations.
+    let wire_round = |decode: bool| {
+        let t = Instant::now();
+        let mut acc = 0usize;
+        if decode {
+            for record in &wire_records {
+                acc += phylo_wire::decode_tree_exact(record, coll.taxa.len())
+                    .expect("record decodes")
+                    .num_nodes();
+            }
+        } else {
+            for newick in &wire_newicks {
+                acc += phylo::parse_newick_readonly(newick, &coll.taxa)
+                    .expect("query parses")
+                    .num_nodes();
+            }
+        }
+        std::hint::black_box(acc);
+        t.elapsed().as_secs_f64()
+    };
+    let (wire_parse, wire_decode) = {
+        wire_round(false); // warmup
+        wire_round(true);
+        let mut parse_times = Vec::with_capacity(ablation_rounds);
+        let mut decode_times = Vec::with_capacity(ablation_rounds);
+        for _ in 0..ablation_rounds {
+            parse_times.push(wire_round(false));
+            decode_times.push(wire_round(true));
+        }
+        let best = |ts: &[f64]| ts.iter().copied().fold(f64::INFINITY, f64::min);
+        let cv = bfhrf_bench::stats::coeff_of_variation;
+        (
+            (best(&parse_times), cv(&parse_times)),
+            (best(&decode_times), cv(&decode_times)),
+        )
+    };
+    let wire_speedup = wire_parse.0 / wire_decode.0;
+    eprintln!(
+        "[query_bench] wire ablation: parse {:.1} us/tree (cv {:.3}), decode {:.1} us/tree (cv {:.3}) → {wire_speedup:.2}x ({wire_bin_bytes} B bin vs {wire_newick_bytes} B newick)",
+        wire_parse.0 * 1e6 / q.len() as f64,
+        wire_parse.1,
+        wire_decode.0 * 1e6 / q.len() as f64,
+        wire_decode.1
     );
 
     // -------- end-to-end single-thread query scoring -------------------
@@ -691,6 +778,27 @@ fn main() {
                 ("vectorized_seconds", extract_vec.0.into()),
                 ("vectorized_cv", extract_vec.1.into()),
                 ("speedup", extract_speedup.into()),
+            ]),
+        ),
+        (
+            "wire",
+            Json::obj(vec![
+                ("trees", q.len().into()),
+                ("newick_bytes", wire_newick_bytes.into()),
+                ("bin_bytes", wire_bin_bytes.into()),
+                ("parse_seconds", wire_parse.0.into()),
+                ("parse_cv", wire_parse.1.into()),
+                (
+                    "parse_us_per_tree",
+                    (wire_parse.0 * 1e6 / q.len() as f64).into(),
+                ),
+                ("decode_seconds", wire_decode.0.into()),
+                ("decode_cv", wire_decode.1.into()),
+                (
+                    "decode_us_per_tree",
+                    (wire_decode.0 * 1e6 / q.len() as f64).into(),
+                ),
+                ("speedup", wire_speedup.into()),
             ]),
         ),
         (

@@ -122,6 +122,7 @@ pub fn run_full(argv: &[String]) -> Result<CmdOutcome, CliError> {
         "support" => cmd_support(rest),
         "cluster" => cmd_cluster(rest),
         "index" => cmd_index(rest),
+        "convert" => cmd_convert(rest),
         "serve" => cmd_serve(rest),
         "query" => cmd_query(rest),
         "stats" => cmd_stats(rest),
@@ -184,13 +185,18 @@ pub fn usage() -> String {
      \x20          --refs FILE --k K [--budget-mb M]\n\
      index      persistent on-disk BFH index (snapshot + WAL)\n\
      \x20          build    --refs FILE --out DIR [--shards K] [--lenient]\n\
+     \x20                   [--format newick|bin]  pin the expected input\n\
+     \x20                   encoding (the file is sniffed either way)\n\
      \x20                   or --refs FILE --catalog DIR --collection NAME\n\
      \x20                   to create a collection in a local catalog\n\
-     \x20          inspect  --index DIR [--check]\n\
+     \x20          inspect  --index DIR [--check]  also reports the snapshot\n\
+     \x20                   and zero-copy frozen-sidecar formats + sizes\n\
      \x20                   or --catalog DIR --collection NAME\n\
      \x20          compact  --index DIR\n\
      \x20          add      --index DIR --trees FILE\n\
      \x20          remove   --index DIR --trees FILE\n\
+     convert    re-encode a tree file (input encoding is sniffed)\n\
+     \x20          --in FILE --out FILE --format newick|bin [--lenient]\n\
      serve      answer queries from an index over TCP (NDJSON protocol v2)\n\
      \x20          --index DIR [--addr HOST:PORT] [--threads MAX_CONNS]\n\
      \x20          [--port-file FILE] [--mem-budget BYTES] [--timeout-ms MS]\n\
@@ -199,10 +205,14 @@ pub fn usage() -> String {
      \x20                           shared --mem-budget\n\
      query      request(s) against a running server\n\
      \x20          --addr HOST:PORT | --port-file FILE\n\
-     \x20          --op avgrf|best-query|ping|stats|add|remove|compact|\n\
+     \x20          --op avgrf|best-query|ping|stats|taxa|add|remove|compact|\n\
      \x20               xavgrf|catalog-create|catalog-drop|catalog-list|\n\
      \x20               shutdown\n\
      \x20          [--queries FILE] [--trees FILE] [--normalized] [--halved]\n\
+     \x20          [--format newick|bin]  tree encoding on the wire; bin\n\
+     \x20                               negotiates the binary encoding in\n\
+     \x20                               the hello and sends compact base64\n\
+     \x20                               records (tree-payload ops only)\n\
      \x20          [--collection NAME]  route the op at a named catalog\n\
      \x20                               collection (v2 framing)\n\
      \x20          [--refs-collection A --queries-collection B]  xavgrf\n\
@@ -264,10 +274,39 @@ fn note_ingest(notes: &mut Vec<String>, path: &str, report: &IngestReport) -> bo
     true
 }
 
-fn load_with(path: &str, policy: IngestPolicy) -> Result<(TreeCollection, IngestReport), String> {
+/// Open `path` and read its trees in whichever encoding the file carries:
+/// Newick text or a `PHYLOWIR` binary container, sniffed on the first
+/// eight bytes. Newick files take the exact pre-sniffing code path, so
+/// text-only workflows are byte-identical; binary input is detected,
+/// never assumed. Also reports which format was found (for `--format`
+/// validation and `convert`).
+fn load_sniffed_with(
+    path: &str,
+    policy: IngestPolicy,
+) -> Result<(TreeCollection, IngestReport, phylo_wire::WireFormat), String> {
     let file = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    phylo::ingest::read_collection(std::io::BufReader::new(file), policy)
-        .map_err(|e| format!("{path}: {e}"))
+    let mut taxa = phylo::TaxonSet::new();
+    let mut stream = phylo_wire::SniffedReader::open(
+        std::io::BufReader::new(file),
+        &mut taxa,
+        TaxaPolicy::Grow,
+        policy,
+    )
+    .map_err(|e| format!("{path}: {e}"))?;
+    let format = stream.format();
+    let mut trees = Vec::new();
+    loop {
+        match stream.next_tree(&mut taxa) {
+            Ok(Some(t)) => trees.push(t),
+            Ok(None) => break,
+            Err(e) => return Err(format!("{path}: {e}")),
+        }
+    }
+    Ok((TreeCollection { taxa, trees }, stream.into_report(), format))
+}
+
+fn load_with(path: &str, policy: IngestPolicy) -> Result<(TreeCollection, IngestReport), String> {
+    load_sniffed_with(path, policy).map(|(coll, report, _)| (coll, report))
 }
 
 fn load(path: &str) -> Result<TreeCollection, String> {
@@ -280,7 +319,7 @@ fn load_queries_with(
     policy: IngestPolicy,
 ) -> Result<(Vec<phylo::Tree>, IngestReport), String> {
     let file = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    phylo::ingest::read_trees(
+    phylo_wire::read_trees_sniffed(
         std::io::BufReader::new(file),
         &mut refs.taxa,
         TaxaPolicy::Require,
@@ -673,20 +712,110 @@ pub(crate) fn index_fail(e: phylo_index::IndexError) -> CliError {
     }
 }
 
-/// Parse a Newick file into protocol payload strings, validating each
-/// record client-side before it goes on the wire.
-fn payload_from_file(path: &str) -> Result<Vec<String>, CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError::from(format!("cannot read {path}: {e}")))?;
-    let coll = TreeCollection::parse(&text).map_err(|e| CliError::from(format!("{path}: {e}")))?;
+/// Load a tree file (Newick or binary, sniffed) for a wire payload,
+/// validating each record client-side before it goes on the wire.
+fn payload_collection(path: &str) -> Result<TreeCollection, CliError> {
+    let coll = load(path)?;
     if coll.trees.is_empty() {
         return Err(format!("{path}: contains no trees").into());
     }
+    Ok(coll)
+}
+
+/// Parse a tree file into Newick protocol payload strings.
+fn payload_from_file(path: &str) -> Result<Vec<String>, CliError> {
+    let coll = payload_collection(path)?;
     Ok(coll
         .trees
         .iter()
         .map(|t| phylo::write_newick(t, &coll.taxa))
         .collect())
+}
+
+/// Encode trees as base64 binary records in the *server's* taxon
+/// namespace: map every local taxon id to the server id with the same
+/// label (from the `taxa` exchange), remap, encode. A label the server
+/// has never seen is a client-side error — the server's Newick parser
+/// would have rejected the same tree, just later and per record.
+fn encode_payload_bin(coll: &TreeCollection, labels: &[String]) -> Result<Vec<String>, CliError> {
+    let mut server_ids: std::collections::HashMap<&str, phylo::TaxonId> =
+        std::collections::HashMap::with_capacity(labels.len());
+    for (i, label) in labels.iter().enumerate() {
+        server_ids.insert(label.as_str(), phylo::TaxonId(i as u32));
+    }
+    let map: Vec<phylo::TaxonId> = (0..coll.taxa.len())
+        .map(|i| {
+            let label = coll.taxa.label(phylo::TaxonId(i as u32));
+            server_ids.get(label).copied().ok_or_else(|| {
+                CliError::from(format!(
+                    "taxon {label:?} is not in the server's namespace; \
+                     binary payloads cannot introduce new taxa"
+                ))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let start = Instant::now();
+    let payload = coll
+        .trees
+        .iter()
+        .enumerate()
+        .map(|(i, tree)| {
+            let mut tree = tree.clone();
+            phylo_wire::remap_leaf_taxa(&mut tree, &map);
+            phylo_wire::encode_tree_vec(&tree)
+                .map(|bytes| phylo_wire::b64::encode(&bytes))
+                .map_err(|e| CliError::from(format!("tree {i}: {e}")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    phylo_obs::global()
+        .histogram("wire_encode_ns", &[("encoding", "bin")])
+        .record_duration(start.elapsed());
+    Ok(payload)
+}
+
+/// `bfhrf convert`: re-encode a tree file between Newick text and the
+/// `phylo-wire` binary container. The input encoding is sniffed, so
+/// converting a file to the format it already carries is a (lossy-free)
+/// normalization pass, and round trips are exact: Newick → bin → Newick
+/// reproduces the canonical rendering byte for byte.
+fn cmd_convert(raw: &[String]) -> Result<CmdOutcome, CliError> {
+    let a = Args::parse(raw, &["lenient"])?;
+    a.reject_unknown(&["in", "out", "format", "max-errors"], &["lenient"])?;
+    let policy = ingest_policy(&a)?;
+    let in_path = a.require("in")?;
+    let out_path = a.require("out")?;
+    let target = a.require("format")?;
+    let target = phylo_wire::WireFormat::parse(target)
+        .ok_or_else(|| format!("unknown format {target:?} (expected newick or bin)"))?;
+    let mut notes = Vec::new();
+    let (coll, report, found) = load_sniffed_with(in_path, policy)?;
+    let partial = note_ingest(&mut notes, in_path, &report);
+    let write_fail =
+        |e: &dyn std::fmt::Display| CliError::from(format!("cannot write {out_path}: {e}"));
+    match target {
+        phylo_wire::WireFormat::Bin => {
+            let bytes = phylo_wire::collection_to_vec(&coll).map_err(|e| write_fail(&e))?;
+            std::fs::write(out_path, bytes).map_err(|e| write_fail(&e))?;
+        }
+        phylo_wire::WireFormat::Newick => {
+            let text: String = coll
+                .trees
+                .iter()
+                .map(|t| format!("{}\n", phylo::write_newick(t, &coll.taxa)))
+                .collect();
+            std::fs::write(out_path, text).map_err(|e| write_fail(&e))?;
+        }
+    }
+    Ok(CmdOutcome {
+        stdout: format!(
+            "in\t{in_path}\nin_format\t{found}\nout\t{out_path}\nout_format\t{target}\n\
+             n_trees\t{}\nn_taxa\t{}\n",
+            coll.trees.len(),
+            coll.taxa.len()
+        ),
+        notes,
+        code: if partial { EXIT_PARTIAL } else { EXIT_OK },
+    })
 }
 
 fn cmd_index(raw: &[String]) -> Result<CmdOutcome, CliError> {
@@ -715,6 +844,7 @@ fn cmd_index_build(raw: &[String]) -> Result<CmdOutcome, CliError> {
         &[
             "refs",
             "out",
+            "format",
             "shards",
             "build-mode",
             "threads",
@@ -731,6 +861,26 @@ fn cmd_index_build(raw: &[String]) -> Result<CmdOutcome, CliError> {
     let mut prof = phylo_obs::Profiler::new(a.flag("profile"));
     let mut notes = Vec::new();
     let refs_path = a.require("refs")?;
+    // `--format` pins the expected input encoding: the sniffer decides
+    // what the file actually carries, and a mismatch is an error instead
+    // of a silent fallback (a truncated binary header would otherwise be
+    // "parsed" as garbage Newick).
+    let expected_format = match a.get("format") {
+        None => None,
+        Some(s) => Some(
+            phylo_wire::WireFormat::parse(s)
+                .ok_or_else(|| format!("unknown format {s:?} (expected newick or bin)"))?,
+        ),
+    };
+    let check_format = |found: phylo_wire::WireFormat| -> Result<(), CliError> {
+        match expected_format {
+            Some(want) if want != found => Err(format!(
+                "{refs_path}: --format {want} was requested but the file carries {found}"
+            )
+            .into()),
+            _ => Ok(()),
+        }
+    };
     if let Some(cat_dir) = a.get("catalog") {
         // Catalog mode: fold the references into a named collection of a
         // local catalog instead of a standalone --out directory.
@@ -740,7 +890,8 @@ fn cmd_index_build(raw: &[String]) -> Result<CmdOutcome, CliError> {
                 .to_string()
                 .into());
         }
-        let (refs, report) = load_with(refs_path, policy)?;
+        let (refs, report, found) = load_sniffed_with(refs_path, policy)?;
+        check_format(found)?;
         let partial = note_ingest(&mut notes, refs_path, &report);
         let text: String = refs
             .trees
@@ -757,7 +908,8 @@ fn cmd_index_build(raw: &[String]) -> Result<CmdOutcome, CliError> {
     }
     let out_dir = a.require("out")?;
     prof.phase("load");
-    let (refs, report) = load_with(refs_path, policy)?;
+    let (refs, report, found) = load_sniffed_with(refs_path, policy)?;
+    check_format(found)?;
     let partial = note_ingest(&mut notes, refs_path, &report);
     let threads: Option<usize> = a.get_parsed("threads")?;
     let shards: Option<usize> = a.get_parsed("shards")?;
@@ -774,11 +926,17 @@ fn cmd_index_build(raw: &[String]) -> Result<CmdOutcome, CliError> {
         .map_err(index_fail)?;
     let stats = index.stats();
     notes.extend(prof.render().lines().map(String::from));
+    let mut stdout = format!(
+        "index\t{out_dir}\ngeneration\t{}\nn_trees\t{}\nn_taxa\t{}\ndistinct\t{}\nsum\t{}\n",
+        stats.generation, stats.n_trees, stats.n_taxa, stats.distinct, stats.sum
+    );
+    // The format row appears only when --format was given, so scripted
+    // diffs of the historical output stay byte-identical.
+    if expected_format.is_some() {
+        let _ = writeln!(stdout, "format\t{found}");
+    }
     Ok(CmdOutcome {
-        stdout: format!(
-            "index\t{out_dir}\ngeneration\t{}\nn_trees\t{}\nn_taxa\t{}\ndistinct\t{}\nsum\t{}\n",
-            stats.generation, stats.n_trees, stats.n_taxa, stats.distinct, stats.sum
-        ),
+        stdout,
         notes,
         code: if partial { EXIT_PARTIAL } else { EXIT_OK },
     })
@@ -817,6 +975,37 @@ fn cmd_index_inspect(raw: &[String]) -> Result<CmdOutcome, CliError> {
         "generation\t{}\nn_taxa\t{}\nn_trees\t{}\nn_shards\t{}\nsum\t{}\ndistinct\t{}\nwal_pending\t{wal_pending}\n",
         meta.generation, meta.n_taxa, meta.n_trees, meta.n_shards, meta.sum, meta.distinct
     );
+    // Both on-disk encodings of the table, with format, version, and
+    // section sizes: the replay snapshot (authoritative) and the
+    // zero-copy frozen sidecar (a cache `open-frozen` consumers map).
+    let snap_path = dir.join(phylo_index::SNAPSHOT_FILE);
+    let snap_bytes = std::fs::metadata(&snap_path).map(|m| m.len()).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "snapshot_format\t{}/v{}\nsnapshot_bytes\t{snap_bytes}",
+        String::from_utf8_lossy(phylo_index::SNAPSHOT_MAGIC).trim_end_matches('\0'),
+        phylo_index::FORMAT_VERSION
+    );
+    let frozen_path = dir.join(phylo_index::FROZEN_FILE);
+    let frozen_meta = if frozen_path.exists() {
+        let fm = phylo_index::read_frozen_meta(&frozen_path).map_err(index_fail)?;
+        let _ = writeln!(
+            out,
+            "frozen_format\t{}/v{}\nfrozen_generation\t{}\nfrozen_bytes\t{}\n\
+             frozen_ctrl_bytes\t{}\nfrozen_entries_bytes\t{}\nfrozen_pool_bytes\t{}",
+            String::from_utf8_lossy(phylo_index::FROZEN_MAGIC).trim_end_matches('\0'),
+            phylo_index::FROZEN_VERSION,
+            fm.generation,
+            fm.file_len(),
+            fm.ctrl.len,
+            fm.entries.len,
+            fm.pool.len
+        );
+        Some(fm)
+    } else {
+        let _ = writeln!(out, "frozen_sidecar\tabsent (compact once to write it)");
+        None
+    };
     if a.flag("check") {
         // Full validation: load the snapshot, replay the WAL, cross-check.
         let index = phylo_index::Index::open(dir).map_err(index_fail)?;
@@ -826,6 +1015,16 @@ fn cmd_index_inspect(raw: &[String]) -> Result<CmdOutcome, CliError> {
             "check\tok ({} trees, {} splits after WAL replay)",
             stats.n_trees, stats.distinct
         );
+        // And the sidecar: recompute every lane checksum and the digest.
+        if frozen_meta.is_some() {
+            let fm = phylo_index::verify_frozen_with(&phylo_index::RealVfs, &frozen_path)
+                .map_err(index_fail)?;
+            let _ = writeln!(
+                out,
+                "frozen_check\tok ({} distinct splits, digest {:016x})",
+                fm.layout.distinct, fm.digest
+            );
+        }
     }
     Ok(CmdOutcome::clean(out))
 }
@@ -1060,25 +1259,31 @@ fn send_request(addr: &str, request: &json::Json) -> Result<json::Json, CliError
 
 /// Ops a retry budget may apply to: pure reads, where re-sending after an
 /// ambiguous failure cannot double-apply anything.
-const IDEMPOTENT_OPS: [&str; 6] = [
+const IDEMPOTENT_OPS: [&str; 7] = [
     "avgrf",
     "best-query",
     "stats",
     "ping",
+    "taxa",
     "xavgrf",
     "catalog-list",
 ];
 
 /// Ops that accept a `--collection` routing field.
-const ROUTED_OPS: [&str; 7] = [
+const ROUTED_OPS: [&str; 8] = [
     "avgrf",
     "best-query",
     "ping",
     "stats",
+    "taxa",
     "add",
     "remove",
     "compact",
 ];
+
+/// Ops whose payload is a list of trees — the only ones `--format bin`
+/// can re-encode.
+const TREE_PAYLOAD_OPS: [&str; 4] = ["avgrf", "best-query", "add", "remove"];
 
 fn cmd_query(raw: &[String]) -> Result<CmdOutcome, CliError> {
     let a = Args::parse(raw, &["normalized", "halved"])?;
@@ -1087,6 +1292,7 @@ fn cmd_query(raw: &[String]) -> Result<CmdOutcome, CliError> {
             "addr",
             "port-file",
             "op",
+            "format",
             "queries",
             "trees",
             "batch",
@@ -1106,6 +1312,18 @@ fn cmd_query(raw: &[String]) -> Result<CmdOutcome, CliError> {
         return Err(format!(
             "--collection only applies to collection-routed ops ({}); got {op:?}",
             ROUTED_OPS.join(", ")
+        )
+        .into());
+    }
+    let format = match a.get("format") {
+        None => phylo_wire::WireFormat::Newick,
+        Some(s) => phylo_wire::WireFormat::parse(s)
+            .ok_or_else(|| format!("unknown format {s:?} (expected newick or bin)"))?,
+    };
+    if format == phylo_wire::WireFormat::Bin && !TREE_PAYLOAD_OPS.contains(&op) {
+        return Err(format!(
+            "--format bin only applies to ops that carry trees ({}); got {op:?}",
+            TREE_PAYLOAD_OPS.join(", ")
         )
         .into());
     }
@@ -1133,12 +1351,43 @@ fn cmd_query(raw: &[String]) -> Result<CmdOutcome, CliError> {
         if batch == 0 {
             return Err("--batch must be at least 1".to_string().into());
         }
-        let payload = payload_from_file(a.require("queries")?)?;
+        let coll = payload_collection(a.require("queries")?)?;
         let flags = proto::QueryFlags {
             normalized: a.flag("normalized"),
             halved: a.flag("halved"),
         };
-        return batched_avgrf(&addr, batch, &payload, flags, collection, retry);
+        return batched_avgrf(&addr, batch, &coll, format, flags, collection, retry);
+    }
+
+    if format == phylo_wire::WireFormat::Bin {
+        // Binary payloads need one persistent session: negotiate the
+        // encoding in the hello, learn the server's taxon namespace, then
+        // send the op on the same connection.
+        let payload_key: &'static str = if matches!(op, "avgrf" | "best-query") {
+            "queries"
+        } else {
+            "trees"
+        };
+        let coll = payload_collection(a.require(payload_key)?)?;
+        let mut extra: Vec<(&'static str, json::Json)> = Vec::new();
+        if matches!(op, "avgrf" | "best-query") {
+            if a.flag("normalized") {
+                extra.push(("normalized", true.into()));
+            }
+            if a.flag("halved") {
+                extra.push(("halved", true.into()));
+            }
+        }
+        let resp = send_request_bin_retry(
+            &addr,
+            op,
+            &coll,
+            payload_key,
+            &extra,
+            collection.as_deref(),
+            &mut retry,
+        )?;
+        return finish_query_response(op, &resp);
     }
 
     let mut fields: Vec<(&str, json::Json)> = vec![("op", op.into())];
@@ -1164,7 +1413,7 @@ fn cmd_query(raw: &[String]) -> Result<CmdOutcome, CliError> {
             ));
         }
         "ping" => fields.insert(0, ("v", 2u64.into())),
-        "stats" | "compact" | "shutdown" => {}
+        "stats" | "compact" | "taxa" | "shutdown" => {}
         "xavgrf" => {
             fields.push(("refs", a.require("refs-collection")?.into()));
             fields.push(("queries", a.require("queries-collection")?.into()));
@@ -1189,8 +1438,8 @@ fn cmd_query(raw: &[String]) -> Result<CmdOutcome, CliError> {
         "catalog-list" => {}
         other => {
             return Err(format!(
-                "unknown op {other:?} (expected avgrf, best-query, ping, stats, add, remove, \
-                 compact, xavgrf, catalog-create, catalog-drop, catalog-list, shutdown)"
+                "unknown op {other:?} (expected avgrf, best-query, ping, stats, taxa, add, \
+                 remove, compact, xavgrf, catalog-create, catalog-drop, catalog-list, shutdown)"
             )
             .into())
         }
@@ -1205,14 +1454,19 @@ fn cmd_query(raw: &[String]) -> Result<CmdOutcome, CliError> {
     let needs_v2 = collection.is_some()
         || matches!(
             op,
-            "xavgrf" | "catalog-create" | "catalog-drop" | "catalog-list"
+            "taxa" | "xavgrf" | "catalog-create" | "catalog-drop" | "catalog-list"
         );
     if needs_v2 && op != "ping" {
         fields.insert(0, ("v", 2u64.into()));
     }
     let request = json::Json::obj(fields);
     let resp = send_request_retry(&addr, &request, &mut retry)?;
+    finish_query_response(op, &resp)
+}
 
+/// Shared tail of `query`: map a failed response to its exit code, relay
+/// server notes to stderr, render the table.
+fn finish_query_response(op: &str, resp: &json::Json) -> Result<CmdOutcome, CliError> {
     if resp.get("ok").and_then(json::Json::as_bool) != Some(true) {
         let code = resp
             .get("code")
@@ -1242,7 +1496,7 @@ fn cmd_query(raw: &[String]) -> Result<CmdOutcome, CliError> {
         .iter()
         .filter_map(|n| n.as_str().map(|s| format!("server: {s}")))
         .collect();
-    let stdout = render_response(op, &resp)?;
+    let stdout = render_response(op, resp)?;
     Ok(CmdOutcome {
         stdout,
         notes,
@@ -1285,8 +1539,14 @@ struct BatchSession {
 /// Connect and run the `hello` handshake: learn the server's batch
 /// ceiling before committing to a frame size (an old server that cannot
 /// answer `hello` fails loudly here instead of mis-parsing v2 frames
-/// later).
-fn open_batch_session(addr: &str) -> Result<BatchSession, SessionError> {
+/// later). When `encoding` asks for a non-default tree encoding, the
+/// server must echo it back — a hello answer without the echo means the
+/// server does not speak that encoding, and the session fails instead of
+/// sending payloads the server would mis-read as Newick.
+fn open_batch_session(
+    addr: &str,
+    encoding: Option<proto::WireEncoding>,
+) -> Result<BatchSession, SessionError> {
     use proto::{Envelope, Request, Response};
     use std::io::Write as _;
 
@@ -1302,14 +1562,35 @@ fn open_batch_session(addr: &str) -> Result<BatchSession, SessionError> {
     // syscalls instead of dozens of 8 KB slices.
     let mut writer = std::io::BufWriter::with_capacity(128 << 10, writer_stream);
     let mut reader = std::io::BufReader::with_capacity(64 << 10, stream);
+    let hello = Envelope::v2(Request::Hello { encoding }, None);
     writer
-        .write_all(format!("{}\n", Envelope::v2(Request::Hello, None).to_json()).as_bytes())
+        .write_all(format!("{}\n", hello.to_json()).as_bytes())
         .and_then(|()| writer.flush())
         .map_err(|e| {
             SessionError::transport(format!("cannot send request to {addr}: {e}").into())
         })?;
     let max_batch = match read_batch_response(&mut reader, addr)?.0 {
-        Response::Hello { max_batch, .. } => max_batch,
+        Response::Hello {
+            max_batch,
+            encoding: echoed,
+            ..
+        } => {
+            if let Some(wanted) = encoding {
+                if echoed != Some(wanted) {
+                    return Err(SessionError::fatal(
+                        format!(
+                            "server at {addr} did not accept the {:?} tree encoding \
+                             (no echo in its hello answer); upgrade the server or \
+                             drop --format {}",
+                            wanted.as_str(),
+                            wanted.as_str()
+                        )
+                        .into(),
+                    ));
+                }
+            }
+            max_batch
+        }
         Response::Error { code, message, .. } => {
             let err = CliError::from(format!("server rejected the hello handshake: {message}"));
             return Err(if code == proto::ErrorCode::Busy {
@@ -1355,6 +1636,127 @@ fn read_batch_response(
         .map_err(|e| SessionError::transport(format!("malformed response: {e}").into()))
 }
 
+/// Fetch the server's taxon labels over an open session — the namespace
+/// binary payloads must be encoded in. Label order *is* id order.
+fn fetch_server_taxa(
+    session: &mut BatchSession,
+    addr: &str,
+    collection: Option<&str>,
+) -> Result<Vec<String>, SessionError> {
+    use proto::{Envelope, Request, Response};
+    use std::io::Write as _;
+
+    let env = Envelope::v2(
+        Request::Taxa {
+            collection: collection.map(str::to_string),
+        },
+        None,
+    );
+    session
+        .writer
+        .write_all(format!("{}\n", env.to_json()).as_bytes())
+        .and_then(|()| session.writer.flush())
+        .map_err(|e| {
+            SessionError::transport(format!("cannot send request to {addr}: {e}").into())
+        })?;
+    match read_batch_response(&mut session.reader, addr)?.0 {
+        Response::Taxa { labels, .. } => Ok(labels),
+        Response::Error { code, message, .. } => {
+            let err = CliError::from(format!("server cannot list its taxa: {message}"));
+            Err(if code == proto::ErrorCode::Busy {
+                SessionError::transport(err)
+            } else {
+                SessionError::fatal(err)
+            })
+        }
+        _ => Err(SessionError::fatal(
+            format!("server at {addr} answered the taxa request with an unexpected shape").into(),
+        )),
+    }
+}
+
+/// Send one raw-JSON request over an open session and read the raw
+/// response document (the single-op path renders raw documents, not
+/// typed [`proto::Response`] values).
+fn session_round_trip(
+    session: &mut BatchSession,
+    addr: &str,
+    request: &json::Json,
+) -> Result<json::Json, SessionError> {
+    use std::io::{BufRead as _, Write as _};
+
+    session
+        .writer
+        .write_all(format!("{request}\n").as_bytes())
+        .and_then(|()| session.writer.flush())
+        .map_err(|e| {
+            SessionError::transport(format!("cannot send request to {addr}: {e}").into())
+        })?;
+    let mut line = String::new();
+    session
+        .reader
+        .read_line(&mut line)
+        .map_err(|e| SessionError::transport(format!("no response from {addr}: {e}").into()))?;
+    if line.trim().is_empty() {
+        return Err(SessionError::transport(
+            format!("server at {addr} closed the connection mid-session").into(),
+        ));
+    }
+    json::parse(line.trim())
+        .map_err(|e| SessionError::transport(format!("malformed response: {e}").into()))
+}
+
+/// One binary-encoded request with a retry budget: each attempt opens a
+/// fresh session (hello negotiating `bin`, then the taxa exchange), so a
+/// reconnect re-learns the namespace before re-encoding the payload.
+fn send_request_bin_retry(
+    addr: &str,
+    op: &str,
+    coll: &TreeCollection,
+    payload_key: &'static str,
+    extra: &[(&'static str, json::Json)],
+    collection: Option<&str>,
+    retry: &mut Retry,
+) -> Result<json::Json, CliError> {
+    let attempt = |addr: &str| -> Result<json::Json, SessionError> {
+        let mut session = open_batch_session(addr, Some(proto::WireEncoding::Bin))?;
+        let labels = fetch_server_taxa(&mut session, addr, collection)?;
+        let payload = encode_payload_bin(coll, &labels).map_err(SessionError::fatal)?;
+        let mut fields: Vec<(&str, json::Json)> = vec![("v", 2u64.into()), ("op", op.into())];
+        fields.push((
+            payload_key,
+            json::Json::Arr(payload.into_iter().map(Into::into).collect()),
+        ));
+        for (key, value) in extra {
+            fields.push((key, value.clone()));
+        }
+        if let Some(name) = collection {
+            fields.push(("collection", name.into()));
+        }
+        session_round_trip(&mut session, addr, &json::Json::obj(fields))
+    };
+    loop {
+        match attempt(addr) {
+            Ok(resp) if is_busy_response(&resp) => {
+                if retry.pause("server is busy") {
+                    continue;
+                }
+                return Ok(resp); // exhausted: caller maps busy → exit 1
+            }
+            Ok(resp) => {
+                retry.reset();
+                return Ok(resp);
+            }
+            Err(e) => {
+                if e.retryable && retry.pause(&e.err.message) {
+                    continue;
+                }
+                return Err(e.err);
+            }
+        }
+    }
+}
+
 /// `bfhrf query --batch N`: one persistent wire-protocol-v2 session that
 /// packs the query file into `batch`-sized frames and keeps up to
 /// [`PIPELINE_WINDOW`] frames in flight. The output is the same
@@ -1369,30 +1771,51 @@ fn read_batch_response(
 /// by the **first** handshake, so rows land in the output exactly once
 /// and the final table is byte-identical to an uninterrupted run. Each
 /// answered frame restores the budget.
+///
+/// `--format bin` sessions negotiate the binary tree encoding in the
+/// hello and run the taxa exchange before the first frame; the payload is
+/// re-encoded per session because the server's namespace is only known
+/// once connected (and could differ after a restart).
 fn batched_avgrf(
     addr: &str,
     batch: usize,
-    payload: &[String],
+    source: &TreeCollection,
+    format: phylo_wire::WireFormat,
     flags: proto::QueryFlags,
     collection: Option<String>,
     mut retry: Retry,
 ) -> Result<CmdOutcome, CliError> {
-    use proto::{Envelope, Request, Response};
+    use phylo_wire::WireFormat;
+    use proto::{Envelope, Request, Response, WireEncoding};
     use std::io::Write as _;
 
     /// Frames in flight at once: deep enough to hide a round trip, shallow
     /// enough that neither side buffers unboundedly.
     const PIPELINE_WINDOW: usize = 32;
 
+    // Newick payloads never change between sessions; render them once.
+    let newick_payload: Vec<String> = match format {
+        WireFormat::Newick => source
+            .trees
+            .iter()
+            .map(|t| phylo::write_newick(t, &source.taxa))
+            .collect(),
+        WireFormat::Bin => Vec::new(),
+    };
+    let encoding = match format {
+        WireFormat::Newick => None,
+        WireFormat::Bin => Some(WireEncoding::Bin),
+    };
+    let total = source.trees.len();
+
     let mut out = String::from("query\tavg_rf\n");
     let mut notes: Vec<String> = Vec::new();
     // Fixed after the first handshake; `None` until then.
-    let mut chunks: Option<Vec<&[String]>> = None;
-    let mut frame_size = batch.max(1);
+    let mut plan: Option<(usize, usize)> = None; // (frame_size, n_frames)
     let mut read = 0usize; // frames fully answered and rendered
 
     'session: loop {
-        let session = match open_batch_session(addr) {
+        let mut session = match open_batch_session(addr, encoding) {
             Ok(s) => s,
             Err(e) => {
                 if e.retryable && retry.pause(&e.err.message) {
@@ -1401,40 +1824,60 @@ fn batched_avgrf(
                 return Err(e.err);
             }
         };
+        let bin_payload: Vec<String>;
+        let items: &[String] = match format {
+            WireFormat::Newick => &newick_payload,
+            WireFormat::Bin => {
+                let labels = match fetch_server_taxa(&mut session, addr, collection.as_deref()) {
+                    Ok(labels) => labels,
+                    Err(e) => {
+                        if e.retryable && retry.pause(&e.err.message) {
+                            continue 'session;
+                        }
+                        return Err(e.err);
+                    }
+                };
+                bin_payload = encode_payload_bin(source, &labels)?;
+                &bin_payload
+            }
+        };
         let BatchSession {
             mut reader,
             mut writer,
             max_batch,
         } = session;
-        match &chunks {
+        let (frame_size, n_frames) = match plan {
             None => {
-                frame_size = batch.min(max_batch).max(1);
-                chunks = Some(payload.chunks(frame_size).collect());
+                let fs = batch.min(max_batch).max(1);
+                let p = (fs, total.div_ceil(fs));
+                plan = Some(p);
+                p
             }
-            Some(_) if frame_size > max_batch.max(1) => {
+            Some((fs, _)) if fs > max_batch.max(1) => {
                 // The replacement server advertises a smaller ceiling than
                 // the frames we already rendered rows from; re-chunking
                 // would renumber rows, so fail instead of emitting a table
                 // that no uninterrupted run could produce.
                 return Err(format!(
                     "server at {addr} restarted with a smaller batch ceiling ({max_batch} < \
-                     {frame_size}); rerun the query"
+                     {fs}); rerun the query"
                 )
                 .into());
             }
-            Some(_) => {}
-        }
-        let chunks = chunks.as_ref().expect("chunks fixed above");
-        if read >= chunks.len() {
+            Some(p) => p,
+        };
+        if read >= n_frames {
             break 'session;
         }
         let mut sent = read; // everything past `read` is unanswered: resend
         let failure: SessionError = loop {
             let mut send_err: Option<std::io::Error> = None;
-            while sent < chunks.len() && sent - read < PIPELINE_WINDOW {
+            while sent < n_frames && sent - read < PIPELINE_WINDOW {
+                let lo = sent * frame_size;
+                let hi = total.min(lo + frame_size);
                 let env = Envelope::v2(
                     Request::Batch {
-                        queries: chunks[sent].to_vec(),
+                        queries: items[lo..hi].to_vec(),
                         flags,
                         collection: collection.clone(),
                     },
@@ -1479,7 +1922,7 @@ fn batched_avgrf(
                     }
                     read += 1;
                     retry.reset();
-                    if read >= chunks.len() {
+                    if read >= n_frames {
                         break 'session;
                     }
                 }
@@ -1624,6 +2067,16 @@ fn render_response(op: &str, resp: &json::Json) -> Result<String, CliError> {
                         .and_then(json::Json::as_u64)
                         .unwrap_or(0),
                 );
+            }
+            Ok(out)
+        }
+        "taxa" => {
+            let mut out = format!(
+                "generation\t{}\ntaxon\tlabel\n",
+                field("generation")?.as_u64().unwrap_or(0)
+            );
+            for (i, label) in field("taxa")?.as_arr().unwrap_or(&[]).iter().enumerate() {
+                let _ = writeln!(out, "{i}\t{}", label.as_str().unwrap_or("?"));
             }
             Ok(out)
         }
@@ -2249,5 +2702,158 @@ mod tests {
         assert_ne!(rows[0].1, rows[2].1);
         // bad k is rejected
         assert!(runv(&["cluster", "--refs", refs.to_str().unwrap(), "--k", "9"]).is_err());
+    }
+
+    #[test]
+    fn convert_round_trips_between_encodings() {
+        let newick = "((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));\n((A,F),((C,D),(E,B)));\n";
+        let src = tmp("convert-src.nwk", newick);
+        let dir = src.parent().unwrap().to_path_buf();
+        let bin = dir.join("convert-out.phw");
+        let back = dir.join("convert-back.nwk");
+
+        let report = runv(&[
+            "convert",
+            "--in",
+            src.to_str().unwrap(),
+            "--out",
+            bin.to_str().unwrap(),
+            "--format",
+            "bin",
+        ])
+        .unwrap();
+        assert!(report.contains("in_format\tnewick"), "{report}");
+        assert!(report.contains("out_format\tbin"), "{report}");
+        assert!(report.contains("n_trees\t3"), "{report}");
+        let bytes = std::fs::read(&bin).unwrap();
+        assert_eq!(&bytes[..8], b"PHYLOWIR");
+
+        // bin → Newick reproduces the canonical rendering byte for byte.
+        let report = runv(&[
+            "convert",
+            "--in",
+            bin.to_str().unwrap(),
+            "--out",
+            back.to_str().unwrap(),
+            "--format",
+            "newick",
+        ])
+        .unwrap();
+        assert!(report.contains("in_format\tbin"), "{report}");
+        assert_eq!(std::fs::read_to_string(&back).unwrap(), newick);
+
+        // Every offline consumer sniffs: avgrf over the binary file
+        // answers byte-identically to the Newick original.
+        let a = runv(&["avgrf", "--refs", src.to_str().unwrap()]).unwrap();
+        let b = runv(&["avgrf", "--refs", bin.to_str().unwrap()]).unwrap();
+        assert_eq!(a, b);
+
+        // Unknown target format is a typed error.
+        let err = runf(&[
+            "convert",
+            "--in",
+            src.to_str().unwrap(),
+            "--out",
+            back.to_str().unwrap(),
+            "--format",
+            "xml",
+        ])
+        .expect_err("xml must be rejected");
+        assert!(err.message.contains("unknown format"), "{}", err.message);
+    }
+
+    #[test]
+    fn index_build_format_pin_and_inspect_sections() {
+        let newick = "((A,B),(C,D));\n((A,C),(B,D));\n";
+        let src = tmp("buildfmt.nwk", newick);
+        let dir = src.parent().unwrap().to_path_buf();
+        let bin = dir.join("buildfmt.phw");
+        runv(&[
+            "convert",
+            "--in",
+            src.to_str().unwrap(),
+            "--out",
+            bin.to_str().unwrap(),
+            "--format",
+            "bin",
+        ])
+        .unwrap();
+
+        // A mismatched pin fails before any index is written…
+        let idx = dir.join("buildfmt-index");
+        let _ = std::fs::remove_dir_all(&idx);
+        let err = runf(&[
+            "index",
+            "build",
+            "--refs",
+            bin.to_str().unwrap(),
+            "--out",
+            idx.to_str().unwrap(),
+            "--format",
+            "newick",
+        ])
+        .expect_err("format mismatch must fail");
+        assert!(err.message.contains("carries bin"), "{}", err.message);
+        assert!(!idx.exists());
+
+        // …while the matching pin builds and reports the format row.
+        let out = runv(&[
+            "index",
+            "build",
+            "--refs",
+            bin.to_str().unwrap(),
+            "--out",
+            idx.to_str().unwrap(),
+            "--format",
+            "bin",
+        ])
+        .unwrap();
+        assert!(out.contains("format\tbin"), "{out}");
+        assert!(out.contains("n_trees\t2"), "{out}");
+
+        // inspect reports both on-disk encodings with versions and sizes;
+        // a fresh build writes the frozen sidecar alongside the snapshot.
+        let out = runv(&[
+            "index",
+            "inspect",
+            "--index",
+            idx.to_str().unwrap(),
+            "--check",
+        ])
+        .unwrap();
+        assert!(out.contains("snapshot_format\tBFHSNAP/v"), "{out}");
+        assert!(out.contains("snapshot_bytes\t"), "{out}");
+        assert!(out.contains("check\tok"), "{out}");
+        if out.contains("frozen_format") {
+            assert!(out.contains("frozen_format\tBFHFROZ/v"), "{out}");
+            assert!(out.contains("frozen_pool_bytes\t"), "{out}");
+            assert!(out.contains("frozen_check\tok"), "{out}");
+        } else {
+            assert!(out.contains("frozen_sidecar\tabsent"), "{out}");
+        }
+    }
+
+    #[test]
+    fn query_format_validation_is_client_side() {
+        // Bad format name and non-tree ops fail before any connection is
+        // attempted (the addr below is never dialed).
+        let err = runf(&[
+            "query",
+            "--addr",
+            "127.0.0.1:1",
+            "--op",
+            "stats",
+            "--format",
+            "bin",
+        ])
+        .expect_err("stats cannot ride the bin encoding");
+        assert!(
+            err.message.contains("--format bin only applies"),
+            "{}",
+            err.message
+        );
+        let err = runf(&["query", "--addr", "127.0.0.1:1", "--format", "tsv"])
+            .expect_err("unknown format must fail");
+        assert!(err.message.contains("unknown format"), "{}", err.message);
     }
 }

@@ -21,6 +21,28 @@
 //! ← {"ok":true,"v":2,"max_batch":4096}
 //! ```
 //!
+//! # Tree encodings
+//!
+//! Tree payloads default to Newick text. A v2 client may ask for the
+//! compact binary encoding in its handshake; the server echoes the
+//! encoding it accepted, and **only after seeing that echo** may the
+//! client switch its tree payloads to base64-wrapped [`phylo_wire`] tree
+//! records (taxon ids in the **server's** namespace — fetch it with the
+//! `taxa` op and remap first):
+//!
+//! ```text
+//! → {"v":2,"op":"hello","encoding":"bin"}
+//! ← {"ok":true,"v":2,"max_batch":4096,"encoding":"bin"}
+//! → {"v":2,"op":"taxa"}
+//! ← {"ok":true,"generation":0,"taxa":["A","B",...]}
+//! → {"v":2,"op":"batch","queries":["sQQC...base64...="]}
+//! ```
+//!
+//! The negotiation is per-connection and strictly opt-in: a server that
+//! predates the binary encoding simply omits the echo, and the client
+//! falls back to Newick. Responses are identical either way — same JSON,
+//! same scores, byte for byte.
+//!
 //! # The batch op (v2's headline)
 //!
 //! The paper frames collection queries as q independent probes against
@@ -172,6 +194,9 @@ pub enum Op {
     CatalogDrop,
     /// List catalog collections (v2).
     CatalogList,
+    /// The server's taxon labels in intern order, so a binary-encoding
+    /// client can remap its local taxon ids before encoding (v2).
+    Taxa,
     /// Stop the daemon.
     Shutdown,
     /// Unparseable frame or unrecognized op name.
@@ -180,7 +205,7 @@ pub enum Op {
 
 impl Op {
     /// All ops in metrics-label order; `Unknown` is last.
-    pub const ALL: [Op; 15] = [
+    pub const ALL: [Op; 16] = [
         Op::Hello,
         Op::AvgRf,
         Op::BestQuery,
@@ -194,6 +219,7 @@ impl Op {
         Op::CatalogCreate,
         Op::CatalogDrop,
         Op::CatalogList,
+        Op::Taxa,
         Op::Shutdown,
         Op::Unknown,
     ];
@@ -214,6 +240,7 @@ impl Op {
             Op::CatalogCreate => "catalog-create",
             Op::CatalogDrop => "catalog-drop",
             Op::CatalogList => "catalog-list",
+            Op::Taxa => "taxa",
             Op::Shutdown => "shutdown",
             Op::Unknown => "unknown",
         }
@@ -248,10 +275,56 @@ pub struct QueryFlags {
 /// carries an optional `collection` routing field (v2): absent or
 /// `"default"` targets the daemon's default index, anything else a
 /// catalog collection.
+/// Tree payload encodings a connection can negotiate at `hello`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireEncoding {
+    /// Newick text (the default; every protocol version speaks it).
+    #[default]
+    Newick,
+    /// Base64-wrapped `phylo-wire` binary tree records, taxon ids in the
+    /// server's namespace.
+    Bin,
+}
+
+impl WireEncoding {
+    /// All encodings, in metrics-label order.
+    pub const ALL: [WireEncoding; 2] = [WireEncoding::Newick, WireEncoding::Bin];
+
+    /// This encoding's slot in [`WireEncoding::ALL`] (metrics array index).
+    pub fn index(self) -> usize {
+        WireEncoding::ALL
+            .iter()
+            .position(|&e| e == self)
+            .unwrap_or(0)
+    }
+
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WireEncoding::Newick => "newick",
+            WireEncoding::Bin => "bin",
+        }
+    }
+
+    /// Parse the wire spelling.
+    pub fn from_name(s: &str) -> Option<WireEncoding> {
+        match s {
+            "newick" => Some(WireEncoding::Newick),
+            "bin" => Some(WireEncoding::Bin),
+            _ => None,
+        }
+    }
+}
+
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Version/capability handshake.
-    Hello,
+    /// Version/capability handshake, optionally asking the server to
+    /// accept a non-default tree encoding on this connection.
+    Hello {
+        /// Requested tree payload encoding; `None` keeps Newick. The
+        /// switch only takes effect once the server echoes it back.
+        encoding: Option<WireEncoding>,
+    },
     /// Score each query against the references (v1 op; a v2 client uses
     /// [`Request::Batch`] for the same semantics plus generation pinning).
     AvgRf {
@@ -331,6 +404,11 @@ pub enum Request {
     },
     /// List catalog collections (v2).
     CatalogList,
+    /// The server's taxon labels in intern order (v2).
+    Taxa {
+        /// Catalog collection to report on instead of the default.
+        collection: Option<String>,
+    },
     /// Stop the daemon.
     Shutdown,
 }
@@ -339,7 +417,7 @@ impl Request {
     /// The op this request is an instance of.
     pub fn op(&self) -> Op {
         match self {
-            Request::Hello => Op::Hello,
+            Request::Hello { .. } => Op::Hello,
             Request::AvgRf { .. } => Op::AvgRf,
             Request::BestQuery { .. } => Op::BestQuery,
             Request::Batch { .. } => Op::Batch,
@@ -352,6 +430,7 @@ impl Request {
             Request::CatalogCreate { .. } => Op::CatalogCreate,
             Request::CatalogDrop { .. } => Op::CatalogDrop,
             Request::CatalogList => Op::CatalogList,
+            Request::Taxa { .. } => Op::Taxa,
             Request::Shutdown => Op::Shutdown,
         }
     }
@@ -366,7 +445,8 @@ impl Request {
             | Request::Stats { collection }
             | Request::Add { collection, .. }
             | Request::Remove { collection, .. }
-            | Request::Compact { collection } => collection.as_deref(),
+            | Request::Compact { collection }
+            | Request::Taxa { collection } => collection.as_deref(),
             _ => None,
         }
     }
@@ -458,6 +538,23 @@ fn collection_field(req: &Json, op: Op) -> Result<Option<String>, ProtoError> {
     }
 }
 
+fn encoding_field(req: &Json, op: Op) -> Result<Option<WireEncoding>, ProtoError> {
+    match req.get("encoding") {
+        None => Ok(None),
+        Some(v) => {
+            let s = v
+                .as_str()
+                .ok_or_else(|| ProtoError::new(op, "\"encoding\" must be a string"))?;
+            WireEncoding::from_name(s).map(Some).ok_or_else(|| {
+                ProtoError::new(
+                    op,
+                    format!("unknown encoding {s:?} (expected \"newick\" or \"bin\")"),
+                )
+            })
+        }
+    }
+}
+
 fn query_flags(req: &Json) -> QueryFlags {
     let flag = |key: &str| req.get(key).and_then(Json::as_bool).unwrap_or(false);
     QueryFlags {
@@ -489,7 +586,7 @@ impl Envelope {
                 format!(
                     "unknown op {op_name:?} (expected hello, avgrf, best-query, batch, ping, \
                      stats, add, remove, compact, xavgrf, catalog-create, catalog-drop, \
-                     catalog-list, shutdown)"
+                     catalog-list, taxa, shutdown)"
                 ),
             ));
         };
@@ -502,7 +599,9 @@ impl Envelope {
             ));
         }
         let request = match op {
-            Op::Hello => Request::Hello,
+            Op::Hello => Request::Hello {
+                encoding: encoding_field(req, op)?,
+            },
             Op::AvgRf => Request::AvgRf {
                 queries: string_array(req, op, "queries")?,
                 flags: query_flags(req),
@@ -550,6 +649,9 @@ impl Envelope {
                 name: string_field(req, op, "name")?,
             },
             Op::CatalogList => Request::CatalogList,
+            Op::Taxa => Request::Taxa {
+                collection: collection_field(req, op)?,
+            },
             Op::Shutdown => Request::Shutdown,
             Op::Unknown => unreachable!("from_name never yields Unknown"),
         };
@@ -606,11 +708,16 @@ impl Envelope {
                 }
             }
             Request::CatalogDrop { name } => fields.push(("name", name.as_str().into())),
-            Request::Hello
-            | Request::Ping { .. }
+            Request::Hello { encoding } => {
+                if let Some(enc) = encoding {
+                    fields.push(("encoding", enc.as_str().into()));
+                }
+            }
+            Request::Ping { .. }
             | Request::Stats { .. }
             | Request::Compact { .. }
             | Request::CatalogList
+            | Request::Taxa { .. }
             | Request::Shutdown => {}
         }
         if let Some(c) = self.request.collection() {
@@ -676,6 +783,11 @@ pub enum Response {
         version: u32,
         /// Max query trees per `batch` frame.
         max_batch: usize,
+        /// Tree encoding the server accepted for this connection. `None`
+        /// means Newick (and keeps the pre-encoding frame byte-identical);
+        /// clients must not send binary payloads unless this echoes
+        /// [`WireEncoding::Bin`].
+        encoding: Option<WireEncoding>,
     },
     /// Scores for `avgrf`/`batch`, in query order, all answered from the
     /// single snapshot identified by `generation`/`snap`.
@@ -768,6 +880,15 @@ pub enum Response {
         /// One row per collection, sorted by name.
         collections: Vec<CatalogRow>,
     },
+    /// The `taxa` answer: the collection's taxon labels in intern order
+    /// (the id namespace binary tree records must use), pinned to a
+    /// generation so clients can detect a compaction race.
+    Taxa {
+        /// Compaction generation the label order belongs to.
+        generation: u64,
+        /// Labels, position == taxon id.
+        labels: Vec<String>,
+    },
     /// `shutdown` acknowledged; the daemon exits after sending this.
     Shutdown,
     /// A request failure.
@@ -792,9 +913,16 @@ impl Response {
         let notes_json =
             |notes: &[String]| Json::Arr(notes.iter().map(|n| n.as_str().into()).collect());
         match self {
-            Response::Hello { version, max_batch } => {
+            Response::Hello {
+                version,
+                max_batch,
+                encoding,
+            } => {
                 fields.push(("v", u64::from(*version).into()));
                 fields.push(("max_batch", (*max_batch).into()));
+                if let Some(enc) = encoding {
+                    fields.push(("encoding", enc.as_str().into()));
+                }
             }
             Response::Scores {
                 n_taxa,
@@ -912,6 +1040,13 @@ impl Response {
                     .collect();
                 fields.push(("catalog", Json::Arr(rows)));
             }
+            Response::Taxa { generation, labels } => {
+                fields.push(("generation", (*generation).into()));
+                fields.push((
+                    "taxa",
+                    Json::Arr(labels.iter().map(|l| l.as_str().into()).collect()),
+                ));
+            }
             Response::Shutdown => fields.push(("shutdown", true.into())),
             Response::Error {
                 code,
@@ -984,6 +1119,12 @@ impl Response {
             Response::Hello {
                 version: u("v")? as u32,
                 max_batch: u("max_batch")? as usize,
+                // An unrecognized echo reads as None: the client then
+                // refuses to switch encodings, which is the safe default.
+                encoding: resp
+                    .get("encoding")
+                    .and_then(Json::as_str)
+                    .and_then(WireEncoding::from_name),
             }
         } else if let Some(rows) = resp.get("scores").and_then(Json::as_arr) {
             let scores = rows
@@ -1096,6 +1237,22 @@ impl Response {
                 uptime_ms: u("uptime_ms")?,
                 collections: resp.get("collections").and_then(Json::as_u64),
                 open_collections: resp.get("open_collections").and_then(Json::as_u64),
+            }
+        } else if let Some(rows) = resp.get("taxa").and_then(Json::as_arr) {
+            // Checked before the bare-"generation" Compacted arm, which a
+            // taxa frame would otherwise satisfy.
+            let labels = rows
+                .iter()
+                .enumerate()
+                .map(|(i, l)| {
+                    l.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("taxa label {i} is not a string"))
+                })
+                .collect::<Result<_, _>>()?;
+            Response::Taxa {
+                generation: u("generation")?,
+                labels,
             }
         } else if resp.get("shutdown").is_some() {
             Response::Shutdown
@@ -1280,6 +1437,74 @@ mod tests {
         let err = parse_request(r#"{"v":2,"op":"catalog-drop"}"#).unwrap_err();
         assert_eq!(err.op, Op::CatalogDrop);
         assert!(err.message.contains("name"));
+    }
+
+    #[test]
+    fn hello_encoding_negotiation_is_additive_and_typed() {
+        // A bare hello (any version) parses to None and renders with no
+        // encoding member — byte-identical to the pre-encoding frame.
+        let env = parse_request(r#"{"v":2,"op":"hello"}"#).unwrap();
+        assert_eq!(env.request, Request::Hello { encoding: None });
+        assert!(!env.to_json().to_string().contains("encoding"));
+        // Asking for bin round-trips.
+        let env = parse_request(r#"{"v":2,"op":"hello","encoding":"bin"}"#).unwrap();
+        assert_eq!(
+            env.request,
+            Request::Hello {
+                encoding: Some(WireEncoding::Bin)
+            }
+        );
+        assert_eq!(parse_request(&env.to_json().to_string()).unwrap(), env);
+        // Unknown or non-string encodings are typed errors on hello.
+        let err = parse_request(r#"{"v":2,"op":"hello","encoding":"xml"}"#).unwrap_err();
+        assert_eq!(err.op, Op::Hello);
+        assert!(err.message.contains("unknown encoding"));
+        let err = parse_request(r#"{"v":2,"op":"hello","encoding":7}"#).unwrap_err();
+        assert_eq!(err.op, Op::Hello);
+        // The response echo is additive: absent unless negotiated.
+        let plain = Response::Hello {
+            version: 2,
+            max_batch: 16,
+            encoding: None,
+        };
+        let text = plain.to_json(None).to_string();
+        assert!(
+            !text.contains("encoding"),
+            "plain hello grew a member: {text}"
+        );
+        let (parsed, _) = Response::from_json(&plain.to_json(None)).unwrap();
+        assert_eq!(parsed, plain);
+        let bin = Response::Hello {
+            version: 2,
+            max_batch: 16,
+            encoding: Some(WireEncoding::Bin),
+        };
+        let (parsed, _) = Response::from_json(&bin.to_json(None)).unwrap();
+        assert_eq!(parsed, bin);
+    }
+
+    #[test]
+    fn taxa_op_round_trips_and_is_not_mistaken_for_compacted() {
+        let env = parse_request(r#"{"v":2,"op":"taxa"}"#).unwrap();
+        assert_eq!(env.request, Request::Taxa { collection: None });
+        let env = parse_request(r#"{"v":2,"op":"taxa","collection":"mammals"}"#).unwrap();
+        assert_eq!(env.request.collection(), Some("mammals"));
+        assert_eq!(parse_request(&env.to_json().to_string()).unwrap(), env);
+
+        let taxa = Response::Taxa {
+            generation: 3,
+            labels: vec!["A".into(), "B".into(), "C".into()],
+        };
+        let (parsed, id) = Response::from_json(&taxa.to_json(Some(4))).unwrap();
+        assert_eq!(parsed, taxa);
+        assert_eq!(id, Some(4));
+        // An empty label set still discriminates away from Compacted.
+        let empty = Response::Taxa {
+            generation: 0,
+            labels: vec![],
+        };
+        let (parsed, _) = Response::from_json(&empty.to_json(None)).unwrap();
+        assert_eq!(parsed, empty);
     }
 
     #[test]

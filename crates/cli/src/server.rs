@@ -77,7 +77,7 @@
 use crate::json::Json;
 use crate::proto::{
     self, CatalogRow, Envelope, ErrorCode, Op, Outcome, Request, Response, ScoreRow, StatsBody,
-    MAX_BATCH, PROTO_VERSION,
+    WireEncoding, MAX_BATCH, PROTO_VERSION,
 };
 use crate::{CliError, EXIT_BUDGET, EXIT_ERROR};
 use bfhrf::{Comparator, CoreError, FrozenComparator, RunBudget, RunGuard};
@@ -158,6 +158,16 @@ struct ServeMetrics {
     swaps: Counter,
     busy_rejections: Counter,
     lock_recoveries: Counter,
+    /// Tree-payload frames by negotiated encoding.
+    wire_frames: [Counter; WireEncoding::ALL.len()],
+    /// Time turning one frame's tree payloads into [`Tree`]s (Newick parse
+    /// or binary decode), by encoding.
+    wire_decode: [Histogram; WireEncoding::ALL.len()],
+    /// Time encoding trees for the wire, by encoding. The daemon never
+    /// encodes tree payloads itself — the series is pre-registered so the
+    /// `stats` schema is the same one the client-side tooling records into.
+    #[allow(dead_code)]
+    wire_encode: [Histogram; WireEncoding::ALL.len()],
 }
 
 impl ServeMetrics {
@@ -187,6 +197,24 @@ impl ServeMetrics {
             swaps: reg.counter("serve_snapshot_swaps_total", &[]),
             busy_rejections: reg.counter("serve_busy_rejections_total", &[]),
             lock_recoveries: reg.counter("serve_lock_recoveries_total", &[]),
+            wire_frames: std::array::from_fn(|i| {
+                reg.counter(
+                    "wire_frames_total",
+                    &[("encoding", WireEncoding::ALL[i].as_str())],
+                )
+            }),
+            wire_decode: std::array::from_fn(|i| {
+                reg.histogram(
+                    "wire_decode_ns",
+                    &[("encoding", WireEncoding::ALL[i].as_str())],
+                )
+            }),
+            wire_encode: std::array::from_fn(|i| {
+                reg.histogram(
+                    "wire_encode_ns",
+                    &[("encoding", WireEncoding::ALL[i].as_str())],
+                )
+            }),
         }
     }
 
@@ -620,6 +648,11 @@ fn handle_connection(stream: TcpStream, state: &ServeState, addr: SocketAddr) {
     // scratch, reused for every request this connection ever sends.
     let mut buf = Vec::new();
     let mut scratch = BipartitionScratch::new();
+    // Tree-payload encoding for this connection, switched by a `hello`
+    // carrying an `encoding` member. Frames are handled strictly in
+    // order, so the switch cleanly splits the stream: everything after
+    // the hello is read under the new encoding.
+    let mut encoding = WireEncoding::Newick;
     let mut depth = 0u64; // responses written since the last flush
     loop {
         match read_request_line(&mut reader, &mut buf, state) {
@@ -631,7 +664,7 @@ fn handle_connection(stream: TcpStream, state: &ServeState, addr: SocketAddr) {
         if line.is_empty() {
             continue;
         }
-        let (response, action) = handle_request(line, state, &mut scratch);
+        let (response, action) = handle_request(line, state, &mut scratch, &mut encoding);
         state.served.fetch_add(1, Ordering::Relaxed);
         if writeln!(writer, "{response}").is_err() {
             return;
@@ -683,8 +716,53 @@ fn parse_payload_trees_from(
         .collect()
 }
 
-fn parse_payload_trees(taxa: &TaxonSet, items: &[String]) -> Result<Vec<Tree>, ReqError> {
-    parse_payload_trees_from(taxa, items, 0)
+/// Decode the request's base64-wrapped binary tree records against a
+/// frozen namespace. The records carry server-namespace taxon ids (the
+/// client fetched them with the `taxa` op), so decode is a pure structural
+/// check — no label resolution at all.
+fn decode_payload_trees_from(
+    taxa: &TaxonSet,
+    items: &[String],
+    base: usize,
+) -> Result<Vec<Tree>, ReqError> {
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, text)| {
+            let bytes = phylo_wire::b64::decode(text)
+                .map_err(|e| ReqError::new(format!("tree {}: {e}", base + i)))?;
+            phylo_wire::decode_tree_exact(&bytes, taxa.len())
+                .map_err(|e| ReqError::new(format!("tree {}: {e}", base + i)))
+        })
+        .collect()
+}
+
+/// Turn one chunk of tree payloads into [`Tree`]s under the connection's
+/// negotiated encoding, recording the decode time under
+/// `wire_decode_ns{encoding}`.
+fn payload_trees_chunk(
+    state: &ServeState,
+    enc: WireEncoding,
+    taxa: &TaxonSet,
+    items: &[String],
+    base: usize,
+) -> Result<Vec<Tree>, ReqError> {
+    let start = Instant::now();
+    let trees = match enc {
+        WireEncoding::Newick => parse_payload_trees_from(taxa, items, base),
+        WireEncoding::Bin => decode_payload_trees_from(taxa, items, base),
+    }?;
+    state.metrics.wire_decode[enc.index()].record_duration(start.elapsed());
+    Ok(trees)
+}
+
+fn payload_trees(
+    state: &ServeState,
+    enc: WireEncoding,
+    taxa: &TaxonSet,
+    items: &[String],
+) -> Result<Vec<Tree>, ReqError> {
+    payload_trees_chunk(state, enc, taxa, items, 0)
 }
 
 /// Dispatch one request, recording its latency and outcome under the op
@@ -695,9 +773,10 @@ fn handle_request(
     line: &str,
     state: &ServeState,
     scratch: &mut BipartitionScratch,
+    encoding: &mut WireEncoding,
 ) -> (Json, Action) {
     let start = Instant::now();
-    let (op, id, result) = dispatch(line, state, scratch);
+    let (op, id, result) = dispatch(line, state, scratch, encoding);
     state.metrics.latency[op.index()].record_duration(start.elapsed());
     match result {
         Ok((response, action)) => {
@@ -718,6 +797,7 @@ fn dispatch(
     line: &str,
     state: &ServeState,
     scratch: &mut BipartitionScratch,
+    encoding: &mut WireEncoding,
 ) -> (Op, Option<u64>, Result<(Response, Action), ReqError>) {
     let env = match proto::parse_request(line) {
         Ok(env) => env,
@@ -729,22 +809,44 @@ fn dispatch(
         request,
     } = env;
     let op = request.op();
+    // Frames carrying tree payloads count under the encoding they arrive
+    // in; the handlers below time their conversion into trees.
+    let enc = *encoding;
+    if matches!(
+        request,
+        Request::AvgRf { .. }
+            | Request::Batch { .. }
+            | Request::BestQuery { .. }
+            | Request::Add { .. }
+            | Request::Remove { .. }
+    ) {
+        state.metrics.wire_frames[enc.index()].inc();
+    }
     let cont = |r: Result<Response, ReqError>| r.map(|resp| (resp, Action::Continue));
     let result = match request {
-        Request::Hello => Ok((
-            Response::Hello {
-                version: PROTO_VERSION,
-                max_batch: MAX_BATCH,
-            },
-            Action::Continue,
-        )),
+        Request::Hello { encoding: wanted } => {
+            // The switch takes effect for every later frame on this
+            // connection; frames are handled strictly in order, so a
+            // pipelined hello splits the stream cleanly. A hello without
+            // the member leaves the current encoding alone (and its
+            // response stays byte-identical to the pre-encoding frame).
+            let echo = wanted.inspect(|e| *encoding = *e);
+            Ok((
+                Response::Hello {
+                    version: PROTO_VERSION,
+                    max_batch: MAX_BATCH,
+                    encoding: echo,
+                },
+                Action::Continue,
+            ))
+        }
         Request::AvgRf {
             queries,
             flags,
             collection,
         } => cont(
             resolve(state, collection.as_deref())
-                .and_then(|t| op_scores(state, scratch, &t, &queries, flags)),
+                .and_then(|t| op_scores(state, scratch, enc, &t, &queries, flags)),
         ),
         Request::Batch {
             queries,
@@ -761,7 +863,7 @@ fn dispatch(
             } else {
                 cont(
                     resolve(state, collection.as_deref())
-                        .and_then(|t| op_scores(state, scratch, &t, &queries, flags)),
+                        .and_then(|t| op_scores(state, scratch, enc, &t, &queries, flags)),
                 )
             }
         }
@@ -770,7 +872,7 @@ fn dispatch(
             collection,
         } => cont(
             resolve(state, collection.as_deref())
-                .and_then(|t| op_best(state, scratch, &t, &queries)),
+                .and_then(|t| op_best(state, scratch, enc, &t, &queries)),
         ),
         Request::Ping { collection } => {
             cont(resolve(state, collection.as_deref()).and_then(|t| op_ping(state, version, &t)))
@@ -779,13 +881,18 @@ fn dispatch(
             cont(resolve(state, collection.as_deref()).and_then(|t| op_stats(state, &t)))
         }
         Request::Add { trees, collection } => cont(
-            resolve(state, collection.as_deref()).and_then(|t| op_mutate(state, &t, &trees, true)),
+            resolve(state, collection.as_deref())
+                .and_then(|t| op_mutate(state, enc, &t, &trees, true)),
         ),
         Request::Remove { trees, collection } => cont(
-            resolve(state, collection.as_deref()).and_then(|t| op_mutate(state, &t, &trees, false)),
+            resolve(state, collection.as_deref())
+                .and_then(|t| op_mutate(state, enc, &t, &trees, false)),
         ),
         Request::Compact { collection } => {
             cont(resolve(state, collection.as_deref()).and_then(|t| op_compact(state, &t)))
+        }
+        Request::Taxa { collection } => {
+            cont(resolve(state, collection.as_deref()).and_then(|t| op_taxa(state, &t)))
         }
         Request::Xavgrf {
             refs,
@@ -933,6 +1040,7 @@ fn scored(
 fn op_scores(
     state: &ServeState,
     scratch: &mut BipartitionScratch,
+    enc: WireEncoding,
     target: &Target,
     queries: &[String],
     flags: proto::QueryFlags,
@@ -945,13 +1053,13 @@ fn op_scores(
     // connections that footprint is real cache pressure). The parallel
     // path keeps the whole batch: rayon wants it all to fan out.
     let scores = if parallel_scoring(queries.len()) {
-        let trees = parse_payload_trees(&view.taxa, queries)?;
+        let trees = payload_trees(state, enc, &view.taxa, queries)?;
         scored(&view, &trees, &guard, scratch)?
     } else {
         let mut scores = Vec::with_capacity(queries.len());
         for (chunk_idx, chunk) in queries.chunks(PARALLEL_QUERY_THRESHOLD).enumerate() {
             let base = chunk_idx * PARALLEL_QUERY_THRESHOLD;
-            let trees = parse_payload_trees_from(&view.taxa, chunk, base)?;
+            let trees = payload_trees_chunk(state, enc, &view.taxa, chunk, base)?;
             let part = scored(&view, &trees, &guard, scratch)?;
             scores.extend(part.into_iter().map(|mut s| {
                 s.index += base;
@@ -993,12 +1101,13 @@ fn op_scores(
 fn op_best(
     state: &ServeState,
     scratch: &mut BipartitionScratch,
+    enc: WireEncoding,
     target: &Target,
     queries: &[String],
 ) -> Result<Response, ReqError> {
     let (view, _snap_id) = target_view(state, target);
     let guard = request_guard(state);
-    let trees = parse_payload_trees(&view.taxa, queries)?;
+    let trees = payload_trees(state, enc, &view.taxa, queries)?;
     let scores = scored(&view, &trees, &guard, scratch)?;
     let best = bfhrf::best_query(&scores)
         .ok_or_else(|| ReqError::new("the \"queries\" array is empty"))?;
@@ -1055,6 +1164,22 @@ fn op_ping(state: &ServeState, version: u32, target: &Target) -> Result<Response
     })
 }
 
+/// The collection's taxon labels in intern order — the id namespace a
+/// binary-encoding client must remap into before encoding tree records.
+/// Answered from the published snapshot, so it never queues behind admin
+/// work; the generation lets a client detect that its cached mapping and a
+/// later frame straddled a rebuild.
+fn op_taxa(state: &ServeState, target: &Target) -> Result<Response, ReqError> {
+    let (view, _snap_id) = target_view(state, target);
+    let labels = (0..view.taxa.len())
+        .map(|i| view.taxa.label(phylo::TaxonId(i as u32)).to_string())
+        .collect();
+    Ok(Response::Taxa {
+        generation: view.generation,
+        labels,
+    })
+}
+
 fn op_stats(state: &ServeState, target: &Target) -> Result<Response, ReqError> {
     let stats = match target {
         Target::Default => {
@@ -1086,6 +1211,7 @@ fn op_stats(state: &ServeState, target: &Target) -> Result<Response, ReqError> {
 
 fn op_mutate(
     state: &ServeState,
+    enc: WireEncoding,
     target: &Target,
     items: &[String],
     add: bool,
@@ -1093,8 +1219,23 @@ fn op_mutate(
     if let Target::Named(pin) = target {
         // Per-collection mutations go through the Collection wrapper so the
         // hash and the tree-list sidecar move in lockstep (same up-front
-        // validation and remove dry-run as the default path).
+        // validation and remove dry-run as the default path). The wrapper
+        // keeps a Newick tree-list sidecar, so binary payloads are decoded
+        // and re-rendered as Newick before entering it.
         let mut col = pin.lock();
+        let rendered;
+        let items: &[String] = match enc {
+            WireEncoding::Newick => items,
+            WireEncoding::Bin => {
+                let view = col.view();
+                let trees = payload_trees(state, enc, &view.taxa, items)?;
+                rendered = trees
+                    .iter()
+                    .map(|t| phylo::write_newick(t, &view.taxa))
+                    .collect::<Vec<_>>();
+                &rendered
+            }
+        };
         let applied = if add {
             col.add_batch(items)
         } else {
@@ -1108,7 +1249,7 @@ fn op_mutate(
     let mut index = lock_admin(state);
     // Validate the whole batch against the namespace up front so a typo in
     // tree k does not leave trees 0..k applied.
-    let trees = parse_payload_trees(index.taxa(), items)?;
+    let trees = payload_trees(state, enc, index.taxa(), items)?;
     if !add {
         // remove_tree is verify-then-mutate per tree, but a batch can still
         // fail halfway; dry-run the batch on a scratch hash first.
@@ -1122,10 +1263,13 @@ fn op_mutate(
     }
     let mut applied = 0usize;
     for tree in &trees {
-        let r = if add {
-            index.append_add(tree)
-        } else {
-            index.append_remove(tree)
+        // A binary session's mutations land in the WAL as binary records
+        // too — no Newick re-rendering on the hot admin path.
+        let r = match (add, enc) {
+            (true, WireEncoding::Newick) => index.append_add(tree),
+            (false, WireEncoding::Newick) => index.append_remove(tree),
+            (true, WireEncoding::Bin) => index.append_add_bin(tree),
+            (false, WireEncoding::Bin) => index.append_remove_bin(tree),
         };
         r.map_err(ReqError::from_index)?;
         applied += 1;

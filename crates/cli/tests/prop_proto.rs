@@ -5,7 +5,7 @@
 use bfhrf_cli::json;
 use bfhrf_cli::proto::{
     parse_request, CatalogRow, Envelope, ErrorCode, Op, Outcome, QueryFlags, Request, Response,
-    ScoreRow, StatsBody, PROTO_VERSION,
+    ScoreRow, StatsBody, WireEncoding, PROTO_VERSION,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -28,8 +28,16 @@ fn request_from(
 ) -> Request {
     let flags = QueryFlags { normalized, halved };
     let name = collection.clone().unwrap_or_else(|| "mammals".to_string());
-    match which % 14 {
-        0 => Request::Hello,
+    match which % 15 {
+        0 => Request::Hello {
+            // Reuse the flag bits so all three negotiation states appear.
+            encoding: normalized.then_some(if halved {
+                WireEncoding::Bin
+            } else {
+                WireEncoding::Newick
+            }),
+        },
+        13 => Request::Taxa { collection },
         1 => Request::AvgRf {
             queries,
             flags,
@@ -73,7 +81,7 @@ fn request_from(
 proptest! {
     #[test]
     fn envelopes_round_trip_through_wire_text(
-        which in 0usize..14,
+        which in 0usize..15,
         queries in vec(TREE_PATTERN, 0..6),
         normalized in any::<bool>(),
         halved in any::<bool>(),
@@ -128,14 +136,26 @@ proptest! {
 
     #[test]
     fn admin_and_control_responses_round_trip(
-        which in 0usize..10,
+        which in 0usize..11,
         a in 0u64..1_000_000,
         b in 0usize..1_000_000,
         c in 0usize..1_000_000,
         served in any::<u32>(),
     ) {
         let resp = match which {
-            0 => Response::Hello { version: PROTO_VERSION, max_batch: b },
+            0 => Response::Hello {
+                version: PROTO_VERSION,
+                max_batch: b,
+                encoding: match c % 3 {
+                    0 => None,
+                    1 => Some(WireEncoding::Newick),
+                    _ => Some(WireEncoding::Bin),
+                },
+            },
+            10 => Response::Taxa {
+                generation: a,
+                labels: (0..c % 5).map(|i| format!("t{i}")).collect(),
+            },
             1 => Response::Applied { applied: b, n_trees: c },
             2 => Response::Compacted { generation: a, distinct: b, wal_pending: 0 },
             3 => Response::Shutdown,

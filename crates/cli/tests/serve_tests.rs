@@ -1642,3 +1642,205 @@ fn catalog_admin_errors_are_typed() {
     assert!(err.message.contains("gone"), "{}", err.message);
     shutdown(&addr, handle);
 }
+
+/// The binary wire encoding is negotiated, never assumed: a plain hello
+/// answer carries no `encoding` member (byte-compatible with pre-binary
+/// servers), a `bin` hello echoes it, and an unknown name is a typed
+/// error that leaves the connection usable.
+#[test]
+fn hello_encoding_negotiation_wire_shapes() {
+    let dir = scratch("hello-enc");
+    let index_dir = build_index(&dir, REFS);
+    let (addr, handle) = start_server(&index_dir, None);
+
+    let plain = raw_request(&addr, r#"{"v":2,"op":"hello"}"#);
+    assert_eq!(plain.get("ok").unwrap().as_bool(), Some(true));
+    assert!(plain.get("encoding").is_none(), "{plain}");
+
+    let bin = raw_request(&addr, r#"{"v":2,"op":"hello","encoding":"bin"}"#);
+    assert_eq!(bin.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(
+        bin.get("encoding").and_then(json::Json::as_str),
+        Some("bin")
+    );
+
+    let bad = raw_request(&addr, r#"{"v":2,"op":"hello","encoding":"xml"}"#);
+    assert_eq!(bad.get("ok").unwrap().as_bool(), Some(false));
+    assert!(
+        bad.get("error")
+            .and_then(json::Json::as_str)
+            .unwrap()
+            .contains("encoding"),
+        "{bad}"
+    );
+
+    shutdown(&addr, handle);
+}
+
+/// Tentpole acceptance: `--format bin` sessions (single-op, from a binary
+/// query file, best-query, and pipelined batch mode) answer byte-identical
+/// to their Newick twins, and the daemon's per-encoding wire metrics show
+/// up in `bfhrf stats`.
+#[test]
+fn binary_wire_sessions_match_newick_byte_for_byte() {
+    let dir = scratch("bin-wire");
+    let queries_path = write(&dir, "queries.nwk", QUERIES);
+    let index_dir = build_index(&dir, REFS);
+    let (addr, handle) = start_server(&index_dir, None);
+
+    let newick = runv(&["query", "--addr", &addr, "--queries", &queries_path]).unwrap();
+    let bin = runv(&[
+        "query",
+        "--addr",
+        &addr,
+        "--queries",
+        &queries_path,
+        "--format",
+        "bin",
+    ])
+    .unwrap();
+    assert_eq!(bin.code, EXIT_OK);
+    assert_eq!(bin.stdout, newick.stdout);
+
+    // The same queries converted to a binary file: sniffed on load,
+    // re-encoded on the wire, identical answers.
+    let bin_queries = dir.join("queries.phw");
+    let conv = runv(&[
+        "convert",
+        "--in",
+        &queries_path,
+        "--out",
+        bin_queries.to_str().unwrap(),
+        "--format",
+        "bin",
+    ])
+    .unwrap();
+    assert_eq!(conv.code, EXIT_OK);
+    let from_bin_file = runv(&[
+        "query",
+        "--addr",
+        &addr,
+        "--queries",
+        bin_queries.to_str().unwrap(),
+        "--format",
+        "bin",
+    ])
+    .unwrap();
+    assert_eq!(from_bin_file.stdout, newick.stdout);
+
+    // Pipelined batch mode under both encodings.
+    let many: String = QUERIES.repeat(4);
+    let many_path = write(&dir, "many.nwk", &many);
+    let newick_batch = runv(&[
+        "query",
+        "--addr",
+        &addr,
+        "--queries",
+        &many_path,
+        "--batch",
+        "2",
+    ])
+    .unwrap();
+    let bin_batch = runv(&[
+        "query",
+        "--addr",
+        &addr,
+        "--queries",
+        &many_path,
+        "--batch",
+        "2",
+        "--format",
+        "bin",
+    ])
+    .unwrap();
+    assert_eq!(bin_batch.stdout, newick_batch.stdout);
+
+    // best-query agrees as well.
+    let newick_best = runv(&[
+        "query",
+        "--addr",
+        &addr,
+        "--op",
+        "best-query",
+        "--queries",
+        &queries_path,
+    ])
+    .unwrap();
+    let bin_best = runv(&[
+        "query",
+        "--addr",
+        &addr,
+        "--op",
+        "best-query",
+        "--queries",
+        &queries_path,
+        "--format",
+        "bin",
+    ])
+    .unwrap();
+    assert_eq!(bin_best.stdout, newick_best.stdout);
+
+    // The daemon counted and timed the binary frames.
+    let stats = runv(&["stats", "--addr", &addr]).unwrap();
+    assert!(
+        stats.stdout.contains("wire_frames_total"),
+        "{}",
+        stats.stdout
+    );
+    assert!(stats.stdout.contains("wire_decode_ns"), "{}", stats.stdout);
+
+    shutdown(&addr, handle);
+}
+
+/// `--op taxa` lists the server's namespace (the contract binary payloads
+/// encode against), and a `--format bin` mutation lands in the WAL as a
+/// binary record that replays on the next offline open.
+#[test]
+fn taxa_op_and_binary_mutations_replay() {
+    let dir = scratch("bin-mutate");
+    let index_dir = build_index(&dir, REFS);
+    let (addr, handle) = start_server(&index_dir, None);
+
+    let taxa = runv(&["query", "--addr", &addr, "--op", "taxa"]).unwrap();
+    assert!(
+        taxa.stdout.starts_with("generation\t0\ntaxon\tlabel\n"),
+        "{}",
+        taxa.stdout
+    );
+    for label in ["A", "B", "C", "D", "E", "F"] {
+        assert!(
+            taxa.stdout.contains(&format!("\t{label}\n")),
+            "{}",
+            taxa.stdout
+        );
+    }
+
+    let extra_path = write(&dir, "extra.nwk", EXTRA);
+    let added = runv(&[
+        "query",
+        "--addr",
+        &addr,
+        "--op",
+        "add",
+        "--trees",
+        &extra_path,
+        "--format",
+        "bin",
+    ])
+    .unwrap();
+    assert_eq!(added.stdout, "applied\t1\nn_trees\t4\n");
+    shutdown(&addr, handle);
+
+    // The binary WAL record replays on a cold open.
+    let inspect = runv(&["index", "inspect", "--index", &index_dir, "--check"]).unwrap();
+    assert!(
+        inspect.stdout.contains("wal_pending\t1"),
+        "{}",
+        inspect.stdout
+    );
+    assert!(
+        inspect.stdout.contains("check\tok (4 trees"),
+        "{}",
+        inspect.stdout
+    );
+}

@@ -50,8 +50,88 @@ use crate::bfh::Bfh;
 use phylo::{BipartitionScratch, SplitBatch, TaxonSet, Tree};
 use phylo_bitset::group::{Engine, GroupScan, ScalarScan, SimdScan, CTRL_EMPTY, GROUP_SLOTS};
 use phylo_bitset::{ctrl_h2, hash_bucket, hash_tag, split_hash128, words_for, Bits};
+use std::ops::Deref;
+use std::sync::Arc;
 
 pub use phylo_bitset::group::{simd_available, ProbeMode};
+
+/// Keeps a memory mapping alive for as long as any [`Lane`] points into
+/// it. The index crate's mmap wrapper implements this; dropping the last
+/// `Arc<dyn MapGuard>` unmaps the region.
+pub trait MapGuard: std::fmt::Debug + Send + Sync + 'static {}
+
+/// One lane of the frozen table: either heap-owned (the `freeze()` and
+/// read-and-materialize paths) or borrowed zero-copy from a live memory
+/// mapping (the snapshot sidecar open path). Reads go through `Deref`,
+/// so the probe loops are storage-agnostic and identical machine code.
+enum Lane<T> {
+    Owned(Box<[T]>),
+    Mapped {
+        ptr: *const T,
+        len: usize,
+        /// Keeps the mapping alive; never read, only dropped.
+        _guard: Arc<dyn MapGuard>,
+    },
+}
+
+// SAFETY: a mapped lane is an immutable view of a read-only mapping whose
+// lifetime the guard pins; sharing or sending it is no more than sharing
+// the &[T] it derefs to.
+unsafe impl<T: Send + Sync> Send for Lane<T> {}
+unsafe impl<T: Send + Sync> Sync for Lane<T> {}
+
+impl<T> Deref for Lane<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        match self {
+            Lane::Owned(b) => b,
+            // SAFETY: constructor contract — ptr/len describe a valid,
+            // immutable region outliving `_guard`.
+            Lane::Mapped { ptr, len, .. } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+}
+
+impl<T: Clone> Clone for Lane<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Lane::Owned(b) => Lane::Owned(b.clone()),
+            Lane::Mapped { ptr, len, _guard } => Lane::Mapped {
+                ptr: *ptr,
+                len: *len,
+                _guard: Arc::clone(_guard),
+            },
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Lane<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self {
+            Lane::Owned(_) => "owned",
+            Lane::Mapped { .. } => "mapped",
+        };
+        write!(f, "Lane<{kind}; len={}>", self.len())
+    }
+}
+
+/// The header scalars a serialized frozen table carries; both
+/// reconstruction paths take one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrozenLayout {
+    /// Namespace width.
+    pub n_taxa: usize,
+    /// Reference trees folded in.
+    pub n_trees: usize,
+    /// Total split occurrences.
+    pub sum: u64,
+    /// Distinct splits stored.
+    pub distinct: usize,
+    /// Slot count of the bucket array.
+    pub capacity: usize,
+}
 
 /// How many splits ahead the batched probe loop prefetches. Re-tuned for
 /// the group layout: each probe now pulls two lines (control group +
@@ -92,11 +172,11 @@ pub struct FrozenBfh {
     /// Per-slot control byte ([`CTRL_EMPTY`] or `h2`), length
     /// `capacity + GROUP_SLOTS`: the tail mirrors the first group so an
     /// unaligned 16-byte window starting at any slot never wraps.
-    ctrl: Box<[u8]>,
+    ctrl: Lane<u8>,
     /// Per-slot key/frequency/pool-rank record.
-    entries: Box<[Entry]>,
+    entries: Lane<Entry>,
     /// All distinct masks, packed at stride `words` in insertion order.
-    pool: Box<[u64]>,
+    pool: Lane<u64>,
 }
 
 /// Issue a best-effort prefetch of the cache line holding `*ptr`.
@@ -157,10 +237,224 @@ impl FrozenBfh {
             sum: bfh.sum(),
             distinct,
             mask,
-            ctrl,
-            entries,
-            pool: pool.into_boxed_slice(),
+            ctrl: Lane::Owned(ctrl),
+            entries: Lane::Owned(entries),
+            pool: Lane::Owned(pool.into_boxed_slice()),
         }
+    }
+
+    /// Words per pooled mask (`words_for(n_taxa)`).
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The header scalars a serializer must persist to reconstruct this
+    /// table.
+    pub fn layout(&self) -> FrozenLayout {
+        FrozenLayout {
+            n_taxa: self.n_taxa,
+            n_trees: self.n_trees,
+            sum: self.sum,
+            distinct: self.distinct,
+            capacity: self.capacity(),
+        }
+    }
+
+    /// The control lane, mirror group included — exactly the bytes a
+    /// serializer should write.
+    pub fn ctrl_lane(&self) -> &[u8] {
+        &self.ctrl
+    }
+
+    /// The packed mask pool in layout order.
+    pub fn pool_lane(&self) -> &[u64] {
+        &self.pool
+    }
+
+    /// The entry lane as 16-byte little-endian records
+    /// (`key u64 · freq u32 · offset u32`) — the exact on-disk form, and
+    /// on little-endian hosts the exact in-memory form too.
+    pub fn entry_records(&self) -> impl Iterator<Item = [u8; 16]> + '_ {
+        self.entries.iter().map(|e| {
+            let mut rec = [0u8; 16];
+            rec[0..8].copy_from_slice(&e.key.to_le_bytes());
+            rec[8..12].copy_from_slice(&e.freq.to_le_bytes());
+            rec[12..16].copy_from_slice(&e.offset.to_le_bytes());
+            rec
+        })
+    }
+
+    /// Rebuild a frozen table from serialized lanes, copying into owned
+    /// storage and converting entry records from little-endian — the
+    /// endian-safe fallback open path. Rejects any layout the probe loops
+    /// could not walk safely.
+    pub fn from_le_parts(
+        layout: FrozenLayout,
+        ctrl: Vec<u8>,
+        entry_bytes: &[u8],
+        pool: Vec<u64>,
+    ) -> Result<FrozenBfh, String> {
+        if entry_bytes.len() != layout.capacity * std::mem::size_of::<Entry>() {
+            return Err(format!(
+                "entry lane holds {} bytes, layout needs {}",
+                entry_bytes.len(),
+                layout.capacity * std::mem::size_of::<Entry>()
+            ));
+        }
+        let entries: Box<[Entry]> = entry_bytes
+            .chunks_exact(std::mem::size_of::<Entry>())
+            .map(|rec| Entry {
+                key: u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes")),
+                freq: u32::from_le_bytes(rec[8..12].try_into().expect("4 bytes")),
+                offset: u32::from_le_bytes(rec[12..16].try_into().expect("4 bytes")),
+            })
+            .collect();
+        let frozen = FrozenBfh {
+            n_taxa: layout.n_taxa,
+            words: words_for(layout.n_taxa),
+            n_trees: layout.n_trees,
+            sum: layout.sum,
+            distinct: layout.distinct,
+            mask: layout.capacity.wrapping_sub(1),
+            ctrl: Lane::Owned(ctrl.into_boxed_slice()),
+            entries: Lane::Owned(entries),
+            pool: Lane::Owned(pool.into_boxed_slice()),
+        };
+        frozen.validate_layout()?;
+        Ok(frozen)
+    }
+
+    /// Rebuild a frozen table zero-copy over lanes inside a live memory
+    /// mapping. Little-endian hosts only: the mapped bytes are
+    /// reinterpreted in place (big-endian builds take the
+    /// [`Self::from_le_parts`] copy path, which converts).
+    ///
+    /// Lane lengths are dictated by `layout`: ctrl is
+    /// `capacity + GROUP_SLOTS` bytes, entries `capacity` 16-byte records,
+    /// pool `distinct × words_for(n_taxa)` words.
+    ///
+    /// # Safety
+    /// The three pointers must stay valid and unwritten for the guard's
+    /// whole lifetime, and each must cover its full layout-derived length.
+    ///
+    /// # Errors
+    /// Misaligned pointers and layouts the probe loops could not walk
+    /// safely (bad lane lengths, non-power-of-two capacity, out-of-range
+    /// pool ranks, a broken mirror group) are rejected, so a corrupt or
+    /// adversarial snapshot cannot cause out-of-bounds reads.
+    #[cfg(target_endian = "little")]
+    pub unsafe fn from_mapped_le(
+        layout: FrozenLayout,
+        ctrl: *const u8,
+        entries: *const u8,
+        pool: *const u8,
+        guard: Arc<dyn MapGuard>,
+    ) -> Result<FrozenBfh, String> {
+        if entries.align_offset(std::mem::align_of::<Entry>()) != 0 {
+            return Err("entry lane pointer is misaligned".into());
+        }
+        if pool.align_offset(std::mem::align_of::<u64>()) != 0 {
+            return Err("pool lane pointer is misaligned".into());
+        }
+        let words = words_for(layout.n_taxa);
+        let frozen = FrozenBfh {
+            n_taxa: layout.n_taxa,
+            words,
+            n_trees: layout.n_trees,
+            sum: layout.sum,
+            distinct: layout.distinct,
+            mask: layout.capacity.wrapping_sub(1),
+            ctrl: Lane::Mapped {
+                ptr: ctrl,
+                len: layout.capacity + GROUP_SLOTS,
+                _guard: Arc::clone(&guard),
+            },
+            entries: Lane::Mapped {
+                ptr: entries as *const Entry,
+                len: layout.capacity,
+                _guard: Arc::clone(&guard),
+            },
+            pool: Lane::Mapped {
+                ptr: pool as *const u64,
+                len: layout.distinct * words,
+                _guard: guard,
+            },
+        };
+        frozen.validate_layout()?;
+        Ok(frozen)
+    }
+
+    /// Whether this table borrows a memory mapping (vs owning its lanes).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.ctrl, Lane::Mapped { .. })
+    }
+
+    /// Every invariant the probe loops rely on for memory safety. An
+    /// `O(capacity)` pass over ctrl + entries — deliberately *not* over
+    /// the pool, which is the lane whose lazy paging makes the mmap open
+    /// fast; probe reads into it are covered by the rank bound checked
+    /// here.
+    fn validate_layout(&self) -> Result<(), String> {
+        let capacity = self.mask.wrapping_add(1);
+        if !capacity.is_power_of_two() || capacity < GROUP_SLOTS {
+            return Err(format!(
+                "capacity {capacity} is not a power of two ≥ {GROUP_SLOTS}"
+            ));
+        }
+        if capacity < 2 * self.distinct {
+            // Also guarantees an empty slot exists, which is what
+            // terminates an absent-key probe.
+            return Err(format!(
+                "capacity {capacity} under-provisioned for {} distinct splits",
+                self.distinct
+            ));
+        }
+        if self.ctrl.len() != capacity + GROUP_SLOTS {
+            return Err(format!(
+                "ctrl lane holds {} bytes, capacity {capacity} needs {}",
+                self.ctrl.len(),
+                capacity + GROUP_SLOTS
+            ));
+        }
+        if self.entries.len() != capacity {
+            return Err(format!(
+                "entry lane holds {} slots, capacity is {capacity}",
+                self.entries.len()
+            ));
+        }
+        if self.pool.len() != self.distinct * self.words {
+            return Err(format!(
+                "pool holds {} words, {} distinct × {} words need {}",
+                self.pool.len(),
+                self.distinct,
+                self.words,
+                self.distinct * self.words
+            ));
+        }
+        if self.ctrl[capacity..] != self.ctrl[..GROUP_SLOTS] {
+            return Err("ctrl mirror group does not match the first group".into());
+        }
+        let mut full = 0usize;
+        for i in 0..capacity {
+            if self.ctrl[i] != CTRL_EMPTY {
+                full += 1;
+                let rank = self.entries[i].offset as usize;
+                if rank >= self.distinct {
+                    return Err(format!(
+                        "slot {i} pool rank {rank} out of range ({} distinct)",
+                        self.distinct
+                    ));
+                }
+            }
+        }
+        if full != self.distinct {
+            return Err(format!(
+                "{full} occupied slots disagree with {} distinct splits",
+                self.distinct
+            ));
+        }
+        Ok(())
     }
 
     /// Number of taxa in the namespace.
@@ -584,6 +878,84 @@ mod tests {
             + std::mem::size_of_val(&*empty.entries)
             + std::mem::size_of_val(&*empty.pool);
         assert_eq!(empty.approx_bytes(), actual);
+    }
+
+    #[test]
+    fn serialized_lanes_reconstruct_bitwise() {
+        let spec = phylo_sim::DatasetSpec::new("lanes", 70, 20, 5);
+        let coll = phylo_sim::generate(&spec);
+        let bfh = Bfh::build(&coll.trees, &coll.taxa);
+        let frozen = bfh.freeze();
+        let entry_bytes: Vec<u8> = frozen.entry_records().flatten().collect();
+        let twin = FrozenBfh::from_le_parts(
+            frozen.layout(),
+            frozen.ctrl_lane().to_vec(),
+            &entry_bytes,
+            frozen.pool_lane().to_vec(),
+        )
+        .unwrap();
+        assert!(!twin.is_mapped());
+        assert_eq!(twin.digest(), frozen.digest());
+        let mut scratch = BipartitionScratch::new();
+        for (bits, count) in bfh.iter() {
+            assert_eq!(twin.frequency(bits), count);
+        }
+        for q in &coll.trees {
+            assert_eq!(
+                frozen.average_scratch(q, &coll.taxa, &mut scratch),
+                twin.average_scratch(q, &coll.taxa, &mut scratch),
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_lane_layouts_are_rejected_not_probed() {
+        let (_, _, frozen) = build("((A,B),((C,D),(E,F)));\n(((A,C),B),(D,(E,F)));");
+        let layout = frozen.layout();
+        let ctrl = frozen.ctrl_lane().to_vec();
+        let entry_bytes: Vec<u8> = frozen.entry_records().flatten().collect();
+        let pool = frozen.pool_lane().to_vec();
+
+        // Truncated ctrl lane.
+        let short_ctrl = ctrl[..ctrl.len() - 1].to_vec();
+        assert!(FrozenBfh::from_le_parts(layout, short_ctrl, &entry_bytes, pool.clone()).is_err());
+        // Truncated entry lane.
+        assert!(FrozenBfh::from_le_parts(
+            layout,
+            ctrl.clone(),
+            &entry_bytes[..entry_bytes.len() - 16],
+            pool.clone()
+        )
+        .is_err());
+        // Truncated pool: a stored rank now points past the end.
+        assert!(FrozenBfh::from_le_parts(
+            layout,
+            ctrl.clone(),
+            &entry_bytes,
+            pool[..pool.len() - 1].to_vec()
+        )
+        .is_err());
+        // Out-of-range pool rank in an occupied slot.
+        let mut bad_entries = entry_bytes.clone();
+        let victim = frozen
+            .ctrl_lane()
+            .iter()
+            .take(frozen.capacity())
+            .position(|&c| c != CTRL_EMPTY)
+            .expect("occupied slot");
+        bad_entries[victim * 16 + 12..victim * 16 + 16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(
+            FrozenBfh::from_le_parts(layout, ctrl.clone(), &bad_entries, pool.clone()).is_err()
+        );
+        // Broken mirror group.
+        let mut bad_ctrl = ctrl.clone();
+        let cap = frozen.capacity();
+        bad_ctrl[cap] ^= 0x55;
+        assert!(FrozenBfh::from_le_parts(layout, bad_ctrl, &entry_bytes, pool.clone()).is_err());
+        // Under-provisioned capacity claim.
+        let mut bad_layout = layout;
+        bad_layout.capacity = GROUP_SLOTS / 2;
+        assert!(FrozenBfh::from_le_parts(bad_layout, ctrl, &entry_bytes, pool).is_err());
     }
 
     #[test]

@@ -64,10 +64,10 @@
 use crate::error::IndexError;
 use crate::format::Digest;
 use crate::index::{Index, IndexStats, QueryView, SNAPSHOT_FILE, SNAPSHOT_TMP, WAL_FILE};
-use crate::snapshot::SnapshotMeta;
+use crate::snapshot::{read_taxa_with, SnapshotMeta};
 use crate::vfs::{real_vfs, Vfs, VfsFile};
-use crate::wal::{scan_wal, WalOp, WalRecord, WalTail};
-use bfhrf::{Bfh, RunBudget};
+use crate::wal::{scan_wal, WalOp, WalPayload, WalRecord, WalTail};
+use bfhrf::{Bfh, RunBudget, RunGuard};
 use phylo::{parse_newick, write_newick, TaxaPolicy, TaxonSet, Tree, TreeCollection};
 use std::collections::{BTreeMap, HashMap};
 use std::io::{Read, Write};
@@ -455,12 +455,36 @@ fn read_sidecar(vfs: &dyn Vfs, path: &Path) -> Result<(u64, usize, Vec<String>),
     Ok((generation, applied, lines.map(str::to_string).collect()))
 }
 
-fn apply_wal_to_lines(lines: &mut Vec<String>, records: &[WalRecord]) -> Result<(), IndexError> {
+/// Fold unapplied WAL records into the sidecar tree list. Newick payloads
+/// are already the canonical lines the list stores; binary payloads are
+/// rendered through the snapshot's taxon table (read lazily, header +
+/// taxa sections only, on the first binary record).
+fn apply_wal_to_lines(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    lines: &mut Vec<String>,
+    records: &[WalRecord],
+) -> Result<(), IndexError> {
+    let taxa = if records
+        .iter()
+        .any(|r| matches!(r.payload, WalPayload::Bin(_)))
+    {
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        let (_, taxa) = read_taxa_with(vfs, &snap_path, &RunGuard::default())?;
+        Some(taxa)
+    } else {
+        None
+    };
     for rec in records {
+        let line = match (&rec.payload, &taxa) {
+            (WalPayload::Newick(s), _) => s.clone(),
+            (WalPayload::Bin(_), Some(t)) => rec.to_newick(t)?,
+            (WalPayload::Bin(_), None) => unreachable!("taxa fetched when a bin record exists"),
+        };
         match rec.op {
-            WalOp::Add => lines.push(rec.newick.clone()),
+            WalOp::Add => lines.push(line),
             WalOp::Remove => {
-                let Some(at) = lines.iter().position(|l| l == &rec.newick) else {
+                let Some(at) = lines.iter().position(|l| l == &line) else {
                     return Err(IndexError::Corrupt {
                         section: "trees",
                         detail: "log removes a tree absent from the tree list".into(),
@@ -541,7 +565,7 @@ impl Collection {
                     if applied < records.len() {
                         // Fold the unapplied tail and re-commit it durably
                         // BEFORE Index::open can discard a stale log.
-                        apply_wal_to_lines(&mut lines, &records[applied..])?;
+                        apply_wal_to_lines(&*vfs, dir, &mut lines, &records[applied..])?;
                         write_sidecar(&*vfs, dir, tg, records.len(), &lines)?;
                     }
                 } else if tg > *wg {

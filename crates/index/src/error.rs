@@ -55,6 +55,14 @@ pub enum IndexError {
         /// Why the log is out of service.
         detail: String,
     },
+    /// The zero-copy frozen open path cannot serve this index right now —
+    /// the sidecar is missing, stale, or the WAL holds unreplayed records.
+    /// Not a corruption verdict: a full [`crate::Index::open`] works, and
+    /// its next compaction rewrites the sidecar.
+    FrozenUnavailable {
+        /// Why the fast path declined.
+        detail: String,
+    },
 }
 
 impl fmt::Display for IndexError {
@@ -77,6 +85,10 @@ impl fmt::Display for IndexError {
             IndexError::WalUnavailable { detail } => write!(
                 f,
                 "WAL unavailable: {detail} (reads still work; compact or reopen to recover)"
+            ),
+            IndexError::FrozenUnavailable { detail } => write!(
+                f,
+                "frozen fast-open unavailable: {detail} (fall back to a full open)"
             ),
         }
     }

@@ -7,7 +7,17 @@
 //! <dir>/snapshot.bfh       the current full snapshot (generation g)
 //! <dir>/snapshot.bfh.tmp   compaction scratch, renamed into place
 //! <dir>/wal.log            add/remove batches appended since generation g
+//! <dir>/frozen.bfh         probe-ready frozen table for generation g
+//! <dir>/frozen.bfh.tmp     sidecar scratch, renamed into place
 //! ```
+//!
+//! `frozen.bfh` is a **cache**: the probe-optimized [`bfhrf::FrozenBfh`]
+//! lanes serialized verbatim (see [`crate::frozen_file`]) so reopening
+//! skips the freeze pass and — via [`Index::open_frozen`] — can skip
+//! materializing the splits entirely by memory-mapping the lanes in
+//! place. It is rewritten after every create and compaction; any failure
+//! writing or reading it degrades to the ordinary snapshot path with a
+//! recovery note, never an error.
 //!
 //! # Crash safety
 //!
@@ -27,9 +37,12 @@
 //! only mean manual file shuffling and is reported as corruption.
 
 use crate::error::IndexError;
-use crate::snapshot::{read_snapshot_with, write_snapshot_with, Snapshot, SnapshotMeta};
+use crate::frozen_file;
+use crate::snapshot::{
+    read_snapshot_with, read_taxa_with, write_snapshot_with, Snapshot, SnapshotMeta,
+};
 use crate::vfs::{real_vfs, Vfs};
-use crate::wal::{Wal, WalOp, WalOpen, WalRecord};
+use crate::wal::{scan_wal, Wal, WalOp, WalOpen, WalPolicy, WalRecord, WalTail};
 use bfhrf::{Bfh, RunGuard};
 use phylo::{parse_newick, write_newick, TaxaPolicy, TaxonSet, Tree};
 use std::path::{Path, PathBuf};
@@ -39,7 +52,10 @@ use std::sync::Arc;
 pub const SNAPSHOT_FILE: &str = "snapshot.bfh";
 /// File name of the WAL inside an index directory.
 pub const WAL_FILE: &str = "wal.log";
+/// File name of the frozen-table sidecar cache inside an index directory.
+pub const FROZEN_FILE: &str = "frozen.bfh";
 pub(crate) const SNAPSHOT_TMP: &str = "snapshot.bfh.tmp";
+pub(crate) const FROZEN_TMP: &str = "frozen.bfh.tmp";
 
 /// Live counters describing an opened index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +103,10 @@ pub struct Index {
     /// the log or the index is reopened.
     wal: Option<Wal>,
     wal_pending: usize,
+    /// Replay policy recorded in the WAL header; compaction recreates the
+    /// log with the same policy so a leniently-built index stays lenient
+    /// across its whole life.
+    policy: WalPolicy,
     /// Recovery notes accumulated while opening (torn WAL tail truncated,
     /// stale log discarded, ...). Surfaced by the CLI and the daemon.
     notes: Vec<String>,
@@ -96,18 +116,44 @@ pub struct Index {
     frozen: Option<std::sync::Arc<bfhrf::FrozenBfh>>,
 }
 
-fn replay(bfh: &mut Bfh, taxa: &TaxonSet, records: &[WalRecord]) -> Result<(), IndexError> {
-    // The taxa namespace is frozen at snapshot time; WAL payloads must
-    // resolve against it, so replay clones the set only to satisfy the
-    // parser's `&mut` and asserts it never grew.
+/// Fold WAL records into the hash under the policy the log itself was
+/// created with. An index built leniently keeps that promise across
+/// restarts: a record whose payload no longer decodes against the frozen
+/// namespace is skipped with a note (and counted), exactly as the original
+/// ingest would have skipped the source tree. Under the strict policy the
+/// same record is fatal corruption, as before. A *remove* of a tree the
+/// hash does not hold is fatal under both policies — that is not a bad
+/// input, it is a log that disagrees with its own snapshot.
+fn replay(
+    bfh: &mut Bfh,
+    taxa: &TaxonSet,
+    records: &[WalRecord],
+    policy: WalPolicy,
+    notes: &mut Vec<String>,
+) -> Result<(), IndexError> {
+    // The namespace is frozen at snapshot time; payloads must resolve
+    // against it, so one scratch clone satisfies the parser's `&mut` for
+    // every record (`TaxaPolicy::Require` keeps it from growing).
     let mut scratch = taxa.clone();
     for (i, rec) in records.iter().enumerate() {
-        let tree = parse_newick(&rec.newick, &mut scratch, TaxaPolicy::Require).map_err(|e| {
-            IndexError::Corrupt {
-                section: "wal-record",
-                detail: format!("record {i} does not parse against the index taxa: {e}"),
+        let tree = match rec.decode_with_scratch(taxa, &mut scratch) {
+            Ok(tree) => tree,
+            Err(e) if policy == WalPolicy::Lenient && !matches!(e, IndexError::Io { .. }) => {
+                phylo_obs::global()
+                    .counter("wal_replay_skipped_total", &[])
+                    .inc();
+                notes.push(format!(
+                    "wal: skipped undecodable record {i} (lenient): {e}"
+                ));
+                continue;
             }
-        })?;
+            Err(e) => {
+                return Err(IndexError::Corrupt {
+                    section: "wal-record",
+                    detail: format!("record {i} does not decode against the index taxa: {e}"),
+                })
+            }
+        };
         match rec.op {
             WalOp::Add => bfh.add_tree(&tree, taxa),
             WalOp::Remove => bfh
@@ -136,6 +182,20 @@ impl Index {
         bfh: Bfh,
         taxa: TaxonSet,
     ) -> Result<Index, IndexError> {
+        Index::create_policy_with(vfs, dir, bfh, taxa, WalPolicy::Strict)
+    }
+
+    /// [`Index::create_with`] with an explicit WAL replay policy. An index
+    /// created [`WalPolicy::Lenient`] skips (and notes) undecodable WAL
+    /// records on replay instead of refusing to open — the persistent
+    /// counterpart of a lenient ingest.
+    pub fn create_policy_with(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        bfh: Bfh,
+        taxa: TaxonSet,
+        policy: WalPolicy,
+    ) -> Result<Index, IndexError> {
         vfs.create_dir_all(dir)
             .map_err(|e| IndexError::io(dir, e))?;
         let snap_path = dir.join(SNAPSHOT_FILE);
@@ -155,8 +215,8 @@ impl Index {
         }
         vfs.rename(&tmp, &snap_path)
             .map_err(|e| IndexError::io(&snap_path, e))?;
-        let wal = Wal::create_with(vfs.clone(), &dir.join(WAL_FILE), 0)?;
-        Ok(Index {
+        let wal = Wal::create_policy_with(vfs.clone(), &dir.join(WAL_FILE), 0, policy)?;
+        let mut index = Index {
             dir: dir.to_path_buf(),
             vfs,
             bfh,
@@ -164,9 +224,12 @@ impl Index {
             generation: 0,
             wal: Some(wal),
             wal_pending: 0,
+            policy,
             notes: Vec::new(),
             frozen: None,
-        })
+        };
+        index.write_frozen_sidecar();
+        Ok(index)
     }
 
     /// Open the index at `dir` with the permissive default guard.
@@ -210,6 +273,12 @@ impl Index {
                 "removed stale compaction scratch {SNAPSHOT_TMP} (crash before commit)"
             ));
         }
+        let frozen_tmp = dir.join(FROZEN_TMP);
+        if vfs.exists(&frozen_tmp) && vfs.remove_file(&frozen_tmp).is_ok() {
+            notes.push(format!(
+                "removed stale frozen sidecar scratch {FROZEN_TMP} (crash before commit)"
+            ));
+        }
         let Snapshot {
             mut bfh,
             taxa,
@@ -221,9 +290,11 @@ impl Index {
             match Wal::recover(vfs.clone(), &wal_path)? {
                 None => {
                     // Header torn by a crash mid log-reset: the log holds
-                    // nothing replayable; start a fresh one.
+                    // nothing replayable — not even its policy byte — so
+                    // start a fresh strict one.
                     notes.push(
-                        "wal: header torn by a crash during log reset; recreated empty log"
+                        "wal: header torn by a crash during log reset; recreated empty log \
+                         (strict policy — the torn header lost the recorded one)"
                             .to_string(),
                     );
                     (
@@ -239,7 +310,7 @@ impl Index {
                     notes.extend(wal_notes);
                     match wal.generation().cmp(&meta.generation) {
                         std::cmp::Ordering::Equal => {
-                            replay(&mut bfh, &taxa, &records)?;
+                            replay(&mut bfh, &taxa, &records, wal.policy(), &mut notes)?;
                             (wal, records.len())
                         }
                         std::cmp::Ordering::Less => {
@@ -253,9 +324,15 @@ impl Index {
                                 records.len(),
                                 meta.generation
                             ));
+                            let policy = wal.policy();
                             drop(wal);
                             (
-                                Wal::create_with(vfs.clone(), &wal_path, meta.generation)?,
+                                Wal::create_policy_with(
+                                    vfs.clone(),
+                                    &wal_path,
+                                    meta.generation,
+                                    policy,
+                                )?,
                                 0,
                             )
                         }
@@ -279,6 +356,7 @@ impl Index {
             )
         };
 
+        let policy = wal.policy();
         let mut index = Index {
             dir: dir.to_path_buf(),
             vfs,
@@ -287,9 +365,45 @@ impl Index {
             generation: meta.generation,
             wal: Some(wal),
             wal_pending,
+            policy,
             notes,
             frozen: None,
         };
+        // Prime the probe-ready table from the frozen sidecar when it is
+        // current — skipping the freeze pass (and on mapped filesystems,
+        // the lane copies). Only a sidecar at this exact generation with
+        // no pending WAL deltas can stand in for a fresh freeze; anything
+        // else degrades to freezing, with a note if the file looked wrong.
+        if wal_pending == 0 {
+            let frozen_path = index.dir.join(FROZEN_FILE);
+            if index.vfs.exists(&frozen_path) {
+                match frozen_file::open_frozen_with(&*index.vfs, &frozen_path, guard) {
+                    Ok(f) => {
+                        let l = f.meta.layout;
+                        if f.meta.generation != index.generation {
+                            index.notes.push(format!(
+                                "frozen sidecar is stale (generation {} vs {}); ignoring it",
+                                f.meta.generation, index.generation
+                            ));
+                        } else if l.n_taxa != index.bfh.n_taxa()
+                            || l.n_trees != index.bfh.n_trees()
+                            || l.sum != index.bfh.sum()
+                            || l.distinct != index.bfh.distinct()
+                        {
+                            index.notes.push(
+                                "frozen sidecar disagrees with the snapshot scalars; ignoring it"
+                                    .to_string(),
+                            );
+                        } else {
+                            index.frozen = Some(std::sync::Arc::new(f.frozen));
+                        }
+                    }
+                    Err(e) => index
+                        .notes
+                        .push(format!("frozen sidecar unreadable (cache only): {e}")),
+                }
+            }
+        }
         // Freeze eagerly: an opened index is overwhelmingly read-next, and
         // the freeze is one pass over a hash that was just built anyway.
         index.frozen();
@@ -311,6 +425,31 @@ impl Index {
     /// WAL records appended since the last compaction (no side effects).
     pub fn wal_pending(&self) -> usize {
         self.wal_pending
+    }
+
+    /// The replay policy this index's WAL was created with.
+    pub fn policy(&self) -> WalPolicy {
+        self.policy
+    }
+
+    /// Rewrite the frozen sidecar cache for the current generation
+    /// (tmp + rename). Failures are cache misses, not errors: the note
+    /// records them and the snapshot path still serves everything.
+    fn write_frozen_sidecar(&mut self) {
+        let frozen = self.frozen();
+        let tmp = self.dir.join(FROZEN_TMP);
+        let path = self.dir.join(FROZEN_FILE);
+        let result = frozen_file::write_frozen_with(&*self.vfs, &tmp, &frozen, self.generation)
+            .and_then(|()| {
+                self.vfs
+                    .rename(&tmp, &path)
+                    .map_err(|e| IndexError::io(&path, e))
+            });
+        if let Err(e) = result {
+            let _ = self.vfs.remove_file(&tmp);
+            self.notes
+                .push(format!("frozen sidecar write failed (cache only): {e}"));
+        }
     }
 
     /// The frozen probe-optimized view of the current hash, built on first
@@ -443,6 +582,45 @@ impl Index {
         self.append_remove(&tree)
     }
 
+    /// Encode `tree` as a [`phylo_wire`] record against this index's own
+    /// namespace. `tree` must already be expressed in index taxon ids
+    /// (remap before calling if it came from a foreign namespace).
+    fn encode_bin(&self, tree: &Tree) -> Result<Vec<u8>, IndexError> {
+        phylo_wire::encode_tree_vec(tree).map_err(|e| e.into_phylo().into())
+    }
+
+    /// [`Index::append_add`] logging the record in the compact binary
+    /// encoding instead of Newick. Replay treats both identically; binary
+    /// records skip the Newick round-trip on both append and replay.
+    pub fn append_add_bin(&mut self, tree: &Tree) -> Result<(), IndexError> {
+        let bytes = self.encode_bin(tree)?;
+        self.wal_mut()?.append_bin(WalOp::Add, &bytes)?;
+        self.bfh.add_tree(tree, &self.taxa);
+        self.wal_pending += 1;
+        self.frozen = None;
+        Ok(())
+    }
+
+    /// [`Index::append_remove`] logging the record in the compact binary
+    /// encoding instead of Newick. Verified-then-logged like the Newick
+    /// path: a tree the hash does not hold fails cleanly, and a refused
+    /// append rolls the in-memory removal back.
+    pub fn append_remove_bin(&mut self, tree: &Tree) -> Result<(), IndexError> {
+        self.wal_mut()?;
+        let bytes = self.encode_bin(tree)?;
+        self.bfh.remove_tree(tree, &self.taxa)?;
+        if let Err(e) = self
+            .wal_mut()
+            .and_then(|wal| wal.append_bin(WalOp::Remove, &bytes))
+        {
+            self.bfh.add_tree(tree, &self.taxa);
+            return Err(e);
+        }
+        self.wal_pending += 1;
+        self.frozen = None;
+        Ok(())
+    }
+
     /// Fold the WAL into a fresh snapshot at generation `g+1` and reset
     /// the log. Returns the new snapshot's header. See the module docs for
     /// the crash-safety sequencing.
@@ -496,11 +674,15 @@ impl Index {
         // (Re)create the log at the committed generation. On failure the
         // index stays fully readable — the snapshot holds everything —
         // but mutations are refused until a later compact succeeds here.
-        self.wal = Some(Wal::create_with(
+        self.wal = Some(Wal::create_policy_with(
             self.vfs.clone(),
             &self.dir.join(WAL_FILE),
             self.generation,
+            self.policy,
         )?);
+        // Refresh the sidecar cache for the committed generation (best
+        // effort — the old-generation sidecar would simply be ignored).
+        self.write_frozen_sidecar();
         Ok(SnapshotMeta {
             generation: self.generation,
             n_taxa: self.bfh.n_taxa(),
@@ -516,5 +698,128 @@ impl Index {
     pub fn into_parts(self) -> (Bfh, TaxonSet) {
         let taxa = std::sync::Arc::try_unwrap(self.taxa).unwrap_or_else(|a| (*a).clone());
         (self.bfh, taxa)
+    }
+
+    /// Open the index at `dir` read-only through the frozen sidecar with
+    /// the permissive default guard. See [`Index::open_frozen_with`].
+    pub fn open_frozen(dir: &Path) -> Result<FrozenOpen, IndexError> {
+        Index::open_frozen_with(real_vfs(), dir, &RunGuard::default())
+    }
+
+    /// The zero-copy read path: open the index at `dir` for querying
+    /// **without** materializing its splits. Reads only the snapshot
+    /// header and taxon table, confirms the WAL holds nothing replayable,
+    /// and serves the probe-ready table straight from the `frozen.bfh`
+    /// sidecar — memory-mapped in place where the filesystem supports it,
+    /// so cold-opening a huge index costs metadata plus page faults on
+    /// the splits actually probed.
+    ///
+    /// Declines with [`IndexError::FrozenUnavailable`] whenever the fast
+    /// path cannot prove it would serve exactly what [`Index::open`]
+    /// would: pending or torn WAL records, a missing or stale sidecar, or
+    /// a sidecar that fails validation. Callers fall back to the full
+    /// open (and its next compaction refreshes the sidecar).
+    pub fn open_frozen_with(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        guard: &RunGuard,
+    ) -> Result<FrozenOpen, IndexError> {
+        let unavailable = |detail: String| IndexError::FrozenUnavailable { detail };
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        if !vfs.exists(&snap_path) {
+            return Err(IndexError::NotAnIndex(format!(
+                "no {SNAPSHOT_FILE} in {}",
+                dir.display()
+            )));
+        }
+        let (meta, taxa) = read_taxa_with(&*vfs, &snap_path, guard)?;
+
+        // The fast path is strictly read-only: it must not truncate torn
+        // tails or recreate stale logs, so anything the read-write open
+        // would have to repair or replay is a refusal, not a repair.
+        let wal_path = dir.join(WAL_FILE);
+        if vfs.exists(&wal_path) {
+            let scan = scan_wal(&*vfs, &wal_path)?;
+            if !matches!(scan.tail, WalTail::Clean) {
+                return Err(unavailable(
+                    "the WAL has a torn tail; open the index read-write to recover it".into(),
+                ));
+            }
+            if scan.generation > meta.generation {
+                return Err(IndexError::Corrupt {
+                    section: "wal-header",
+                    detail: format!(
+                        "WAL generation {} is ahead of snapshot generation {}",
+                        scan.generation, meta.generation
+                    ),
+                });
+            }
+            if scan.generation == meta.generation && !scan.records.is_empty() {
+                return Err(unavailable(format!(
+                    "{} WAL records await replay; open read-write and compact to refresh \
+                     the frozen sidecar",
+                    scan.records.len()
+                )));
+            }
+            // generation < meta: a stale log the read-write open would
+            // discard — its records are already folded into the snapshot.
+        }
+
+        let frozen_path = dir.join(FROZEN_FILE);
+        if !vfs.exists(&frozen_path) {
+            return Err(unavailable(format!(
+                "no {FROZEN_FILE} sidecar (compact the index once to write it)"
+            )));
+        }
+        let opened = frozen_file::open_frozen_with(&*vfs, &frozen_path, guard)
+            .map_err(|e| unavailable(format!("sidecar rejected: {e}")))?;
+        if opened.meta.generation != meta.generation {
+            return Err(unavailable(format!(
+                "sidecar is stale (generation {} vs snapshot {})",
+                opened.meta.generation, meta.generation
+            )));
+        }
+        let l = opened.meta.layout;
+        if l.n_taxa != meta.n_taxa
+            || l.n_trees != meta.n_trees
+            || l.sum != meta.sum
+            || l.distinct != meta.distinct
+        {
+            return Err(unavailable(
+                "sidecar layout disagrees with the snapshot header".into(),
+            ));
+        }
+        Ok(FrozenOpen {
+            frozen: std::sync::Arc::new(opened.frozen),
+            taxa: std::sync::Arc::new(taxa),
+            meta,
+            mapped: opened.mapped,
+        })
+    }
+}
+
+/// A read-only index opened through the frozen sidecar — everything a
+/// query path needs, without a [`Bfh`] ever being materialized.
+#[derive(Debug)]
+pub struct FrozenOpen {
+    /// The probe-ready table (possibly borrowing a live memory mapping).
+    pub frozen: std::sync::Arc<bfhrf::FrozenBfh>,
+    /// The frozen taxon namespace.
+    pub taxa: std::sync::Arc<TaxonSet>,
+    /// The snapshot header the sidecar was validated against.
+    pub meta: SnapshotMeta,
+    /// Whether the table lanes are memory-mapped (zero-copy) rather than
+    /// owned copies.
+    pub mapped: bool,
+}
+
+impl FrozenOpen {
+    /// An immutable [`QueryView`] over this read-only open.
+    pub fn view(&self) -> QueryView {
+        QueryView {
+            frozen: self.frozen.clone(),
+            taxa: self.taxa.clone(),
+            generation: self.meta.generation,
+        }
     }
 }

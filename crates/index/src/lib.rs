@@ -24,6 +24,7 @@
 pub mod catalog;
 pub mod error;
 pub mod format;
+pub mod frozen_file;
 pub mod index;
 pub mod snapshot;
 pub mod vfs;
@@ -35,15 +36,21 @@ pub use catalog::{
     MANIFEST_FILE, MANIFEST_MAGIC, MANIFEST_VERSION, TREES_FILE,
 };
 pub use error::IndexError;
-pub use index::{Index, IndexStats, QueryView, SNAPSHOT_FILE, WAL_FILE};
+pub use frozen_file::{
+    open_frozen_with as open_frozen_file_with, read_frozen_meta, read_frozen_meta_with,
+    verify_frozen_with, write_frozen_with, FrozenMeta, FrozenOpenFile, FrozenSection, FROZEN_MAGIC,
+    FROZEN_VERSION,
+};
+pub use index::{FrozenOpen, Index, IndexStats, QueryView, FROZEN_FILE, SNAPSHOT_FILE, WAL_FILE};
 pub use snapshot::{
-    read_meta, read_meta_with, read_snapshot, read_snapshot_with, write_snapshot,
+    read_meta, read_meta_with, read_snapshot, read_snapshot_with, read_taxa_with, write_snapshot,
     write_snapshot_with, Snapshot, SnapshotMeta, FORMAT_VERSION, SNAPSHOT_MAGIC,
 };
 pub use vfs::{
-    real_vfs, seeded_schedule, Fault, FaultKind, FaultSite, FaultVfs, JournalOp, MemVfs, RealVfs,
-    Vfs, VfsFile,
+    real_vfs, seeded_schedule, Fault, FaultKind, FaultSite, FaultVfs, JournalOp, Mapping, MemVfs,
+    RealVfs, Vfs, VfsFile,
 };
 pub use wal::{
-    read_wal, scan_wal, Wal, WalOp, WalOpen, WalRecord, WalScan, WalTail, WAL_MAGIC, WAL_VERSION,
+    read_wal, scan_wal, Wal, WalOp, WalOpen, WalPayload, WalPolicy, WalRecord, WalScan, WalTail,
+    WAL_MAGIC, WAL_VERSION,
 };

@@ -219,27 +219,13 @@ pub fn read_meta_with(vfs: &dyn Vfs, path: &Path) -> Result<SnapshotMeta, IndexE
     read_header(&mut r)
 }
 
-/// Load and fully validate the snapshot at `path`.
-///
-/// The returned [`Bfh`] is bitwise-identical to the hash that was written:
-/// same taxa, same shard routing, same frequencies, same `sum`. `guard`
-/// bounds the load — allocations are pre-checked against the budget and
-/// cancellation is honoured between record batches.
-pub fn read_snapshot(path: &Path, guard: &RunGuard) -> Result<Snapshot, IndexError> {
-    read_snapshot_with(&RealVfs, path, guard)
-}
-
-/// [`read_snapshot`] routed through an explicit [`Vfs`].
-pub fn read_snapshot_with(
-    vfs: &dyn Vfs,
-    path: &Path,
+/// Read and checksum-verify the taxon table section, leaving the reader
+/// positioned at the start of the splits section.
+fn read_taxa_section<R: std::io::Read>(
+    r: &mut CheckedReader<R>,
+    meta: &SnapshotMeta,
     guard: &RunGuard,
-) -> Result<Snapshot, IndexError> {
-    let file = vfs.open_read(path).map_err(|e| IndexError::io(path, e))?;
-    let mut r = CheckedReader::new(BufReader::new(file), path);
-    let meta = read_header(&mut r)?;
-
-    // Taxon table.
+) -> Result<TaxonSet, IndexError> {
     guard.check_alloc("snapshot taxon table", meta.n_taxa * 16)?;
     let mut taxa = TaxonSet::new();
     let mut label_buf = Vec::new();
@@ -266,6 +252,46 @@ pub fn read_snapshot_with(
         }
     }
     r.verify_section("taxa")?;
+    Ok(taxa)
+}
+
+/// Read the header and taxon table of the snapshot at `path` without
+/// touching the splits section. This is the cheap namespace fetch the
+/// frozen-sidecar open path and the catalog's WAL pre-scan use: both
+/// sections it does read are checksum-verified, the (potentially huge)
+/// splits payload is never paged.
+pub fn read_taxa_with(
+    vfs: &dyn Vfs,
+    path: &Path,
+    guard: &RunGuard,
+) -> Result<(SnapshotMeta, TaxonSet), IndexError> {
+    let file = vfs.open_read(path).map_err(|e| IndexError::io(path, e))?;
+    let mut r = CheckedReader::new(BufReader::new(file), path);
+    let meta = read_header(&mut r)?;
+    let taxa = read_taxa_section(&mut r, &meta, guard)?;
+    Ok((meta, taxa))
+}
+
+/// Load and fully validate the snapshot at `path`.
+///
+/// The returned [`Bfh`] is bitwise-identical to the hash that was written:
+/// same taxa, same shard routing, same frequencies, same `sum`. `guard`
+/// bounds the load — allocations are pre-checked against the budget and
+/// cancellation is honoured between record batches.
+pub fn read_snapshot(path: &Path, guard: &RunGuard) -> Result<Snapshot, IndexError> {
+    read_snapshot_with(&RealVfs, path, guard)
+}
+
+/// [`read_snapshot`] routed through an explicit [`Vfs`].
+pub fn read_snapshot_with(
+    vfs: &dyn Vfs,
+    path: &Path,
+    guard: &RunGuard,
+) -> Result<Snapshot, IndexError> {
+    let file = vfs.open_read(path).map_err(|e| IndexError::io(path, e))?;
+    let mut r = CheckedReader::new(BufReader::new(file), path);
+    let meta = read_header(&mut r)?;
+    let taxa = read_taxa_section(&mut r, &meta, guard)?;
 
     // Splits.
     let words = words_for(meta.n_taxa);

@@ -30,6 +30,91 @@ pub trait VfsFile: Write + Send {
     fn sync_all(&mut self) -> io::Result<()>;
 }
 
+/// A read-only memory mapping of a whole file, unmapped on drop.
+///
+/// Produced by [`Vfs::mmap_read`] on filesystems that support it. The
+/// region stays valid for the mapping's whole lifetime; it also implements
+/// [`bfhrf::MapGuard`] so a zero-copy [`bfhrf::FrozenBfh`] can keep it
+/// alive from inside an `Arc`.
+pub struct Mapping {
+    ptr: *const u8,
+    len: usize,
+}
+
+// The mapping is read-only and owns its region exclusively until drop.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        // Safety: `ptr` covers `len` readable bytes until `munmap` in drop.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Base address of the mapping (page-aligned).
+    pub fn as_ptr(&self) -> *const u8 {
+        self.ptr
+    }
+
+    /// Mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty (it never is; kept for clippy parity).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Mapping({} bytes)", self.len)
+    }
+}
+
+impl bfhrf::MapGuard for Mapping {}
+
+#[cfg(unix)]
+mod mmap_sys {
+    //! Hand-declared libc entry points for read-only file mappings — the
+    //! only two symbols needed, so no libc crate dependency.
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 0x1;
+    pub const MAP_PRIVATE: i32 = 0x2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if self.len > 0 {
+            // Safety: ptr/len came from a successful mmap and are unmapped
+            // exactly once.
+            unsafe {
+                mmap_sys::munmap(self.ptr as *mut std::ffi::c_void, self.len);
+            }
+        }
+    }
+}
+
 /// The filesystem operations the index layer is allowed to perform.
 pub trait Vfs: Send + Sync {
     /// Create (or truncate) the file at `path` for writing.
@@ -48,6 +133,15 @@ pub trait Vfs: Send + Sync {
     fn exists(&self, path: &Path) -> bool;
     /// Create `path` and all missing parents as directories.
     fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Map the whole file at `path` read-only, if this filesystem can.
+    ///
+    /// `Ok(None)` means "no mapping available here" (in-memory
+    /// filesystems, empty files, non-unix hosts) and callers must fall
+    /// back to [`Vfs::open_read`]; it is never an error path.
+    fn mmap_read(&self, path: &Path) -> io::Result<Option<Mapping>> {
+        let _ = path;
+        Ok(None)
+    }
 }
 
 /// The production [`Vfs`]: every operation maps 1:1 onto `std::fs`.
@@ -100,6 +194,37 @@ impl Vfs for RealVfs {
 
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
         std::fs::create_dir_all(path)
+    }
+
+    #[cfg(unix)]
+    fn mmap_read(&self, path: &Path) -> io::Result<Option<Mapping>> {
+        use std::os::unix::io::AsRawFd;
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Ok(None);
+        }
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::other("file too large to map on this host"))?;
+        // Safety: a fresh private read-only mapping of a descriptor we own;
+        // the fd may close immediately after (the mapping keeps the pages).
+        let ptr = unsafe {
+            mmap_sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                mmap_sys::PROT_READ,
+                mmap_sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == mmap_sys::map_failed() || ptr.is_null() {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Some(Mapping {
+            ptr: ptr as *const u8,
+            len,
+        }))
     }
 }
 
@@ -638,6 +763,12 @@ impl Vfs for FaultVfs {
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
         self.inner.create_dir_all(path)
     }
+
+    fn mmap_read(&self, path: &Path) -> io::Result<Option<Mapping>> {
+        // Mappings are read-side; faults target the write path, so they
+        // pass through to whatever the inner filesystem can do.
+        self.inner.mmap_read(path)
+    }
 }
 
 #[cfg(test)]
@@ -716,6 +847,36 @@ mod tests {
         assert!(!mem.exists(Path::new("dst")));
         vfs.rename(Path::new("tmp"), Path::new("dst")).unwrap();
         assert_eq!(mem.read_bytes(Path::new("dst")).unwrap(), b"data");
+    }
+
+    #[test]
+    fn real_vfs_maps_files_and_mem_vfs_declines() {
+        let mem = MemVfs::new();
+        mem.write_bytes(Path::new("x"), b"abc".to_vec());
+        assert!(mem.mmap_read(Path::new("x")).unwrap().is_none());
+
+        let dir = std::env::temp_dir().join(format!("bfhrf-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.bin");
+        std::fs::write(&path, b"hello mapping").unwrap();
+        let map = RealVfs.mmap_read(&path).unwrap();
+        #[cfg(unix)]
+        {
+            let map = map.expect("unix maps real files");
+            assert_eq!(map.as_slice(), b"hello mapping");
+            assert_eq!(map.len(), 13);
+            assert!(!map.is_empty());
+            // Faults pass mappings through to the inner filesystem.
+            let faulted = FaultVfs::new(Arc::new(RealVfs));
+            assert!(faulted.mmap_read(&path).unwrap().is_some());
+        }
+        #[cfg(not(unix))]
+        assert!(map.is_none());
+
+        // Empty files never map: callers must take the read path.
+        let empty = dir.join("empty.bin");
+        std::fs::write(&empty, b"").unwrap();
+        assert!(RealVfs.mmap_read(&empty).unwrap().is_none());
     }
 
     #[test]

@@ -1,17 +1,29 @@
 //! Append-only write-ahead log of add/remove tree batches.
 //!
-//! # Layout (version 1, all integers little-endian)
+//! # Layout (all integers little-endian)
 //!
 //! ```text
 //! magic    8  bytes  "BFHWAL\0\0"         (not covered by any checksum)
 //! version  u16                            (not covered by any checksum)
 //! -- header section ------------------------------------------------
 //! generation u64
-//! FNV-1a 64 checksum
+//! policy   u8  (version 2 only: 0=strict, 1=lenient ingest)
+//! FNV-1a 64 checksum of the fields above
 //! -- records, appended over time -----------------------------------
-//! each: { op u8 (1=add, 2=remove) | payload_len u32 | payload (Newick,
-//!         UTF-8) | FNV-1a 64 checksum of op+len+payload }
+//! each: { op u8 | payload_len u32 | payload | FNV-1a 64 checksum of
+//!         op+len+payload }
 //! ```
+//!
+//! Op bytes 1 (add) and 2 (remove) carry UTF-8 Newick payloads; ops 3
+//! (add) and 4 (remove) carry [`phylo_wire`] binary tree records whose
+//! taxon ids are relative to the index's own namespace. The two encodings
+//! mix freely in one log — every record is self-describing.
+//!
+//! A **strict**-built index writes version-1 headers, byte-identical to
+//! what earlier builds produced; only a leniently built index opts into
+//! the version-2 header so replay knows to skip (rather than die on)
+//! records that no longer resolve. Version-1 files read as
+//! [`WalPolicy::Strict`].
 //!
 //! The `generation` ties a WAL to the snapshot it amends. Compaction
 //! writes a new snapshot at generation *g+1* and then resets the WAL to
@@ -39,24 +51,31 @@
 use crate::error::IndexError;
 use crate::format::Digest;
 use crate::vfs::{real_vfs, Vfs, VfsFile};
+use phylo::{parse_newick, write_newick, TaxaPolicy, TaxonSet, Tree};
 use std::io::{BufReader, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Magic bytes opening every WAL file.
 pub const WAL_MAGIC: &[u8; 8] = b"BFHWAL\0\0";
-/// WAL format version this build reads and writes.
-pub const WAL_VERSION: u16 = 1;
+/// Highest WAL format version this build reads. Strict logs are written
+/// as version 1 (byte-identical to earlier builds); lenient logs as
+/// version 2.
+pub const WAL_VERSION: u16 = 2;
 
-/// Bytes of magic + version + generation + header checksum.
+/// Bytes of magic + version + generation + header checksum (version 1).
 const HEADER_LEN: u64 = 8 + 2 + 8 + 8;
+/// Version-2 header: one extra policy byte.
+const HEADER_LEN_V2: u64 = HEADER_LEN + 1;
 
-/// Largest Newick payload a record may carry (64 MiB) — bounds what a
-/// corrupt length field can make the reader allocate.
+/// Largest payload a record may carry (64 MiB) — bounds what a corrupt
+/// length field can make the reader allocate.
 const MAX_PAYLOAD: usize = 64 << 20;
 
 const OP_ADD: u8 = 1;
 const OP_REMOVE: u8 = 2;
+const OP_ADD_BIN: u8 = 3;
+const OP_REMOVE_BIN: u8 = 4;
 
 /// What a WAL record does to the index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,13 +86,125 @@ pub enum WalOp {
     Remove,
 }
 
-/// One replayable record: an operation plus its Newick payload.
+/// The ingest policy recorded in a WAL header: how replay treats records
+/// that no longer decode against the index namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WalPolicy {
+    /// Any undecodable record is fatal corruption (the version-1 default).
+    #[default]
+    Strict,
+    /// Undecodable records are skipped with a recovery note, mirroring the
+    /// lenient ingest the index was built with.
+    Lenient,
+}
+
+impl WalPolicy {
+    fn to_byte(self) -> u8 {
+        match self {
+            WalPolicy::Strict => 0,
+            WalPolicy::Lenient => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<WalPolicy> {
+        match b {
+            0 => Some(WalPolicy::Strict),
+            1 => Some(WalPolicy::Lenient),
+            _ => None,
+        }
+    }
+
+    /// Stable label for notes and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            WalPolicy::Strict => "strict",
+            WalPolicy::Lenient => "lenient",
+        }
+    }
+}
+
+/// A record's tree payload in whichever encoding it was appended with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalPayload {
+    /// UTF-8 Newick text (ops 1/2).
+    Newick(String),
+    /// A [`phylo_wire`] binary tree record whose taxon ids are relative to
+    /// the index's own namespace (ops 3/4).
+    Bin(Vec<u8>),
+}
+
+impl WalPayload {
+    /// Stable encoding label ("newick" / "bin") for notes and metrics.
+    pub fn encoding(&self) -> &'static str {
+        match self {
+            WalPayload::Newick(_) => "newick",
+            WalPayload::Bin(_) => "bin",
+        }
+    }
+}
+
+/// One replayable record: an operation plus its tree payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WalRecord {
     /// Add or remove.
     pub op: WalOp,
-    /// The tree, serialized as Newick.
-    pub newick: String,
+    /// The tree, as Newick text or a binary wire record.
+    pub payload: WalPayload,
+}
+
+impl WalRecord {
+    /// A Newick-encoded record (the classic form).
+    pub fn newick(op: WalOp, newick: impl Into<String>) -> WalRecord {
+        WalRecord {
+            op,
+            payload: WalPayload::Newick(newick.into()),
+        }
+    }
+
+    /// A binary-encoded record.
+    pub fn bin(op: WalOp, bytes: Vec<u8>) -> WalRecord {
+        WalRecord {
+            op,
+            payload: WalPayload::Bin(bytes),
+        }
+    }
+
+    /// Decode the payload into a [`Tree`] against the frozen index
+    /// namespace. Newick payloads must resolve every label
+    /// ([`TaxaPolicy::Require`]); binary payloads must stay in id range.
+    pub fn decode(&self, taxa: &TaxonSet) -> Result<Tree, IndexError> {
+        let mut scratch = taxa.clone();
+        self.decode_with_scratch(taxa, &mut scratch)
+    }
+
+    /// [`WalRecord::decode`] with a caller-owned scratch clone of `taxa`,
+    /// so replay loops clone the namespace once instead of per record.
+    /// `scratch` must start as a clone of `taxa`; `TaxaPolicy::Require`
+    /// guarantees it never grows.
+    pub fn decode_with_scratch(
+        &self,
+        taxa: &TaxonSet,
+        scratch: &mut TaxonSet,
+    ) -> Result<Tree, IndexError> {
+        match &self.payload {
+            WalPayload::Newick(s) => Ok(parse_newick(s, scratch, TaxaPolicy::Require)?),
+            WalPayload::Bin(bytes) => {
+                phylo_wire::decode_tree_exact(bytes, taxa.len()).map_err(|e| IndexError::Corrupt {
+                    section: "wal-record",
+                    detail: format!("binary payload does not decode: {e}"),
+                })
+            }
+        }
+    }
+
+    /// The payload as canonical Newick text, decoding binary records
+    /// through the index namespace.
+    pub fn to_newick(&self, taxa: &TaxonSet) -> Result<String, IndexError> {
+        match &self.payload {
+            WalPayload::Newick(s) => Ok(s.clone()),
+            WalPayload::Bin(_) => Ok(write_newick(&self.decode(taxa)?, taxa)),
+        }
+    }
 }
 
 /// How the byte stream of a WAL ends.
@@ -104,6 +235,8 @@ pub enum WalTail {
 pub struct WalScan {
     /// Generation from the header (0 when the header itself is torn).
     pub generation: u64,
+    /// Replay policy from the header (version 1 headers read as strict).
+    pub policy: WalPolicy,
     /// Every fully-validated record, in append order.
     pub records: Vec<WalRecord>,
     /// Offset one past the last valid byte (header or record end).
@@ -129,6 +262,7 @@ pub struct Wal {
     path: PathBuf,
     file: Box<dyn VfsFile>,
     generation: u64,
+    policy: WalPolicy,
     /// Bytes known durable and valid: the header plus every record whose
     /// append fsync was acknowledged. A failed append rolls the file back
     /// to this offset so a half-written record never poisons the log.
@@ -149,16 +283,41 @@ impl Wal {
         Wal::create_with(real_vfs(), path, generation)
     }
 
-    /// [`Wal::create`] routed through an explicit [`Vfs`].
+    /// [`Wal::create`] routed through an explicit [`Vfs`] (strict policy,
+    /// version-1 bytes).
     pub fn create_with(vfs: Arc<dyn Vfs>, path: &Path, generation: u64) -> Result<Wal, IndexError> {
+        Wal::create_policy_with(vfs, path, generation, WalPolicy::Strict)
+    }
+
+    /// [`Wal::create`] with an explicit replay policy. Strict logs keep
+    /// the version-1 header byte-for-byte; lenient logs record the policy
+    /// in a version-2 header so replay honours it after a reopen.
+    pub fn create_policy_with(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+        generation: u64,
+        policy: WalPolicy,
+    ) -> Result<Wal, IndexError> {
         let mut file = vfs.create(path).map_err(|e| IndexError::io(path, e))?;
-        let mut header = Vec::with_capacity(HEADER_LEN as usize);
+        let version: u16 = match policy {
+            WalPolicy::Strict => 1,
+            WalPolicy::Lenient => 2,
+        };
+        let header_len = match policy {
+            WalPolicy::Strict => HEADER_LEN,
+            WalPolicy::Lenient => HEADER_LEN_V2,
+        };
+        let mut header = Vec::with_capacity(header_len as usize);
         header.extend_from_slice(WAL_MAGIC);
-        header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        header.extend_from_slice(&version.to_le_bytes());
         let gen_bytes = generation.to_le_bytes();
         header.extend_from_slice(&gen_bytes);
         let mut d = Digest::new();
         d.update(&gen_bytes);
+        if policy == WalPolicy::Lenient {
+            header.push(policy.to_byte());
+            d.update(&[policy.to_byte()]);
+        }
         header.extend_from_slice(&d.value().to_le_bytes());
         file.write_all(&header)
             .map_err(|e| IndexError::io(path, e))?;
@@ -169,7 +328,8 @@ impl Wal {
             path: path.to_path_buf(),
             file,
             generation,
-            synced_len: HEADER_LEN,
+            policy,
+            synced_len: header_len,
         })
     }
 
@@ -189,6 +349,7 @@ impl Wal {
                 path: path.to_path_buf(),
                 file,
                 generation: scan.generation,
+                policy: scan.policy,
                 synced_len: scan.valid_len,
             },
             scan.records,
@@ -236,6 +397,7 @@ impl Wal {
                 path: path.to_path_buf(),
                 file,
                 generation: scan.generation,
+                policy: scan.policy,
                 synced_len: scan.valid_len,
             },
             records: scan.records,
@@ -248,6 +410,11 @@ impl Wal {
         self.generation
     }
 
+    /// The replay policy recorded in this log's header.
+    pub fn policy(&self) -> WalPolicy {
+        self.policy
+    }
+
     /// Append one record and fsync it.
     ///
     /// On failure the file is rolled back to the last acknowledged record
@@ -255,7 +422,25 @@ impl Wal {
     /// if even the rollback fails, the error reports the log as
     /// unavailable and the caller must reopen.
     pub fn append(&mut self, op: WalOp, newick: &str) -> Result<(), IndexError> {
-        let payload = newick.as_bytes();
+        let op_byte = match op {
+            WalOp::Add => OP_ADD,
+            WalOp::Remove => OP_REMOVE,
+        };
+        self.append_raw(op, op_byte, newick.as_bytes())
+    }
+
+    /// Append one binary-encoded record ([`phylo_wire`] tree bytes in the
+    /// index's own namespace) and fsync it. Same rollback contract as
+    /// [`Wal::append`].
+    pub fn append_bin(&mut self, op: WalOp, bytes: &[u8]) -> Result<(), IndexError> {
+        let op_byte = match op {
+            WalOp::Add => OP_ADD_BIN,
+            WalOp::Remove => OP_REMOVE_BIN,
+        };
+        self.append_raw(op, op_byte, bytes)
+    }
+
+    fn append_raw(&mut self, op: WalOp, op_byte: u8, payload: &[u8]) -> Result<(), IndexError> {
         if payload.len() > MAX_PAYLOAD {
             return Err(IndexError::Corrupt {
                 section: "wal-record",
@@ -265,10 +450,6 @@ impl Wal {
                 ),
             });
         }
-        let op_byte = match op {
-            WalOp::Add => OP_ADD,
-            WalOp::Remove => OP_REMOVE,
-        };
         let mut rec = Vec::with_capacity(1 + 4 + payload.len() + 8);
         rec.push(op_byte);
         rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -357,6 +538,7 @@ pub fn scan_wal(vfs: &dyn Vfs, path: &Path) -> Result<WalScan, IndexError> {
 
     let torn_header = |offset| WalScan {
         generation: 0,
+        policy: WalPolicy::Strict,
         records: Vec::new(),
         valid_len: 0,
         tail: WalTail::TornHeader { len: offset },
@@ -387,14 +569,32 @@ pub fn scan_wal(vfs: &dyn Vfs, path: &Path) -> Result<WalScan, IndexError> {
     if !read_fully(&mut r, &mut gen_bytes, &mut offset).map_err(io_err)? {
         return Ok(torn_header(offset));
     }
+    let mut d = Digest::new();
+    d.update(&gen_bytes);
+    let policy = if version >= 2 {
+        let mut pol = [0u8; 1];
+        if !read_fully(&mut r, &mut pol, &mut offset).map_err(io_err)? {
+            return Ok(torn_header(offset));
+        }
+        d.update(&pol);
+        match WalPolicy::from_byte(pol[0]) {
+            Some(p) => p,
+            None => {
+                return Err(IndexError::Corrupt {
+                    section: "wal-header",
+                    detail: format!("unknown replay policy byte {}", pol[0]),
+                })
+            }
+        }
+    } else {
+        WalPolicy::Strict
+    };
     let mut sum = [0u8; 8];
     if !read_fully(&mut r, &mut sum, &mut offset).map_err(io_err)? {
         return Ok(torn_header(offset));
     }
-    let mut d = Digest::new();
-    d.update(&gen_bytes);
     if d.value() != u64::from_le_bytes(sum) {
-        // All 26 header bytes are present, so this is a flipped byte, not
+        // All header bytes are present, so this is a flipped byte, not
         // a tear.
         return Err(IndexError::Corrupt {
             section: "wal-header",
@@ -412,6 +612,7 @@ pub fn scan_wal(vfs: &dyn Vfs, path: &Path) -> Result<WalScan, IndexError> {
             // read is all-or-nothing, so EOF here is exactly boundary EOF).
             return Ok(WalScan {
                 generation,
+                policy,
                 records,
                 valid_len,
                 tail: WalTail::Clean,
@@ -419,6 +620,7 @@ pub fn scan_wal(vfs: &dyn Vfs, path: &Path) -> Result<WalScan, IndexError> {
         }
         let torn = |offset: u64, records: Vec<WalRecord>| WalScan {
             generation,
+            policy,
             records,
             valid_len,
             tail: WalTail::TornRecord {
@@ -426,9 +628,11 @@ pub fn scan_wal(vfs: &dyn Vfs, path: &Path) -> Result<WalScan, IndexError> {
                 lost: offset - valid_len,
             },
         };
-        let op = match op_byte[0] {
-            OP_ADD => WalOp::Add,
-            OP_REMOVE => WalOp::Remove,
+        let (op, binary) = match op_byte[0] {
+            OP_ADD => (WalOp::Add, false),
+            OP_REMOVE => (WalOp::Remove, false),
+            OP_ADD_BIN => (WalOp::Add, true),
+            OP_REMOVE_BIN => (WalOp::Remove, true),
             other => {
                 return Err(IndexError::Corrupt {
                     section: "wal-record",
@@ -472,11 +676,16 @@ pub fn scan_wal(vfs: &dyn Vfs, path: &Path) -> Result<WalScan, IndexError> {
                 Ok(torn(offset, records))
             };
         }
-        let newick = String::from_utf8(payload).map_err(|_| IndexError::Corrupt {
-            section: "wal-record",
-            detail: format!("record {} payload is not valid UTF-8", records.len()),
-        })?;
-        records.push(WalRecord { op, newick });
+        let record = if binary {
+            WalRecord::bin(op, payload)
+        } else {
+            let newick = String::from_utf8(payload).map_err(|_| IndexError::Corrupt {
+                section: "wal-record",
+                detail: format!("record {} payload is not valid UTF-8", records.len()),
+            })?;
+            WalRecord::newick(op, newick)
+        };
+        records.push(record);
         valid_len = offset;
     }
 }
@@ -516,14 +725,8 @@ mod tests {
         assert_eq!(
             records,
             vec![
-                WalRecord {
-                    op: WalOp::Add,
-                    newick: "((A,B),C);".into()
-                },
-                WalRecord {
-                    op: WalOp::Remove,
-                    newick: "((A,C),B);".into()
-                },
+                WalRecord::newick(WalOp::Add, "((A,B),C);"),
+                WalRecord::newick(WalOp::Remove, "((A,C),B);"),
             ]
         );
         // Reopen-for-append preserves existing records.
@@ -615,7 +818,7 @@ mod tests {
         drop(opened.wal);
         let (_, records) = read_wal(&path).unwrap();
         assert_eq!(records.len(), 2);
-        assert_eq!(records[1].newick, "(A,(B,C));");
+        assert_eq!(records[1], WalRecord::newick(WalOp::Add, "(A,(B,C));"));
     }
 
     #[test]
@@ -670,6 +873,74 @@ mod tests {
             read_wal(&path).unwrap_err(),
             IndexError::Version { found: 0xEEEE, .. }
         ));
+    }
+
+    #[test]
+    fn strict_logs_keep_version_1_bytes_and_lenient_logs_record_policy() {
+        let path = tmp("policy-v1");
+        Wal::create(&path, 5).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len() as u64, HEADER_LEN, "strict header is 26 bytes");
+        assert_eq!(u16::from_le_bytes([bytes[8], bytes[9]]), 1);
+        let scan = scan_wal(&RealVfs, &path).unwrap();
+        assert_eq!(scan.policy, WalPolicy::Strict);
+
+        let path = tmp("policy-v2");
+        let wal = Wal::create_policy_with(real_vfs(), &path, 5, WalPolicy::Lenient).unwrap();
+        assert_eq!(wal.policy(), WalPolicy::Lenient);
+        drop(wal);
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len() as u64, HEADER_LEN_V2);
+        assert_eq!(u16::from_le_bytes([bytes[8], bytes[9]]), 2);
+        let scan = scan_wal(&RealVfs, &path).unwrap();
+        assert_eq!(scan.policy, WalPolicy::Lenient);
+        let (wal, _) = Wal::open(&path).unwrap();
+        assert_eq!(wal.policy(), WalPolicy::Lenient, "policy survives reopen");
+
+        // A flipped policy byte is typed corruption, not a panic.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[18] = 7;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = scan_wal(&RealVfs, &path).unwrap_err();
+        assert!(err.is_corruption(), "{err}");
+    }
+
+    #[test]
+    fn binary_records_round_trip_and_mix_with_newick() {
+        let mut taxa = phylo::TaxonSet::new();
+        let tree =
+            phylo::parse_newick("((A,B),(C,D));", &mut taxa, phylo::TaxaPolicy::Grow).unwrap();
+        let bin = phylo_wire::encode_tree_vec(&tree).unwrap();
+
+        let path = tmp("bin-mix");
+        let mut wal = Wal::create(&path, 0).unwrap();
+        wal.append(WalOp::Add, "((A,B),(C,D));").unwrap();
+        wal.append_bin(WalOp::Add, &bin).unwrap();
+        wal.append_bin(WalOp::Remove, &bin).unwrap();
+        drop(wal);
+
+        let (_, records) = read_wal(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].payload.encoding(), "newick");
+        assert_eq!(records[1], WalRecord::bin(WalOp::Add, bin.clone()));
+        assert_eq!(records[2].op, WalOp::Remove);
+
+        // Both encodings decode to the same tree against the namespace.
+        let from_text = records[0].decode(&taxa).unwrap();
+        let from_bin = records[1].decode(&taxa).unwrap();
+        assert_eq!(
+            phylo::write_newick(&from_text, &taxa),
+            phylo::write_newick(&from_bin, &taxa)
+        );
+        assert_eq!(records[1].to_newick(&taxa).unwrap(), "((A,B),(C,D));");
+
+        // A flipped byte inside a binary payload is typed corruption at
+        // decode time (the record checksum catches most flips first).
+        let mut bad = bin.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        let rec = WalRecord::bin(WalOp::Add, bad);
+        assert!(rec.decode(&taxa).is_err());
     }
 
     #[test]

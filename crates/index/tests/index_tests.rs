@@ -348,3 +348,186 @@ fn frozen_view_tracks_mutations() {
     let f3 = reopened.frozen();
     assert_eq!(f3.n_trees(), reopened.bfh().n_trees());
 }
+
+/// The frozen sidecar round trip: create writes it, the read-only fast
+/// path serves a table bitwise-identical to a fresh freeze (mapped where
+/// the platform allows), and a full reopen primes its cache from it.
+#[test]
+fn frozen_sidecar_serves_identical_answers() {
+    use phylo_index::FROZEN_FILE;
+    let dir = tmp("frozen-sidecar");
+    let coll = random_collection(18, 9, 0xf70e);
+    let bfh = Bfh::build(&coll.trees, &coll.taxa);
+    let want_digest = bfh.freeze().digest();
+    let idx = Index::create(&dir, bfh, coll.taxa.clone()).unwrap();
+    assert!(dir.join(FROZEN_FILE).exists(), "create writes the sidecar");
+    drop(idx);
+
+    let fast = Index::open_frozen(&dir).unwrap();
+    assert_eq!(fast.frozen.digest(), want_digest, "bitwise identical");
+    assert_eq!(fast.meta.generation, 0);
+    #[cfg(all(unix, target_endian = "little"))]
+    assert!(fast.mapped, "unix fast path memory-maps the lanes");
+
+    // Answers through the fast path equal answers through the full open.
+    let mut full = Index::open(&dir).unwrap();
+    assert!(
+        full.notes().iter().all(|n| !n.contains("frozen")),
+        "clean sidecar leaves no notes: {:?}",
+        full.notes()
+    );
+    let slow_view = full.view();
+    assert_eq!(slow_view.frozen.digest(), want_digest);
+    let mut scratch = phylo::BipartitionScratch::new();
+    for tree in &coll.trees {
+        let a = fast.frozen.average_scratch(tree, &coll.taxa, &mut scratch);
+        let b = slow_view
+            .frozen
+            .average_scratch(tree, &coll.taxa, &mut scratch);
+        assert_eq!(a, b);
+    }
+}
+
+/// The fast path refuses (with a typed, non-corruption error) whenever it
+/// cannot prove sidecar parity: pending WAL records, a deleted sidecar,
+/// or a flipped sidecar byte. The full open keeps working throughout.
+#[test]
+fn frozen_open_declines_cleanly_when_it_cannot_prove_parity() {
+    use phylo_index::FROZEN_FILE;
+    let dir = tmp("frozen-decline");
+    let coll = random_collection(12, 8, 0xdec1);
+    let bfh = Bfh::build(&coll.trees[..6], &coll.taxa);
+    let mut idx = Index::create(&dir, bfh, coll.taxa.clone()).unwrap();
+    idx.append_add(&coll.trees[6]).unwrap();
+
+    // Pending WAL records: the sidecar is behind the truth.
+    let err = Index::open_frozen(&dir).unwrap_err();
+    assert!(matches!(err, IndexError::FrozenUnavailable { .. }), "{err}");
+    assert!(!err.is_corruption());
+
+    // Compaction refreshes the sidecar; the fast path works again.
+    idx.compact().unwrap();
+    let want = idx.frozen().digest();
+    drop(idx);
+    assert_eq!(Index::open_frozen(&dir).unwrap().frozen.digest(), want);
+
+    // A flipped sidecar byte: fast path refuses, full open falls back to
+    // freezing with a note and still answers.
+    let side = dir.join(FROZEN_FILE);
+    let mut bytes = std::fs::read(&side).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&side, &bytes).unwrap();
+    let err = Index::open_frozen(&dir).unwrap_err();
+    assert!(matches!(err, IndexError::FrozenUnavailable { .. }), "{err}");
+    let mut full = Index::open(&dir).unwrap();
+    assert!(
+        full.notes().iter().any(|n| n.contains("frozen")),
+        "corrupt sidecar leaves a note: {:?}",
+        full.notes()
+    );
+    // The fallback freeze serves the same table contents (its digest may
+    // differ: freezing a reconstructed hash can order pool entries
+    // differently without changing any answer).
+    let fallback = full.frozen();
+    let truth = Bfh::build(&coll.trees[..7], &coll.taxa).freeze();
+    assert_eq!(fallback.n_trees(), 7);
+    let mut scratch = phylo::BipartitionScratch::new();
+    for tree in &coll.trees {
+        let a = fallback.average_scratch(tree, &coll.taxa, &mut scratch);
+        let b = truth.average_scratch(tree, &coll.taxa, &mut scratch);
+        assert_eq!(a, b);
+    }
+
+    // A deleted sidecar is a cache miss, not an error, for the full open.
+    std::fs::remove_file(&side).unwrap();
+    let err = Index::open_frozen(&dir).unwrap_err();
+    assert!(matches!(err, IndexError::FrozenUnavailable { .. }), "{err}");
+    Index::open(&dir).unwrap();
+}
+
+/// Binary WAL records mix freely with Newick ones and replay to the same
+/// hash a fresh build produces.
+#[test]
+fn binary_wal_records_replay_identically() {
+    let dir = tmp("bin-wal");
+    let coll = random_collection(15, 10, 0xb19);
+    let base = Bfh::build(&coll.trees[..4], &coll.taxa);
+    let mut idx = Index::create(&dir, base, coll.taxa.clone()).unwrap();
+    for (i, tree) in coll.trees[4..].iter().enumerate() {
+        if i % 2 == 0 {
+            idx.append_add_bin(tree).unwrap();
+        } else {
+            idx.append_add(tree).unwrap();
+        }
+    }
+    idx.append_remove_bin(&coll.trees[1]).unwrap();
+    idx.append_remove(&coll.trees[2]).unwrap();
+    let live = idx.bfh().clone();
+    drop(idx);
+
+    let survivors: Vec<phylo::Tree> = coll
+        .trees
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 1 && *i != 2)
+        .map(|(_, t)| t.clone())
+        .collect();
+    let fresh = Bfh::build(&survivors, &coll.taxa);
+    assert_bfh_identical(&live, &fresh);
+
+    let reopened = Index::open(&dir).unwrap();
+    assert_bfh_identical(reopened.bfh(), &fresh);
+}
+
+/// Satellite: the WAL records its replay policy, and replay honours it.
+/// A leniently-built index skips an undecodable record with a note; a
+/// strictly-built one refuses to open, exactly as before.
+#[test]
+fn replay_policy_is_recorded_and_honoured() {
+    use phylo_index::{real_vfs, WalPolicy};
+    let coll = random_collection(10, 6, 0x9001);
+
+    for policy in [WalPolicy::Strict, WalPolicy::Lenient] {
+        let dir = tmp(&format!("policy-{}", policy.label()));
+        let bfh = Bfh::build(&coll.trees, &coll.taxa);
+        let idx =
+            Index::create_policy_with(real_vfs(), &dir, bfh, coll.taxa.clone(), policy).unwrap();
+        assert_eq!(idx.policy(), policy);
+        drop(idx);
+
+        // Append a record naming a taxon outside the frozen namespace —
+        // the persistent analogue of a bad tree in a lenient ingest.
+        let (mut wal, _) = Wal::open(&dir.join(WAL_FILE)).unwrap();
+        wal.append(WalOp::Add, "(NOT_A_TAXON,ALSO_NOT_ONE);")
+            .unwrap();
+        drop(wal);
+
+        match policy {
+            WalPolicy::Strict => {
+                let err = Index::open(&dir).err().expect("strict replay must refuse");
+                assert!(err.is_corruption(), "{err}");
+            }
+            WalPolicy::Lenient => {
+                let reopened = Index::open(&dir).unwrap();
+                assert_eq!(reopened.policy(), WalPolicy::Lenient);
+                assert!(
+                    reopened
+                        .notes()
+                        .iter()
+                        .any(|n| n.contains("skipped undecodable record")),
+                    "{:?}",
+                    reopened.notes()
+                );
+                // The skipped record changed nothing.
+                let fresh = Bfh::build(&coll.trees, &coll.taxa);
+                assert_bfh_identical(reopened.bfh(), &fresh);
+                // The policy survives compaction's log reset.
+                let mut reopened = reopened;
+                reopened.compact().unwrap();
+                drop(reopened);
+                assert_eq!(Index::open(&dir).unwrap().policy(), WalPolicy::Lenient);
+            }
+        }
+    }
+}

@@ -56,7 +56,13 @@ impl fmt::Display for PhyloError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PhyloError::Parse { offset, message } => {
-                write!(f, "newick parse error at byte {offset}: {message}")
+                // Binary-record errors arrive through the wire crate with a
+                // "wire:" prefix; keep that label instead of claiming Newick.
+                if let Some(detail) = message.strip_prefix("wire: ") {
+                    write!(f, "binary record parse error at byte {offset}: {detail}")
+                } else {
+                    write!(f, "newick parse error at byte {offset}: {message}")
+                }
             }
             PhyloError::UnknownTaxon(label) => {
                 write!(f, "unknown taxon label {label:?} (namespace is closed)")

@@ -16,10 +16,99 @@ impl NodeId {
     }
 }
 
+/// Child slots kept inline before spilling to the heap. Bifurcating trees
+/// (the overwhelmingly common shape) have at most 2 children per internal
+/// node and at most 3 at an unrooted-style root, so 4 inline slots make
+/// child storage allocation-free for them; the enum rounds to the same
+/// 32 bytes either way.
+const INLINE_CHILDREN: usize = 4;
+
+/// A node's child list: inline up to [`INLINE_CHILDREN`], heap `Vec`
+/// beyond. Building a bifurcating tree touches the allocator only for the
+/// node arena itself — this matters because the workloads parse and decode
+/// hundreds of thousands of trees (one child list per internal node).
+#[derive(Debug, Clone)]
+pub(crate) enum ChildList {
+    Inline {
+        buf: [NodeId; INLINE_CHILDREN],
+        len: u8,
+    },
+    Spilled(Vec<NodeId>),
+}
+
+impl ChildList {
+    pub(crate) const fn new() -> Self {
+        ChildList::Inline {
+            buf: [NodeId(0); INLINE_CHILDREN],
+            len: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, id: NodeId) {
+        match self {
+            ChildList::Inline { buf, len } => {
+                let n = *len as usize;
+                if n < INLINE_CHILDREN {
+                    buf[n] = id;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE_CHILDREN * 2);
+                    v.extend_from_slice(&buf[..n]);
+                    v.push(id);
+                    *self = ChildList::Spilled(v);
+                }
+            }
+            ChildList::Spilled(v) => v.push(id),
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        *self = ChildList::new();
+    }
+
+    /// Remove the child at `pos`, shifting the rest left (insertion order
+    /// is meaningful — Newick output preserves it).
+    pub(crate) fn remove(&mut self, pos: usize) {
+        match self {
+            ChildList::Inline { buf, len } => {
+                let n = *len as usize;
+                assert!(pos < n, "child index out of range");
+                buf.copy_within(pos + 1..n, pos);
+                *len -= 1;
+            }
+            ChildList::Spilled(v) => {
+                v.remove(pos);
+            }
+        }
+    }
+}
+
+impl std::ops::Deref for ChildList {
+    type Target = [NodeId];
+
+    #[inline]
+    fn deref(&self) -> &[NodeId] {
+        match self {
+            ChildList::Inline { buf, len } => &buf[..*len as usize],
+            ChildList::Spilled(v) => v,
+        }
+    }
+}
+
+impl std::ops::DerefMut for ChildList {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [NodeId] {
+        match self {
+            ChildList::Inline { buf, len } => &mut buf[..*len as usize],
+            ChildList::Spilled(v) => v,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 pub(crate) struct Node {
     pub(crate) parent: Option<NodeId>,
-    pub(crate) children: Vec<NodeId>,
+    pub(crate) children: ChildList,
     pub(crate) taxon: Option<TaxonId>,
     pub(crate) length: Option<f64>,
 }
@@ -46,6 +135,17 @@ impl Tree {
         Tree::default()
     }
 
+    /// Create an empty tree whose arena is pre-sized for `n` nodes.
+    ///
+    /// Decoders that learn the node count from a header (the phylo-wire
+    /// record codec does) avoid every arena reallocation this way.
+    pub fn with_node_capacity(n: usize) -> Self {
+        Tree {
+            nodes: Vec::with_capacity(n),
+            root: None,
+        }
+    }
+
     /// Create a tree with a fresh root node.
     pub fn with_root() -> (Self, NodeId) {
         let mut t = Tree::new();
@@ -58,7 +158,7 @@ impl Tree {
         assert!(self.root.is_none(), "tree already has a root");
         let id = self.push(Node {
             parent: None,
-            children: Vec::new(),
+            children: ChildList::new(),
             taxon: None,
             length: None,
         });
@@ -70,7 +170,7 @@ impl Tree {
     pub fn add_child(&mut self, parent: NodeId) -> NodeId {
         let id = self.push(Node {
             parent: Some(parent),
-            children: Vec::new(),
+            children: ChildList::new(),
             taxon: None,
             length: None,
         });

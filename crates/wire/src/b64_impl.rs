@@ -1,0 +1,119 @@
+//! Minimal standard-alphabet base64 (RFC 4648, padded). The workspace
+//! builds hermetically, so this ~80-line codec stands in for the `base64`
+//! crate; proto v2 uses it to carry binary tree records inside JSON
+//! string fields.
+
+use crate::WireError;
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encode `data` as padded standard base64.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+fn sextet(c: u8, offset: usize) -> Result<u32, WireError> {
+    match c {
+        b'A'..=b'Z' => Ok(u32::from(c - b'A')),
+        b'a'..=b'z' => Ok(u32::from(c - b'a') + 26),
+        b'0'..=b'9' => Ok(u32::from(c - b'0') + 52),
+        b'+' => Ok(62),
+        b'/' => Ok(63),
+        _ => Err(WireError::corrupt(
+            offset,
+            format!("invalid base64 byte 0x{c:02x}"),
+        )),
+    }
+}
+
+/// Decode padded standard base64. Rejects bad lengths, alphabet
+/// violations, and misplaced padding with typed errors.
+pub fn decode(s: &str) -> Result<Vec<u8>, WireError> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(WireError::corrupt(
+            bytes.len(),
+            "base64 length not a multiple of 4",
+        ));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, quad) in bytes.chunks_exact(4).enumerate() {
+        let base = i * 4;
+        let last = base + 4 == bytes.len();
+        let pads = quad.iter().rev().take_while(|&&c| c == b'=').count();
+        if pads > 2 || (pads > 0 && !last) {
+            return Err(WireError::corrupt(base, "misplaced base64 padding"));
+        }
+        let mut n = 0u32;
+        for (j, &c) in quad.iter().take(4 - pads).enumerate() {
+            if c == b'=' {
+                return Err(WireError::corrupt(base + j, "misplaced base64 padding"));
+            }
+            n = (n << 6) | sextet(c, base + j)?;
+        }
+        n <<= 6 * pads as u32;
+        out.push((n >> 16) as u8);
+        if pads < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pads < 1 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        for (plain, enc) in [
+            (&b""[..], ""),
+            (b"f", "Zg=="),
+            (b"fo", "Zm8="),
+            (b"foo", "Zm9v"),
+            (b"foob", "Zm9vYg=="),
+            (b"fooba", "Zm9vYmE="),
+            (b"foobar", "Zm9vYmFy"),
+        ] {
+            assert_eq!(encode(plain), enc);
+            assert_eq!(decode(enc).unwrap(), plain);
+        }
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let data: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors() {
+        for bad in ["Zg=", "Z!==", "====", "Zg==Zg==x", "Z===", "=g==", "Zm=v"] {
+            assert!(decode(bad).is_err(), "{bad:?} should fail");
+        }
+        // Padding in a non-final quad.
+        assert!(decode("Zg==Zm9v").is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Typed decode/encode failures. The contract mirrors `phylo-index`:
+//! corrupt bytes surface as errors, never as panics or silent garbage.
+
+use std::fmt;
+
+/// Everything that can go wrong encoding or decoding wire bytes.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying reader/writer failure.
+    Io(std::io::Error),
+    /// The stream ended before a complete field; `offset` is the byte
+    /// position (absolute where the caller tracks one, record-relative
+    /// otherwise) and `what` names the field that was being read.
+    Truncated {
+        /// Byte position where input ran out.
+        offset: usize,
+        /// The field that was incomplete.
+        what: &'static str,
+    },
+    /// The bytes are structurally invalid: bad tag, unbalanced topology,
+    /// out-of-range taxon, failed checksum, …
+    Corrupt {
+        /// Byte position of the rejected field.
+        offset: usize,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The container's magic bytes are not `PHYLOWIR`.
+    NotWire,
+    /// A container version this build does not speak.
+    Version {
+        /// The version found in the header.
+        found: u16,
+    },
+    /// The tree cannot be represented in the record format (no root, a
+    /// leaf without a taxon, or a taxon on an internal node — the same
+    /// shapes the Newick writer cannot round-trip either).
+    Unencodable(&'static str),
+    /// Lenient ingestion gave up: more records failed than the error
+    /// budget allows.
+    ErrorLimit {
+        /// Number of malformed records seen so far.
+        errors: usize,
+        /// The configured maximum.
+        limit: usize,
+    },
+}
+
+impl WireError {
+    /// Construct a corruption error at `offset`.
+    pub fn corrupt(offset: usize, detail: impl Into<String>) -> Self {
+        WireError::Corrupt {
+            offset,
+            detail: detail.into(),
+        }
+    }
+
+    /// Re-base a record-relative offset onto an absolute stream position.
+    pub fn at_base(self, base: usize) -> Self {
+        match self {
+            WireError::Truncated { offset, what } => WireError::Truncated {
+                offset: base + offset,
+                what,
+            },
+            WireError::Corrupt { offset, detail } => WireError::Corrupt {
+                offset: base + offset,
+                detail,
+            },
+            other => other,
+        }
+    }
+
+    /// Lower into a [`phylo::PhyloError`] so sniffed readers can share the
+    /// Newick ingest plumbing (reports, exit codes, error budgets).
+    pub fn into_phylo(self) -> phylo::PhyloError {
+        match self {
+            WireError::ErrorLimit { errors, limit } => {
+                phylo::PhyloError::ErrorLimit { errors, limit }
+            }
+            WireError::Truncated { offset, what } => {
+                phylo::PhyloError::parse(offset, format!("wire: truncated {what}"))
+            }
+            WireError::Corrupt { offset, detail } => {
+                phylo::PhyloError::parse(offset, format!("wire: {detail}"))
+            }
+            other => phylo::PhyloError::parse(0, format!("wire: {other}")),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io: {e}"),
+            WireError::Truncated { offset, what } => {
+                write!(f, "truncated {what} at byte {offset}")
+            }
+            WireError::Corrupt { offset, detail } => {
+                write!(f, "corrupt at byte {offset}: {detail}")
+            }
+            WireError::NotWire => write!(f, "not a phylo-wire stream (bad magic)"),
+            WireError::Version { found } => {
+                write!(f, "unsupported phylo-wire version {found}")
+            }
+            WireError::Unencodable(why) => write!(f, "tree not encodable: {why}"),
+            WireError::ErrorLimit { errors, limit } => {
+                write!(f, "{errors} malformed records exceed the limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}

@@ -1,0 +1,424 @@
+//! The `PHYLOWIR` collection container: a self-contained binary
+//! alternative to a multi-line Newick file.
+//!
+//! Layout (integers little-endian unless marked varint; DESIGN.md §13):
+//!
+//! ```text
+//! magic    8 B   "PHYLOWIR" — what the format sniffer keys on
+//! version  u16   container version (1)
+//! header section   n_taxa u32 · n_trees u64 · flags u8(=0)   + FNV-64 seal
+//! taxa section     n_taxa × (len u32 · UTF-8 label bytes)     + FNV-64 seal
+//! trees section    n_trees × (record_len varint · tree record) + FNV-64 seal
+//! ```
+//!
+//! The trees-section seal covers the *framing* — the length prefixes —
+//! while every record body carries its own checksum (see
+//! [`crate::record`]). The split is deliberate: it is what makes
+//! *lenient* binary ingest possible. A record whose framing is intact but
+//! whose body is corrupt can be skipped and the read resynchronized at
+//! the next length prefix, exactly like the Newick reader resynchronizing
+//! at the next `;` — and the final seal still verifies, because the
+//! skipped body never fed it. Framing damage (a bad length, a torn
+//! section, a failed seal) is fatal and typed — there is no boundary to
+//! resynchronize at.
+
+use crate::fnv::Digest;
+use crate::record::{decode_tree, encode_tree, remap_leaf_taxa};
+use crate::varint::put_uvarint;
+use crate::WireError;
+use phylo::{
+    IngestPolicy, IngestReport, RecordError, TaxaPolicy, TaxonId, TaxonSet, Tree, TreeCollection,
+};
+use std::io::{BufRead, Read, Write};
+
+/// Magic bytes opening every collection container.
+pub const FILE_MAGIC: [u8; 8] = *b"PHYLOWIR";
+/// Container version this build writes and reads.
+pub const FILE_VERSION: u16 = 1;
+/// Upper bound on a single framed record — corrupt length prefixes must
+/// not translate into unbounded allocations.
+pub const MAX_RECORD_LEN: u64 = 1 << 28;
+
+struct SealedWriter<'a, W: Write> {
+    dst: &'a mut W,
+    digest: Digest,
+}
+
+impl<'a, W: Write> SealedWriter<'a, W> {
+    fn new(dst: &'a mut W) -> Self {
+        SealedWriter {
+            dst,
+            digest: Digest::new(),
+        }
+    }
+
+    fn put(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        self.digest.update(bytes);
+        self.dst.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Write bytes the seal does not cover (self-checksummed record
+    /// bodies).
+    fn put_unsealed(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        self.dst.write_all(bytes)?;
+        Ok(())
+    }
+
+    fn seal(self) -> Result<(), WireError> {
+        self.dst.write_all(&self.digest.finish().to_le_bytes())?;
+        Ok(())
+    }
+}
+
+/// Serialize `coll` as a `PHYLOWIR` container. Streams: nothing is
+/// buffered beyond one encoded record.
+pub fn write_collection<W: Write>(dst: &mut W, coll: &TreeCollection) -> Result<(), WireError> {
+    dst.write_all(&FILE_MAGIC)?;
+    dst.write_all(&FILE_VERSION.to_le_bytes())?;
+
+    let n_taxa = u32::try_from(coll.taxa.len())
+        .map_err(|_| WireError::Unencodable("more than u32::MAX taxa"))?;
+    let mut header = SealedWriter::new(dst);
+    header.put(&n_taxa.to_le_bytes())?;
+    header.put(&(coll.trees.len() as u64).to_le_bytes())?;
+    header.put(&[0u8])?;
+    header.seal()?;
+
+    let mut taxa = SealedWriter::new(dst);
+    for (_, label) in coll.taxa.iter() {
+        let len = u32::try_from(label.len())
+            .map_err(|_| WireError::Unencodable("taxon label longer than u32::MAX"))?;
+        taxa.put(&len.to_le_bytes())?;
+        taxa.put(label.as_bytes())?;
+    }
+    taxa.seal()?;
+
+    let mut trees = SealedWriter::new(dst);
+    let mut record = Vec::new();
+    let mut frame = Vec::new();
+    for tree in &coll.trees {
+        record.clear();
+        encode_tree(tree, &mut record)?;
+        frame.clear();
+        put_uvarint(&mut frame, record.len() as u64);
+        trees.put(&frame)?;
+        trees.put_unsealed(&record)?;
+    }
+    trees.seal()?;
+    Ok(())
+}
+
+/// [`write_collection`] into a fresh buffer.
+pub fn collection_to_vec(coll: &TreeCollection) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::new();
+    write_collection(&mut out, coll)?;
+    Ok(out)
+}
+
+/// Streaming reader over a `PHYLOWIR` container, API-shaped like
+/// [`phylo::NewickReader`]: construct, pull trees one at a time, collect
+/// an [`IngestReport`] of skipped records under a lenient policy.
+///
+/// The embedded taxa table is resolved against the caller's [`TaxonSet`]
+/// at open time under the caller's [`TaxaPolicy`] — `Grow` interns unseen
+/// labels, `Require` rejects them — and every record's file-local ids are
+/// remapped through that resolution, so a binary query file read against
+/// a reference namespace behaves exactly like its Newick twin.
+pub struct BinReader<R: BufRead> {
+    src: R,
+    policy: IngestPolicy,
+    report: IngestReport,
+    /// File-local taxon id → caller-namespace id.
+    map: Vec<TaxonId>,
+    /// Width of the file's own namespace (records validate against this).
+    file_taxa: usize,
+    /// Trees the header still owes us.
+    remaining: u64,
+    /// Absolute byte offset of the next unread stream byte.
+    offset: usize,
+    /// Records pulled so far (accepted + skipped), for error reports.
+    record_idx: usize,
+    /// Running digest of the trees section *framing* (length prefixes),
+    /// checked against the section seal at the end. Record bodies carry
+    /// their own checksums and stay outside this seal so lenient reads
+    /// can skip a corrupt body without poisoning it.
+    trees_digest: Digest,
+    /// Set once the trees section seal has been verified.
+    done: bool,
+}
+
+impl<R: BufRead> BinReader<R> {
+    /// Open a container: verify magic and version, read the sealed header
+    /// and taxa sections, and resolve the embedded labels against `taxa`
+    /// under `taxa_policy`.
+    pub fn new(
+        mut src: R,
+        taxa: &mut TaxonSet,
+        taxa_policy: TaxaPolicy,
+        policy: IngestPolicy,
+    ) -> Result<Self, WireError> {
+        let mut offset = 0usize;
+        let mut magic = [0u8; 8];
+        read_exact_at(&mut src, &mut magic, &mut offset, "container magic")?;
+        if magic != FILE_MAGIC {
+            return Err(WireError::NotWire);
+        }
+        let mut ver = [0u8; 2];
+        read_exact_at(&mut src, &mut ver, &mut offset, "container version")?;
+        let version = u16::from_le_bytes(ver);
+        if version != FILE_VERSION {
+            return Err(WireError::Version { found: version });
+        }
+
+        let header_at = offset;
+        let mut header = [0u8; 13];
+        read_exact_at(&mut src, &mut header, &mut offset, "container header")?;
+        verify_seal(&mut src, &header, &mut offset, header_at, "header")?;
+        let n_taxa = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+        let n_trees = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+        if header[12] != 0 {
+            return Err(WireError::corrupt(
+                header_at + 12,
+                format!("unknown container flags 0x{:02x}", header[12]),
+            ));
+        }
+
+        let taxa_at = offset;
+        let mut taxa_digest = Digest::new();
+        let mut map = Vec::with_capacity(n_taxa);
+        let mut label = Vec::new();
+        for i in 0..n_taxa {
+            let mut len_raw = [0u8; 4];
+            read_exact_at(&mut src, &mut len_raw, &mut offset, "taxon label length")?;
+            taxa_digest.update(&len_raw);
+            let len = u32::from_le_bytes(len_raw) as usize;
+            if len > MAX_RECORD_LEN as usize {
+                return Err(WireError::corrupt(
+                    offset - 4,
+                    format!("taxon label length {len} out of range"),
+                ));
+            }
+            label.resize(len, 0);
+            read_exact_at(&mut src, &mut label, &mut offset, "taxon label")?;
+            taxa_digest.update(&label);
+            let text = std::str::from_utf8(&label).map_err(|_| {
+                WireError::corrupt(offset - len, format!("taxon {i} label is not UTF-8"))
+            })?;
+            let id = match taxa_policy {
+                TaxaPolicy::Grow => taxa.intern(text),
+                TaxaPolicy::Require => taxa.require(text).map_err(|_| {
+                    WireError::corrupt(
+                        offset - len,
+                        format!("taxon {text:?} not in the reference namespace"),
+                    )
+                })?,
+            };
+            map.push(id);
+        }
+        {
+            let mut seal = [0u8; 8];
+            read_exact_at(&mut src, &mut seal, &mut offset, "taxa section seal")?;
+            if u64::from_le_bytes(seal) != taxa_digest.finish() {
+                return Err(WireError::corrupt(taxa_at, "taxa section seal mismatch"));
+            }
+        }
+
+        Ok(BinReader {
+            src,
+            policy,
+            report: IngestReport::default(),
+            map,
+            file_taxa: n_taxa,
+            remaining: n_trees,
+            offset,
+            record_idx: 0,
+            trees_digest: Digest::new(),
+            done: false,
+        })
+    }
+
+    /// Width of the container's embedded namespace.
+    pub fn file_taxa(&self) -> usize {
+        self.file_taxa
+    }
+
+    /// Trees the header still promises.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// The running skip report.
+    pub fn report(&self) -> &IngestReport {
+        &self.report
+    }
+
+    /// Consume the reader, yielding the final report.
+    pub fn into_report(self) -> IngestReport {
+        self.report
+    }
+
+    /// Pull the next tree. `Ok(None)` once all records are read *and* the
+    /// trees section seal has verified. Under a lenient policy, records
+    /// whose framing is intact but whose body fails to decode are skipped
+    /// into the report (up to the error budget); framing damage is fatal.
+    pub fn next_tree(&mut self) -> Result<Option<Tree>, WireError> {
+        loop {
+            if self.done {
+                return Ok(None);
+            }
+            if self.remaining == 0 {
+                let mut seal = [0u8; 8];
+                read_exact_at(
+                    &mut self.src,
+                    &mut seal,
+                    &mut self.offset,
+                    "trees section seal",
+                )?;
+                if u64::from_le_bytes(seal) != self.trees_digest.finish() {
+                    return Err(WireError::corrupt(
+                        self.offset - 8,
+                        "trees section seal mismatch",
+                    ));
+                }
+                let mut probe = [0u8; 1];
+                if self.src.read(&mut probe)? != 0 {
+                    return Err(WireError::corrupt(
+                        self.offset,
+                        "trailing bytes after trees section",
+                    ));
+                }
+                self.done = true;
+                return Ok(None);
+            }
+
+            let record_at = self.offset;
+            let len = self.read_frame_varint()?;
+            if len > MAX_RECORD_LEN {
+                return Err(WireError::corrupt(
+                    record_at,
+                    format!("record length {len} out of range"),
+                ));
+            }
+            let body_at = self.offset;
+            let mut record = vec![0u8; len as usize];
+            read_exact_at(&mut self.src, &mut record, &mut self.offset, "tree record")?;
+            self.remaining -= 1;
+            let idx = self.record_idx;
+            self.record_idx += 1;
+
+            match decode_tree(&record, self.file_taxa) {
+                Ok((mut tree, used)) if used == record.len() => {
+                    remap_leaf_taxa(&mut tree, &self.map);
+                    self.report.accepted += 1;
+                    return Ok(Some(tree));
+                }
+                Ok((_, used)) => {
+                    let trailing = WireError::corrupt(
+                        used,
+                        format!("{} trailing bytes after record", record.len() - used),
+                    );
+                    self.skip_or_fail(idx, record_at, body_at, trailing)?;
+                }
+                Err(e) => self.skip_or_fail(idx, record_at, body_at, e)?,
+            }
+        }
+    }
+
+    /// Drain every remaining tree into `out`.
+    pub fn read_to_end(&mut self, out: &mut Vec<Tree>) -> Result<(), WireError> {
+        while let Some(tree) = self.next_tree()? {
+            out.push(tree);
+        }
+        Ok(())
+    }
+
+    fn skip_or_fail(
+        &mut self,
+        idx: usize,
+        record_at: usize,
+        body_at: usize,
+        err: WireError,
+    ) -> Result<(), WireError> {
+        let err = err.at_base(body_at);
+        match self.policy {
+            IngestPolicy::Strict => Err(err),
+            IngestPolicy::Lenient { max_errors } => {
+                self.report.skipped.push(RecordError {
+                    record: idx,
+                    line: 0,
+                    byte: record_at,
+                    error: err.into_phylo(),
+                });
+                if self.report.skipped.len() > max_errors {
+                    return Err(WireError::ErrorLimit {
+                        errors: self.report.skipped.len(),
+                        limit: max_errors,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Read a varint byte-by-byte off the stream (framing lengths live
+    /// outside any buffered record).
+    fn read_frame_varint(&mut self) -> Result<u64, WireError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let mut byte = [0u8; 1];
+            read_exact_at(&mut self.src, &mut byte, &mut self.offset, "record length")?;
+            self.trees_digest.update(&byte);
+            let b = byte[0];
+            if shift > 63 || (shift == 63 && b > 1) {
+                return Err(WireError::corrupt(
+                    self.offset - 1,
+                    "record length varint overflow",
+                ));
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+}
+
+fn read_exact_at<R: Read>(
+    src: &mut R,
+    buf: &mut [u8],
+    offset: &mut usize,
+    what: &'static str,
+) -> Result<(), WireError> {
+    match src.read_exact(buf) {
+        Ok(()) => {
+            *offset += buf.len();
+            Ok(())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Err(WireError::Truncated {
+            offset: *offset,
+            what,
+        }),
+        Err(e) => Err(WireError::Io(e)),
+    }
+}
+
+fn verify_seal<R: Read>(
+    src: &mut R,
+    payload: &[u8],
+    offset: &mut usize,
+    section_at: usize,
+    section: &'static str,
+) -> Result<(), WireError> {
+    let mut seal = [0u8; 8];
+    read_exact_at(src, &mut seal, offset, "section seal")?;
+    if u64::from_le_bytes(seal) != crate::fnv::fnv1a64(payload) {
+        return Err(WireError::corrupt(
+            section_at,
+            format!("{section} section seal mismatch"),
+        ));
+    }
+    Ok(())
+}

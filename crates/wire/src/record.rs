@@ -1,0 +1,389 @@
+//! The tree record codec: one tree, one self-checksummed byte record.
+//!
+//! Layout (all integers LEB128 varints unless noted; see DESIGN.md §13):
+//!
+//! ```text
+//! tag        u8      0xB1 (record format v1)
+//! n_nodes    varint  total nodes in the tree (≥ 1)
+//! n_leaves   varint  taxon-bearing leaves (≥ 1, ≤ n_nodes)
+//! flags      u8      bit0 = edge lengths present; other bits reserved (0)
+//! topology   ⌈2·n_nodes/8⌉ bytes — balanced parentheses, LSB-first:
+//!                    1 = enter a node (preorder), 0 = leave it; a leaf is
+//!                    an enter bit immediately followed by its leave bit
+//! leaf taxa  n_leaves varints — TaxonId of each leaf, preorder order
+//! [lengths]  only if flags bit0:
+//!   presence ⌈n_nodes/8⌉ bytes — bit i set ⇔ preorder node i has a length
+//!   values   one f64 (LE) per set presence bit, preorder order
+//! checksum   u32 LE — word-folded FNV-1a-64 ([`crate::fnv1a64_words`])
+//!                    over tag..payload, xor-folded to 32 bits
+//!                    (`(h >> 32) ^ h`). The xor-fold is load-bearing:
+//!                    plain truncation would leave the high lanes of each
+//!                    8-byte chunk undetected, because multiplication mod
+//!                    2^64 only carries upward
+//! ```
+//!
+//! The topology stream is the succinct balanced-parentheses encoding: `2n`
+//! bits carry the full shape, and a single forward pass rebuilds the arena
+//! with an explicit stack — the decoder never recurses, so adversarial
+//! 10M-node "trees" cost an allocation check, not a stack overflow.
+
+use crate::fnv::fnv1a64_words;
+use crate::varint::{put_uvarint, take_uvarint};
+use crate::WireError;
+use phylo::{NodeId, TaxonId, Tree};
+
+/// First byte of every tree record; doubles as the record format version.
+pub const RECORD_TAG: u8 = 0xB1;
+/// Flag bit: the record carries an edge-length section.
+pub const FLAG_LENGTHS: u8 = 0x01;
+
+/// Decoders refuse node counts beyond this (2^32 − 1 matches the arena's
+/// `u32` node ids); combined with the bits-must-fit check it bounds every
+/// allocation by the input length.
+const MAX_NODES: u64 = u32::MAX as u64;
+
+/// The record checksum: word-folded FNV-1a-64 xor-folded to 32 bits.
+/// See the module docs for why the xor-fold (not truncation) is required.
+#[inline]
+fn record_sum(bytes: &[u8]) -> u32 {
+    let h = fnv1a64_words(bytes);
+    ((h >> 32) as u32) ^ (h as u32)
+}
+
+struct BitWriter {
+    bytes: Vec<u8>,
+    bit: usize,
+}
+
+impl BitWriter {
+    fn with_bits(n: usize) -> Self {
+        BitWriter {
+            bytes: vec![0u8; n.div_ceil(8)],
+            bit: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, one: bool) {
+        if one {
+            self.bytes[self.bit / 8] |= 1 << (self.bit % 8);
+        }
+        self.bit += 1;
+    }
+}
+
+#[inline]
+fn get_bit(bytes: &[u8], i: usize) -> bool {
+    bytes[i / 8] & (1 << (i % 8)) != 0
+}
+
+/// Append the record encoding of `tree` to `out`.
+///
+/// Fails with [`WireError::Unencodable`] on shapes the format (like the
+/// Newick writer) cannot represent: an empty tree, a childless node
+/// without a taxon, or a taxon label on an internal node.
+pub fn encode_tree(tree: &Tree, out: &mut Vec<u8>) -> Result<(), WireError> {
+    let root = tree.root().ok_or(WireError::Unencodable("empty tree"))?;
+    // Pass 1: preorder walk for counts and validation.
+    let mut order: Vec<NodeId> = Vec::with_capacity(tree.num_nodes());
+    let mut stack = vec![root];
+    let mut n_leaves = 0usize;
+    let mut has_lengths = false;
+    while let Some(node) = stack.pop() {
+        order.push(node);
+        if tree.length(node).is_some() {
+            has_lengths = true;
+        }
+        let kids = tree.children(node);
+        if kids.is_empty() {
+            if tree.taxon(node).is_none() {
+                return Err(WireError::Unencodable("leaf without a taxon"));
+            }
+            n_leaves += 1;
+        } else {
+            if tree.taxon(node).is_some() {
+                return Err(WireError::Unencodable("taxon on an internal node"));
+            }
+            stack.extend(kids.iter().rev());
+        }
+    }
+    let n_nodes = order.len();
+
+    let start = out.len();
+    out.push(RECORD_TAG);
+    put_uvarint(out, n_nodes as u64);
+    put_uvarint(out, n_leaves as u64);
+    out.push(if has_lengths { FLAG_LENGTHS } else { 0 });
+
+    // Pass 2: balanced-parens bits via an explicit enter/exit stack.
+    let mut topo = BitWriter::with_bits(2 * n_nodes);
+    enum Ev {
+        Enter(NodeId),
+        Exit,
+    }
+    let mut events = vec![Ev::Enter(root)];
+    while let Some(ev) = events.pop() {
+        match ev {
+            Ev::Enter(node) => {
+                topo.push(true);
+                events.push(Ev::Exit);
+                for &kid in tree.children(node).iter().rev() {
+                    events.push(Ev::Enter(kid));
+                }
+            }
+            Ev::Exit => topo.push(false),
+        }
+    }
+    debug_assert_eq!(topo.bit, 2 * n_nodes);
+    out.extend_from_slice(&topo.bytes);
+
+    for &node in &order {
+        if tree.children(node).is_empty() {
+            // Validated Some above.
+            let id = tree.taxon(node).expect("leaf taxon checked in pass 1");
+            put_uvarint(out, u64::from(id.0));
+        }
+    }
+
+    if has_lengths {
+        let mut presence = BitWriter::with_bits(n_nodes);
+        for &node in &order {
+            presence.push(tree.length(node).is_some());
+        }
+        out.extend_from_slice(&presence.bytes);
+        for &node in &order {
+            if let Some(len) = tree.length(node) {
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+        }
+    }
+
+    out.extend_from_slice(&record_sum(&out[start..]).to_le_bytes());
+    Ok(())
+}
+
+/// [`encode_tree`] into a fresh buffer.
+pub fn encode_tree_vec(tree: &Tree) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::new();
+    encode_tree(tree, &mut out)?;
+    Ok(out)
+}
+
+/// Decode one tree record from the front of `buf`, validating every taxon
+/// id against the `n_taxa`-wide namespace. Returns the tree and the number
+/// of bytes consumed (the record is self-delimiting).
+///
+/// Never panics on corrupt input: every structural violation — bad tag,
+/// unbalanced parentheses, out-of-range or duplicate taxa, non-canonical
+/// padding bits, checksum mismatch, truncation — is a typed [`WireError`].
+pub fn decode_tree(buf: &[u8], n_taxa: usize) -> Result<(Tree, usize), WireError> {
+    let mut pos = 0usize;
+    let Some(&tag) = buf.first() else {
+        return Err(WireError::Truncated {
+            offset: 0,
+            what: "record tag",
+        });
+    };
+    if tag != RECORD_TAG {
+        return Err(WireError::corrupt(
+            0,
+            format!("bad record tag 0x{tag:02x} (expected 0x{RECORD_TAG:02x})"),
+        ));
+    }
+    pos += 1;
+
+    let n_nodes = take_uvarint(buf, &mut pos, "node count")?;
+    if n_nodes == 0 || n_nodes > MAX_NODES {
+        return Err(WireError::corrupt(
+            pos,
+            format!("node count {n_nodes} out of range"),
+        ));
+    }
+    // Cheap pre-allocation bound: the topology alone needs 2 bits/node, so
+    // a count that cannot fit in the remaining bytes is corrupt, not an
+    // invitation to allocate.
+    let n_nodes = n_nodes as usize;
+    if n_nodes.div_ceil(4) > buf.len() - pos {
+        return Err(WireError::corrupt(
+            pos,
+            format!("node count {n_nodes} exceeds remaining input"),
+        ));
+    }
+    let n_leaves = take_uvarint(buf, &mut pos, "leaf count")? as usize;
+    if n_leaves == 0 || n_leaves > n_nodes {
+        return Err(WireError::corrupt(
+            pos,
+            format!("leaf count {n_leaves} out of range"),
+        ));
+    }
+    let Some(&flags) = buf.get(pos) else {
+        return Err(WireError::Truncated {
+            offset: pos,
+            what: "flags",
+        });
+    };
+    if flags & !FLAG_LENGTHS != 0 {
+        return Err(WireError::corrupt(
+            pos,
+            format!("unknown flag bits 0x{flags:02x}"),
+        ));
+    }
+    pos += 1;
+
+    // Topology: 2·n_nodes balanced-parens bits.
+    let topo_bytes = (2 * n_nodes).div_ceil(8);
+    let Some(topo) = buf.get(pos..pos + topo_bytes) else {
+        return Err(WireError::Truncated {
+            offset: buf.len(),
+            what: "topology bits",
+        });
+    };
+    let topo_at = pos;
+    pos += topo_bytes;
+    // Canonical form: padding bits past 2·n_nodes must be zero.
+    for i in 2 * n_nodes..topo_bytes * 8 {
+        if get_bit(topo, i) {
+            return Err(WireError::corrupt(topo_at, "nonzero topology padding bits"));
+        }
+    }
+
+    let mut tree = Tree::with_node_capacity(n_nodes);
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut order: Vec<NodeId> = Vec::with_capacity(n_nodes);
+    let mut leaves: Vec<NodeId> = Vec::with_capacity(n_leaves);
+    for i in 0..2 * n_nodes {
+        if get_bit(topo, i) {
+            let node = match stack.last() {
+                Some(&parent) => tree.add_child(parent),
+                None => {
+                    if tree.root().is_some() {
+                        return Err(WireError::corrupt(topo_at, "topology encodes a forest"));
+                    }
+                    tree.add_root()
+                }
+            };
+            order.push(node);
+            stack.push(node);
+        } else {
+            let Some(node) = stack.pop() else {
+                return Err(WireError::corrupt(topo_at, "unbalanced topology bits"));
+            };
+            if tree.children(node).is_empty() {
+                leaves.push(node);
+            }
+        }
+    }
+    if !stack.is_empty() {
+        return Err(WireError::corrupt(topo_at, "unbalanced topology bits"));
+    }
+    if order.len() != n_nodes {
+        return Err(WireError::corrupt(
+            topo_at,
+            format!(
+                "topology holds {} nodes, header says {n_nodes}",
+                order.len()
+            ),
+        ));
+    }
+    if leaves.len() != n_leaves {
+        return Err(WireError::corrupt(
+            topo_at,
+            format!(
+                "topology holds {} leaves, header says {n_leaves}",
+                leaves.len()
+            ),
+        ));
+    }
+
+    // Leaf taxa, preorder. Duplicate detection doubles as the
+    // more-leaves-than-taxa guard.
+    let mut seen = vec![false; n_taxa];
+    for &leaf in &leaves {
+        let at = pos;
+        let id = take_uvarint(buf, &mut pos, "leaf taxon id")?;
+        if id >= n_taxa as u64 {
+            return Err(WireError::corrupt(
+                at,
+                format!("taxon id {id} out of range (namespace holds {n_taxa})"),
+            ));
+        }
+        if std::mem::replace(&mut seen[id as usize], true) {
+            return Err(WireError::corrupt(at, format!("duplicate taxon id {id}")));
+        }
+        tree.set_taxon(leaf, Some(TaxonId(id as u32)));
+    }
+
+    if flags & FLAG_LENGTHS != 0 {
+        let map_bytes = n_nodes.div_ceil(8);
+        let Some(presence) = buf.get(pos..pos + map_bytes) else {
+            return Err(WireError::Truncated {
+                offset: buf.len(),
+                what: "length presence bitmap",
+            });
+        };
+        let presence_at = pos;
+        pos += map_bytes;
+        for i in n_nodes..map_bytes * 8 {
+            if get_bit(presence, i) {
+                return Err(WireError::corrupt(
+                    presence_at,
+                    "nonzero presence padding bits",
+                ));
+            }
+        }
+        for (i, &node) in order.iter().enumerate() {
+            if get_bit(presence, i) {
+                let Some(raw) = buf.get(pos..pos + 8) else {
+                    return Err(WireError::Truncated {
+                        offset: buf.len(),
+                        what: "edge length",
+                    });
+                };
+                let v = f64::from_le_bytes(raw.try_into().expect("8-byte slice"));
+                if !v.is_finite() {
+                    return Err(WireError::corrupt(pos, "non-finite edge length"));
+                }
+                tree.set_length(node, Some(v));
+                pos += 8;
+            }
+        }
+    }
+
+    let Some(raw) = buf.get(pos..pos + 4) else {
+        return Err(WireError::Truncated {
+            offset: buf.len(),
+            what: "record checksum",
+        });
+    };
+    let stored = u32::from_le_bytes(raw.try_into().expect("4-byte slice"));
+    if stored != record_sum(&buf[..pos]) {
+        return Err(WireError::corrupt(pos, "record checksum mismatch"));
+    }
+    pos += 4;
+    Ok((tree, pos))
+}
+
+/// [`decode_tree`] that additionally requires the record to span the whole
+/// buffer — the right call for WAL payloads and wire frames, where one
+/// payload is exactly one record.
+pub fn decode_tree_exact(buf: &[u8], n_taxa: usize) -> Result<Tree, WireError> {
+    let (tree, used) = decode_tree(buf, n_taxa)?;
+    if used != buf.len() {
+        return Err(WireError::corrupt(
+            used,
+            format!("{} trailing bytes after record", buf.len() - used),
+        ));
+    }
+    Ok(tree)
+}
+
+/// Rewrite every leaf's taxon id through `map` (file-local id → caller
+/// id). Used when a record was decoded against an embedded taxa table
+/// whose interning order differs from the caller's namespace.
+pub fn remap_leaf_taxa(tree: &mut Tree, map: &[TaxonId]) {
+    for node in tree.postorder() {
+        if let Some(id) = tree.taxon(node) {
+            tree.set_taxon(node, Some(map[id.index()]));
+        }
+    }
+}

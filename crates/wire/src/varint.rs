@@ -1,0 +1,115 @@
+//! LEB128 unsigned varints. Taxon ids and record/node counts are small in
+//! practice (a 10k-taxon namespace fits every id in two bytes), so the
+//! variable-length form is what makes binary records beat Newick on size
+//! as well as speed.
+
+use crate::WireError;
+
+/// Append `v` to `out` as an LEB128 varint (7 payload bits per byte,
+/// continuation in the high bit; 1–10 bytes).
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read an LEB128 varint from `buf` at `*pos`, advancing `*pos` past it.
+///
+/// Rejects truncation and overflow (more than 10 bytes, or a tenth byte
+/// carrying bits beyond the 64th) with typed errors.
+pub fn take_uvarint(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u64, WireError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    let start = *pos;
+    loop {
+        let Some(&byte) = buf.get(*pos) else {
+            return Err(WireError::Truncated { offset: *pos, what });
+        };
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(WireError::corrupt(
+                start,
+                format!("varint overflow in {what}"),
+            ));
+        }
+        if shift > 63 {
+            return Err(WireError::corrupt(
+                start,
+                format!("varint too long in {what}"),
+            ));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: u64) {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, v);
+        let mut pos = 0;
+        assert_eq!(take_uvarint(&buf, &mut pos, "t").unwrap(), v);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn round_trips_across_width_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            round_trip(v);
+        }
+    }
+
+    #[test]
+    fn truncated_varint_is_typed() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(matches!(
+                take_uvarint(&buf[..cut], &mut pos, "t"),
+                Err(WireError::Truncated { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn overlong_and_overflowing_varints_are_rejected() {
+        // Eleven continuation bytes: longer than any u64 needs.
+        let long = [0x80u8; 11];
+        let mut pos = 0;
+        assert!(matches!(
+            take_uvarint(&long, &mut pos, "t"),
+            Err(WireError::Corrupt { .. })
+        ));
+        // Tenth byte sets a bit past the 64th.
+        let over = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        let mut pos = 0;
+        assert!(matches!(
+            take_uvarint(&over, &mut pos, "t"),
+            Err(WireError::Corrupt { .. })
+        ));
+    }
+}
